@@ -1,0 +1,126 @@
+// Experiment F4 (ablation D3): dynamic schema evolution.
+//
+// LabBase evolves a step class by adding a version identified by its
+// attribute set; existing instances are never migrated (paper Section 5.1,
+// following Skarra & Zdonik). This bench measures:
+//
+//   (a) the cost of an evolution event itself as versions accumulate,
+//   (b) step-recording cost at high version counts (does the version
+//       machinery tax the hot path?),
+//   (c) that old instances still read back under their original version.
+//
+// Expected shape: both (a) and (b) stay flat — evolution is O(catalog), not
+// O(data). That flatness *is* the paper's design point: a workflow change
+// must not force a data reorganization.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "labbase/labbase.h"
+#include "labflow/server_version.h"
+
+namespace labflow::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  int max_versions = static_cast<int>(FlagValue(argc, argv, "versions", 256));
+  const int kStepsPerRound = 200;
+
+  BenchDir dir;
+  ServerOptions server_opts;
+  server_opts.path = dir.file("labflow.db");
+  server_opts.pool_pages = 2048;
+  auto mgr = CreateServer(ServerVersion::kOstore, server_opts);
+  if (!mgr.ok()) {
+    std::cerr << mgr.status().ToString() << "\n";
+    return 1;
+  }
+  auto db_or = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!db_or.ok()) {
+    std::cerr << db_or.status().ToString() << "\n";
+    return 1;
+  }
+  labbase::LabBase* db = db_or->get();
+
+  auto clone = db->DefineMaterialClass("clone");
+  auto state = db->DefineState("active");
+  auto step = db->DefineStepClass("measure", {"attr_base"});
+  if (!clone.ok() || !state.ok() || !step.ok()) {
+    std::cerr << "schema setup failed\n";
+    return 1;
+  }
+  labbase::AttrId base_attr = db->schema().AttributeByName("attr_base").value();
+
+  std::cout << "Schema evolution cost (F4, ablation D3) — OStore\n\n"
+            << std::left << std::setw(10) << "versions" << std::right
+            << std::setw(18) << "evolve us/event" << std::setw(18)
+            << "record us/step" << std::setw(16) << "db bytes" << "\n";
+
+  std::vector<std::string> attrs = {"attr_base"};
+  Oid first_step;
+  int64_t t = 1;
+  for (int round = 1; round <= max_versions; round *= 2) {
+    // Evolve until the class has `round` versions.
+    Stopwatch evolve_sw;
+    int evolved = 0;
+    while (static_cast<int>(db->schema().VersionCount(step.value()).value()) <
+           round) {
+      attrs.push_back("attr_v" + std::to_string(attrs.size()));
+      if (!db->DefineStepClass("measure", attrs).ok()) {
+        std::cerr << "evolution failed\n";
+        return 1;
+      }
+      ++evolved;
+    }
+    double evolve_us =
+        evolved > 0 ? evolve_sw.ElapsedSeconds() * 1e6 / evolved : 0;
+
+    // Record steps bound to the newest version, against a fresh material
+    // per round so material-record growth does not confound the numbers.
+    auto material = db->CreateMaterial(
+        clone.value(), "m-" + std::to_string(round), state.value(),
+        Timestamp(t));
+    if (!material.ok()) {
+      std::cerr << material.status().ToString() << "\n";
+      return 1;
+    }
+    Stopwatch record_sw;
+    for (int i = 0; i < kStepsPerRound; ++i) {
+      labbase::StepEffect effect;
+      effect.material = material.value();
+      effect.tags = {{base_attr, Value::Int(i)}};
+      auto s = db->RecordStep(step.value(), Timestamp(t++), {effect});
+      if (!s.ok()) {
+        std::cerr << s.status().ToString() << "\n";
+        return 1;
+      }
+      if (!first_step.raw) first_step = s.value();
+    }
+    double record_us = record_sw.ElapsedSeconds() * 1e6 / kStepsPerRound;
+
+    std::cout << std::left << std::setw(10) << round << std::right
+              << std::setw(18) << std::fixed << std::setprecision(2)
+              << evolve_us << std::setw(18) << record_us << std::setw(16)
+              << (*mgr)->stats().db_size_bytes << "\n";
+  }
+
+  // (c) old instances remain bound to version 0 — no migration happened.
+  auto info = db->GetStep(first_step);
+  if (!info.ok() || info->version != 0) {
+    std::cerr << "ERROR: first instance no longer on version 0\n";
+    return 1;
+  }
+  std::cout << "\nfirst recorded instance still reports version 0 "
+               "(no data migration): OK\n";
+  db_or->reset();
+  (void)(*mgr)->Close();
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -1,0 +1,92 @@
+// Experiment F5 (ablation D1): the most-recent-value access structure.
+//
+// LabBase embeds, per material and attribute, a cached most-recent value
+// plus a history list ("structures for rapid access into history lists",
+// paper Section 5). This bench measures most-recent lookup latency as the
+// attribute's history grows, with the access structure ON (one material
+// read) vs OFF (scan of the material's whole involves list).
+//
+// Expected shape: indexed lookups stay flat; scan lookups grow linearly
+// with history length — the access structure is what makes derived
+// material attributes affordable at all.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "labbase/labbase.h"
+#include "labflow/server_version.h"
+
+namespace labflow::bench {
+namespace {
+
+/// Builds one material with `history_len` sequencing steps; returns mean
+/// MostRecent latency in microseconds.
+Result<double> Measure(bool use_index, int history_len, int lookups) {
+  BenchDir dir;
+  ServerOptions server_opts;
+  server_opts.path = dir.file("labflow.db");
+  server_opts.pool_pages = 4096;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
+                           CreateServer(ServerVersion::kTexas, server_opts));
+  labbase::LabBaseOptions opts;
+  opts.use_most_recent_index = use_index;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> db,
+                           labbase::LabBase::Open(mgr.get(), opts));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId clone,
+                           db->DefineMaterialClass("clone"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::StateId state, db->DefineState("active"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId step,
+                           db->DefineStepClass("measure", {"x"}));
+  labbase::AttrId x = db->schema().AttributeByName("x").value();
+  LABFLOW_ASSIGN_OR_RETURN(Oid m,
+                           db->CreateMaterial(clone, "m", state, Timestamp(0)));
+  for (int i = 0; i < history_len; ++i) {
+    labbase::StepEffect effect;
+    effect.material = m;
+    effect.tags = {{x, Value::Int(i)}};
+    LABFLOW_RETURN_IF_ERROR(
+        db->RecordStep(step, Timestamp(i + 1), {effect}).status());
+  }
+  Stopwatch sw;
+  for (int i = 0; i < lookups; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(Value v, db->MostRecent(m, x));
+    if (v.int_value() != history_len - 1) {
+      return Status::Internal("wrong most-recent answer");
+    }
+  }
+  double us = sw.ElapsedSeconds() * 1e6 / lookups;
+  db.reset();
+  LABFLOW_RETURN_IF_ERROR(mgr->Close());
+  return us;
+}
+
+int Main(int argc, char** argv) {
+  int lookups = static_cast<int>(FlagValue(argc, argv, "lookups", 2000));
+  std::cout << "Most-recent access structure (F5, ablation D1) — "
+            << "mean us/lookup vs history length (Texas)\n\n"
+            << std::left << std::setw(16) << "history length" << std::right
+            << std::setw(16) << "indexed" << std::setw(16) << "scan"
+            << std::setw(12) << "ratio" << "\n";
+  for (int len : {1, 4, 16, 64, 256, 1024}) {
+    auto indexed = Measure(true, len, lookups);
+    auto scan = Measure(false, len, lookups);
+    if (!indexed.ok() || !scan.ok()) {
+      std::cerr << indexed.status().ToString() << " / "
+                << scan.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << std::left << std::setw(16) << len << std::right
+              << std::setw(16) << std::fixed << std::setprecision(2)
+              << indexed.value() << std::setw(16) << scan.value()
+              << std::setw(12) << std::setprecision(1)
+              << scan.value() / indexed.value() << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -1,0 +1,69 @@
+// Experiment F1: loading-phase throughput.
+//
+// Runs the LabFlow-1 stream with the query mix disabled (pure workflow
+// tracking: material creation + step recording + sets + evolution) and
+// reports step-insertion throughput per server version as the database
+// scales. This is the "building the event history" figure: it isolates the
+// update path, where the storage managers differ in logging, locking and
+// allocation cost.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "labflow/driver.h"
+#include "labflow/report.h"
+
+namespace labflow::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  int base_clones = static_cast<int>(FlagValue(argc, argv, "clones", 300));
+  size_t pool = static_cast<size_t>(FlagValue(argc, argv, "pool", 2048));
+  std::vector<double> intvls = {0.25, 0.5, 1.0, 2.0};
+
+  std::cout << "LabFlow-1 loading-phase throughput (F1) — steps/sec, "
+            << "queries disabled; base_clones=" << base_clones << "\n\n";
+  std::cout << std::left << std::setw(10) << "Intvl";
+  for (ServerVersion v : kAllServerVersions) {
+    std::cout << std::right << std::setw(12) << ServerVersionName(v);
+  }
+  std::cout << "\n";
+
+  for (double intvl : intvls) {
+    WorkloadParams params;
+    params.intvl = intvl;
+    params.base_clones = base_clones;
+    std::cout << std::left << std::setw(10) << (std::to_string(intvl) + "X");
+    for (ServerVersion version : kAllServerVersions) {
+      BenchDir dir;
+      Driver::Options opts;
+      opts.version = version;
+      opts.db_path = dir.file("labflow.db");
+      opts.pool_pages = pool;
+      opts.run_queries = false;
+      auto report = Driver::Run(params, opts);
+      if (!report.ok()) {
+        std::cerr << "failed: " << report.status().ToString() << "\n";
+        return 1;
+      }
+      double steps_per_sec =
+          report->update_elapsed_sec > 0
+              ? static_cast<double>(report->steps) / report->update_elapsed_sec
+              : 0;
+      std::cout << std::right << std::setw(12) << std::fixed
+                << std::setprecision(0) << steps_per_sec;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n(series: step-recording throughput; the paper's loading "
+               "curve shape —\n flat while the database fits in memory, "
+               "degrading once it pages)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -1,0 +1,202 @@
+// Experiment F2: query-phase breakdown.
+//
+// Builds a 1X LabFlow-1 database on each server version, then times each
+// query class separately over the *same* set of targets: most-recent value
+// lookups, full-history audits, work-queue scans, per-state counts, set
+// retrieval and name lookups. Reported as mean microseconds per query.
+//
+// This is the per-query-class companion to the main table: it shows where
+// the locality differences live (audits walk history; most-recent hits the
+// material record and its embedded access structure).
+
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/rng.h"
+#include "labbase/labbase.h"
+#include "labflow/apply.h"
+#include "labflow/generator.h"
+#include "labflow/server_version.h"
+#include "workflow/graph.h"
+
+namespace labflow::bench {
+namespace {
+
+struct QueryTargets {
+  std::vector<std::pair<std::string, std::string>> value_targets;
+  std::vector<std::string> states;
+  std::vector<std::string> sets;
+};
+
+/// Loads the update stream into `db`, remembering audit targets.
+Status BuildDatabase(labbase::LabBase* db, const WorkloadParams& params,
+                     QueryTargets* targets) {
+  WorkloadGenerator generator(params);
+  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db));
+  targets->states = generator.graph().states;
+  Event ev;
+  Rng pick(params.seed ^ 0xABCD);
+  while (generator.Next(&ev)) {
+    if (!ev.IsUpdate()) continue;
+    LABFLOW_RETURN_IF_ERROR(ApplyUpdate(db, ev));
+    if (ev.type == Event::Type::kRecordStep) {
+      for (const EffectSpec& spec : ev.effects) {
+        // Sample ~2% of (material, attr) pairs as audit targets.
+        if (!spec.tags.empty() && pick.NextBool(0.02)) {
+          targets->value_targets.emplace_back(spec.material,
+                                              spec.tags[0].attr);
+        }
+      }
+    } else if (ev.type == Event::Type::kCreateSet) {
+      targets->sets.push_back(ev.name);
+    }
+  }
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  WorkloadParams params;
+  params.intvl = FlagValue(argc, argv, "intvl", 1.0);
+  params.base_clones = static_cast<int>(FlagValue(argc, argv, "clones", 300));
+  size_t pool = static_cast<size_t>(FlagValue(argc, argv, "pool", 1024));
+  const int kQueriesPerClass = 2000;
+
+  std::cout << "LabFlow-1 query-phase breakdown (F2) — mean us/query, "
+            << params.intvl << "X, pool=" << pool << " pages\n\n";
+
+  std::map<std::string, std::map<std::string, double>> table;
+  std::vector<std::string> classes = {"most_recent", "history",
+                                      "work_queue",  "count_state",
+                                      "set_members", "by_name"};
+
+  for (ServerVersion version : kAllServerVersions) {
+    BenchDir dir;
+    ServerOptions server_opts;
+    server_opts.path = dir.file("labflow.db");
+    server_opts.pool_pages = pool;
+    auto mgr = CreateServer(version, server_opts);
+    if (!mgr.ok()) {
+      std::cerr << mgr.status().ToString() << "\n";
+      return 1;
+    }
+    auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+    if (!db.ok()) {
+      std::cerr << db.status().ToString() << "\n";
+      return 1;
+    }
+    QueryTargets targets;
+    Status st = BuildDatabase(db->get(), params, &targets);
+    if (!st.ok()) {
+      std::cerr << "build failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    if (targets.value_targets.empty()) {
+      std::cerr << "no audit targets sampled\n";
+      return 1;
+    }
+
+    const labbase::Schema& schema = (*db)->schema();
+    Rng rng(7);
+    auto time_class = [&](const std::string& cls,
+                          const std::function<Status()>& one) -> Status {
+      Stopwatch sw;
+      for (int i = 0; i < kQueriesPerClass; ++i) {
+        LABFLOW_RETURN_IF_ERROR(one());
+      }
+      table[cls][std::string(ServerVersionName(version))] =
+          sw.ElapsedSeconds() * 1e6 / kQueriesPerClass;
+      return Status::OK();
+    };
+
+    st = time_class("most_recent", [&]() -> Status {
+      const auto& [name, attr] =
+          targets.value_targets[rng.NextBelow(targets.value_targets.size())];
+      LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
+      Status qs = (*db)->MostRecent(m, attr).status();
+      return qs.IsNotFound() ? Status::OK() : qs;
+    });
+    if (st.ok()) {
+      st = time_class("history", [&]() -> Status {
+        const auto& [name, attr] =
+            targets.value_targets[rng.NextBelow(targets.value_targets.size())];
+        LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
+        LABFLOW_ASSIGN_OR_RETURN(labbase::AttrId a,
+                                 schema.AttributeByName(attr));
+        return (*db)->History(m, a).status();
+      });
+    }
+    if (st.ok()) {
+      st = time_class("work_queue", [&]() -> Status {
+        const std::string& state =
+            targets.states[rng.NextBelow(targets.states.size())];
+        LABFLOW_ASSIGN_OR_RETURN(labbase::StateId s,
+                                 schema.StateByName(state));
+        LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> queue,
+                                 (*db)->MaterialsInState(s));
+        size_t inspect = queue.size() < 20 ? queue.size() : 20;
+        for (size_t i = 0; i < inspect; ++i) {
+          LABFLOW_RETURN_IF_ERROR((*db)->GetMaterial(queue[i]).status());
+        }
+        return Status::OK();
+      });
+    }
+    if (st.ok()) {
+      st = time_class("count_state", [&]() -> Status {
+        const std::string& state =
+            targets.states[rng.NextBelow(targets.states.size())];
+        LABFLOW_ASSIGN_OR_RETURN(labbase::StateId s,
+                                 schema.StateByName(state));
+        return (*db)->CountInState(s).status();
+      });
+    }
+    if (st.ok() && !targets.sets.empty()) {
+      st = time_class("set_members", [&]() -> Status {
+        const std::string& set_name =
+            targets.sets[rng.NextBelow(targets.sets.size())];
+        LABFLOW_ASSIGN_OR_RETURN(Oid set, (*db)->FindSetByName(set_name));
+        return (*db)->SetMembers(set).status();
+      });
+    }
+    if (st.ok()) {
+      st = time_class("by_name", [&]() -> Status {
+        const auto& [name, attr] =
+            targets.value_targets[rng.NextBelow(targets.value_targets.size())];
+        (void)attr;
+        LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
+        return (*db)->GetMaterial(m).status();
+      });
+    }
+    if (!st.ok()) {
+      std::cerr << "query phase failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "done: " << ServerVersionName(version) << "\n";
+    db->reset();
+    (void)(*mgr)->Close();
+  }
+
+  std::cout << std::left << std::setw(14) << "query class";
+  for (ServerVersion v : kAllServerVersions) {
+    std::cout << std::right << std::setw(12) << ServerVersionName(v);
+  }
+  std::cout << "\n";
+  for (const std::string& cls : classes) {
+    std::cout << std::left << std::setw(14) << cls;
+    for (ServerVersion v : kAllServerVersions) {
+      std::cout << std::right << std::setw(12) << std::fixed
+                << std::setprecision(2)
+                << table[cls][std::string(ServerVersionName(v))];
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -1,0 +1,144 @@
+// Experiment M2: deductive-query-language microbenchmarks.
+//
+// Parsing, unification, pure-rule resolution, and LabBase-backed queries —
+// the costs of the paper's Section 6 query interface layered above the
+// wrapper. (The main table drives LabBase through its C++ API, as the
+// production LabBase server did internally; this bench quantifies the
+// declarative layer's overhead.)
+
+#include <benchmark/benchmark.h>
+
+#include "labbase/labbase.h"
+#include "mm/mm_manager.h"
+#include "query/parser.h"
+#include "query/solver.h"
+#include "query/unify.h"
+
+namespace labflow::query {
+namespace {
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string src =
+      "state(M, waiting_for_sequencing), most_recent(M, read_quality, Q), "
+      "Q >= 0.5, \\+ in_set(\"redo\", M)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Parser::ParseQuery(src));
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_ParseProgram(benchmark::State& state) {
+  const std::string src =
+      "backlog(S, N) <- count(state(M, S), N).\n"
+      "ready(C) <- clone(C), state(C, cl_tn_done).\n"
+      "good_read(M) <- most_recent(M, read_quality, Q), Q >= 0.5.\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Parser::ParseProgram(src));
+  }
+}
+BENCHMARK(BM_ParseProgram);
+
+void BM_UnifyDeepTerm(benchmark::State& state) {
+  Term lhs = Parser::ParseTerm("f(X, g(Y, h(Z, [1, 2, 3])), Y, W)").value();
+  Term rhs =
+      Parser::ParseTerm("f(a, g(b, h(c, [1, 2, 3])), b, [x, y])").value();
+  for (auto _ : state) {
+    Bindings b;
+    benchmark::DoNotOptimize(Unify(lhs, rhs, &b));
+  }
+}
+BENCHMARK(BM_UnifyDeepTerm);
+
+void BM_SolveRecursiveRules(benchmark::State& state) {
+  Solver solver(nullptr);
+  std::string facts;
+  for (int i = 0; i < 50; ++i) {
+    facts += "next(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").\n";
+  }
+  facts += "reach(X, Y) <- next(X, Y).\n";
+  facts += "reach(X, Z) <- next(X, Y), reach(Y, Z).\n";
+  (void)solver.LoadProgram(facts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Prove("reach(n0, n50)"));
+  }
+}
+BENCHMARK(BM_SolveRecursiveRules);
+
+void BM_SetofAggregation(benchmark::State& state) {
+  Solver solver(nullptr);
+  std::string facts;
+  for (int i = 0; i < 200; ++i) {
+    facts += "item(i" + std::to_string(i % 100) + ").\n";
+  }
+  (void)solver.LoadProgram(facts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.QueryAll("setof(X, item(X), L)"));
+  }
+}
+BENCHMARK(BM_SetofAggregation);
+
+/// LabBase-backed fixture: a small populated lab.
+class DbFixture {
+ public:
+  DbFixture() {
+    mgr_ = std::make_unique<mm::MmManager>("mm");
+    db_ = labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{})
+              .value();
+    solver_ = std::make_unique<Solver>(db_.get());
+    (void)solver_->Prove(
+        "define_material_class(tclone), define_state(waiting), "
+        "define_state(done), "
+        "define_step_class(measure, [quality])");
+    for (int i = 0; i < 500; ++i) {
+      std::string name = "tc-" + std::to_string(i);
+      (void)solver_->Prove("create_material(tclone, \"" + name +
+                           "\", waiting, M), record_step(measure, @" +
+                           std::to_string(i + 1) + ", [effect(M, "
+                           "[tag(quality, " +
+                           std::to_string((i % 100) / 100.0) + ")], " +
+                           (i % 2 == 0 ? "done" : "same") + ")])");
+    }
+  }
+
+  Solver* solver() { return solver_.get(); }
+
+ private:
+  std::unique_ptr<mm::MmManager> mgr_;
+  std::unique_ptr<labbase::LabBase> db_;
+  std::unique_ptr<Solver> solver_;
+};
+
+DbFixture& Fixture() {
+  static DbFixture* fixture = new DbFixture();
+  return *fixture;
+}
+
+void BM_DbWorkQueueQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Fixture().solver()->QueryAll("state(M, done)", 50));
+  }
+}
+BENCHMARK(BM_DbWorkQueueQuery);
+
+void BM_DbMostRecentFilter(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fixture().solver()->QueryAll(
+        "state(M, waiting), most_recent(M, quality, Q), Q >= 0.9", 20));
+  }
+}
+BENCHMARK(BM_DbMostRecentFilter);
+
+void BM_DbCountAggregate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Fixture().solver()->QueryAll("count(state(M, done), N)"));
+  }
+}
+BENCHMARK(BM_DbCountAggregate);
+
+}  // namespace
+}  // namespace labflow::query
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Experiment M1: storage-manager microbenchmarks (google-benchmark).
+//
+// Isolated object operations per manager: allocate, read (hot and cold),
+// update in place, update with growth, transaction commit (OStore), and
+// checkpoint. These are the primitive costs behind the main table.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "labflow/server_version.h"
+
+namespace labflow::bench {
+namespace {
+
+using storage::AllocHint;
+using storage::ObjectId;
+using storage::StorageManager;
+
+std::unique_ptr<StorageManager> MakeManager(ServerVersion v,
+                                            const BenchDir& dir,
+                                            size_t pool_pages = 4096) {
+  ServerOptions opts;
+  opts.path = dir.file("micro.db");
+  opts.pool_pages = pool_pages;
+  auto r = CreateServer(v, opts);
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+ServerVersion VersionArg(const benchmark::State& state) {
+  return static_cast<ServerVersion>(state.range(0));
+}
+
+void SetVersionLabel(benchmark::State& state) {
+  state.SetLabel(std::string(ServerVersionName(VersionArg(state))));
+}
+
+void BM_Allocate256(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  std::string data(256, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr->Allocate(data, AllocHint{}));
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_ReadHot(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  Rng rng(1);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(mgr->Allocate(std::string(256, 'r'), AllocHint{}).value());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr->Read(ids[rng.NextBelow(ids.size())]));
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_ReadColdSmallPool(benchmark::State& state) {
+  // Pool far smaller than the data: every random read likely faults.
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir, /*pool_pages=*/8);
+  Rng rng(2);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 4000; ++i) {
+    ids.push_back(mgr->Allocate(std::string(512, 'c'), AllocHint{}).value());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr->Read(ids[rng.NextBelow(ids.size())]));
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_UpdateSameSize(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  Rng rng(3);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(mgr->Allocate(std::string(256, 'u'), AllocHint{}).value());
+  }
+  std::string data(256, 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mgr->Update(ids[rng.NextBelow(ids.size())], data));
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_UpdateGrowing(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  ObjectId id = mgr->Allocate("seed", AllocHint{}).value();
+  size_t size = 16;
+  for (auto _ : state) {
+    size = size >= 4096 ? 16 : size + 64;
+    benchmark::DoNotOptimize(mgr->Update(id, std::string(size, 'g')));
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_TxnCommitThreeWrites(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  std::string data(200, 't');
+  for (auto _ : state) {
+    (void)mgr->Begin();
+    for (int i = 0; i < 3; ++i) {
+      benchmark::DoNotOptimize(mgr->Allocate(data, AllocHint{}));
+    }
+    (void)mgr->Commit();
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+void BM_Checkpoint(benchmark::State& state) {
+  BenchDir dir;
+  auto mgr = MakeManager(VersionArg(state), dir);
+  std::string data(200, 'k');
+  for (auto _ : state) {
+    for (int i = 0; i < 50; ++i) {
+      benchmark::DoNotOptimize(mgr->Allocate(data, AllocHint{}));
+    }
+    Status st = mgr->Checkpoint();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  SetVersionLabel(state);
+  (void)mgr->Close();
+}
+
+constexpr int64_t kOstore = static_cast<int64_t>(ServerVersion::kOstore);
+constexpr int64_t kTexas = static_cast<int64_t>(ServerVersion::kTexas);
+constexpr int64_t kTexasTC = static_cast<int64_t>(ServerVersion::kTexasTC);
+constexpr int64_t kMm = static_cast<int64_t>(ServerVersion::kTexasMm);
+
+#define LABFLOW_BENCH_ALL(fn) \
+  BENCHMARK(fn)->Arg(kOstore)->Arg(kTexasTC)->Arg(kTexas)->Arg(kMm)
+
+LABFLOW_BENCH_ALL(BM_Allocate256);
+LABFLOW_BENCH_ALL(BM_ReadHot);
+LABFLOW_BENCH_ALL(BM_UpdateSameSize);
+LABFLOW_BENCH_ALL(BM_UpdateGrowing);
+LABFLOW_BENCH_ALL(BM_TxnCommitThreeWrites);
+
+BENCHMARK(BM_ReadColdSmallPool)->Arg(kOstore)->Arg(kTexasTC)->Arg(kTexas);
+BENCHMARK(BM_Checkpoint)->Arg(kOstore)->Arg(kTexas);
+
+}  // namespace
+}  // namespace labflow::bench
+
+BENCHMARK_MAIN();

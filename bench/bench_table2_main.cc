@@ -1,0 +1,83 @@
+// Experiment T2: the paper's Section 10 main results table.
+//
+// Runs the full LabFlow-1 stream (updates + query mix + schema evolution)
+// through every server version at Intvl = 0.5X / 1X / 2X and prints the
+// paper-shaped table: elapsed sec, user cpu sec, sys cpu sec, majflt, and
+// size (bytes). The buffer pool is fixed at 2048 pages (16 MiB), playing
+// the role of the testbed's physical memory: at 0.5X every database fits,
+// at 2X the persistent versions must page.
+//
+// Flags: --clones=N (base clones at 1X, default 500), --pool=PAGES,
+//        --seed=S, and --intvl=X to run a single scale.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "labflow/driver.h"
+#include "labflow/report.h"
+
+namespace labflow::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  double single_intvl = FlagValue(argc, argv, "intvl", 0);
+  std::vector<double> intvls =
+      single_intvl > 0 ? std::vector<double>{single_intvl}
+                       : std::vector<double>{0.5, 1.0, 2.0};
+  int base_clones = static_cast<int>(FlagValue(argc, argv, "clones", 500));
+  size_t pool = static_cast<size_t>(FlagValue(argc, argv, "pool", 2048));
+  uint64_t seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1996));
+
+  std::cout << "LabFlow-1 main results (T2) — base_clones=" << base_clones
+            << ", pool=" << pool << " pages ("
+            << WithCommas(pool * 8192) << " bytes), seed=" << seed << "\n\n";
+
+  std::vector<RunReport> reports;
+  for (double intvl : intvls) {
+    WorkloadParams params;
+    params.intvl = intvl;
+    params.base_clones = base_clones;
+    params.seed = seed;
+    for (ServerVersion version : kAllServerVersions) {
+      BenchDir dir;
+      Driver::Options opts;
+      opts.version = version;
+      opts.db_path = dir.file("labflow.db");
+      opts.pool_pages = pool;
+      auto report = Driver::Run(params, opts);
+      if (!report.ok()) {
+        std::cerr << ServerVersionName(version) << " @ " << intvl
+                  << "X failed: " << report.status().ToString() << "\n";
+        return 1;
+      }
+      std::cerr << "done: " << report->version << " @ " << intvl << "X ("
+                << report->events << " events)\n";
+      reports.push_back(std::move(report).value());
+    }
+  }
+
+  PrintMainTable(std::cout, reports);
+
+  std::cout << "Run details:\n";
+  uint64_t checksum = reports.front().result_checksum;
+  bool consistent = true;
+  for (const RunReport& r : reports) {
+    PrintRunDetails(std::cout, r);
+    // Checksums must agree within each Intvl group.
+  }
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].intvl == reports.front().intvl &&
+        reports[i].result_checksum != checksum) {
+      consistent = false;
+    }
+  }
+  std::cout << (consistent ? "cross-version checksums: CONSISTENT\n"
+                           : "cross-version checksums: MISMATCH (BUG)\n");
+  return consistent ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

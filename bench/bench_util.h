@@ -1,0 +1,48 @@
+#ifndef LABFLOW_BENCH_BENCH_UTIL_H_
+#define LABFLOW_BENCH_BENCH_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace labflow::bench {
+
+/// Scratch directory for benchmark database files; removed on destruction.
+class BenchDir {
+ public:
+  BenchDir() {
+    std::string tmpl = "/tmp/labflow_bench_XXXXXX";
+    char* dir = ::mkdtemp(tmpl.data());
+    path_ = dir == nullptr ? "/tmp" : dir;
+  }
+  ~BenchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  BenchDir(const BenchDir&) = delete;
+  BenchDir& operator=(const BenchDir&) = delete;
+
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Parses "--key=value" style flags; returns `fallback` when absent.
+inline double FlagValue(int argc, char** argv, const std::string& key,
+                        double fallback) {
+  std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::atof(arg.substr(prefix.size()).c_str());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,143 @@
+// lab_admin: a small administration CLI over a persistent LabBase database.
+//
+// Demonstrates the operational side of the library: creating and reopening
+// a durable database, loading workload data into it, and inspecting it with
+// reports, audits and ad-hoc deductive queries — across process runs.
+//
+// Usage:
+//   lab_admin <db-path> init                 create an empty genome-lab db
+//   lab_admin <db-path> load <clones>        run the workflow for N clones
+//   lab_admin <db-path> summary              schema/state/storage report
+//   lab_admin <db-path> audit <material>     full event history of one item
+//   lab_admin <db-path> query "<goal>"       run a deductive query
+//
+// Example session:
+//   lab_admin /tmp/lab.db init
+//   lab_admin /tmp/lab.db load 6
+//   lab_admin /tmp/lab.db summary
+//   lab_admin /tmp/lab.db audit cl-000001
+//   lab_admin /tmp/lab.db query "state(M, cl_finished), material_name(M, N)"
+
+#include <filesystem>
+#include <iostream>
+
+#include "labbase/dump.h"
+#include "labbase/labbase.h"
+#include "labflow/apply.h"
+#include "labflow/generator.h"
+#include "ostore/ostore_manager.h"
+#include "query/solver.h"
+
+using labflow::Oid;
+using labflow::Status;
+namespace labbase = labflow::labbase;
+namespace bench = labflow::bench;
+namespace query = labflow::query;
+
+namespace {
+
+labflow::Result<std::unique_ptr<labflow::ostore::OstoreManager>> OpenDb(
+    const std::string& path, bool create) {
+  labflow::ostore::OstoreOptions opts;
+  opts.base.path = path;
+  opts.base.truncate = create;
+  if (!create && !std::filesystem::exists(path)) {
+    return Status::NotFound("no database at " + path +
+                            " (run 'init' first)");
+  }
+  return labflow::ostore::OstoreManager::Open(opts);
+}
+
+Status Load(labbase::LabBase* db, int clones) {
+  bench::WorkloadParams params;
+  params.base_clones = clones;
+  bench::WorkloadGenerator generator(params);
+  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db));
+  bench::Event ev;
+  int64_t steps = 0;
+  while (generator.Next(&ev)) {
+    if (!ev.IsUpdate()) continue;
+    LABFLOW_RETURN_IF_ERROR(db->Begin());
+    Status st = bench::ApplyUpdate(db, ev);
+    if (!st.ok()) {
+      (void)db->Abort();
+      return st;
+    }
+    LABFLOW_RETURN_IF_ERROR(db->Commit());
+    if (ev.type == bench::Event::Type::kRecordStep) ++steps;
+  }
+  std::cout << "loaded " << steps << " steps for " << clones << " clones\n";
+  return db->Checkpoint();
+}
+
+int Usage() {
+  std::cerr << "usage: lab_admin <db-path> "
+               "(init | load <clones> | summary | audit <material> | "
+               "query \"<goal>\")\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string path = argv[1];
+  std::string command = argv[2];
+
+  bool create = (command == "init");
+  auto mgr = OpenDb(path, create);
+  if (!mgr.ok()) {
+    std::cerr << mgr.status().ToString() << "\n";
+    return 1;
+  }
+  auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  Status st;
+  if (command == "init") {
+    st = (*db)->Checkpoint();
+    if (st.ok()) std::cout << "created " << path << "\n";
+  } else if (command == "load" && argc >= 4) {
+    st = Load(db->get(), std::max(1, std::atoi(argv[3])));
+  } else if (command == "summary") {
+    st = labbase::DumpSummary(db->get(), std::cout);
+  } else if (command == "audit" && argc >= 4) {
+    auto m = (*db)->FindMaterialByName(argv[3]);
+    st = m.ok() ? labbase::DumpMaterialAudit(db->get(), m.value(), std::cout)
+                : m.status();
+  } else if (command == "query" && argc >= 4) {
+    query::Solver solver(db->get());
+    auto solutions = solver.QueryAll(argv[3], 100);
+    if (!solutions.ok()) {
+      st = solutions.status();
+    } else if (solutions->empty()) {
+      std::cout << "no.\n";
+    } else {
+      for (const auto& sol : *solutions) {
+        if (sol.vars.empty()) {
+          std::cout << "yes.\n";
+          break;
+        }
+        bool first = true;
+        for (const auto& [var, term] : sol.vars) {
+          if (!first) std::cout << ", ";
+          std::cout << var << " = " << term.ToString();
+          first = false;
+        }
+        std::cout << "\n";
+      }
+    }
+  } else {
+    return Usage();
+  }
+
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  db->reset();
+  return (*mgr)->Close().ok() ? 0 : 1;
+}

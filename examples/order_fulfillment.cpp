@@ -1,0 +1,116 @@
+// Order fulfillment: LabBase beyond the genome lab.
+//
+// The paper positions LabFlow-1 as a benchmark for *high-throughput
+// workflow management* in general — the genome center is the motivating
+// instance, not the limit. This example runs an e-commerce order workflow
+// (payment failure loop, batched shipping) through the same wrapper on the
+// Texas storage manager, then demonstrates run-time schema evolution by
+// adding a carrier attribute to ship_order mid-stream.
+//
+// Usage: order_fulfillment [orders]   (default 200)
+
+#include <iostream>
+
+#include "labbase/labbase.h"
+#include "texas/texas_manager.h"
+#include "workflow/graph.h"
+#include "workflow/simulator.h"
+
+using labflow::Oid;
+using labflow::Timestamp;
+using labflow::Value;
+namespace labbase = labflow::labbase;
+namespace workflow = labflow::workflow;
+
+int main(int argc, char** argv) {
+  int orders = argc > 1 ? std::atoi(argv[1]) : 200;
+  if (orders < 1) orders = 200;
+
+  labflow::texas::TexasOptions storage_opts;
+  storage_opts.base.path = "/tmp/labflow_orders.db";
+  storage_opts.client_clustering = true;  // Texas+TC
+  auto mgr = labflow::texas::TexasManager::Open(storage_opts);
+  if (!mgr.ok()) {
+    std::cerr << mgr.status().ToString() << "\n";
+    return 1;
+  }
+  auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!db.ok()) {
+    std::cerr << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  workflow::WorkflowGraph graph = workflow::OrderFulfillmentWorkflow();
+  workflow::SimpleSimulator sim(db->get(), graph, /*seed=*/2024);
+  auto steps = sim.Run(orders);
+  if (!steps.ok()) {
+    std::cerr << steps.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << orders << " orders processed in " << steps.value()
+            << " workflow steps\n";
+
+  const labbase::Schema& schema = (*db)->schema();
+  std::cout << "\nFinal state distribution:\n";
+  for (const std::string& state : graph.states) {
+    auto id = schema.StateByName(state);
+    if (!id.ok()) continue;
+    auto n = (*db)->CountInState(id.value());
+    if (n.ok() && n.value() > 0) {
+      std::cout << "  " << state << ": " << n.value() << "\n";
+    }
+  }
+
+  // Audit: how many orders needed the payment-failure loop?
+  labbase::ClassId order_cls = schema.MaterialClassByName("order").value();
+  labbase::AttrId auth = schema.AttributeByName("auth_code").value();
+  auto all = (*db)->MaterialsOfClass(order_cls).value();
+  int retried = 0;
+  for (Oid o : all) {
+    auto hist = (*db)->History(o, auth);
+    if (hist.ok() && hist->size() > 1) ++retried;
+  }
+  std::cout << "\norders that needed a payment retry: " << retried << "\n";
+
+  // Run-time schema evolution: ship_order gains a carrier attribute.
+  auto evolved = (*db)->DefineStepClass("ship_order", {"tracking", "carrier"});
+  if (!evolved.ok()) {
+    std::cerr << evolved.status().ToString() << "\n";
+    return 1;
+  }
+  labbase::AttrId carrier = schema.AttributeByName("carrier").value();
+  std::cout << "\nship_order evolved to "
+            << schema.VersionCount(evolved.value()).value()
+            << " versions; shipping one more order with the new schema:\n";
+
+  labbase::StateId packed = schema.StateByName("packed").value();
+  labbase::StateId shipped = schema.StateByName("shipped").value();
+  auto late_order = (*db)->CreateMaterial(order_cls, "order-late", packed,
+                                          Timestamp(1));
+  if (!late_order.ok()) {
+    std::cerr << late_order.status().ToString() << "\n";
+    return 1;
+  }
+  labbase::StepEffect effect;
+  effect.material = late_order.value();
+  effect.tags = {
+      {schema.AttributeByName("tracking").value(),
+       Value::String("TRK-99999")},
+      {carrier, Value::String("overnight-express")},
+  };
+  effect.new_state = shipped;
+  auto step = (*db)->RecordStep(evolved.value(), Timestamp(2), {effect});
+  if (!step.ok()) {
+    std::cerr << step.status().ToString() << "\n";
+    return 1;
+  }
+  auto v = (*db)->MostRecent(late_order.value(), carrier);
+  std::cout << "  order-late carrier = " << v->ToString()
+            << " (step instance on version "
+            << (*db)->GetStep(step.value())->version << ")\n";
+
+  (void)(*db)->Checkpoint();
+  db->reset();
+  (void)(*mgr)->Close();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: the LabBase workflow-DBMS API in ~80 lines.
+//
+// Opens a persistent OStore database, defines a tiny workflow schema,
+// tracks one material through two steps, and runs the basic queries:
+// most-recent value, full history (including an out-of-order entry), and
+// the state work queue.
+
+#include <iostream>
+
+#include "labbase/labbase.h"
+#include "ostore/ostore_manager.h"
+
+using labflow::Oid;
+using labflow::Timestamp;
+using labflow::Value;
+namespace labbase = labflow::labbase;
+namespace ostore = labflow::ostore;
+
+inline labflow::Status AsStatus(const labflow::Status& s) { return s; }
+template <typename T>
+labflow::Status AsStatus(const labflow::Result<T>& r) {
+  return r.status();
+}
+
+#define CHECK_OK(expr)                                            \
+  do {                                                            \
+    labflow::Status _st = AsStatus((expr));                       \
+    if (!_st.ok()) {                                              \
+      std::cerr << #expr << ": " << _st.ToString() << "\n";       \
+      return 1;                                                   \
+    }                                                             \
+  } while (0)
+
+int main() {
+  // 1. A storage manager (ObjectStore-like: segments, transactions, WAL).
+  ostore::OstoreOptions storage_opts;
+  storage_opts.base.path = "/tmp/labflow_quickstart.db";
+  storage_opts.base.truncate = true;
+  auto mgr = ostore::OstoreManager::Open(storage_opts);
+  CHECK_OK(mgr);
+
+  // 2. LabBase on top: the workflow wrapper with the fixed storage schema.
+  auto db_or = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  CHECK_OK(db_or);
+  labbase::LabBase& db = **db_or;
+
+  // 3. User schema: evolves freely at run time.
+  auto clone = db.DefineMaterialClass("clone");
+  CHECK_OK(clone);
+  auto received = db.DefineState("received");
+  auto sequenced = db.DefineState("sequenced");
+  CHECK_OK(received);
+  CHECK_OK(sequenced);
+  auto seq_step =
+      db.DefineStepClass("determine_sequence", {"sequence", "error_rate"});
+  CHECK_OK(seq_step);
+  labbase::AttrId sequence = db.schema().AttributeByName("sequence").value();
+
+  // 4. Workflow tracking: create a material and record steps against it.
+  auto m = db.CreateMaterial(clone.value(), "cl-0001", received.value(),
+                             Timestamp(1000));
+  CHECK_OK(m);
+
+  labbase::StepEffect first;
+  first.material = m.value();
+  first.tags = {{sequence, Value::String("ACGTACGT")}};
+  first.new_state = sequenced.value();
+  CHECK_OK(db.RecordStep(seq_step.value(), Timestamp(2000), {first}));
+
+  // A correction arrives later but carries an *earlier* valid time: it must
+  // land in the history without becoming the most-recent value.
+  labbase::StepEffect late;
+  late.material = m.value();
+  late.tags = {{sequence, Value::String("NNNN")}};
+  CHECK_OK(db.RecordStep(seq_step.value(), Timestamp(1500), {late}));
+
+  // 5. Queries.
+  auto latest = db.MostRecent(m.value(), "sequence");
+  CHECK_OK(latest);
+  std::cout << "most recent sequence: " << latest->ToString() << "\n";
+
+  auto history = db.History(m.value(), sequence);
+  CHECK_OK(history);
+  std::cout << "history (by valid time):\n";
+  for (const labbase::HistoryEntry& e : *history) {
+    std::cout << "  @" << e.time.micros << "  " << e.value.ToString() << "\n";
+  }
+
+  auto queue = db.MaterialsInState(sequenced.value());
+  CHECK_OK(queue);
+  std::cout << "materials in 'sequenced': " << queue->size() << "\n";
+
+  // 6. Durability: checkpoint and close.
+  CHECK_OK(db.Checkpoint());
+  CHECK_OK((*mgr)->Close());
+  std::cout << "done; database at " << storage_opts.base.path << "\n";
+  return 0;
+}

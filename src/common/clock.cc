@@ -1,0 +1,49 @@
+#include "common/clock.h"
+
+#include <sys/resource.h>
+#include <time.h>
+
+namespace labflow {
+
+namespace {
+
+int64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+double TimevalSeconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+}  // namespace
+
+void Stopwatch::Restart() { start_ns_ = MonotonicNanos(); }
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(MonotonicNanos() - start_ns_) * 1e-9;
+}
+
+ResourceUsage ResourceUsage::Now() {
+  rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  ResourceUsage u;
+  u.user_cpu_sec = TimevalSeconds(ru.ru_utime);
+  u.sys_cpu_sec = TimevalSeconds(ru.ru_stime);
+  u.os_major_faults = ru.ru_majflt;
+  u.os_minor_faults = ru.ru_minflt;
+  return u;
+}
+
+ResourceUsage ResourceUsage::Since(const ResourceUsage& earlier) const {
+  ResourceUsage d;
+  d.user_cpu_sec = user_cpu_sec - earlier.user_cpu_sec;
+  d.sys_cpu_sec = sys_cpu_sec - earlier.sys_cpu_sec;
+  d.os_major_faults = os_major_faults - earlier.os_major_faults;
+  d.os_minor_faults = os_minor_faults - earlier.os_minor_faults;
+  return d;
+}
+
+}  // namespace labflow

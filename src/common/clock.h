@@ -1,0 +1,58 @@
+#ifndef LABFLOW_COMMON_CLOCK_H_
+#define LABFLOW_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/value.h"
+
+namespace labflow {
+
+/// Simulated laboratory clock that issues valid-time timestamps for the
+/// workload. The generator advances it by (randomized) step durations; it is
+/// entirely decoupled from wall-clock time so runs are reproducible.
+class VirtualClock {
+ public:
+  explicit VirtualClock(Timestamp start = Timestamp(0)) : now_(start) {}
+
+  Timestamp now() const { return now_; }
+
+  /// Advances the clock by the given number of microseconds (>= 0).
+  void Advance(int64_t micros) { now_ = Timestamp(now_.micros + micros); }
+
+  void Set(Timestamp t) { now_ = t; }
+
+ private:
+  Timestamp now_;
+};
+
+/// Wall-clock stopwatch (monotonic).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+/// Snapshot of process resource usage, for the paper's "user cpu sec /
+/// sys cpu sec / majflt" rows (via getrusage(RUSAGE_SELF)).
+struct ResourceUsage {
+  double user_cpu_sec = 0;
+  double sys_cpu_sec = 0;
+  int64_t os_major_faults = 0;
+  int64_t os_minor_faults = 0;
+
+  static ResourceUsage Now();
+
+  /// Component-wise difference (this - earlier).
+  ResourceUsage Since(const ResourceUsage& earlier) const;
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_CLOCK_H_

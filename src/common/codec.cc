@@ -1,0 +1,84 @@
+#include "common/codec.h"
+
+namespace labflow {
+
+void Encoder::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutBool(v.bool_value());
+      break;
+    case ValueType::kInt:
+      PutI64(v.int_value());
+      break;
+    case ValueType::kReal:
+      PutF64(v.real_value());
+      break;
+    case ValueType::kString:
+      PutString(v.string_value());
+      break;
+    case ValueType::kOid:
+      PutU64(v.oid_value().raw);
+      break;
+    case ValueType::kTimestamp:
+      PutI64(v.time_value().micros);
+      break;
+    case ValueType::kList: {
+      const Value::List& items = v.list_value();
+      PutU64(items.size());
+      for (const Value& item : items) PutValue(item);
+      break;
+    }
+  }
+}
+
+Result<Value> Decoder::GetValue() {
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  if (tag > static_cast<uint8_t>(ValueType::kList)) {
+    return Status::Corruption("bad value tag");
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      LABFLOW_ASSIGN_OR_RETURN(bool b, GetBool());
+      return Value::Bool(b);
+    }
+    case ValueType::kInt: {
+      LABFLOW_ASSIGN_OR_RETURN(int64_t i, GetI64());
+      return Value::Int(i);
+    }
+    case ValueType::kReal: {
+      LABFLOW_ASSIGN_OR_RETURN(double d, GetF64());
+      return Value::Real(d);
+    }
+    case ValueType::kString: {
+      LABFLOW_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kOid: {
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, GetU64());
+      return Value::Object(Oid(raw));
+    }
+    case ValueType::kTimestamp: {
+      LABFLOW_ASSIGN_OR_RETURN(int64_t us, GetI64());
+      return Value::Time(Timestamp(us));
+    }
+    case ValueType::kList: {
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t n, GetU64());
+      if (n > remaining()) return Status::Corruption("list length too large");
+      Value::List items;
+      items.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        LABFLOW_ASSIGN_OR_RETURN(Value item, GetValue());
+        items.push_back(std::move(item));
+      }
+      return Value::MakeList(std::move(items));
+    }
+  }
+  return Status::Corruption("bad value tag");
+}
+
+}  // namespace labflow

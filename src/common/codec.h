@@ -1,0 +1,162 @@
+#ifndef LABFLOW_COMMON_CODEC_H_
+#define LABFLOW_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace labflow {
+
+/// Append-only binary encoder used for all on-page record formats.
+///
+/// Integers use LEB128 varints (zig-zag for signed); strings and blobs are
+/// length-prefixed. The format is self-delimiting per field but carries no
+/// schema: reader and writer must agree on field order (they do — every
+/// record format lives next to its decoder in record.cc files).
+class Encoder {
+ public:
+  Encoder() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutVarint(v); }
+  void PutU64(uint64_t v) { PutVarint(v); }
+  void PutI64(int64_t v) { PutVarint(ZigZag(v)); }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(bits);
+  }
+  void PutFixed32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void PutFixed64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void PutBool(bool b) { PutU8(b ? 1 : 0); }
+
+  /// Encodes a Value with a leading type tag; round-trips via
+  /// Decoder::GetValue.
+  void PutValue(const Value& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  static uint64_t ZigZag(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+  }
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<char>(v | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<char>(v));
+  }
+
+  std::string buf_;
+};
+
+/// Sequential binary decoder over a borrowed byte range. All getters return
+/// Corruption on truncated input instead of reading past the end.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ >= data_.size()) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> GetU32() {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t v, GetVarint());
+    if (v > UINT32_MAX) return Status::Corruption("u32 overflow");
+    return static_cast<uint32_t>(v);
+  }
+  Result<uint64_t> GetU64() { return GetVarint(); }
+  Result<int64_t> GetI64() {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+    return UnZigZag(z);
+  }
+  Result<double> GetF64() {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<uint32_t> GetFixed32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> GetFixed64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> GetString() {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (pos_ + n > data_.size()) return Truncated();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  Result<bool> GetBool() {
+    LABFLOW_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    return b != 0;
+  }
+
+  /// Decodes a Value written by Encoder::PutValue.
+  Result<Value> GetValue();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  static int64_t UnZigZag(uint64_t z) {
+    return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+  }
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size()) return Truncated();
+      uint8_t b = static_cast<uint8_t>(data_[pos_++]);
+      if (shift >= 64) return Status::Corruption("varint too long");
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+  }
+  static Status Truncated() {
+    return Status::Corruption("decoder: truncated input");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_CODEC_H_

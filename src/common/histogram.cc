@@ -1,0 +1,41 @@
+#include "common/histogram.h"
+
+#include <cmath>
+
+namespace labflow {
+
+int LatencyHistogram::BucketFor(double us) {
+  if (us < 1.0) return 0;
+  int bucket = 1 + static_cast<int>(std::log2(us) / kRatioLog2);
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  return bucket;
+}
+
+double LatencyHistogram::BucketUpperUs(int bucket) {
+  if (bucket == 0) return 1.0;
+  return std::exp2(static_cast<double>(bucket) * kRatioLog2);
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count_ - 1)) +
+                  1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return BucketUpperUs(b);
+  }
+  return max_us_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  total_us_ += other.total_us_;
+  if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+}
+
+}  // namespace labflow

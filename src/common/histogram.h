@@ -1,0 +1,52 @@
+#ifndef LABFLOW_COMMON_HISTOGRAM_H_
+#define LABFLOW_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace labflow {
+
+/// Log-scale latency histogram (microsecond domain, ~4% bucket resolution).
+/// Used by the benchmark driver to report per-event latency percentiles
+/// alongside the paper's aggregate rows.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+  /// Records one observation, in seconds.
+  void RecordSeconds(double seconds) {
+    double us = seconds * 1e6;
+    ++buckets_[BucketFor(us)];
+    ++count_;
+    total_us_ += us;
+    if (us > max_us_) max_us_ = us;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean_us() const { return count_ == 0 ? 0 : total_us_ / count_; }
+  double max_us() const { return max_us_; }
+
+  /// Value (us) at percentile p in [0, 100]; upper edge of the bucket that
+  /// contains the p-th observation.
+  double PercentileUs(double p) const;
+
+  /// Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  // Buckets: [0,1us) then geometric with ratio 2^(1/16) up to ~70 s.
+  static constexpr int kBuckets = 420;
+  static constexpr double kRatioLog2 = 1.0 / 16.0;
+
+  static int BucketFor(double us);
+  static double BucketUpperUs(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double total_us_ = 0;
+  double max_us_ = 0;
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_HISTOGRAM_H_

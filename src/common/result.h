@@ -1,0 +1,93 @@
+#ifndef LABFLOW_COMMON_RESULT_H_
+#define LABFLOW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace labflow {
+
+/// A value-or-error holder, the Result/StatusOr idiom.
+///
+/// Invariant: holds either a T or a non-OK Status; it never holds an OK
+/// Status without a value. Constructing a Result from an OK Status is a
+/// programming error and converts to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK if a value is held, otherwise the stored error.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  ///
+  /// Lifetime note (C++20): do not iterate `f().value()` directly in a
+  /// range-for — the temporary Result dies before the loop body (P2718
+  /// only fixes this in C++23). Materialize into a local first:
+  ///   auto items = f().value();
+  ///   for (const auto& item : items) ...
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace labflow
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or assigning the
+/// value into `lhs`, which may be a declaration.
+#define LABFLOW_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  LABFLOW_ASSIGN_OR_RETURN_IMPL_(                                       \
+      LABFLOW_RESULT_CONCAT_(_labflow_result_, __LINE__), lhs, rexpr)
+
+#define LABFLOW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define LABFLOW_RESULT_CONCAT_(a, b) LABFLOW_RESULT_CONCAT_IMPL_(a, b)
+#define LABFLOW_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LABFLOW_COMMON_RESULT_H_

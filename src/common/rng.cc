@@ -1,0 +1,145 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace labflow {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Debiased modulo via rejection on the top of the range.
+  uint64_t threshold = -n % n;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextReal() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextReal(double lo, double hi) {
+  return lo + (hi - lo) * NextReal();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextReal() < p;
+}
+
+int64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 60.0) {
+    double v = mean + std::sqrt(mean) * NextNormal();
+    return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+  }
+  double l = std::exp(-mean);
+  int64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextReal();
+  } while (p > l);
+  return k - 1;
+}
+
+double Rng::NextExp(double mean) {
+  double u = NextReal();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::NextNormal() {
+  double u1 = NextReal();
+  double u2 = NextReal();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return NextBelow(n);
+  // Inverse-CDF over the harmonic weights, via the standard approximation
+  // H(k) ~ (k^(1-theta) - 1) / (1 - theta) for theta != 1.
+  double u = NextReal();
+  if (theta == 1.0) {
+    double hn = std::log(static_cast<double>(n) + 1.0);
+    double k = std::exp(u * hn) - 1.0;
+    uint64_t r = static_cast<uint64_t>(k);
+    return r >= n ? n - 1 : r;
+  }
+  double one_minus = 1.0 - theta;
+  double hn = (std::pow(static_cast<double>(n) + 1.0, one_minus) - 1.0) /
+              one_minus;
+  double k = std::pow(u * hn * one_minus + 1.0, 1.0 / one_minus) - 1.0;
+  uint64_t r = static_cast<uint64_t>(k);
+  return r >= n ? n - 1 : r;
+}
+
+std::string Rng::NextName(size_t length) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(kAlphabet[NextBelow(26)]);
+  }
+  return s;
+}
+
+std::string Rng::NextDna(size_t length) {
+  static const char kBases[] = "ACGT";
+  std::string s;
+  s.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    s.push_back(kBases[NextBelow(4)]);
+  }
+  return s;
+}
+
+Rng Rng::Fork(uint64_t label) const {
+  // Mix the current state with the label through SplitMix64 so forks are
+  // independent of later draws from the parent.
+  uint64_t seed = state_[0] ^ Rotl(state_[3], 13) ^ (label * 0xD6E8FEB86659FD93ULL);
+  return Rng(seed);
+}
+
+}  // namespace labflow

@@ -1,0 +1,70 @@
+#ifndef LABFLOW_COMMON_RNG_H_
+#define LABFLOW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace labflow {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// SplitMix64). The LabFlow-1 workload must be reproducible: the same seed
+/// and scale always yield byte-identical event streams, so two storage
+/// managers are measured against exactly the same work.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextReal();
+
+  /// Uniform in [lo, hi).
+  double NextReal(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Poisson-distributed with the given mean (Knuth for small mean,
+  /// normal approximation above 60).
+  int64_t NextPoisson(double mean);
+
+  /// Exponentially distributed with the given mean.
+  double NextExp(double mean);
+
+  /// Standard normal via Box-Muller.
+  double NextNormal();
+
+  /// Zipf-distributed rank in [0, n) with exponent theta (approximate
+  /// rejection-inversion; theta = 0 degenerates to uniform).
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Random lowercase identifier of the given length.
+  std::string NextName(size_t length);
+
+  /// Random DNA fragment (A/C/G/T) of the given length.
+  std::string NextDna(size_t length);
+
+  /// Forks an independent stream; two forks with different labels never
+  /// correlate. Used to give each workload component its own stream so
+  /// adding queries does not perturb the update stream.
+  Rng Fork(uint64_t label) const;
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_RNG_H_

@@ -1,0 +1,156 @@
+#include "common/value.h"
+
+#include <cstdio>
+
+namespace labflow {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kOid:
+      return "oid";
+    case ValueType::kTimestamp:
+      return "timestamp";
+    case ValueType::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+bool Value::AsReal(double* out) const {
+  switch (type()) {
+    case ValueType::kInt:
+      *out = static_cast<double>(int_value());
+      return true;
+    case ValueType::kReal:
+      *out = real_value();
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kBool:
+      return a.bool_value() == b.bool_value();
+    case ValueType::kInt:
+      return a.int_value() == b.int_value();
+    case ValueType::kReal:
+      return a.real_value() == b.real_value();
+    case ValueType::kString:
+      return a.string_value() == b.string_value();
+    case ValueType::kOid:
+      return a.oid_value() == b.oid_value();
+    case ValueType::kTimestamp:
+      return a.time_value() == b.time_value();
+    case ValueType::kList: {
+      const Value::List& la = a.list_value();
+      const Value::List& lb = b.list_value();
+      if (la.size() != lb.size()) return false;
+      for (size_t i = 0; i < la.size(); ++i) {
+        if (!(la[i] == lb[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+template <typename T>
+int Cmp3(const T& a, const T& b) {
+  if (a < b) return -1;
+  if (b < a) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return Cmp3(static_cast<int>(a.type()), static_cast<int>(b.type()));
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return Cmp3(a.bool_value(), b.bool_value());
+    case ValueType::kInt:
+      return Cmp3(a.int_value(), b.int_value());
+    case ValueType::kReal:
+      return Cmp3(a.real_value(), b.real_value());
+    case ValueType::kString:
+      return a.string_value().compare(b.string_value());
+    case ValueType::kOid:
+      return Cmp3(a.oid_value().raw, b.oid_value().raw);
+    case ValueType::kTimestamp:
+      return Cmp3(a.time_value().micros, b.time_value().micros);
+    case ValueType::kList: {
+      const List& la = a.list_value();
+      const List& lb = b.list_value();
+      size_t n = la.size() < lb.size() ? la.size() : lb.size();
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(la[i], lb[i]);
+        if (c != 0) return c;
+      }
+      return Cmp3(la.size(), lb.size());
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(int_value());
+    case ValueType::kReal: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", real_value());
+      return buf;
+    }
+    case ValueType::kString: {
+      std::string out = "\"";
+      for (char c : string_value()) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    case ValueType::kOid:
+      return "#" + std::to_string(oid_value().raw);
+    case ValueType::kTimestamp:
+      return "@" + std::to_string(time_value().micros);
+    case ValueType::kList: {
+      std::string out = "[";
+      const List& items = list_value();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace labflow

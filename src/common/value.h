@@ -1,0 +1,151 @@
+#ifndef LABFLOW_COMMON_VALUE_H_
+#define LABFLOW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace labflow {
+
+/// A database object identifier, as seen by LabBase users (materials, steps,
+/// material sets). The value 0 is reserved for "null object".
+struct Oid {
+  uint64_t raw = 0;
+
+  constexpr Oid() = default;
+  explicit constexpr Oid(uint64_t r) : raw(r) {}
+
+  constexpr bool IsNull() const { return raw == 0; }
+
+  friend constexpr bool operator==(Oid a, Oid b) { return a.raw == b.raw; }
+  friend constexpr bool operator!=(Oid a, Oid b) { return a.raw != b.raw; }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.raw < b.raw; }
+};
+
+/// Valid-time timestamp: microseconds since an arbitrary epoch. LabFlow-1
+/// orders event history by *valid time*, not transaction time: steps may be
+/// entered into the database out of order (paper Section 7, citing [56]).
+struct Timestamp {
+  int64_t micros = 0;
+
+  constexpr Timestamp() = default;
+  explicit constexpr Timestamp(int64_t us) : micros(us) {}
+
+  friend constexpr bool operator==(Timestamp a, Timestamp b) {
+    return a.micros == b.micros;
+  }
+  friend constexpr bool operator!=(Timestamp a, Timestamp b) {
+    return a.micros != b.micros;
+  }
+  friend constexpr bool operator<(Timestamp a, Timestamp b) {
+    return a.micros < b.micros;
+  }
+  friend constexpr bool operator<=(Timestamp a, Timestamp b) {
+    return a.micros <= b.micros;
+  }
+  friend constexpr bool operator>(Timestamp a, Timestamp b) {
+    return a.micros > b.micros;
+  }
+  friend constexpr bool operator>=(Timestamp a, Timestamp b) {
+    return a.micros >= b.micros;
+  }
+};
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kReal = 3,
+  kString = 4,
+  kOid = 5,
+  kTimestamp = 6,
+  kList = 7,
+};
+
+/// Returns a stable name for a value type ("int", "string", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed value: the unit of data attached to step results and
+/// material attributes.
+///
+/// LabBase attaches (attribute, value) "tags" to step instances; attribute
+/// values range over scalars and *lists* (the paper's "set and list
+/// generation" requirement, e.g. lists of BLAST homology hits). Values are
+/// cheap to copy for scalars; strings and lists share immutable payloads via
+/// shared_ptr so copies are O(1).
+class Value {
+ public:
+  using List = std::vector<Value>;
+
+  /// Constructs a null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Repr(b)); }
+  static Value Int(int64_t i) { return Value(Repr(i)); }
+  static Value Real(double d) { return Value(Repr(d)); }
+  static Value String(std::string s) {
+    return Value(Repr(std::make_shared<const std::string>(std::move(s))));
+  }
+  static Value Object(Oid oid) { return Value(Repr(oid)); }
+  static Value Time(Timestamp ts) { return Value(Repr(ts)); }
+  static Value MakeList(List items) {
+    return Value(Repr(std::make_shared<const List>(std::move(items))));
+  }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) noexcept = default;
+  Value& operator=(Value&&) noexcept = default;
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; preconditions checked with assert in debug builds.
+  /// Callers must check type() first (or use the As* helpers below).
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double real_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const {
+    return *std::get<std::shared_ptr<const std::string>>(repr_);
+  }
+  Oid oid_value() const { return std::get<Oid>(repr_); }
+  Timestamp time_value() const { return std::get<Timestamp>(repr_); }
+  const List& list_value() const {
+    return *std::get<std::shared_ptr<const List>>(repr_);
+  }
+
+  /// Numeric coercion: int or real as double; returns false otherwise.
+  bool AsReal(double* out) const;
+
+  /// Deep structural equality (lists compared element-wise). Int and real
+  /// are distinct even when numerically equal: Value::Int(1) != Value::Real(1.0).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used by setof/sorting: first by type tag, then by value.
+  /// Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Renders the value in the deductive-language literal syntax:
+  /// null, true, 42, 3.5, "text", #17, @12345, [a, b].
+  std::string ToString() const;
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double,
+                            std::shared_ptr<const std::string>, Oid, Timestamp,
+                            std::shared_ptr<const List>>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_VALUE_H_

@@ -1,0 +1,130 @@
+#include "labbase/dump.h"
+
+namespace labflow::labbase {
+
+Status DumpSummary(LabBase* db, std::ostream& os) {
+  const Schema& schema = db->schema();
+  os << "=== LabBase database summary ===\n";
+
+  os << "material classes:\n";
+  for (ClassId c = 0; c < schema.class_count(); ++c) {
+    if (!schema.IsMaterialClass(c)) continue;
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.ClassName(c));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> members, db->MaterialsOfClass(c));
+    os << "  " << name << ": " << members.size() << " instance(s)\n";
+  }
+
+  os << "step classes:\n";
+  for (ClassId c = 0; c < schema.class_count(); ++c) {
+    if (!schema.IsStepClass(c)) continue;
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.ClassName(c));
+    LABFLOW_ASSIGN_OR_RETURN(uint32_t versions, schema.VersionCount(c));
+    LABFLOW_ASSIGN_OR_RETURN(uint32_t latest, schema.LatestVersion(c));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<AttrId> attrs,
+                             schema.VersionAttrs(c, latest));
+    os << "  " << name << " (v" << latest << ", " << versions
+       << " version(s)): ";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) os << ", ";
+      LABFLOW_ASSIGN_OR_RETURN(std::string attr, schema.AttributeName(attrs[i]));
+      os << attr;
+    }
+    os << "\n";
+  }
+
+  os << "states (non-empty):\n";
+  for (StateId s = 0; s < schema.state_count(); ++s) {
+    LABFLOW_ASSIGN_OR_RETURN(int64_t n, db->CountInState(s));
+    if (n == 0) continue;
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.StateName(s));
+    os << "  " << name << ": " << n << "\n";
+  }
+
+  const LabBaseStats& ls = db->stats();
+  os << "activity: " << ls.materials_created << " materials created, "
+     << ls.steps_recorded << " steps recorded\n";
+  storage::StorageStats ss = db->storage()->stats();
+  os << "storage (" << db->storage()->name()
+     << "): " << ss.db_size_bytes << " bytes, " << ss.live_objects
+     << " objects, " << ss.disk_reads << " reads, " << ss.disk_writes
+     << " writes\n";
+  return Status::OK();
+}
+
+Status DumpMaterialAudit(LabBase* db, Oid material, std::ostream& os) {
+  const Schema& schema = db->schema();
+  LABFLOW_ASSIGN_OR_RETURN(MaterialInfo info, db->GetMaterial(material));
+  LABFLOW_ASSIGN_OR_RETURN(std::string class_name,
+                           schema.ClassName(info.class_id));
+  LABFLOW_ASSIGN_OR_RETURN(std::string state_name,
+                           schema.StateName(info.state));
+  os << "=== audit: " << info.name << " (#" << material.raw << ", "
+     << class_name << ") ===\n"
+     << "created @" << info.created.micros << ", state: " << state_name
+     << "\n";
+
+  os << "current attribute values (most recent by valid time):\n";
+  for (AttrId attr : info.attrs_present) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                             schema.AttributeName(attr));
+    auto value = db->MostRecent(material, attr);
+    if (!value.ok()) continue;
+    std::string rendered = value->ToString();
+    if (rendered.size() > 60) rendered = rendered.substr(0, 57) + "...";
+    os << "  " << attr_name << " = " << rendered << "\n";
+  }
+
+  os << "event history:\n";
+  // Collect every step that involved this material, via per-attribute
+  // histories (covers tags) plus a direct pass for tagless involvement.
+  std::vector<std::pair<Timestamp, Oid>> steps;
+  for (AttrId attr : info.attrs_present) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<HistoryEntry> hist,
+                             db->History(material, attr));
+    for (const HistoryEntry& e : hist) {
+      steps.emplace_back(e.time, e.step);
+    }
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  steps.erase(std::unique(steps.begin(), steps.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.second == b.second;
+                          }),
+              steps.end());
+  for (const auto& [time, step_oid] : steps) {
+    LABFLOW_ASSIGN_OR_RETURN(StepInfo step, db->GetStep(step_oid));
+    LABFLOW_ASSIGN_OR_RETURN(std::string step_name,
+                             schema.ClassName(step.class_id));
+    os << "  @" << step.time.micros << "  " << step_name << " (v"
+       << step.version << ")";
+    const StepMaterialEntry* entry =
+        [&]() -> const StepMaterialEntry* {
+      for (const StepMaterialEntry& e : step.materials) {
+        if (e.material.raw == material.raw) return &e;
+      }
+      return nullptr;
+    }();
+    if (entry != nullptr) {
+      for (const StepTag& tag : entry->tags) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                                 schema.AttributeName(tag.attr));
+        std::string rendered = tag.value.ToString();
+        if (rendered.size() > 40) rendered = rendered.substr(0, 37) + "...";
+        os << "  " << attr_name << "=" << rendered;
+      }
+      if (entry->new_state != kInvalidState) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string to_state,
+                                 schema.StateName(entry->new_state));
+        os << "  -> " << to_state;
+      }
+    }
+    os << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace labflow::labbase

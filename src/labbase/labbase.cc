@@ -1,0 +1,514 @@
+#include "labbase/labbase.h"
+
+#include <algorithm>
+
+namespace labflow::labbase {
+
+using storage::AllocHint;
+using storage::ObjectId;
+
+namespace {
+
+ObjectId ToStorage(Oid oid) { return ObjectId(oid.raw); }
+Oid ToUser(ObjectId id) { return Oid(id.raw); }
+
+}  // namespace
+
+// ---- Lifecycle --------------------------------------------------------------
+
+Result<std::unique_ptr<LabBase>> LabBase::Open(storage::StorageManager* mgr,
+                                               const LabBaseOptions& options) {
+  if (mgr == nullptr) return Status::InvalidArgument("null storage manager");
+  std::unique_ptr<LabBase> db(new LabBase(mgr, options));
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId root, mgr->GetRoot());
+  if (root.IsValid()) {
+    LABFLOW_RETURN_IF_ERROR(db->LoadExisting(root));
+  } else {
+    LABFLOW_RETURN_IF_ERROR(db->Bootstrap());
+  }
+  return db;
+}
+
+Status LabBase::Bootstrap() {
+  if (options_.separate_segments) {
+    LABFLOW_ASSIGN_OR_RETURN(hot_segment_, mgr_->CreateSegment("labbase_hot"));
+    LABFLOW_ASSIGN_OR_RETURN(cold_segment_,
+                             mgr_->CreateSegment("labbase_cold"));
+  }
+  root_.hot_segment = hot_segment_;
+  root_.cold_segment = cold_segment_;
+  root_.schema_blob = schema_.Encode();
+  AllocHint hint;
+  hint.segment = hot_segment_;
+  if (options_.persistent_name_index) {
+    LABFLOW_ASSIGN_OR_RETURN(name_dir_,
+                             storage::HashDir::Create(mgr_, hint));
+    root_.name_dir = name_dir_->root_id();
+  }
+  LABFLOW_ASSIGN_OR_RETURN(root_id_, mgr_->Allocate(root_.Encode(), hint));
+  LABFLOW_RETURN_IF_ERROR(mgr_->SetRoot(root_id_));
+  // Make the root pointer durable immediately: everything else is
+  // recoverable, the root pointer is not.
+  return mgr_->Checkpoint();
+}
+
+Status LabBase::LoadExisting(ObjectId root) {
+  root_id_ = root;
+  LABFLOW_ASSIGN_OR_RETURN(std::string blob, mgr_->Read(root));
+  LABFLOW_ASSIGN_OR_RETURN(root_, RootRecord::Decode(blob));
+  LABFLOW_ASSIGN_OR_RETURN(schema_, Schema::Decode(root_.schema_blob));
+  hot_segment_ = root_.hot_segment;
+  cold_segment_ = root_.cold_segment;
+  for (const auto& [name, id] : root_.sets) {
+    sets_by_name_[name] = ToUser(id);
+  }
+  if (root_.name_dir.IsValid()) {
+    LABFLOW_ASSIGN_OR_RETURN(name_dir_,
+                             storage::HashDir::Attach(mgr_, root_.name_dir));
+    options_.persistent_name_index = true;
+  }
+  return RebuildIndexes();
+}
+
+Status LabBase::PersistRoot() {
+  root_.schema_blob = schema_.Encode();
+  return mgr_->Update(root_id_, root_.Encode());
+}
+
+Status LabBase::RebuildIndexes() {
+  materials_by_name_.clear();
+  by_state_.clear();
+  by_class_.clear();
+  return mgr_->ScanAll([&](ObjectId id, std::string_view data) -> Status {
+    // The store may hold records that are not LabBase's (e.g. the name
+    // directory's buckets); skip anything we do not recognize.
+    auto kind_or = PeekRecordKind(data);
+    if (!kind_or.ok()) return Status::OK();
+    RecordKind kind = kind_or.value();
+    if (kind != RecordKind::kMaterial) return Status::OK();
+    LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, MaterialRecord::Decode(data));
+    // With a persistent name directory the in-memory name map is unused
+    // (lookups go to the directory); skip building it.
+    if (name_dir_ == nullptr) {
+      materials_by_name_[rec.name] = ToUser(id);
+    }
+    by_state_[rec.state].insert({rec.name, ToUser(id)});
+    by_class_[rec.class_id].insert(ToUser(id));
+    return Status::OK();
+  });
+}
+
+Status LabBase::Abort() {
+  LABFLOW_RETURN_IF_ERROR(mgr_->Abort());
+  // The in-memory indexes (and possibly the cached catalog) reflect
+  // rolled-back changes; reload from storage.
+  LABFLOW_ASSIGN_OR_RETURN(std::string blob, mgr_->Read(root_id_));
+  LABFLOW_ASSIGN_OR_RETURN(root_, RootRecord::Decode(blob));
+  LABFLOW_ASSIGN_OR_RETURN(schema_, Schema::Decode(root_.schema_blob));
+  sets_by_name_.clear();
+  for (const auto& [name, id] : root_.sets) {
+    sets_by_name_[name] = ToUser(id);
+  }
+  return RebuildIndexes();
+}
+
+// ---- Schema -------------------------------------------------------------------
+
+Result<ClassId> LabBase::DefineMaterialClass(std::string_view name) {
+  LABFLOW_ASSIGN_OR_RETURN(ClassId id, schema_.DefineMaterialClass(name));
+  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+  return id;
+}
+
+Result<ClassId> LabBase::DefineStepClass(
+    std::string_view name, const std::vector<std::string>& attr_names) {
+  LABFLOW_ASSIGN_OR_RETURN(ClassId id,
+                           schema_.DefineStepClass(name, attr_names));
+  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+  return id;
+}
+
+Result<StateId> LabBase::DefineState(std::string_view name) {
+  StateId id = schema_.InternState(name);
+  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+  return id;
+}
+
+// ---- Materials & steps ----------------------------------------------------
+
+Result<Oid> LabBase::CreateMaterial(ClassId material_class,
+                                    std::string_view name,
+                                    StateId initial_state, Timestamp created) {
+  if (!schema_.IsMaterialClass(material_class)) {
+    return Status::InvalidArgument("not a material class");
+  }
+  if (name_dir_ != nullptr) {
+    if (name_dir_->Lookup(name).ok()) {
+      return Status::AlreadyExists("material name taken: " +
+                                   std::string(name));
+    }
+  } else if (materials_by_name_.count(name)) {
+    return Status::AlreadyExists("material name taken: " + std::string(name));
+  }
+  MaterialRecord rec;
+  rec.class_id = material_class;
+  rec.name = std::string(name);
+  rec.state = initial_state;
+  rec.state_time = created;
+  rec.created = created;
+  AllocHint hint;
+  hint.segment = hot_segment_;
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId id, mgr_->Allocate(rec.Encode(), hint));
+  Oid oid = ToUser(id);
+  if (name_dir_ != nullptr) {
+    LABFLOW_RETURN_IF_ERROR(name_dir_->Insert(rec.name, id));
+  }
+  materials_by_name_[rec.name] = oid;
+  by_state_[initial_state].insert({rec.name, oid});
+  by_class_[material_class].insert(oid);
+  ++stats_.materials_created;
+  return oid;
+}
+
+Result<MaterialRecord> LabBase::ReadMaterial(Oid material) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(material)));
+  LABFLOW_ASSIGN_OR_RETURN(RecordKind kind, PeekRecordKind(data));
+  if (kind != RecordKind::kMaterial) {
+    return Status::InvalidArgument("oid is not a material");
+  }
+  return MaterialRecord::Decode(data);
+}
+
+Status LabBase::WriteMaterial(Oid material, const MaterialRecord& rec) {
+  return mgr_->Update(ToStorage(material), rec.Encode());
+}
+
+void LabBase::IndexStateChange(Oid material, const std::string& name,
+                               StateId from, StateId to) {
+  if (from == to) return;
+  by_state_[from].erase({name, material});
+  by_state_[to].insert({name, material});
+}
+
+Result<Oid> LabBase::RecordStep(ClassId step_class, Timestamp time,
+                                const std::vector<StepEffect>& effects) {
+  if (!schema_.IsStepClass(step_class)) {
+    return Status::InvalidArgument("not a step class");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t version, schema_.LatestVersion(step_class));
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<AttrId> version_attrs,
+                           schema_.VersionAttrs(step_class, version));
+
+  // Build the sm_step instance, validating tags against the version's
+  // attribute set (this is what binds the instance to the version).
+  StepRecord step;
+  step.class_id = step_class;
+  step.version = version;
+  step.time = time;
+  step.materials.reserve(effects.size());
+  for (const StepEffect& effect : effects) {
+    for (const StepTag& tag : effect.tags) {
+      if (!std::binary_search(version_attrs.begin(), version_attrs.end(),
+                              tag.attr)) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                                 schema_.AttributeName(tag.attr));
+        return Status::InvalidArgument(
+            "attribute '" + attr_name +
+            "' is not in the current version of the step class");
+      }
+    }
+    StepMaterialEntry entry;
+    entry.material = ToStorage(effect.material);
+    entry.tags = effect.tags;
+    entry.new_state = effect.new_state;
+    step.materials.push_back(std::move(entry));
+  }
+
+  AllocHint hint;
+  hint.segment = cold_segment_;
+  if (options_.cluster_steps_near_material && !effects.empty()) {
+    hint.cluster_near = ToStorage(effects[0].material);
+  }
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId step_id,
+                           mgr_->Allocate(step.Encode(), hint));
+
+  // Apply the step to each material: involves list, attribute index,
+  // state — honouring valid-time ordering throughout.
+  for (const StepEffect& effect : effects) {
+    LABFLOW_ASSIGN_OR_RETURN(MaterialRecord mat, ReadMaterial(effect.material));
+    mat.involves.push_back(step_id);
+    if (options_.use_most_recent_index) {
+      for (const StepTag& tag : effect.tags) {
+        AttrIndexEntry* entry = mat.FindOrAddAttr(tag.attr);
+        HistoryRef ref{step_id, time};
+        auto pos = std::upper_bound(
+            entry->history.begin(), entry->history.end(), ref,
+            [](const HistoryRef& a, const HistoryRef& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.step < b.step;
+            });
+        entry->history.insert(pos, ref);
+        if (entry->history.empty() || time >= entry->most_recent_time) {
+          entry->most_recent = tag.value;
+          entry->most_recent_time = time;
+        }
+      }
+    }
+    StateId old_state = mat.state;
+    if (effect.new_state != kInvalidState && time >= mat.state_time) {
+      mat.state = effect.new_state;
+      mat.state_time = time;
+    }
+    LABFLOW_RETURN_IF_ERROR(WriteMaterial(effect.material, mat));
+    IndexStateChange(effect.material, mat.name, old_state, mat.state);
+  }
+
+  ++stats_.steps_recorded;
+  return ToUser(step_id);
+}
+
+// ---- Queries -------------------------------------------------------------
+
+Result<Value> LabBase::MostRecent(Oid material, AttrId attr) {
+  ++stats_.most_recent_queries;
+  if (!options_.use_most_recent_index) {
+    return MostRecentByScan(material, attr);
+  }
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  const AttrIndexEntry* entry = rec.FindAttr(attr);
+  if (entry == nullptr || entry->history.empty()) {
+    return Status::NotFound("no value recorded for attribute");
+  }
+  return entry->most_recent;
+}
+
+Result<Value> LabBase::MostRecent(Oid material, std::string_view attr_name) {
+  LABFLOW_ASSIGN_OR_RETURN(AttrId attr, schema_.AttributeByName(attr_name));
+  return MostRecent(material, attr);
+}
+
+Result<Value> LabBase::MostRecentByScan(Oid material, AttrId attr) {
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  bool found = false;
+  Timestamp best_time(INT64_MIN);
+  Value best;
+  for (ObjectId step_id : rec.involves) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(step_id));
+    LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
+    const StepMaterialEntry* entry = step.FindMaterial(ToStorage(material));
+    if (entry == nullptr) continue;
+    for (const StepTag& tag : entry->tags) {
+      if (tag.attr == attr && step.time >= best_time) {
+        best_time = step.time;
+        best = tag.value;
+        found = true;
+      }
+    }
+  }
+  if (!found) return Status::NotFound("no value recorded for attribute");
+  return best;
+}
+
+Result<std::vector<HistoryEntry>> LabBase::History(Oid material, AttrId attr) {
+  ++stats_.history_queries;
+  if (!options_.use_most_recent_index) {
+    return HistoryByScan(material, attr);
+  }
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  const AttrIndexEntry* entry = rec.FindAttr(attr);
+  std::vector<HistoryEntry> out;
+  if (entry == nullptr) return out;
+  out.reserve(entry->history.size());
+  for (const HistoryRef& ref : entry->history) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ref.step));
+    LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
+    const StepMaterialEntry* sm = step.FindMaterial(ToStorage(material));
+    if (sm == nullptr) continue;
+    for (const StepTag& tag : sm->tags) {
+      if (tag.attr == attr) {
+        out.push_back(HistoryEntry{ref.time, tag.value, ToUser(ref.step)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<HistoryEntry>> LabBase::HistoryByScan(Oid material,
+                                                         AttrId attr) {
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  std::vector<HistoryEntry> out;
+  for (ObjectId step_id : rec.involves) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(step_id));
+    LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
+    const StepMaterialEntry* entry = step.FindMaterial(ToStorage(material));
+    if (entry == nullptr) continue;
+    for (const StepTag& tag : entry->tags) {
+      if (tag.attr == attr) {
+        out.push_back(HistoryEntry{step.time, tag.value, ToUser(step_id)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistoryEntry& a, const HistoryEntry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.step < b.step;
+            });
+  return out;
+}
+
+Result<Value> LabBase::ValueAsOf(Oid material, AttrId attr, Timestamp at) {
+  ++stats_.history_queries;
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<HistoryEntry> hist,
+                           History(material, attr));
+  const HistoryEntry* best = nullptr;
+  for (const HistoryEntry& e : hist) {
+    if (e.time <= at) best = &e;  // history is ascending; keep the latest
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no value recorded at or before that time");
+  }
+  return best->value;
+}
+
+Result<std::vector<HistoryEntry>> LabBase::HistoryBetween(Oid material,
+                                                          AttrId attr,
+                                                          Timestamp from,
+                                                          Timestamp to) {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<HistoryEntry> hist,
+                           History(material, attr));
+  std::vector<HistoryEntry> out;
+  for (HistoryEntry& e : hist) {
+    if (e.time >= from && e.time <= to) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<MaterialInfo> LabBase::GetMaterial(Oid material) {
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  MaterialInfo info;
+  info.id = material;
+  info.class_id = rec.class_id;
+  info.name = rec.name;
+  info.state = rec.state;
+  info.created = rec.created;
+  info.attrs_present.reserve(rec.attrs.size());
+  for (const AttrIndexEntry& entry : rec.attrs) {
+    if (!entry.history.empty()) info.attrs_present.push_back(entry.attr);
+  }
+  return info;
+}
+
+Result<StepInfo> LabBase::GetStep(Oid step) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(step)));
+  LABFLOW_ASSIGN_OR_RETURN(RecordKind kind, PeekRecordKind(data));
+  if (kind != RecordKind::kStep) {
+    return Status::InvalidArgument("oid is not a step");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(StepRecord rec, StepRecord::Decode(data));
+  StepInfo info;
+  info.id = step;
+  info.class_id = rec.class_id;
+  info.version = rec.version;
+  info.time = rec.time;
+  info.materials = std::move(rec.materials);
+  return info;
+}
+
+Result<Oid> LabBase::FindMaterialByName(std::string_view name) {
+  if (name_dir_ != nullptr) {
+    LABFLOW_ASSIGN_OR_RETURN(ObjectId id, name_dir_->Lookup(name));
+    return ToUser(id);
+  }
+  auto it = materials_by_name_.find(name);
+  if (it == materials_by_name_.end()) {
+    return Status::NotFound("no material named " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<StateId> LabBase::CurrentState(Oid material) {
+  ++stats_.state_queries;
+  LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
+  return rec.state;
+}
+
+Result<std::vector<Oid>> LabBase::MaterialsInState(StateId state) {
+  ++stats_.state_queries;
+  auto it = by_state_.find(state);
+  if (it == by_state_.end()) return std::vector<Oid>{};
+  std::vector<Oid> out;
+  out.reserve(it->second.size());
+  for (const auto& [name, oid] : it->second) out.push_back(oid);
+  return out;
+}
+
+Result<int64_t> LabBase::CountInState(StateId state) {
+  ++stats_.state_queries;
+  auto it = by_state_.find(state);
+  return it == by_state_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+Result<std::vector<Oid>> LabBase::MaterialsOfClass(ClassId material_class) {
+  auto it = by_class_.find(material_class);
+  if (it == by_class_.end()) return std::vector<Oid>{};
+  return std::vector<Oid>(it->second.begin(), it->second.end());
+}
+
+// ---- Sets ------------------------------------------------------------------
+
+Result<Oid> LabBase::CreateSet(std::string_view name) {
+  ++stats_.set_operations;
+  if (sets_by_name_.count(name)) {
+    return Status::AlreadyExists("set exists: " + std::string(name));
+  }
+  SetRecord rec;
+  rec.name = std::string(name);
+  AllocHint hint;
+  hint.segment = hot_segment_;
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId id, mgr_->Allocate(rec.Encode(), hint));
+  sets_by_name_[rec.name] = ToUser(id);
+  root_.sets.emplace_back(rec.name, id);
+  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+  return ToUser(id);
+}
+
+Status LabBase::AddToSet(Oid set, Oid material) {
+  ++stats_.set_operations;
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
+  rec.members.push_back(ToStorage(material));
+  return mgr_->Update(ToStorage(set), rec.Encode());
+}
+
+Status LabBase::RemoveFromSet(Oid set, Oid material) {
+  ++stats_.set_operations;
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
+  auto it = std::find(rec.members.begin(), rec.members.end(),
+                      ToStorage(material));
+  if (it == rec.members.end()) {
+    return Status::NotFound("material not in set");
+  }
+  rec.members.erase(it);
+  return mgr_->Update(ToStorage(set), rec.Encode());
+}
+
+Result<std::vector<Oid>> LabBase::SetMembers(Oid set) {
+  ++stats_.set_operations;
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
+  std::vector<Oid> out;
+  out.reserve(rec.members.size());
+  for (ObjectId m : rec.members) out.push_back(ToUser(m));
+  return out;
+}
+
+Result<Oid> LabBase::FindSetByName(std::string_view name) {
+  auto it = sets_by_name_.find(name);
+  if (it == sets_by_name_.end()) {
+    return Status::NotFound("no set named " + std::string(name));
+  }
+  return it->second;
+}
+
+}  // namespace labflow::labbase

@@ -1,0 +1,236 @@
+#ifndef LABFLOW_LABBASE_LABBASE_H_
+#define LABFLOW_LABBASE_LABBASE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "labbase/records.h"
+#include "labbase/schema.h"
+#include "storage/hash_dir.h"
+#include "storage/storage_manager.h"
+
+namespace labflow::labbase {
+
+/// LabBase behaviour switches; the defaults reproduce the configuration the
+/// paper measured, the alternatives are the ablations in DESIGN.md.
+struct LabBaseOptions {
+  /// D1: maintain the most-recent-value cache + per-attribute history lists
+  /// in sm_material. When off, MostRecent/History fall back to scanning the
+  /// material's full `involves` list.
+  bool use_most_recent_index = true;
+  /// D2: create separate hot (materials/sets/catalog) and cold (steps)
+  /// clustering segments. Only honoured by segment-capable managers
+  /// (OStore); harmless elsewhere. When off, everything shares segment 0
+  /// (the "OStore-1seg" configuration of bench_fig_locality).
+  bool separate_segments = true;
+  /// Pass cluster-near hints placing each step next to its primary
+  /// material. Only honoured by Texas+TC.
+  bool cluster_steps_near_material = true;
+  /// Keep the material-name index as a *persistent* hash directory
+  /// (storage::HashDir) instead of an in-memory map rebuilt by scan — the
+  /// style of access structure the production LabBase kept in persistent
+  /// C++. Slower per lookup (it reads storage) but O(1) at open.
+  bool persistent_name_index = false;
+};
+
+/// One event in a material's attribute history, ordered by valid time.
+struct HistoryEntry {
+  Timestamp time;
+  Value value;
+  Oid step;
+};
+
+/// Snapshot of a material's identity and workflow position.
+struct MaterialInfo {
+  Oid id;
+  ClassId class_id = kInvalidClass;
+  std::string name;
+  StateId state = kInvalidState;
+  Timestamp created;
+  std::vector<AttrId> attrs_present;
+};
+
+/// Snapshot of a step instance (audit-trail entry).
+struct StepInfo {
+  Oid id;
+  ClassId class_id = kInvalidClass;
+  uint32_t version = 0;
+  Timestamp time;
+  std::vector<StepMaterialEntry> materials;
+};
+
+/// The per-material effect passed to RecordStep.
+struct StepEffect {
+  Oid material;
+  std::vector<StepTag> tags;
+  /// Target workflow state, or kInvalidState to leave the state alone.
+  StateId new_state = kInvalidState;
+};
+
+/// Wrapper-level activity counters.
+struct LabBaseStats {
+  uint64_t materials_created = 0;
+  uint64_t steps_recorded = 0;
+  uint64_t most_recent_queries = 0;
+  uint64_t history_queries = 0;
+  uint64_t state_queries = 0;
+  uint64_t set_operations = 0;
+};
+
+/// LabBase: the workflow-data manager of the paper's Architecture (C) — a
+/// specialized DBMS providing event histories, most-recent-value queries,
+/// workflow states, material sets and dynamic schema evolution on top of an
+/// object storage manager with a *fixed* three-class storage schema.
+///
+/// The same LabBase code runs unchanged on every storage manager; which
+/// manager it runs on is exactly the variable the LabFlow-1 benchmark
+/// measures.
+///
+/// Thread compatibility: a LabBase instance serves one thread (matching the
+/// paper's single data-server process); the storage managers underneath are
+/// independently thread-safe.
+class LabBase {
+ public:
+  /// Attaches to `mgr` (not owned). On an empty store this bootstraps the
+  /// catalog (root record, segments) and checkpoints once so the root
+  /// pointer is durable; on an existing store it loads the schema and
+  /// rebuilds the in-memory indexes by scanning.
+  static Result<std::unique_ptr<LabBase>> Open(storage::StorageManager* mgr,
+                                               const LabBaseOptions& options);
+
+  LabBase(const LabBase&) = delete;
+  LabBase& operator=(const LabBase&) = delete;
+
+  // ---- Schema (all changes persist immediately via the root record) ------
+
+  Result<ClassId> DefineMaterialClass(std::string_view name);
+  /// Defines a step class, or evolves it to a new version when the
+  /// attribute set differs (paper Section 5.1).
+  Result<ClassId> DefineStepClass(std::string_view name,
+                                  const std::vector<std::string>& attr_names);
+  Result<StateId> DefineState(std::string_view name);
+  const Schema& schema() const { return schema_; }
+
+  // ---- Workflow tracking (paper Section 8.3) -------------------------------
+
+  /// Creates a material in `initial_state`. Names must be unique.
+  Result<Oid> CreateMaterial(ClassId material_class, std::string_view name,
+                             StateId initial_state, Timestamp created);
+
+  /// Records one executed workflow step: appends an sm_step instance to the
+  /// event history and updates every affected material (involves list,
+  /// most-recent cache, history lists, state). The step is bound to the
+  /// *latest* version of its class; every tag attribute must belong to that
+  /// version's attribute set.
+  ///
+  /// Valid-time semantics: `time` may predate already-recorded steps
+  /// (out-of-order entry); most-recent values and state transitions are
+  /// applied only if `time` is not older than what the material already
+  /// reflects.
+  Result<Oid> RecordStep(ClassId step_class, Timestamp time,
+                         const std::vector<StepEffect>& effects);
+
+  // ---- Queries (paper Sections 8.1, 8.2) -----------------------------------
+
+  /// Most-recent value of `attr` on `material` (by valid time); NotFound if
+  /// no step ever produced it.
+  Result<Value> MostRecent(Oid material, AttrId attr);
+  Result<Value> MostRecent(Oid material, std::string_view attr_name);
+
+  /// Full history of `attr` on `material`, ascending by valid time.
+  Result<std::vector<HistoryEntry>> History(Oid material, AttrId attr);
+
+  /// Temporal as-of query: the value `attr` had on `material` at valid time
+  /// `at` (i.e. the most recent tag with time <= at). NotFound if nothing
+  /// was recorded by then. This is the "what did we believe on Tuesday"
+  /// query the valid-time event history exists to answer.
+  Result<Value> ValueAsOf(Oid material, AttrId attr, Timestamp at);
+
+  /// History entries with valid time in [from, to], ascending.
+  Result<std::vector<HistoryEntry>> HistoryBetween(Oid material, AttrId attr,
+                                                   Timestamp from,
+                                                   Timestamp to);
+
+  Result<MaterialInfo> GetMaterial(Oid material);
+  Result<StepInfo> GetStep(Oid step);
+  Result<Oid> FindMaterialByName(std::string_view name);
+
+  Result<StateId> CurrentState(Oid material);
+  /// Work-queue query: all materials currently in `state`, ordered by
+  /// material name (a manager-independent, deterministic order).
+  Result<std::vector<Oid>> MaterialsInState(StateId state);
+  Result<int64_t> CountInState(StateId state);
+  Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class);
+
+  // ---- Material sets --------------------------------------------------------
+
+  Result<Oid> CreateSet(std::string_view name);
+  Status AddToSet(Oid set, Oid material);
+  Status RemoveFromSet(Oid set, Oid material);
+  Result<std::vector<Oid>> SetMembers(Oid set);
+  Result<Oid> FindSetByName(std::string_view name);
+
+  // ---- Transactions & lifecycle -------------------------------------------
+
+  Status Begin() { return mgr_->Begin(); }
+  Status Commit() { return mgr_->Commit(); }
+  /// Aborts the storage transaction and rebuilds the in-memory indexes
+  /// (which may have observed rolled-back changes).
+  Status Abort();
+  Status Checkpoint() { return mgr_->Checkpoint(); }
+
+  const LabBaseStats& stats() const { return stats_; }
+  storage::StorageManager* storage() { return mgr_; }
+
+  /// Rebuilds the derived in-memory indexes (name map, state/class sets)
+  /// from the persistent records.
+  Status RebuildIndexes();
+
+ private:
+  explicit LabBase(storage::StorageManager* mgr, LabBaseOptions options)
+      : mgr_(mgr), options_(options) {}
+
+  Status Bootstrap();
+  Status LoadExisting(storage::ObjectId root);
+  Status PersistRoot();
+
+  Result<MaterialRecord> ReadMaterial(Oid material);
+  Status WriteMaterial(Oid material, const MaterialRecord& rec);
+
+  /// Index maintenance on state transition.
+  void IndexStateChange(Oid material, const std::string& name, StateId from,
+                        StateId to);
+
+  /// Slow-path most-recent: scan the involves list (D1 ablation).
+  Result<Value> MostRecentByScan(Oid material, AttrId attr);
+  Result<std::vector<HistoryEntry>> HistoryByScan(Oid material, AttrId attr);
+
+  storage::StorageManager* mgr_;
+  LabBaseOptions options_;
+  Schema schema_;
+  storage::ObjectId root_id_;
+  uint16_t hot_segment_ = 0;
+  uint16_t cold_segment_ = 0;
+
+  RootRecord root_;
+  std::unique_ptr<storage::HashDir> name_dir_;
+  std::map<std::string, Oid, std::less<>> materials_by_name_;
+  // Ordered by material name so work-queue scans are deterministic across
+  // storage managers (object ids are manager-specific).
+  std::map<StateId, std::set<std::pair<std::string, Oid>>> by_state_;
+  std::map<ClassId, std::set<Oid>> by_class_;
+  std::map<std::string, Oid, std::less<>> sets_by_name_;
+
+  LabBaseStats stats_;
+};
+
+}  // namespace labflow::labbase
+
+#endif  // LABFLOW_LABBASE_LABBASE_H_

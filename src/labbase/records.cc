@@ -1,0 +1,249 @@
+#include "labbase/records.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace labflow::labbase {
+
+Result<RecordKind> PeekRecordKind(std::string_view data) {
+  if (data.empty()) return Status::Corruption("empty record");
+  uint8_t kind = static_cast<uint8_t>(data[0]);
+  switch (kind) {
+    case 1:
+      return RecordKind::kMaterial;
+    case 2:
+      return RecordKind::kStep;
+    case 3:
+      return RecordKind::kMaterialSet;
+    case 5:
+      return RecordKind::kRoot;
+    default:
+      return Status::Corruption("unknown record kind " + std::to_string(kind));
+  }
+}
+
+// ---- MaterialRecord ---------------------------------------------------------
+
+std::string MaterialRecord::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordKind::kMaterial));
+  enc.PutU32(class_id);
+  enc.PutString(name);
+  enc.PutU32(state);
+  enc.PutI64(state_time.micros);
+  enc.PutI64(created.micros);
+  enc.PutU32(static_cast<uint32_t>(attrs.size()));
+  for (const AttrIndexEntry& entry : attrs) {
+    enc.PutU32(entry.attr);
+    enc.PutValue(entry.most_recent);
+    enc.PutI64(entry.most_recent_time.micros);
+    enc.PutU32(static_cast<uint32_t>(entry.history.size()));
+    for (const HistoryRef& ref : entry.history) {
+      enc.PutU64(ref.step.raw);
+      enc.PutI64(ref.time.micros);
+    }
+  }
+  enc.PutU32(static_cast<uint32_t>(involves.size()));
+  for (storage::ObjectId step : involves) enc.PutU64(step.raw);
+  return enc.Release();
+}
+
+Result<MaterialRecord> MaterialRecord::Decode(std::string_view data) {
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != static_cast<uint8_t>(RecordKind::kMaterial)) {
+    return Status::Corruption("not a material record");
+  }
+  MaterialRecord rec;
+  LABFLOW_ASSIGN_OR_RETURN(rec.class_id, dec.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(rec.name, dec.GetString());
+  LABFLOW_ASSIGN_OR_RETURN(rec.state, dec.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(int64_t state_us, dec.GetI64());
+  rec.state_time = Timestamp(state_us);
+  LABFLOW_ASSIGN_OR_RETURN(int64_t created_us, dec.GetI64());
+  rec.created = Timestamp(created_us);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_attrs, dec.GetU32());
+  rec.attrs.reserve(n_attrs);
+  for (uint32_t i = 0; i < n_attrs; ++i) {
+    AttrIndexEntry entry;
+    LABFLOW_ASSIGN_OR_RETURN(entry.attr, dec.GetU32());
+    LABFLOW_ASSIGN_OR_RETURN(entry.most_recent, dec.GetValue());
+    LABFLOW_ASSIGN_OR_RETURN(int64_t mrt, dec.GetI64());
+    entry.most_recent_time = Timestamp(mrt);
+    LABFLOW_ASSIGN_OR_RETURN(uint32_t n_hist, dec.GetU32());
+    entry.history.reserve(n_hist);
+    for (uint32_t h = 0; h < n_hist; ++h) {
+      HistoryRef ref;
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+      ref.step = storage::ObjectId(raw);
+      LABFLOW_ASSIGN_OR_RETURN(int64_t t, dec.GetI64());
+      ref.time = Timestamp(t);
+      entry.history.push_back(ref);
+    }
+    rec.attrs.push_back(std::move(entry));
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_involves, dec.GetU32());
+  rec.involves.reserve(n_involves);
+  for (uint32_t i = 0; i < n_involves; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    rec.involves.push_back(storage::ObjectId(raw));
+  }
+  return rec;
+}
+
+const AttrIndexEntry* MaterialRecord::FindAttr(AttrId attr) const {
+  auto it = std::lower_bound(
+      attrs.begin(), attrs.end(), attr,
+      [](const AttrIndexEntry& e, AttrId a) { return e.attr < a; });
+  if (it == attrs.end() || it->attr != attr) return nullptr;
+  return &*it;
+}
+
+AttrIndexEntry* MaterialRecord::FindAttr(AttrId attr) {
+  return const_cast<AttrIndexEntry*>(
+      static_cast<const MaterialRecord*>(this)->FindAttr(attr));
+}
+
+AttrIndexEntry* MaterialRecord::FindOrAddAttr(AttrId attr) {
+  auto it = std::lower_bound(
+      attrs.begin(), attrs.end(), attr,
+      [](const AttrIndexEntry& e, AttrId a) { return e.attr < a; });
+  if (it != attrs.end() && it->attr == attr) return &*it;
+  AttrIndexEntry entry;
+  entry.attr = attr;
+  entry.most_recent_time = Timestamp(INT64_MIN);
+  it = attrs.insert(it, std::move(entry));
+  return &*it;
+}
+
+// ---- StepRecord -------------------------------------------------------------
+
+std::string StepRecord::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordKind::kStep));
+  enc.PutU32(class_id);
+  enc.PutU32(version);
+  enc.PutI64(time.micros);
+  enc.PutU32(static_cast<uint32_t>(materials.size()));
+  for (const StepMaterialEntry& entry : materials) {
+    enc.PutU64(entry.material.raw);
+    enc.PutU32(entry.new_state);
+    enc.PutU32(static_cast<uint32_t>(entry.tags.size()));
+    for (const StepTag& tag : entry.tags) {
+      enc.PutU32(tag.attr);
+      enc.PutValue(tag.value);
+    }
+  }
+  return enc.Release();
+}
+
+Result<StepRecord> StepRecord::Decode(std::string_view data) {
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != static_cast<uint8_t>(RecordKind::kStep)) {
+    return Status::Corruption("not a step record");
+  }
+  StepRecord rec;
+  LABFLOW_ASSIGN_OR_RETURN(rec.class_id, dec.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(rec.version, dec.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(int64_t us, dec.GetI64());
+  rec.time = Timestamp(us);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_materials, dec.GetU32());
+  rec.materials.reserve(n_materials);
+  for (uint32_t i = 0; i < n_materials; ++i) {
+    StepMaterialEntry entry;
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    entry.material = storage::ObjectId(raw);
+    LABFLOW_ASSIGN_OR_RETURN(entry.new_state, dec.GetU32());
+    LABFLOW_ASSIGN_OR_RETURN(uint32_t n_tags, dec.GetU32());
+    entry.tags.reserve(n_tags);
+    for (uint32_t t = 0; t < n_tags; ++t) {
+      StepTag tag;
+      LABFLOW_ASSIGN_OR_RETURN(tag.attr, dec.GetU32());
+      LABFLOW_ASSIGN_OR_RETURN(tag.value, dec.GetValue());
+      entry.tags.push_back(std::move(tag));
+    }
+    rec.materials.push_back(std::move(entry));
+  }
+  return rec;
+}
+
+const StepMaterialEntry* StepRecord::FindMaterial(
+    storage::ObjectId material) const {
+  for (const StepMaterialEntry& entry : materials) {
+    if (entry.material == material) return &entry;
+  }
+  return nullptr;
+}
+
+// ---- SetRecord --------------------------------------------------------------
+
+std::string SetRecord::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordKind::kMaterialSet));
+  enc.PutString(name);
+  enc.PutU32(static_cast<uint32_t>(members.size()));
+  for (storage::ObjectId m : members) enc.PutU64(m.raw);
+  return enc.Release();
+}
+
+Result<SetRecord> SetRecord::Decode(std::string_view data) {
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != static_cast<uint8_t>(RecordKind::kMaterialSet)) {
+    return Status::Corruption("not a set record");
+  }
+  SetRecord rec;
+  LABFLOW_ASSIGN_OR_RETURN(rec.name, dec.GetString());
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  rec.members.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    rec.members.push_back(storage::ObjectId(raw));
+  }
+  return rec;
+}
+
+// ---- RootRecord -------------------------------------------------------------
+
+std::string RootRecord::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(RecordKind::kRoot));
+  enc.PutString(schema_blob);
+  enc.PutU32(static_cast<uint32_t>(sets.size()));
+  for (const auto& [name, id] : sets) {
+    enc.PutString(name);
+    enc.PutU64(id.raw);
+  }
+  enc.PutU32(hot_segment);
+  enc.PutU32(cold_segment);
+  enc.PutU64(name_dir.raw);
+  return enc.Release();
+}
+
+Result<RootRecord> RootRecord::Decode(std::string_view data) {
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != static_cast<uint8_t>(RecordKind::kRoot)) {
+    return Status::Corruption("not a root record");
+  }
+  RootRecord rec;
+  LABFLOW_ASSIGN_OR_RETURN(rec.schema_blob, dec.GetString());
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  rec.sets.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    rec.sets.emplace_back(std::move(name), storage::ObjectId(raw));
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t hot, dec.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t cold, dec.GetU32());
+  rec.hot_segment = static_cast<uint16_t>(hot);
+  rec.cold_segment = static_cast<uint16_t>(cold);
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t name_dir_raw, dec.GetU64());
+  rec.name_dir = storage::ObjectId(name_dir_raw);
+  return rec;
+}
+
+}  // namespace labflow::labbase

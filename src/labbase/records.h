@@ -1,0 +1,132 @@
+#ifndef LABFLOW_LABBASE_RECORDS_H_
+#define LABFLOW_LABBASE_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "labbase/schema.h"
+#include "storage/object_id.h"
+
+namespace labflow::labbase {
+
+/// The *fixed* storage schema (paper Table 1): every user-schema object is
+/// stored as an instance of exactly one of three storage classes, plus one
+/// catalog (root) record. This is what makes user-level schema evolution
+/// free at the storage level (design decision D5 in DESIGN.md).
+enum class RecordKind : uint8_t {
+  kMaterial = 1,      // sm_material
+  kStep = 2,          // sm_step
+  kMaterialSet = 3,   // material_set
+  kRoot = 5,          // LabBase catalog
+};
+
+/// Returns the kind byte of an encoded record.
+Result<RecordKind> PeekRecordKind(std::string_view data);
+
+/// Reference from a material's per-attribute history list to the step
+/// instance that produced a tag, ordered by *valid time*.
+struct HistoryRef {
+  storage::ObjectId step;
+  Timestamp time;
+
+  friend bool operator==(const HistoryRef& a, const HistoryRef& b) {
+    return a.step == b.step && a.time == b.time;
+  }
+};
+
+/// Per-attribute access structure embedded in sm_material: the cached
+/// most-recent value (by valid time) plus the history list. This is
+/// LabBase's "structure for rapid access into history lists"; design
+/// decision D1, ablated by bench_fig_history.
+struct AttrIndexEntry {
+  AttrId attr = kInvalidAttr;
+  Value most_recent;
+  Timestamp most_recent_time;
+  std::vector<HistoryRef> history;  // ascending by (time, step)
+};
+
+/// sm_material: one record per material instance. Note that a material has
+/// *no* per-class fields — all attributes are derived from the steps that
+/// processed it (paper Section 4).
+struct MaterialRecord {
+  ClassId class_id = kInvalidClass;
+  std::string name;
+  StateId state = kInvalidState;
+  Timestamp state_time;  // valid time of the last applied state change
+  Timestamp created;
+  std::vector<AttrIndexEntry> attrs;           // sorted by attr id
+  std::vector<storage::ObjectId> involves;     // steps, in insertion order
+
+  std::string Encode() const;
+  static Result<MaterialRecord> Decode(std::string_view data);
+
+  /// Returns the entry for `attr`, or nullptr.
+  const AttrIndexEntry* FindAttr(AttrId attr) const;
+  AttrIndexEntry* FindAttr(AttrId attr);
+  /// Returns the entry for `attr`, inserting an empty one if absent.
+  AttrIndexEntry* FindOrAddAttr(AttrId attr);
+};
+
+/// One (attribute, value) result tag in a step instance.
+struct StepTag {
+  AttrId attr = kInvalidAttr;
+  Value value;
+};
+
+/// A step's effect on one of the materials it processed.
+struct StepMaterialEntry {
+  storage::ObjectId material;
+  std::vector<StepTag> tags;
+  /// State the material transitions to, or kInvalidState for none.
+  StateId new_state = kInvalidState;
+};
+
+/// sm_step: one record per executed workflow step — the unit of the event
+/// history / audit trail. Bound forever to (class_id, version).
+struct StepRecord {
+  ClassId class_id = kInvalidClass;
+  uint32_t version = 0;
+  Timestamp time;  // valid time
+  std::vector<StepMaterialEntry> materials;
+
+  std::string Encode() const;
+  static Result<StepRecord> Decode(std::string_view data);
+
+  /// Returns the entry for `material`, or nullptr.
+  const StepMaterialEntry* FindMaterial(storage::ObjectId material) const;
+};
+
+/// material_set: a named, persistent collection of material references
+/// (gel batches, assembly inputs, query results...).
+struct SetRecord {
+  std::string name;
+  std::vector<storage::ObjectId> members;
+
+  std::string Encode() const;
+  static Result<SetRecord> Decode(std::string_view data);
+};
+
+/// The LabBase catalog, stored at the storage manager's root pointer:
+/// serialized user schema, the set directory, and the clustering segments
+/// LabBase created at bootstrap.
+struct RootRecord {
+  std::string schema_blob;
+  std::vector<std::pair<std::string, storage::ObjectId>> sets;
+  uint16_t hot_segment = 0;
+  uint16_t cold_segment = 0;
+  /// Root of the persistent material-name directory (storage::HashDir), or
+  /// invalid when LabBase runs with the in-memory name index only.
+  storage::ObjectId name_dir;
+
+  std::string Encode() const;
+  static Result<RootRecord> Decode(std::string_view data);
+};
+
+}  // namespace labflow::labbase
+
+#endif  // LABFLOW_LABBASE_RECORDS_H_

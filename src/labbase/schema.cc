@@ -1,0 +1,239 @@
+#include "labbase/schema.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace labflow::labbase {
+
+Result<ClassId> Schema::DefineMaterialClass(std::string_view name) {
+  if (class_by_name_.count(name)) {
+    return Status::AlreadyExists("class exists: " + std::string(name));
+  }
+  ClassId id = static_cast<ClassId>(classes_.size());
+  classes_.push_back(ClassInfo{std::string(name), /*is_step=*/false, {}});
+  class_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<ClassId> Schema::MaterialClassByName(std::string_view name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end() || classes_[it->second].is_step) {
+    return Status::NotFound("no material class: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Schema::IsMaterialClass(ClassId id) const {
+  return id < classes_.size() && !classes_[id].is_step;
+}
+
+Result<ClassId> Schema::DefineStepClass(
+    std::string_view name, const std::vector<std::string>& attr_names) {
+  std::vector<AttrId> attrs;
+  attrs.reserve(attr_names.size());
+  for (const std::string& attr : attr_names) {
+    attrs.push_back(InternAttribute(attr));
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+
+  auto it = class_by_name_.find(name);
+  if (it != class_by_name_.end()) {
+    ClassInfo& info = classes_[it->second];
+    if (!info.is_step) {
+      return Status::InvalidArgument("not a step class: " + std::string(name));
+    }
+    // Versions are identified by their attribute set: an identical set is
+    // the same version, a different one evolves the class.
+    for (const StepClassVersion& v : info.versions) {
+      if (v.result_attrs == attrs) return it->second;
+    }
+    StepClassVersion v;
+    v.version = static_cast<uint32_t>(info.versions.size());
+    v.result_attrs = std::move(attrs);
+    info.versions.push_back(std::move(v));
+    return it->second;
+  }
+
+  ClassId id = static_cast<ClassId>(classes_.size());
+  ClassInfo info;
+  info.name = std::string(name);
+  info.is_step = true;
+  info.versions.push_back(StepClassVersion{0, std::move(attrs)});
+  classes_.push_back(std::move(info));
+  class_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<ClassId> Schema::StepClassByName(std::string_view name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end() || !classes_[it->second].is_step) {
+    return Status::NotFound("no step class: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Schema::IsStepClass(ClassId id) const {
+  return id < classes_.size() && classes_[id].is_step;
+}
+
+Result<uint32_t> Schema::LatestVersion(ClassId step_class) const {
+  if (!IsStepClass(step_class)) {
+    return Status::InvalidArgument("not a step class");
+  }
+  return static_cast<uint32_t>(classes_[step_class].versions.size() - 1);
+}
+
+Result<std::vector<AttrId>> Schema::VersionAttrs(ClassId step_class,
+                                                 uint32_t version) const {
+  if (!IsStepClass(step_class)) {
+    return Status::InvalidArgument("not a step class");
+  }
+  const ClassInfo& info = classes_[step_class];
+  if (version >= info.versions.size()) {
+    return Status::NotFound("no such version");
+  }
+  return info.versions[version].result_attrs;
+}
+
+Result<uint32_t> Schema::VersionCount(ClassId step_class) const {
+  if (!IsStepClass(step_class)) {
+    return Status::InvalidArgument("not a step class");
+  }
+  return static_cast<uint32_t>(classes_[step_class].versions.size());
+}
+
+AttrId Schema::InternAttribute(std::string_view name) {
+  auto it = attr_by_name_.find(name);
+  if (it != attr_by_name_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(attrs_.size());
+  attrs_.emplace_back(name);
+  attr_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<AttrId> Schema::AttributeByName(std::string_view name) const {
+  auto it = attr_by_name_.find(name);
+  if (it == attr_by_name_.end()) {
+    return Status::NotFound("no attribute: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<std::string> Schema::AttributeName(AttrId id) const {
+  if (id >= attrs_.size()) return Status::NotFound("no such attribute");
+  return attrs_[id];
+}
+
+StateId Schema::InternState(std::string_view name) {
+  auto it = state_by_name_.find(name);
+  if (it != state_by_name_.end()) return it->second;
+  StateId id = static_cast<StateId>(states_.size());
+  states_.emplace_back(name);
+  state_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<StateId> Schema::StateByName(std::string_view name) const {
+  auto it = state_by_name_.find(name);
+  if (it == state_by_name_.end()) {
+    return Status::NotFound("no state: " + std::string(name));
+  }
+  return it->second;
+}
+
+Result<std::string> Schema::StateName(StateId id) const {
+  if (id >= states_.size()) return Status::NotFound("no such state");
+  return states_[id];
+}
+
+Result<std::string> Schema::ClassName(ClassId id) const {
+  if (id >= classes_.size()) return Status::NotFound("no such class");
+  return classes_[id].name;
+}
+
+Result<ClassId> Schema::ClassByName(std::string_view name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end()) {
+    return Status::NotFound("no class: " + std::string(name));
+  }
+  return it->second;
+}
+
+std::string Schema::Encode() const {
+  Encoder enc;
+  enc.PutU32(static_cast<uint32_t>(classes_.size()));
+  for (const ClassInfo& info : classes_) {
+    enc.PutString(info.name);
+    enc.PutBool(info.is_step);
+    enc.PutU32(static_cast<uint32_t>(info.versions.size()));
+    for (const StepClassVersion& v : info.versions) {
+      enc.PutU32(v.version);
+      enc.PutU32(static_cast<uint32_t>(v.result_attrs.size()));
+      for (AttrId a : v.result_attrs) enc.PutU32(a);
+    }
+  }
+  enc.PutU32(static_cast<uint32_t>(attrs_.size()));
+  for (const std::string& a : attrs_) enc.PutString(a);
+  enc.PutU32(static_cast<uint32_t>(states_.size()));
+  for (const std::string& s : states_) enc.PutString(s);
+  return enc.Release();
+}
+
+Result<Schema> Schema::Decode(std::string_view data) {
+  Schema schema;
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_classes, dec.GetU32());
+  for (uint32_t i = 0; i < n_classes; ++i) {
+    ClassInfo info;
+    LABFLOW_ASSIGN_OR_RETURN(info.name, dec.GetString());
+    LABFLOW_ASSIGN_OR_RETURN(info.is_step, dec.GetBool());
+    LABFLOW_ASSIGN_OR_RETURN(uint32_t n_versions, dec.GetU32());
+    for (uint32_t v = 0; v < n_versions; ++v) {
+      StepClassVersion ver;
+      LABFLOW_ASSIGN_OR_RETURN(ver.version, dec.GetU32());
+      LABFLOW_ASSIGN_OR_RETURN(uint32_t n_attrs, dec.GetU32());
+      for (uint32_t a = 0; a < n_attrs; ++a) {
+        LABFLOW_ASSIGN_OR_RETURN(AttrId attr, dec.GetU32());
+        ver.result_attrs.push_back(attr);
+      }
+      info.versions.push_back(std::move(ver));
+    }
+    schema.class_by_name_.emplace(info.name, i);
+    schema.classes_.push_back(std::move(info));
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_attrs, dec.GetU32());
+  for (uint32_t i = 0; i < n_attrs; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    schema.attr_by_name_.emplace(name, i);
+    schema.attrs_.push_back(std::move(name));
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_states, dec.GetU32());
+  for (uint32_t i = 0; i < n_states; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    schema.state_by_name_.emplace(name, i);
+    schema.states_.push_back(std::move(name));
+  }
+  return schema;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attrs_ != b.attrs_ || a.states_ != b.states_) return false;
+  if (a.classes_.size() != b.classes_.size()) return false;
+  for (size_t i = 0; i < a.classes_.size(); ++i) {
+    const auto& ca = a.classes_[i];
+    const auto& cb = b.classes_[i];
+    if (ca.name != cb.name || ca.is_step != cb.is_step) return false;
+    if (ca.versions.size() != cb.versions.size()) return false;
+    for (size_t v = 0; v < ca.versions.size(); ++v) {
+      if (ca.versions[v].version != cb.versions[v].version ||
+          ca.versions[v].result_attrs != cb.versions[v].result_attrs) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace labflow::labbase

@@ -1,0 +1,124 @@
+#ifndef LABFLOW_LABBASE_SCHEMA_H_
+#define LABFLOW_LABBASE_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace labflow::labbase {
+
+/// Identifier of a material or step class in the *user* schema.
+using ClassId = uint32_t;
+/// Identifier of a result attribute (global across step classes, as in
+/// LabBase, where an attribute like `sequence` keeps its identity when
+/// several step classes produce it).
+using AttrId = uint32_t;
+/// Identifier of a workflow state.
+using StateId = uint32_t;
+
+inline constexpr ClassId kInvalidClass = 0xFFFFFFFF;
+inline constexpr AttrId kInvalidAttr = 0xFFFFFFFF;
+inline constexpr StateId kInvalidState = 0xFFFFFFFF;
+
+/// One version of a step class. LabBase supports schema evolution without
+/// data migration: redefining a step class with a different attribute set
+/// creates a new version, and every step instance is bound forever to the
+/// version that created it (paper Section 5.1, following Skarra & Zdonik
+/// [52]). Versions are identified by their attribute set.
+struct StepClassVersion {
+  uint32_t version = 0;
+  std::vector<AttrId> result_attrs;
+};
+
+/// The *user* schema: material classes, versioned step classes, attributes,
+/// and workflow states. The storage schema underneath is fixed (sm_material
+/// / sm_step / material_set — paper Table 1), which is exactly what makes
+/// this schema freely evolvable at run time.
+///
+/// The Schema is an in-memory catalog, serialized into LabBase's root
+/// object; it is not thread-safe (LabBase serializes access).
+class Schema {
+ public:
+  Schema() = default;
+
+  // -- Material classes ------------------------------------------------
+
+  /// Defines a material class; AlreadyExists if the name is taken by a
+  /// class of either kind.
+  Result<ClassId> DefineMaterialClass(std::string_view name);
+  Result<ClassId> MaterialClassByName(std::string_view name) const;
+  bool IsMaterialClass(ClassId id) const;
+
+  // -- Step classes and evolution ---------------------------------------
+
+  /// Defines a step class with the given result attributes (attributes are
+  /// created on first use). Redefining an existing step class with a new
+  /// attribute set adds a *version*; with an identical set, it is a no-op
+  /// returning the existing version. Returns the class id.
+  Result<ClassId> DefineStepClass(std::string_view name,
+                                  const std::vector<std::string>& attr_names);
+  Result<ClassId> StepClassByName(std::string_view name) const;
+  bool IsStepClass(ClassId id) const;
+
+  /// Latest version number of a step class (versions start at 0).
+  Result<uint32_t> LatestVersion(ClassId step_class) const;
+  /// Attribute set of one version.
+  Result<std::vector<AttrId>> VersionAttrs(ClassId step_class,
+                                           uint32_t version) const;
+  /// Number of versions a step class has accumulated.
+  Result<uint32_t> VersionCount(ClassId step_class) const;
+
+  // -- Attributes --------------------------------------------------------
+
+  /// Returns the attribute id, creating it on first use.
+  AttrId InternAttribute(std::string_view name);
+  Result<AttrId> AttributeByName(std::string_view name) const;
+  Result<std::string> AttributeName(AttrId id) const;
+
+  // -- States --------------------------------------------------------------
+
+  /// Defines (or returns) the state with this name.
+  StateId InternState(std::string_view name);
+  Result<StateId> StateByName(std::string_view name) const;
+  Result<std::string> StateName(StateId id) const;
+  uint32_t state_count() const { return static_cast<uint32_t>(states_.size()); }
+
+  // -- Generic -------------------------------------------------------------
+
+  Result<std::string> ClassName(ClassId id) const;
+  Result<ClassId> ClassByName(std::string_view name) const;
+  uint32_t class_count() const { return static_cast<uint32_t>(classes_.size()); }
+  uint32_t attribute_count() const {
+    return static_cast<uint32_t>(attrs_.size());
+  }
+
+  /// Serialization into the root object.
+  std::string Encode() const;
+  static Result<Schema> Decode(std::string_view data);
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  struct ClassInfo {
+    std::string name;
+    bool is_step = false;
+    std::vector<StepClassVersion> versions;  // steps only
+  };
+
+  std::vector<ClassInfo> classes_;             // index = ClassId
+  std::vector<std::string> attrs_;             // index = AttrId
+  std::vector<std::string> states_;            // index = StateId
+  std::map<std::string, ClassId, std::less<>> class_by_name_;
+  std::map<std::string, AttrId, std::less<>> attr_by_name_;
+  std::map<std::string, StateId, std::less<>> state_by_name_;
+};
+
+}  // namespace labflow::labbase
+
+#endif  // LABFLOW_LABBASE_SCHEMA_H_

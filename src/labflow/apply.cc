@@ -1,0 +1,61 @@
+#include "labflow/apply.h"
+
+namespace labflow::bench {
+
+using labbase::AttrId;
+using labbase::ClassId;
+using labbase::LabBase;
+using labbase::StateId;
+using labbase::StepEffect;
+using labbase::StepTag;
+
+Status ApplyUpdate(LabBase* db, const Event& ev) {
+  const labbase::Schema& schema = db->schema();
+  switch (ev.type) {
+    case Event::Type::kCreateMaterial: {
+      LABFLOW_ASSIGN_OR_RETURN(ClassId cls,
+                               schema.MaterialClassByName(ev.material_class));
+      LABFLOW_ASSIGN_OR_RETURN(StateId state, schema.StateByName(ev.state));
+      return db->CreateMaterial(cls, ev.name, state, ev.time).status();
+    }
+    case Event::Type::kRecordStep: {
+      LABFLOW_ASSIGN_OR_RETURN(ClassId cls,
+                               schema.StepClassByName(ev.step_class));
+      std::vector<StepEffect> effects;
+      effects.reserve(ev.effects.size());
+      for (const EffectSpec& spec : ev.effects) {
+        StepEffect effect;
+        LABFLOW_ASSIGN_OR_RETURN(effect.material,
+                                 db->FindMaterialByName(spec.material));
+        for (const TagSpec& tag : spec.tags) {
+          LABFLOW_ASSIGN_OR_RETURN(AttrId attr,
+                                   schema.AttributeByName(tag.attr));
+          effect.tags.push_back(StepTag{attr, tag.value});
+        }
+        if (!spec.new_state.empty()) {
+          LABFLOW_ASSIGN_OR_RETURN(effect.new_state,
+                                   schema.StateByName(spec.new_state));
+        }
+        effects.push_back(std::move(effect));
+      }
+      return db->RecordStep(cls, ev.time, effects).status();
+    }
+    case Event::Type::kCreateSet:
+      return db->CreateSet(ev.name).status();
+    case Event::Type::kAddSetMembers: {
+      LABFLOW_ASSIGN_OR_RETURN(Oid set, db->FindSetByName(ev.name));
+      for (const std::string& member : ev.members) {
+        LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(member));
+        LABFLOW_RETURN_IF_ERROR(db->AddToSet(set, m));
+      }
+      return Status::OK();
+    }
+    case Event::Type::kEvolveStepClass:
+      return db->DefineStepClass(ev.step_class, ev.attrs).status();
+    default:
+      return Status::InvalidArgument(
+          "ApplyUpdate: not an update event (queries belong to the driver)");
+  }
+}
+
+}  // namespace labflow::bench

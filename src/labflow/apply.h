@@ -1,0 +1,18 @@
+#ifndef LABFLOW_LABFLOW_APPLY_H_
+#define LABFLOW_LABFLOW_APPLY_H_
+
+#include "common/status.h"
+#include "labbase/labbase.h"
+#include "labflow/events.h"
+
+namespace labflow::bench {
+
+/// Applies one *update* event of the LabFlow-1 stream to LabBase (name
+/// lookups resolved through the wrapper). Query events are rejected with
+/// InvalidArgument — executing those (and folding their results) is the
+/// driver's job. Shared by the driver, the benches and the examples.
+Status ApplyUpdate(labbase::LabBase* db, const Event& event);
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_APPLY_H_

@@ -1,0 +1,190 @@
+#include "labflow/driver.h"
+
+#include "common/clock.h"
+#include "labflow/apply.h"
+
+namespace labflow::bench {
+
+using labbase::AttrId;
+using labbase::ClassId;
+using labbase::LabBase;
+using labbase::StateId;
+using labbase::StepEffect;
+using labbase::StepTag;
+
+namespace {
+
+void Fold(uint64_t* h, uint64_t x) {
+  *h = (*h ^ x) * 1099511628211ULL;
+}
+
+void FoldString(uint64_t* h, std::string_view s) {
+  uint64_t x = 14695981039346656037ULL;
+  for (char c : s) {
+    x = (x ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  Fold(h, x);
+}
+
+/// Executes one event against LabBase, folding query results into the
+/// checksum. Updates delegate to ApplyUpdate (shared with the other
+/// harnesses); queries are executed and folded here.
+Status Execute(LabBase* db, const Event& ev, uint64_t* checksum) {
+  if (ev.IsUpdate()) return ApplyUpdate(db, ev);
+  const labbase::Schema& schema = db->schema();
+  switch (ev.type) {
+    case Event::Type::kQueryMostRecent: {
+      LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(ev.name));
+      auto v = db->MostRecent(m, ev.attr);
+      if (v.ok()) {
+        FoldString(checksum, v->ToString());
+      } else if (v.status().IsNotFound()) {
+        Fold(checksum, 0);
+      } else {
+        return v.status();
+      }
+      return Status::OK();
+    }
+    case Event::Type::kQueryHistory: {
+      LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(ev.name));
+      LABFLOW_ASSIGN_OR_RETURN(AttrId attr, schema.AttributeByName(ev.attr));
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
+                               db->History(m, attr));
+      Fold(checksum, hist.size());
+      for (const labbase::HistoryEntry& e : hist) {
+        Fold(checksum, static_cast<uint64_t>(e.time.micros));
+      }
+      return Status::OK();
+    }
+    case Event::Type::kQueryWorkQueue: {
+      auto state = schema.StateByName(ev.state);
+      if (!state.ok()) {
+        Fold(checksum, 0);
+        return Status::OK();
+      }
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> queue,
+                               db->MaterialsInState(state.value()));
+      Fold(checksum, queue.size());
+      // A work queue is consulted to *do* the work: inspect the head.
+      size_t inspect = queue.size() < 20 ? queue.size() : 20;
+      for (size_t i = 0; i < inspect; ++i) {
+        LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info,
+                                 db->GetMaterial(queue[i]));
+        FoldString(checksum, info.name);
+      }
+      return Status::OK();
+    }
+    case Event::Type::kQueryCountState: {
+      auto state = schema.StateByName(ev.state);
+      if (!state.ok()) {
+        Fold(checksum, 0);
+        return Status::OK();
+      }
+      LABFLOW_ASSIGN_OR_RETURN(int64_t n, db->CountInState(state.value()));
+      Fold(checksum, static_cast<uint64_t>(n));
+      return Status::OK();
+    }
+    case Event::Type::kQuerySetMembers: {
+      auto set = db->FindSetByName(ev.name);
+      if (!set.ok()) {
+        Fold(checksum, 0);
+        return Status::OK();
+      }
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> members,
+                               db->SetMembers(set.value()));
+      Fold(checksum, members.size());
+      return Status::OK();
+    }
+    case Event::Type::kQueryMaterialByName: {
+      LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(ev.name));
+      LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info, db->GetMaterial(m));
+      Fold(checksum, info.attrs_present.size());
+      FoldString(checksum, info.name);
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument("unknown event type");
+  }
+}
+
+}  // namespace
+
+Result<RunReport> Driver::Run(const WorkloadParams& params,
+                              const Options& options) {
+  ServerOptions server_opts;
+  server_opts.path = options.db_path;
+  server_opts.pool_pages = options.pool_pages;
+  server_opts.truncate = true;
+  server_opts.fault_delay_us = options.fault_delay_us;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
+                           CreateServer(options.version, server_opts));
+
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
+                           LabBase::Open(mgr.get(), options.labbase));
+
+  WorkloadGenerator generator(params);
+
+  RunReport report;
+  report.version = std::string(ServerVersionName(options.version));
+  report.intvl = params.intvl;
+
+  Stopwatch total;
+  ResourceUsage usage_before = ResourceUsage::Now();
+
+  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db.get()));
+
+  Event ev;
+  Stopwatch phase;
+  while (generator.Next(&ev)) {
+    if (!options.run_queries && !ev.IsUpdate()) continue;
+    phase.Restart();
+    if (options.per_event_transactions) {
+      LABFLOW_RETURN_IF_ERROR(db->Begin());
+    }
+    Status st = Execute(db.get(), ev, &report.result_checksum);
+    if (!st.ok()) {
+      if (options.per_event_transactions) (void)db->Abort();
+      return st;
+    }
+    if (options.per_event_transactions) {
+      LABFLOW_RETURN_IF_ERROR(db->Commit());
+    }
+    double dt = phase.ElapsedSeconds();
+    if (ev.IsUpdate()) {
+      report.update_elapsed_sec += dt;
+      report.update_latency.RecordSeconds(dt);
+    } else {
+      report.query_elapsed_sec += dt;
+      report.query_latency.RecordSeconds(dt);
+    }
+  }
+
+  if (options.checkpoint_at_end) {
+    LABFLOW_RETURN_IF_ERROR(db->Checkpoint());
+  }
+
+  report.elapsed_sec = total.ElapsedSeconds();
+  ResourceUsage delta = ResourceUsage::Now().Since(usage_before);
+  report.user_cpu_sec = delta.user_cpu_sec;
+  report.sys_cpu_sec = delta.sys_cpu_sec;
+  report.os_majflt = delta.os_major_faults;
+
+  report.storage = mgr->stats();
+  report.majflt = report.storage.disk_reads;
+  report.db_size_bytes = report.storage.db_size_bytes;
+  report.wal_bytes = report.storage.wal_bytes;
+  report.wrapper = db->stats();
+
+  const WorkloadGenerator::Totals& totals = generator.totals();
+  report.events = totals.events;
+  report.updates = totals.updates;
+  report.queries = totals.queries;
+  report.steps = totals.steps;
+  report.materials = totals.materials;
+
+  db.reset();
+  LABFLOW_RETURN_IF_ERROR(mgr->Close());
+  return report;
+}
+
+}  // namespace labflow::bench

@@ -1,0 +1,84 @@
+#ifndef LABFLOW_LABFLOW_DRIVER_H_
+#define LABFLOW_LABFLOW_DRIVER_H_
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "labbase/labbase.h"
+#include "labflow/events.h"
+#include "labflow/generator.h"
+#include "labflow/params.h"
+#include "labflow/server_version.h"
+
+namespace labflow::bench {
+
+/// Everything one LabFlow-1 run reports — the paper's resource rows plus
+/// our extended counters.
+struct RunReport {
+  std::string version;
+  double intvl = 0;
+
+  // The paper's Section 10 resource rows.
+  double elapsed_sec = 0;
+  double user_cpu_sec = 0;
+  double sys_cpu_sec = 0;
+  /// Simulated major faults: demand page reads from the database file.
+  uint64_t majflt = 0;
+  /// OS-reported majflt for reference (usually ~0 on a warm machine).
+  int64_t os_majflt = 0;
+  uint64_t db_size_bytes = 0;
+  uint64_t wal_bytes = 0;
+
+  // Stream composition.
+  int64_t events = 0;
+  int64_t updates = 0;
+  int64_t queries = 0;
+  int64_t steps = 0;
+  int64_t materials = 0;
+
+  // Phase split.
+  double update_elapsed_sec = 0;
+  double query_elapsed_sec = 0;
+
+  // Per-event latency distributions (one transaction per event).
+  LatencyHistogram update_latency;
+  LatencyHistogram query_latency;
+
+  /// Folded over every query result; identical across server versions for
+  /// the same (seed, intvl) — a cross-version correctness check.
+  uint64_t result_checksum = 0;
+
+  storage::StorageStats storage;
+  labbase::LabBaseStats wrapper;
+};
+
+/// Executes the LabFlow-1 stream against one server version.
+class Driver {
+ public:
+  struct Options {
+    ServerVersion version = ServerVersion::kOstore;
+    /// Database file path (directory must exist).
+    std::string db_path;
+    size_t pool_pages = 2048;
+    /// Simulated per-fault disk latency forwarded to the storage manager.
+    int64_t fault_delay_us = 0;
+    labbase::LabBaseOptions labbase;
+    /// Wrap every event in Begin/Commit (the paper's transaction stream).
+    bool per_event_transactions = true;
+    /// Run Checkpoint() at the end of the stream (timed: persistent
+    /// versions must make the database durable).
+    bool checkpoint_at_end = true;
+    /// When false, query events are skipped (pure loading phase, F1).
+    bool run_queries = true;
+  };
+
+  /// Runs the full benchmark: fresh database, schema install, event stream,
+  /// final checkpoint; returns the measurements.
+  static Result<RunReport> Run(const WorkloadParams& params,
+                               const Options& options);
+};
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_DRIVER_H_

@@ -1,0 +1,66 @@
+#ifndef LABFLOW_LABFLOW_EVENTS_H_
+#define LABFLOW_LABFLOW_EVENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace labflow::bench {
+
+/// One result tag in an event, by attribute *name* (the stream is
+/// independent of any particular database's ids).
+struct TagSpec {
+  std::string attr;
+  Value value;
+};
+
+/// A step's effect on one material, by material *name*.
+struct EffectSpec {
+  std::string material;
+  std::vector<TagSpec> tags;
+  /// Destination state name; empty = no state change.
+  std::string new_state;
+};
+
+/// One element of the LabFlow-1 event stream. The stream interleaves
+/// workflow-tracking updates (create/step/set/evolution) with the query mix
+/// (paper Section 8); the driver executes each event as one transaction.
+struct Event {
+  enum class Type {
+    // updates
+    kCreateMaterial,   // material_class, name, state, time
+    kRecordStep,       // step_class, time, effects
+    kCreateSet,        // name
+    kAddSetMembers,    // name, members
+    kEvolveStepClass,  // step_class, attrs (the new full attribute set)
+    // queries
+    kQueryMostRecent,     // name (material), attr
+    kQueryHistory,        // name (material), attr
+    kQueryWorkQueue,      // state (inspects the first items in the queue)
+    kQueryCountState,     // state
+    kQuerySetMembers,     // name (set)
+    kQueryMaterialByName, // name (material)
+  };
+
+  Type type = Type::kRecordStep;
+  std::string name;
+  std::string material_class;
+  std::string state;
+  std::string step_class;
+  std::string attr;
+  Timestamp time;
+  std::vector<EffectSpec> effects;
+  std::vector<std::string> members;
+  std::vector<std::string> attrs;
+
+  bool IsUpdate() const {
+    return type == Type::kCreateMaterial || type == Type::kRecordStep ||
+           type == Type::kCreateSet || type == Type::kAddSetMembers ||
+           type == Type::kEvolveStepClass;
+  }
+};
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_EVENTS_H_

@@ -1,0 +1,536 @@
+#include "labflow/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "workflow/values.h"
+
+namespace labflow::bench {
+
+namespace {
+
+std::string PadNum(int n, int width) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%0*d", width, n);
+  return buf;
+}
+
+constexpr int64_t kMeanActionGapUs = 300'000'000;  // ~5 lab minutes
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params)
+    : params_(params),
+      graph_(workflow::GenomeMappingWorkflow()),
+      route_(Rng(params.seed).Fork(1)),
+      values_(Rng(params.seed).Fork(2)),
+      query_rng_(Rng(params.seed).Fork(3)),
+      time_rng_(Rng(params.seed).Fork(4)),
+      clock_(Timestamp(1'000'000)) {
+  arrivals_left_ = params_.clones();
+  for (const workflow::Transition& t : graph_.transitions) {
+    std::vector<std::string> attrs;
+    for (const workflow::ResultSpec& r : t.results) attrs.push_back(r.attr);
+    current_attrs_[t.step_name] = std::move(attrs);
+  }
+  // Spread the evolution events over the arrival sequence.
+  for (int i = 1; i <= params_.evolution_events; ++i) {
+    evolution_thresholds_.push_back(
+        std::max(1, arrivals_left_ * i / (params_.evolution_events + 1)));
+  }
+  recent_.reserve(256);
+  next_gel_target_ = static_cast<int>(route_.NextInt(16, 48));
+}
+
+bool WorkloadGenerator::Next(Event* event) {
+  while (pending_.empty()) {
+    if (!Advance()) return false;
+  }
+  *event = std::move(pending_.front());
+  pending_.pop_front();
+  ++totals_.events;
+  if (event->IsUpdate()) {
+    ++totals_.updates;
+    if (event->type == Event::Type::kRecordStep) ++totals_.steps;
+    if (event->type == Event::Type::kCreateMaterial) ++totals_.materials;
+    if (event->type == Event::Type::kCreateSet) ++totals_.sets;
+    if (event->type == Event::Type::kEvolveStepClass) ++totals_.evolutions;
+  } else {
+    ++totals_.queries;
+  }
+  return true;
+}
+
+bool WorkloadGenerator::UpstreamDrained() const {
+  return arrivals_left_ == 0 && q_cl_received_.empty() &&
+         q_cl_dna_ready_.empty() && q_tc_new_.empty() && q_tc_assoc_.empty() &&
+         q_tc_picked_.empty();
+}
+
+bool WorkloadGenerator::Advance() {
+  struct Action {
+    uint64_t weight;
+    void (WorkloadGenerator::*fn)();
+  };
+  std::vector<Action> actions;
+  auto add = [&](size_t weight, void (WorkloadGenerator::*fn)()) {
+    if (weight > 0) actions.push_back(Action{weight, fn});
+  };
+
+  bool can_arrive =
+      arrivals_left_ > 0 && inflight_clones_ < params_.max_inflight_clones;
+  add(can_arrive ? 6 : 0, &WorkloadGenerator::Arrive);
+  add(q_cl_received_.size(), &WorkloadGenerator::PrepareDna);
+  add(q_cl_dna_ready_.size(), &WorkloadGenerator::Transposon);
+  add(q_tc_new_.size(), &WorkloadGenerator::Associate);
+  add(q_tc_assoc_.size(), &WorkloadGenerator::Pick);
+  add(q_tc_picked_.size(), &WorkloadGenerator::SeqReaction);
+  bool gel_ready =
+      q_tc_wait_gel_.size() >= static_cast<size_t>(next_gel_target_) ||
+      (UpstreamDrained() && !q_tc_wait_gel_.empty());
+  add(gel_ready ? q_tc_wait_gel_.size() : 0, &WorkloadGenerator::LoadGel);
+  add(q_gel_loaded_.size() * 8, &WorkloadGenerator::RunGel);
+  add(q_gel_run_.size() * 8, &WorkloadGenerator::ReadGel);
+  add(q_tc_wait_seq_.size(), &WorkloadGenerator::DetermineSequence);
+  add(q_tc_wait_inc_.size(), &WorkloadGenerator::Blast);
+  add(q_cl_assemble_.size() * 8, &WorkloadGenerator::Assemble);
+  add(q_cl_assembled_.size() * 4, &WorkloadGenerator::Finish);
+
+  if (actions.empty()) return false;
+  uint64_t total = 0;
+  for (const Action& a : actions) total += a.weight;
+  uint64_t pick = route_.NextBelow(total);
+  for (const Action& a : actions) {
+    if (pick < a.weight) {
+      (this->*a.fn)();
+      MaybeEmitQueries();
+      return true;
+    }
+    pick -= a.weight;
+  }
+  return false;
+}
+
+Timestamp WorkloadGenerator::NextTime(bool maybe_late) {
+  clock_.Advance(static_cast<int64_t>(
+      time_rng_.NextExp(static_cast<double>(kMeanActionGapUs))));
+  Timestamp t = clock_.now();
+  if (maybe_late && time_rng_.NextBool(params_.late_entry_fraction)) {
+    // Enter with an earlier valid time: results recorded from paper forms
+    // hours after the fact (out-of-order entry, paper Section 7).
+    int64_t back =
+        static_cast<int64_t>(time_rng_.NextExp(4.0 * kMeanActionGapUs));
+    int64_t us = t.micros > back ? t.micros - back : 1;
+    return Timestamp(us);
+  }
+  return t;
+}
+
+std::vector<TagSpec> WorkloadGenerator::MakeTags(const std::string& step) {
+  std::vector<TagSpec> tags;
+  const workflow::Transition* t = graph_.FindTransition(step);
+  for (const std::string& attr : current_attrs_[step]) {
+    const workflow::ResultSpec* spec = nullptr;
+    if (t != nullptr) {
+      for (const workflow::ResultSpec& r : t->results) {
+        if (r.attr == attr) {
+          spec = &r;
+          break;
+        }
+      }
+    }
+    if (spec != nullptr) {
+      tags.push_back(TagSpec{attr, workflow::GenerateResult(*spec, &values_)});
+    } else {
+      // Attribute added by schema evolution: plain measurement value.
+      tags.push_back(TagSpec{attr, Value::Int(values_.NextInt(0, 1000))});
+    }
+  }
+  return tags;
+}
+
+void WorkloadGenerator::NoteRecent(const std::string& material,
+                                   const std::string& attr) {
+  if (recent_.size() < 256) {
+    recent_.emplace_back(material, attr);
+  } else {
+    recent_[recent_pos_ % recent_.size()] = {material, attr};
+  }
+  ++recent_pos_;
+  all_tagged_.emplace_back(material, attr);
+}
+
+void WorkloadGenerator::EmitSimpleStep(const std::string& step,
+                                       const std::string& material,
+                                       const std::string& new_state,
+                                       bool maybe_late) {
+  Event ev;
+  ev.type = Event::Type::kRecordStep;
+  ev.step_class = step;
+  ev.time = NextTime(maybe_late);
+  EffectSpec effect;
+  effect.material = material;
+  effect.tags = MakeTags(step);
+  effect.new_state = new_state;
+  if (!effect.tags.empty()) {
+    NoteRecent(material, effect.tags[0].attr);
+  }
+  ev.effects.push_back(std::move(effect));
+  pending_.push_back(std::move(ev));
+}
+
+void WorkloadGenerator::MaybeEvolve() {
+  while (evolutions_done_ < static_cast<int>(evolution_thresholds_.size()) &&
+         arrivals_done_ >= evolution_thresholds_[evolutions_done_]) {
+    static const char* kEvolvable[] = {"determine_sequence", "read_gel",
+                                       "blast_search", "pick_tclone"};
+    const char* step = kEvolvable[evolutions_done_ % 4];
+    std::vector<std::string>& attrs = current_attrs_[step];
+    attrs.push_back(std::string(step) + "_evo" +
+                    std::to_string(evolutions_done_ + 1));
+    Event ev;
+    ev.type = Event::Type::kEvolveStepClass;
+    ev.step_class = step;
+    ev.attrs = attrs;
+    pending_.push_back(std::move(ev));
+    ++evolutions_done_;
+  }
+}
+
+void WorkloadGenerator::MaybeEmitQueries() {
+  // Expected params_.query_ratio queries per update action.
+  double budget = params_.query_ratio;
+  while (budget > 0) {
+    if (!query_rng_.NextBool(std::min(budget, 1.0))) break;
+    budget -= 1.0;
+    Event ev;
+    uint64_t kind = query_rng_.NextBelow(100);
+    // Value/history queries audit a random historical material with
+    // probability audit_fraction; otherwise they hit the recent window.
+    auto pick_target = [&]() -> const std::pair<std::string, std::string>& {
+      if (!all_tagged_.empty() &&
+          query_rng_.NextBool(params_.audit_fraction)) {
+        return all_tagged_[query_rng_.NextBelow(all_tagged_.size())];
+      }
+      return recent_[query_rng_.NextBelow(recent_.size())];
+    };
+    if (kind < 45 && !recent_.empty()) {
+      const auto& [material, attr] = pick_target();
+      ev.type = Event::Type::kQueryMostRecent;
+      ev.name = material;
+      ev.attr = attr;
+    } else if (kind < 60 && !recent_.empty()) {
+      const auto& [material, attr] = pick_target();
+      ev.type = Event::Type::kQueryHistory;
+      ev.name = material;
+      ev.attr = attr;
+    } else if (kind < 80) {
+      ev.type = Event::Type::kQueryWorkQueue;
+      ev.state = graph_.states[query_rng_.NextBelow(graph_.states.size())];
+    } else if (kind < 90) {
+      ev.type = Event::Type::kQueryCountState;
+      ev.state = graph_.states[query_rng_.NextBelow(graph_.states.size())];
+    } else if (kind < 95 && gel_counter_ > 0) {
+      ev.type = Event::Type::kQuerySetMembers;
+      ev.name = "gel-" +
+                PadNum(static_cast<int>(
+                           query_rng_.NextBelow(
+                               static_cast<uint64_t>(gel_counter_)) +
+                           1),
+                       4) +
+                "-lanes";
+    } else if (!recent_.empty()) {
+      ev.type = Event::Type::kQueryMaterialByName;
+      ev.name = recent_[query_rng_.NextBelow(recent_.size())].first;
+    } else {
+      continue;
+    }
+    pending_.push_back(std::move(ev));
+  }
+}
+
+// ---- Actions -----------------------------------------------------------------
+
+void WorkloadGenerator::Arrive() {
+  int idx = static_cast<int>(clones_.size());
+  CloneSim clone;
+  clone.name = "cl-" + PadNum(idx + 1, 6);
+  clones_.push_back(clone);
+  --arrivals_left_;
+  ++arrivals_done_;
+  ++inflight_clones_;
+
+  Event create;
+  create.type = Event::Type::kCreateMaterial;
+  create.material_class = "clone";
+  create.name = clone.name;
+  create.state = "cl_received";
+  create.time = NextTime(false);
+  pending_.push_back(std::move(create));
+
+  EmitSimpleStep("receive_clone", clone.name, "cl_received");
+  q_cl_received_.push_back(idx);
+  MaybeEvolve();
+}
+
+void WorkloadGenerator::PrepareDna() {
+  int c = q_cl_received_.front();
+  q_cl_received_.pop_front();
+  CloneSim& clone = clones_[c];
+  bool fail = clone.retries < 3 && route_.NextBool(0.05);
+  if (fail) {
+    ++clone.retries;
+    EmitSimpleStep("prepare_dna", clone.name, "cl_received");
+    q_cl_received_.push_back(c);
+    return;
+  }
+  clone.state = CloneState::kDnaReady;
+  EmitSimpleStep("prepare_dna", clone.name, "cl_dna_ready");
+  q_cl_dna_ready_.push_back(c);
+}
+
+void WorkloadGenerator::Transposon() {
+  int c = q_cl_dna_ready_.front();
+  q_cl_dna_ready_.pop_front();
+  CloneSim& clone = clones_[c];
+  clone.state = CloneState::kTnDone;
+  EmitSimpleStep("transposon_insertion", clone.name, "cl_tn_done");
+
+  int64_t n_children =
+      params_.tclones_min + values_.NextPoisson(params_.tclones_mean);
+  for (int64_t i = 0; i < n_children; ++i) {
+    int tc_idx = static_cast<int>(tclones_.size());
+    TcSim tc;
+    tc.name = clones_[c].name + "-tc" + PadNum(static_cast<int>(i + 1), 3);
+    tc.parent = c;
+    tclones_.push_back(tc);
+    clones_[c].tclones.push_back(tc_idx);
+
+    Event create;
+    create.type = Event::Type::kCreateMaterial;
+    create.material_class = "tclone";
+    create.name = tc.name;
+    create.state = "tc_new";
+    create.time = clock_.now();
+    pending_.push_back(std::move(create));
+    q_tc_new_.push_back(tc_idx);
+  }
+}
+
+void WorkloadGenerator::Associate() {
+  int tc = q_tc_new_.front();
+  q_tc_new_.pop_front();
+  tclones_[tc].state = TcState::kAssociated;
+  EmitSimpleStep("associate_tclone", tclones_[tc].name, "tc_associated");
+  q_tc_assoc_.push_back(tc);
+}
+
+void WorkloadGenerator::Pick() {
+  int tc = q_tc_assoc_.front();
+  q_tc_assoc_.pop_front();
+  tclones_[tc].state = TcState::kPicked;
+  EmitSimpleStep("pick_tclone", tclones_[tc].name, "tc_picked");
+  q_tc_picked_.push_back(tc);
+}
+
+void WorkloadGenerator::SeqReaction() {
+  int tc = q_tc_picked_.front();
+  q_tc_picked_.pop_front();
+  tclones_[tc].state = TcState::kWaitingGel;
+  EmitSimpleStep("seq_reaction", tclones_[tc].name, "waiting_for_gel");
+  q_tc_wait_gel_.push_back(tc);
+}
+
+void WorkloadGenerator::LoadGel() {
+  size_t want = std::min(q_tc_wait_gel_.size(),
+                         static_cast<size_t>(next_gel_target_));
+  next_gel_target_ = static_cast<int>(route_.NextInt(16, 48));
+
+  ++gel_counter_;
+  GelSim gel;
+  gel.name = "gel-" + PadNum(gel_counter_, 4);
+
+  Event create;
+  create.type = Event::Type::kCreateMaterial;
+  create.material_class = "gel";
+  create.name = gel.name;
+  create.state = "gel_loaded";
+  create.time = NextTime(false);
+  pending_.push_back(std::move(create));
+
+  Event ev;
+  ev.type = Event::Type::kRecordStep;
+  ev.step_class = "load_gel";
+  ev.time = clock_.now();
+  std::vector<std::string> members;
+  for (size_t lane = 0; lane < want; ++lane) {
+    int tc = q_tc_wait_gel_.front();
+    q_tc_wait_gel_.pop_front();
+    tclones_[tc].state = TcState::kOnGel;
+    gel.lanes.push_back(tc);
+    EffectSpec effect;
+    effect.material = tclones_[tc].name;
+    effect.new_state = "on_gel";
+    effect.tags = MakeTags("load_gel");
+    // The lane tag should reflect the actual lane.
+    for (TagSpec& tag : effect.tags) {
+      if (tag.attr == "lane") {
+        tag.value = Value::Int(static_cast<int64_t>(lane + 1));
+      }
+    }
+    members.push_back(effect.material);
+    ev.effects.push_back(std::move(effect));
+  }
+  pending_.push_back(std::move(ev));
+
+  // Persist the gel's lane assignment as a material set.
+  Event set_create;
+  set_create.type = Event::Type::kCreateSet;
+  set_create.name = gel.name + "-lanes";
+  pending_.push_back(std::move(set_create));
+  Event set_add;
+  set_add.type = Event::Type::kAddSetMembers;
+  set_add.name = gel.name + "-lanes";
+  set_add.members = std::move(members);
+  pending_.push_back(std::move(set_add));
+
+  int gel_idx = static_cast<int>(gels_.size());
+  gels_.push_back(std::move(gel));
+  q_gel_loaded_.push_back(gel_idx);
+}
+
+void WorkloadGenerator::RunGel() {
+  int g = q_gel_loaded_.front();
+  q_gel_loaded_.pop_front();
+  EmitSimpleStep("run_gel", gels_[g].name, "gel_run");
+  q_gel_run_.push_back(g);
+}
+
+void WorkloadGenerator::ReadGel() {
+  int g = q_gel_run_.front();
+  q_gel_run_.pop_front();
+  GelSim& gel = gels_[g];
+
+  Event ev;
+  ev.type = Event::Type::kRecordStep;
+  ev.step_class = "read_gel";
+  ev.time = NextTime(false);
+  for (int tc : gel.lanes) {
+    bool fail = route_.NextBool(0.06);
+    EffectSpec effect;
+    effect.material = tclones_[tc].name;
+    effect.tags = MakeTags("read_gel");
+    if (fail) {
+      if (tclones_[tc].retries >= params_.max_retries) {
+        effect.new_state = "tc_failed";
+        tclones_[tc].state = TcState::kFailed;
+        ChildTerminal(tc, /*blasted=*/false);
+      } else {
+        ++tclones_[tc].retries;
+        effect.new_state = "tc_picked";
+        tclones_[tc].state = TcState::kPicked;
+        q_tc_picked_.push_back(tc);
+      }
+    } else {
+      effect.new_state = "waiting_for_sequencing";
+      tclones_[tc].state = TcState::kWaitingSeq;
+      q_tc_wait_seq_.push_back(tc);
+    }
+    if (!effect.tags.empty()) {
+      NoteRecent(effect.material, effect.tags[0].attr);
+    }
+    ev.effects.push_back(std::move(effect));
+  }
+  pending_.push_back(std::move(ev));
+}
+
+void WorkloadGenerator::DetermineSequence() {
+  int tc = q_tc_wait_seq_.front();
+  q_tc_wait_seq_.pop_front();
+  TcSim& t = tclones_[tc];
+  bool fail = route_.NextBool(0.08);
+  if (fail) {
+    if (t.retries >= params_.max_retries) {
+      t.state = TcState::kFailed;
+      EmitSimpleStep("determine_sequence", t.name, "tc_failed",
+                     /*maybe_late=*/true);
+      ChildTerminal(tc, /*blasted=*/false);
+    } else {
+      ++t.retries;
+      t.state = TcState::kPicked;
+      EmitSimpleStep("determine_sequence", t.name, "tc_picked",
+                     /*maybe_late=*/true);
+      q_tc_picked_.push_back(tc);
+    }
+    return;
+  }
+  t.state = TcState::kWaitingInc;
+  EmitSimpleStep("determine_sequence", t.name, "waiting_for_incorporation",
+                 /*maybe_late=*/true);
+  q_tc_wait_inc_.push_back(tc);
+}
+
+void WorkloadGenerator::Blast() {
+  int tc = q_tc_wait_inc_.front();
+  q_tc_wait_inc_.pop_front();
+  tclones_[tc].state = TcState::kBlasted;
+  EmitSimpleStep("blast_search", tclones_[tc].name, "tc_blasted");
+  ChildTerminal(tc, /*blasted=*/true);
+}
+
+void WorkloadGenerator::ChildTerminal(int tc, bool blasted) {
+  CloneSim& clone = clones_[tclones_[tc].parent];
+  ++clone.terminal_children;
+  if (blasted) ++clone.blasted;
+  if (clone.state == CloneState::kTnDone &&
+      clone.terminal_children == static_cast<int>(clone.tclones.size())) {
+    if (clone.blasted > 0) {
+      q_cl_assemble_.push_back(tclones_[tc].parent);
+    } else {
+      clone.state = CloneState::kDead;
+      --inflight_clones_;
+    }
+  }
+}
+
+void WorkloadGenerator::Assemble() {
+  int c = q_cl_assemble_.front();
+  q_cl_assemble_.pop_front();
+  CloneSim& clone = clones_[c];
+  clone.state = CloneState::kAssembled;
+
+  Event ev;
+  ev.type = Event::Type::kRecordStep;
+  ev.step_class = "assemble_sequence";
+  ev.time = NextTime(false);
+  // The clone itself...
+  EffectSpec clone_effect;
+  clone_effect.material = clone.name;
+  clone_effect.tags = MakeTags("assemble_sequence");
+  clone_effect.new_state = "cl_assembled";
+  if (!clone_effect.tags.empty()) {
+    NoteRecent(clone.name, clone_effect.tags[0].attr);
+  }
+  ev.effects.push_back(std::move(clone_effect));
+  // ...plus every successfully blasted subclone is incorporated.
+  for (int tc : clone.tclones) {
+    if (tclones_[tc].state != TcState::kBlasted) continue;
+    tclones_[tc].state = TcState::kIncorporated;
+    EffectSpec effect;
+    effect.material = tclones_[tc].name;
+    effect.new_state = "tc_incorporated";
+    ev.effects.push_back(std::move(effect));
+  }
+  pending_.push_back(std::move(ev));
+  q_cl_assembled_.push_back(c);
+}
+
+void WorkloadGenerator::Finish() {
+  int c = q_cl_assembled_.front();
+  q_cl_assembled_.pop_front();
+  clones_[c].state = CloneState::kFinished;
+  EmitSimpleStep("finish_clone", clones_[c].name, "cl_finished");
+  --inflight_clones_;
+}
+
+}  // namespace labflow::bench

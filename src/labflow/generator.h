@@ -1,0 +1,171 @@
+#ifndef LABFLOW_LABFLOW_GENERATOR_H_
+#define LABFLOW_LABFLOW_GENERATOR_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "labflow/events.h"
+#include "labflow/params.h"
+#include "workflow/graph.h"
+
+namespace labflow::bench {
+
+/// Deterministic LabFlow-1 workload generator.
+///
+/// Simulates the genome-mapping laboratory of the paper's Appendix B: clones
+/// arrive, are fragmented into transposon subclones, run through sequencing
+/// gels in batches, get sequenced (with failure/retry loops and out-of-order
+/// data entry), searched against homology databases, and assembled. Many
+/// materials are in flight concurrently, so updates to unrelated materials
+/// interleave — the allocation pattern whose locality consequences Section
+/// 10 of the paper measures.
+///
+/// The generator emits a *name-based* event stream (materials identified by
+/// name, attributes by name): it never sees a database, so the identical
+/// stream can be replayed against every server version. The stream also
+/// interleaves the query mix and the schema-evolution events.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadParams& params);
+
+  const workflow::WorkflowGraph& graph() const { return graph_; }
+
+  /// Produces the next event; false when the stream is exhausted (all
+  /// materials reached a terminal state).
+  bool Next(Event* event);
+
+  struct Totals {
+    int64_t events = 0;
+    int64_t updates = 0;
+    int64_t queries = 0;
+    int64_t steps = 0;
+    int64_t materials = 0;
+    int64_t sets = 0;
+    int64_t evolutions = 0;
+  };
+  const Totals& totals() const { return totals_; }
+
+ private:
+  enum class CloneState {
+    kReceived,
+    kDnaReady,
+    kTnDone,
+    kAssembled,
+    kFinished,
+    kDead,  // every subclone failed; no assembly possible
+  };
+  enum class TcState {
+    kNew,
+    kAssociated,
+    kPicked,
+    kWaitingGel,
+    kOnGel,
+    kWaitingSeq,
+    kWaitingInc,
+    kBlasted,
+    kIncorporated,
+    kFailed,
+  };
+
+  struct CloneSim {
+    std::string name;
+    CloneState state = CloneState::kReceived;
+    std::vector<int> tclones;
+    int blasted = 0;
+    int terminal_children = 0;
+    int retries = 0;
+  };
+  struct TcSim {
+    std::string name;
+    int parent = -1;
+    TcState state = TcState::kNew;
+    int retries = 0;
+  };
+  struct GelSim {
+    std::string name;
+    std::vector<int> lanes;
+  };
+
+  /// Runs one simulation action, queueing its events; false when no action
+  /// is possible (stream complete).
+  bool Advance();
+
+  // Actions (each emits exactly one step event plus bookkeeping events).
+  void Arrive();
+  void PrepareDna();
+  void Transposon();
+  void Associate();
+  void Pick();
+  void SeqReaction();
+  void LoadGel();
+  void RunGel();
+  void ReadGel();
+  void DetermineSequence();
+  void Blast();
+  void Assemble();
+  void Finish();
+
+  /// Emits a single-material step event.
+  void EmitSimpleStep(const std::string& step, const std::string& material,
+                      const std::string& new_state, bool maybe_late = false);
+  std::vector<TagSpec> MakeTags(const std::string& step);
+  Timestamp NextTime(bool maybe_late);
+  void MaybeEvolve();
+  void MaybeEmitQueries();
+  void NoteRecent(const std::string& material, const std::string& attr);
+  /// Marks a tclone terminal and checks its parent for assembly readiness
+  /// or death.
+  void ChildTerminal(int tc, bool blasted);
+  bool UpstreamDrained() const;
+
+  WorkloadParams params_;
+  workflow::WorkflowGraph graph_;
+  Rng route_;
+  Rng values_;
+  Rng query_rng_;
+  Rng time_rng_;
+  VirtualClock clock_;
+
+  std::deque<Event> pending_;
+  std::vector<CloneSim> clones_;
+  std::vector<TcSim> tclones_;
+  std::vector<GelSim> gels_;
+
+  std::deque<int> q_cl_received_;
+  std::deque<int> q_cl_dna_ready_;
+  std::deque<int> q_cl_assemble_;
+  std::deque<int> q_cl_assembled_;
+  std::deque<int> q_tc_new_;
+  std::deque<int> q_tc_assoc_;
+  std::deque<int> q_tc_picked_;
+  std::deque<int> q_tc_wait_gel_;
+  std::deque<int> q_tc_wait_seq_;
+  std::deque<int> q_tc_wait_inc_;
+  std::deque<int> q_gel_loaded_;
+  std::deque<int> q_gel_run_;
+
+  int arrivals_left_ = 0;
+  int inflight_clones_ = 0;
+  int next_gel_target_ = 24;
+  int gel_counter_ = 0;
+
+  std::map<std::string, std::vector<std::string>> current_attrs_;
+  std::vector<int> evolution_thresholds_;
+  int arrivals_done_ = 0;
+  int evolutions_done_ = 0;
+
+  std::vector<std::pair<std::string, std::string>> recent_;
+  size_t recent_pos_ = 0;
+  /// Every (material, attribute) ever written; the audit-query population.
+  std::vector<std::pair<std::string, std::string>> all_tagged_;
+
+  Totals totals_;
+};
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_GENERATOR_H_

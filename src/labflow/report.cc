@@ -1,0 +1,111 @@
+#include "labflow/report.h"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace labflow::bench {
+
+std::string WithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+namespace {
+
+std::string FormatSeconds(double s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << s;
+  return os.str();
+}
+
+std::string IntvlLabel(double intvl) {
+  std::ostringstream os;
+  if (intvl == static_cast<int64_t>(intvl)) {
+    os << static_cast<int64_t>(intvl) << "X";
+  } else {
+    os << intvl << "X";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void PrintMainTable(std::ostream& os, const std::vector<RunReport>& reports) {
+  // Group by Intvl, preserving first-seen order.
+  std::vector<double> intvls;
+  std::map<double, std::vector<const RunReport*>> by_intvl;
+  for (const RunReport& r : reports) {
+    if (!by_intvl.count(r.intvl)) intvls.push_back(r.intvl);
+    by_intvl[r.intvl].push_back(&r);
+  }
+
+  os << "                                    Database Server Version\n";
+  for (double intvl : intvls) {
+    const std::vector<const RunReport*>& group = by_intvl[intvl];
+    os << "Intvl  Resource      ";
+    for (const RunReport* r : group) {
+      os << std::setw(12) << r->version;
+    }
+    os << "\n";
+    auto row = [&](const char* label, auto getter) {
+      os << std::setw(5) << IntvlLabel(intvl) << "  " << std::left
+         << std::setw(14) << label << std::right;
+      for (const RunReport* r : group) {
+        os << std::setw(12) << getter(*r);
+      }
+      os << "\n";
+    };
+    row("elapsed sec", [](const RunReport& r) {
+      return FormatSeconds(r.elapsed_sec);
+    });
+    row("user cpu sec", [](const RunReport& r) {
+      return FormatSeconds(r.user_cpu_sec);
+    });
+    row("sys cpu sec", [](const RunReport& r) {
+      return FormatSeconds(r.sys_cpu_sec);
+    });
+    row("majflt", [](const RunReport& r) { return WithCommas(r.majflt); });
+    row("size (bytes)", [](const RunReport& r) {
+      return r.db_size_bytes == 0 ? std::string("-")
+                                  : WithCommas(r.db_size_bytes);
+    });
+    os << "\n";
+  }
+}
+
+void PrintRunDetails(std::ostream& os, const RunReport& r) {
+  os << r.version << " @ " << IntvlLabel(r.intvl) << ": " << r.events
+     << " events (" << r.updates << " updates / " << r.queries
+     << " queries), " << r.steps << " steps, " << r.materials
+     << " materials\n"
+     << "  update phase " << FormatSeconds(r.update_elapsed_sec)
+     << "s, query phase " << FormatSeconds(r.query_elapsed_sec) << "s\n"
+     << "  storage: reads=" << r.storage.disk_reads
+     << " writes=" << r.storage.disk_writes << " hits=" << r.storage.cache_hits
+     << " evictions=" << r.storage.evictions
+     << " wal=" << WithCommas(r.wal_bytes)
+     << " commits=" << r.storage.txn_commits << "\n"
+     << "  wrapper: steps=" << r.wrapper.steps_recorded
+     << " mr-queries=" << r.wrapper.most_recent_queries
+     << " hist-queries=" << r.wrapper.history_queries
+     << " state-queries=" << r.wrapper.state_queries << "\n"
+     << "  update latency us: mean=" << FormatSeconds(r.update_latency.mean_us())
+     << " p50=" << FormatSeconds(r.update_latency.PercentileUs(50))
+     << " p99=" << FormatSeconds(r.update_latency.PercentileUs(99))
+     << " max=" << FormatSeconds(r.update_latency.max_us()) << "\n"
+     << "  query latency us:  mean=" << FormatSeconds(r.query_latency.mean_us())
+     << " p50=" << FormatSeconds(r.query_latency.PercentileUs(50))
+     << " p99=" << FormatSeconds(r.query_latency.PercentileUs(99))
+     << " max=" << FormatSeconds(r.query_latency.max_us()) << "\n"
+     << "  checksum: " << std::hex << r.result_checksum << std::dec << "\n";
+}
+
+}  // namespace labflow::bench

@@ -1,0 +1,25 @@
+#ifndef LABFLOW_LABFLOW_REPORT_H_
+#define LABFLOW_LABFLOW_REPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "labflow/driver.h"
+
+namespace labflow::bench {
+
+/// Prints the paper's Section 10 results table: one row block per Intvl,
+/// columns = server versions, rows = elapsed sec / user cpu sec /
+/// sys cpu sec / majflt / size (bytes).
+void PrintMainTable(std::ostream& os, const std::vector<RunReport>& reports);
+
+/// Prints one run's extended counters (stream composition, phase split,
+/// wrapper stats, checksum).
+void PrintRunDetails(std::ostream& os, const RunReport& report);
+
+/// Renders n with thousands separators, as the paper prints its numbers.
+std::string WithCommas(uint64_t n);
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_REPORT_H_

@@ -1,0 +1,63 @@
+#include "labflow/server_version.h"
+
+#include "mm/mm_manager.h"
+#include "ostore/ostore_manager.h"
+#include "texas/texas_manager.h"
+
+namespace labflow::bench {
+
+std::string_view ServerVersionName(ServerVersion version) {
+  switch (version) {
+    case ServerVersion::kOstore:
+      return "OStore";
+    case ServerVersion::kTexas:
+      return "Texas";
+    case ServerVersion::kTexasTC:
+      return "Texas+TC";
+    case ServerVersion::kOstoreMm:
+      return "OStore-mm";
+    case ServerVersion::kTexasMm:
+      return "Texas-mm";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<storage::StorageManager>> CreateServer(
+    ServerVersion version, const ServerOptions& options) {
+  switch (version) {
+    case ServerVersion::kOstore: {
+      ostore::OstoreOptions opts;
+      opts.base.path = options.path;
+      opts.base.buffer_pool_pages = options.pool_pages;
+      opts.base.truncate = options.truncate;
+      opts.base.fault_delay_us = options.fault_delay_us;
+      LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<ostore::OstoreManager> mgr,
+                               ostore::OstoreManager::Open(opts));
+      return std::unique_ptr<storage::StorageManager>(std::move(mgr));
+    }
+    case ServerVersion::kTexas:
+    case ServerVersion::kTexasTC: {
+      texas::TexasOptions opts;
+      opts.base.path = options.path;
+      opts.base.buffer_pool_pages = options.pool_pages;
+      opts.base.truncate = options.truncate;
+      opts.base.fault_delay_us = options.fault_delay_us;
+      opts.client_clustering = (version == ServerVersion::kTexasTC);
+      LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<texas::TexasManager> mgr,
+                               texas::TexasManager::Open(opts));
+      return std::unique_ptr<storage::StorageManager>(std::move(mgr));
+    }
+    case ServerVersion::kOstoreMm:
+    case ServerVersion::kTexasMm: {
+      // With persistence removed, the two code bases collapse to one
+      // implementation (see DESIGN.md substitution table); only the
+      // reported name differs, as in the paper's tables.
+      return std::unique_ptr<storage::StorageManager>(
+          std::make_unique<mm::MmManager>(
+              std::string(ServerVersionName(version))));
+    }
+  }
+  return Status::InvalidArgument("unknown server version");
+}
+
+}  // namespace labflow::bench

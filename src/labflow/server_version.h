@@ -1,0 +1,46 @@
+#ifndef LABFLOW_LABFLOW_SERVER_VERSION_H_
+#define LABFLOW_LABFLOW_SERVER_VERSION_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/storage_manager.h"
+
+namespace labflow::bench {
+
+/// The five LabBase data-server versions compared in the paper's Section 10.
+enum class ServerVersion {
+  kOstore,    // ObjectStore-like: segments, 2PL, WAL
+  kTexas,     // Texas-like: allocation-order placement, no CC
+  kTexasTC,   // Texas + client-implemented object clustering
+  kOstoreMm,  // main memory only (OStore code path)
+  kTexasMm,   // main memory only (Texas code path)
+};
+
+inline constexpr ServerVersion kAllServerVersions[] = {
+    ServerVersion::kOstore, ServerVersion::kTexasTC, ServerVersion::kTexas,
+    ServerVersion::kOstoreMm, ServerVersion::kTexasMm};
+
+/// Paper-style display name ("OStore", "Texas+TC", ...).
+std::string_view ServerVersionName(ServerVersion version);
+
+struct ServerOptions {
+  /// Database file path (ignored by the -mm versions).
+  std::string path;
+  /// Buffer-pool capacity in pages; stands in for the testbed's physical
+  /// memory (see bench_fig_locality).
+  size_t pool_pages = 2048;
+  bool truncate = true;
+  /// Simulated per-fault disk latency (0 = none); lets the benchmark model
+  /// 1996-era fault costs on a machine whose OS page cache hides them.
+  int64_t fault_delay_us = 0;
+};
+
+/// Instantiates the storage manager for a server version.
+Result<std::unique_ptr<storage::StorageManager>> CreateServer(
+    ServerVersion version, const ServerOptions& options);
+
+}  // namespace labflow::bench
+
+#endif  // LABFLOW_LABFLOW_SERVER_VERSION_H_

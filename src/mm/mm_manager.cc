@@ -1,0 +1,111 @@
+#include "mm/mm_manager.h"
+
+namespace labflow::mm {
+
+using storage::AllocHint;
+using storage::ObjectId;
+using storage::StorageStats;
+
+MmManager::MmManager(std::string display_name)
+    : name_(std::move(display_name)) {}
+
+Status MmManager::Begin() { return Status::OK(); }
+
+Status MmManager::Commit() {
+  std::lock_guard<std::mutex> g(mu_);
+  ++commits_;
+  return Status::OK();
+}
+
+Status MmManager::Abort() {
+  return Status::NotSupported("mm: no transaction support");
+}
+
+Result<ObjectId> MmManager::Allocate(std::string_view data,
+                                     const AllocHint& hint) {
+  (void)hint;  // no placement control in main memory
+  std::lock_guard<std::mutex> g(mu_);
+  if (closed_) return Status::InvalidArgument("manager closed");
+  uint64_t id = next_id_++;
+  objects_.emplace(id, std::string(data));
+  bytes_ += data.size();
+  return ObjectId(id);
+}
+
+Result<std::string> MmManager::Read(ObjectId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(id.raw);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + std::to_string(id.raw));
+  }
+  return it->second;
+}
+
+Status MmManager::Update(ObjectId id, std::string_view data) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(id.raw);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + std::to_string(id.raw));
+  }
+  bytes_ += data.size();
+  bytes_ -= it->second.size();
+  it->second.assign(data);
+  return Status::OK();
+}
+
+Status MmManager::Free(ObjectId id) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = objects_.find(id.raw);
+  if (it == objects_.end()) {
+    return Status::NotFound("no such object: " + std::to_string(id.raw));
+  }
+  bytes_ -= it->second.size();
+  objects_.erase(it);
+  return Status::OK();
+}
+
+Result<uint16_t> MmManager::CreateSegment(std::string_view name) {
+  (void)name;
+  return static_cast<uint16_t>(0);
+}
+
+Status MmManager::ScanAll(
+    const std::function<Status(ObjectId, std::string_view)>& fn) {
+  // Copy ids first so fn may mutate the store.
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    ids.reserve(objects_.size());
+    for (const auto& [id, data] : objects_) ids.push_back(id);
+  }
+  for (uint64_t id : ids) {
+    std::string data;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      auto it = objects_.find(id);
+      if (it == objects_.end()) continue;
+      data = it->second;
+    }
+    LABFLOW_RETURN_IF_ERROR(fn(ObjectId(id), data));
+  }
+  return Status::OK();
+}
+
+Status MmManager::Checkpoint() { return Status::OK(); }
+
+Status MmManager::Close() {
+  std::lock_guard<std::mutex> g(mu_);
+  closed_ = true;
+  return Status::OK();
+}
+
+StorageStats MmManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  StorageStats s;
+  s.db_size_bytes = bytes_;
+  s.live_objects = objects_.size();
+  s.txn_commits = commits_;
+  return s;
+}
+
+}  // namespace labflow::mm

@@ -1,0 +1,67 @@
+#ifndef LABFLOW_MM_MM_MANAGER_H_
+#define LABFLOW_MM_MM_MANAGER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "storage/storage_manager.h"
+
+namespace labflow::mm {
+
+/// Main-memory storage manager: the paper's "OStore-mm / Texas-mm" server
+/// versions, which run the identical LabBase code "without any persistent
+/// storage management". Objects live in a hash map; there is no paging, no
+/// durability, and Checkpoint is a no-op. Begin/Commit are accepted (and
+/// counted) so the wrapper code path is unchanged; Abort is NotSupported,
+/// matching the paper's mm configurations which relied on the benchmark
+/// stream never aborting.
+class MmManager : public storage::StorageManager {
+ public:
+  /// `display_name` distinguishes "OStore-mm" from "Texas-mm": the two are
+  /// one implementation here, because with persistence removed the paper's
+  /// two code bases collapse to the same behaviour (DESIGN.md, substitution
+  /// table).
+  explicit MmManager(std::string display_name = "mm");
+
+  std::string_view name() const override { return name_; }
+
+  Status Begin() override;
+  Status Commit() override;
+  Status Abort() override;
+  Result<storage::ObjectId> Allocate(std::string_view data,
+                                     const storage::AllocHint& hint) override;
+  Result<std::string> Read(storage::ObjectId id) override;
+  Status Update(storage::ObjectId id, std::string_view data) override;
+  Status Free(storage::ObjectId id) override;
+  Result<uint16_t> CreateSegment(std::string_view name) override;
+  Status SetRoot(storage::ObjectId root) override {
+    std::lock_guard<std::mutex> g(mu_);
+    root_ = root;
+    return Status::OK();
+  }
+  Result<storage::ObjectId> GetRoot() override {
+    std::lock_guard<std::mutex> g(mu_);
+    return root_;
+  }
+  Status ScanAll(const std::function<Status(storage::ObjectId,
+                                            std::string_view)>& fn) override;
+  Status Checkpoint() override;
+  Status Close() override;
+  storage::StorageStats stats() const override;
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::string> objects_;
+  uint64_t next_id_ = 1;
+  storage::ObjectId root_;
+  uint64_t bytes_ = 0;
+  uint64_t commits_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace labflow::mm
+
+#endif  // LABFLOW_MM_MM_MANAGER_H_

@@ -1,0 +1,64 @@
+#include "ostore/lock_manager.h"
+
+#include <chrono>
+
+namespace labflow::ostore {
+
+bool LockManager::CanGrantLocked(const PageLock& lock, uint64_t txn,
+                                 bool exclusive) const {
+  if (lock.x_owner == txn) return true;  // reentrant X covers S and X
+  if (!exclusive) {
+    return lock.x_owner == 0;
+  }
+  // Exclusive: no other X holder and no other S holders.
+  if (lock.x_owner != 0) return false;
+  if (lock.s_owners.empty()) return true;
+  return lock.s_owners.size() == 1 && lock.s_owners.count(txn) == 1;
+}
+
+Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
+  std::unique_lock<std::mutex> g(mu_);
+  PageLock& lock = table_[page];
+  if (!exclusive && lock.s_owners.count(txn)) return Status::OK();
+  if (lock.x_owner == txn) return Status::OK();
+  if (!CanGrantLocked(lock, txn, exclusive)) {
+    ++lock_waits_;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms_);
+    while (!CanGrantLocked(table_[page], txn, exclusive)) {
+      if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+        if (CanGrantLocked(table_[page], txn, exclusive)) break;
+        return Status::Aborted("lock timeout on page " + std::to_string(page) +
+                               " (presumed deadlock)");
+      }
+    }
+  }
+  PageLock& granted = table_[page];
+  if (exclusive) {
+    granted.s_owners.erase(txn);  // upgrade consumes the shared hold
+    granted.x_owner = txn;
+  } else {
+    granted.s_owners.insert(txn);
+  }
+  held_[txn].insert(page);
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (uint64_t page : it->second) {
+    auto lit = table_.find(page);
+    if (lit == table_.end()) continue;
+    if (lit->second.x_owner == txn) lit->second.x_owner = 0;
+    lit->second.s_owners.erase(txn);
+    if (lit->second.x_owner == 0 && lit->second.s_owners.empty()) {
+      table_.erase(lit);
+    }
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+}  // namespace labflow::ostore

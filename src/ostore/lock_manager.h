@@ -1,0 +1,63 @@
+#ifndef LABFLOW_OSTORE_LOCK_MANAGER_H_
+#define LABFLOW_OSTORE_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace labflow::ostore {
+
+/// Page-level strict two-phase lock manager, modeling ObjectStore's
+/// "lock based concurrency control implemented in a page server that
+/// mediates all access to the database" (paper Section 10).
+///
+/// Shared/exclusive locks with in-place upgrade; blocked requests wait on a
+/// condition variable and time out after `timeout_ms`, which doubles as the
+/// deadlock-resolution mechanism (the timed-out transaction gets Aborted and
+/// is expected to roll back).
+class LockManager {
+ public:
+  explicit LockManager(int64_t timeout_ms = 1000) : timeout_ms_(timeout_ms) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or upgrades to) the requested lock for `txn` on `page`.
+  /// Reentrant: holding X satisfies S and X; holding S satisfies S.
+  /// Returns Aborted on timeout.
+  Status Acquire(uint64_t txn, uint64_t page, bool exclusive);
+
+  /// Releases every lock `txn` holds and wakes waiters.
+  void ReleaseAll(uint64_t txn);
+
+  /// Number of requests that had to block before being granted or aborted.
+  uint64_t lock_waits() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return lock_waits_;
+  }
+
+ private:
+  struct PageLock {
+    uint64_t x_owner = 0;          // 0 = none
+    std::set<uint64_t> s_owners;   // shared holders
+  };
+
+  /// True if the request can be granted right now (lock table locked).
+  bool CanGrantLocked(const PageLock& lock, uint64_t txn,
+                      bool exclusive) const;
+
+  int64_t timeout_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, PageLock> table_;
+  std::unordered_map<uint64_t, std::set<uint64_t>> held_;  // txn -> pages
+  uint64_t lock_waits_ = 0;
+};
+
+}  // namespace labflow::ostore
+
+#endif  // LABFLOW_OSTORE_LOCK_MANAGER_H_

@@ -1,0 +1,282 @@
+#include "ostore/ostore_manager.h"
+
+namespace labflow::ostore {
+
+using storage::BufferPool;
+using storage::StorageStats;
+
+Result<std::unique_ptr<OstoreManager>> OstoreManager::Open(
+    const OstoreOptions& options) {
+  std::unique_ptr<OstoreManager> mgr(new OstoreManager());
+  mgr->locks_ = std::make_unique<LockManager>(options.lock_timeout_ms);
+  mgr->sync_commit_ = options.sync_commit;
+  LABFLOW_RETURN_IF_ERROR(mgr->PagedManagerBase::Open(options.base));
+  return mgr;
+}
+
+// ---- Transactions ---------------------------------------------------------
+
+OstoreManager::Txn* OstoreManager::CurrentTxn() {
+  std::lock_guard<std::mutex> g(txn_mu_);
+  auto it = txns_.find(std::this_thread::get_id());
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+Status OstoreManager::Begin() {
+  std::lock_guard<std::mutex> g(txn_mu_);
+  auto& slot = txns_[std::this_thread::get_id()];
+  if (slot != nullptr) {
+    return Status::InvalidArgument("nested transactions are not supported");
+  }
+  slot = std::make_unique<Txn>();
+  slot->id = next_txn_id_.fetch_add(1);
+  return Status::OK();
+}
+
+Status OstoreManager::Commit() {
+  std::unique_ptr<Txn> txn;
+  {
+    std::lock_guard<std::mutex> g(txn_mu_);
+    auto it = txns_.find(std::this_thread::get_id());
+    if (it == txns_.end() || it->second == nullptr) {
+      return Status::InvalidArgument("no active transaction");
+    }
+    txn = std::move(it->second);
+    txns_.erase(it);
+  }
+  // WAL first, then make pages evictable, then release locks.
+  if (txn->redo.size() > 0) {
+    LABFLOW_RETURN_IF_ERROR(
+        wal_.AppendGroup(txn->id, txn->redo.buffer(), sync_commit_));
+  }
+  txn->pins.clear();
+  locks_->ReleaseAll(txn->id);
+  commits_.fetch_add(1);
+  return Status::OK();
+}
+
+Status OstoreManager::Abort() {
+  std::unique_ptr<Txn> txn;
+  {
+    std::lock_guard<std::mutex> g(txn_mu_);
+    auto it = txns_.find(std::this_thread::get_id());
+    if (it == txns_.end() || it->second == nullptr) {
+      return Status::InvalidArgument("no active transaction");
+    }
+    txn = std::move(it->second);
+    txns_.erase(it);
+  }
+  Status result = Status::OK();
+  for (auto it = txn->undo.rbegin(); it != txn->undo.rend(); ++it) {
+    Status st;
+    switch (it->kind) {
+      case kUndoInsert:
+        st = UndoInsert(it->page, it->slot);
+        if (st.ok() && (it->record_tag == kRecTagData ||
+                        it->record_tag == kRecTagRoot)) {
+          AdjustLiveObjects(-1);
+        }
+        break;
+      case kUndoUpdate:
+        st = UndoUpdate(it->page, it->slot, it->old_bytes);
+        break;
+      case kUndoDelete:
+        st = UndoDelete(it->page, it->slot, it->old_bytes);
+        if (st.ok() && (it->record_tag == kRecTagData ||
+                        it->record_tag == kRecTagRoot ||
+                        it->record_tag == kRecTagForward)) {
+          AdjustLiveObjects(1);
+        }
+        break;
+    }
+    if (!st.ok() && result.ok()) result = st;
+  }
+  txn->pins.clear();
+  locks_->ReleaseAll(txn->id);
+  aborts_.fetch_add(1);
+  return result;
+}
+
+// ---- Hooks from the paged base --------------------------------------------
+
+Status OstoreManager::LockPage(uint64_t page_no, bool exclusive) {
+  Txn* txn = CurrentTxn();
+  if (txn == nullptr) return Status::OK();  // auto-commit mode: no locking
+  return locks_->Acquire(txn->id, page_no, exclusive);
+}
+
+void OstoreManager::RetainPage(uint64_t page_no) {
+  Txn* txn = CurrentTxn();
+  if (txn == nullptr) return;
+  if (txn->pins.count(page_no)) return;
+  // No-steal: hold a pin so an uncommitted dirty page cannot be evicted
+  // (and thus never reaches disk before its WAL group does).
+  Result<BufferPool::PinGuard> guard = buffer_pool()->Fetch(page_no);
+  if (guard.ok()) txn->pins.emplace(page_no, std::move(guard).value());
+}
+
+void OstoreManager::AppendRedo(const std::function<void(Encoder*)>& encode) {
+  Txn* txn = CurrentTxn();
+  if (txn != nullptr) {
+    encode(&txn->redo);
+    return;
+  }
+  // Auto-commit: one-op group, logged immediately with txn id 0.
+  Encoder enc;
+  encode(&enc);
+  (void)wal_.AppendGroup(0, enc.buffer(), false);
+}
+
+void OstoreManager::OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) {
+  AppendRedo([&](Encoder* enc) {
+    enc->PutU8(kRedoPageInit);
+    enc->PutU64(lsn);
+    enc->PutU64(page);
+    enc->PutU32(segment);
+  });
+  // A fresh page needs no undo: an aborted transaction simply leaves an
+  // empty page behind.
+}
+
+void OstoreManager::OnInsert(uint64_t lsn, uint64_t page, uint16_t slot,
+                             std::string_view bytes) {
+  AppendRedo([&](Encoder* enc) {
+    enc->PutU8(kRedoInsertOp);
+    enc->PutU64(lsn);
+    enc->PutU64(page);
+    enc->PutU32(slot);
+    enc->PutString(bytes);
+  });
+  Txn* txn = CurrentTxn();
+  if (txn != nullptr) {
+    uint8_t tag = bytes.empty() ? 0xFF : static_cast<uint8_t>(bytes[0]);
+    txn->undo.push_back(Txn::Undo{kUndoInsert, page, slot, std::string(), tag});
+  }
+}
+
+void OstoreManager::OnUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
+                             std::string_view old_bytes,
+                             std::string_view bytes) {
+  AppendRedo([&](Encoder* enc) {
+    enc->PutU8(kRedoUpdateOp);
+    enc->PutU64(lsn);
+    enc->PutU64(page);
+    enc->PutU32(slot);
+    enc->PutString(bytes);
+  });
+  Txn* txn = CurrentTxn();
+  if (txn != nullptr) {
+    uint8_t tag = bytes.empty() ? 0xFF : static_cast<uint8_t>(bytes[0]);
+    txn->undo.push_back(
+        Txn::Undo{kUndoUpdate, page, slot, std::string(old_bytes), tag});
+  }
+}
+
+void OstoreManager::OnDelete(uint64_t lsn, uint64_t page, uint16_t slot,
+                             std::string_view old_bytes) {
+  AppendRedo([&](Encoder* enc) {
+    enc->PutU8(kRedoDeleteOp);
+    enc->PutU64(lsn);
+    enc->PutU64(page);
+    enc->PutU32(slot);
+  });
+  Txn* txn = CurrentTxn();
+  if (txn != nullptr) {
+    uint8_t tag =
+        old_bytes.empty() ? 0xFF : static_cast<uint8_t>(old_bytes[0]);
+    txn->undo.push_back(
+        Txn::Undo{kUndoDelete, page, slot, std::string(old_bytes), tag});
+  }
+}
+
+// ---- Lifecycle ------------------------------------------------------------
+
+Status OstoreManager::OnOpen(bool fresh) {
+  LABFLOW_RETURN_IF_ERROR(wal_.Open(options().path + ".wal"));
+  if (!fresh) return Recover();
+  return Status::OK();
+}
+
+Status OstoreManager::Recover() {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Wal::Group> groups, wal_.ReadAll());
+  uint64_t max_lsn = current_lsn();
+  for (const Wal::Group& group : groups) {
+    Decoder dec(group.payload);
+    while (!dec.AtEnd()) {
+      LABFLOW_ASSIGN_OR_RETURN(uint8_t op, dec.GetU8());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t lsn, dec.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t page, dec.GetU64());
+      if (lsn > max_lsn) max_lsn = lsn;
+      switch (op) {
+        case kRedoPageInit: {
+          LABFLOW_ASSIGN_OR_RETURN(uint32_t segment, dec.GetU32());
+          LABFLOW_RETURN_IF_ERROR(
+              RedoPageInit(lsn, page, static_cast<uint16_t>(segment)));
+          break;
+        }
+        case kRedoInsertOp: {
+          LABFLOW_ASSIGN_OR_RETURN(uint32_t slot, dec.GetU32());
+          LABFLOW_ASSIGN_OR_RETURN(std::string bytes, dec.GetString());
+          LABFLOW_RETURN_IF_ERROR(
+              RedoInsert(lsn, page, static_cast<uint16_t>(slot), bytes));
+          break;
+        }
+        case kRedoUpdateOp: {
+          LABFLOW_ASSIGN_OR_RETURN(uint32_t slot, dec.GetU32());
+          LABFLOW_ASSIGN_OR_RETURN(std::string bytes, dec.GetString());
+          LABFLOW_RETURN_IF_ERROR(
+              RedoUpdate(lsn, page, static_cast<uint16_t>(slot), bytes));
+          break;
+        }
+        case kRedoDeleteOp: {
+          LABFLOW_ASSIGN_OR_RETURN(uint32_t slot, dec.GetU32());
+          LABFLOW_RETURN_IF_ERROR(
+              RedoDelete(lsn, page, static_cast<uint16_t>(slot)));
+          break;
+        }
+        default:
+          return Status::Corruption("unknown wal op");
+      }
+    }
+  }
+  set_lsn(max_lsn);
+  // Make the replayed state durable and drop the log.
+  LABFLOW_RETURN_IF_ERROR(buffer_pool()->FlushAll());
+  LABFLOW_RETURN_IF_ERROR(page_file()->Sync());
+  return wal_.Truncate();
+}
+
+Status OstoreManager::OnCheckpoint() { return wal_.Truncate(); }
+
+void OstoreManager::DropActiveTransactions() {
+  // A close or crash with live transactions must release their page pins
+  // before the buffer pool is torn down (their changes are simply dropped:
+  // never committed, so never logged).
+  std::lock_guard<std::mutex> g(txn_mu_);
+  for (auto& [tid, txn] : txns_) {
+    if (txn != nullptr) {
+      txn->pins.clear();
+      locks_->ReleaseAll(txn->id);
+    }
+  }
+  txns_.clear();
+}
+
+Status OstoreManager::OnClose() {
+  DropActiveTransactions();
+  return wal_.Close();
+}
+
+Status OstoreManager::OnCrash() {
+  DropActiveTransactions();
+  return wal_.Close();
+}
+
+void OstoreManager::AugmentStats(StorageStats* stats) const {
+  stats->wal_bytes = wal_.SizeBytes();
+  stats->lock_waits = locks_ == nullptr ? 0 : locks_->lock_waits();
+  stats->txn_commits = commits_.load();
+  stats->txn_aborts = aborts_.load();
+}
+
+}  // namespace labflow::ostore

@@ -1,0 +1,141 @@
+#include "ostore/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace labflow::ostore {
+
+namespace {
+
+void PutLE32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, 4);
+}
+
+void PutLE64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, 8);
+}
+
+uint32_t GetLE32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t GetLE64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Wal::~Wal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+uint32_t Wal::Checksum(std::string_view data) {
+  // FNV-1a, sufficient to detect torn writes.
+  uint32_t h = 2166136261u;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+Status Wal::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::InvalidArgument("wal already open");
+  FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("wal open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  file_ = f;
+  long pos = std::ftell(f);
+  size_ = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  return Status::OK();
+}
+
+Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
+  if (file_ == nullptr) return Status::InvalidArgument("wal not open");
+  std::string frame;
+  frame.reserve(payload.size() + 20);
+  PutLE32(&frame, kGroupMagic);
+  PutLE32(&frame, static_cast<uint32_t>(payload.size()));
+  PutLE64(&frame, txn_id);
+  frame.append(payload.data(), payload.size());
+  PutLE32(&frame, Checksum(payload));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::IOError("wal append: " + std::string(std::strerror(errno)));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("wal flush: " + std::string(std::strerror(errno)));
+  }
+  if (sync && ::fdatasync(fileno(file_)) != 0) {
+    return Status::IOError("wal sync: " + std::string(std::strerror(errno)));
+  }
+  size_ += frame.size();
+  return Status::OK();
+}
+
+Result<std::vector<Wal::Group>> Wal::ReadAll() {
+  if (file_ == nullptr) return Status::InvalidArgument("wal not open");
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("wal read open: " +
+                           std::string(std::strerror(errno)));
+  }
+  std::vector<Group> groups;
+  while (true) {
+    char header[16];
+    size_t n = std::fread(header, 1, sizeof(header), f);
+    if (n < sizeof(header)) break;  // clean end or torn tail
+    if (GetLE32(header) != kGroupMagic) break;
+    uint32_t len = GetLE32(header + 4);
+    uint64_t txn = GetLE64(header + 8);
+    std::string payload(len, '\0');
+    if (std::fread(payload.data(), 1, len, f) != len) break;
+    char csum[4];
+    if (std::fread(csum, 1, 4, f) != 4) break;
+    if (GetLE32(csum) != Checksum(payload)) break;
+    groups.push_back(Group{txn, std::move(payload)});
+  }
+  std::fclose(f);
+  return groups;
+}
+
+Status Wal::Truncate() {
+  if (file_ == nullptr) return Status::InvalidArgument("wal not open");
+  std::fclose(file_);
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    file_ = nullptr;
+    return Status::IOError("wal truncate: " +
+                           std::string(std::strerror(errno)));
+  }
+  std::fclose(f);
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IOError("wal reopen: " + std::string(std::strerror(errno)));
+  }
+  size_ = 0;
+  return Status::OK();
+}
+
+Status Wal::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("wal close: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace labflow::ostore

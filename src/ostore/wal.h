@@ -1,0 +1,64 @@
+#ifndef LABFLOW_OSTORE_WAL_H_
+#define LABFLOW_OSTORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace labflow::ostore {
+
+/// Write-ahead log of commit groups. Each group is the serialized redo-op
+/// stream of one committed transaction (aborted transactions never reach the
+/// log, so recovery is a single forward replay). Framing:
+///
+///   [u32 magic][u32 payload_len][u64 txn_id][payload][u32 checksum]
+///
+/// A torn tail (partial final group or checksum mismatch) terminates the
+/// scan cleanly — exactly what a crash mid-append produces.
+class Wal {
+ public:
+  Wal() = default;
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Opens (creating if needed) the log for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one commit group and flushes it to the OS. When `sync` is set,
+  /// also fdatasyncs (force-at-commit durability).
+  Status AppendGroup(uint64_t txn_id, std::string_view payload, bool sync);
+
+  struct Group {
+    uint64_t txn_id;
+    std::string payload;
+  };
+
+  /// Reads every complete group in file order (used once, at recovery).
+  Result<std::vector<Group>> ReadAll();
+
+  /// Discards the log contents (after a checkpoint).
+  Status Truncate();
+
+  uint64_t SizeBytes() const { return size_; }
+
+  Status Close();
+
+ private:
+  static constexpr uint32_t kGroupMagic = 0x57414C47;  // "WALG"
+
+  static uint32_t Checksum(std::string_view data);
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace labflow::ostore
+
+#endif  // LABFLOW_OSTORE_WAL_H_

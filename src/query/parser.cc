@@ -1,0 +1,468 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace labflow::query {
+
+namespace {
+
+enum class TokKind {
+  kAtom,
+  kVar,
+  kInt,
+  kReal,
+  kString,
+  kOid,
+  kTime,
+  kPunct,  // text holds the punctuation, e.g. "(", "<-", "=<"
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= src_.size()) {
+        out.push_back(Token{TokKind::kEnd, "", 0, 0, pos_});
+        return out;
+      }
+      size_t start = pos_;
+      char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LABFLOW_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (c == '#' || c == '@') {
+        ++pos_;
+        if (pos_ >= src_.size() ||
+            !std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          return Err(start, "expected digits after '" + std::string(1, c) +
+                                "'");
+        }
+        int64_t v = 0;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          v = v * 10 + (src_[pos_++] - '0');
+        }
+        Token t;
+        t.kind = c == '#' ? TokKind::kOid : TokKind::kTime;
+        t.int_value = v;
+        t.pos = start;
+        out.push_back(std::move(t));
+      } else if (c == '_' || std::isupper(static_cast<unsigned char>(c))) {
+        out.push_back(LexIdent(TokKind::kVar));
+      } else if (std::isalpha(static_cast<unsigned char>(c))) {
+        out.push_back(LexIdent(TokKind::kAtom));
+      } else if (c == '"') {
+        LABFLOW_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        LABFLOW_ASSIGN_OR_RETURN(Token t, LexPunct());
+        out.push_back(std::move(t));
+      }
+    }
+  }
+
+ private:
+  Status Err(size_t pos, const std::string& msg) {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(pos) + ": " + msg);
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+    bool is_real = false;
+    if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+        std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+      is_real = true;
+      ++pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      size_t save = pos_;
+      ++pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ < src_.size() &&
+          std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        is_real = true;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        pos_ = save;
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    Token t;
+    t.pos = start;
+    if (is_real) {
+      t.kind = TokKind::kReal;
+      t.real_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokKind::kInt;
+      t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+    }
+    return t;
+  }
+
+  Token LexIdent(TokKind kind) {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      ++pos_;
+    }
+    Token t;
+    t.kind = kind;
+    t.text = std::string(src_.substr(start, pos_ - start));
+    t.pos = start;
+    return t;
+  }
+
+  Result<Token> LexString() {
+    size_t start = pos_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      char c = src_[pos_++];
+      if (c == '\\' && pos_ < src_.size()) {
+        char e = src_[pos_++];
+        switch (e) {
+          case 'n':
+            text.push_back('\n');
+            break;
+          case 't':
+            text.push_back('\t');
+            break;
+          default:
+            text.push_back(e);
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    if (pos_ >= src_.size()) return Err(start, "unterminated string");
+    ++pos_;  // closing quote
+    Token t;
+    t.kind = TokKind::kString;
+    t.text = std::move(text);
+    t.pos = start;
+    return t;
+  }
+
+  Result<Token> LexPunct() {
+    size_t start = pos_;
+    static const char* kTwoChar[] = {":-", "<-", "?-", "=<", ">=",
+                                     "\\=", "\\+"};
+    for (const char* op : kTwoChar) {
+      if (src_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        Token t;
+        t.kind = TokKind::kPunct;
+        t.text = op;
+        t.pos = start;
+        return t;
+      }
+    }
+    char c = src_[pos_];
+    static const std::string kSingles = "()[],|.=<>+-*/?";
+    if (kSingles.find(c) == std::string::npos) {
+      return Err(start, std::string("unexpected character '") + c + "'");
+    }
+    ++pos_;
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.text = std::string(1, c);
+    t.pos = start;
+    return t;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Clause>> Program() {
+    std::vector<Clause> clauses;
+    while (!AtEnd()) {
+      LABFLOW_ASSIGN_OR_RETURN(Clause c, OneClause());
+      clauses.push_back(std::move(c));
+    }
+    return clauses;
+  }
+
+  Result<std::vector<Term>> Query() {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Conjunction());
+    (void)ConsumePunct(".");
+    (void)ConsumePunct("?");
+    if (!AtEnd()) return Err("trailing tokens after query");
+    return goals;
+  }
+
+  Result<Term> SingleTerm() {
+    LABFLOW_ASSIGN_OR_RETURN(Term t, Expr());
+    if (!AtEnd()) return Err("trailing tokens after term");
+    return t;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool PeekPunct(const std::string& p) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == p;
+  }
+  bool ConsumePunct(const std::string& p) {
+    if (PeekPunct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectPunct(const std::string& p) {
+    if (!ConsumePunct(p)) return Err("expected '" + p + "'");
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().pos) + ": " + msg);
+  }
+
+  Result<Clause> OneClause() {
+    LABFLOW_ASSIGN_OR_RETURN(Term head, Expr());
+    Clause clause;
+    clause.head = std::move(head);
+    if (ConsumePunct("<-") || ConsumePunct(":-")) {
+      LABFLOW_ASSIGN_OR_RETURN(clause.body, Conjunction());
+    }
+    LABFLOW_RETURN_IF_ERROR(ExpectPunct("."));
+    if (clause.head.is_var() || clause.head.is_const()) {
+      return Err("clause head must be an atom or compound");
+    }
+    return clause;
+  }
+
+  Result<std::vector<Term>> Conjunction() {
+    std::vector<Term> goals;
+    LABFLOW_ASSIGN_OR_RETURN(Term g, Expr());
+    goals.push_back(std::move(g));
+    while (ConsumePunct(",")) {
+      LABFLOW_ASSIGN_OR_RETURN(Term next, Expr());
+      goals.push_back(std::move(next));
+    }
+    return goals;
+  }
+
+  Result<Term> Expr() {
+    LABFLOW_ASSIGN_OR_RETURN(Term left, Arith());
+    static const char* kCmp[] = {"=", "\\=", "=<", ">=", "<", ">"};
+    for (const char* op : kCmp) {
+      if (ConsumePunct(op)) {
+        LABFLOW_ASSIGN_OR_RETURN(Term right, Arith());
+        return Term::Make(op, {std::move(left), std::move(right)});
+      }
+    }
+    if (Peek().kind == TokKind::kAtom && Peek().text == "is") {
+      ++pos_;
+      LABFLOW_ASSIGN_OR_RETURN(Term right, Arith());
+      return Term::Make("is", {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<Term> Arith() {
+    LABFLOW_ASSIGN_OR_RETURN(Term left, Prod());
+    while (PeekPunct("+") || PeekPunct("-")) {
+      std::string op = Next().text;
+      LABFLOW_ASSIGN_OR_RETURN(Term right, Prod());
+      left = Term::Make(op, {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<Term> Prod() {
+    LABFLOW_ASSIGN_OR_RETURN(Term left, Unary());
+    while (true) {
+      std::string op;
+      if (PeekPunct("*") || PeekPunct("/")) {
+        op = Next().text;
+      } else if (Peek().kind == TokKind::kAtom && Peek().text == "mod") {
+        ++pos_;
+        op = "mod";
+      } else {
+        break;
+      }
+      LABFLOW_ASSIGN_OR_RETURN(Term right, Unary());
+      left = Term::Make(op, {std::move(left), std::move(right)});
+    }
+    return left;
+  }
+
+  Result<Term> Unary() {
+    if (ConsumePunct("-")) {
+      LABFLOW_ASSIGN_OR_RETURN(Term inner, Unary());
+      if (inner.is_const() && inner.value().type() == ValueType::kInt) {
+        return Term::Const(Value::Int(-inner.value().int_value()));
+      }
+      if (inner.is_const() && inner.value().type() == ValueType::kReal) {
+        return Term::Const(Value::Real(-inner.value().real_value()));
+      }
+      return Term::Make("-", {Term::Const(Value::Int(0)), std::move(inner)});
+    }
+    if (ConsumePunct("\\+")) {
+      LABFLOW_ASSIGN_OR_RETURN(Term inner, Unary());
+      return Term::Make("not", {std::move(inner)});
+    }
+    return Primary();
+  }
+
+  Result<Term> Primary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kInt: {
+        int64_t v = Next().int_value;
+        return Term::Const(Value::Int(v));
+      }
+      case TokKind::kReal: {
+        double v = Next().real_value;
+        return Term::Const(Value::Real(v));
+      }
+      case TokKind::kString: {
+        std::string s = Next().text;
+        return Term::Const(Value::String(std::move(s)));
+      }
+      case TokKind::kOid: {
+        int64_t v = Next().int_value;
+        return Term::Const(Value::Object(Oid(static_cast<uint64_t>(v))));
+      }
+      case TokKind::kTime: {
+        int64_t v = Next().int_value;
+        return Term::Const(Value::Time(Timestamp(v)));
+      }
+      case TokKind::kVar: {
+        std::string name = Next().text;
+        return Term::Var(std::move(name));
+      }
+      case TokKind::kAtom: {
+        std::string name = Next().text;
+        if (ConsumePunct("(")) {
+          std::vector<Term> args;
+          if (!PeekPunct(")")) {
+            LABFLOW_ASSIGN_OR_RETURN(Term first, Expr());
+            args.push_back(std::move(first));
+            while (ConsumePunct(",")) {
+              LABFLOW_ASSIGN_OR_RETURN(Term next, Expr());
+              args.push_back(std::move(next));
+            }
+          }
+          LABFLOW_RETURN_IF_ERROR(ExpectPunct(")"));
+          return Term::Make(std::move(name), std::move(args));
+        }
+        return Term::Atom(std::move(name));
+      }
+      case TokKind::kPunct: {
+        if (ConsumePunct("[")) return ListTail();
+        if (ConsumePunct("(")) {
+          LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Conjunction());
+          LABFLOW_RETURN_IF_ERROR(ExpectPunct(")"));
+          if (goals.size() == 1) return goals[0];
+          // A parenthesized conjunction becomes an explicit and/N goal.
+          return Term::Make("and", std::move(goals));
+        }
+        return Err("unexpected '" + tok.text + "'");
+      }
+      case TokKind::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  Result<Term> ListTail() {
+    if (ConsumePunct("]")) return Term::Nil();
+    std::vector<Term> items;
+    LABFLOW_ASSIGN_OR_RETURN(Term first, Expr());
+    items.push_back(std::move(first));
+    while (ConsumePunct(",")) {
+      LABFLOW_ASSIGN_OR_RETURN(Term next, Expr());
+      items.push_back(std::move(next));
+    }
+    Term tail = Term::Nil();
+    if (ConsumePunct("|")) {
+      LABFLOW_ASSIGN_OR_RETURN(tail, Expr());
+    }
+    LABFLOW_RETURN_IF_ERROR(ExpectPunct("]"));
+    Term list = std::move(tail);
+    for (auto it = items.rbegin(); it != items.rend(); ++it) {
+      list = Term::Cons(*it, std::move(list));
+    }
+    return list;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Clause>> Parser::ParseProgram(std::string_view src) {
+  Lexer lexer(src);
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl parser(std::move(tokens));
+  return parser.Program();
+}
+
+Result<std::vector<Term>> Parser::ParseQuery(std::string_view src) {
+  Lexer lexer(src);
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl parser(std::move(tokens));
+  return parser.Query();
+}
+
+Result<Term> Parser::ParseTerm(std::string_view src) {
+  Lexer lexer(src);
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl parser(std::move(tokens));
+  return parser.SingleTerm();
+}
+
+}  // namespace labflow::query

@@ -1,0 +1,51 @@
+#ifndef LABFLOW_QUERY_PARSER_H_
+#define LABFLOW_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/term.h"
+
+namespace labflow::query {
+
+/// A definite clause: `head.` (fact, empty body) or `head <- body.` /
+/// `head :- body.` (rule). The paper writes rules with `<-`; the classic
+/// Prolog `:-` is accepted as a synonym.
+struct Clause {
+  Term head;
+  std::vector<Term> body;
+};
+
+/// Recursive-descent parser for the deductive language.
+///
+/// Syntax summary:
+///   clause   := term ( ("<-" | ":-") conj )? "."
+///   conj     := expr ("," expr)*
+///   expr     := arith ( ("="|"\\="|"<"|">"|"=<"|">="|"is") arith )?
+///   arith    := prod (("+"|"-") prod)*
+///   prod     := unary (("*"|"/"|"mod") unary)*
+///   unary    := "-" unary | primary
+///   primary  := integer | real | "string" | #oid | @time | Variable
+///             | atom ( "(" expr ("," expr)* ")" )?
+///             | "[" (expr ("," expr)* ("|" expr)?)? "]"
+///             | "(" conj ")"            (parenthesized conjunction)
+///             | "\\+" primary           (negation as failure, = not/1)
+///   comments := "%" to end of line
+class Parser {
+ public:
+  /// Parses a whole rule program (sequence of clauses).
+  static Result<std::vector<Clause>> ParseProgram(std::string_view src);
+
+  /// Parses a query: a conjunction, with optional trailing "." or "?".
+  static Result<std::vector<Term>> ParseQuery(std::string_view src);
+
+  /// Parses a single term (no trailing period required).
+  static Result<Term> ParseTerm(std::string_view src);
+};
+
+}  // namespace labflow::query
+
+#endif  // LABFLOW_QUERY_PARSER_H_

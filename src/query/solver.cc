@@ -1,0 +1,1206 @@
+#include "query/solver.h"
+
+#include <algorithm>
+#include <set>
+
+namespace labflow::query {
+
+using labbase::AttrId;
+using labbase::ClassId;
+using labbase::kInvalidState;
+using labbase::StateId;
+using labbase::StepEffect;
+using labbase::StepTag;
+
+// ---- Conversions ------------------------------------------------------------
+
+Result<Value> TermToValue(const Term& t) {
+  switch (t.kind()) {
+    case Term::Kind::kConst:
+      return t.value();
+    case Term::Kind::kAtom:
+      if (t.IsNil()) return Value::MakeList({});
+      return Value::String(t.name());
+    case Term::Kind::kCompound: {
+      if (!t.IsCons()) {
+        return Status::InvalidArgument("cannot convert compound to value: " +
+                                       t.ToString());
+      }
+      Value::List items;
+      const Term* cur = &t;
+      while (cur->IsCons()) {
+        LABFLOW_ASSIGN_OR_RETURN(Value v, TermToValue(cur->args()[0]));
+        items.push_back(std::move(v));
+        cur = &cur->args()[1];
+      }
+      if (!cur->IsNil()) {
+        return Status::InvalidArgument("improper list");
+      }
+      return Value::MakeList(std::move(items));
+    }
+    case Term::Kind::kVar:
+      return Status::InvalidArgument("unbound variable: " + t.name());
+  }
+  return Status::InvalidArgument("bad term");
+}
+
+Term ValueToTerm(const Value& v) {
+  if (v.type() == ValueType::kList) {
+    std::vector<Term> items;
+    items.reserve(v.list_value().size());
+    for (const Value& item : v.list_value()) items.push_back(ValueToTerm(item));
+    return Term::List(items);
+  }
+  return Term::Const(v);
+}
+
+namespace {
+
+Result<Oid> TermToOid(const Term& t) {
+  if (t.is_const() && t.value().type() == ValueType::kOid) {
+    return t.value().oid_value();
+  }
+  return Status::InvalidArgument("expected an object id, got " + t.ToString());
+}
+
+Result<std::string> TermToName(const Term& t) {
+  if (t.is_atom()) return t.name();
+  if (t.is_const() && t.value().type() == ValueType::kString) {
+    return t.value().string_value();
+  }
+  return Status::InvalidArgument("expected a name, got " + t.ToString());
+}
+
+Result<Timestamp> TermToTime(const Term& t) {
+  if (t.is_const() && t.value().type() == ValueType::kTimestamp) {
+    return t.value().time_value();
+  }
+  if (t.is_const() && t.value().type() == ValueType::kInt) {
+    return Timestamp(t.value().int_value());
+  }
+  return Status::InvalidArgument("expected a timestamp, got " + t.ToString());
+}
+
+/// Materializes a proper list term into a vector (elements resolved).
+Result<std::vector<Term>> ListToVector(const Term& t0, const Bindings& b) {
+  std::vector<Term> out;
+  Term cur = b.Walk(t0);
+  while (cur.IsCons()) {
+    out.push_back(b.Resolve(cur.args()[0]));
+    cur = b.Walk(cur.args()[1]);
+  }
+  if (!cur.IsNil()) {
+    return Status::InvalidArgument("expected a proper list, got " +
+                                   cur.ToString());
+  }
+  return out;
+}
+
+Result<Value> EvalArith(const Term& t0, const Bindings& b) {
+  Term t = b.Resolve(t0);
+  switch (t.kind()) {
+    case Term::Kind::kConst: {
+      const Value& v = t.value();
+      if (v.type() == ValueType::kInt || v.type() == ValueType::kReal) {
+        return v;
+      }
+      if (v.type() == ValueType::kTimestamp) {
+        return Value::Int(v.time_value().micros);
+      }
+      return Status::InvalidArgument("non-numeric in arithmetic: " +
+                                     t.ToString());
+    }
+    case Term::Kind::kCompound: {
+      if (t.arity() != 2) break;
+      const std::string& op = t.name();
+      if (op != "+" && op != "-" && op != "*" && op != "/" && op != "mod") {
+        break;
+      }
+      LABFLOW_ASSIGN_OR_RETURN(Value a, EvalArith(t.args()[0], b));
+      LABFLOW_ASSIGN_OR_RETURN(Value c, EvalArith(t.args()[1], b));
+      bool ints = a.type() == ValueType::kInt && c.type() == ValueType::kInt;
+      if (ints) {
+        int64_t x = a.int_value(), y = c.int_value();
+        if (op == "+") return Value::Int(x + y);
+        if (op == "-") return Value::Int(x - y);
+        if (op == "*") return Value::Int(x * y);
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        if (op == "/") return Value::Int(x / y);
+        return Value::Int(((x % y) + y) % y);
+      }
+      double x, y;
+      a.AsReal(&x);
+      c.AsReal(&y);
+      if (op == "+") return Value::Real(x + y);
+      if (op == "-") return Value::Real(x - y);
+      if (op == "*") return Value::Real(x * y);
+      if (op == "/") {
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        return Value::Real(x / y);
+      }
+      return Status::InvalidArgument("mod needs integers");
+    }
+    default:
+      break;
+  }
+  return Status::InvalidArgument("cannot evaluate arithmetically: " +
+                                 t.ToString());
+}
+
+/// Three-way comparison for </2 and friends: numeric when both sides
+/// evaluate arithmetically, structural otherwise.
+Result<int> CompareForOrder(const Term& lhs, const Term& rhs,
+                            const Bindings& b) {
+  Result<Value> a = EvalArith(lhs, b);
+  Result<Value> c = EvalArith(rhs, b);
+  if (a.ok() && c.ok()) {
+    double x, y;
+    a->AsReal(&x);
+    c->AsReal(&y);
+    if (x < y) return -1;
+    if (x > y) return 1;
+    return 0;
+  }
+  return Term::Compare(b.Resolve(lhs), b.Resolve(rhs));
+}
+
+}  // namespace
+
+// ---- Solver core ------------------------------------------------------------
+
+Solver::Solver(labbase::LabBase* db) : Solver(db, Options{}) {}
+
+Solver::Solver(labbase::LabBase* db, Options options)
+    : db_(db), options_(options) {}
+
+Status Solver::LoadProgram(std::string_view src) {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Clause> clauses,
+                           Parser::ParseProgram(src));
+  for (Clause& c : clauses) AddClause(std::move(c));
+  return Status::OK();
+}
+
+void Solver::AddClause(Clause clause) {
+  auto key = std::make_pair(clause.head.name(), clause.head.arity());
+  rules_[key].push_back(std::move(clause));
+  ++rule_count_;
+}
+
+Status Solver::Spend() {
+  if (--work_ <= 0) {
+    return Status::ResourceExhausted("query exceeded its work budget");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Solver::Solve(const std::vector<Term>& goals,
+                              const Callback& cb) {
+  work_ = options_.max_work;
+  depth_ = 0;
+  Bindings b;
+  bool stop = false;
+  int64_t solutions = 0;
+  LABFLOW_RETURN_IF_ERROR(SolveFrom(goals, 0, &b, cb, &stop, &solutions));
+  return solutions;
+}
+
+Result<int64_t> Solver::SolveText(std::string_view query, const Callback& cb) {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
+  return Solve(goals, cb);
+}
+
+namespace {
+
+void CollectVars(const Term& t, std::set<std::string>* out) {
+  switch (t.kind()) {
+    case Term::Kind::kVar:
+      if (t.name() != "_") out->insert(t.name());
+      break;
+    case Term::Kind::kCompound:
+      for (const Term& a : t.args()) CollectVars(a, out);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<Solver::Solution>> Solver::QueryAll(std::string_view query,
+                                                       int64_t limit) {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
+  std::set<std::string> vars;
+  for (const Term& g : goals) CollectVars(g, &vars);
+  std::vector<Solution> out;
+  LABFLOW_ASSIGN_OR_RETURN(
+      int64_t n, Solve(goals, [&](const Bindings& b) {
+        Solution sol;
+        for (const std::string& v : vars) {
+          sol.vars[v] = b.Resolve(Term::Var(v));
+        }
+        out.push_back(std::move(sol));
+        return limit < 0 || static_cast<int64_t>(out.size()) < limit;
+      }));
+  (void)n;
+  return out;
+}
+
+Result<bool> Solver::Prove(std::string_view query) {
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
+  bool found = false;
+  LABFLOW_ASSIGN_OR_RETURN(int64_t n, Solve(goals, [&](const Bindings&) {
+                             found = true;
+                             return false;  // first solution suffices
+                           }));
+  (void)n;
+  return found;
+}
+
+Term Solver::RenameTerm(const Term& t, const std::string& suffix) {
+  switch (t.kind()) {
+    case Term::Kind::kVar:
+      if (t.name() == "_") {
+        // Each _ is a distinct variable; suffix alone keeps them apart per
+        // clause instance but _ must also differ within a clause. Encode
+        // position via pointer-free trick: rely on unique name per use.
+        static thread_local uint64_t underscore_counter = 0;
+        return Term::Var("_u" + std::to_string(++underscore_counter) + suffix);
+      }
+      return Term::Var(t.name() + suffix);
+    case Term::Kind::kCompound: {
+      std::vector<Term> args;
+      args.reserve(t.arity());
+      for (const Term& a : t.args()) args.push_back(RenameTerm(a, suffix));
+      return Term::Make(t.name(), std::move(args));
+    }
+    default:
+      return t;
+  }
+}
+
+Clause Solver::Rename(const Clause& clause) {
+  std::string suffix = "~" + std::to_string(++rename_counter_);
+  Clause fresh;
+  fresh.head = RenameTerm(clause.head, suffix);
+  fresh.body.reserve(clause.body.size());
+  for (const Term& g : clause.body) fresh.body.push_back(RenameTerm(g, suffix));
+  return fresh;
+}
+
+Status Solver::SolveFrom(const std::vector<Term>& goals, size_t idx,
+                         Bindings* b, const Callback& cb, bool* stop,
+                         int64_t* solutions) {
+  LABFLOW_RETURN_IF_ERROR(Spend());
+  if (idx == goals.size()) {
+    ++*solutions;
+    if (!cb(*b)) *stop = true;
+    return Status::OK();
+  }
+  // Bound the native stack: every nested goal level costs several C++
+  // frames, so runaway recursion must fail cleanly, not crash.
+  if (depth_ >= options_.max_depth) {
+    return Status::ResourceExhausted("query exceeded the recursion depth limit");
+  }
+  struct DepthGuard {
+    int64_t* depth;
+    ~DepthGuard() { --*depth; }
+  } guard{&depth_};
+  ++depth_;
+  Term goal = b->Walk(goals[idx]);
+  if (goal.is_var()) {
+    return Status::InvalidArgument("unbound goal variable " + goal.name());
+  }
+  if (goal.is_const()) {
+    return Status::InvalidArgument("constant is not a valid goal: " +
+                                   goal.ToString());
+  }
+
+  bool handled = false;
+  LABFLOW_RETURN_IF_ERROR(
+      SolveBuiltin(goal, goals, idx, b, cb, stop, solutions, &handled));
+  if (handled || *stop) return Status::OK();
+
+  LABFLOW_RETURN_IF_ERROR(
+      SolveRules(goal, goals, idx, b, cb, stop, solutions, &handled));
+  if (handled || *stop) return Status::OK();
+
+  LABFLOW_RETURN_IF_ERROR(
+      SolveDbPredicate(goal, goals, idx, b, cb, stop, solutions, &handled));
+  if (handled || *stop) return Status::OK();
+
+  return Status::InvalidArgument("unknown predicate " + goal.name() + "/" +
+                                 std::to_string(goal.arity()));
+}
+
+Status Solver::SolveRules(const Term& goal, const std::vector<Term>& goals,
+                          size_t idx, Bindings* b, const Callback& cb,
+                          bool* stop, int64_t* solutions, bool* handled) {
+  auto it = rules_.find(std::make_pair(goal.name(), goal.arity()));
+  if (it == rules_.end()) return Status::OK();
+  *handled = true;
+  // Snapshot the clause list: assert/retract during resolution must not
+  // affect this goal's iteration (the "logical update view").
+  const std::vector<Clause> snapshot = it->second;
+  for (const Clause& clause : snapshot) {
+    LABFLOW_RETURN_IF_ERROR(Spend());
+    Clause fresh = Rename(clause);
+    size_t mark = b->Mark();
+    if (Unify(goal, fresh.head, b)) {
+      // Prepend the clause body to the remaining goals.
+      std::vector<Term> next;
+      next.reserve(fresh.body.size() + (goals.size() - idx - 1));
+      next.insert(next.end(), fresh.body.begin(), fresh.body.end());
+      next.insert(next.end(), goals.begin() + idx + 1, goals.end());
+      LABFLOW_RETURN_IF_ERROR(SolveFrom(next, 0, b, cb, stop, solutions));
+    }
+    b->UndoTo(mark);
+    if (*stop) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status Solver::SolveBuiltin(const Term& goal, const std::vector<Term>& goals,
+                            size_t idx, Bindings* b, const Callback& cb,
+                            bool* stop, int64_t* solutions, bool* handled) {
+  const std::string& f = goal.name();
+  const size_t n = goal.arity();
+  *handled = true;
+
+  auto Continue = [&]() {
+    return SolveFrom(goals, idx + 1, b, cb, stop, solutions);
+  };
+  /// Unifies a with t; on success continues; always restores bindings.
+  auto UnifyAndContinue = [&](const Term& a, const Term& t) -> Status {
+    size_t mark = b->Mark();
+    if (Unify(a, t, b)) {
+      LABFLOW_RETURN_IF_ERROR(Continue());
+    }
+    b->UndoTo(mark);
+    return Status::OK();
+  };
+
+  // ---- control ------------------------------------------------------------
+  if (f == "true" && n == 0) return Continue();
+  if (f == "fail" && n == 0) return Status::OK();
+  if (f == "and") {
+    std::vector<Term> next;
+    next.reserve(n + goals.size() - idx - 1);
+    next.insert(next.end(), goal.args().begin(), goal.args().end());
+    next.insert(next.end(), goals.begin() + idx + 1, goals.end());
+    return SolveFrom(next, 0, b, cb, stop, solutions);
+  }
+  if (f == "not" && n == 1) {
+    std::vector<Term> sub = {goal.args()[0]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    size_t mark = b->Mark();
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        sub, 0, b, [](const Bindings&) { return false; }, &sub_stop,
+        &sub_solutions));
+    b->UndoTo(mark);
+    if (sub_solutions == 0) return Continue();
+    return Status::OK();
+  }
+  if (f == "once" && n == 1) {
+    std::vector<Term> sub = {goal.args()[0]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    size_t mark = b->Mark();
+    Status st = Status::OK();
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        sub, 0, b,
+        [&](const Bindings&) {
+          st = Continue();
+          return false;  // only the first solution
+        },
+        &sub_stop, &sub_solutions));
+    LABFLOW_RETURN_IF_ERROR(st);
+    b->UndoTo(mark);
+    return Status::OK();
+  }
+  if (f == "=" && n == 2) {
+    return UnifyAndContinue(goal.args()[0], goal.args()[1]);
+  }
+  if (f == "\\=" && n == 2) {
+    size_t mark = b->Mark();
+    bool unifies = Unify(goal.args()[0], goal.args()[1], b);
+    b->UndoTo(mark);
+    if (!unifies) return Continue();
+    return Status::OK();
+  }
+  if (f == "is" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(Value v, EvalArith(goal.args()[1], *b));
+    return UnifyAndContinue(goal.args()[0], Term::Const(v));
+  }
+  if ((f == "<" || f == ">" || f == "=<" || f == ">=") && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(int c,
+                             CompareForOrder(goal.args()[0], goal.args()[1],
+                                             *b));
+    bool holds = (f == "<" && c < 0) || (f == ">" && c > 0) ||
+                 (f == "=<" && c <= 0) || (f == ">=" && c >= 0);
+    if (holds) return Continue();
+    return Status::OK();
+  }
+  if (f == "between" && n == 3) {
+    LABFLOW_ASSIGN_OR_RETURN(Value lo, EvalArith(goal.args()[0], *b));
+    LABFLOW_ASSIGN_OR_RETURN(Value hi, EvalArith(goal.args()[1], *b));
+    if (lo.type() != ValueType::kInt || hi.type() != ValueType::kInt) {
+      return Status::InvalidArgument("between/3 needs integers");
+    }
+    for (int64_t x = lo.int_value(); x <= hi.int_value(); ++x) {
+      LABFLOW_RETURN_IF_ERROR(
+          UnifyAndContinue(goal.args()[2], Term::Const(Value::Int(x))));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // ---- dynamic facts (paper Section 3: workflow transitions are written
+  // as retract(state(M, s1)), assert(state(M, s2)) over a dynamic store) --
+  if (f == "assert" && n == 1) {
+    Term fact = b->Resolve(goal.args()[0]);
+    if (fact.is_var() || fact.is_const()) {
+      return Status::InvalidArgument("assert/1 needs an atom or compound");
+    }
+    Clause clause;
+    clause.head = fact;
+    AddClause(std::move(clause));
+    return Continue();
+  }
+  if (f == "retract" && n == 1) {
+    Term pattern = b->Walk(goal.args()[0]);
+    if (pattern.is_var() || pattern.is_const()) {
+      return Status::InvalidArgument("retract/1 needs an atom or compound");
+    }
+    auto it = rules_.find(std::make_pair(pattern.name(), pattern.arity()));
+    if (it == rules_.end()) return Status::OK();  // nothing to retract: fail
+    std::vector<Clause>& clauses = it->second;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      if (!clauses[i].body.empty()) continue;  // only facts are retractable
+      size_t mark = b->Mark();
+      if (Unify(pattern, clauses[i].head, b)) {
+        clauses.erase(clauses.begin() + i);
+        --rule_count_;
+        LABFLOW_RETURN_IF_ERROR(Continue());
+        // Retraction is not undone on backtracking (standard Prolog).
+        b->UndoTo(mark);
+        return Status::OK();
+      }
+      b->UndoTo(mark);
+    }
+    return Status::OK();  // no matching fact: fail
+  }
+
+  // ---- lists ----------------------------------------------------------------
+  if (f == "member" && n == 2) {
+    Term list = b->Walk(goal.args()[1]);
+    while (true) {
+      list = b->Walk(list);
+      if (list.IsCons()) {
+        LABFLOW_RETURN_IF_ERROR(
+            UnifyAndContinue(goal.args()[0], list.args()[0]));
+        if (*stop) return Status::OK();
+        list = list.args()[1];
+      } else if (list.IsNil()) {
+        return Status::OK();
+      } else {
+        return Status::InvalidArgument("member/2 needs a proper list");
+      }
+    }
+  }
+  if (f == "length" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> items,
+                             ListToVector(goal.args()[0], *b));
+    return UnifyAndContinue(
+        goal.args()[1],
+        Term::Const(Value::Int(static_cast<int64_t>(items.size()))));
+  }
+  if (f == "append" && n == 3) {
+    Term a = b->Walk(goal.args()[0]);
+    // Mode (+,+,-): concatenate. Mode (-,-,+): enumerate splits.
+    if (a.IsCons() || a.IsNil()) {
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> xs,
+                               ListToVector(goal.args()[0], *b));
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> ys,
+                               ListToVector(goal.args()[1], *b));
+      xs.insert(xs.end(), ys.begin(), ys.end());
+      return UnifyAndContinue(goal.args()[2], Term::List(xs));
+    }
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> zs,
+                             ListToVector(goal.args()[2], *b));
+    for (size_t split = 0; split <= zs.size(); ++split) {
+      std::vector<Term> xs(zs.begin(), zs.begin() + split);
+      std::vector<Term> ys(zs.begin() + split, zs.end());
+      size_t mark = b->Mark();
+      if (Unify(goal.args()[0], Term::List(xs), b) &&
+          Unify(goal.args()[1], Term::List(ys), b)) {
+        LABFLOW_RETURN_IF_ERROR(Continue());
+      }
+      b->UndoTo(mark);
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // ---- aggregation -----------------------------------------------------------
+  if ((f == "findall" || f == "setof") && n == 3) {
+    std::vector<Term> collected;
+    std::vector<Term> sub = {goal.args()[1]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    size_t mark = b->Mark();
+    const Term& tmpl = goal.args()[0];
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        sub, 0, b,
+        [&](const Bindings& inner) {
+          collected.push_back(inner.Resolve(tmpl));
+          return true;
+        },
+        &sub_stop, &sub_solutions));
+    b->UndoTo(mark);
+    if (f == "setof") {
+      std::sort(collected.begin(), collected.end(),
+                [](const Term& x, const Term& y) {
+                  return Term::Compare(x, y) < 0;
+                });
+      collected.erase(std::unique(collected.begin(), collected.end()),
+                      collected.end());
+    }
+    return UnifyAndContinue(goal.args()[2], Term::List(collected));
+  }
+  if (f == "forall" && n == 2) {
+    // forall(Cond, Action): no Cond solution for which Action fails.
+    std::vector<Term> cond = {goal.args()[0]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    bool all_hold = true;
+    size_t mark = b->Mark();
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        cond, 0, b,
+        [&](const Bindings&) {
+          std::vector<Term> action = {goal.args()[1]};
+          bool inner_stop = false;
+          int64_t inner_solutions = 0;
+          Status st = SolveFrom(
+              action, 0, b, [](const Bindings&) { return false; },
+              &inner_stop, &inner_solutions);
+          if (!st.ok() || inner_solutions == 0) {
+            all_hold = false;
+            return false;  // counterexample found; stop enumerating
+          }
+          return true;
+        },
+        &sub_stop, &sub_solutions));
+    b->UndoTo(mark);
+    if (all_hold) return Continue();
+    return Status::OK();
+  }
+  if ((f == "sum" || f == "max_of" || f == "min_of") && n == 3) {
+    // sum(Expr, Goal, Total) / max_of / min_of: arithmetic aggregation over
+    // the Goal's solutions (the paper's report queries aggregate this way).
+    std::vector<Term> sub = {goal.args()[1]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    size_t mark = b->Mark();
+    double acc = 0;
+    bool all_int = true;
+    int64_t int_acc = 0;
+    bool any = false;
+    bool extreme_set = false;
+    double extreme = 0;
+    Status eval_status = Status::OK();
+    const Term& expr = goal.args()[0];
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        sub, 0, b,
+        [&](const Bindings& inner) {
+          Result<Value> v = EvalArith(expr, inner);
+          if (!v.ok()) {
+            eval_status = v.status();
+            return false;
+          }
+          any = true;
+          double d;
+          v->AsReal(&d);
+          if (v->type() == ValueType::kInt) {
+            int_acc += v->int_value();
+          } else {
+            all_int = false;
+          }
+          acc += d;
+          if (!extreme_set || (f == "max_of" ? d > extreme : d < extreme)) {
+            extreme = d;
+            extreme_set = true;
+          }
+          return true;
+        },
+        &sub_stop, &sub_solutions));
+    b->UndoTo(mark);
+    LABFLOW_RETURN_IF_ERROR(eval_status);
+    if (f != "sum" && !any) return Status::OK();  // no extremum of nothing
+    Value result;
+    if (f == "sum") {
+      result = all_int ? Value::Int(int_acc) : Value::Real(acc);
+    } else {
+      result = (all_int && extreme == static_cast<int64_t>(extreme))
+                   ? Value::Int(static_cast<int64_t>(extreme))
+                   : Value::Real(extreme);
+    }
+    return UnifyAndContinue(goal.args()[2], Term::Const(result));
+  }
+  if (f == "reverse" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> items,
+                             ListToVector(goal.args()[0], *b));
+    std::reverse(items.begin(), items.end());
+    return UnifyAndContinue(goal.args()[1], Term::List(items));
+  }
+  if (f == "nth1" && n == 3) {
+    LABFLOW_ASSIGN_OR_RETURN(Value idx, EvalArith(goal.args()[0], *b));
+    if (idx.type() != ValueType::kInt) {
+      return Status::InvalidArgument("nth1/3 needs an integer index");
+    }
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> items,
+                             ListToVector(goal.args()[1], *b));
+    int64_t i = idx.int_value();
+    if (i < 1 || i > static_cast<int64_t>(items.size())) return Status::OK();
+    return UnifyAndContinue(goal.args()[2], items[static_cast<size_t>(i - 1)]);
+  }
+  if (f == "msort" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> items,
+                             ListToVector(goal.args()[0], *b));
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Term& x, const Term& y) {
+                       return Term::Compare(x, y) < 0;
+                     });
+    return UnifyAndContinue(goal.args()[1], Term::List(items));
+  }
+  if (f == "count" && n == 2) {
+    std::vector<Term> sub = {goal.args()[0]};
+    bool sub_stop = false;
+    int64_t sub_solutions = 0;
+    size_t mark = b->Mark();
+    LABFLOW_RETURN_IF_ERROR(SolveFrom(
+        sub, 0, b, [](const Bindings&) { return true; }, &sub_stop,
+        &sub_solutions));
+    b->UndoTo(mark);
+    return UnifyAndContinue(goal.args()[1],
+                            Term::Const(Value::Int(sub_solutions)));
+  }
+
+  *handled = false;
+  return Status::OK();
+}
+
+// ---- LabBase-backed predicates ----------------------------------------------
+
+Status Solver::SolveDbPredicate(const Term& goal,
+                                const std::vector<Term>& goals, size_t idx,
+                                Bindings* b, const Callback& cb, bool* stop,
+                                int64_t* solutions, bool* handled) {
+  if (db_ == nullptr) return Status::OK();
+  const std::string& f = goal.name();
+  const size_t n = goal.arity();
+  *handled = true;
+
+  auto Continue = [&]() {
+    return SolveFrom(goals, idx + 1, b, cb, stop, solutions);
+  };
+  auto UnifyAndContinue = [&](const Term& a, const Term& t) -> Status {
+    size_t mark = b->Mark();
+    if (Unify(a, t, b)) {
+      LABFLOW_RETURN_IF_ERROR(Continue());
+    }
+    b->UndoTo(mark);
+    return Status::OK();
+  };
+  auto UnifyAllAndContinue =
+      [&](const std::vector<std::pair<Term, Term>>& pairs) -> Status {
+    size_t mark = b->Mark();
+    bool ok = true;
+    for (const auto& [a, t] : pairs) {
+      if (!Unify(a, t, b)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      LABFLOW_RETURN_IF_ERROR(Continue());
+    }
+    b->UndoTo(mark);
+    return Status::OK();
+  };
+  auto OidTerm = [](Oid oid) { return Term::Const(Value::Object(oid)); };
+
+  const labbase::Schema& schema = db_->schema();
+
+  /// Enumerates all materials (every material class).
+  auto AllMaterials = [&]() -> Result<std::vector<Oid>> {
+    std::vector<Oid> out;
+    for (ClassId c = 0; c < schema.class_count(); ++c) {
+      if (!schema.IsMaterialClass(c)) continue;
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms, db_->MaterialsOfClass(c));
+      out.insert(out.end(), ms.begin(), ms.end());
+    }
+    return out;
+  };
+
+  // ---- pure queries -------------------------------------------------------
+
+  if (f == "material" && n == 1) {
+    Term m = b->Walk(goal.args()[0]);
+    if (!m.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m)));
+      if (db_->GetMaterial(oid).ok()) return Continue();
+      return Status::OK();
+    }
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> all, AllMaterials());
+    for (Oid oid : all) {
+      LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(m, OidTerm(oid)));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // <material-class>(M): class-membership predicate, e.g. clone(X).
+  if (n == 1) {
+    auto class_id = schema.MaterialClassByName(f);
+    if (class_id.ok()) {
+      Term m = b->Walk(goal.args()[0]);
+      if (!m.is_var()) {
+        LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m)));
+        auto info = db_->GetMaterial(oid);
+        if (info.ok() && info->class_id == class_id.value()) {
+          return Continue();
+        }
+        return Status::OK();
+      }
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms,
+                               db_->MaterialsOfClass(class_id.value()));
+      for (Oid oid : ms) {
+        LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(m, OidTerm(oid)));
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+  }
+
+  if (f == "material_name" && n == 2) {
+    Term m = b->Walk(goal.args()[0]);
+    if (m.is_var()) {
+      // Look up by name when given, else enumerate.
+      Term name_t = b->Resolve(goal.args()[1]);
+      if (!name_t.is_var()) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string name, TermToName(name_t));
+        auto oid = db_->FindMaterialByName(name);
+        if (!oid.ok()) return Status::OK();
+        return UnifyAndContinue(m, OidTerm(oid.value()));
+      }
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> all, AllMaterials());
+      for (Oid oid : all) {
+        LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info,
+                                 db_->GetMaterial(oid));
+        LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
+            {{m, OidTerm(oid)},
+             {goal.args()[1], Term::Const(Value::String(info.name))}}));
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m)));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info, db_->GetMaterial(oid));
+    return UnifyAndContinue(goal.args()[1],
+                            Term::Const(Value::String(info.name)));
+  }
+
+  if (f == "created" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info, db_->GetMaterial(oid));
+    return UnifyAndContinue(goal.args()[1],
+                            Term::Const(Value::Time(info.created)));
+  }
+
+  if (f == "workflow_state" && n == 1) {
+    // Enumerates the defined workflow states (bound mode checks existence).
+    Term s = b->Resolve(goal.args()[0]);
+    if (!s.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, TermToName(s));
+      if (schema.StateByName(name).ok()) return Continue();
+      return Status::OK();
+    }
+    for (StateId state = 0; state < schema.state_count(); ++state) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.StateName(state));
+      LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(s, Term::Atom(name)));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  if (f == "material_class" && n == 2) {
+    // material_class(M, ClassName): which class a material belongs to.
+    Term m = b->Walk(goal.args()[0]);
+    if (!m.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m)));
+      LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info,
+                               db_->GetMaterial(oid));
+      LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                               schema.ClassName(info.class_id));
+      return UnifyAndContinue(goal.args()[1], Term::Atom(name));
+    }
+    Term c = b->Resolve(goal.args()[1]);
+    if (!c.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, TermToName(c));
+      auto cls = schema.MaterialClassByName(name);
+      if (!cls.ok()) return Status::OK();
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms,
+                               db_->MaterialsOfClass(cls.value()));
+      for (Oid oid : ms) {
+        LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(m, OidTerm(oid)));
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+    for (ClassId cls = 0; cls < schema.class_count(); ++cls) {
+      if (!schema.IsMaterialClass(cls)) continue;
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.ClassName(cls));
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms,
+                               db_->MaterialsOfClass(cls));
+      for (Oid oid : ms) {
+        LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
+            {{m, OidTerm(oid)}, {goal.args()[1], Term::Atom(name)}}));
+        if (*stop) return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  if (f == "attribute" && n == 1) {
+    // Enumerates the defined attributes.
+    Term a = b->Resolve(goal.args()[0]);
+    if (!a.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, TermToName(a));
+      if (schema.AttributeByName(name).ok()) return Continue();
+      return Status::OK();
+    }
+    for (AttrId attr = 0; attr < schema.attribute_count(); ++attr) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.AttributeName(attr));
+      LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(a, Term::Atom(name)));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  if (f == "state" && n == 2) {
+    Term m = b->Walk(goal.args()[0]);
+    Term s = b->Resolve(goal.args()[1]);
+    if (!m.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m)));
+      LABFLOW_ASSIGN_OR_RETURN(StateId state, db_->CurrentState(oid));
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.StateName(state));
+      return UnifyAndContinue(goal.args()[1], Term::Atom(name));
+    }
+    if (!s.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, TermToName(s));
+      auto state = schema.StateByName(name);
+      if (!state.ok()) return Status::OK();
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms,
+                               db_->MaterialsInState(state.value()));
+      for (Oid oid : ms) {
+        LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(m, OidTerm(oid)));
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+    for (StateId state = 0; state < schema.state_count(); ++state) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.StateName(state));
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> ms,
+                               db_->MaterialsInState(state));
+      for (Oid oid : ms) {
+        LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
+            {{m, OidTerm(oid)}, {goal.args()[1], Term::Atom(name)}}));
+        if (*stop) return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  if (f == "most_recent" && n == 3) {
+    Term m_t = b->Walk(goal.args()[0]);
+    if (m_t.is_var()) {
+      // Enumerate all materials and retry with M bound.
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> all, AllMaterials());
+      for (Oid oid : all) {
+        size_t mark = b->Mark();
+        if (Unify(m_t, OidTerm(oid), b)) {
+          bool sub_handled = false;
+          LABFLOW_RETURN_IF_ERROR(SolveDbPredicate(
+              b->Resolve(goal), goals, idx, b, cb, stop, solutions,
+              &sub_handled));
+        }
+        b->UndoTo(mark);
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(m_t)));
+    Term attr_t = b->Resolve(goal.args()[1]);
+    if (attr_t.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info,
+                               db_->GetMaterial(oid));
+      for (AttrId attr : info.attrs_present) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.AttributeName(attr));
+        auto value = db_->MostRecent(oid, attr);
+        if (!value.ok()) continue;
+        LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
+            {{goal.args()[1], Term::Atom(name)},
+             {goal.args()[2], ValueToTerm(value.value())}}));
+        if (*stop) return Status::OK();
+      }
+      return Status::OK();
+    }
+    LABFLOW_ASSIGN_OR_RETURN(std::string attr_name, TermToName(attr_t));
+    auto attr = schema.AttributeByName(attr_name);
+    if (!attr.ok()) return Status::OK();
+    auto value = db_->MostRecent(oid, attr.value());
+    if (!value.ok()) return Status::OK();  // no tag recorded -> fail
+    return UnifyAndContinue(goal.args()[2], ValueToTerm(value.value()));
+  }
+
+  if (f == "history" && n == 3) {
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                             TermToName(b->Resolve(goal.args()[1])));
+    auto attr = schema.AttributeByName(attr_name);
+    if (!attr.ok()) return Status::OK();
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
+                             db_->History(oid, attr.value()));
+    std::vector<Term> items;
+    items.reserve(hist.size());
+    for (const labbase::HistoryEntry& e : hist) {
+      items.push_back(Term::Make(
+          "h", {Term::Const(Value::Time(e.time)), ValueToTerm(e.value)}));
+    }
+    return UnifyAndContinue(goal.args()[2], Term::List(items));
+  }
+
+  if (f == "value_at" && n == 4) {
+    // value_at(M, Attr, Time, V): temporal as-of query.
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                             TermToName(b->Resolve(goal.args()[1])));
+    auto attr = schema.AttributeByName(attr_name);
+    if (!attr.ok()) return Status::OK();
+    LABFLOW_ASSIGN_OR_RETURN(Timestamp at,
+                             TermToTime(b->Resolve(goal.args()[2])));
+    auto value = db_->ValueAsOf(oid, attr.value(), at);
+    if (!value.ok()) return Status::OK();
+    return UnifyAndContinue(goal.args()[3], ValueToTerm(value.value()));
+  }
+
+  if (f == "history_between" && n == 5) {
+    // history_between(M, Attr, From, To, L).
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                             TermToName(b->Resolve(goal.args()[1])));
+    auto attr = schema.AttributeByName(attr_name);
+    if (!attr.ok()) return Status::OK();
+    LABFLOW_ASSIGN_OR_RETURN(Timestamp from,
+                             TermToTime(b->Resolve(goal.args()[2])));
+    LABFLOW_ASSIGN_OR_RETURN(Timestamp to,
+                             TermToTime(b->Resolve(goal.args()[3])));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
+                             db_->HistoryBetween(oid, attr.value(), from, to));
+    std::vector<Term> items;
+    items.reserve(hist.size());
+    for (const labbase::HistoryEntry& e : hist) {
+      items.push_back(Term::Make(
+          "h", {Term::Const(Value::Time(e.time)), ValueToTerm(e.value)}));
+    }
+    return UnifyAndContinue(goal.args()[4], Term::List(items));
+  }
+
+  if (f == "step" && n == 3) {
+    Term s = b->Walk(goal.args()[0]);
+    auto EmitStep = [&](Oid step_oid) -> Status {
+      LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo info, db_->GetStep(step_oid));
+      LABFLOW_ASSIGN_OR_RETURN(std::string class_name,
+                               schema.ClassName(info.class_id));
+      return UnifyAllAndContinue(
+          {{s, OidTerm(step_oid)},
+           {goal.args()[1], Term::Atom(class_name)},
+           {goal.args()[2], Term::Const(Value::Time(info.time))}});
+    };
+    if (!s.is_var()) {
+      LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(s)));
+      return EmitStep(oid);
+    }
+    std::vector<Oid> steps;
+    LABFLOW_RETURN_IF_ERROR(db_->storage()->ScanAll(
+        [&](storage::ObjectId id, std::string_view data) {
+          auto kind = labbase::PeekRecordKind(data);
+          if (kind.ok() && kind.value() == labbase::RecordKind::kStep) {
+            steps.push_back(Oid(id.raw));
+          }
+          return Status::OK();
+        }));
+    for (Oid oid : steps) {
+      LABFLOW_RETURN_IF_ERROR(EmitStep(oid));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  if (f == "step_version" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo info, db_->GetStep(oid));
+    return UnifyAndContinue(
+        goal.args()[1],
+        Term::Const(Value::Int(static_cast<int64_t>(info.version))));
+  }
+
+  if (f == "step_material" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo info, db_->GetStep(oid));
+    for (const labbase::StepMaterialEntry& e : info.materials) {
+      LABFLOW_RETURN_IF_ERROR(
+          UnifyAndContinue(goal.args()[1], OidTerm(Oid(e.material.raw))));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  if (f == "step_tag" && n == 4) {
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo info, db_->GetStep(oid));
+    for (const labbase::StepMaterialEntry& e : info.materials) {
+      for (const StepTag& tag : e.tags) {
+        LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                                 schema.AttributeName(tag.attr));
+        LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
+            {{goal.args()[1], OidTerm(Oid(e.material.raw))},
+             {goal.args()[2], Term::Atom(attr_name)},
+             {goal.args()[3], ValueToTerm(tag.value)}}));
+        if (*stop) return Status::OK();
+      }
+    }
+    return Status::OK();
+  }
+
+  if (f == "in_set" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    auto set = db_->FindSetByName(name);
+    if (!set.ok()) return Status::OK();
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> members,
+                             db_->SetMembers(set.value()));
+    for (Oid m : members) {
+      LABFLOW_RETURN_IF_ERROR(UnifyAndContinue(goal.args()[1], OidTerm(m)));
+      if (*stop) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  // ---- updates (workflow tracking, paper Section 8.3) ---------------------
+
+  if (f == "define_material_class" && n == 1) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    Status st = db_->DefineMaterialClass(name).status();
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+    return Continue();
+  }
+  if (f == "define_step_class" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> attr_terms,
+                             ListToVector(goal.args()[1], *b));
+    std::vector<std::string> attrs;
+    for (const Term& t : attr_terms) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string a, TermToName(t));
+      attrs.push_back(std::move(a));
+    }
+    LABFLOW_RETURN_IF_ERROR(db_->DefineStepClass(name, attrs).status());
+    return Continue();
+  }
+  if (f == "define_state" && n == 1) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    LABFLOW_RETURN_IF_ERROR(db_->DefineState(name).status());
+    return Continue();
+  }
+  if (f == "create_material" && n == 4) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string class_name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[1])));
+    LABFLOW_ASSIGN_OR_RETURN(std::string state_name,
+                             TermToName(b->Resolve(goal.args()[2])));
+    LABFLOW_ASSIGN_OR_RETURN(ClassId class_id,
+                             schema.MaterialClassByName(class_name));
+    LABFLOW_ASSIGN_OR_RETURN(StateId state, schema.StateByName(state_name));
+    LABFLOW_ASSIGN_OR_RETURN(Oid oid, db_->CreateMaterial(class_id, name,
+                                                          state, Timestamp(0)));
+    return UnifyAndContinue(goal.args()[3], OidTerm(oid));
+  }
+  if (f == "create_set" && n == 1) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    Status st = db_->CreateSet(name).status();
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+    return Continue();
+  }
+  if (f == "add_to_set" && n == 2) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(Oid set, db_->FindSetByName(name));
+    LABFLOW_ASSIGN_OR_RETURN(Oid m, TermToOid(b->Resolve(goal.args()[1])));
+    LABFLOW_RETURN_IF_ERROR(db_->AddToSet(set, m));
+    return Continue();
+  }
+  if (f == "record_step" && n == 3) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string class_name,
+                             TermToName(b->Resolve(goal.args()[0])));
+    LABFLOW_ASSIGN_OR_RETURN(ClassId class_id,
+                             schema.StepClassByName(class_name));
+    LABFLOW_ASSIGN_OR_RETURN(Timestamp time,
+                             TermToTime(b->Resolve(goal.args()[1])));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> effect_terms,
+                             ListToVector(goal.args()[2], *b));
+    std::vector<StepEffect> effects;
+    for (const Term& et : effect_terms) {
+      if (!et.is_compound() || et.name() != "effect" || et.arity() != 3) {
+        return Status::InvalidArgument(
+            "record_step effects must be effect(M, Tags, NewState)");
+      }
+      StepEffect effect;
+      LABFLOW_ASSIGN_OR_RETURN(effect.material, TermToOid(et.args()[0]));
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> tag_terms,
+                               ListToVector(et.args()[1], *b));
+      for (const Term& tt : tag_terms) {
+        if (!tt.is_compound() || tt.name() != "tag" || tt.arity() != 2) {
+          return Status::InvalidArgument("tags must be tag(Attr, Value)");
+        }
+        LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
+                                 TermToName(tt.args()[0]));
+        LABFLOW_ASSIGN_OR_RETURN(AttrId attr,
+                                 schema.AttributeByName(attr_name));
+        LABFLOW_ASSIGN_OR_RETURN(Value v, TermToValue(tt.args()[1]));
+        effect.tags.push_back(StepTag{attr, std::move(v)});
+      }
+      Term state_t = et.args()[2];
+      if (state_t.is_atom() && state_t.name() == "same") {
+        effect.new_state = kInvalidState;
+      } else {
+        LABFLOW_ASSIGN_OR_RETURN(std::string state_name, TermToName(state_t));
+        LABFLOW_ASSIGN_OR_RETURN(effect.new_state,
+                                 schema.StateByName(state_name));
+      }
+      effects.push_back(std::move(effect));
+    }
+    LABFLOW_RETURN_IF_ERROR(db_->RecordStep(class_id, time, effects).status());
+    return Continue();
+  }
+
+  *handled = false;
+  return Status::OK();
+}
+
+}  // namespace labflow::query

@@ -1,0 +1,132 @@
+#ifndef LABFLOW_QUERY_SOLVER_H_
+#define LABFLOW_QUERY_SOLVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "labbase/labbase.h"
+#include "query/parser.h"
+#include "query/term.h"
+#include "query/unify.h"
+
+namespace labflow::query {
+
+/// SLD-resolution solver for the deductive query language, with LabBase
+/// bound in as the extensional database (paper Section 6: the view
+/// predicates are "implemented in persistent C++ on top of an ObjectStore
+/// database" — here, on top of any of our storage managers).
+///
+/// Built-in predicate groups:
+///  * control/logic: true/0, fail/0, not/1 (negation as failure), once/1,
+///    forall/2, =/2, \=/2, is/2, </2 >/2 =</2 >=/2, between/3, and/N
+///  * dynamic solver facts: assert/1, retract/1 (the paper's transition
+///    idiom: retract(state(M, s1)), assert(state(M, s2)))
+///  * lists: member/2, length/2, append/3, reverse/2, nth1/3, msort/2
+///  * aggregation (paper 8.2 "set and list generation" / counting):
+///    findall/3, setof/3 (sorted, deduplicated; succeeds with [] when there
+///    are no solutions), count/2, sum/3, max_of/3, min_of/3
+///  * LabBase queries: material/1, <material-class>/1, material_class/2,
+///    material_name/2, created/2, state/2, workflow_state/1, attribute/1,
+///    most_recent/3, history/3 (list of h(Time, Value)),
+///    value_at/4 (as-of), history_between/5,
+///    step/3, step_version/2, step_material/2, step_tag/4, in_set/2
+///  * LabBase updates (paper 8.3 workflow tracking; these subsume the
+///    paper's assert/retract/create examples): define_material_class/1,
+///    define_step_class/2, define_state/1, create_material/4, create_set/1,
+///    add_to_set/2, record_step/3 with effects of the form
+///    effect(M, [tag(attr, Value), ...], NewStateAtomOrSame)
+///
+/// User rules loaded via LoadProgram define intensional views on top.
+class Solver {
+ public:
+  struct Options {
+    /// Resolution-step budget per Solve call; guards against runaway
+    /// recursion in user rule sets.
+    int64_t max_work = 50'000'000;
+    /// Maximum resolution depth (nested goal levels). Caps the C++ stack a
+    /// query can consume: a left-recursive rule would otherwise overflow
+    /// the process stack long before max_work triggers.
+    int64_t max_depth = 400;
+  };
+
+  /// `db` may be null, giving a pure rule interpreter (used by unit tests).
+  explicit Solver(labbase::LabBase* db);
+  Solver(labbase::LabBase* db, Options options);
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Parses and installs a rule program (views).
+  Status LoadProgram(std::string_view src);
+  void AddClause(Clause clause);
+  size_t rule_count() const { return rule_count_; }
+
+  /// Invoked once per solution with the current bindings; return false to
+  /// stop the search.
+  using Callback = std::function<bool(const Bindings&)>;
+
+  /// Proves the conjunction, invoking `cb` per solution. Returns the number
+  /// of solutions found.
+  Result<int64_t> Solve(const std::vector<Term>& goals, const Callback& cb);
+  Result<int64_t> SolveText(std::string_view query, const Callback& cb);
+
+  /// One materialized solution: named query variables -> resolved terms.
+  struct Solution {
+    std::map<std::string, Term> vars;
+  };
+
+  /// Collects up to `limit` solutions (all if limit < 0), reporting the
+  /// bindings of the variables that occur in the query text.
+  Result<std::vector<Solution>> QueryAll(std::string_view query,
+                                         int64_t limit = -1);
+
+  /// True if the query has at least one solution.
+  Result<bool> Prove(std::string_view query);
+
+ private:
+  Status SolveFrom(const std::vector<Term>& goals, size_t idx, Bindings* b,
+                   const Callback& cb, bool* stop, int64_t* solutions);
+
+  /// One resolution step of budget; ResourceExhausted when spent.
+  Status Spend();
+
+  Status SolveBuiltin(const Term& goal, const std::vector<Term>& goals,
+                      size_t idx, Bindings* b, const Callback& cb, bool* stop,
+                      int64_t* solutions, bool* handled);
+  Status SolveDbPredicate(const Term& goal, const std::vector<Term>& goals,
+                          size_t idx, Bindings* b, const Callback& cb,
+                          bool* stop, int64_t* solutions, bool* handled);
+  Status SolveRules(const Term& goal, const std::vector<Term>& goals,
+                    size_t idx, Bindings* b, const Callback& cb, bool* stop,
+                    int64_t* solutions, bool* handled);
+
+  /// Renames clause variables apart with a fresh suffix.
+  Clause Rename(const Clause& clause);
+  static Term RenameTerm(const Term& t, const std::string& suffix);
+
+  labbase::LabBase* db_;
+  Options options_;
+  int64_t work_ = 0;
+  int64_t depth_ = 0;
+  uint64_t rename_counter_ = 0;
+  std::map<std::pair<std::string, size_t>, std::vector<Clause>> rules_;
+  size_t rule_count_ = 0;
+};
+
+/// Converts a ground term to a Value (atoms become strings, proper lists
+/// become Value lists). InvalidArgument on variables/compounds.
+Result<Value> TermToValue(const Term& t);
+
+/// Converts a Value to a term (Value lists become proper term lists).
+Term ValueToTerm(const Value& v);
+
+}  // namespace labflow::query
+
+#endif  // LABFLOW_QUERY_SOLVER_H_

@@ -1,0 +1,72 @@
+#include "query/term.h"
+
+namespace labflow::query {
+
+Term Term::List(const std::vector<Term>& items) {
+  Term list = Nil();
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    list = Cons(*it, std::move(list));
+  }
+  return list;
+}
+
+int Term::Compare(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) {
+    return static_cast<int>(a.kind_) < static_cast<int>(b.kind_) ? -1 : 1;
+  }
+  switch (a.kind_) {
+    case Kind::kVar:
+    case Kind::kAtom:
+      return a.name_.compare(b.name_);
+    case Kind::kConst:
+      return Value::Compare(a.value_, b.value_);
+    case Kind::kCompound: {
+      if (int c = a.name_.compare(b.name_); c != 0) return c;
+      if (a.arity() != b.arity()) return a.arity() < b.arity() ? -1 : 1;
+      for (size_t i = 0; i < a.arity(); ++i) {
+        if (int c = Compare(a.args()[i], b.args()[i]); c != 0) return c;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVar:
+    case Kind::kAtom:
+      return name_;
+    case Kind::kConst:
+      return value_.ToString();
+    case Kind::kCompound: {
+      if (IsCons()) {
+        // Render list syntax.
+        std::string out = "[";
+        const Term* cur = this;
+        bool first = true;
+        while (cur->IsCons()) {
+          if (!first) out += ", ";
+          out += cur->args()[0].ToString();
+          first = false;
+          cur = &cur->args()[1];
+        }
+        if (!cur->IsNil()) {
+          out += "|" + cur->ToString();
+        }
+        out += "]";
+        return out;
+      }
+      std::string out = name_ + "(";
+      for (size_t i = 0; i < arity(); ++i) {
+        if (i > 0) out += ", ";
+        out += args()[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace labflow::query

@@ -1,0 +1,102 @@
+#ifndef LABFLOW_QUERY_TERM_H_
+#define LABFLOW_QUERY_TERM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace labflow::query {
+
+/// A term of the deductive query language (paper Section 6): the language
+/// is "a deductive language in the tradition of Datalog and Prolog".
+///
+/// Terms are immutable values with structural sharing; copying is cheap.
+///
+///   Var       X, Material, _           (logic variable)
+///   Const     42, 3.5, "cl-1", #17     (a labflow::Value literal)
+///   Atom      clone, waiting_for_gel   (symbolic constant)
+///   Compound  state(M, s), [a, b|T]    (functor + args; lists desugar to
+///                                       '.'(Head, Tail) / '[]')
+class Term {
+ public:
+  enum class Kind { kVar, kConst, kAtom, kCompound };
+
+  /// Default-constructed term is the atom '[]' (empty list).
+  Term() : kind_(Kind::kAtom), name_("[]") {}
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind_ = Kind::kVar;
+    t.name_ = std::move(name);
+    return t;
+  }
+  static Term Const(Value value) {
+    Term t;
+    t.kind_ = Kind::kConst;
+    t.value_ = std::move(value);
+    return t;
+  }
+  static Term Atom(std::string name) {
+    Term t;
+    t.kind_ = Kind::kAtom;
+    t.name_ = std::move(name);
+    return t;
+  }
+  static Term Make(std::string functor, std::vector<Term> args) {
+    Term t;
+    t.kind_ = Kind::kCompound;
+    t.name_ = std::move(functor);
+    t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
+    return t;
+  }
+
+  /// List constructors: '.'(head, tail) and '[]'.
+  static Term Nil() { return Atom("[]"); }
+  static Term Cons(Term head, Term tail) {
+    return Make(".", {std::move(head), std::move(tail)});
+  }
+  /// Builds a proper list from a vector.
+  static Term List(const std::vector<Term>& items);
+
+  Kind kind() const { return kind_; }
+  bool is_var() const { return kind_ == Kind::kVar; }
+  bool is_const() const { return kind_ == Kind::kConst; }
+  bool is_atom() const { return kind_ == Kind::kAtom; }
+  bool is_compound() const { return kind_ == Kind::kCompound; }
+
+  /// Variable name, atom name, or compound functor.
+  const std::string& name() const { return name_; }
+  const Value& value() const { return value_; }
+  const std::vector<Term>& args() const {
+    static const std::vector<Term> kEmpty;
+    return args_ ? *args_ : kEmpty;
+  }
+  size_t arity() const { return args_ ? args_->size() : 0; }
+
+  bool IsNil() const { return is_atom() && name_ == "[]"; }
+  bool IsCons() const { return is_compound() && name_ == "." && arity() == 2; }
+
+  /// Structural total order (vars by name, then consts by Value order,
+  /// atoms by name, compounds by functor/arity/args). Used by setof.
+  static int Compare(const Term& a, const Term& b);
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+  /// Renders in source syntax ("state(M, waiting_for_gel)", "[1, 2|T]").
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kAtom;
+  std::string name_;
+  Value value_;
+  std::shared_ptr<const std::vector<Term>> args_;
+};
+
+}  // namespace labflow::query
+
+#endif  // LABFLOW_QUERY_TERM_H_

@@ -1,0 +1,80 @@
+#include "query/unify.h"
+
+namespace labflow::query {
+
+Term Bindings::Walk(Term t) const {
+  while (t.is_var()) {
+    auto it = map_.find(t.name());
+    if (it == map_.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+Term Bindings::Resolve(const Term& t) const {
+  Term w = Walk(t);
+  if (!w.is_compound()) return w;
+  std::vector<Term> args;
+  args.reserve(w.arity());
+  for (const Term& a : w.args()) args.push_back(Resolve(a));
+  return Term::Make(w.name(), std::move(args));
+}
+
+void Bindings::Bind(const std::string& var, Term t) {
+  map_.emplace(var, std::move(t));
+  trail_.push_back(var);
+}
+
+const Term* Bindings::Lookup(const std::string& var) const {
+  auto it = map_.find(var);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void Bindings::UndoTo(size_t mark) {
+  while (trail_.size() > mark) {
+    map_.erase(trail_.back());
+    trail_.pop_back();
+  }
+}
+
+bool Unify(const Term& a_in, const Term& b_in, Bindings* b) {
+  size_t mark = b->Mark();
+  Term a = b->Walk(a_in);
+  Term bb = b->Walk(b_in);
+  if (a.is_var()) {
+    if (bb.is_var() && bb.name() == a.name()) return true;
+    b->Bind(a.name(), bb);
+    return true;
+  }
+  if (bb.is_var()) {
+    b->Bind(bb.name(), a);
+    return true;
+  }
+  if (a.kind() != bb.kind()) {
+    b->UndoTo(mark);
+    return false;
+  }
+  switch (a.kind()) {
+    case Term::Kind::kAtom:
+      if (a.name() == bb.name()) return true;
+      break;
+    case Term::Kind::kConst:
+      if (a.value() == bb.value()) return true;
+      break;
+    case Term::Kind::kCompound: {
+      if (a.name() != bb.name() || a.arity() != bb.arity()) break;
+      bool ok = true;
+      for (size_t i = 0; i < a.arity() && ok; ++i) {
+        ok = Unify(a.args()[i], bb.args()[i], b);
+      }
+      if (ok) return true;
+      break;
+    }
+    case Term::Kind::kVar:
+      break;  // unreachable, handled above
+  }
+  b->UndoTo(mark);
+  return false;
+}
+
+}  // namespace labflow::query

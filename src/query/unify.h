@@ -1,0 +1,52 @@
+#ifndef LABFLOW_QUERY_UNIFY_H_
+#define LABFLOW_QUERY_UNIFY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/term.h"
+
+namespace labflow::query {
+
+/// Variable bindings with an undo trail, so backtracking restores the state
+/// cheaply (no copying of the whole substitution).
+class Bindings {
+ public:
+  Bindings() = default;
+
+  /// Dereferences a top-level variable chain; does not descend into
+  /// compound arguments.
+  Term Walk(Term t) const;
+
+  /// Full recursive substitution: every bound variable in `t` is replaced.
+  Term Resolve(const Term& t) const;
+
+  /// Binds `var` to `t` and records it on the trail. Precondition: `var`
+  /// is currently unbound.
+  void Bind(const std::string& var, Term t);
+
+  /// Returns the binding of `var`, or nullptr.
+  const Term* Lookup(const std::string& var) const;
+
+  /// Trail position for later UndoTo.
+  size_t Mark() const { return trail_.size(); }
+
+  /// Removes every binding made since `mark`.
+  void UndoTo(size_t mark);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, Term> map_;
+  std::vector<std::string> trail_;
+};
+
+/// Syntactic unification (no occurs check, as in standard Prolog).
+/// On success, bindings added to `b` (caller removes them via the trail on
+/// backtracking); on failure, `b` is restored before returning.
+bool Unify(const Term& a, const Term& b, Bindings* b_out);
+
+}  // namespace labflow::query
+
+#endif  // LABFLOW_QUERY_UNIFY_H_

@@ -1,0 +1,145 @@
+#include "storage/buffer_pool.h"
+
+#include <time.h>
+
+#include <cstring>
+
+namespace labflow::storage {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages,
+                       int64_t fault_delay_us)
+    : file_(file),
+      capacity_(capacity_pages < 2 ? 2 : capacity_pages),
+      fault_delay_us_(fault_delay_us) {}
+
+namespace {
+
+void SimulateFaultDelay(int64_t us) {
+  if (us <= 0) return;
+  timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+Result<BufferPool::PinGuard> BufferPool::Fetch(uint64_t page_no) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = frames_.find(page_no);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame* f = it->second.get();
+    ++f->pin_count_;
+    TouchLocked(f);
+    return PinGuard(this, f);
+  }
+  LABFLOW_RETURN_IF_ERROR(EnsureCapacityLocked());
+  auto frame = std::make_unique<Frame>();
+  frame->data_ = std::make_unique<char[]>(kPageSize);
+  frame->page_no_ = page_no;
+  LABFLOW_RETURN_IF_ERROR(file_->ReadPage(page_no, frame->data_.get()));
+  SimulateFaultDelay(fault_delay_us_);
+  ++stats_.disk_reads;
+  Frame* f = frame.get();
+  f->pin_count_ = 1;
+  frames_.emplace(page_no, std::move(frame));
+  TouchLocked(f);
+  return PinGuard(this, f);
+}
+
+Result<BufferPool::PinGuard> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> g(mu_);
+  LABFLOW_RETURN_IF_ERROR(EnsureCapacityLocked());
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t page_no, file_->AppendPage());
+  auto frame = std::make_unique<Frame>();
+  frame->data_ = std::make_unique<char[]>(kPageSize);
+  std::memset(frame->data_.get(), 0, kPageSize);
+  frame->page_no_ = page_no;
+  frame->dirty_ = true;
+  Frame* f = frame.get();
+  f->pin_count_ = 1;
+  frames_.emplace(page_no, std::move(frame));
+  TouchLocked(f);
+  return PinGuard(this, f);
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (frame->pin_count_ > 0) --frame->pin_count_;
+}
+
+void BufferPool::TouchLocked(Frame* frame) {
+  if (frame->in_lru_) lru_.erase(frame->lru_pos_);
+  lru_.push_front(frame->page_no_);
+  frame->lru_pos_ = lru_.begin();
+  frame->in_lru_ = true;
+}
+
+Status BufferPool::EnsureCapacityLocked() {
+  while (frames_.size() >= capacity_) {
+    // Find the least-recently-used unpinned frame.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      Frame* f = frames_.at(*it).get();
+      if (f->pin_count_ == 0) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) {
+      return Status::ResourceExhausted("buffer pool: all frames pinned");
+    }
+    uint64_t page_no = *victim;
+    Frame* f = frames_.at(page_no).get();
+    if (f->dirty_) {
+      LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, f->data()));
+      ++stats_.disk_writes;
+    }
+    lru_.erase(victim);
+    frames_.erase(page_no);
+    ++stats_.evictions;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [page_no, frame] : frames_) {
+    if (frame->dirty_) {
+      LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, frame->data()));
+      ++stats_.disk_writes;
+      frame->dirty_ = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(uint64_t page_no) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = frames_.find(page_no);
+  if (it == frames_.end()) return Status::OK();
+  if (it->second->dirty_) {
+    LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, it->second->data()));
+    ++stats_.disk_writes;
+    it->second->dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropClean() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame* f = it->second.get();
+    if (f->pin_count_ == 0 && !f->dirty_) {
+      if (f->in_lru_) lru_.erase(f->lru_pos_);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace labflow::storage

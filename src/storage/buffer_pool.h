@@ -1,0 +1,142 @@
+#ifndef LABFLOW_STORAGE_BUFFER_POOL_H_
+#define LABFLOW_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace labflow::storage {
+
+/// Counters the benchmark reports. `disk_reads` is LabFlow-1's `majflt`
+/// proxy: in both ObjectStore and Texas a major page fault is exactly "a
+/// page demand-read from the database file", which for us is a buffer-pool
+/// miss that goes to disk.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t evictions = 0;
+};
+
+/// A fixed-capacity LRU page cache over a PageFile.
+///
+/// Thread safety: all public methods are internally synchronized; access to
+/// the *contents* of a pinned frame is the caller's responsibility (the
+/// ostore lock manager or single-threaded texas discipline).
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 2 (one target + one victim-in-flight).
+  /// `fault_delay_us` adds a simulated disk latency to every miss that
+  /// reads from the file: on a modern machine the page file usually sits in
+  /// the OS page cache, so without this knob a 1996-style fault costs
+  /// microseconds instead of milliseconds. Used by bench_fig_locality to
+  /// reproduce the paper's elapsed-time divergence.
+  BufferPool(PageFile* file, size_t capacity_pages,
+             int64_t fault_delay_us = 0);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class Frame {
+   public:
+    char* data() { return data_.get(); }
+    const char* data() const { return data_.get(); }
+    uint64_t page_no() const { return page_no_; }
+    void MarkDirty() { dirty_ = true; }
+
+   private:
+    friend class BufferPool;
+    std::unique_ptr<char[]> data_;
+    uint64_t page_no_ = 0;
+    int pin_count_ = 0;
+    bool dirty_ = false;
+    std::list<uint64_t>::iterator lru_pos_;
+    bool in_lru_ = false;
+  };
+
+  /// RAII pin: unpins on destruction.
+  class PinGuard {
+   public:
+    PinGuard() = default;
+    PinGuard(BufferPool* pool, Frame* frame) : pool_(pool), frame_(frame) {}
+    PinGuard(PinGuard&& o) noexcept : pool_(o.pool_), frame_(o.frame_) {
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+    }
+    PinGuard& operator=(PinGuard&& o) noexcept {
+      Release();
+      pool_ = o.pool_;
+      frame_ = o.frame_;
+      o.pool_ = nullptr;
+      o.frame_ = nullptr;
+      return *this;
+    }
+    PinGuard(const PinGuard&) = delete;
+    PinGuard& operator=(const PinGuard&) = delete;
+    ~PinGuard() { Release(); }
+
+    Frame* frame() const { return frame_; }
+    Frame* operator->() const { return frame_; }
+    bool valid() const { return frame_ != nullptr; }
+
+    void Release() {
+      if (pool_ != nullptr && frame_ != nullptr) pool_->Unpin(frame_);
+      pool_ = nullptr;
+      frame_ = nullptr;
+    }
+
+   private:
+    BufferPool* pool_ = nullptr;
+    Frame* frame_ = nullptr;
+  };
+
+  /// Pins the page, reading it from disk on a miss (counted as a
+  /// disk_read / simulated major fault).
+  Result<PinGuard> Fetch(uint64_t page_no);
+
+  /// Appends a fresh zeroed page to the file and pins it (no disk read).
+  Result<PinGuard> NewPage();
+
+  /// Writes all dirty frames back to the file (does not sync).
+  Status FlushAll();
+
+  /// Flushes one page if cached and dirty.
+  Status FlushPage(uint64_t page_no);
+
+  /// Drops every unpinned frame from the cache (after FlushAll, typically);
+  /// used by tests to force cold reads.
+  Status DropClean();
+
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return stats_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Unpin(Frame* frame);
+  /// Evicts LRU unpinned frames until the cache has room for one more.
+  Status EnsureCapacityLocked();
+  void TouchLocked(Frame* frame);
+
+  PageFile* file_;
+  size_t capacity_;
+  int64_t fault_delay_us_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
+  std::list<uint64_t> lru_;  // front = most recent, back = victim
+  BufferPoolStats stats_;
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,184 @@
+#include "storage/hash_dir.h"
+
+#include "common/codec.h"
+
+namespace labflow::storage {
+
+namespace {
+constexpr uint8_t kRootKind = 7;    // distinct from LabBase record kinds
+constexpr uint8_t kBucketKind = 8;
+}  // namespace
+
+uint64_t HashDir::HashKey(std::string_view key) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : key) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string HashDir::Bucket::Encode() const {
+  Encoder enc;
+  enc.PutU8(kBucketKind);
+  enc.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, id] : entries) {
+    enc.PutString(key);
+    enc.PutU64(id.raw);
+  }
+  return enc.Release();
+}
+
+Result<HashDir::Bucket> HashDir::Bucket::Decode(std::string_view data) {
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != kBucketKind) return Status::Corruption("not a hash bucket");
+  Bucket bucket;
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  bucket.entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string key, dec.GetString());
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    bucket.entries.emplace_back(std::move(key), ObjectId(raw));
+  }
+  return bucket;
+}
+
+Status HashDir::WriteRoot() {
+  Encoder enc;
+  enc.PutU8(kRootKind);
+  enc.PutU64(entry_count_);
+  enc.PutU32(static_cast<uint32_t>(buckets_.size()));
+  for (ObjectId b : buckets_) enc.PutU64(b.raw);
+  return mgr_->Update(root_, enc.buffer());
+}
+
+Status HashDir::LoadRoot() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(root_));
+  Decoder dec(data);
+  LABFLOW_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != kRootKind) return Status::Corruption("not a hash dir root");
+  LABFLOW_ASSIGN_OR_RETURN(entry_count_, dec.GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n, dec.GetU32());
+  buckets_.clear();
+  buckets_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t raw, dec.GetU64());
+    buckets_.push_back(ObjectId(raw));
+  }
+  if (buckets_.empty()) return Status::Corruption("hash dir has no buckets");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<HashDir>> HashDir::Create(StorageManager* mgr,
+                                                 const AllocHint& hint,
+                                                 uint32_t initial_buckets) {
+  if (initial_buckets == 0) initial_buckets = 1;
+  std::unique_ptr<HashDir> dir(new HashDir(mgr, hint));
+  Bucket empty;
+  for (uint32_t i = 0; i < initial_buckets; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(ObjectId b,
+                             mgr->Allocate(empty.Encode(), hint));
+    dir->buckets_.push_back(b);
+  }
+  // Placeholder root, then fill it in.
+  LABFLOW_ASSIGN_OR_RETURN(dir->root_, mgr->Allocate("", hint));
+  LABFLOW_RETURN_IF_ERROR(dir->WriteRoot());
+  return dir;
+}
+
+Result<std::unique_ptr<HashDir>> HashDir::Attach(StorageManager* mgr,
+                                                 ObjectId root) {
+  std::unique_ptr<HashDir> dir(new HashDir(mgr, AllocHint{}));
+  dir->root_ = root;
+  LABFLOW_RETURN_IF_ERROR(dir->LoadRoot());
+  return dir;
+}
+
+Result<HashDir::Bucket> HashDir::ReadBucket(uint32_t index) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(buckets_[index]));
+  return Bucket::Decode(data);
+}
+
+Status HashDir::WriteBucket(uint32_t index, const Bucket& bucket) {
+  return mgr_->Update(buckets_[index], bucket.Encode());
+}
+
+Status HashDir::Insert(std::string_view key, ObjectId id) {
+  uint32_t index =
+      static_cast<uint32_t>(HashKey(key) % buckets_.size());
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  for (const auto& [k, v] : bucket.entries) {
+    if (k == key) return Status::AlreadyExists("key exists: " +
+                                               std::string(key));
+  }
+  bucket.entries.emplace_back(std::string(key), id);
+  LABFLOW_RETURN_IF_ERROR(WriteBucket(index, bucket));
+  ++entry_count_;
+  LABFLOW_RETURN_IF_ERROR(WriteRoot());
+  if (entry_count_ > kSplitLoad * buckets_.size()) {
+    return Grow();
+  }
+  return Status::OK();
+}
+
+Result<ObjectId> HashDir::Lookup(std::string_view key) {
+  uint32_t index =
+      static_cast<uint32_t>(HashKey(key) % buckets_.size());
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  for (const auto& [k, v] : bucket.entries) {
+    if (k == key) return v;
+  }
+  return Status::NotFound("no such key: " + std::string(key));
+}
+
+Status HashDir::Erase(std::string_view key) {
+  uint32_t index =
+      static_cast<uint32_t>(HashKey(key) % buckets_.size());
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  for (auto it = bucket.entries.begin(); it != bucket.entries.end(); ++it) {
+    if (it->first == key) {
+      bucket.entries.erase(it);
+      LABFLOW_RETURN_IF_ERROR(WriteBucket(index, bucket));
+      --entry_count_;
+      return WriteRoot();
+    }
+  }
+  return Status::NotFound("no such key: " + std::string(key));
+}
+
+Status HashDir::ForEach(
+    const std::function<Status(std::string_view, ObjectId)>& fn) {
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(i));
+    for (const auto& [key, id] : bucket.entries) {
+      LABFLOW_RETURN_IF_ERROR(fn(key, id));
+    }
+  }
+  return Status::OK();
+}
+
+Status HashDir::Grow() {
+  uint32_t new_count = static_cast<uint32_t>(buckets_.size() * 2);
+  std::vector<Bucket> rehashed(new_count);
+  for (uint32_t i = 0; i < buckets_.size(); ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(i));
+    for (auto& [key, id] : bucket.entries) {
+      uint32_t target = static_cast<uint32_t>(HashKey(key) % new_count);
+      rehashed[target].entries.emplace_back(std::move(key), id);
+    }
+  }
+  // Reuse the existing bucket objects for the first half, allocate the rest.
+  for (uint32_t i = 0; i < new_count; ++i) {
+    if (i < buckets_.size()) {
+      LABFLOW_RETURN_IF_ERROR(
+          mgr_->Update(buckets_[i], rehashed[i].Encode()));
+    } else {
+      LABFLOW_ASSIGN_OR_RETURN(ObjectId b,
+                               mgr_->Allocate(rehashed[i].Encode(), hint_));
+      buckets_.push_back(b);
+    }
+  }
+  return WriteRoot();
+}
+
+}  // namespace labflow::storage

@@ -1,0 +1,88 @@
+#ifndef LABFLOW_STORAGE_HASH_DIR_H_
+#define LABFLOW_STORAGE_HASH_DIR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace labflow::storage {
+
+/// A persistent hash directory: string key -> ObjectId, stored entirely as
+/// storage-manager objects. This is the kind of "special access structure"
+/// the real LabBase kept in persistent C++ next to its data (paper Section
+/// 5); LabBase uses it for its material-name index so reopening a database
+/// does not require a full scan.
+///
+/// Layout: one root object {bucket_count, entry_count, bucket ids...}; each
+/// bucket is one object holding its (key, id) entries. The table doubles
+/// when the mean bucket occupancy exceeds a threshold (all buckets are
+/// rewritten; the root id stays stable so owners can hold it forever).
+///
+/// Not thread-safe; callers serialize access (as LabBase does).
+class HashDir {
+ public:
+  /// Creates an empty directory on `mgr`; returns the handle. The root id
+  /// (via root_id()) is what the owner persists.
+  static Result<std::unique_ptr<HashDir>> Create(StorageManager* mgr,
+                                                 const AllocHint& hint,
+                                                 uint32_t initial_buckets = 16);
+
+  /// Attaches to an existing directory by its root id.
+  static Result<std::unique_ptr<HashDir>> Attach(StorageManager* mgr,
+                                                 ObjectId root);
+
+  HashDir(const HashDir&) = delete;
+  HashDir& operator=(const HashDir&) = delete;
+
+  ObjectId root_id() const { return root_; }
+  uint64_t size() const { return entry_count_; }
+
+  /// Inserts key -> id; AlreadyExists if the key is present.
+  Status Insert(std::string_view key, ObjectId id);
+
+  /// Returns the id for `key`, or NotFound.
+  Result<ObjectId> Lookup(std::string_view key);
+
+  /// Removes `key`; NotFound if absent.
+  Status Erase(std::string_view key);
+
+  /// Visits every (key, id) pair. Order is unspecified.
+  Status ForEach(
+      const std::function<Status(std::string_view, ObjectId)>& fn);
+
+ private:
+  /// Mean entries per bucket that triggers doubling.
+  static constexpr uint64_t kSplitLoad = 48;
+
+  HashDir(StorageManager* mgr, AllocHint hint) : mgr_(mgr), hint_(hint) {}
+
+  static uint64_t HashKey(std::string_view key);
+
+  struct Bucket {
+    std::vector<std::pair<std::string, ObjectId>> entries;
+    std::string Encode() const;
+    static Result<Bucket> Decode(std::string_view data);
+  };
+
+  Result<Bucket> ReadBucket(uint32_t index);
+  Status WriteBucket(uint32_t index, const Bucket& bucket);
+  Status WriteRoot();
+  Status LoadRoot();
+  /// Doubles the bucket table and rehashes every entry.
+  Status Grow();
+
+  StorageManager* mgr_;
+  AllocHint hint_;
+  ObjectId root_;
+  std::vector<ObjectId> buckets_;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_HASH_DIR_H_

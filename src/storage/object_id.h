@@ -1,0 +1,58 @@
+#ifndef LABFLOW_STORAGE_OBJECT_ID_H_
+#define LABFLOW_STORAGE_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace labflow::storage {
+
+/// Physical object identifier inside a storage manager: (page, slot).
+///
+/// This is the storage-level analogue of a persistent C++ pointer in
+/// ObjectStore/Texas: LabBase records hold ObjectIds to refer to other
+/// records (the paper's "involves" lists are lists of such pointers).
+/// The encoding reserves raw == 0 as the invalid id by biasing the slot.
+struct ObjectId {
+  uint64_t raw = 0;
+
+  constexpr ObjectId() = default;
+  explicit constexpr ObjectId(uint64_t r) : raw(r) {}
+
+  static constexpr ObjectId Make(uint64_t page, uint16_t slot) {
+    return ObjectId((page << 16) | (static_cast<uint64_t>(slot) + 1));
+  }
+  static constexpr ObjectId Invalid() { return ObjectId(); }
+
+  constexpr bool IsValid() const { return raw != 0; }
+  constexpr uint64_t page() const { return raw >> 16; }
+  constexpr uint16_t slot() const {
+    return static_cast<uint16_t>((raw & 0xFFFF) - 1);
+  }
+
+  std::string ToString() const {
+    return "obj(" + std::to_string(page()) + "," + std::to_string(slot()) +
+           ")";
+  }
+
+  friend constexpr bool operator==(ObjectId a, ObjectId b) {
+    return a.raw == b.raw;
+  }
+  friend constexpr bool operator!=(ObjectId a, ObjectId b) {
+    return a.raw != b.raw;
+  }
+  friend constexpr bool operator<(ObjectId a, ObjectId b) {
+    return a.raw < b.raw;
+  }
+};
+
+}  // namespace labflow::storage
+
+template <>
+struct std::hash<labflow::storage::ObjectId> {
+  size_t operator()(labflow::storage::ObjectId id) const noexcept {
+    return std::hash<uint64_t>{}(id.raw);
+  }
+};
+
+#endif  // LABFLOW_STORAGE_OBJECT_ID_H_

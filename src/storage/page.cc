@@ -1,0 +1,198 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace labflow::storage {
+
+uint16_t Page::LoadU16(size_t off) const {
+  uint16_t v;
+  std::memcpy(&v, data_ + off, sizeof(v));
+  return v;
+}
+
+void Page::StoreU16(size_t off, uint16_t v) {
+  std::memcpy(data_ + off, &v, sizeof(v));
+}
+
+uint64_t Page::LoadU64(size_t off) const {
+  uint64_t v;
+  std::memcpy(&v, data_ + off, sizeof(v));
+  return v;
+}
+
+void Page::StoreU64(size_t off, uint64_t v) {
+  std::memcpy(data_ + off, &v, sizeof(v));
+}
+
+void Page::Initialize(uint16_t segment) {
+  std::memset(data_, 0, kHeaderSize);
+  set_segment(segment);
+  set_free_start(kHeaderSize);
+}
+
+size_t Page::ContiguousFree() const {
+  size_t dir_start = SlotDirStart();
+  size_t fs = free_start();
+  return dir_start > fs ? dir_start - fs : 0;
+}
+
+size_t Page::FreeForInsert() const {
+  // After compaction, usable space is everything not occupied by live
+  // records, the header, or the slot directory. A free slot in the
+  // directory can be reused; otherwise the insert needs one more entry.
+  size_t live = LiveBytes();
+  bool has_free_slot = false;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (!IsLive(s)) {
+      has_free_slot = true;
+      break;
+    }
+  }
+  size_t dir = kSlotSize * slot_count() + (has_free_slot ? 0 : kSlotSize);
+  size_t used = kHeaderSize + live + dir;
+  return used < kPageSize ? kPageSize - used : 0;
+}
+
+size_t Page::LiveBytes() const {
+  size_t total = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (IsLive(s)) total += SlotLength(s);
+  }
+  return total;
+}
+
+bool Page::IsLive(uint16_t slot) const {
+  return slot < slot_count() && SlotOffset(slot) != 0;
+}
+
+Result<uint16_t> Page::Insert(std::string_view record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds page capacity");
+  }
+  // Find a reusable slot, or plan to append one.
+  uint16_t slot = slot_count();
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (!IsLive(s)) {
+      slot = s;
+      break;
+    }
+  }
+  bool new_slot = (slot == slot_count());
+  size_t need = record.size() + (new_slot ? kSlotSize : 0);
+  if (ContiguousFree() < need) {
+    if (FreeForInsert() < record.size()) {
+      return Status::ResourceExhausted("page full");
+    }
+    Compact();
+    if (ContiguousFree() < need) {
+      return Status::ResourceExhausted("page full after compaction");
+    }
+  }
+  uint16_t offset = free_start();
+  std::memcpy(data_ + offset, record.data(), record.size());
+  set_free_start(static_cast<uint16_t>(offset + record.size()));
+  if (new_slot) set_slot_count(static_cast<uint16_t>(slot_count() + 1));
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+Status Page::InsertAt(uint16_t slot, std::string_view record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds page capacity");
+  }
+  if (IsLive(slot)) return Status::AlreadyExists("slot occupied");
+  uint16_t new_count = slot_count();
+  if (slot >= new_count) new_count = static_cast<uint16_t>(slot + 1);
+  size_t extra_dir = kSlotSize * (new_count - slot_count());
+  if (ContiguousFree() < record.size() + extra_dir) {
+    if (FreeForInsert() + kSlotSize <
+        record.size() + extra_dir) {
+      return Status::ResourceExhausted("page full");
+    }
+    Compact();
+    if (ContiguousFree() < record.size() + extra_dir) {
+      return Status::ResourceExhausted("page full after compaction");
+    }
+  }
+  // Extend the directory, marking intermediate slots dead.
+  uint16_t old_count = slot_count();
+  set_slot_count(new_count);
+  for (uint16_t s = old_count; s < new_count; ++s) SetSlot(s, 0, 0);
+  uint16_t offset = free_start();
+  std::memcpy(data_ + offset, record.data(), record.size());
+  set_free_start(static_cast<uint16_t>(offset + record.size()));
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+Result<std::string_view> Page::Read(uint16_t slot) const {
+  if (!IsLive(slot)) return Status::NotFound("dead slot");
+  return std::string_view(data_ + SlotOffset(slot), SlotLength(slot));
+}
+
+Status Page::Update(uint16_t slot, std::string_view record) {
+  if (!IsLive(slot)) return Status::NotFound("dead slot");
+  uint16_t old_len = SlotLength(slot);
+  if (record.size() <= old_len) {
+    // Shrink or same size: overwrite in place. The tail of the old extent
+    // becomes a hole reclaimed by a later Compact().
+    std::memcpy(data_ + SlotOffset(slot), record.data(), record.size());
+    SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds page capacity");
+  }
+  // Grow: need a fresh extent. Temporarily drop the old extent from the
+  // accounting, then place the new one (compacting if needed).
+  size_t avail = FreeForInsert() + old_len;
+  if (avail < record.size()) {
+    return Status::ResourceExhausted("page full");
+  }
+  // Preserve old bytes in case the caller's view aliases this page.
+  std::vector<char> copy(record.begin(), record.end());
+  SetSlot(slot, 0, 0);  // mark dead during compaction
+  if (ContiguousFree() < copy.size()) Compact();
+  uint16_t offset = free_start();
+  std::memcpy(data_ + offset, copy.data(), copy.size());
+  set_free_start(static_cast<uint16_t>(offset + copy.size()));
+  SetSlot(slot, offset, static_cast<uint16_t>(copy.size()));
+  return Status::OK();
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (!IsLive(slot)) return Status::NotFound("dead slot");
+  SetSlot(slot, 0, 0);
+  return Status::OK();
+}
+
+void Page::Compact() {
+  struct Extent {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<Extent> live;
+  live.reserve(slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (IsLive(s)) live.push_back({s, SlotOffset(s), SlotLength(s)});
+  }
+  // Copy live records into a scratch buffer, then lay them out densely.
+  std::vector<char> scratch;
+  scratch.reserve(kPageSize);
+  for (const Extent& e : live) {
+    scratch.insert(scratch.end(), data_ + e.offset, data_ + e.offset + e.length);
+  }
+  uint16_t cursor = kHeaderSize;
+  size_t src = 0;
+  for (const Extent& e : live) {
+    std::memcpy(data_ + cursor, scratch.data() + src, e.length);
+    SetSlot(e.slot, cursor, e.length);
+    cursor = static_cast<uint16_t>(cursor + e.length);
+    src += e.length;
+  }
+  set_free_start(cursor);
+}
+
+}  // namespace labflow::storage

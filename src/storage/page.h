@@ -1,0 +1,118 @@
+#ifndef LABFLOW_STORAGE_PAGE_H_
+#define LABFLOW_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace labflow::storage {
+
+/// Fixed page size shared by all paged storage managers. 8 KiB matches the
+/// page grain ObjectStore and Texas both fault at.
+inline constexpr size_t kPageSize = 8192;
+
+/// A slotted-page view over a raw kPageSize buffer (owned by the buffer
+/// pool). Layout:
+///
+///   [0..8)    lsn        (u64, little endian; WAL recovery watermark)
+///   [8..10)   segment    (u16; which clustering segment owns this page)
+///   [10..12)  n_slots    (u16)
+///   [12..14)  free_start (u16; records grow upward from kHeaderSize)
+///   [14..16)  flags      (u16; reserved)
+///   records...           (each prefixed by nothing; slots carry extents)
+///   slot directory       (grows downward from kPageSize; 4 bytes/slot:
+///                         u16 offset, u16 length; offset 0 = free slot)
+///
+/// Page is a non-owning view: cheap to construct, no copies of page data.
+class Page {
+ public:
+  static constexpr size_t kHeaderSize = 16;
+  static constexpr size_t kSlotSize = 4;
+  /// Largest record a fresh page can hold.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+  explicit Page(char* data) : data_(data) {}
+
+  /// Zeroes the header and marks the page as an empty slotted page owned by
+  /// `segment`.
+  void Initialize(uint16_t segment);
+
+  uint64_t lsn() const { return LoadU64(0); }
+  void set_lsn(uint64_t lsn) { StoreU64(0, lsn); }
+  uint16_t segment() const { return LoadU16(8); }
+  void set_segment(uint16_t seg) { StoreU16(8, seg); }
+  uint16_t slot_count() const { return LoadU16(10); }
+
+  /// Contiguous bytes available without compaction.
+  size_t ContiguousFree() const;
+
+  /// Total reusable bytes (contiguous + holes reclaimable by Compact()).
+  /// An insertion of size n succeeds iff FreeForInsert() >= n (Insert
+  /// compacts on demand).
+  size_t FreeForInsert() const;
+
+  /// Inserts a record, compacting first if fragmentation requires it.
+  /// Returns the slot index, or ResourceExhausted if it cannot fit.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Inserts a record into a specific slot (used by WAL redo, which must
+  /// reproduce exact object ids). Extends the slot directory as needed;
+  /// intermediate new slots stay dead. Fails with AlreadyExists if the slot
+  /// is live.
+  Status InsertAt(uint16_t slot, std::string_view record);
+
+  /// Returns a view of the record bytes in slot `slot`.
+  Result<std::string_view> Read(uint16_t slot) const;
+
+  /// Overwrites the record in `slot`. Shrinking always succeeds in place;
+  /// growing succeeds if the page has room (possibly after compaction);
+  /// otherwise returns ResourceExhausted and leaves the record untouched.
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// Frees the slot. The slot index may be reused by later inserts.
+  Status Delete(uint16_t slot);
+
+  /// True if `slot` currently holds a record.
+  bool IsLive(uint16_t slot) const;
+
+  /// True once Initialize() has run (free_start points past the header).
+  /// A freshly appended all-zero page is not initialized.
+  bool IsInitialized() const { return free_start() >= kHeaderSize; }
+
+  /// Bytes currently occupied by live records.
+  size_t LiveBytes() const;
+
+ private:
+  uint16_t LoadU16(size_t off) const;
+  void StoreU16(size_t off, uint16_t v);
+  uint64_t LoadU64(size_t off) const;
+  void StoreU64(size_t off, uint64_t v);
+
+  uint16_t free_start() const { return LoadU16(12); }
+  void set_free_start(uint16_t v) { StoreU16(12, v); }
+  void set_slot_count(uint16_t v) { StoreU16(10, v); }
+
+  size_t SlotDirStart() const { return kPageSize - kSlotSize * slot_count(); }
+  uint16_t SlotOffset(uint16_t slot) const {
+    return LoadU16(kPageSize - kSlotSize * (slot + 1));
+  }
+  uint16_t SlotLength(uint16_t slot) const {
+    return LoadU16(kPageSize - kSlotSize * (slot + 1) + 2);
+  }
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+    StoreU16(kPageSize - kSlotSize * (slot + 1), offset);
+    StoreU16(kPageSize - kSlotSize * (slot + 1) + 2, length);
+  }
+
+  /// Slides live records toward the header, eliminating holes.
+  void Compact();
+
+  char* data_;
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_PAGE_H_

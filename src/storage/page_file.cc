@@ -1,0 +1,101 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace labflow::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageFile::Open(const std::string& path, bool truncate) {
+  if (fd_ >= 0) return Status::InvalidArgument("PageFile already open");
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus("open " + path);
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return ErrnoStatus("lseek " + path);
+  }
+  if (size % kPageSize != 0) {
+    ::close(fd);
+    return Status::Corruption("page file size not a multiple of page size: " +
+                              path);
+  }
+  fd_ = fd;
+  path_ = path;
+  page_count_ = static_cast<uint64_t>(size) / kPageSize;
+  return Status::OK();
+}
+
+Status PageFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  page_count_ = 0;
+  if (rc != 0) return ErrnoStatus("close " + path_);
+  return Status::OK();
+}
+
+Result<uint64_t> PageFile::AppendPage() {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  std::vector<char> zeros(kPageSize, 0);
+  uint64_t page_no = page_count_;
+  ssize_t n = ::pwrite(fd_, zeros.data(), kPageSize,
+                       static_cast<off_t>(page_no * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return ErrnoStatus("pwrite append " + path_);
+  }
+  ++page_count_;
+  return page_no;
+}
+
+Status PageFile::ReadPage(uint64_t page_no, char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (page_no >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " beyond end of file");
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(page_no * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return ErrnoStatus("pread " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(uint64_t page_no, const char* buf) {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (page_no >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(page_no) +
+                              " beyond end of file");
+  }
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(page_no * kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return ErrnoStatus("pwrite " + path_);
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
+  return Status::OK();
+}
+
+}  // namespace labflow::storage

@@ -1,0 +1,60 @@
+#ifndef LABFLOW_STORAGE_PAGE_FILE_H_
+#define LABFLOW_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace labflow::storage {
+
+/// File-backed array of kPageSize pages accessed with pread/pwrite.
+///
+/// Page numbering starts at 0; callers typically reserve page 0 for a
+/// superblock. PageFile performs no caching — that is the buffer pool's job —
+/// and no locking: callers serialize access.
+class PageFile {
+ public:
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Opens (creating if necessary) the file at `path`. Truncates to empty
+  /// when `truncate` is set.
+  Status Open(const std::string& path, bool truncate);
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Number of pages currently in the file.
+  uint64_t page_count() const { return page_count_; }
+
+  /// Appends a zeroed page; returns its page number.
+  Result<uint64_t> AppendPage();
+
+  /// Reads page `page_no` into `buf` (must hold kPageSize bytes).
+  Status ReadPage(uint64_t page_no, char* buf);
+
+  /// Writes `buf` (kPageSize bytes) to page `page_no`, which must exist.
+  Status WritePage(uint64_t page_no, const char* buf);
+
+  /// Flushes OS buffers to stable storage (fdatasync).
+  Status Sync();
+
+  /// Total file size in bytes.
+  uint64_t SizeBytes() const { return page_count_ * kPageSize; }
+
+ private:
+  int fd_ = -1;
+  uint64_t page_count_ = 0;
+  std::string path_;
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_PAGE_FILE_H_

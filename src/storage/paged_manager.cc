@@ -1,0 +1,823 @@
+#include "storage/paged_manager.h"
+
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace labflow::storage {
+
+namespace {
+
+/// Parses "[varint n][n bytes]" at data[pos...]; returns a view into data.
+Result<std::string_view> ParseLenPrefixed(std::string_view data, size_t pos) {
+  uint64_t n = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= data.size()) return Status::Corruption("record truncated");
+    uint8_t b = static_cast<uint8_t>(data[pos++]);
+    n |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+    if (shift >= 64) return Status::Corruption("record varint overflow");
+  }
+  if (pos + n > data.size()) return Status::Corruption("record truncated");
+  return std::string_view(data.data() + pos, n);
+}
+
+uint64_t LoadLE64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreLE64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, 8);
+}
+
+}  // namespace
+
+PagedManagerBase::~PagedManagerBase() = default;
+
+// ---- Record encoding ------------------------------------------------------
+
+std::string PagedManagerBase::EncodeData(uint8_t tag,
+                                         std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  out.push_back(static_cast<char>(tag));
+  uint64_t n = payload.size();
+  while (n >= 0x80) {
+    out.push_back(static_cast<char>(n | 0x80));
+    n >>= 7;
+  }
+  out.push_back(static_cast<char>(n));
+  out.append(payload.data(), payload.size());
+  while (out.size() < kMinRecordSize) out.push_back('\0');
+  return out;
+}
+
+std::string PagedManagerBase::EncodeForward(ObjectId target) {
+  std::string out;
+  out.push_back(static_cast<char>(kRecTagForward));
+  StoreLE64(&out, target.raw);
+  return out;
+}
+
+std::string PagedManagerBase::EncodeRoot(const std::vector<ObjectId>& chunks) {
+  std::string out;
+  out.push_back(static_cast<char>(kRecTagRoot));
+  uint64_t n = chunks.size();
+  while (n >= 0x80) {
+    out.push_back(static_cast<char>(n | 0x80));
+    n >>= 7;
+  }
+  out.push_back(static_cast<char>(n));
+  for (ObjectId c : chunks) StoreLE64(&out, c.raw);
+  return out;
+}
+
+Result<std::string_view> PagedManagerBase::DecodePayload(
+    std::string_view record) {
+  if (record.empty()) return Status::Corruption("empty record");
+  uint8_t tag = static_cast<uint8_t>(record[0]);
+  if (tag != kRecTagData && tag != kRecTagChunk && tag != kRecTagMovedData) {
+    return Status::Corruption("not a data record");
+  }
+  return ParseLenPrefixed(record, 1);
+}
+
+Result<ObjectId> PagedManagerBase::DecodeForward(std::string_view record) {
+  if (record.size() < 9 || static_cast<uint8_t>(record[0]) != kRecTagForward) {
+    return Status::Corruption("not a forward record");
+  }
+  return ObjectId(LoadLE64(record.data() + 1));
+}
+
+Result<std::vector<ObjectId>> PagedManagerBase::DecodeRoot(
+    std::string_view record) {
+  if (record.empty()) return Status::Corruption("empty record");
+  uint8_t tag = static_cast<uint8_t>(record[0]);
+  if (tag != kRecTagRoot && tag != kRecTagMovedRoot) {
+    return Status::Corruption("not a span root");
+  }
+  uint64_t n = 0;
+  size_t pos = 1;
+  int shift = 0;
+  while (true) {
+    if (pos >= record.size()) return Status::Corruption("root truncated");
+    uint8_t b = static_cast<uint8_t>(record[pos++]);
+    n |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  if (pos + 8 * n > record.size()) return Status::Corruption("root truncated");
+  std::vector<ObjectId> chunks;
+  chunks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    chunks.push_back(ObjectId(LoadLE64(record.data() + pos + 8 * i)));
+  }
+  return chunks;
+}
+
+// ---- Lifecycle ------------------------------------------------------------
+
+Status PagedManagerBase::Open(const PagedManagerOptions& options) {
+  if (open_) return Status::InvalidArgument("manager already open");
+  options_ = options;
+  LABFLOW_RETURN_IF_ERROR(file_.Open(options.path, options.truncate));
+  pool_ = std::make_unique<BufferPool>(&file_, options.buffer_pool_pages,
+                                       options.fault_delay_us);
+  bool fresh = (file_.page_count() == 0);
+  if (fresh) {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t sb, file_.AppendPage());
+    (void)sb;
+    segments_.clear();
+    segments_.push_back(SegmentState{"default", 0, {}});
+    LABFLOW_RETURN_IF_ERROR(WriteSuperblock());
+  } else {
+    LABFLOW_RETURN_IF_ERROR(ReadSuperblock());
+  }
+  LABFLOW_RETURN_IF_ERROR(OnOpen(fresh));
+  if (!fresh) {
+    LABFLOW_RETURN_IF_ERROR(RebuildFromScan());
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status PagedManagerBase::WriteSuperblock() {
+  Encoder enc;
+  enc.PutFixed32(kMagic);
+  enc.PutFixed32(kFormatVersion);
+  enc.PutFixed64(lsn_.load());
+  enc.PutFixed64(root_.load());
+  enc.PutU32(static_cast<uint32_t>(segments_.size()));
+  for (const SegmentState& seg : segments_) enc.PutString(seg.name);
+  enc.PutString(EncodeMeta());
+  if (enc.size() > kPageSize) {
+    return Status::Internal("superblock overflow");
+  }
+  std::vector<char> buf(kPageSize, 0);
+  std::memcpy(buf.data(), enc.buffer().data(), enc.size());
+  return file_.WritePage(0, buf.data());
+}
+
+Status PagedManagerBase::ReadSuperblock() {
+  std::vector<char> buf(kPageSize);
+  LABFLOW_RETURN_IF_ERROR(file_.ReadPage(0, buf.data()));
+  Decoder dec(std::string_view(buf.data(), buf.size()));
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
+  if (magic != kMagic) return Status::Corruption("bad superblock magic");
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t version, dec.GetFixed32());
+  if (version != kFormatVersion) {
+    return Status::Corruption("unsupported format version");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t lsn, dec.GetFixed64());
+  lsn_.store(lsn);
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t root, dec.GetFixed64());
+  root_.store(root);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t n_segments, dec.GetU32());
+  segments_.clear();
+  for (uint32_t i = 0; i < n_segments; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    segments_.push_back(SegmentState{std::move(name), 0, {}});
+  }
+  if (segments_.empty()) {
+    segments_.push_back(SegmentState{"default", 0, {}});
+  }
+  LABFLOW_ASSIGN_OR_RETURN(std::string meta, dec.GetString());
+  return DecodeMeta(meta);
+}
+
+Status PagedManagerBase::RebuildFromScan() {
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  std::vector<char> buf(kPageSize);
+  uint64_t live = 0;
+  uint64_t max_lsn = lsn_.load();
+  for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
+    LABFLOW_RETURN_IF_ERROR(file_.ReadPage(page_no, buf.data()));
+    Page page(buf.data());
+    if (page.lsn() > max_lsn) max_lsn = page.lsn();
+    uint16_t seg = page.segment();
+    while (seg >= segments_.size()) {
+      segments_.push_back(
+          SegmentState{"seg" + std::to_string(segments_.size()), 0, {}});
+    }
+    for (uint16_t s = 0; s < page.slot_count(); ++s) {
+      if (!page.IsLive(s)) continue;
+      auto rec = page.Read(s);
+      if (!rec.ok() || rec.value().empty()) continue;
+      uint8_t tag = static_cast<uint8_t>(rec.value()[0]);
+      if (tag == kRecTagData || tag == kRecTagRoot || tag == kRecTagForward) ++live;
+    }
+    size_t free = page.FreeForInsert();
+    if (free >= kFreeThreshold) {
+      segments_[seg].free_pages[page_no] = static_cast<uint32_t>(free);
+      segments_[seg].open_page = page_no;
+    }
+  }
+  lsn_.store(max_lsn);
+  live_objects_.store(live);
+  return Status::OK();
+}
+
+Status PagedManagerBase::Checkpoint() {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  LABFLOW_RETURN_IF_ERROR(pool_->FlushAll());
+  LABFLOW_RETURN_IF_ERROR(file_.Sync());
+  LABFLOW_RETURN_IF_ERROR(WriteSuperblock());
+  LABFLOW_RETURN_IF_ERROR(file_.Sync());
+  return OnCheckpoint();
+}
+
+Status PagedManagerBase::Close() {
+  if (!open_) return Status::OK();
+  LABFLOW_RETURN_IF_ERROR(Checkpoint());
+  LABFLOW_RETURN_IF_ERROR(OnClose());
+  open_ = false;
+  pool_.reset();
+  return file_.Close();
+}
+
+Status PagedManagerBase::SimulateCrash() {
+  if (!open_) return Status::OK();
+  open_ = false;
+  LABFLOW_RETURN_IF_ERROR(OnCrash());
+  pool_.reset();  // dirty pages vanish, as in a process kill
+  return file_.Close();
+}
+
+StorageStats PagedManagerBase::stats() const {
+  StorageStats s;
+  if (pool_ != nullptr) {
+    BufferPoolStats ps = pool_->stats();
+    s.disk_reads = ps.disk_reads;
+    s.disk_writes = ps.disk_writes;
+    s.cache_hits = ps.hits;
+    s.evictions = ps.evictions;
+  }
+  s.db_size_bytes = file_.SizeBytes();
+  s.live_objects = live_objects_.load();
+  AugmentStats(&s);
+  return s;
+}
+
+std::string PagedManagerBase::PadRecord(std::string record) const {
+  size_t want = StoreSize(record.size());
+  if (want > Page::kMaxRecordSize) want = Page::kMaxRecordSize;
+  if (want > record.size()) record.resize(want, '\0');
+  return record;
+}
+
+// ---- Segments -------------------------------------------------------------
+
+Result<uint16_t> PagedManagerBase::CreateSegment(std::string_view name) {
+  if (!SupportsSegments()) return static_cast<uint16_t>(0);
+  std::lock_guard<std::mutex> g(alloc_mu_);
+  if (segments_.size() >= 0xFFFF) {
+    return Status::ResourceExhausted("too many segments");
+  }
+  segments_.push_back(SegmentState{std::string(name), 0, {}});
+  return static_cast<uint16_t>(segments_.size() - 1);
+}
+
+// ---- Allocation -----------------------------------------------------------
+
+void PagedManagerBase::NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment,
+                                           size_t free) {
+  while (segment >= segments_.size()) {
+    segments_.push_back(
+        SegmentState{"seg" + std::to_string(segments_.size()), 0, {}});
+  }
+  SegmentState& seg = segments_[segment];
+  if (free >= kFreeThreshold) {
+    seg.free_pages[page_no] = static_cast<uint32_t>(free);
+  } else {
+    seg.free_pages.erase(page_no);
+    if (seg.open_page == page_no) seg.open_page = 0;
+  }
+}
+
+Result<uint64_t> PagedManagerBase::NewPageInSegment(uint16_t segment) {
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->NewPage());
+  uint64_t page_no = guard->page_no();
+  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  Page page(guard->data());
+  page.Initialize(segment);
+  uint64_t lsn = NextLsn();
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  RetainPage(page_no);
+  OnPageInit(lsn, page_no, segment);
+  return page_no;
+}
+
+Result<ObjectId> PagedManagerBase::TryInsertOnPage(uint64_t page_no,
+                                                   std::string_view record,
+                                                   size_t min_leftover) {
+  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  if (min_leftover > 0 &&
+      page.FreeForInsert() < record.size() + min_leftover) {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+    return Status::ResourceExhausted("cluster anchor page near full");
+  }
+  Result<uint16_t> slot = page.Insert(record);
+  uint16_t seg = page.segment();
+  size_t free = page.FreeForInsert();
+  if (!slot.ok()) {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    NoteFreeSpaceLocked(page_no, seg, free);
+    return slot.status();
+  }
+  uint64_t lsn = NextLsn();
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  RetainPage(page_no);
+  OnInsert(lsn, page_no, slot.value(), record);
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    NoteFreeSpaceLocked(page_no, seg, free);
+  }
+  return ObjectId::Make(page_no, slot.value());
+}
+
+Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
+                                                const AllocHint& hint) {
+  // Clustering path: place next to the anchor object if possible.
+  if (UseClusterHint() && hint.cluster_near.IsValid()) {
+    uint64_t anchor_page = hint.cluster_near.page();
+    if (anchor_page >= 1 && anchor_page < file_.page_count()) {
+      Result<ObjectId> r =
+          TryInsertOnPage(anchor_page, record, kClusterAnchorSlack);
+      if (r.ok() || !r.status().IsResourceExhausted()) return r;
+      uint64_t overflow = 0;
+      {
+        std::lock_guard<std::mutex> g(alloc_mu_);
+        auto it = cluster_overflow_.find(anchor_page);
+        if (it != cluster_overflow_.end()) overflow = it->second;
+      }
+      if (overflow != 0) {
+        r = TryInsertOnPage(overflow, record);
+        if (r.ok() || !r.status().IsResourceExhausted()) return r;
+      }
+      // Dedicate a new overflow page to this anchor, preferring to adopt a
+      // mostly-empty page from the free map (space released by record
+      // moves) over growing the file. Use the anchor's segment so cluster
+      // and segment policies compose.
+      uint16_t seg = 0;
+      {
+        LABFLOW_RETURN_IF_ERROR(LockPage(anchor_page, /*exclusive=*/false));
+        LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
+                                 pool_->Fetch(anchor_page));
+        seg = Page(guard->data()).segment();
+      }
+      uint64_t adopted = 0;
+      {
+        std::lock_guard<std::mutex> g(alloc_mu_);
+        if (seg < segments_.size()) {
+          for (const auto& [page_no, free] : segments_[seg].free_pages) {
+            if (free >= kPageSize / 2 && page_no != anchor_page) {
+              adopted = page_no;
+              break;
+            }
+          }
+        }
+      }
+      if (adopted != 0) {
+        Result<ObjectId> ar = TryInsertOnPage(adopted, record);
+        if (ar.ok()) {
+          std::lock_guard<std::mutex> g(alloc_mu_);
+          cluster_overflow_[anchor_page] = adopted;
+          return ar;
+        }
+        if (!ar.status().IsResourceExhausted()) return ar;
+      }
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(seg));
+      {
+        std::lock_guard<std::mutex> g(alloc_mu_);
+        cluster_overflow_[anchor_page] = fresh;
+      }
+      return TryInsertOnPage(fresh, record);
+    }
+  }
+
+  uint16_t seg = SupportsSegments() ? hint.segment : 0;
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    if (seg >= segments_.size()) {
+      return Status::InvalidArgument("unknown segment " + std::to_string(seg));
+    }
+  }
+
+  // 1. The segment's current open page.
+  uint64_t open_page = 0;
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    open_page = segments_[seg].open_page;
+  }
+  if (open_page != 0) {
+    Result<ObjectId> r = TryInsertOnPage(open_page, record);
+    if (r.ok() || !r.status().IsResourceExhausted()) return r;
+  }
+
+  // 2. A few candidates from the segment's free map.
+  std::vector<uint64_t> candidates;
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    const SegmentState& s = segments_[seg];
+    for (auto it = s.free_pages.begin();
+         it != s.free_pages.end() && candidates.size() < 4; ++it) {
+      if (it->second >= record.size() + Page::kSlotSize &&
+          it->first != open_page) {
+        candidates.push_back(it->first);
+      }
+    }
+  }
+  for (uint64_t page_no : candidates) {
+    Result<ObjectId> r = TryInsertOnPage(page_no, record);
+    if (r.ok()) {
+      std::lock_guard<std::mutex> g(alloc_mu_);
+      segments_[seg].open_page = page_no;
+      return r;
+    }
+    if (!r.status().IsResourceExhausted()) return r;
+  }
+
+  // 3. A fresh page.
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(seg));
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    segments_[seg].open_page = fresh;
+  }
+  return TryInsertOnPage(fresh, record);
+}
+
+Result<ObjectId> PagedManagerBase::Allocate(std::string_view data,
+                                            const AllocHint& hint) {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  Result<ObjectId> id = Status::Internal("unreachable");
+  if (data.size() <= kInlineMax) {
+    id = InsertRecord(PadRecord(EncodeData(kRecTagData, data)), hint);
+  } else {
+    std::vector<ObjectId> chunks;
+    for (size_t pos = 0; pos < data.size(); pos += kChunkPayload) {
+      size_t n = std::min(kChunkPayload, data.size() - pos);
+      LABFLOW_ASSIGN_OR_RETURN(
+          ObjectId chunk,
+          InsertRecord(PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
+                       hint));
+      chunks.push_back(chunk);
+    }
+    std::string root = EncodeRoot(chunks);
+    if (root.size() > kInlineMax) {
+      return Status::NotSupported("object too large");
+    }
+    id = InsertRecord(PadRecord(std::move(root)), hint);
+  }
+  if (id.ok()) live_objects_.fetch_add(1);
+  return id;
+}
+
+// ---- Read -----------------------------------------------------------------
+
+Result<std::string> PagedManagerBase::ReadRaw(ObjectId id) {
+  if (!id.IsValid()) return Status::InvalidArgument("invalid object id");
+  uint64_t page_no = id.page();
+  if (page_no == 0 || page_no >= file_.page_count()) {
+    return Status::NotFound("no such object: " + id.ToString());
+  }
+  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/false));
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_ASSIGN_OR_RETURN(std::string_view rec, page.Read(id.slot()));
+  return std::string(rec);
+}
+
+Result<ObjectId> PagedManagerBase::ResolveForward(ObjectId id,
+                                                  ObjectId* first_hop) {
+  if (first_hop != nullptr) *first_hop = ObjectId::Invalid();
+  ObjectId cur = id;
+  for (int hops = 0; hops < 32; ++hops) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(cur));
+    if (rec.empty()) return Status::Corruption("empty record");
+    if (static_cast<uint8_t>(rec[0]) != kRecTagForward) return cur;
+    if (first_hop != nullptr && !first_hop->IsValid()) *first_hop = cur;
+    LABFLOW_ASSIGN_OR_RETURN(cur, DecodeForward(rec));
+  }
+  return Status::Corruption("forwarding chain too long");
+}
+
+Result<std::string> PagedManagerBase::Read(ObjectId id) {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(id, nullptr));
+  LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(terminal));
+  if (rec.empty()) return Status::Corruption("empty record");
+  uint8_t tag = static_cast<uint8_t>(rec[0]);
+  if (tag == kRecTagData || tag == kRecTagMovedData) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string_view payload, DecodePayload(rec));
+    return std::string(payload);
+  }
+  if (tag == kRecTagRoot || tag == kRecTagMovedRoot) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<ObjectId> chunks, DecodeRoot(rec));
+    std::string out;
+    for (ObjectId chunk : chunks) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string crec, ReadRaw(chunk));
+      LABFLOW_ASSIGN_OR_RETURN(std::string_view payload, DecodePayload(crec));
+      out.append(payload.data(), payload.size());
+    }
+    return out;
+  }
+  if (tag == kRecTagChunk) {
+    return Status::InvalidArgument("id refers to an internal chunk");
+  }
+  return Status::Corruption("unknown record tag");
+}
+
+// ---- Update / Free --------------------------------------------------------
+
+Status PagedManagerBase::UpdateSlot(ObjectId id, std::string_view record) {
+  uint64_t page_no = id.page();
+  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
+  std::string old_bytes(old_view);
+  LABFLOW_RETURN_IF_ERROR(page.Update(id.slot(), record));
+  uint64_t lsn = NextLsn();
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  RetainPage(page_no);
+  OnUpdate(lsn, page_no, id.slot(), old_bytes, record);
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+  }
+  return Status::OK();
+}
+
+Status PagedManagerBase::DeleteSlot(ObjectId id) {
+  uint64_t page_no = id.page();
+  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
+  std::string old_bytes(old_view);
+  LABFLOW_RETURN_IF_ERROR(page.Delete(id.slot()));
+  uint64_t lsn = NextLsn();
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  RetainPage(page_no);
+  OnDelete(lsn, page_no, id.slot(), old_bytes);
+  {
+    std::lock_guard<std::mutex> g(alloc_mu_);
+    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+  }
+  return Status::OK();
+}
+
+Status PagedManagerBase::Update(ObjectId id, std::string_view data) {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  ObjectId first_hop = ObjectId::Invalid();
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(id, &first_hop));
+  LABFLOW_ASSIGN_OR_RETURN(std::string old_rec, ReadRaw(terminal));
+  if (old_rec.empty()) return Status::Corruption("empty record");
+  uint8_t old_tag = static_cast<uint8_t>(old_rec[0]);
+  if (old_tag == kRecTagChunk || old_tag == kRecTagForward) {
+    return Status::InvalidArgument("cannot update internal record");
+  }
+  std::vector<ObjectId> old_chunks;
+  if (old_tag == kRecTagRoot || old_tag == kRecTagMovedRoot) {
+    LABFLOW_ASSIGN_OR_RETURN(old_chunks, DecodeRoot(old_rec));
+  }
+
+  // Derive a placement hint that keeps the object in its segment. The
+  // cluster hint is deliberately NOT propagated: a record that outgrew its
+  // page is usually a growing anchor object (e.g. a material) — clustering
+  // its moved body next to itself would bloat the per-anchor pages with
+  // churn, and the freed extents there are rarely revisited.
+  AllocHint derived;
+  {
+    LABFLOW_RETURN_IF_ERROR(LockPage(terminal.page(), /*exclusive=*/false));
+    LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
+                             pool_->Fetch(terminal.page()));
+    derived.segment = Page(guard->data()).segment();
+  }
+
+  bool terminal_is_origin = (terminal == id);
+  uint8_t data_tag = terminal_is_origin ? kRecTagData : kRecTagMovedData;
+
+  std::string new_rec;
+  std::vector<ObjectId> new_chunks;
+  if (data.size() <= kInlineMax) {
+    new_rec = PadRecord(EncodeData(data_tag, data));
+  } else {
+    for (size_t pos = 0; pos < data.size(); pos += kChunkPayload) {
+      size_t n = std::min(kChunkPayload, data.size() - pos);
+      LABFLOW_ASSIGN_OR_RETURN(
+          ObjectId chunk,
+          InsertRecord(PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
+                       derived));
+      new_chunks.push_back(chunk);
+    }
+    new_rec = EncodeRoot(new_chunks);
+    if (!terminal_is_origin) new_rec[0] = static_cast<char>(kRecTagMovedRoot);
+    if (new_rec.size() > kInlineMax) {
+      return Status::NotSupported("object too large");
+    }
+    new_rec = PadRecord(std::move(new_rec));
+  }
+
+  Status st = UpdateSlot(terminal, new_rec);
+  if (st.IsResourceExhausted()) {
+    // Does not fit where it lives: move the payload and forward to it.
+    std::string moved = new_rec;
+    moved[0] = static_cast<char>(
+        (moved[0] == kRecTagRoot || moved[0] == kRecTagMovedRoot) ? kRecTagMovedRoot
+                                                            : kRecTagMovedData);
+    LABFLOW_ASSIGN_OR_RETURN(ObjectId target, InsertRecord(moved, derived));
+    if (first_hop.IsValid()) {
+      // Collapse the chain: repoint the origin, drop the old terminal.
+      LABFLOW_RETURN_IF_ERROR(UpdateSlot(first_hop, EncodeForward(target)));
+      LABFLOW_RETURN_IF_ERROR(DeleteSlot(terminal));
+    } else {
+      LABFLOW_RETURN_IF_ERROR(UpdateSlot(terminal, EncodeForward(target)));
+    }
+  } else if (!st.ok()) {
+    return st;
+  }
+
+  for (ObjectId chunk : old_chunks) {
+    LABFLOW_RETURN_IF_ERROR(DeleteSlot(chunk));
+  }
+  return Status::OK();
+}
+
+Status PagedManagerBase::Free(ObjectId id) {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  ObjectId cur = id;
+  for (int hops = 0; hops < 32; ++hops) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(cur));
+    if (rec.empty()) return Status::Corruption("empty record");
+    uint8_t tag = static_cast<uint8_t>(rec[0]);
+    if (tag == kRecTagForward) {
+      LABFLOW_ASSIGN_OR_RETURN(ObjectId next, DecodeForward(rec));
+      LABFLOW_RETURN_IF_ERROR(DeleteSlot(cur));
+      cur = next;
+      continue;
+    }
+    if (tag == kRecTagRoot || tag == kRecTagMovedRoot) {
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<ObjectId> chunks, DecodeRoot(rec));
+      for (ObjectId chunk : chunks) {
+        LABFLOW_RETURN_IF_ERROR(DeleteSlot(chunk));
+      }
+    } else if (tag == kRecTagChunk) {
+      return Status::InvalidArgument("cannot free internal chunk");
+    }
+    LABFLOW_RETURN_IF_ERROR(DeleteSlot(cur));
+    live_objects_.fetch_sub(1);
+    return Status::OK();
+  }
+  return Status::Corruption("forwarding chain too long");
+}
+
+// ---- Scan -----------------------------------------------------------------
+
+Status PagedManagerBase::ScanAll(
+    const std::function<Status(ObjectId, std::string_view)>& fn) {
+  if (!open_) return Status::InvalidArgument("manager not open");
+  for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
+    struct Item {
+      ObjectId id;
+      bool inline_payload;
+      std::string payload;  // set when inline
+    };
+    std::vector<Item> items;
+    {
+      LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/false));
+      LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
+                               pool_->Fetch(page_no));
+      Page page(guard->data());
+      for (uint16_t s = 0; s < page.slot_count(); ++s) {
+        if (!page.IsLive(s)) continue;
+        auto rec = page.Read(s);
+        if (!rec.ok() || rec.value().empty()) continue;
+        uint8_t tag = static_cast<uint8_t>(rec.value()[0]);
+        ObjectId id = ObjectId::Make(page_no, s);
+        if (tag == kRecTagData) {
+          LABFLOW_ASSIGN_OR_RETURN(std::string_view payload,
+                                   DecodePayload(rec.value()));
+          items.push_back(Item{id, true, std::string(payload)});
+        } else if (tag == kRecTagRoot || tag == kRecTagForward) {
+          items.push_back(Item{id, false, std::string()});
+        }
+      }
+    }
+    for (const Item& item : items) {
+      if (item.inline_payload) {
+        LABFLOW_RETURN_IF_ERROR(fn(item.id, item.payload));
+      } else {
+        LABFLOW_ASSIGN_OR_RETURN(std::string data, Read(item.id));
+        LABFLOW_RETURN_IF_ERROR(fn(item.id, data));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Redo / undo helpers --------------------------------------------------
+
+Status PagedManagerBase::RedoPageInit(uint64_t lsn, uint64_t page_no,
+                                      uint16_t segment) {
+  while (page_no >= file_.page_count()) {
+    LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
+  }
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  if (page.lsn() >= lsn) return Status::OK();
+  page.Initialize(segment);
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::RedoInsert(uint64_t lsn, uint64_t page_no,
+                                    uint16_t slot, std::string_view bytes) {
+  // The page's init record may be missing from the log (it can belong to a
+  // transaction that later aborted while a committed one used the page), so
+  // extend and initialize on demand.
+  while (page_no >= file_.page_count()) {
+    LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
+  }
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  if (page.lsn() >= lsn) return Status::OK();
+  if (!page.IsInitialized()) page.Initialize(0);
+  LABFLOW_RETURN_IF_ERROR(page.InsertAt(slot, bytes));
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::RedoUpdate(uint64_t lsn, uint64_t page_no,
+                                    uint16_t slot, std::string_view bytes) {
+  if (page_no >= file_.page_count()) {
+    return Status::Corruption("redo update: missing page");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  if (page.lsn() >= lsn) return Status::OK();
+  LABFLOW_RETURN_IF_ERROR(page.Update(slot, bytes));
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::RedoDelete(uint64_t lsn, uint64_t page_no,
+                                    uint16_t slot) {
+  if (page_no >= file_.page_count()) {
+    return Status::Corruption("redo delete: missing page");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  if (page.lsn() >= lsn) return Status::OK();
+  LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
+  page.set_lsn(lsn);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::UndoInsert(uint64_t page_no, uint16_t slot) {
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
+  page.set_lsn(NextLsn());
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::UndoUpdate(uint64_t page_no, uint16_t slot,
+                                    std::string_view old_bytes) {
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_RETURN_IF_ERROR(page.Update(slot, old_bytes));
+  page.set_lsn(NextLsn());
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status PagedManagerBase::UndoDelete(uint64_t page_no, uint16_t slot,
+                                    std::string_view old_bytes) {
+  LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  Page page(guard->data());
+  LABFLOW_RETURN_IF_ERROR(page.InsertAt(slot, old_bytes));
+  page.set_lsn(NextLsn());
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+}  // namespace labflow::storage

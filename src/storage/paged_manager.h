@@ -1,0 +1,282 @@
+#ifndef LABFLOW_STORAGE_PAGED_MANAGER_H_
+#define LABFLOW_STORAGE_PAGED_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/storage_manager.h"
+
+namespace labflow::storage {
+
+/// Configuration shared by the paged storage managers.
+struct PagedManagerOptions {
+  /// Database file path. A WAL-using manager derives "<path>.wal".
+  std::string path;
+  /// Buffer-pool capacity in pages. This is the knob bench_fig_locality
+  /// sweeps: it plays the role of available physical memory in the paper's
+  /// testbed.
+  size_t buffer_pool_pages = 1024;
+  /// Start from an empty database, discarding any existing file.
+  bool truncate = true;
+  /// Simulated per-fault disk latency in microseconds (see BufferPool).
+  int64_t fault_delay_us = 0;
+};
+
+/// Shared implementation of a slotted-page object heap used by both the
+/// ostore and texas managers. Provides:
+///
+///  * stable object ids across growth (forwarding records),
+///  * objects larger than a page (spanning roots + chunks),
+///  * segment- and cluster-hint-driven placement (policy hooks decide which
+///    hints are honoured — this is where OStore and Texas differ),
+///  * per-segment free-space tracking,
+///  * superblock persistence and rebuild-by-scan on reopen,
+///  * hook points for logging (WAL), locking, and dirty-page retention so
+///    the ostore subclass can layer transactions on top.
+///
+/// Record wire tags (first byte of every slot record):
+///   0 data        [0][varint n][n bytes][pad...]
+///   1 forward     [1][8-byte LE target id]
+///   2 span root   [2][varint n_chunks][n*8-byte LE chunk ids]
+///   3 span chunk  [3][varint n][n bytes]
+///   5 moved data  [5][varint n][n bytes]   (forward target; hidden from scans)
+class PagedManagerBase : public StorageManager {
+ public:
+  ~PagedManagerBase() override;
+
+  PagedManagerBase(const PagedManagerBase&) = delete;
+  PagedManagerBase& operator=(const PagedManagerBase&) = delete;
+
+  /// Opens or creates the database. Must be called exactly once before use.
+  Status Open(const PagedManagerOptions& options);
+
+  // StorageManager:
+  Status Begin() override { return Status::OK(); }
+  Status Commit() override { return Status::OK(); }
+  Status Abort() override {
+    return Status::NotSupported(std::string(name()) +
+                                ": no transaction support");
+  }
+  Result<ObjectId> Allocate(std::string_view data,
+                            const AllocHint& hint) override;
+  Result<std::string> Read(ObjectId id) override;
+  Status Update(ObjectId id, std::string_view data) override;
+  Status Free(ObjectId id) override;
+  Result<uint16_t> CreateSegment(std::string_view name) override;
+  Status SetRoot(ObjectId root) override {
+    root_.store(root.raw);
+    return Status::OK();
+  }
+  Result<ObjectId> GetRoot() override { return ObjectId(root_.load()); }
+  Status ScanAll(
+      const std::function<Status(ObjectId, std::string_view)>& fn) override;
+  Status Checkpoint() override;
+  Status Close() override;
+  StorageStats stats() const override;
+
+  /// Abandons all buffered state without flushing pages; the WAL (if any)
+  /// is preserved. Used by crash-recovery tests to model a process kill.
+  Status SimulateCrash();
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+
+ protected:
+  PagedManagerBase() = default;
+
+  // ---- Policy hooks ------------------------------------------------------
+
+  /// Whether AllocHint::segment is honoured (OStore yes, Texas no).
+  virtual bool SupportsSegments() const = 0;
+
+  /// Whether AllocHint::cluster_near is honoured (Texas+TC yes).
+  virtual bool UseClusterHint() const = 0;
+
+  /// Allocator size-class model: the on-page footprint for a record of
+  /// `encoded_size` bytes. Texas's segregated-fit allocator rounds sizes up
+  /// (power-of-two classes), which is what made its database files ~50%
+  /// larger than ObjectStore's in the paper's Section 10 table; the default
+  /// is exact-fit. Values are clamped to the page capacity.
+  virtual size_t StoreSize(size_t encoded_size) const { return encoded_size; }
+
+  /// Acquire a page lock before any access (OStore: strict 2PL; default:
+  /// no locking).
+  virtual Status LockPage(uint64_t page_no, bool exclusive) {
+    (void)page_no;
+    (void)exclusive;
+    return Status::OK();
+  }
+
+  /// Keep a dirtied page memory-resident until the active transaction ends
+  /// (OStore no-steal policy; default: nothing).
+  virtual void RetainPage(uint64_t page_no) { (void)page_no; }
+
+  // ---- Logging hooks (called after the in-memory change, with its LSN) ---
+
+  virtual void OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) {
+    (void)lsn;
+    (void)page;
+    (void)segment;
+  }
+  virtual void OnInsert(uint64_t lsn, uint64_t page, uint16_t slot,
+                        std::string_view bytes) {
+    (void)lsn, (void)page, (void)slot, (void)bytes;
+  }
+  virtual void OnUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
+                        std::string_view old_bytes, std::string_view bytes) {
+    (void)lsn, (void)page, (void)slot, (void)old_bytes, (void)bytes;
+  }
+  virtual void OnDelete(uint64_t lsn, uint64_t page, uint16_t slot,
+                        std::string_view old_bytes) {
+    (void)lsn, (void)page, (void)slot, (void)old_bytes;
+  }
+
+  // ---- Lifecycle hooks ----------------------------------------------------
+
+  /// Called after the file is open and the superblock decoded, before the
+  /// free-space scan. OStore runs WAL recovery here.
+  virtual Status OnOpen(bool fresh) {
+    (void)fresh;
+    return Status::OK();
+  }
+  /// Called after a successful checkpoint (OStore truncates its WAL).
+  virtual Status OnCheckpoint() { return Status::OK(); }
+  /// Called by Close after the checkpoint, before the file closes.
+  virtual Status OnClose() { return Status::OK(); }
+  /// Called by SimulateCrash before the file closes (release descriptors
+  /// without flushing anything beyond what is already on disk).
+  virtual Status OnCrash() { return Status::OK(); }
+  /// Extra serialized metadata stored in the superblock.
+  virtual std::string EncodeMeta() const { return std::string(); }
+  virtual Status DecodeMeta(std::string_view meta) {
+    (void)meta;
+    return Status::OK();
+  }
+  /// Lets subclasses add their counters (WAL size, lock waits) to stats().
+  virtual void AugmentStats(StorageStats* stats) const { (void)stats; }
+
+  // ---- Redo helpers for WAL recovery (idempotent via page LSNs) ----------
+
+  Status RedoPageInit(uint64_t lsn, uint64_t page, uint16_t segment);
+  Status RedoInsert(uint64_t lsn, uint64_t page, uint16_t slot,
+                    std::string_view bytes);
+  Status RedoUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
+                    std::string_view bytes);
+  Status RedoDelete(uint64_t lsn, uint64_t page, uint16_t slot);
+
+  // ---- Undo helpers for transaction abort (in-memory restore) ------------
+
+  Status UndoInsert(uint64_t page, uint16_t slot);
+  Status UndoUpdate(uint64_t page, uint16_t slot, std::string_view old_bytes);
+  Status UndoDelete(uint64_t page, uint16_t slot, std::string_view old_bytes);
+
+  /// Record tags as they appear as the first byte of every slot record.
+  /// kRecTagData and kRecTagRoot head *public* objects; subclasses use this
+  /// to attribute object creation/destruction during undo.
+  static constexpr uint8_t kRecTagData = 0;
+  static constexpr uint8_t kRecTagForward = 1;
+  static constexpr uint8_t kRecTagRoot = 2;
+  static constexpr uint8_t kRecTagChunk = 3;
+  static constexpr uint8_t kRecTagMovedData = 5;
+  static constexpr uint8_t kRecTagMovedRoot = 6;
+
+  /// Stat correction used by transactional subclasses when an abort rolls
+  /// back object creations or deletions.
+  void AdjustLiveObjects(int64_t delta) {
+    live_objects_.fetch_add(static_cast<uint64_t>(delta));
+  }
+
+  uint64_t current_lsn() const { return lsn_.load(); }
+  void set_lsn(uint64_t lsn) { lsn_.store(lsn); }
+  const PagedManagerOptions& options() const { return options_; }
+  bool is_open() const { return open_; }
+  PageFile* page_file() { return &file_; }
+
+ private:
+  struct SegmentState {
+    std::string name;
+    uint64_t open_page = 0;  // 0 = none (page 0 is the superblock)
+    std::map<uint64_t, uint32_t> free_pages;  // page -> approx free bytes
+  };
+
+  static constexpr uint32_t kMagic = 0x4C465731;  // "LFW1"
+  static constexpr uint32_t kFormatVersion = 1;
+  /// Payload above this size is split into spanning chunks.
+  static constexpr size_t kInlineMax = 7900;
+  static constexpr size_t kChunkPayload = 7900;
+  /// Minimum encoded record size so a forwarding record (9 bytes) can
+  /// always replace a record in place.
+  static constexpr size_t kMinRecordSize = 9;
+  /// Pages with less free space than this leave the free map.
+  static constexpr uint32_t kFreeThreshold = 64;
+  /// Free space kept on a cluster-anchor page so the anchor objects
+  /// (materials, which grow in place) do not overflow into forwarding
+  /// chains the moment their page hosts clustered neighbours.
+  static constexpr size_t kClusterAnchorSlack = 1024;
+
+  // Record encoding helpers.
+  static std::string EncodeData(uint8_t tag, std::string_view payload);
+  static std::string EncodeForward(ObjectId target);
+  static std::string EncodeRoot(const std::vector<ObjectId>& chunks);
+  static Result<std::string_view> DecodePayload(std::string_view record);
+  static Result<ObjectId> DecodeForward(std::string_view record);
+  static Result<std::vector<ObjectId>> DecodeRoot(std::string_view record);
+
+  uint64_t NextLsn() { return lsn_.fetch_add(1) + 1; }
+
+  /// Pads `record` to its allocator size class (see StoreSize).
+  std::string PadRecord(std::string record) const;
+
+  /// Inserts an encoded record honouring placement hints; returns its id.
+  Result<ObjectId> InsertRecord(std::string_view record,
+                                const AllocHint& hint);
+  /// Attempts insertion into one specific page; ResourceExhausted if full.
+  /// `min_leftover` demands that much free space remain afterwards (used to
+  /// keep growth slack on cluster-anchor pages).
+  Result<ObjectId> TryInsertOnPage(uint64_t page_no, std::string_view record,
+                                   size_t min_leftover = 0);
+  /// Creates, initializes and registers a new page in `segment`.
+  Result<uint64_t> NewPageInSegment(uint16_t segment);
+
+  /// Reads the raw (tagged) record bytes of an object.
+  Result<std::string> ReadRaw(ObjectId id);
+  /// Follows forwarding records; returns the terminal id (tag 0/2/5 there).
+  Result<ObjectId> ResolveForward(ObjectId id, ObjectId* first_hop);
+  /// Deletes one slot, firing hooks and maintaining the free map.
+  Status DeleteSlot(ObjectId id);
+  /// Overwrites one slot in place, firing hooks; ResourceExhausted if the
+  /// page cannot host the new size.
+  Status UpdateSlot(ObjectId id, std::string_view record);
+
+  void NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment, size_t free);
+
+  Status WriteSuperblock();
+  Status ReadSuperblock();
+  Status RebuildFromScan();
+
+  PagedManagerOptions options_;
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  bool open_ = false;
+
+  std::atomic<uint64_t> lsn_{0};
+  std::atomic<uint64_t> root_{0};
+  mutable std::mutex alloc_mu_;
+  std::vector<SegmentState> segments_;  // index = segment id
+  std::unordered_map<uint64_t, uint64_t> cluster_overflow_;
+  std::atomic<uint64_t> live_objects_{0};
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_PAGED_MANAGER_H_

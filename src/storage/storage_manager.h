@@ -1,0 +1,99 @@
+#ifndef LABFLOW_STORAGE_STORAGE_MANAGER_H_
+#define LABFLOW_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/object_id.h"
+
+namespace labflow::storage {
+
+/// Counters reported by every storage manager. `disk_reads` is the
+/// LabFlow-1 `majflt` proxy (a demand page read from the database file —
+/// see DESIGN.md, substitution table).
+struct StorageStats {
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t evictions = 0;
+  uint64_t db_size_bytes = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t live_objects = 0;
+  uint64_t lock_waits = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+};
+
+/// Placement hint attached to an allocation. This is the knob the paper's
+/// headline finding is about: "the critical importance of being able to
+/// control locality of reference to persistent data".
+///
+/// * `segment` — clustering segment (honoured by ostore; ignored by texas).
+/// * `cluster_near` — place the new object near an existing one (honoured by
+///   texas in Texas+TC client-clustering mode; ignored otherwise).
+struct AllocHint {
+  uint16_t segment = 0;
+  ObjectId cluster_near = ObjectId::Invalid();
+};
+
+/// Abstract object storage manager: the substrate under the LabBase
+/// workflow wrapper (paper Architecture (C)). Objects are untyped byte
+/// records identified by stable ObjectIds; object ids never change across
+/// updates (updates that outgrow their slot install a forwarding record
+/// internally).
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  /// Human-readable server-version name ("OStore", "Texas", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Begins a transaction on the calling thread. Managers without
+  /// concurrency control (texas) treat the triple as no-ops / NotSupported
+  /// per their documented semantics.
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+  virtual Status Abort() = 0;
+
+  /// Stores a new object; returns its permanent id.
+  virtual Result<ObjectId> Allocate(std::string_view data,
+                                    const AllocHint& hint) = 0;
+
+  /// Reads an object's bytes.
+  virtual Result<std::string> Read(ObjectId id) = 0;
+
+  /// Replaces an object's bytes; the id remains valid.
+  virtual Status Update(ObjectId id, std::string_view data) = 0;
+
+  /// Removes an object.
+  virtual Status Free(ObjectId id) = 0;
+
+  /// Creates a named clustering segment and returns its id. Managers
+  /// without placement control return segment 0 for every call.
+  virtual Result<uint16_t> CreateSegment(std::string_view name) = 0;
+
+  /// Persistent root-object pointer: the application's entry point into the
+  /// database (LabBase stores its catalog object here). Invalid by default.
+  virtual Status SetRoot(ObjectId root) = 0;
+  virtual Result<ObjectId> GetRoot() = 0;
+
+  /// Invokes `fn` for every live object. Iteration order is unspecified.
+  virtual Status ScanAll(
+      const std::function<Status(ObjectId, std::string_view)>& fn) = 0;
+
+  /// Forces all state to stable storage (flush + sync + metadata).
+  virtual Status Checkpoint() = 0;
+
+  /// Checkpoint + release resources. The manager is unusable afterwards.
+  virtual Status Close() = 0;
+
+  virtual StorageStats stats() const = 0;
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_STORAGE_MANAGER_H_

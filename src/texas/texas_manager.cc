@@ -1,0 +1,13 @@
+#include "texas/texas_manager.h"
+
+namespace labflow::texas {
+
+Result<std::unique_ptr<TexasManager>> TexasManager::Open(
+    const TexasOptions& options) {
+  std::unique_ptr<TexasManager> mgr(new TexasManager());
+  mgr->client_clustering_ = options.client_clustering;
+  LABFLOW_RETURN_IF_ERROR(mgr->PagedManagerBase::Open(options.base));
+  return mgr;
+}
+
+}  // namespace labflow::texas

@@ -1,0 +1,499 @@
+#include "workflow/graph.h"
+
+#include <set>
+
+namespace labflow::workflow {
+
+Status WorkflowGraph::Validate() const {
+  std::set<std::string> classes(material_classes.begin(),
+                                material_classes.end());
+  if (classes.size() != material_classes.size()) {
+    return Status::InvalidArgument("duplicate material class");
+  }
+  std::set<std::string> state_set(states.begin(), states.end());
+  if (state_set.size() != states.size()) {
+    return Status::InvalidArgument("duplicate state");
+  }
+  std::set<std::string> step_names;
+  for (const Transition& t : transitions) {
+    if (!step_names.insert(t.step_name).second) {
+      return Status::InvalidArgument("duplicate step: " + t.step_name);
+    }
+    if (!classes.count(t.material_class)) {
+      return Status::InvalidArgument(t.step_name + ": unknown class " +
+                                     t.material_class);
+    }
+    auto check_state = [&](const std::string& s,
+                           const char* what) -> Status {
+      if (!s.empty() && !state_set.count(s)) {
+        return Status::InvalidArgument(t.step_name + ": unknown " +
+                                       std::string(what) + " state " + s);
+      }
+      return Status::OK();
+    };
+    // source_state may be empty only for arrival steps (no precondition).
+    LABFLOW_RETURN_IF_ERROR(check_state(t.source_state, "source"));
+    if (t.target_state.empty()) {
+      return Status::InvalidArgument(t.step_name + ": missing target state");
+    }
+    LABFLOW_RETURN_IF_ERROR(check_state(t.target_state, "target"));
+    LABFLOW_RETURN_IF_ERROR(check_state(t.failure_state, "failure"));
+    LABFLOW_RETURN_IF_ERROR(check_state(t.exhausted_state, "exhausted"));
+    if (!t.creates_class.empty()) {
+      if (!classes.count(t.creates_class)) {
+        return Status::InvalidArgument(t.step_name +
+                                       ": unknown created class " +
+                                       t.creates_class);
+      }
+      if (t.creates_state.empty()) {
+        return Status::InvalidArgument(t.step_name +
+                                       ": creates_class without state");
+      }
+      LABFLOW_RETURN_IF_ERROR(check_state(t.creates_state, "created"));
+    }
+    if (t.failure_prob < 0.0 || t.failure_prob > 1.0) {
+      return Status::InvalidArgument(t.step_name + ": bad failure_prob");
+    }
+    if (t.failure_prob > 0.0 && t.failure_state.empty()) {
+      return Status::InvalidArgument(t.step_name +
+                                     ": failure_prob without failure_state");
+    }
+    switch (t.kind) {
+      case Transition::Kind::kBatch:
+        if (t.batch_min < 1 || t.batch_max < t.batch_min) {
+          return Status::InvalidArgument(t.step_name + ": bad batch range");
+        }
+        break;
+      case Transition::Kind::kSpawn:
+        if (!classes.count(t.child_class)) {
+          return Status::InvalidArgument(t.step_name +
+                                         ": unknown child class");
+        }
+        LABFLOW_RETURN_IF_ERROR(check_state(t.child_state, "child"));
+        if (t.child_state.empty()) {
+          return Status::InvalidArgument(t.step_name +
+                                         ": missing child state");
+        }
+        break;
+      case Transition::Kind::kJoin:
+        LABFLOW_RETURN_IF_ERROR(
+            check_state(t.child_source_state, "child source"));
+        LABFLOW_RETURN_IF_ERROR(
+            check_state(t.child_target_state, "child target"));
+        if (t.child_source_state.empty() || t.child_target_state.empty()) {
+          return Status::InvalidArgument(t.step_name +
+                                         ": join needs child states");
+        }
+        break;
+      case Transition::Kind::kSimple:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+const Transition* WorkflowGraph::FindTransition(
+    std::string_view step_name) const {
+  for (const Transition& t : transitions) {
+    if (t.step_name == step_name) return &t;
+  }
+  return nullptr;
+}
+
+std::vector<const Transition*> WorkflowGraph::TransitionsFrom(
+    std::string_view state, std::string_view material_class) const {
+  std::vector<const Transition*> out;
+  for (const Transition& t : transitions) {
+    if (t.source_state == state &&
+        (material_class.empty() || t.material_class == material_class)) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+WorkflowGraph::Analysis WorkflowGraph::Analyze() const {
+  Analysis out;
+  std::set<std::string> producible;  // states some transition can reach
+  for (const Transition& t : transitions) {
+    producible.insert(t.target_state);
+    if (!t.failure_state.empty()) producible.insert(t.failure_state);
+    if (!t.exhausted_state.empty()) producible.insert(t.exhausted_state);
+    if (!t.creates_state.empty()) producible.insert(t.creates_state);
+    if (t.kind == Transition::Kind::kSpawn) producible.insert(t.child_state);
+    if (t.kind == Transition::Kind::kJoin) {
+      producible.insert(t.child_target_state);
+    }
+  }
+  std::set<std::string> consumed;  // states some transition fires from
+  for (const Transition& t : transitions) {
+    if (!t.source_state.empty()) consumed.insert(t.source_state);
+    if (t.kind == Transition::Kind::kJoin) {
+      consumed.insert(t.child_source_state);
+    }
+  }
+  for (const std::string& state : states) {
+    if (!producible.count(state)) out.unreachable_states.push_back(state);
+    if (!consumed.count(state)) out.terminal_states.push_back(state);
+  }
+  for (const Transition& t : transitions) {
+    if (!t.source_state.empty() && !producible.count(t.source_state)) {
+      out.dead_transitions.push_back(t.step_name);
+    }
+  }
+  return out;
+}
+
+Status WorkflowGraph::InstallSchema(labbase::LabBase* db) const {
+  for (const std::string& cls : material_classes) {
+    Status st = db->DefineMaterialClass(cls).status();
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+  }
+  for (const std::string& state : states) {
+    LABFLOW_RETURN_IF_ERROR(db->DefineState(state).status());
+  }
+  for (const Transition& t : transitions) {
+    std::vector<std::string> attrs;
+    attrs.reserve(t.results.size());
+    for (const ResultSpec& r : t.results) attrs.push_back(r.attr);
+    LABFLOW_RETURN_IF_ERROR(db->DefineStepClass(t.step_name, attrs).status());
+  }
+  return Status::OK();
+}
+
+WorkflowGraph GenomeMappingWorkflow() {
+  WorkflowGraph g;
+  g.name = "genome_mapping";
+  g.material_classes = {"clone", "tclone", "gel"};
+  g.states = {
+      // clone states
+      "cl_received", "cl_dna_ready", "cl_tn_done", "cl_assembled",
+      "cl_finished",
+      // tclone states
+      "tc_new", "tc_associated", "tc_picked", "waiting_for_gel", "on_gel",
+      "waiting_for_sequencing", "waiting_for_incorporation", "tc_blasted",
+      "tc_incorporated", "tc_failed",
+      // gel states
+      "gel_loaded", "gel_run",
+  };
+
+  using Kind = Transition::Kind;
+  using Gen = ResultSpec::Gen;
+
+  auto add = [&](Transition t) { g.transitions.push_back(std::move(t)); };
+
+  {
+    Transition t;
+    t.step_name = "receive_clone";
+    t.kind = Kind::kSimple;
+    t.material_class = "clone";
+    t.source_state = "";  // arrival
+    t.target_state = "cl_received";
+    t.results = {
+        {.attr = "library", .gen = Gen::kName, .length = 6},
+        {.attr = "insert_size_kb", .gen = Gen::kInt, .min = 30, .max = 45},
+    };
+    t.duration_mean_us = 5'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "prepare_dna";
+    t.kind = Kind::kSimple;
+    t.material_class = "clone";
+    t.source_state = "cl_received";
+    t.target_state = "cl_dna_ready";
+    t.failure_state = "cl_received";
+    t.failure_prob = 0.05;
+    t.results = {
+        {.attr = "dna_conc_ng_ul", .gen = Gen::kReal, .rmin = 20, .rmax = 400},
+        {.attr = "purity", .gen = Gen::kReal, .rmin = 1.2, .rmax = 2.1},
+    };
+    t.duration_mean_us = 3'600'000'000;  // an hour of lab time
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "transposon_insertion";
+    t.kind = Kind::kSpawn;
+    t.material_class = "clone";
+    t.source_state = "cl_dna_ready";
+    t.target_state = "cl_tn_done";
+    t.child_class = "tclone";
+    t.child_state = "tc_new";
+    t.children_mean = 18.0;
+    t.children_min = 4;
+    t.results = {
+        {.attr = "n_insertions", .gen = Gen::kInt, .min = 4, .max = 60},
+    };
+    t.duration_mean_us = 7'200'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "associate_tclone";
+    t.kind = Kind::kSimple;
+    t.material_class = "tclone";
+    t.source_state = "tc_new";
+    t.target_state = "tc_associated";
+    t.results = {
+        {.attr = "parent_clone", .gen = Gen::kName, .length = 10},
+        {.attr = "position_est", .gen = Gen::kInt, .min = 0, .max = 45000},
+    };
+    t.duration_mean_us = 600'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "pick_tclone";
+    t.kind = Kind::kSimple;
+    t.material_class = "tclone";
+    t.source_state = "tc_associated";
+    t.target_state = "tc_picked";
+    t.results = {
+        {.attr = "plate", .gen = Gen::kInt, .min = 1, .max = 400},
+        {.attr = "well", .gen = Gen::kInt, .min = 1, .max = 96},
+    };
+    t.duration_mean_us = 300'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "seq_reaction";
+    t.kind = Kind::kSimple;
+    t.material_class = "tclone";
+    t.source_state = "tc_picked";
+    t.target_state = "waiting_for_gel";
+    t.results = {
+        {.attr = "chemistry", .gen = Gen::kName, .length = 8},
+        {.attr = "primer", .gen = Gen::kName, .length = 12},
+    };
+    t.duration_mean_us = 1'800'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "load_gel";
+    t.kind = Kind::kBatch;
+    t.material_class = "tclone";
+    t.source_state = "waiting_for_gel";
+    t.target_state = "on_gel";
+    t.creates_class = "gel";
+    t.creates_state = "gel_loaded";
+    t.batch_min = 16;
+    t.batch_max = 48;
+    t.results = {
+        {.attr = "lane", .gen = Gen::kInt, .min = 1, .max = 48},
+    };
+    t.duration_mean_us = 1'200'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "run_gel";
+    t.kind = Kind::kSimple;
+    t.material_class = "gel";
+    t.source_state = "gel_loaded";
+    t.target_state = "gel_run";
+    t.results = {
+        {.attr = "run_time_min", .gen = Gen::kInt, .min = 240, .max = 600},
+        {.attr = "voltage", .gen = Gen::kInt, .min = 1200, .max = 2400},
+    };
+    t.duration_mean_us = 21'600'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "read_gel";
+    t.kind = Kind::kBatch;
+    t.material_class = "tclone";
+    t.source_state = "on_gel";
+    t.target_state = "waiting_for_sequencing";
+    t.failure_state = "tc_picked";
+    t.failure_prob = 0.06;
+    t.exhausted_state = "tc_failed";
+    t.results = {
+        {.attr = "trace_file", .gen = Gen::kName, .length = 24},
+        {.attr = "read_quality", .gen = Gen::kReal, .rmin = 0.1, .rmax = 1.0},
+    };
+    t.duration_mean_us = 3'600'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "determine_sequence";
+    t.kind = Kind::kSimple;
+    t.material_class = "tclone";
+    t.source_state = "waiting_for_sequencing";
+    t.target_state = "waiting_for_incorporation";
+    t.failure_state = "tc_picked";
+    t.failure_prob = 0.08;
+    t.exhausted_state = "tc_failed";
+    t.results = {
+        {.attr = "sequence", .gen = Gen::kDna, .min = 200, .max = 500},
+        {.attr = "base_calls", .gen = Gen::kInt, .min = 200, .max = 500},
+        {.attr = "error_rate", .gen = Gen::kReal, .rmin = 0.001, .rmax = 0.05},
+    };
+    t.duration_mean_us = 1'800'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "blast_search";
+    t.kind = Kind::kSimple;
+    t.material_class = "tclone";
+    t.source_state = "waiting_for_incorporation";
+    t.target_state = "tc_blasted";
+    t.results = {
+        {.attr = "hits", .gen = Gen::kHitList, .min = 0, .max = 8},
+    };
+    t.duration_mean_us = 300'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "assemble_sequence";
+    t.kind = Kind::kJoin;
+    t.material_class = "clone";
+    t.source_state = "cl_tn_done";
+    t.target_state = "cl_assembled";
+    t.child_source_state = "tc_blasted";
+    t.child_target_state = "tc_incorporated";
+    t.results = {
+        {.attr = "contigs", .gen = Gen::kInt, .min = 1, .max = 12},
+        {.attr = "coverage", .gen = Gen::kReal, .rmin = 2.0, .rmax = 9.0},
+        {.attr = "assembled_length", .gen = Gen::kInt, .min = 25000,
+         .max = 48000},
+    };
+    t.duration_mean_us = 7'200'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "finish_clone";
+    t.kind = Kind::kSimple;
+    t.material_class = "clone";
+    t.source_state = "cl_assembled";
+    t.target_state = "cl_finished";
+    t.results = {
+        {.attr = "final_length", .gen = Gen::kInt, .min = 25000, .max = 48000},
+        {.attr = "qc_ok", .gen = Gen::kInt, .min = 0, .max = 1},
+    };
+    t.duration_mean_us = 3'600'000'000;
+    add(std::move(t));
+  }
+  return g;
+}
+
+WorkflowGraph OrderFulfillmentWorkflow() {
+  WorkflowGraph g;
+  g.name = "order_fulfillment";
+  g.material_classes = {"order"};
+  g.states = {"placed", "paid", "picked", "packed", "shipped", "delivered",
+              "payment_failed"};
+
+  using Kind = Transition::Kind;
+  using Gen = ResultSpec::Gen;
+  auto add = [&](Transition t) { g.transitions.push_back(std::move(t)); };
+
+  {
+    Transition t;
+    t.step_name = "place_order";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "";
+    t.target_state = "placed";
+    t.results = {
+        {.attr = "customer", .gen = Gen::kName, .length = 10},
+        {.attr = "total_cents", .gen = Gen::kInt, .min = 500, .max = 250000},
+    };
+    t.duration_mean_us = 1'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "charge_payment";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "placed";
+    t.target_state = "paid";
+    t.failure_state = "payment_failed";
+    t.failure_prob = 0.03;
+    t.results = {
+        {.attr = "auth_code", .gen = Gen::kName, .length = 12},
+    };
+    t.duration_mean_us = 2'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "retry_payment";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "payment_failed";
+    t.target_state = "paid";
+    t.results = {
+        {.attr = "auth_code", .gen = Gen::kName, .length = 12},
+    };
+    t.duration_mean_us = 3'600'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "pick_items";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "paid";
+    t.target_state = "picked";
+    t.results = {
+        {.attr = "picker", .gen = Gen::kName, .length = 8},
+        {.attr = "n_items", .gen = Gen::kInt, .min = 1, .max = 12},
+    };
+    t.duration_mean_us = 1'800'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "pack_order";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "picked";
+    t.target_state = "packed";
+    t.results = {
+        {.attr = "weight_g", .gen = Gen::kInt, .min = 50, .max = 20000},
+    };
+    t.duration_mean_us = 600'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "ship_order";
+    t.kind = Kind::kBatch;
+    t.material_class = "order";
+    t.source_state = "packed";
+    t.target_state = "shipped";
+    t.batch_min = 4;
+    t.batch_max = 24;
+    t.results = {
+        {.attr = "tracking", .gen = Gen::kName, .length = 16},
+    };
+    t.duration_mean_us = 14'400'000'000;
+    add(std::move(t));
+  }
+  {
+    Transition t;
+    t.step_name = "confirm_delivery";
+    t.kind = Kind::kSimple;
+    t.material_class = "order";
+    t.source_state = "shipped";
+    t.target_state = "delivered";
+    t.results = {
+        {.attr = "signed_by", .gen = Gen::kName, .length = 10},
+    };
+    t.duration_mean_us = 86'400'000'000;
+    add(std::move(t));
+  }
+  return g;
+}
+
+}  // namespace labflow::workflow

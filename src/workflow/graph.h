@@ -1,0 +1,135 @@
+#ifndef LABFLOW_WORKFLOW_GRAPH_H_
+#define LABFLOW_WORKFLOW_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "labbase/labbase.h"
+
+namespace labflow::workflow {
+
+/// How a step's result attribute values are synthesized by the workload
+/// generator.
+struct ResultSpec {
+  enum class Gen {
+    kInt,      // uniform integer in [min, max]
+    kReal,     // uniform real in [rmin, rmax]
+    kName,     // random identifier of `length`
+    kDna,      // random base string of length in [min, max]
+    kHitList,  // list of hit(db, accession, score) triples (BLAST results)
+  };
+
+  std::string attr;
+  Gen gen = Gen::kInt;
+  int64_t min = 0;
+  int64_t max = 100;
+  double rmin = 0.0;
+  double rmax = 1.0;
+  size_t length = 8;
+};
+
+/// One edge family of the workflow graph: a step class, the state movement
+/// it causes, its failure loop, and how the generator schedules it.
+///
+/// Kinds:
+///  * kSimple — processes one material of `material_class`.
+///  * kBatch  — processes a batch of materials together (e.g. loading many
+///    tclones on one sequencing gel).
+///  * kSpawn  — processes one material and creates `children_mean` new
+///    materials of `child_class` (transposon insertion creating tclones).
+///  * kJoin   — processes one parent plus all of its children once every
+///    child reached `source_state` (sequence assembly).
+struct Transition {
+  enum class Kind { kSimple, kBatch, kSpawn, kJoin };
+
+  std::string step_name;
+  Kind kind = Kind::kSimple;
+  std::string material_class;
+  std::string source_state;
+  std::string target_state;
+  /// Failure loop: with probability failure_prob the material goes to
+  /// failure_state instead of target_state. Empty = no failure edge.
+  std::string failure_state;
+  double failure_prob = 0.0;
+  /// Where a material goes when it exhausts its retry budget on this
+  /// step's failure loop (e.g. tc_failed). Empty = retries forever.
+  std::string exhausted_state;
+  /// Side-product: this step also creates one material of `creates_class`
+  /// in `creates_state` (loading a gel creates the gel itself). Empty =
+  /// no side product.
+  std::string creates_class;
+  std::string creates_state;
+  /// kBatch: batch size range.
+  int batch_min = 1;
+  int batch_max = 1;
+  /// kSpawn: children created per firing.
+  std::string child_class;
+  std::string child_state;  // state the children start in
+  double children_mean = 0.0;
+  int children_min = 0;
+  /// kJoin: children consumed (all children of the parent currently in
+  /// `child_source_state` move to `child_target_state`).
+  std::string child_source_state;
+  std::string child_target_state;
+  /// Result attributes produced per processed material.
+  std::vector<ResultSpec> results;
+  /// Mean simulated duration (advances the valid-time clock), microseconds.
+  int64_t duration_mean_us = 60'000'000;
+};
+
+/// A declarative workflow graph (paper Section 2.2 / Appendix B): material
+/// classes, workflow states, and the step classes that move materials
+/// between states. "The workflow graph largely determines the workload for
+/// the DBMS."
+struct WorkflowGraph {
+  std::string name;
+  std::vector<std::string> material_classes;
+  std::vector<std::string> states;
+  std::vector<Transition> transitions;
+
+  /// Structural validation: referenced classes/states exist, step names are
+  /// unique, kind-specific fields are present, probabilities are sane.
+  Status Validate() const;
+
+  /// Returns the transition with this step name, or nullptr.
+  const Transition* FindTransition(std::string_view step_name) const;
+
+  /// All transitions whose source_state is `state` (for `material_class`
+  /// when non-empty).
+  std::vector<const Transition*> TransitionsFrom(
+      std::string_view state, std::string_view material_class = "") const;
+
+  /// Declares every class, state and step class of this graph in LabBase.
+  Status InstallSchema(labbase::LabBase* db) const;
+
+  /// Static analysis over the graph (process re-engineering support: when
+  /// the lab rewires its workflow, these catch dangling pieces).
+  struct Analysis {
+    /// States no transition can ever put a material into (arrival targets,
+    /// transition targets, failure targets, spawn child states and join
+    /// child targets all count as reachable entry points).
+    std::vector<std::string> unreachable_states;
+    /// States with no outgoing transition (legitimate for terminal states;
+    /// listed so the designer can confirm each one is intended).
+    std::vector<std::string> terminal_states;
+    /// Transitions whose source state no other transition can produce
+    /// (and which are not arrivals) — they can never fire.
+    std::vector<std::string> dead_transitions;
+  };
+  Analysis Analyze() const;
+};
+
+/// The reconstructed Appendix-B workflow of the paper: the transposon-based
+/// sequencing pipeline of the Whitehead/MIT Genome Center (see DESIGN.md
+/// Section 5 for the reconstruction notes and sources).
+WorkflowGraph GenomeMappingWorkflow();
+
+/// A small order-fulfillment workflow demonstrating that LabBase is not
+/// genome-specific (used by the order_fulfillment example).
+WorkflowGraph OrderFulfillmentWorkflow();
+
+}  // namespace labflow::workflow
+
+#endif  // LABFLOW_WORKFLOW_GRAPH_H_

@@ -1,0 +1,131 @@
+#include "workflow/simulator.h"
+
+#include "workflow/values.h"
+
+namespace labflow::workflow {
+
+using labbase::ClassId;
+using labbase::StateId;
+using labbase::StepEffect;
+using labbase::StepTag;
+
+SimpleSimulator::SimpleSimulator(labbase::LabBase* db,
+                                 const WorkflowGraph& graph, uint64_t seed)
+    : db_(db), graph_(graph), rng_(seed) {}
+
+Result<int64_t> SimpleSimulator::FireTransition(const Transition& t,
+                                                std::vector<Oid> batch) {
+  const labbase::Schema& schema = db_->schema();
+  LABFLOW_ASSIGN_OR_RETURN(ClassId step_class,
+                           schema.StepClassByName(t.step_name));
+  std::vector<StepEffect> effects;
+  effects.reserve(batch.size());
+  std::vector<std::pair<Oid, std::string>> destinations;
+  for (Oid m : batch) {
+    bool failed = t.failure_prob > 0 && rng_.NextBool(t.failure_prob);
+    const std::string& dest = failed ? t.failure_state : t.target_state;
+    StepEffect e;
+    e.material = m;
+    for (const ResultSpec& spec : t.results) {
+      LABFLOW_ASSIGN_OR_RETURN(labbase::AttrId attr,
+                               schema.AttributeByName(spec.attr));
+      e.tags.push_back(StepTag{attr, GenerateResult(spec, &rng_)});
+    }
+    LABFLOW_ASSIGN_OR_RETURN(e.new_state, schema.StateByName(dest));
+    effects.push_back(std::move(e));
+    destinations.emplace_back(m, dest);
+  }
+  clock_.Advance(static_cast<int64_t>(
+      rng_.NextExp(static_cast<double>(t.duration_mean_us))));
+  LABFLOW_RETURN_IF_ERROR(
+      db_->RecordStep(step_class, clock_.now(), effects).status());
+  ++steps_recorded_;
+  for (const auto& [m, dest] : destinations) {
+    queues_[QueueKey{dest, t.material_class}].push_back(m);
+  }
+  return steps_recorded_;
+}
+
+Result<int64_t> SimpleSimulator::Run(int n_materials) {
+  LABFLOW_RETURN_IF_ERROR(graph_.Validate());
+  for (const Transition& t : graph_.transitions) {
+    if (t.kind == Transition::Kind::kSpawn ||
+        t.kind == Transition::Kind::kJoin) {
+      return Status::NotSupported(
+          "SimpleSimulator does not handle spawn/join graphs");
+    }
+  }
+  const Transition* arrival = nullptr;
+  for (const Transition& t : graph_.transitions) {
+    if (t.source_state.empty()) {
+      if (arrival != nullptr) {
+        return Status::InvalidArgument("multiple arrival transitions");
+      }
+      arrival = &t;
+    }
+  }
+  if (arrival == nullptr) {
+    return Status::InvalidArgument("no arrival transition");
+  }
+  LABFLOW_RETURN_IF_ERROR(graph_.InstallSchema(db_));
+
+  const labbase::Schema& schema = db_->schema();
+  LABFLOW_ASSIGN_OR_RETURN(ClassId arrival_class,
+                           schema.MaterialClassByName(arrival->material_class));
+  LABFLOW_ASSIGN_OR_RETURN(StateId arrival_state,
+                           schema.StateByName(arrival->target_state));
+
+  // Arrivals: create each material, record its arrival step.
+  for (int i = 0; i < n_materials; ++i) {
+    clock_.Advance(static_cast<int64_t>(
+        rng_.NextExp(static_cast<double>(arrival->duration_mean_us))));
+    std::string name =
+        arrival->material_class + "-" + std::to_string(i + 1);
+    LABFLOW_ASSIGN_OR_RETURN(
+        Oid m, db_->CreateMaterial(arrival_class, name, arrival_state,
+                                   clock_.now()));
+    LABFLOW_ASSIGN_OR_RETURN(ClassId step_class,
+                             schema.StepClassByName(arrival->step_name));
+    StepEffect e;
+    e.material = m;
+    for (const ResultSpec& spec : arrival->results) {
+      LABFLOW_ASSIGN_OR_RETURN(labbase::AttrId attr,
+                               schema.AttributeByName(spec.attr));
+      e.tags.push_back(StepTag{attr, GenerateResult(spec, &rng_)});
+    }
+    e.new_state = arrival_state;
+    LABFLOW_RETURN_IF_ERROR(
+        db_->RecordStep(step_class, clock_.now(), {e}).status());
+    ++steps_recorded_;
+    queues_[QueueKey{arrival->target_state, arrival->material_class}]
+        .push_back(m);
+  }
+
+  // Drain: repeatedly fire any applicable transition until quiescent.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (const Transition& t : graph_.transitions) {
+      if (t.source_state.empty()) continue;
+      auto it = queues_.find(QueueKey{t.source_state, t.material_class});
+      if (it == queues_.end() || it->second.empty()) continue;
+      std::deque<Oid>& queue = it->second;
+      size_t want = 1;
+      if (t.kind == Transition::Kind::kBatch) {
+        want = static_cast<size_t>(rng_.NextInt(t.batch_min, t.batch_max));
+        if (queue.size() < want) want = queue.size();
+      }
+      std::vector<Oid> batch;
+      for (size_t i = 0; i < want && !queue.empty(); ++i) {
+        batch.push_back(queue.front());
+        queue.pop_front();
+      }
+      if (batch.empty()) continue;
+      LABFLOW_RETURN_IF_ERROR(FireTransition(t, std::move(batch)).status());
+      progressed = true;
+    }
+  }
+  return steps_recorded_;
+}
+
+}  // namespace labflow::workflow

@@ -1,0 +1,57 @@
+#ifndef LABFLOW_WORKFLOW_SIMULATOR_H_
+#define LABFLOW_WORKFLOW_SIMULATOR_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "labbase/labbase.h"
+#include "workflow/graph.h"
+
+namespace labflow::workflow {
+
+/// A straightforward executor for kSimple/kBatch workflow graphs: materials
+/// arrive, flow through the transitions (including failure loops), and
+/// every movement is recorded in LabBase as a step instance. Used by the
+/// non-genome examples; the LabFlow-1 benchmark uses the dedicated
+/// generator in src/labflow, which additionally handles spawn/join,
+/// gel tracking, schema evolution and the query mix.
+class SimpleSimulator {
+ public:
+  /// The graph must contain exactly one arrival transition (empty
+  /// source_state) and no kSpawn/kJoin transitions.
+  SimpleSimulator(labbase::LabBase* db, const WorkflowGraph& graph,
+                  uint64_t seed);
+
+  /// Installs the schema and runs `n_materials` materials from arrival to
+  /// quiescence (no transition applicable anywhere). Returns the number of
+  /// steps recorded.
+  Result<int64_t> Run(int n_materials);
+
+ private:
+  struct QueueKey {
+    std::string state;
+    std::string material_class;
+    bool operator<(const QueueKey& o) const {
+      if (state != o.state) return state < o.state;
+      return material_class < o.material_class;
+    }
+  };
+
+  Result<int64_t> FireTransition(const Transition& t,
+                                 std::vector<Oid> batch);
+
+  labbase::LabBase* db_;
+  const WorkflowGraph& graph_;
+  Rng rng_;
+  VirtualClock clock_;
+  std::map<QueueKey, std::deque<Oid>> queues_;
+  int64_t steps_recorded_ = 0;
+};
+
+}  // namespace labflow::workflow
+
+#endif  // LABFLOW_WORKFLOW_SIMULATOR_H_

@@ -1,0 +1,35 @@
+#include "workflow/values.h"
+
+namespace labflow::workflow {
+
+Value GenerateResult(const ResultSpec& spec, Rng* rng) {
+  switch (spec.gen) {
+    case ResultSpec::Gen::kInt:
+      return Value::Int(rng->NextInt(spec.min, spec.max));
+    case ResultSpec::Gen::kReal:
+      return Value::Real(rng->NextReal(spec.rmin, spec.rmax));
+    case ResultSpec::Gen::kName:
+      return Value::String(rng->NextName(spec.length));
+    case ResultSpec::Gen::kDna:
+      return Value::String(rng->NextDna(static_cast<size_t>(
+          rng->NextInt(spec.min, spec.max))));
+    case ResultSpec::Gen::kHitList: {
+      static const char* kDatabases[] = {"genbank", "embl", "ddbj", "pdb"};
+      int64_t n = rng->NextInt(spec.min, spec.max);
+      Value::List hits;
+      hits.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        hits.push_back(Value::MakeList({
+            Value::String(kDatabases[rng->NextBelow(4)]),
+            Value::String(rng->NextName(1) + std::to_string(
+                              rng->NextInt(10000, 99999))),
+            Value::Real(rng->NextReal(20.0, 1500.0)),
+        }));
+      }
+      return Value::MakeList(std::move(hits));
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace labflow::workflow

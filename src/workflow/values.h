@@ -1,0 +1,17 @@
+#ifndef LABFLOW_WORKFLOW_VALUES_H_
+#define LABFLOW_WORKFLOW_VALUES_H_
+
+#include "common/rng.h"
+#include "common/value.h"
+#include "workflow/graph.h"
+
+namespace labflow::workflow {
+
+/// Synthesizes one result-attribute value according to its spec. The hit
+/// lists model BLAST homology-search results (paper Section 8.2): a list of
+/// hit(database, accession, score) entries.
+Value GenerateResult(const ResultSpec& spec, Rng* rng);
+
+}  // namespace labflow::workflow
+
+#endif  // LABFLOW_WORKFLOW_VALUES_H_

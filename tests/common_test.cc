@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/codec.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace labflow {
+namespace {
+
+// Sink defeating dead-code elimination in the CPU-burn test below.
+volatile double benchmark_sink_ = 0;
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing clone");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.ToString(), "NotFound: missing clone");
+}
+
+TEST(StatusTest, EqualityIsByCode) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Corruption("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  LABFLOW_ASSIGN_OR_RETURN(int h, Half(x));
+  LABFLOW_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real_value(), 2.5);
+  EXPECT_EQ(Value::String("dna").string_value(), "dna");
+  EXPECT_EQ(Value::Object(Oid(9)).oid_value(), Oid(9));
+  EXPECT_EQ(Value::Time(Timestamp(123)).time_value().micros, 123);
+}
+
+TEST(ValueTest, ListConstructionAndEquality) {
+  Value a = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value b = Value::MakeList({Value::Int(1), Value::String("x")});
+  Value c = Value::MakeList({Value::Int(2), Value::String("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.list_value().size(), 2u);
+}
+
+TEST(ValueTest, IntAndRealAreDistinct) {
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+}
+
+TEST(ValueTest, CompareIsTotalOrder) {
+  std::vector<Value> vals = {
+      Value::Null(),          Value::Bool(false),     Value::Int(-5),
+      Value::Int(10),         Value::Real(0.5),       Value::String("abc"),
+      Value::String("abd"),   Value::Object(Oid(1)),  Value::Time(Timestamp(2)),
+      Value::MakeList({Value::Int(1)}),
+      Value::MakeList({Value::Int(1), Value::Int(2)}),
+  };
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_EQ(Value::Compare(vals[i], vals[i]), 0);
+    for (size_t j = i + 1; j < vals.size(); ++j) {
+      int ab = Value::Compare(vals[i], vals[j]);
+      int ba = Value::Compare(vals[j], vals[i]);
+      EXPECT_EQ(ab, -ba) << i << "," << j;
+    }
+  }
+  EXPECT_LT(Value::Compare(Value::String("abc"), Value::String("abd")), 0);
+  EXPECT_LT(Value::Compare(Value::MakeList({Value::Int(1)}),
+                           Value::MakeList({Value::Int(1), Value::Int(2)})),
+            0);
+}
+
+TEST(ValueTest, ToStringRendersLiterals) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Object(Oid(17)).ToString(), "#17");
+  EXPECT_EQ(Value::MakeList({Value::Int(1), Value::Int(2)}).ToString(),
+            "[1, 2]");
+}
+
+TEST(CodecTest, ScalarRoundtrip) {
+  Encoder enc;
+  enc.PutU8(7);
+  enc.PutU32(123456);
+  enc.PutU64(0xFFFFFFFFFFFFULL);
+  enc.PutI64(-987654321);
+  enc.PutF64(3.14159);
+  enc.PutString("genome");
+  enc.PutBool(true);
+  enc.PutFixed32(0xCAFEBABE);
+  enc.PutFixed64(0xDEADBEEF12345678ULL);
+
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.GetU8().value(), 7);
+  EXPECT_EQ(dec.GetU32().value(), 123456u);
+  EXPECT_EQ(dec.GetU64().value(), 0xFFFFFFFFFFFFULL);
+  EXPECT_EQ(dec.GetI64().value(), -987654321);
+  EXPECT_DOUBLE_EQ(dec.GetF64().value(), 3.14159);
+  EXPECT_EQ(dec.GetString().value(), "genome");
+  EXPECT_TRUE(dec.GetBool().value());
+  EXPECT_EQ(dec.GetFixed32().value(), 0xCAFEBABE);
+  EXPECT_EQ(dec.GetFixed64().value(), 0xDEADBEEF12345678ULL);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, TruncatedInputIsCorruption) {
+  Encoder enc;
+  enc.PutString("long enough string");
+  std::string buf = enc.buffer().substr(0, 5);
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.GetString().status().IsCorruption());
+}
+
+TEST(CodecTest, ValueRoundtripAllTypes) {
+  std::vector<Value> vals = {
+      Value::Null(),
+      Value::Bool(true),
+      Value::Int(-42),
+      Value::Real(6.022e23),
+      Value::String("ACGTACGT"),
+      Value::Object(Oid(77)),
+      Value::Time(Timestamp(1696000000)),
+      Value::MakeList({Value::Int(1),
+                       Value::MakeList({Value::String("nested")}),
+                       Value::Null()}),
+  };
+  Encoder enc;
+  for (const Value& v : vals) enc.PutValue(v);
+  Decoder dec(enc.buffer());
+  for (const Value& v : vals) {
+    auto back = dec.GetValue();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, NegativeVarintsAreCompactForSmallMagnitudes) {
+  Encoder enc;
+  enc.PutI64(-1);
+  EXPECT_LE(enc.size(), 2u) << "zig-zag must keep -1 short";
+}
+
+TEST(CodecFuzzTest, DecoderNeverCrashesOnGarbage) {
+  // Property: whatever bytes arrive, GetValue either returns a value or a
+  // clean Corruption status — never a crash or an out-of-bounds read.
+  Rng rng(0xFEED);
+  for (int round = 0; round < 2000; ++round) {
+    size_t len = rng.NextBelow(64);
+    std::string garbage;
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    Decoder dec(garbage);
+    while (!dec.AtEnd()) {
+      auto v = dec.GetValue();
+      if (!v.ok()) break;  // clean failure
+    }
+  }
+}
+
+TEST(CodecFuzzTest, TruncatedValuePrefixesFailCleanly) {
+  // Every proper prefix of a valid encoding must decode to an error, not
+  // produce a bogus value silently... except prefixes that happen to form
+  // a complete shorter value; we only require no crash and no false "ok"
+  // *with trailing bytes consumed beyond the prefix*.
+  Encoder enc;
+  enc.PutValue(Value::MakeList(
+      {Value::Int(123456), Value::String("ACGTACGTACGT"),
+       Value::MakeList({Value::Real(2.5), Value::Object(Oid(17))})}));
+  const std::string& full = enc.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    // Keep the prefix alive: Decoder borrows a view of it.
+    std::string prefix = full.substr(0, cut);
+    Decoder dec(prefix);
+    auto v = dec.GetValue();
+    if (cut < full.size()) {
+      EXPECT_FALSE(v.ok()) << "prefix of length " << cut
+                           << " decoded as a complete value";
+    }
+  }
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(99), b(99), c(100);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double r = rng.NextReal();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanIsApproximatelyRight) {
+  Rng rng(5);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextPoisson(18));
+  double mean = sum / n;
+  EXPECT_NEAR(mean, 18.0, 0.5);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.08) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.08, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(7);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t r = rng.NextZipf(1000, 0.99);
+    EXPECT_LT(r, 1000u);
+    if (r < 100) ++low;
+  }
+  EXPECT_GT(low, n / 2) << "zipf(0.99) should put most mass in the head";
+}
+
+TEST(RngTest, ForksAreIndependentStreams) {
+  Rng parent(11);
+  Rng f1 = parent.Fork(1);
+  Rng f2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.NextU64() == f2.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DnaUsesOnlyBases) {
+  Rng rng(3);
+  std::string dna = rng.NextDna(500);
+  EXPECT_EQ(dna.size(), 500u);
+  for (char c : dna) {
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+  }
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean_us(), 0.0);
+  EXPECT_EQ(h.PercentileUs(50), 0.0);
+}
+
+TEST(HistogramTest, PercentilesBracketObservations) {
+  LatencyHistogram h;
+  // 100 observations: 1us..100us.
+  for (int i = 1; i <= 100; ++i) h.RecordSeconds(i * 1e-6);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.mean_us(), 50.5, 0.1);
+  double p50 = h.PercentileUs(50);
+  EXPECT_GE(p50, 45.0);
+  EXPECT_LE(p50, 56.0);  // bucket resolution ~4%
+  double p99 = h.PercentileUs(99);
+  EXPECT_GE(p99, 95.0);
+  EXPECT_LE(p99, 106.0);
+  EXPECT_NEAR(h.max_us(), 100.0, 0.01);
+  EXPECT_GE(h.PercentileUs(100), h.PercentileUs(0));
+}
+
+TEST(HistogramTest, WideDynamicRange) {
+  LatencyHistogram h;
+  h.RecordSeconds(100e-9);   // 0.1 us
+  h.RecordSeconds(1e-3);     // 1 ms
+  h.RecordSeconds(2.0);      // 2 s
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_LE(h.PercentileUs(0), 1.0);
+  EXPECT_GE(h.PercentileUs(100), 1.8e6);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 10; ++i) a.RecordSeconds(1e-6);
+  for (int i = 0; i < 10; ++i) b.RecordSeconds(1e-3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_LE(a.PercentileUs(25), 2.0);
+  EXPECT_GE(a.PercentileUs(90), 900.0);
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(Timestamp(100));
+  EXPECT_EQ(clock.now().micros, 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.now().micros, 150);
+  clock.Set(Timestamp(7));
+  EXPECT_EQ(clock.now().micros, 7);
+}
+
+TEST(ClockTest, StopwatchMeasuresForwardTime) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(ClockTest, ResourceUsageDeltas) {
+  ResourceUsage before = ResourceUsage::Now();
+  double burn = 0;
+  for (int i = 0; i < 2000000; ++i) burn += std::sqrt(static_cast<double>(i));
+  benchmark_sink_ = burn;
+  ResourceUsage delta = ResourceUsage::Now().Since(before);
+  EXPECT_GE(delta.user_cpu_sec, 0.0);
+  EXPECT_GE(delta.sys_cpu_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace labflow

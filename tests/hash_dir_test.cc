@@ -1,0 +1,184 @@
+#include "storage/hash_dir.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "labbase/labbase.h"
+#include "labflow/driver.h"
+#include "tests/test_util.h"
+
+namespace labflow::storage {
+namespace {
+
+using test::ManagerKind;
+using test::ManagerKindName;
+using test::MakeManager;
+using test::TempDir;
+
+class HashDirTest : public ::testing::TestWithParam<ManagerKind> {
+ protected:
+  void SetUp() override {
+    mgr_ = MakeManager(GetParam(), dir_.file("db"));
+    ASSERT_NE(mgr_, nullptr);
+    auto d = HashDir::Create(mgr_.get(), AllocHint{});
+    ASSERT_TRUE(d.ok()) << d.status().ToString();
+    dir_handle_ = std::move(d).value();
+  }
+  void TearDown() override {
+    dir_handle_.reset();
+    if (mgr_ != nullptr) {
+      ASSERT_TRUE(mgr_->Close().ok());
+    }
+  }
+
+  TempDir dir_;
+  std::unique_ptr<StorageManager> mgr_;
+  std::unique_ptr<HashDir> dir_handle_;
+};
+
+TEST_P(HashDirTest, InsertLookupEraseRoundtrip) {
+  ObjectId id(12345);
+  ASSERT_TRUE(dir_handle_->Insert("cl-0001", id).ok());
+  auto found = dir_handle_->Lookup("cl-0001");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), id);
+  EXPECT_EQ(dir_handle_->size(), 1u);
+  ASSERT_TRUE(dir_handle_->Erase("cl-0001").ok());
+  EXPECT_TRUE(dir_handle_->Lookup("cl-0001").status().IsNotFound());
+  EXPECT_EQ(dir_handle_->size(), 0u);
+}
+
+TEST_P(HashDirTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(dir_handle_->Insert("key", ObjectId(1)).ok());
+  EXPECT_TRUE(dir_handle_->Insert("key", ObjectId(2)).IsAlreadyExists());
+  EXPECT_EQ(dir_handle_->Lookup("key").value(), ObjectId(1));
+}
+
+TEST_P(HashDirTest, MissingKeyIsNotFound) {
+  EXPECT_TRUE(dir_handle_->Lookup("ghost").status().IsNotFound());
+  EXPECT_TRUE(dir_handle_->Erase("ghost").IsNotFound());
+}
+
+TEST_P(HashDirTest, GrowsThroughManyInsertsAndStaysCorrect) {
+  // Enough entries to force several doublings from 16 buckets.
+  Rng rng(11);
+  std::map<std::string, uint64_t> shadow;
+  for (int i = 0; i < 4000; ++i) {
+    std::string key = "mat-" + std::to_string(i) + "-" + rng.NextName(4);
+    uint64_t raw = rng.NextU64() | 1;
+    ASSERT_TRUE(dir_handle_->Insert(key, ObjectId(raw)).ok());
+    shadow[key] = raw;
+  }
+  EXPECT_EQ(dir_handle_->size(), shadow.size());
+  for (const auto& [key, raw] : shadow) {
+    auto found = dir_handle_->Lookup(key);
+    ASSERT_TRUE(found.ok()) << key;
+    ASSERT_EQ(found->raw, raw);
+  }
+  // ForEach visits everything exactly once.
+  std::map<std::string, uint64_t> seen;
+  ASSERT_TRUE(dir_handle_
+                  ->ForEach([&](std::string_view key, ObjectId id) {
+                    EXPECT_EQ(seen.count(std::string(key)), 0u);
+                    seen[std::string(key)] = id.raw;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(Managers, HashDirTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kMm),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+TEST(HashDirPersistenceTest, SurvivesReopenViaRootId) {
+  TempDir dir;
+  uint64_t root_raw = 0;
+  {
+    auto mgr = MakeManager(ManagerKind::kTexas, dir.file("db"));
+    auto d = HashDir::Create(mgr.get(), AllocHint{}).value();
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(
+          d->Insert("k" + std::to_string(i), ObjectId(i + 1)).ok());
+    }
+    root_raw = d->root_id().raw;
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = MakeManager(ManagerKind::kTexas, dir.file("db"), 256,
+                         /*truncate=*/false);
+  auto d = HashDir::Attach(mgr.get(), ObjectId(root_raw));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ((*d)->size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ((*d)->Lookup("k" + std::to_string(i)).value(),
+              ObjectId(i + 1));
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(LabBasePersistentNameIndexTest, LookupsAndReopenWork) {
+  TempDir dir;
+  labbase::LabBaseOptions opts;
+  opts.persistent_name_index = true;
+  Oid m1;
+  {
+    auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
+    auto db = labbase::LabBase::Open(mgr.get(), opts).value();
+    auto clone = db->DefineMaterialClass("clone").value();
+    auto s0 = db->DefineState("s0").value();
+    m1 = db->CreateMaterial(clone, "cl-1", s0, Timestamp(0)).value();
+    ASSERT_TRUE(db->CreateMaterial(clone, "cl-2", s0, Timestamp(1)).ok());
+    EXPECT_EQ(db->FindMaterialByName("cl-1").value(), m1);
+    EXPECT_TRUE(db->FindMaterialByName("nope").status().IsNotFound());
+    // Duplicate names rejected through the persistent directory too.
+    EXPECT_TRUE(db->CreateMaterial(clone, "cl-1", s0, Timestamp(2))
+                    .status()
+                    .IsAlreadyExists());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  // Reopen: the directory comes back via the catalog, without a scan.
+  auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"), 256,
+                         /*truncate=*/false);
+  auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                .value();  // option restored from the catalog itself
+  EXPECT_EQ(db->FindMaterialByName("cl-1").value(), m1);
+  EXPECT_TRUE(db->FindMaterialByName("cl-2").ok());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(LabBasePersistentNameIndexTest, BenchmarkStreamConsistent) {
+  // The full driver stream must produce the same checksum with the
+  // persistent index as with the in-memory map.
+  // (Checked against the default-path checksum.)
+  using namespace labflow::bench;
+  WorkloadParams params;
+  params.base_clones = 8;
+  uint64_t memory_cksum = 0, persistent_cksum = 0;
+  {
+    TempDir d;
+    Driver::Options o;
+    o.version = ServerVersion::kTexas;
+    o.db_path = d.file("db");
+    memory_cksum = Driver::Run(params, o)->result_checksum;
+  }
+  {
+    TempDir d;
+    Driver::Options o;
+    o.version = ServerVersion::kTexas;
+    o.db_path = d.file("db");
+    o.labbase.persistent_name_index = true;
+    auto r = Driver::Run(params, o);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    persistent_cksum = r->result_checksum;
+  }
+  EXPECT_EQ(memory_cksum, persistent_cksum);
+}
+
+}  // namespace
+}  // namespace labflow::storage

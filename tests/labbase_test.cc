@@ -1,0 +1,591 @@
+#include "labbase/labbase.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.h"
+#include "labbase/dump.h"
+#include "labbase/records.h"
+#include "tests/test_util.h"
+
+namespace labflow::labbase {
+namespace {
+
+using test::ManagerKind;
+using test::ManagerKindName;
+using test::MakeManager;
+using test::TempDir;
+
+class LabBaseTest : public ::testing::TestWithParam<ManagerKind> {
+ protected:
+  void SetUp() override {
+    mgr_ = MakeManager(GetParam(), dir_.file("db"));
+    ASSERT_NE(mgr_, nullptr);
+    auto db = LabBase::Open(mgr_.get(), LabBaseOptions{});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+  void TearDown() override {
+    db_.reset();
+    if (mgr_ != nullptr) {
+      ASSERT_TRUE(mgr_->Close().ok());
+    }
+  }
+
+  /// Standard mini-schema used by most tests.
+  void DefineMiniSchema() {
+    clone_ = db_->DefineMaterialClass("clone").value();
+    received_ = db_->DefineState("cl_received").value();
+    sequenced_ = db_->DefineState("waiting_for_incorporation").value();
+    seq_step_ = db_->DefineStepClass(
+                       "determine_sequence",
+                       {"sequence", "base_calls", "error_rate"})
+                    .value();
+    seq_attr_ = db_->schema().AttributeByName("sequence").value();
+  }
+
+  Oid NewClone(const std::string& name, int64_t t = 100) {
+    auto oid = db_->CreateMaterial(clone_, name, received_, Timestamp(t));
+    EXPECT_TRUE(oid.ok()) << oid.status().ToString();
+    return oid.value();
+  }
+
+  Oid Sequence(Oid m, const std::string& seq, int64_t t,
+               StateId to = kInvalidState) {
+    StepEffect effect;
+    effect.material = m;
+    effect.tags = {{seq_attr_, Value::String(seq)}};
+    effect.new_state = to;
+    auto step = db_->RecordStep(seq_step_, Timestamp(t), {effect});
+    EXPECT_TRUE(step.ok()) << step.status().ToString();
+    return step.value();
+  }
+
+  TempDir dir_;
+  std::unique_ptr<storage::StorageManager> mgr_;
+  std::unique_ptr<LabBase> db_;
+  ClassId clone_ = kInvalidClass;
+  ClassId seq_step_ = kInvalidClass;
+  StateId received_ = kInvalidState;
+  StateId sequenced_ = kInvalidState;
+  AttrId seq_attr_ = kInvalidAttr;
+};
+
+TEST_P(LabBaseTest, SchemaDefinitionRoundtrip) {
+  DefineMiniSchema();
+  EXPECT_TRUE(db_->schema().IsMaterialClass(clone_));
+  EXPECT_TRUE(db_->schema().IsStepClass(seq_step_));
+  EXPECT_EQ(db_->schema().ClassName(clone_).value(), "clone");
+  EXPECT_EQ(db_->schema().StateName(received_).value(), "cl_received");
+}
+
+TEST_P(LabBaseTest, DuplicateMaterialClassRejected) {
+  DefineMiniSchema();
+  EXPECT_TRUE(db_->DefineMaterialClass("clone").status().IsAlreadyExists());
+}
+
+TEST_P(LabBaseTest, CreateAndFetchMaterial) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  auto info = db_->GetMaterial(m);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->name, "cl-0001");
+  EXPECT_EQ(info->class_id, clone_);
+  EXPECT_EQ(info->state, received_);
+  EXPECT_TRUE(info->attrs_present.empty());
+  EXPECT_EQ(db_->FindMaterialByName("cl-0001").value(), m);
+}
+
+TEST_P(LabBaseTest, DuplicateMaterialNameRejected) {
+  DefineMiniSchema();
+  NewClone("cl-0001");
+  EXPECT_TRUE(db_->CreateMaterial(clone_, "cl-0001", received_, Timestamp(1))
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_P(LabBaseTest, RecordStepUpdatesMostRecent) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Sequence(m, "ACGT", 200);
+  auto v = db_->MostRecent(m, seq_attr_);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "ACGT");
+  EXPECT_EQ(db_->MostRecent(m, "sequence").value().string_value(), "ACGT");
+}
+
+TEST_P(LabBaseTest, MostRecentFollowsValidTimeNotInsertionOrder) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  // Enter steps out of order: the later-valid-time value must win even
+  // though it was inserted first (paper Section 7, temporal semantics).
+  Sequence(m, "NEWER", 500);
+  Sequence(m, "OLDER", 300);
+  EXPECT_EQ(db_->MostRecent(m, seq_attr_).value().string_value(), "NEWER");
+}
+
+TEST_P(LabBaseTest, HistoryIsAscendingByValidTime) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Sequence(m, "v2", 400);
+  Sequence(m, "v1", 200);
+  Sequence(m, "v3", 600);
+  auto hist = db_->History(m, seq_attr_);
+  ASSERT_TRUE(hist.ok());
+  ASSERT_EQ(hist->size(), 3u);
+  EXPECT_EQ((*hist)[0].value.string_value(), "v1");
+  EXPECT_EQ((*hist)[1].value.string_value(), "v2");
+  EXPECT_EQ((*hist)[2].value.string_value(), "v3");
+  EXPECT_LT((*hist)[0].time, (*hist)[1].time);
+  EXPECT_LT((*hist)[1].time, (*hist)[2].time);
+}
+
+TEST_P(LabBaseTest, MostRecentOfUnknownAttrIsNotFound) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  EXPECT_TRUE(db_->MostRecent(m, seq_attr_).status().IsNotFound());
+}
+
+TEST_P(LabBaseTest, StateTransitionsDriveWorkQueues) {
+  DefineMiniSchema();
+  Oid a = NewClone("cl-a");
+  Oid b = NewClone("cl-b");
+  EXPECT_EQ(db_->CountInState(received_).value(), 2);
+  Sequence(a, "ACGT", 200, sequenced_);
+  EXPECT_EQ(db_->CountInState(received_).value(), 1);
+  EXPECT_EQ(db_->CountInState(sequenced_).value(), 1);
+  auto queue = db_->MaterialsInState(sequenced_);
+  ASSERT_TRUE(queue.ok());
+  ASSERT_EQ(queue->size(), 1u);
+  EXPECT_EQ((*queue)[0], a);
+  EXPECT_EQ(db_->CurrentState(a).value(), sequenced_);
+  EXPECT_EQ(db_->CurrentState(b).value(), received_);
+}
+
+TEST_P(LabBaseTest, StaleStateChangeIgnored) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001", 100);
+  Sequence(m, "v-now", 500, sequenced_);
+  // A step with an older valid time must not regress the state.
+  Sequence(m, "v-old", 200, received_);
+  EXPECT_EQ(db_->CurrentState(m).value(), sequenced_);
+}
+
+TEST_P(LabBaseTest, BatchStepAffectsAllMaterials) {
+  DefineMiniSchema();
+  ClassId load_gel = db_->DefineStepClass("load_gel", {"lane"}).value();
+  AttrId lane = db_->schema().AttributeByName("lane").value();
+  std::vector<StepEffect> effects;
+  std::vector<Oid> ms;
+  for (int i = 0; i < 16; ++i) {
+    Oid m = NewClone("tc-" + std::to_string(i));
+    ms.push_back(m);
+    StepEffect e;
+    e.material = m;
+    e.tags = {{lane, Value::Int(i)}};
+    e.new_state = sequenced_;
+    effects.push_back(e);
+  }
+  auto step = db_->RecordStep(load_gel, Timestamp(900), effects);
+  ASSERT_TRUE(step.ok());
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(db_->MostRecent(ms[i], lane).value().int_value(), i);
+    EXPECT_EQ(db_->CurrentState(ms[i]).value(), sequenced_);
+  }
+  auto info = db_->GetStep(step.value());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->materials.size(), 16u);
+}
+
+TEST_P(LabBaseTest, SchemaEvolutionBindsInstancesToVersions) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Oid old_step = Sequence(m, "OLDCHEM", 200);
+  EXPECT_EQ(db_->GetStep(old_step)->version, 0u);
+
+  // Evolve: determine_sequence gains a 'chemistry' attribute.
+  ClassId evolved =
+      db_->DefineStepClass("determine_sequence",
+                           {"sequence", "base_calls", "error_rate",
+                            "chemistry"})
+          .value();
+  EXPECT_EQ(evolved, seq_step_);
+  EXPECT_EQ(db_->schema().VersionCount(seq_step_).value(), 2u);
+
+  AttrId chem = db_->schema().AttributeByName("chemistry").value();
+  StepEffect effect;
+  effect.material = m;
+  effect.tags = {{seq_attr_, Value::String("NEWCHEM")},
+                 {chem, Value::String("dye-terminator")}};
+  auto new_step = db_->RecordStep(seq_step_, Timestamp(300), {effect});
+  ASSERT_TRUE(new_step.ok());
+  EXPECT_EQ(db_->GetStep(new_step.value())->version, 1u);
+  // Old instance unchanged (no migration).
+  EXPECT_EQ(db_->GetStep(old_step)->version, 0u);
+  EXPECT_EQ(db_->MostRecent(m, chem).value().string_value(),
+            "dye-terminator");
+}
+
+TEST_P(LabBaseTest, RedefiningIdenticalAttrSetIsSameVersion) {
+  DefineMiniSchema();
+  db_->DefineStepClass("determine_sequence",
+                       {"sequence", "base_calls", "error_rate"})
+      .value();
+  EXPECT_EQ(db_->schema().VersionCount(seq_step_).value(), 1u);
+}
+
+TEST_P(LabBaseTest, TagOutsideVersionAttrSetRejected) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  // Make 'rogue_attr' exist in the schema via another step class; it is
+  // still not part of determine_sequence's current version.
+  db_->DefineStepClass("other_step", {"rogue_attr"}).value();
+  AttrId rogue = db_->schema().AttributeByName("rogue_attr").value();
+  StepEffect effect;
+  effect.material = m;
+  effect.tags = {{rogue, Value::Int(1)}};
+  EXPECT_TRUE(db_->RecordStep(seq_step_, Timestamp(1), {effect})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_P(LabBaseTest, ListValuedAttributesStoreHomologyHits) {
+  DefineMiniSchema();
+  ClassId blast = db_->DefineStepClass("blast_search", {"hits"}).value();
+  AttrId hits = db_->schema().AttributeByName("hits").value();
+  Oid m = NewClone("cl-0001");
+  Value hit_list = Value::MakeList({
+      Value::MakeList({Value::String("genbank"), Value::String("U00096"),
+                       Value::Real(812.5)}),
+      Value::MakeList({Value::String("embl"), Value::String("X52700"),
+                       Value::Real(97.2)}),
+  });
+  StepEffect effect;
+  effect.material = m;
+  effect.tags = {{hits, hit_list}};
+  ASSERT_TRUE(db_->RecordStep(blast, Timestamp(50), {effect}).ok());
+  auto v = db_->MostRecent(m, hits);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, hit_list);
+  EXPECT_EQ(v->list_value().size(), 2u);
+}
+
+TEST_P(LabBaseTest, MaterialSetsTrackMembership) {
+  DefineMiniSchema();
+  Oid gel_set = db_->CreateSet("gel-42-lanes").value();
+  Oid a = NewClone("tc-a");
+  Oid b = NewClone("tc-b");
+  ASSERT_TRUE(db_->AddToSet(gel_set, a).ok());
+  ASSERT_TRUE(db_->AddToSet(gel_set, b).ok());
+  auto members = db_->SetMembers(gel_set);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);
+  ASSERT_TRUE(db_->RemoveFromSet(gel_set, a).ok());
+  EXPECT_EQ(db_->SetMembers(gel_set)->size(), 1u);
+  EXPECT_EQ(db_->FindSetByName("gel-42-lanes").value(), gel_set);
+  EXPECT_TRUE(db_->RemoveFromSet(gel_set, a).IsNotFound());
+}
+
+TEST_P(LabBaseTest, MaterialsOfClassIndex) {
+  DefineMiniSchema();
+  ClassId gel = db_->DefineMaterialClass("gel").value();
+  NewClone("cl-1");
+  NewClone("cl-2");
+  ASSERT_TRUE(db_->CreateMaterial(gel, "gel-1", received_, Timestamp(5)).ok());
+  EXPECT_EQ(db_->MaterialsOfClass(clone_)->size(), 2u);
+  EXPECT_EQ(db_->MaterialsOfClass(gel)->size(), 1u);
+}
+
+TEST_P(LabBaseTest, StorageSchemaIsExactlyThreeClassesPlusCatalog) {
+  // Paper Table 1 (experiment T1): whatever the user schema does, the
+  // storage manager only ever sees sm_material, sm_step, material_set and
+  // the catalog record.
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Sequence(m, "ACGT", 10);
+  db_->CreateSet("a-set").value();
+  int materials = 0, steps = 0, sets = 0, roots = 0;
+  ASSERT_TRUE(mgr_
+                  ->ScanAll([&](storage::ObjectId, std::string_view data) {
+                    auto kind = PeekRecordKind(data);
+                    EXPECT_TRUE(kind.ok()) << "unknown storage record";
+                    switch (kind.value()) {
+                      case RecordKind::kMaterial:
+                        ++materials;
+                        break;
+                      case RecordKind::kStep:
+                        ++steps;
+                        break;
+                      case RecordKind::kMaterialSet:
+                        ++sets;
+                        break;
+                      case RecordKind::kRoot:
+                        ++roots;
+                        break;
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(materials, 1);
+  EXPECT_EQ(steps, 1);
+  EXPECT_EQ(sets, 1);
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_P(LabBaseTest, LongHistoryGrowsMaterialAcrossPages) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  for (int i = 0; i < 300; ++i) {
+    Sequence(m, "seq-" + std::to_string(i), 100 + i);
+  }
+  EXPECT_EQ(db_->MostRecent(m, seq_attr_).value().string_value(), "seq-299");
+  auto hist = db_->History(m, seq_attr_);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->size(), 300u);
+}
+
+TEST_P(LabBaseTest, ValidTimePermutationInvariance) {
+  // D4 property: the most-recent value and the sorted history must not
+  // depend on the order steps are *entered*, only on their valid times.
+  // Record the same 12 steps in several random entry orders (one material
+  // per permutation) and compare outcomes.
+  DefineMiniSchema();
+  struct Obs {
+    std::string most_recent;
+    std::vector<int64_t> history_times;
+  };
+  std::vector<Obs> outcomes;
+  Rng rng(99);
+  for (int perm = 0; perm < 4; ++perm) {
+    Oid m = NewClone("perm-" + std::to_string(perm));
+    std::vector<int64_t> times = {100, 200, 300, 400,  500,  600,
+                                  700, 800, 900, 1000, 1100, 1200};
+    if (perm > 0) {
+      for (size_t i = times.size(); i > 1; --i) {
+        std::swap(times[i - 1], times[rng.NextBelow(i)]);
+      }
+    }
+    for (int64_t t : times) {
+      Sequence(m, "seq-at-" + std::to_string(t), t);
+    }
+    Obs obs;
+    obs.most_recent = db_->MostRecent(m, seq_attr_).value().string_value();
+    // Note: materialize the Result before iterating — in C++20 a range-for
+    // over `History(...).value()` would dangle (P2718 fixes this in C++23).
+    std::vector<HistoryEntry> hist = db_->History(m, seq_attr_).value();
+    for (const HistoryEntry& e : hist) {
+      obs.history_times.push_back(e.time.micros);
+    }
+    outcomes.push_back(std::move(obs));
+  }
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].most_recent, outcomes[0].most_recent)
+        << "permutation " << i;
+    EXPECT_EQ(outcomes[i].history_times, outcomes[0].history_times)
+        << "permutation " << i;
+  }
+  EXPECT_EQ(outcomes[0].most_recent, "seq-at-1200");
+  EXPECT_TRUE(std::is_sorted(outcomes[0].history_times.begin(),
+                             outcomes[0].history_times.end()));
+}
+
+TEST_P(LabBaseTest, ValueAsOfAndHistoryBetween) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Sequence(m, "v100", 100);
+  Sequence(m, "v300", 300);
+  Sequence(m, "v200", 200);  // out-of-order entry
+
+  // As-of lands on the latest entry at or before the given time.
+  EXPECT_EQ(db_->ValueAsOf(m, seq_attr_, Timestamp(100)).value()
+                .string_value(),
+            "v100");
+  EXPECT_EQ(db_->ValueAsOf(m, seq_attr_, Timestamp(250)).value()
+                .string_value(),
+            "v200");
+  EXPECT_EQ(db_->ValueAsOf(m, seq_attr_, Timestamp(9999)).value()
+                .string_value(),
+            "v300");
+  EXPECT_TRUE(db_->ValueAsOf(m, seq_attr_, Timestamp(50))
+                  .status()
+                  .IsNotFound());
+
+  // Range slices are inclusive and ascending.
+  auto mid = db_->HistoryBetween(m, seq_attr_, Timestamp(150), Timestamp(300));
+  ASSERT_TRUE(mid.ok());
+  ASSERT_EQ(mid->size(), 2u);
+  EXPECT_EQ((*mid)[0].value.string_value(), "v200");
+  EXPECT_EQ((*mid)[1].value.string_value(), "v300");
+  auto none =
+      db_->HistoryBetween(m, seq_attr_, Timestamp(400), Timestamp(500));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_P(LabBaseTest, DumpSummaryAndAuditRender) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  Sequence(m, "ACGT", 200, sequenced_);
+  db_->CreateSet("a-set").value();
+
+  std::ostringstream summary;
+  ASSERT_TRUE(DumpSummary(db_.get(), summary).ok());
+  std::string s = summary.str();
+  EXPECT_NE(s.find("clone: 1 instance(s)"), std::string::npos);
+  EXPECT_NE(s.find("determine_sequence"), std::string::npos);
+  EXPECT_NE(s.find("waiting_for_incorporation: 1"), std::string::npos);
+
+  std::ostringstream audit;
+  ASSERT_TRUE(DumpMaterialAudit(db_.get(), m, audit).ok());
+  std::string a = audit.str();
+  EXPECT_NE(a.find("cl-0001"), std::string::npos);
+  EXPECT_NE(a.find("sequence = \"ACGT\""), std::string::npos);
+  EXPECT_NE(a.find("determine_sequence (v0)"), std::string::npos);
+  EXPECT_NE(a.find("-> waiting_for_incorporation"), std::string::npos);
+}
+
+TEST_P(LabBaseTest, GetStepOnMaterialOidRejected) {
+  DefineMiniSchema();
+  Oid m = NewClone("cl-0001");
+  EXPECT_TRUE(db_->GetStep(m).status().IsInvalidArgument());
+  Oid step = Sequence(m, "X", 1);
+  EXPECT_TRUE(db_->GetMaterial(step).status().IsInvalidArgument());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, LabBaseTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kTexasTC,
+                                           ManagerKind::kMm),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+/// The D1 ablation: with the access structure off, answers must match.
+class NoIndexLabBaseTest : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(NoIndexLabBaseTest, ScanPathMatchesIndexedAnswers) {
+  TempDir dir;
+  auto mgr = MakeManager(GetParam(), dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  LabBaseOptions opts;
+  opts.use_most_recent_index = false;
+  auto db = LabBase::Open(mgr.get(), opts).value();
+  ClassId clone = db->DefineMaterialClass("clone").value();
+  StateId s0 = db->DefineState("s0").value();
+  ClassId step = db->DefineStepClass("measure", {"x"}).value();
+  AttrId x = db->schema().AttributeByName("x").value();
+  Oid m = db->CreateMaterial(clone, "m", s0, Timestamp(0)).value();
+  for (int i = 0; i < 20; ++i) {
+    StepEffect e;
+    e.material = m;
+    e.tags = {{x, Value::Int(i)}};
+    // Shuffled valid times: 10, 9, 11, 8, 12 ...
+    int64_t t = 100 + (i % 2 == 0 ? i : -i);
+    ASSERT_TRUE(db->RecordStep(step, Timestamp(t), {e}).ok());
+  }
+  // Most recent by valid time = largest t = i=18 (t=118).
+  EXPECT_EQ(db->MostRecent(m, x).value().int_value(), 18);
+  auto hist = db->History(m, x);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->size(), 20u);
+  for (size_t i = 1; i < hist->size(); ++i) {
+    EXPECT_LE((*hist)[i - 1].time, (*hist)[i].time);
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, NoIndexLabBaseTest,
+                         ::testing::Values(ManagerKind::kTexas,
+                                           ManagerKind::kMm),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+/// Persistence: the full wrapper state must survive close + reopen.
+class LabBasePersistenceTest : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(LabBasePersistenceTest, FullStateSurvivesReopen) {
+  TempDir dir;
+  Oid m_id;
+  ClassId step_class;
+  AttrId seq;
+  StateId sequenced;
+  {
+    auto mgr = MakeManager(GetParam(), dir.file("db"));
+    ASSERT_NE(mgr, nullptr);
+    auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+    ClassId clone = db->DefineMaterialClass("clone").value();
+    StateId received = db->DefineState("received").value();
+    sequenced = db->DefineState("sequenced").value();
+    step_class = db->DefineStepClass("determine_sequence", {"sequence"})
+                     .value();
+    // Evolve once so version data must persist too.
+    db->DefineStepClass("determine_sequence", {"sequence", "chemistry"})
+        .value();
+    seq = db->schema().AttributeByName("sequence").value();
+    m_id = db->CreateMaterial(clone, "cl-7", received, Timestamp(10)).value();
+    StepEffect e;
+    e.material = m_id;
+    e.tags = {{seq, Value::String("GATTACA")}};
+    e.new_state = sequenced;
+    ASSERT_TRUE(db->RecordStep(step_class, Timestamp(20), {e}).ok());
+    Oid set = db->CreateSet("finished").value();
+    ASSERT_TRUE(db->AddToSet(set, m_id).ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = MakeManager(GetParam(), dir.file("db"), 256, /*truncate=*/false);
+  ASSERT_NE(mgr, nullptr);
+  auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  EXPECT_EQ(db->schema().VersionCount(step_class).value(), 2u);
+  EXPECT_EQ(db->FindMaterialByName("cl-7").value(), m_id);
+  EXPECT_EQ(db->MostRecent(m_id, seq).value().string_value(), "GATTACA");
+  EXPECT_EQ(db->CurrentState(m_id).value(), sequenced);
+  EXPECT_EQ(db->CountInState(sequenced).value(), 1);
+  Oid set = db->FindSetByName("finished").value();
+  EXPECT_EQ(db->SetMembers(set)->size(), 1u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskManagers, LabBasePersistenceTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kTexasTC),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+TEST(LabBaseTxnTest, AbortedStepLeavesNoTrace) {
+  TempDir dir;
+  auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  ClassId clone = db->DefineMaterialClass("clone").value();
+  StateId s0 = db->DefineState("s0").value();
+  StateId s1 = db->DefineState("s1").value();
+  ClassId step = db->DefineStepClass("advance", {"x"}).value();
+  AttrId x = db->schema().AttributeByName("x").value();
+  Oid m = db->CreateMaterial(clone, "m", s0, Timestamp(0)).value();
+
+  ASSERT_TRUE(db->Begin().ok());
+  StepEffect e;
+  e.material = m;
+  e.tags = {{x, Value::Int(7)}};
+  e.new_state = s1;
+  ASSERT_TRUE(db->RecordStep(step, Timestamp(5), {e}).ok());
+  ASSERT_TRUE(db->Abort().ok());
+
+  EXPECT_TRUE(db->MostRecent(m, x).status().IsNotFound());
+  EXPECT_EQ(db->CurrentState(m).value(), s0);
+  EXPECT_EQ(db->CountInState(s0).value(), 1);
+  EXPECT_EQ(db->CountInState(s1).value(), 0);
+  auto info = db->GetMaterial(m);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->attrs_present.empty());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::labbase

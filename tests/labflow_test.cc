@@ -1,0 +1,451 @@
+#include "labflow/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "labflow/apply.h"
+#include "labflow/generator.h"
+#include "labflow/report.h"
+#include "tests/test_util.h"
+
+namespace labflow::bench {
+namespace {
+
+using test::TempDir;
+
+WorkloadParams TinyParams(double intvl = 1.0) {
+  WorkloadParams p;
+  p.base_clones = 6;
+  p.intvl = intvl;
+  p.seed = 42;
+  return p;
+}
+
+TEST(GeneratorTest, StreamIsDeterministic) {
+  WorkloadParams p = TinyParams();
+  WorkloadGenerator g1(p), g2(p);
+  Event a, b;
+  int events = 0;
+  while (true) {
+    bool more1 = g1.Next(&a);
+    bool more2 = g2.Next(&b);
+    ASSERT_EQ(more1, more2);
+    if (!more1) break;
+    ++events;
+    ASSERT_EQ(static_cast<int>(a.type), static_cast<int>(b.type));
+    ASSERT_EQ(a.name, b.name);
+    ASSERT_EQ(a.step_class, b.step_class);
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.effects.size(), b.effects.size());
+    for (size_t i = 0; i < a.effects.size(); ++i) {
+      ASSERT_EQ(a.effects[i].material, b.effects[i].material);
+      ASSERT_EQ(a.effects[i].new_state, b.effects[i].new_state);
+      ASSERT_EQ(a.effects[i].tags.size(), b.effects[i].tags.size());
+      for (size_t t = 0; t < a.effects[i].tags.size(); ++t) {
+        ASSERT_EQ(a.effects[i].tags[t].attr, b.effects[i].tags[t].attr);
+        ASSERT_TRUE(a.effects[i].tags[t].value == b.effects[i].tags[t].value);
+      }
+    }
+  }
+  EXPECT_GT(events, 100);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadParams p1 = TinyParams(), p2 = TinyParams();
+  p2.seed = 777;
+  WorkloadGenerator g1(p1), g2(p2);
+  Event a, b;
+  bool differ = false;
+  for (int i = 0; i < 50; ++i) {
+    if (!g1.Next(&a) || !g2.Next(&b)) break;
+    if (a.name != b.name || a.time != b.time) {
+      differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(GeneratorTest, EveryMaterialIsCreatedBeforeUse) {
+  WorkloadGenerator gen(TinyParams());
+  Event ev;
+  std::set<std::string> created;
+  std::set<std::string> sets;
+  while (gen.Next(&ev)) {
+    switch (ev.type) {
+      case Event::Type::kCreateMaterial:
+        EXPECT_EQ(created.count(ev.name), 0u) << "duplicate " << ev.name;
+        created.insert(ev.name);
+        break;
+      case Event::Type::kRecordStep:
+        for (const EffectSpec& e : ev.effects) {
+          EXPECT_EQ(created.count(e.material), 1u)
+              << "step on unknown material " << e.material;
+        }
+        break;
+      case Event::Type::kCreateSet:
+        sets.insert(ev.name);
+        break;
+      case Event::Type::kAddSetMembers:
+        EXPECT_EQ(sets.count(ev.name), 1u);
+        for (const std::string& m : ev.members) {
+          EXPECT_EQ(created.count(m), 1u);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(created.size(), 20u);
+}
+
+TEST(GeneratorTest, ScaleMultipliesWork) {
+  WorkloadParams small = TinyParams(1.0);
+  WorkloadParams big = TinyParams(3.0);
+  WorkloadGenerator gs(small), gb(big);
+  Event ev;
+  while (gs.Next(&ev)) {
+  }
+  while (gb.Next(&ev)) {
+  }
+  EXPECT_GT(gb.totals().steps, 2 * gs.totals().steps);
+  EXPECT_GT(gb.totals().materials, 2 * gs.totals().materials);
+}
+
+TEST(GeneratorTest, StreamContainsEvolutionAndQueries) {
+  WorkloadParams p = TinyParams();
+  p.base_clones = 20;
+  WorkloadGenerator gen(p);
+  Event ev;
+  std::map<std::string, size_t> evolved;
+  while (gen.Next(&ev)) {
+    if (ev.type == Event::Type::kEvolveStepClass) {
+      evolved[ev.step_class] = ev.attrs.size();
+    }
+  }
+  EXPECT_EQ(gen.totals().evolutions, p.evolution_events);
+  EXPECT_GT(gen.totals().queries, 0);
+  EXPECT_GT(gen.totals().sets, 0);
+  // The evolved attribute set must extend the original.
+  ASSERT_TRUE(evolved.count("determine_sequence"));
+  EXPECT_GT(evolved["determine_sequence"], 3u);
+}
+
+TEST(GeneratorTest, AllTclonesReachTerminalStates) {
+  WorkloadParams p = TinyParams();
+  WorkloadGenerator gen(p);
+  Event ev;
+  std::map<std::string, std::string> final_state;
+  while (gen.Next(&ev)) {
+    if (ev.type == Event::Type::kRecordStep) {
+      for (const EffectSpec& e : ev.effects) {
+        if (!e.new_state.empty()) final_state[e.material] = e.new_state;
+      }
+    }
+  }
+  int tclones = 0;
+  for (const auto& [name, state] : final_state) {
+    if (name.find("-tc") == std::string::npos) continue;
+    ++tclones;
+    EXPECT_TRUE(state == "tc_incorporated" || state == "tc_failed")
+        << name << " ended in " << state;
+  }
+  EXPECT_GT(tclones, 10);
+}
+
+TEST(GeneratorTest, GelBatchesRespectGraphBounds) {
+  WorkloadParams p = TinyParams();
+  p.base_clones = 30;
+  WorkloadGenerator gen(p);
+  const workflow::Transition* load_gel =
+      gen.graph().FindTransition("load_gel");
+  ASSERT_NE(load_gel, nullptr);
+  Event ev;
+  int gels = 0;
+  bool saw_full_batch = false;
+  while (gen.Next(&ev)) {
+    if (ev.type != Event::Type::kRecordStep || ev.step_class != "load_gel") {
+      continue;
+    }
+    ++gels;
+    // Batches never exceed the declared maximum; undersized batches are
+    // only the end-of-stream flush.
+    EXPECT_LE(static_cast<int>(ev.effects.size()), load_gel->batch_max);
+    if (static_cast<int>(ev.effects.size()) >= load_gel->batch_min) {
+      saw_full_batch = true;
+    }
+    // Lane numbers are 1..batch and unique.
+    std::set<int64_t> lanes;
+    for (const EffectSpec& e : ev.effects) {
+      for (const TagSpec& t : e.tags) {
+        if (t.attr == "lane") lanes.insert(t.value.int_value());
+      }
+    }
+    EXPECT_EQ(lanes.size(), ev.effects.size());
+  }
+  EXPECT_GT(gels, 3);
+  EXPECT_TRUE(saw_full_batch);
+}
+
+TEST(GeneratorTest, EvolvedAttributesAppearInLaterSteps) {
+  WorkloadParams p = TinyParams();
+  p.base_clones = 40;
+  WorkloadGenerator gen(p);
+  Event ev;
+  std::map<std::string, std::set<std::string>> evolved_attrs;
+  std::map<std::string, int> tagged_after_evolution;
+  while (gen.Next(&ev)) {
+    if (ev.type == Event::Type::kEvolveStepClass) {
+      // Attribute set strictly grows.
+      for (const std::string& a : ev.attrs) {
+        evolved_attrs[ev.step_class].insert(a);
+      }
+    } else if (ev.type == Event::Type::kRecordStep &&
+               evolved_attrs.count(ev.step_class)) {
+      for (const EffectSpec& e : ev.effects) {
+        for (const TagSpec& t : e.tags) {
+          if (t.attr.find("_evo") != std::string::npos) {
+            ++tagged_after_evolution[ev.step_class];
+          }
+        }
+      }
+    }
+  }
+  ASSERT_FALSE(evolved_attrs.empty());
+  // At least one evolved class actually recorded steps carrying the new
+  // attribute (the stream exercises the new schema version).
+  int exercised = 0;
+  for (const auto& [step, n] : tagged_after_evolution) {
+    if (n > 0) ++exercised;
+  }
+  EXPECT_GT(exercised, 0);
+}
+
+TEST(GeneratorTest, ValidTimesMostlyMonotoneWithBoundedLateness) {
+  WorkloadParams p = TinyParams();
+  p.base_clones = 20;
+  WorkloadGenerator gen(p);
+  Event ev;
+  int64_t max_seen = 0;
+  int64_t steps = 0, late = 0;
+  while (gen.Next(&ev)) {
+    if (ev.type != Event::Type::kRecordStep) continue;
+    ++steps;
+    if (ev.time.micros < max_seen) {
+      ++late;
+    } else {
+      max_seen = ev.time.micros;
+    }
+    EXPECT_GT(ev.time.micros, 0);
+  }
+  ASSERT_GT(steps, 100);
+  // Late entries exist (the paper's out-of-order requirement) but are the
+  // exception, roughly the configured fraction.
+  EXPECT_GT(late, 0);
+  EXPECT_LT(static_cast<double>(late) / steps, 0.2);
+}
+
+class DriverTest : public ::testing::TestWithParam<ServerVersion> {};
+
+TEST_P(DriverTest, RunsCleanAndConsistent) {
+  TempDir dir;
+  Driver::Options opts;
+  opts.version = GetParam();
+  opts.db_path = dir.file("db");
+  opts.pool_pages = 512;
+  auto report = Driver::Run(TinyParams(), opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->steps, 50);
+  EXPECT_GT(report->queries, 0);
+  EXPECT_GT(report->elapsed_sec, 0);
+  EXPECT_NE(report->result_checksum, 0u);
+  if (GetParam() != ServerVersion::kOstoreMm &&
+      GetParam() != ServerVersion::kTexasMm) {
+    EXPECT_GT(report->db_size_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, DriverTest,
+    ::testing::Values(ServerVersion::kOstore, ServerVersion::kTexas,
+                      ServerVersion::kTexasTC, ServerVersion::kOstoreMm,
+                      ServerVersion::kTexasMm),
+    [](const auto& info) {
+      std::string name(ServerVersionName(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(DriverCrossCheckTest, AllVersionsProduceIdenticalQueryResults) {
+  // The headline internal-consistency property: every server version must
+  // compute exactly the same answers over the identical stream. A checksum
+  // mismatch means a storage manager corrupted or lost data.
+  WorkloadParams params = TinyParams();
+  params.base_clones = 10;
+  std::set<uint64_t> checksums;
+  std::map<std::string, int64_t> steps;
+  for (ServerVersion v : kAllServerVersions) {
+    TempDir dir;
+    Driver::Options opts;
+    opts.version = v;
+    opts.db_path = dir.file("db");
+    auto report = Driver::Run(params, opts);
+    ASSERT_TRUE(report.ok())
+        << ServerVersionName(v) << ": " << report.status().ToString();
+    checksums.insert(report->result_checksum);
+    steps[report->version] = report->steps;
+  }
+  EXPECT_EQ(checksums.size(), 1u)
+      << "server versions disagreed on query results";
+}
+
+TEST(DriverTest, SmallBufferPoolForcesFaultsButStaysCorrect) {
+  WorkloadParams params = TinyParams();
+  params.base_clones = 12;
+  uint64_t reference = 0;
+  {
+    TempDir dir;
+    Driver::Options opts;
+    opts.version = ServerVersion::kTexas;
+    opts.db_path = dir.file("db");
+    opts.pool_pages = 4096;
+    auto big = Driver::Run(params, opts);
+    ASSERT_TRUE(big.ok());
+    reference = big->result_checksum;
+  }
+  TempDir dir;
+  Driver::Options opts;
+  opts.version = ServerVersion::kTexas;
+  opts.db_path = dir.file("db");
+  opts.pool_pages = 16;  // thrash
+  auto small = Driver::Run(params, opts);
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(small->result_checksum, reference);
+  EXPECT_GT(small->majflt, 0u);
+}
+
+TEST(DriverTest, LoadingOnlyModeSkipsQueries) {
+  TempDir dir;
+  Driver::Options opts;
+  opts.version = ServerVersion::kTexasMm;
+  opts.db_path = dir.file("db");
+  opts.run_queries = false;
+  auto report = Driver::Run(TinyParams(), opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->query_elapsed_sec, 0.0);
+}
+
+class MidStreamReopenTest : public ::testing::TestWithParam<ServerVersion> {};
+
+TEST_P(MidStreamReopenTest, ContinuingAfterReopenMatchesUninterruptedRun) {
+  // Load half the update stream, close the database, reopen it (schema and
+  // indexes restored from storage), apply the rest — the final state must
+  // match an uninterrupted run. Exercises LabBase reopening mid-workflow
+  // with in-flight materials in every state.
+  WorkloadParams params = TinyParams();
+  params.base_clones = 10;
+
+  // Reference: uninterrupted run, snapshotting per-state counts.
+  std::map<std::string, int64_t> expected_counts;
+  int64_t expected_steps = 0;
+  {
+    TempDir dir;
+    auto mgr = test::MakeManager(
+        GetParam() == ServerVersion::kOstore ? test::ManagerKind::kOstore
+                                             : test::ManagerKind::kTexas,
+        dir.file("db"));
+    auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                  .value();
+    WorkloadGenerator gen(params);
+    ASSERT_TRUE(gen.graph().InstallSchema(db.get()).ok());
+    Event ev;
+    while (gen.Next(&ev)) {
+      if (!ev.IsUpdate()) continue;
+      ASSERT_TRUE(ApplyUpdate(db.get(), ev).ok());
+      if (ev.type == Event::Type::kRecordStep) ++expected_steps;
+    }
+    for (const std::string& state : gen.graph().states) {
+      auto id = db->schema().StateByName(state);
+      if (id.ok()) {
+        expected_counts[state] = db->CountInState(id.value()).value();
+      }
+    }
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+
+  // Interrupted run: close at the halfway point, reopen, continue.
+  TempDir dir;
+  auto kind = GetParam() == ServerVersion::kOstore
+                  ? test::ManagerKind::kOstore
+                  : test::ManagerKind::kTexas;
+  WorkloadGenerator gen(params);
+  Event ev;
+  std::vector<Event> updates;
+  while (gen.Next(&ev)) {
+    if (ev.IsUpdate()) updates.push_back(ev);
+  }
+  size_t half = updates.size() / 2;
+  {
+    auto mgr = test::MakeManager(kind, dir.file("db"));
+    auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                  .value();
+    ASSERT_TRUE(gen.graph().InstallSchema(db.get()).ok());
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(ApplyUpdate(db.get(), updates[i]).ok());
+    }
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = test::MakeManager(kind, dir.file("db"), 256, /*truncate=*/false);
+  auto db =
+      labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{}).value();
+  for (size_t i = half; i < updates.size(); ++i) {
+    ASSERT_TRUE(ApplyUpdate(db.get(), updates[i]).ok())
+        << "event " << i << " after reopen";
+  }
+  for (const auto& [state, count] : expected_counts) {
+    auto id = db->schema().StateByName(state);
+    ASSERT_TRUE(id.ok()) << state;
+    EXPECT_EQ(db->CountInState(id.value()).value(), count) << state;
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskVersions, MidStreamReopenTest,
+                         ::testing::Values(ServerVersion::kOstore,
+                                           ServerVersion::kTexas),
+                         [](const auto& info) {
+                           std::string name(ServerVersionName(info.param));
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ReportTest, CommasAndTableRender) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(16629760), "16,629,760");
+
+  RunReport r;
+  r.version = "OStore";
+  r.intvl = 0.5;
+  r.elapsed_sec = 1424;
+  r.majflt = 329;
+  r.db_size_bytes = 16629760;
+  std::ostringstream os;
+  PrintMainTable(os, {r});
+  std::string table = os.str();
+  EXPECT_NE(table.find("OStore"), std::string::npos);
+  EXPECT_NE(table.find("0.5X"), std::string::npos);
+  EXPECT_NE(table.find("16,629,760"), std::string::npos);
+  EXPECT_NE(table.find("majflt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace labflow::bench

@@ -1,0 +1,325 @@
+#include "ostore/ostore_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tests/test_util.h"
+
+namespace labflow::ostore {
+namespace {
+
+using storage::AllocHint;
+using storage::ObjectId;
+using test::TempDir;
+
+std::unique_ptr<OstoreManager> OpenOstore(const std::string& path,
+                                          bool truncate = true,
+                                          size_t pool_pages = 256,
+                                          int64_t lock_timeout_ms = 200) {
+  OstoreOptions opts;
+  opts.base.path = path;
+  opts.base.buffer_pool_pages = pool_pages;
+  opts.base.truncate = truncate;
+  opts.lock_timeout_ms = lock_timeout_ms;
+  auto r = OstoreManager::Open(opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(OstoreTxnTest, CommitMakesChangesVisible) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  ASSERT_TRUE(mgr->Begin().ok());
+  auto id = mgr->Allocate("committed", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr->Commit().ok());
+  EXPECT_EQ(mgr->Read(id.value()).value(), "committed");
+  EXPECT_EQ(mgr->stats().txn_commits, 1u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, AbortRollsBackAllocate) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  ASSERT_TRUE(mgr->Begin().ok());
+  auto id = mgr->Allocate("doomed", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr->Abort().ok());
+  EXPECT_TRUE(mgr->Read(id.value()).status().IsNotFound());
+  EXPECT_EQ(mgr->stats().live_objects, 0u);
+  EXPECT_EQ(mgr->stats().txn_aborts, 1u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, AbortRollsBackUpdate) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  auto id = mgr->Allocate("original", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr->Begin().ok());
+  ASSERT_TRUE(mgr->Update(id.value(), "scribbled").ok());
+  EXPECT_EQ(mgr->Read(id.value()).value(), "scribbled");
+  ASSERT_TRUE(mgr->Abort().ok());
+  EXPECT_EQ(mgr->Read(id.value()).value(), "original");
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, AbortRollsBackFree) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  auto id = mgr->Allocate("keep me", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  uint64_t live = mgr->stats().live_objects;
+  ASSERT_TRUE(mgr->Begin().ok());
+  ASSERT_TRUE(mgr->Free(id.value()).ok());
+  ASSERT_TRUE(mgr->Abort().ok());
+  EXPECT_EQ(mgr->Read(id.value()).value(), "keep me");
+  EXPECT_EQ(mgr->stats().live_objects, live);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, AbortRollsBackMixedSequence) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  auto keep = mgr->Allocate("stable", AllocHint{});
+  auto mutate = mgr->Allocate("before", AllocHint{});
+  auto doomed = mgr->Allocate("doomed", AllocHint{});
+  ASSERT_TRUE(keep.ok() && mutate.ok() && doomed.ok());
+
+  ASSERT_TRUE(mgr->Begin().ok());
+  ASSERT_TRUE(mgr->Update(mutate.value(), std::string(3000, 'x')).ok());
+  // Allocate before the free: a freed slot may be reused by a later
+  // allocation, which would make `fresh`'s id ambiguous after rollback.
+  auto fresh = mgr->Allocate("fresh", AllocHint{});
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(mgr->Free(doomed.value()).ok());
+  ASSERT_TRUE(mgr->Abort().ok());
+
+  EXPECT_EQ(mgr->Read(keep.value()).value(), "stable");
+  EXPECT_EQ(mgr->Read(mutate.value()).value(), "before");
+  EXPECT_EQ(mgr->Read(doomed.value()).value(), "doomed");
+  EXPECT_TRUE(mgr->Read(fresh.value()).status().IsNotFound());
+  EXPECT_EQ(mgr->stats().live_objects, 3u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, NestedBeginRejected) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  ASSERT_TRUE(mgr->Begin().ok());
+  EXPECT_TRUE(mgr->Begin().IsInvalidArgument());
+  ASSERT_TRUE(mgr->Commit().ok());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreTxnTest, CommitWithoutBeginRejected) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  EXPECT_TRUE(mgr->Commit().IsInvalidArgument());
+  EXPECT_TRUE(mgr->Abort().IsInvalidArgument());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreRecoveryTest, CommittedTxnSurvivesCrash) {
+  TempDir dir;
+  ObjectId id;
+  {
+    auto mgr = OpenOstore(dir.file("db"));
+    ASSERT_TRUE(mgr->Begin().ok());
+    auto r = mgr->Allocate("durable", AllocHint{});
+    ASSERT_TRUE(r.ok());
+    id = r.value();
+    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->SimulateCrash().ok());  // no checkpoint
+  }
+  auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
+  auto back = mgr->Read(id);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), "durable");
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreRecoveryTest, UncommittedTxnVanishesAfterCrash) {
+  TempDir dir;
+  ObjectId committed_id, uncommitted_id;
+  {
+    auto mgr = OpenOstore(dir.file("db"));
+    ASSERT_TRUE(mgr->Begin().ok());
+    auto a = mgr->Allocate("committed", AllocHint{});
+    ASSERT_TRUE(a.ok());
+    committed_id = a.value();
+    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->Begin().ok());
+    auto b = mgr->Allocate("uncommitted", AllocHint{});
+    ASSERT_TRUE(b.ok());
+    uncommitted_id = b.value();
+    ASSERT_TRUE(mgr->SimulateCrash().ok());  // crash mid-transaction
+  }
+  auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
+  EXPECT_EQ(mgr->Read(committed_id).value(), "committed");
+  EXPECT_TRUE(mgr->Read(uncommitted_id).status().IsNotFound());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreRecoveryTest, ManyTxnsReplayInOrder) {
+  TempDir dir;
+  std::vector<ObjectId> ids;
+  {
+    auto mgr = OpenOstore(dir.file("db"));
+    // Interleave allocations and updates over 50 committed txns.
+    for (int t = 0; t < 50; ++t) {
+      ASSERT_TRUE(mgr->Begin().ok());
+      auto id = mgr->Allocate("v0-" + std::to_string(t), AllocHint{});
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+      if (t > 0) {
+        ASSERT_TRUE(
+            mgr->Update(ids[t - 1], "final-" + std::to_string(t - 1)).ok());
+      }
+      ASSERT_TRUE(mgr->Commit().ok());
+    }
+    ASSERT_TRUE(mgr->SimulateCrash().ok());
+  }
+  auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
+  for (int t = 0; t < 49; ++t) {
+    auto back = mgr->Read(ids[t]);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), "final-" + std::to_string(t));
+  }
+  EXPECT_EQ(mgr->Read(ids[49]).value(), "v0-49");
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreRecoveryTest, CheckpointTruncatesWal) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"));
+  ASSERT_TRUE(mgr->Begin().ok());
+  ASSERT_TRUE(mgr->Allocate(std::string(1000, 'w'), AllocHint{}).ok());
+  ASSERT_TRUE(mgr->Commit().ok());
+  EXPECT_GT(mgr->stats().wal_bytes, 0u);
+  ASSERT_TRUE(mgr->Checkpoint().ok());
+  EXPECT_EQ(mgr->stats().wal_bytes, 0u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreRecoveryTest, RecoveryAfterCheckpointPlusMoreTxns) {
+  TempDir dir;
+  ObjectId old_id, new_id;
+  {
+    auto mgr = OpenOstore(dir.file("db"));
+    auto a = mgr->Allocate("pre-checkpoint", AllocHint{});
+    ASSERT_TRUE(a.ok());
+    old_id = a.value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    ASSERT_TRUE(mgr->Begin().ok());
+    auto b = mgr->Allocate("post-checkpoint", AllocHint{});
+    ASSERT_TRUE(b.ok());
+    new_id = b.value();
+    ASSERT_TRUE(mgr->Update(old_id, "updated after checkpoint").ok());
+    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->SimulateCrash().ok());
+  }
+  auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
+  EXPECT_EQ(mgr->Read(old_id).value(), "updated after checkpoint");
+  EXPECT_EQ(mgr->Read(new_id).value(), "post-checkpoint");
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreLockTest, ConcurrentDisjointTxnsBothCommit) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"), true, 256, /*lock_timeout_ms=*/2000);
+  std::atomic<int> failures{0};
+  auto worker = [&](int which) {
+    for (int i = 0; i < 20; ++i) {
+      if (!mgr->Begin().ok()) {
+        ++failures;
+        return;
+      }
+      AllocHint hint;
+      hint.segment = 0;
+      auto id = mgr->Allocate(
+          "w" + std::to_string(which) + "-" + std::to_string(i), hint);
+      if (!id.ok() || !mgr->Commit().ok()) {
+        ++failures;
+        (void)mgr->Abort();
+        return;
+      }
+    }
+  };
+  std::thread t1(worker, 1);
+  std::thread t2(worker, 2);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mgr->stats().live_objects, 40u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreLockTest, WriterBlocksWriterUntilCommit) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"), true, 256, /*lock_timeout_ms=*/5000);
+  auto id = mgr->Allocate("contended", AllocHint{});
+  ASSERT_TRUE(id.ok());
+
+  ASSERT_TRUE(mgr->Begin().ok());
+  ASSERT_TRUE(mgr->Update(id.value(), "writer-1").ok());
+
+  std::atomic<bool> second_done{false};
+  std::thread t([&] {
+    ASSERT_TRUE(mgr->Begin().ok());
+    ASSERT_TRUE(mgr->Update(id.value(), "writer-2").ok());
+    second_done = true;
+    ASSERT_TRUE(mgr->Commit().ok());
+  });
+  // Give the second writer time to block on our X lock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(second_done.load()) << "second writer must wait for the lock";
+  ASSERT_TRUE(mgr->Commit().ok());
+  t.join();
+  EXPECT_TRUE(second_done.load());
+  EXPECT_EQ(mgr->Read(id.value()).value(), "writer-2");
+  EXPECT_GT(mgr->stats().lock_waits, 0u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(OstoreLockTest, DeadlockResolvedByTimeout) {
+  TempDir dir;
+  auto mgr = OpenOstore(dir.file("db"), true, 256, /*lock_timeout_ms=*/150);
+  // Two objects on two different pages (different segments).
+  auto seg2 = mgr->CreateSegment("other");
+  ASSERT_TRUE(seg2.ok());
+  auto a = mgr->Allocate("a", AllocHint{});
+  AllocHint h2;
+  h2.segment = seg2.value();
+  auto b = mgr->Allocate("b", h2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_NE(a.value().page(), b.value().page());
+
+  std::atomic<int> aborted{0};
+  auto worker = [&](ObjectId first, ObjectId second) {
+    ASSERT_TRUE(mgr->Begin().ok());
+    Status st = mgr->Update(first, "mine");
+    if (st.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      st = mgr->Update(second, "mine too");
+    }
+    if (st.ok()) {
+      ASSERT_TRUE(mgr->Commit().ok());
+    } else {
+      EXPECT_TRUE(st.IsAborted()) << st.ToString();
+      ++aborted;
+      ASSERT_TRUE(mgr->Abort().ok());
+    }
+  };
+  std::thread t1(worker, a.value(), b.value());
+  std::thread t2(worker, b.value(), a.value());
+  t1.join();
+  t2.join();
+  EXPECT_GE(aborted.load(), 1) << "the lock timeout must break the deadlock";
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::ostore

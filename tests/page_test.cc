@@ -1,0 +1,218 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace labflow::storage {
+namespace {
+
+class PageTest : public ::testing::Test {
+ protected:
+  PageTest() : buf_(kPageSize, '\0'), page_(buf_.data()) {
+    page_.Initialize(/*segment=*/3);
+  }
+
+  std::vector<char> buf_;
+  Page page_;
+};
+
+TEST_F(PageTest, FreshPageIsEmpty) {
+  EXPECT_EQ(page_.slot_count(), 0);
+  EXPECT_EQ(page_.segment(), 3);
+  EXPECT_EQ(page_.lsn(), 0u);
+  EXPECT_TRUE(page_.IsInitialized());
+  EXPECT_GT(page_.FreeForInsert(), kPageSize - 64);
+}
+
+TEST_F(PageTest, ZeroedBufferIsNotInitialized) {
+  std::vector<char> raw(kPageSize, '\0');
+  Page p(raw.data());
+  EXPECT_FALSE(p.IsInitialized());
+}
+
+TEST_F(PageTest, InsertReadRoundtrip) {
+  auto slot = page_.Insert("hello world");
+  ASSERT_TRUE(slot.ok());
+  auto rec = page_.Read(slot.value());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value(), "hello world");
+}
+
+TEST_F(PageTest, MultipleInsertsGetDistinctSlots) {
+  auto a = page_.Insert("aaa");
+  auto b = page_.Insert("bbb");
+  auto c = page_.Insert("ccc");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(b.value(), c.value());
+  EXPECT_EQ(page_.Read(a.value()).value(), "aaa");
+  EXPECT_EQ(page_.Read(b.value()).value(), "bbb");
+  EXPECT_EQ(page_.Read(c.value()).value(), "ccc");
+}
+
+TEST_F(PageTest, DeleteThenReadFails) {
+  auto slot = page_.Insert("gone");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Delete(slot.value()).ok());
+  EXPECT_TRUE(page_.Read(slot.value()).status().IsNotFound());
+  EXPECT_FALSE(page_.IsLive(slot.value()));
+}
+
+TEST_F(PageTest, DeleteDeadSlotFails) {
+  auto slot = page_.Insert("x");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Delete(slot.value()).ok());
+  EXPECT_TRUE(page_.Delete(slot.value()).IsNotFound());
+}
+
+TEST_F(PageTest, SlotReuseAfterDelete) {
+  auto a = page_.Insert("first");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(page_.Delete(a.value()).ok());
+  auto b = page_.Insert("second");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(page_.Read(b.value()).value(), "second");
+}
+
+TEST_F(PageTest, UpdateShrinkInPlace) {
+  auto slot = page_.Insert("a longer record");
+  ASSERT_TRUE(slot.ok());
+  ASSERT_TRUE(page_.Update(slot.value(), "tiny").ok());
+  EXPECT_EQ(page_.Read(slot.value()).value(), "tiny");
+}
+
+TEST_F(PageTest, UpdateGrow) {
+  auto slot = page_.Insert("tiny");
+  ASSERT_TRUE(slot.ok());
+  std::string big(500, 'x');
+  ASSERT_TRUE(page_.Update(slot.value(), big).ok());
+  EXPECT_EQ(page_.Read(slot.value()).value(), big);
+}
+
+TEST_F(PageTest, UpdatePreservesOtherRecords) {
+  auto a = page_.Insert("alpha");
+  auto b = page_.Insert("beta");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(page_.Update(a.value(), std::string(300, 'z')).ok());
+  EXPECT_EQ(page_.Read(b.value()).value(), "beta");
+}
+
+TEST_F(PageTest, InsertTooLargeRejected) {
+  std::string huge(kPageSize, 'x');
+  EXPECT_TRUE(page_.Insert(huge).status().IsInvalidArgument());
+}
+
+TEST_F(PageTest, FillPageUntilExhausted) {
+  std::string rec(100, 'r');
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsResourceExhausted());
+      break;
+    }
+    ++inserted;
+  }
+  // 8 KiB / (100 bytes + 4-byte slot) ~= 78 records.
+  EXPECT_GT(inserted, 70);
+  EXPECT_LT(inserted, 82);
+}
+
+TEST_F(PageTest, CompactionReclaimsHoles) {
+  // Fill the page, delete every other record, then insert records that only
+  // fit if the holes are coalesced.
+  std::string rec(100, 'r');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto slot = page_.Insert(rec);
+    if (!slot.ok()) break;
+    slots.push_back(slot.value());
+  }
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_TRUE(page_.Delete(slots[i]).ok());
+  }
+  // Freed ~half the page; a 300-byte record needs compaction to fit in the
+  // scattered 100-byte holes.
+  std::string big(300, 'B');
+  auto slot = page_.Insert(big);
+  ASSERT_TRUE(slot.ok()) << slot.status().ToString();
+  EXPECT_EQ(page_.Read(slot.value()).value(), big);
+  // Survivors intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    EXPECT_EQ(page_.Read(slots[i]).value(), rec);
+  }
+}
+
+TEST_F(PageTest, InsertAtSpecificSlot) {
+  ASSERT_TRUE(page_.InsertAt(5, "at five").ok());
+  EXPECT_EQ(page_.slot_count(), 6);
+  EXPECT_EQ(page_.Read(5).value(), "at five");
+  for (uint16_t s = 0; s < 5; ++s) EXPECT_FALSE(page_.IsLive(s));
+}
+
+TEST_F(PageTest, InsertAtOccupiedSlotFails) {
+  ASSERT_TRUE(page_.InsertAt(0, "first").ok());
+  EXPECT_TRUE(page_.InsertAt(0, "second").IsAlreadyExists());
+}
+
+TEST_F(PageTest, LsnRoundtrip) {
+  page_.set_lsn(0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(page_.lsn(), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST_F(PageTest, LiveBytesTracksRecords) {
+  EXPECT_EQ(page_.LiveBytes(), 0u);
+  auto a = page_.Insert(std::string(10, 'a'));
+  auto b = page_.Insert(std::string(20, 'b'));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(page_.LiveBytes(), 30u);
+  ASSERT_TRUE(page_.Delete(a.value()).ok());
+  EXPECT_EQ(page_.LiveBytes(), 20u);
+}
+
+// Property sweep: random insert/delete/update sequences preserve a shadow
+// model of the page.
+class PagePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PagePropertyTest, MatchesShadowModel) {
+  std::vector<char> buf(kPageSize, '\0');
+  Page page(buf.data());
+  page.Initialize(0);
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  auto next = [&seed]() {
+    seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return seed >> 33;
+  };
+  std::vector<std::pair<uint16_t, std::string>> shadow;  // slot -> contents
+  for (int step = 0; step < 500; ++step) {
+    int action = next() % 3;
+    if (action == 0 || shadow.empty()) {
+      std::string rec(1 + next() % 200, static_cast<char>('a' + next() % 26));
+      auto slot = page.Insert(rec);
+      if (slot.ok()) shadow.emplace_back(slot.value(), rec);
+    } else if (action == 1) {
+      size_t pick = next() % shadow.size();
+      ASSERT_TRUE(page.Delete(shadow[pick].first).ok());
+      shadow.erase(shadow.begin() + pick);
+    } else {
+      size_t pick = next() % shadow.size();
+      std::string rec(1 + next() % 200, static_cast<char>('A' + next() % 26));
+      Status st = page.Update(shadow[pick].first, rec);
+      if (st.ok()) shadow[pick].second = rec;
+    }
+    for (const auto& [slot, contents] : shadow) {
+      auto rec = page.Read(slot);
+      ASSERT_TRUE(rec.ok());
+      ASSERT_EQ(rec.value(), contents) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PagePropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 42, 1996));
+
+}  // namespace
+}  // namespace labflow::storage

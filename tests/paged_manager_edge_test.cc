@@ -1,0 +1,190 @@
+// Edge-case tests for the shared paged object heap: forwarding chains,
+// size-class padding, rebuild-by-scan, and the Texas no-WAL durability
+// contract.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "texas/texas_manager.h"
+
+namespace labflow::storage {
+namespace {
+
+using test::ManagerKind;
+using test::MakeManager;
+using test::TempDir;
+
+std::unique_ptr<texas::TexasManager> OpenTexas(const std::string& path,
+                                               bool truncate = true) {
+  texas::TexasOptions opts;
+  opts.base.path = path;
+  opts.base.truncate = truncate;
+  auto r = texas::TexasManager::Open(opts);
+  EXPECT_TRUE(r.ok());
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+TEST(ForwardingTest, RepeatedGrowthKeepsChainShort) {
+  // Grow one object over and over amid page-filling noise: every growth
+  // that leaves the page must still resolve through at most one hop, and
+  // reads must never degrade into a long pointer chase.
+  TempDir dir;
+  auto mgr = OpenTexas(dir.file("db"));
+  auto id = mgr->Allocate("x", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  Rng rng(3);
+  std::string expected = "x";
+  for (int round = 0; round < 60; ++round) {
+    // Noise keeps the current pages full so growth must relocate.
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(mgr->Allocate(std::string(300, 'n'), AllocHint{}).ok());
+    }
+    expected = rng.NextName(100 + round * 60);
+    ASSERT_TRUE(mgr->Update(id.value(), expected).ok());
+    auto back = mgr->Read(id.value());
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value(), expected);
+  }
+  // The object is still exactly one public object.
+  int occurrences = 0;
+  ASSERT_TRUE(mgr
+                  ->ScanAll([&](ObjectId scanned, std::string_view data) {
+                    if (scanned == id.value()) {
+                      ++occurrences;
+                      EXPECT_EQ(std::string(data), expected);
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(occurrences, 1);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(SizeClassTest, TexasPadsToPowerOfTwoClasses) {
+  // Two stores, same logical data; Texas's file must reflect its
+  // segregated-fit rounding vs OStore's exact fit.
+  TempDir dir;
+  auto texas_mgr = MakeManager(ManagerKind::kTexas, dir.file("texas"));
+  auto ostore_mgr = MakeManager(ManagerKind::kOstore, dir.file("ostore"));
+  // 600-byte records: Texas rounds each to 1024.
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        texas_mgr->Allocate(std::string(600, 't'), AllocHint{}).ok());
+    ASSERT_TRUE(
+        ostore_mgr->Allocate(std::string(600, 'o'), AllocHint{}).ok());
+  }
+  uint64_t texas_size = texas_mgr->stats().db_size_bytes;
+  uint64_t ostore_size = ostore_mgr->stats().db_size_bytes;
+  double ratio = static_cast<double>(texas_size) /
+                 static_cast<double>(ostore_size);
+  EXPECT_GT(ratio, 1.3) << "Texas should pay size-class fragmentation";
+  EXPECT_LT(ratio, 2.1);
+  ASSERT_TRUE(texas_mgr->Close().ok());
+  ASSERT_TRUE(ostore_mgr->Close().ok());
+}
+
+TEST(RebuildScanTest, FreeSpaceIsReusedAfterReopen) {
+  TempDir dir;
+  std::vector<ObjectId> ids;
+  uint64_t size_before;
+  {
+    auto mgr = OpenTexas(dir.file("db"));
+    for (int i = 0; i < 2000; ++i) {
+      auto id = mgr->Allocate(std::string(400, 'a'), AllocHint{});
+      ASSERT_TRUE(id.ok());
+      ids.push_back(id.value());
+    }
+    // Free half, leaving holes everywhere.
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      ASSERT_TRUE(mgr->Free(ids[i]).ok());
+    }
+    size_before = mgr->stats().db_size_bytes;
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = OpenTexas(dir.file("db"), /*truncate=*/false);
+  EXPECT_EQ(mgr->stats().live_objects, ids.size() / 2);
+  // New allocations must reuse the reclaimed space, not only append.
+  for (int i = 0; i < 800; ++i) {
+    ASSERT_TRUE(mgr->Allocate(std::string(400, 'b'), AllocHint{}).ok());
+  }
+  uint64_t size_after = mgr->stats().db_size_bytes;
+  EXPECT_LT(size_after, size_before + 100 * 8192)
+      << "reopen lost track of free space";
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(TexasDurabilityTest, CheckpointIsTheDurabilityBoundary) {
+  // Texas has no WAL: state as of the last Checkpoint survives a crash,
+  // anything later is (legitimately) lost. This test pins that contract.
+  TempDir dir;
+  ObjectId durable, volatile_id;
+  {
+    auto mgr = OpenTexas(dir.file("db"));
+    auto a = mgr->Allocate("before checkpoint", AllocHint{});
+    ASSERT_TRUE(a.ok());
+    durable = a.value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    auto b = mgr->Allocate("after checkpoint", AllocHint{});
+    ASSERT_TRUE(b.ok());
+    volatile_id = b.value();
+    ASSERT_TRUE(mgr->SimulateCrash().ok());
+  }
+  auto mgr = OpenTexas(dir.file("db"), /*truncate=*/false);
+  EXPECT_EQ(mgr->Read(durable).value(), "before checkpoint");
+  auto lost = mgr->Read(volatile_id);
+  EXPECT_FALSE(lost.ok() && lost.value() == "after checkpoint")
+      << "Texas must not promise durability it does not implement";
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(PaddedRecordTest, PaddingInvisibleToReaders) {
+  TempDir dir;
+  auto mgr = OpenTexas(dir.file("db"));
+  // Sizes straddling the size classes: padding must never leak into reads.
+  for (size_t size : {0u, 1u, 31u, 32u, 33u, 63u, 64u, 65u, 511u, 513u,
+                      4095u, 4097u}) {
+    std::string data(size, 'p');
+    auto id = mgr->Allocate(data, AllocHint{});
+    ASSERT_TRUE(id.ok()) << size;
+    auto back = mgr->Read(id.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->size(), size);
+    EXPECT_EQ(back.value(), data);
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(SegmentPersistenceTest, SegmentsSurviveReopen) {
+  TempDir dir;
+  uint16_t hot, cold;
+  ObjectId in_hot, in_cold;
+  {
+    auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
+    hot = mgr->CreateSegment("hot").value();
+    cold = mgr->CreateSegment("cold").value();
+    AllocHint h;
+    h.segment = hot;
+    in_hot = mgr->Allocate("hot data", h).value();
+    h.segment = cold;
+    in_cold = mgr->Allocate("cold data", h).value();
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"), 256,
+                         /*truncate=*/false);
+  // Allocating into the persisted segments still works and stays disjoint.
+  AllocHint h;
+  h.segment = hot;
+  auto more_hot = mgr->Allocate(std::string(64, 'h'), h);
+  ASSERT_TRUE(more_hot.ok());
+  EXPECT_EQ(more_hot->page(), in_hot.page())
+      << "reopened hot segment should keep filling its pages";
+  h.segment = cold;
+  auto more_cold = mgr->Allocate(std::string(64, 'c'), h);
+  ASSERT_TRUE(more_cold.ok());
+  EXPECT_NE(more_cold->page(), more_hot->page());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::storage

@@ -1,0 +1,635 @@
+#include "query/solver.h"
+
+#include <gtest/gtest.h>
+
+#include "mm/mm_manager.h"
+#include "query/parser.h"
+#include "query/term.h"
+#include "query/unify.h"
+#include "tests/test_util.h"
+
+namespace labflow::query {
+namespace {
+
+using test::TempDir;
+
+// ---- Terms -----------------------------------------------------------------
+
+TEST(TermTest, ConstructorsAndAccessors) {
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.is_var());
+  EXPECT_EQ(v.name(), "X");
+  Term a = Term::Atom("clone");
+  EXPECT_TRUE(a.is_atom());
+  Term c = Term::Const(Value::Int(3));
+  EXPECT_TRUE(c.is_const());
+  Term comp = Term::Make("state", {v, a});
+  EXPECT_TRUE(comp.is_compound());
+  EXPECT_EQ(comp.arity(), 2u);
+}
+
+TEST(TermTest, ListHelpers) {
+  Term list = Term::List({Term::Const(Value::Int(1)),
+                          Term::Const(Value::Int(2))});
+  EXPECT_TRUE(list.IsCons());
+  EXPECT_EQ(list.ToString(), "[1, 2]");
+  EXPECT_TRUE(Term::Nil().IsNil());
+}
+
+TEST(TermTest, ToStringRendering) {
+  Term t = Term::Make("state", {Term::Var("M"), Term::Atom("on_gel")});
+  EXPECT_EQ(t.ToString(), "state(M, on_gel)");
+  Term partial = Term::Cons(Term::Const(Value::Int(1)), Term::Var("T"));
+  EXPECT_EQ(partial.ToString(), "[1|T]");
+}
+
+TEST(TermTest, CompareTotalOrder) {
+  EXPECT_EQ(Term::Compare(Term::Atom("a"), Term::Atom("a")), 0);
+  EXPECT_LT(Term::Compare(Term::Atom("a"), Term::Atom("b")), 0);
+  EXPECT_NE(Term::Compare(Term::Atom("a"), Term::Const(Value::String("a"))),
+            0);
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, ParsesFactsAndRules) {
+  auto clauses = Parser::ParseProgram(
+      "parent(tom, bob).\n"
+      "grandparent(X, Z) <- parent(X, Y), parent(Y, Z).\n"
+      "% a comment\n"
+      "sibling(A, B) :- parent(P, A), parent(P, B), A \\= B.\n");
+  ASSERT_TRUE(clauses.ok()) << clauses.status().ToString();
+  ASSERT_EQ(clauses->size(), 3u);
+  EXPECT_EQ((*clauses)[0].head.ToString(), "parent(tom, bob)");
+  EXPECT_TRUE((*clauses)[0].body.empty());
+  EXPECT_EQ((*clauses)[1].body.size(), 2u);
+  EXPECT_EQ((*clauses)[2].body.size(), 3u);
+}
+
+TEST(ParserTest, ParsesLiteralsOfEveryKind) {
+  auto t = Parser::ParseTerm("f(42, 3.5, \"text\", #17, @99, X, atom, [1|T])");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->arity(), 8u);
+  EXPECT_EQ(t->args()[0].value().int_value(), 42);
+  EXPECT_DOUBLE_EQ(t->args()[1].value().real_value(), 3.5);
+  EXPECT_EQ(t->args()[2].value().string_value(), "text");
+  EXPECT_EQ(t->args()[3].value().oid_value().raw, 17u);
+  EXPECT_EQ(t->args()[4].value().time_value().micros, 99);
+  EXPECT_TRUE(t->args()[5].is_var());
+  EXPECT_TRUE(t->args()[6].is_atom());
+  EXPECT_TRUE(t->args()[7].IsCons());
+}
+
+TEST(ParserTest, ParsesInfixComparisonsAndArith) {
+  auto q = Parser::ParseQuery("X is 2 + 3 * 4, X > 10, Y = f(X).");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 3u);
+  EXPECT_EQ((*q)[0].name(), "is");
+  // Precedence: 2 + (3 * 4)
+  EXPECT_EQ((*q)[0].args()[1].ToString(), "+(2, *(3, 4))");
+  EXPECT_EQ((*q)[1].name(), ">");
+  EXPECT_EQ((*q)[2].name(), "=");
+}
+
+TEST(ParserTest, NegationSugar) {
+  auto q = Parser::ParseQuery("\\+ state(M, done)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)[0].name(), "not");
+}
+
+TEST(ParserTest, EmptyAndNestedLists) {
+  auto t = Parser::ParseTerm("[[], [a, b], [1|[2|[]]]]");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->ToString(), "[[], [a, b], [1, 2]]");
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(Parser::ParseProgram("foo(").ok());
+  EXPECT_FALSE(Parser::ParseProgram("foo) .").ok());
+  EXPECT_FALSE(Parser::ParseProgram("\"unterminated").ok());
+  EXPECT_FALSE(Parser::ParseProgram("42 :- foo.").ok());
+}
+
+// ---- Unification -------------------------------------------------------------
+
+TEST(UnifyTest, BasicCases) {
+  Bindings b;
+  EXPECT_TRUE(Unify(Term::Atom("a"), Term::Atom("a"), &b));
+  EXPECT_FALSE(Unify(Term::Atom("a"), Term::Atom("b"), &b));
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Atom("a"), &b));
+  EXPECT_EQ(b.Resolve(Term::Var("X")).name(), "a");
+}
+
+TEST(UnifyTest, CompoundUnification) {
+  Bindings b;
+  Term lhs = Parser::ParseTerm("f(X, g(Y), Y)").value();
+  Term rhs = Parser::ParseTerm("f(1, g(2), Z)").value();
+  EXPECT_TRUE(Unify(lhs, rhs, &b));
+  EXPECT_EQ(b.Resolve(Term::Var("X")).value().int_value(), 1);
+  EXPECT_EQ(b.Resolve(Term::Var("Y")).value().int_value(), 2);
+  EXPECT_EQ(b.Resolve(Term::Var("Z")).value().int_value(), 2);
+}
+
+TEST(UnifyTest, FailureRestoresBindings) {
+  Bindings b;
+  Term lhs = Parser::ParseTerm("f(X, a)").value();
+  Term rhs = Parser::ParseTerm("f(1, b)").value();
+  size_t mark = b.Mark();
+  EXPECT_FALSE(Unify(lhs, rhs, &b));
+  EXPECT_EQ(b.Mark(), mark);
+  EXPECT_EQ(b.Lookup("X"), nullptr);
+}
+
+TEST(UnifyTest, TrailUndo) {
+  Bindings b;
+  size_t mark = b.Mark();
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Atom("a"), &b));
+  EXPECT_TRUE(Unify(Term::Var("Y"), Term::Atom("b"), &b));
+  b.UndoTo(mark);
+  EXPECT_EQ(b.Lookup("X"), nullptr);
+  EXPECT_EQ(b.Lookup("Y"), nullptr);
+}
+
+// ---- Pure-rules solver --------------------------------------------------------
+
+class RulesSolverTest : public ::testing::Test {
+ protected:
+  RulesSolverTest() : solver_(nullptr) {
+    EXPECT_TRUE(solver_
+                    .LoadProgram(
+                        "parent(tom, bob).\n"
+                        "parent(tom, liz).\n"
+                        "parent(bob, ann).\n"
+                        "parent(bob, pat).\n"
+                        "grandparent(X, Z) <- parent(X, Y), parent(Y, Z).\n"
+                        "ancestor(X, Y) <- parent(X, Y).\n"
+                        "ancestor(X, Z) <- parent(X, Y), ancestor(Y, Z).\n")
+                    .ok());
+  }
+  Solver solver_;
+};
+
+TEST_F(RulesSolverTest, FactsAnswerDirectly) {
+  EXPECT_TRUE(solver_.Prove("parent(tom, bob)").value());
+  EXPECT_FALSE(solver_.Prove("parent(bob, tom)").value());
+}
+
+TEST_F(RulesSolverTest, RuleDerivation) {
+  auto sols = solver_.QueryAll("grandparent(tom, Z)");
+  ASSERT_TRUE(sols.ok()) << sols.status().ToString();
+  ASSERT_EQ(sols->size(), 2u);
+  EXPECT_EQ((*sols)[0].vars.at("Z").name(), "ann");
+  EXPECT_EQ((*sols)[1].vars.at("Z").name(), "pat");
+}
+
+TEST_F(RulesSolverTest, RecursionTerminates) {
+  auto sols = solver_.QueryAll("ancestor(tom, Z)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(sols->size(), 4u);
+}
+
+TEST_F(RulesSolverTest, NegationAsFailure) {
+  EXPECT_TRUE(solver_.Prove("\\+ parent(ann, X)").value());
+  EXPECT_FALSE(solver_.Prove("\\+ parent(tom, X)").value());
+}
+
+TEST_F(RulesSolverTest, ArithmeticAndComparison) {
+  auto sols = solver_.QueryAll("X is 6 * 7, X > 41, X =< 42, Y is X mod 5");
+  ASSERT_TRUE(sols.ok());
+  ASSERT_EQ(sols->size(), 1u);
+  EXPECT_EQ((*sols)[0].vars.at("X").value().int_value(), 42);
+  EXPECT_EQ((*sols)[0].vars.at("Y").value().int_value(), 2);
+}
+
+TEST_F(RulesSolverTest, RealArithmetic) {
+  auto sols = solver_.QueryAll("X is 1 / 2.0");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_DOUBLE_EQ((*sols)[0].vars.at("X").value().real_value(), 0.5);
+}
+
+TEST_F(RulesSolverTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(solver_.Prove("X is 1 / 0").ok());
+}
+
+TEST_F(RulesSolverTest, MemberEnumeratesAndChecks) {
+  auto sols = solver_.QueryAll("member(X, [a, b, c])");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(sols->size(), 3u);
+  EXPECT_TRUE(solver_.Prove("member(b, [a, b, c])").value());
+  EXPECT_FALSE(solver_.Prove("member(z, [a, b, c])").value());
+}
+
+TEST_F(RulesSolverTest, LengthAndAppend) {
+  EXPECT_TRUE(solver_.Prove("length([a, b, c], 3)").value());
+  auto sols = solver_.QueryAll("append([1, 2], [3], L)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ((*sols)[0].vars.at("L").ToString(), "[1, 2, 3]");
+  // Split enumeration mode.
+  auto splits = solver_.QueryAll("append(A, B, [x, y])");
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->size(), 3u);
+}
+
+TEST_F(RulesSolverTest, FindallAndSetof) {
+  auto sols = solver_.QueryAll("findall(C, parent(bob, C), L)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ((*sols)[0].vars.at("L").ToString(), "[ann, pat]");
+  // setof sorts and dedupes; tom appears as parent twice.
+  auto parents = solver_.QueryAll("setof(P, parent(P, X), L)");
+  ASSERT_TRUE(parents.ok());
+  EXPECT_EQ((*parents)[0].vars.at("L").ToString(), "[bob, tom]");
+  // Empty result is the empty set (friendlier than ISO setof).
+  auto empty = solver_.QueryAll("setof(P, parent(zzz, P), L)");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ((*empty)[0].vars.at("L").ToString(), "[]");
+}
+
+TEST_F(RulesSolverTest, ForallChecksUniversally) {
+  EXPECT_TRUE(
+      solver_.Prove("forall(parent(tom, C), parent(tom, C))").value());
+  // Not every child of tom is a parent.
+  EXPECT_FALSE(
+      solver_.Prove("forall(parent(tom, C), parent(C, X))").value());
+  // Only bob's children have children? bob's children ann,pat have none.
+  EXPECT_TRUE(
+      solver_.Prove("forall(parent(zzz, C), fail)").value())
+      << "vacuous forall must hold";
+}
+
+TEST_F(RulesSolverTest, SumMaxMinAggregations) {
+  Solver s(nullptr);
+  ASSERT_TRUE(s.LoadProgram("score(a, 3). score(b, 5). score(c, 2).\n"
+                            "weight(a, 1.5). weight(b, 2.5).\n")
+                  .ok());
+  auto sum = s.QueryAll("sum(X, score(P, X), T)");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)[0].vars.at("T").value().int_value(), 10);
+  auto real_sum = s.QueryAll("sum(W, weight(P, W), T)");
+  ASSERT_TRUE(real_sum.ok());
+  EXPECT_DOUBLE_EQ((*real_sum)[0].vars.at("T").value().real_value(), 4.0);
+  auto mx = s.QueryAll("max_of(X, score(P, X), M)");
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ((*mx)[0].vars.at("M").value().int_value(), 5);
+  auto mn = s.QueryAll("min_of(X, score(P, X), M)");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ((*mn)[0].vars.at("M").value().int_value(), 2);
+  // Sum over nothing is 0; extremum over nothing fails.
+  auto zero = s.QueryAll("sum(X, score(zzz, X), T)");
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ((*zero)[0].vars.at("T").value().int_value(), 0);
+  EXPECT_FALSE(s.Prove("max_of(X, score(zzz, X), M)").value());
+  // Sum over arithmetic expressions of the solution bindings.
+  auto expr = s.QueryAll("sum(X * 2, score(P, X), T)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)[0].vars.at("T").value().int_value(), 20);
+}
+
+TEST_F(RulesSolverTest, ListUtilities) {
+  auto rev = solver_.QueryAll("reverse([1, 2, 3], R)");
+  ASSERT_TRUE(rev.ok());
+  EXPECT_EQ((*rev)[0].vars.at("R").ToString(), "[3, 2, 1]");
+  EXPECT_TRUE(solver_.Prove("nth1(2, [a, b, c], b)").value());
+  EXPECT_FALSE(solver_.Prove("nth1(4, [a, b, c], X)").value());
+  auto sorted = solver_.QueryAll("msort([3, 1, 2, 1], S)");
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ((*sorted)[0].vars.at("S").ToString(), "[1, 1, 2, 3]")
+      << "msort keeps duplicates";
+}
+
+TEST_F(RulesSolverTest, CountAggregates) {
+  auto sols = solver_.QueryAll("count(parent(X, Y), N)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ((*sols)[0].vars.at("N").value().int_value(), 4);
+}
+
+TEST_F(RulesSolverTest, BetweenEnumerates) {
+  auto sols = solver_.QueryAll("between(1, 5, X), Y is X * X, Y > 8");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(sols->size(), 3u);  // 3, 4, 5
+}
+
+TEST_F(RulesSolverTest, OnceCutsChoicepoints) {
+  auto sols = solver_.QueryAll("once(parent(tom, X))");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(sols->size(), 1u);
+}
+
+TEST_F(RulesSolverTest, AssertAndRetractDynamicFacts) {
+  Solver s(nullptr);
+  // Nothing yet; asserting creates the predicate.
+  EXPECT_TRUE(s.Prove("assert(flag(a)), assert(flag(b))").value());
+  auto flags = s.QueryAll("flag(X)");
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->size(), 2u);
+  // Retract the first match; the second remains.
+  EXPECT_TRUE(s.Prove("retract(flag(a))").value());
+  EXPECT_FALSE(s.Prove("flag(a)").value());
+  EXPECT_TRUE(s.Prove("flag(b)").value());
+  // Retracting a non-existent fact fails (does not error).
+  EXPECT_FALSE(s.Prove("retract(flag(z))").value());
+  // Retract with a variable binds it to the removed fact's argument.
+  auto which = s.QueryAll("retract(flag(X))");
+  ASSERT_TRUE(which.ok());
+  ASSERT_EQ(which->size(), 1u);
+  EXPECT_EQ((*which)[0].vars.at("X").name(), "b");
+  EXPECT_FALSE(s.Prove("flag(X)").value());
+}
+
+TEST_F(RulesSolverTest, PaperTransitionIdiom) {
+  // The paper's Section 3 example, verbatim in spirit:
+  //   transition(M) <- state(M, waiting_for_sequencing),
+  //                    test_sequencing_ok(M),
+  //                    retract(state(M, waiting_for_sequencing)),
+  //                    assert(state(M, waiting_for_incorporation)).
+  Solver s(nullptr);
+  ASSERT_TRUE(
+      s.LoadProgram(
+           "dyn_state(m1, waiting_for_sequencing).\n"
+           "test_sequencing_ok(M).\n"  // no constraints: always succeeds
+           "transition(M) <- dyn_state(M, waiting_for_sequencing), "
+           "test_sequencing_ok(M), "
+           "retract(dyn_state(M, waiting_for_sequencing)), "
+           "assert(dyn_state(M, waiting_for_incorporation)).\n")
+          .ok());
+  EXPECT_TRUE(s.Prove("transition(m1)").value());
+  EXPECT_TRUE(s.Prove("dyn_state(m1, waiting_for_incorporation)").value());
+  EXPECT_FALSE(s.Prove("dyn_state(m1, waiting_for_sequencing)").value());
+  // A second transition fails: the source state is gone.
+  EXPECT_FALSE(s.Prove("transition(m1)").value());
+}
+
+TEST_F(RulesSolverTest, AssertDuringRuleIterationIsSafe) {
+  Solver s(nullptr);
+  ASSERT_TRUE(s.LoadProgram("item(1). item(2).\n"
+                            "dup(X) <- item(X), assert(item(99)).\n")
+                  .ok());
+  // The goal iterates item/1 while its body asserts into item/1; the
+  // snapshot semantics must keep this at exactly 2 solutions.
+  auto sols = s.QueryAll("dup(X)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ(sols->size(), 2u);
+  auto items = s.QueryAll("item(X)");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 4u);  // 1, 2, 99, 99
+}
+
+TEST_F(RulesSolverTest, UnknownPredicateIsError) {
+  EXPECT_FALSE(solver_.Prove("no_such_pred(X)").ok());
+}
+
+TEST_F(RulesSolverTest, InfiniteRecursionHitsWorkBudget) {
+  Solver s(nullptr, Solver::Options{.max_work = 10000});
+  ASSERT_TRUE(s.LoadProgram("loop(X) <- loop(X).").ok());
+  auto r = s.Prove("loop(1)");
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+// ---- LabBase-backed solver -----------------------------------------------------
+
+class DbSolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mgr_ = std::make_unique<mm::MmManager>("mm");
+    db_ = labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{}).value();
+    solver_ = std::make_unique<Solver>(db_.get());
+    // Build a tiny lab through the *query language* itself (paper 8.3).
+    ASSERT_TRUE(solver_
+                    ->Prove("define_material_class(clone), "
+                            "define_material_class(tclone), "
+                            "define_state(cl_received), "
+                            "define_state(waiting_for_sequencing), "
+                            "define_state(waiting_for_incorporation), "
+                            "define_step_class(determine_sequence, "
+                            "[sequence, error_rate])")
+                    .value());
+    ASSERT_TRUE(solver_
+                    ->Prove("create_material(clone, \"cl-1\", cl_received, M1),"
+                            "create_material(tclone, \"tc-1\", "
+                            "waiting_for_sequencing, M2),"
+                            "create_material(tclone, \"tc-2\", "
+                            "waiting_for_sequencing, M3)")
+                    .value());
+  }
+
+  Oid MaterialByName(const std::string& name) {
+    return db_->FindMaterialByName(name).value();
+  }
+
+  std::unique_ptr<mm::MmManager> mgr_;
+  std::unique_ptr<labbase::LabBase> db_;
+  std::unique_ptr<Solver> solver_;
+};
+
+TEST_F(DbSolverTest, ClassPredicatesEnumerate) {
+  auto clones = solver_->QueryAll("clone(X)");
+  ASSERT_TRUE(clones.ok()) << clones.status().ToString();
+  EXPECT_EQ(clones->size(), 1u);
+  auto tclones = solver_->QueryAll("tclone(X)");
+  ASSERT_TRUE(tclones.ok());
+  EXPECT_EQ(tclones->size(), 2u);
+  auto all = solver_->QueryAll("material(X)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_F(DbSolverTest, MaterialNameLookupBothModes) {
+  auto by_name = solver_->QueryAll("material_name(M, \"tc-1\")");
+  ASSERT_TRUE(by_name.ok());
+  ASSERT_EQ(by_name->size(), 1u);
+  Oid m = (*by_name)[0].vars.at("M").value().oid_value();
+  EXPECT_EQ(m, MaterialByName("tc-1"));
+  auto by_oid =
+      solver_->QueryAll("material_name(#" + std::to_string(m.raw) + ", N)");
+  ASSERT_TRUE(by_oid.ok());
+  EXPECT_EQ((*by_oid)[0].vars.at("N").value().string_value(), "tc-1");
+}
+
+TEST_F(DbSolverTest, StateQueryThreeModes) {
+  // (bound, free): what state is tc-1 in?
+  auto s = solver_->QueryAll("material_name(M, \"tc-1\"), state(M, S)");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)[0].vars.at("S").name(), "waiting_for_sequencing");
+  // (free, bound): the work-queue query of paper Section 8.1.
+  auto queue = solver_->QueryAll("state(M, waiting_for_sequencing)");
+  ASSERT_TRUE(queue.ok());
+  EXPECT_EQ(queue->size(), 2u);
+  // (free, free): enumerate everything.
+  auto all = solver_->QueryAll("state(M, S)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_F(DbSolverTest, RecordStepAndQueryHistory) {
+  Oid tc = MaterialByName("tc-1");
+  std::string m = "#" + std::to_string(tc.raw);
+  ASSERT_TRUE(solver_
+                  ->Prove("record_step(determine_sequence, @100, "
+                          "[effect(" + m + ", [tag(sequence, \"ACGT\"), "
+                          "tag(error_rate, 0.02)], "
+                          "waiting_for_incorporation)])")
+                  .value());
+  auto v = solver_->QueryAll("most_recent(" + m + ", sequence, V)");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].vars.at("V").value().string_value(), "ACGT");
+  EXPECT_TRUE(
+      solver_->Prove("state(" + m + ", waiting_for_incorporation)").value());
+
+  // Second sequencing attempt, later valid time.
+  ASSERT_TRUE(solver_
+                  ->Prove("record_step(determine_sequence, @200, "
+                          "[effect(" + m + ", [tag(sequence, \"GGGG\")], "
+                          "same)])")
+                  .value());
+  auto hist = solver_->QueryAll("history(" + m + ", sequence, H)");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)[0].vars.at("H").ToString(),
+            "[h(@100, \"ACGT\"), h(@200, \"GGGG\")]");
+  auto latest = solver_->QueryAll("most_recent(" + m + ", sequence, V)");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)[0].vars.at("V").value().string_value(), "GGGG");
+}
+
+TEST_F(DbSolverTest, StepIntrospection) {
+  Oid tc = MaterialByName("tc-2");
+  std::string m = "#" + std::to_string(tc.raw);
+  ASSERT_TRUE(solver_
+                  ->Prove("record_step(determine_sequence, @50, "
+                          "[effect(" + m + ", [tag(sequence, \"TTTT\")], "
+                          "same)])")
+                  .value());
+  auto steps = solver_->QueryAll("step(S, determine_sequence, T)");
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 1u);
+  EXPECT_EQ((*steps)[0].vars.at("T").value().time_value().micros, 50);
+  std::string s =
+      "#" + std::to_string((*steps)[0].vars.at("S").value().oid_value().raw);
+  EXPECT_TRUE(solver_->Prove("step_material(" + s + ", " + m + ")").value());
+  auto tags = solver_->QueryAll("step_tag(" + s + ", M, A, V)");
+  ASSERT_TRUE(tags.ok());
+  ASSERT_EQ(tags->size(), 1u);
+  EXPECT_EQ((*tags)[0].vars.at("A").name(), "sequence");
+  EXPECT_TRUE(solver_->Prove("step_version(" + s + ", 0)").value());
+}
+
+TEST_F(DbSolverTest, SetsViaQueryLanguage) {
+  Oid tc = MaterialByName("tc-1");
+  std::string m = "#" + std::to_string(tc.raw);
+  ASSERT_TRUE(solver_
+                  ->Prove("create_set(\"gel-1\"), add_to_set(\"gel-1\", " + m +
+                          ")")
+                  .value());
+  auto members = solver_->QueryAll("in_set(\"gel-1\", M)");
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 1u);
+  EXPECT_EQ((*members)[0].vars.at("M").value().oid_value(), tc);
+}
+
+TEST_F(DbSolverTest, ViewsOverBasePredicates) {
+  // The paper's motivating pattern: a view that is independent of workflow
+  // details, defined once over the base predicates.
+  ASSERT_TRUE(solver_
+                  ->LoadProgram("sequencing_backlog(N) <- "
+                                "count(state(M, waiting_for_sequencing), N).\n"
+                                "sequenced(M) <- "
+                                "most_recent(M, sequence, V).\n")
+                  .ok());
+  auto backlog = solver_->QueryAll("sequencing_backlog(N)");
+  ASSERT_TRUE(backlog.ok());
+  EXPECT_EQ((*backlog)[0].vars.at("N").value().int_value(), 2);
+  EXPECT_FALSE(solver_->Prove("sequenced(M)").value());
+  Oid tc = MaterialByName("tc-1");
+  ASSERT_TRUE(solver_
+                  ->Prove("record_step(determine_sequence, @10, [effect(#" +
+                          std::to_string(tc.raw) +
+                          ", [tag(sequence, \"AC\")], same)])")
+                  .value());
+  EXPECT_TRUE(solver_->Prove("sequenced(M)").value());
+}
+
+TEST_F(DbSolverTest, SetofOverDatabase) {
+  auto sols = solver_->QueryAll(
+      "setof(N, and(tclone(M), material_name(M, N)), L)");
+  ASSERT_TRUE(sols.ok()) << sols.status().ToString();
+  EXPECT_EQ((*sols)[0].vars.at("L").ToString(), "[\"tc-1\", \"tc-2\"]");
+}
+
+TEST_F(DbSolverTest, MaterialClassAndCatalogPredicates) {
+  auto cls = solver_->QueryAll(
+      "material_name(M, \"tc-1\"), material_class(M, C)");
+  ASSERT_TRUE(cls.ok());
+  EXPECT_EQ((*cls)[0].vars.at("C").name(), "tclone");
+  // Reverse mode: enumerate members of a class.
+  auto members = solver_->QueryAll("material_class(M, tclone)");
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(members->size(), 2u);
+  // Catalog enumeration.
+  auto states = solver_->QueryAll("workflow_state(S)");
+  ASSERT_TRUE(states.ok());
+  EXPECT_GE(states->size(), 3u);
+  EXPECT_TRUE(solver_->Prove("workflow_state(cl_received)").value());
+  EXPECT_FALSE(solver_->Prove("workflow_state(bogus)").value());
+  auto attrs = solver_->QueryAll("attribute(A)");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_GE(attrs->size(), 2u);
+  EXPECT_TRUE(solver_->Prove("attribute(sequence)").value());
+}
+
+TEST_F(DbSolverTest, TemporalAsOfQueries) {
+  Oid tc = MaterialByName("tc-1");
+  std::string m = "#" + std::to_string(tc.raw);
+  for (int t : {100, 200, 300}) {
+    ASSERT_TRUE(solver_
+                    ->Prove("record_step(determine_sequence, @" +
+                            std::to_string(t) + ", [effect(" + m +
+                            ", [tag(sequence, \"v" + std::to_string(t) +
+                            "\")], same)])")
+                    .value());
+  }
+  // As-of between 200 and 300 sees v200.
+  auto v = solver_->QueryAll("value_at(" + m + ", sequence, @250, V)");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->size(), 1u);
+  EXPECT_EQ((*v)[0].vars.at("V").value().string_value(), "v200");
+  // Exactly at a boundary sees that entry.
+  auto at = solver_->QueryAll("value_at(" + m + ", sequence, @200, V)");
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ((*at)[0].vars.at("V").value().string_value(), "v200");
+  // Before everything: no solution.
+  EXPECT_FALSE(solver_->Prove("value_at(" + m + ", sequence, @50, V)")
+                   .value());
+  // Range query.
+  auto range = solver_->QueryAll("history_between(" + m +
+                                 ", sequence, @150, @300, H)");
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ((*range)[0].vars.at("H").ToString(),
+            "[h(@200, \"v200\"), h(@300, \"v300\")]");
+}
+
+TEST_F(DbSolverTest, AggregateOverDerivedValues) {
+  // Record a few error rates and aggregate them — the paper's report shape.
+  for (int i = 1; i <= 3; ++i) {
+    std::string name = "tc-" + std::to_string(i % 2 + 1);
+    ASSERT_TRUE(solver_
+                    ->Prove("material_name(M, \"" + name +
+                            "\"), record_step(determine_sequence, @" +
+                            std::to_string(i * 10) +
+                            ", [effect(M, [tag(error_rate, " +
+                            std::to_string(0.01 * i) + ")], same)])")
+                    .value());
+  }
+  auto worst =
+      solver_->QueryAll("max_of(E, most_recent(M, error_rate, E), W)");
+  ASSERT_TRUE(worst.ok()) << worst.status().ToString();
+  ASSERT_EQ(worst->size(), 1u);
+  EXPECT_NEAR((*worst)[0].vars.at("W").value().real_value(), 0.03, 1e-9);
+}
+
+TEST_F(DbSolverTest, CountingQueriesPerClass) {
+  auto sols = solver_->QueryAll("count(tclone(M), N)");
+  ASSERT_TRUE(sols.ok());
+  EXPECT_EQ((*sols)[0].vars.at("N").value().int_value(), 2);
+}
+
+}  // namespace
+}  // namespace labflow::query

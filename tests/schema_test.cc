@@ -1,0 +1,121 @@
+#include "labbase/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace labflow::labbase {
+namespace {
+
+TEST(SchemaTest, MaterialClassLifecycle) {
+  Schema s;
+  auto clone = s.DefineMaterialClass("clone");
+  ASSERT_TRUE(clone.ok());
+  EXPECT_TRUE(s.IsMaterialClass(clone.value()));
+  EXPECT_FALSE(s.IsStepClass(clone.value()));
+  EXPECT_EQ(s.MaterialClassByName("clone").value(), clone.value());
+  EXPECT_EQ(s.ClassName(clone.value()).value(), "clone");
+  EXPECT_TRUE(s.DefineMaterialClass("clone").status().IsAlreadyExists());
+  EXPECT_TRUE(s.MaterialClassByName("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, StepClassVersionsIdentifiedByAttrSet) {
+  Schema s;
+  auto step = s.DefineStepClass("measure", {"a", "b"});
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(s.VersionCount(step.value()).value(), 1u);
+
+  // Same set (any order, with duplicates) -> same version.
+  EXPECT_EQ(s.DefineStepClass("measure", {"b", "a", "a"}).value(),
+            step.value());
+  EXPECT_EQ(s.VersionCount(step.value()).value(), 1u);
+
+  // Different set -> new version.
+  EXPECT_EQ(s.DefineStepClass("measure", {"a", "b", "c"}).value(),
+            step.value());
+  EXPECT_EQ(s.VersionCount(step.value()).value(), 2u);
+  EXPECT_EQ(s.LatestVersion(step.value()).value(), 1u);
+
+  // Re-declaring an OLD attribute set does not add a third version.
+  EXPECT_EQ(s.DefineStepClass("measure", {"a", "b"}).value(), step.value());
+  EXPECT_EQ(s.VersionCount(step.value()).value(), 2u);
+
+  // Version attribute sets are retrievable.
+  auto v0 = s.VersionAttrs(step.value(), 0);
+  auto v1 = s.VersionAttrs(step.value(), 1);
+  ASSERT_TRUE(v0.ok() && v1.ok());
+  EXPECT_EQ(v0->size(), 2u);
+  EXPECT_EQ(v1->size(), 3u);
+  EXPECT_TRUE(s.VersionAttrs(step.value(), 2).status().IsNotFound());
+}
+
+TEST(SchemaTest, ClassNamespaceIsShared) {
+  Schema s;
+  ASSERT_TRUE(s.DefineMaterialClass("thing").ok());
+  // A step class may not reuse a material-class name.
+  EXPECT_TRUE(s.DefineStepClass("thing", {"x"}).status().IsInvalidArgument());
+  ASSERT_TRUE(s.DefineStepClass("do_thing", {"x"}).ok());
+  EXPECT_TRUE(s.DefineMaterialClass("do_thing").status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, AttributesAreGlobalAndInterned) {
+  Schema s;
+  ASSERT_TRUE(s.DefineStepClass("one", {"shared", "only_one"}).ok());
+  ASSERT_TRUE(s.DefineStepClass("two", {"shared", "only_two"}).ok());
+  AttrId shared = s.AttributeByName("shared").value();
+  // "shared" appears once in the registry; both classes reference it.
+  EXPECT_EQ(s.attribute_count(), 3u);
+  EXPECT_EQ(s.AttributeName(shared).value(), "shared");
+  EXPECT_TRUE(s.AttributeByName("ghost").status().IsNotFound());
+  EXPECT_TRUE(s.AttributeName(999).status().IsNotFound());
+}
+
+TEST(SchemaTest, StatesInternedOnce) {
+  Schema s;
+  StateId a = s.InternState("waiting");
+  StateId b = s.InternState("waiting");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s.state_count(), 1u);
+  EXPECT_EQ(s.StateByName("waiting").value(), a);
+  EXPECT_EQ(s.StateName(a).value(), "waiting");
+}
+
+TEST(SchemaTest, EncodeDecodeRoundtrip) {
+  Schema s;
+  s.DefineMaterialClass("clone").value();
+  s.DefineMaterialClass("gel").value();
+  s.DefineStepClass("measure", {"a", "b"}).value();
+  s.DefineStepClass("measure", {"a", "b", "c"}).value();  // evolve
+  s.DefineStepClass("other", {"b"}).value();
+  s.InternState("s1");
+  s.InternState("s2");
+
+  auto back = Schema::Decode(s.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == s);
+  // Decoded schema is fully functional, ids preserved.
+  EXPECT_EQ(back->MaterialClassByName("gel").value(),
+            s.MaterialClassByName("gel").value());
+  EXPECT_EQ(back->VersionCount(s.StepClassByName("measure").value()).value(),
+            2u);
+  EXPECT_EQ(back->AttributeByName("c").value(),
+            s.AttributeByName("c").value());
+  EXPECT_EQ(back->StateByName("s2").value(), s.StateByName("s2").value());
+}
+
+TEST(SchemaTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Schema::Decode("not a schema").ok());
+  Schema s;
+  s.DefineMaterialClass("x").value();
+  std::string blob = s.Encode();
+  EXPECT_FALSE(Schema::Decode(blob.substr(0, blob.size() / 2)).ok());
+}
+
+TEST(SchemaTest, EmptySchemaRoundtrips) {
+  Schema s;
+  auto back = Schema::Decode(s.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == s);
+  EXPECT_EQ(back->class_count(), 0u);
+}
+
+}  // namespace
+}  // namespace labflow::labbase

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.h"
+#include "ostore/lock_manager.h"
+#include "ostore/wal.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "tests/test_util.h"
+
+namespace labflow {
+namespace {
+
+using ostore::LockManager;
+using ostore::Wal;
+using storage::BufferPool;
+using storage::kPageSize;
+using storage::PageFile;
+using test::TempDir;
+
+// ---- PageFile ---------------------------------------------------------------
+
+TEST(PageFileTest, OpenCreatesEmptyFile) {
+  TempDir dir;
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir.file("pf"), true).ok());
+  EXPECT_EQ(file.page_count(), 0u);
+  EXPECT_EQ(file.SizeBytes(), 0u);
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(PageFileTest, AppendWriteReadRoundtrip) {
+  TempDir dir;
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir.file("pf"), true).ok());
+  auto p0 = file.AppendPage();
+  auto p1 = file.AppendPage();
+  ASSERT_TRUE(p0.ok() && p1.ok());
+  EXPECT_EQ(p0.value(), 0u);
+  EXPECT_EQ(p1.value(), 1u);
+
+  std::vector<char> out(kPageSize, 'A');
+  ASSERT_TRUE(file.WritePage(1, out.data()).ok());
+  std::vector<char> in(kPageSize);
+  ASSERT_TRUE(file.ReadPage(1, in.data()).ok());
+  EXPECT_EQ(in, out);
+  // Page 0 still zeroed.
+  ASSERT_TRUE(file.ReadPage(0, in.data()).ok());
+  EXPECT_EQ(in, std::vector<char>(kPageSize, 0));
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(PageFileTest, OutOfRangeAccessRejected) {
+  TempDir dir;
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir.file("pf"), true).ok());
+  std::vector<char> buf(kPageSize);
+  EXPECT_TRUE(file.ReadPage(0, buf.data()).IsOutOfRange());
+  EXPECT_TRUE(file.WritePage(3, buf.data()).IsOutOfRange());
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(PageFileTest, ReopenPreservesPages) {
+  TempDir dir;
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Open(dir.file("pf"), true).ok());
+    ASSERT_TRUE(file.AppendPage().ok());
+    std::vector<char> data(kPageSize, 'Z');
+    ASSERT_TRUE(file.WritePage(0, data.data()).ok());
+    ASSERT_TRUE(file.Sync().ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  PageFile file;
+  ASSERT_TRUE(file.Open(dir.file("pf"), false).ok());
+  EXPECT_EQ(file.page_count(), 1u);
+  std::vector<char> in(kPageSize);
+  ASSERT_TRUE(file.ReadPage(0, in.data()).ok());
+  EXPECT_EQ(in[100], 'Z');
+  ASSERT_TRUE(file.Close().ok());
+}
+
+TEST(PageFileTest, CorruptSizeDetected) {
+  TempDir dir;
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Open(dir.file("pf"), true).ok());
+    ASSERT_TRUE(file.AppendPage().ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  // Truncate to a non-multiple of the page size.
+  ASSERT_EQ(truncate(dir.file("pf").c_str(), kPageSize / 2), 0);
+  PageFile file;
+  EXPECT_TRUE(file.Open(dir.file("pf"), false).IsCorruption());
+}
+
+// ---- BufferPool -------------------------------------------------------------
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(file_.Open(dir_.file("pool"), true).ok());
+    for (int i = 0; i < 10; ++i) {
+      auto p = file_.AppendPage();
+      ASSERT_TRUE(p.ok());
+      std::vector<char> data(kPageSize, static_cast<char>('a' + i));
+      ASSERT_TRUE(file_.WritePage(p.value(), data.data()).ok());
+    }
+  }
+
+  TempDir dir_;
+  PageFile file_;
+};
+
+TEST_F(BufferPoolTest, FetchReadsAndCaches) {
+  BufferPool pool(&file_, 4);
+  {
+    auto g = pool.Fetch(3);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->frame()->data()[0], 'd');
+  }
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+  {
+    auto g = pool.Fetch(3);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, LruEvictsColdestUnpinned) {
+  BufferPool pool(&file_, 3);
+  { auto a = pool.Fetch(0); }
+  { auto b = pool.Fetch(1); }
+  { auto c = pool.Fetch(2); }
+  // Touch 0 again so 1 is the LRU victim.
+  { auto a = pool.Fetch(0); }
+  { auto d = pool.Fetch(3); }  // evicts 1
+  EXPECT_EQ(pool.stats().evictions, 1u);
+  uint64_t reads_before = pool.stats().disk_reads;
+  { auto a = pool.Fetch(0); }  // still cached
+  { auto c = pool.Fetch(2); }  // still cached
+  EXPECT_EQ(pool.stats().disk_reads, reads_before);
+  { auto b = pool.Fetch(1); }  // must re-read
+  EXPECT_EQ(pool.stats().disk_reads, reads_before + 1);
+}
+
+TEST_F(BufferPoolTest, PinnedFramesSurviveEvictionPressure) {
+  BufferPool pool(&file_, 2);
+  auto pinned = pool.Fetch(0);
+  ASSERT_TRUE(pinned.ok());
+  // Cycle through other pages; frame 0 must never be evicted while pinned.
+  for (uint64_t p = 1; p < 10; ++p) {
+    auto g = pool.Fetch(p);
+    ASSERT_TRUE(g.ok());
+  }
+  EXPECT_EQ(pinned->frame()->data()[0], 'a');
+  uint64_t reads = pool.stats().disk_reads;
+  auto again = pool.Fetch(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool.stats().disk_reads, reads) << "pinned page re-read";
+}
+
+TEST_F(BufferPoolTest, AllPinnedIsResourceExhausted) {
+  BufferPool pool(&file_, 2);
+  auto a = pool.Fetch(0);
+  auto b = pool.Fetch(1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(pool.Fetch(2).status().IsResourceExhausted());
+  a->Release();
+  EXPECT_TRUE(pool.Fetch(2).ok());
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  BufferPool pool(&file_, 2);
+  {
+    auto g = pool.Fetch(5);
+    ASSERT_TRUE(g.ok());
+    g->frame()->data()[0] = 'X';
+    g->frame()->MarkDirty();
+  }
+  // Force eviction of page 5.
+  { auto a = pool.Fetch(6); }
+  { auto b = pool.Fetch(7); }
+  { auto c = pool.Fetch(8); }
+  EXPECT_GT(pool.stats().disk_writes, 0u);
+  std::vector<char> in(kPageSize);
+  ASSERT_TRUE(file_.ReadPage(5, in.data()).ok());
+  EXPECT_EQ(in[0], 'X');
+}
+
+TEST_F(BufferPoolTest, FlushAllPersistsWithoutEviction) {
+  BufferPool pool(&file_, 8);
+  {
+    auto g = pool.Fetch(2);
+    ASSERT_TRUE(g.ok());
+    g->frame()->data()[10] = 'Q';
+    g->frame()->MarkDirty();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  std::vector<char> in(kPageSize);
+  ASSERT_TRUE(file_.ReadPage(2, in.data()).ok());
+  EXPECT_EQ(in[10], 'Q');
+  // Still cached after flush.
+  uint64_t reads = pool.stats().disk_reads;
+  { auto g = pool.Fetch(2); }
+  EXPECT_EQ(pool.stats().disk_reads, reads);
+}
+
+TEST_F(BufferPoolTest, MoveOnlyPinGuardTransfersOwnership) {
+  BufferPool pool(&file_, 4);
+  auto g1 = pool.Fetch(1);
+  ASSERT_TRUE(g1.ok());
+  BufferPool::PinGuard g2 = std::move(g1).value();
+  EXPECT_TRUE(g2.valid());
+  BufferPool::PinGuard g3;
+  g3 = std::move(g2);
+  EXPECT_TRUE(g3.valid());
+  EXPECT_FALSE(g2.valid());
+}
+
+// ---- Wal ---------------------------------------------------------------------
+
+TEST(WalTest, AppendAndReadAllGroups) {
+  TempDir dir;
+  Wal wal;
+  ASSERT_TRUE(wal.Open(dir.file("wal")).ok());
+  ASSERT_TRUE(wal.AppendGroup(1, "first txn ops", false).ok());
+  ASSERT_TRUE(wal.AppendGroup(2, "second txn ops", false).ok());
+  ASSERT_TRUE(wal.AppendGroup(1, "", false).ok());  // empty payload legal
+  auto groups = wal.ReadAll();
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 3u);
+  EXPECT_EQ((*groups)[0].txn_id, 1u);
+  EXPECT_EQ((*groups)[0].payload, "first txn ops");
+  EXPECT_EQ((*groups)[1].txn_id, 2u);
+  EXPECT_EQ((*groups)[2].payload, "");
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+TEST(WalTest, TruncateEmptiesLog) {
+  TempDir dir;
+  Wal wal;
+  ASSERT_TRUE(wal.Open(dir.file("wal")).ok());
+  ASSERT_TRUE(wal.AppendGroup(1, "data", false).ok());
+  EXPECT_GT(wal.SizeBytes(), 0u);
+  ASSERT_TRUE(wal.Truncate().ok());
+  EXPECT_EQ(wal.SizeBytes(), 0u);
+  EXPECT_EQ(wal.ReadAll()->size(), 0u);
+  // Still appendable after truncation.
+  ASSERT_TRUE(wal.AppendGroup(2, "more", false).ok());
+  EXPECT_EQ(wal.ReadAll()->size(), 1u);
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+TEST(WalTest, TornTailIsIgnored) {
+  TempDir dir;
+  std::string path = dir.file("wal");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.AppendGroup(1, "complete group", false).ok());
+    ASSERT_TRUE(wal.AppendGroup(2, "this one gets torn", false).ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Chop the last few bytes, as a crash mid-append would.
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  ASSERT_FALSE(ec);
+  ASSERT_EQ(truncate(path.c_str(), static_cast<off_t>(size - 5)), 0);
+
+  Wal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  auto groups = wal.ReadAll();
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->size(), 1u) << "torn group must be dropped";
+  EXPECT_EQ((*groups)[0].payload, "complete group");
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+TEST(WalTest, CorruptChecksumStopsScan) {
+  TempDir dir;
+  std::string path = dir.file("wal");
+  {
+    Wal wal;
+    ASSERT_TRUE(wal.Open(path).ok());
+    ASSERT_TRUE(wal.AppendGroup(1, "good", false).ok());
+    ASSERT_TRUE(wal.AppendGroup(2, "evil", false).ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Flip one payload byte of the second group.
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  // Frame: 16-byte header + payload + 4-byte checksum; second frame starts
+  // at 16 + 4 + 4 = 24.
+  fseek(f, 24 + 16 + 1, SEEK_SET);
+  fputc('X', f);
+  fclose(f);
+
+  Wal wal;
+  ASSERT_TRUE(wal.Open(path).ok());
+  auto groups = wal.ReadAll();
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 1u);
+  ASSERT_TRUE(wal.Close().ok());
+}
+
+// ---- LockManager --------------------------------------------------------------
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks(100);
+  EXPECT_TRUE(locks.Acquire(1, 7, false).ok());
+  EXPECT_TRUE(locks.Acquire(2, 7, false).ok());
+  EXPECT_TRUE(locks.Acquire(3, 7, false).ok());
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  locks.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, ExclusiveExcludesOthers) {
+  LockManager locks(50);
+  EXPECT_TRUE(locks.Acquire(1, 7, true).ok());
+  EXPECT_TRUE(locks.Acquire(2, 7, false).IsAborted());
+  EXPECT_TRUE(locks.Acquire(2, 7, true).IsAborted());
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, 7, true).ok());
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager locks(50);
+  EXPECT_TRUE(locks.Acquire(1, 7, false).ok());
+  EXPECT_TRUE(locks.Acquire(1, 7, false).ok());  // reentrant S
+  EXPECT_TRUE(locks.Acquire(1, 7, true).ok());   // sole holder upgrades
+  EXPECT_TRUE(locks.Acquire(1, 7, false).ok());  // X covers S
+  locks.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherSharer) {
+  LockManager locks(50);
+  EXPECT_TRUE(locks.Acquire(1, 7, false).ok());
+  EXPECT_TRUE(locks.Acquire(2, 7, false).ok());
+  EXPECT_TRUE(locks.Acquire(1, 7, true).IsAborted());
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(locks.Acquire(1, 7, true).ok());
+  locks.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager locks(5000);
+  ASSERT_TRUE(locks.Acquire(1, 9, true).ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(locks.Acquire(2, 9, true).ok());
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(acquired.load());
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GT(locks.lock_waits(), 0u);
+  locks.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, DisjointPagesNeverConflict) {
+  LockManager locks(50);
+  for (uint64_t p = 0; p < 50; ++p) {
+    EXPECT_TRUE(locks.Acquire(1 + p % 3, p, true).ok());
+  }
+  locks.ReleaseAll(1);
+  locks.ReleaseAll(2);
+  locks.ReleaseAll(3);
+}
+
+}  // namespace
+}  // namespace labflow

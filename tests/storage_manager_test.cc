@@ -1,0 +1,363 @@
+#include "storage/storage_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace labflow::storage {
+namespace {
+
+using test::ManagerKind;
+using test::ManagerKindName;
+using test::MakeManager;
+using test::TempDir;
+
+/// Parameterized over every storage manager: the LabBase wrapper must
+/// behave identically on all of them, so the object API contract is tested
+/// uniformly.
+class StorageManagerTest : public ::testing::TestWithParam<ManagerKind> {
+ protected:
+  void SetUp() override {
+    mgr_ = MakeManager(GetParam(), dir_.file("db"));
+    ASSERT_NE(mgr_, nullptr);
+  }
+  void TearDown() override {
+    if (mgr_ != nullptr) {
+      ASSERT_TRUE(mgr_->Close().ok());
+    }
+  }
+
+  TempDir dir_;
+  std::unique_ptr<StorageManager> mgr_;
+};
+
+TEST_P(StorageManagerTest, AllocateReadRoundtrip) {
+  auto id = mgr_->Allocate("payload bytes", AllocHint{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto data = mgr_->Read(id.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "payload bytes");
+}
+
+TEST_P(StorageManagerTest, EmptyObjectRoundtrip) {
+  auto id = mgr_->Allocate("", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  auto data = mgr_->Read(id.value());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "");
+}
+
+TEST_P(StorageManagerTest, ReadUnknownIdFails) {
+  EXPECT_TRUE(mgr_->Read(ObjectId(0)).status().IsInvalidArgument() ||
+              mgr_->Read(ObjectId(0)).status().IsNotFound());
+  EXPECT_TRUE(mgr_->Read(ObjectId(99999999)).status().IsNotFound());
+}
+
+TEST_P(StorageManagerTest, UpdateInPlace) {
+  auto id = mgr_->Allocate("original", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_->Update(id.value(), "changed").ok());
+  EXPECT_EQ(mgr_->Read(id.value()).value(), "changed");
+}
+
+TEST_P(StorageManagerTest, UpdateGrowKeepsIdStable) {
+  auto id = mgr_->Allocate("small", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  // Grow through several sizes, including ones that cannot stay in the
+  // original slot; the public id must keep working.
+  for (size_t size : {50u, 500u, 5000u, 200u, 7000u}) {
+    std::string data(size, 'g');
+    ASSERT_TRUE(mgr_->Update(id.value(), data).ok()) << size;
+    auto back = mgr_->Read(id.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+TEST_P(StorageManagerTest, FreeThenReadFails) {
+  auto id = mgr_->Allocate("to be freed", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_->Free(id.value()).ok());
+  EXPECT_TRUE(mgr_->Read(id.value()).status().IsNotFound());
+}
+
+TEST_P(StorageManagerTest, DoubleFreeFails) {
+  auto id = mgr_->Allocate("x", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mgr_->Free(id.value()).ok());
+  EXPECT_FALSE(mgr_->Free(id.value()).ok());
+}
+
+TEST_P(StorageManagerTest, LargeObjectSpansPages) {
+  std::string big(100000, '\0');
+  Rng rng(7);
+  for (char& c : big) c = static_cast<char>('a' + rng.NextBelow(26));
+  auto id = mgr_->Allocate(big, AllocHint{});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto back = mgr_->Read(id.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), big);
+}
+
+TEST_P(StorageManagerTest, LargeObjectUpdateAndShrink) {
+  std::string big(50000, 'L');
+  auto id = mgr_->Allocate(big, AllocHint{});
+  ASSERT_TRUE(id.ok());
+  // Shrink to inline size...
+  ASSERT_TRUE(mgr_->Update(id.value(), "now small").ok());
+  EXPECT_EQ(mgr_->Read(id.value()).value(), "now small");
+  // ...and back to spanning.
+  std::string big2(64000, 'M');
+  ASSERT_TRUE(mgr_->Update(id.value(), big2).ok());
+  EXPECT_EQ(mgr_->Read(id.value()).value(), big2);
+}
+
+TEST_P(StorageManagerTest, LargeObjectFree) {
+  std::string big(40000, 'F');
+  auto id = mgr_->Allocate(big, AllocHint{});
+  ASSERT_TRUE(id.ok());
+  uint64_t before = mgr_->stats().live_objects;
+  ASSERT_TRUE(mgr_->Free(id.value()).ok());
+  EXPECT_EQ(mgr_->stats().live_objects, before - 1);
+  EXPECT_TRUE(mgr_->Read(id.value()).status().IsNotFound());
+}
+
+TEST_P(StorageManagerTest, ManyObjectsSurvive) {
+  Rng rng(42);
+  std::map<uint64_t, std::string> shadow;
+  for (int i = 0; i < 2000; ++i) {
+    std::string data = rng.NextName(1 + rng.NextBelow(300));
+    auto id = mgr_->Allocate(data, AllocHint{});
+    ASSERT_TRUE(id.ok());
+    shadow[id.value().raw] = data;
+  }
+  for (const auto& [raw, data] : shadow) {
+    auto back = mgr_->Read(ObjectId(raw));
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back.value(), data);
+  }
+  EXPECT_EQ(mgr_->stats().live_objects, shadow.size());
+}
+
+TEST_P(StorageManagerTest, ScanAllSeesEveryObjectOnce) {
+  std::map<uint64_t, std::string> shadow;
+  for (int i = 0; i < 100; ++i) {
+    std::string data = "object-" + std::to_string(i);
+    auto id = mgr_->Allocate(data, AllocHint{});
+    ASSERT_TRUE(id.ok());
+    shadow[id.value().raw] = data;
+  }
+  // One large object and one forwarded object must also appear exactly once.
+  std::string big(30000, 'S');
+  auto big_id = mgr_->Allocate(big, AllocHint{});
+  ASSERT_TRUE(big_id.ok());
+  shadow[big_id.value().raw] = big;
+
+  std::map<uint64_t, std::string> seen;
+  ASSERT_TRUE(mgr_
+                  ->ScanAll([&](ObjectId id, std::string_view data) {
+                    EXPECT_EQ(seen.count(id.raw), 0u) << "duplicate in scan";
+                    seen[id.raw] = std::string(data);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(seen, shadow);
+}
+
+TEST_P(StorageManagerTest, StatsReportSize) {
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(mgr_->Allocate(std::string(500, 'd'), AllocHint{}).ok());
+  }
+  StorageStats s = mgr_->stats();
+  EXPECT_GE(s.db_size_bytes, 200u * 500u);
+  EXPECT_EQ(s.live_objects, 200u);
+}
+
+TEST_P(StorageManagerTest, RandomizedWorkloadMatchesShadow) {
+  Rng rng(1996);
+  std::map<uint64_t, std::string> shadow;
+  for (int step = 0; step < 3000; ++step) {
+    int action = static_cast<int>(rng.NextBelow(10));
+    if (action < 5 || shadow.empty()) {
+      std::string data = rng.NextName(1 + rng.NextBelow(400));
+      auto id = mgr_->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      shadow[id.value().raw] = data;
+    } else if (action < 8) {
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBelow(shadow.size()));
+      std::string data = rng.NextName(1 + rng.NextBelow(1200));
+      ASSERT_TRUE(mgr_->Update(ObjectId(it->first), data).ok());
+      it->second = data;
+    } else {
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBelow(shadow.size()));
+      ASSERT_TRUE(mgr_->Free(ObjectId(it->first)).ok());
+      shadow.erase(it);
+    }
+  }
+  for (const auto& [raw, data] : shadow) {
+    auto back = mgr_->Read(ObjectId(raw));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back.value(), data);
+  }
+  EXPECT_EQ(mgr_->stats().live_objects, shadow.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, StorageManagerTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kTexasTC,
+                                           ManagerKind::kMm),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+/// Persistence tests only apply to the disk-backed managers.
+class PersistentManagerTest : public ::testing::TestWithParam<ManagerKind> {};
+
+TEST_P(PersistentManagerTest, DataSurvivesCleanReopen) {
+  TempDir dir;
+  std::map<uint64_t, std::string> shadow;
+  {
+    auto mgr = MakeManager(GetParam(), dir.file("db"));
+    ASSERT_NE(mgr, nullptr);
+    for (int i = 0; i < 500; ++i) {
+      std::string data = "persistent-" + std::to_string(i);
+      auto id = mgr->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      shadow[id.value().raw] = data;
+    }
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  auto mgr = MakeManager(GetParam(), dir.file("db"), 256, /*truncate=*/false);
+  ASSERT_NE(mgr, nullptr);
+  EXPECT_EQ(mgr->stats().live_objects, shadow.size());
+  for (const auto& [raw, data] : shadow) {
+    auto back = mgr->Read(ObjectId(raw));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back.value(), data);
+  }
+  // The reopened store must keep allocating correctly.
+  auto id = mgr->Allocate("post-reopen", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(shadow.count(id.value().raw), 0u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST_P(PersistentManagerTest, SmallBufferPoolStillCorrect) {
+  TempDir dir;
+  auto mgr = MakeManager(GetParam(), dir.file("db"), /*pool_pages=*/4);
+  ASSERT_NE(mgr, nullptr);
+  std::map<uint64_t, std::string> shadow;
+  for (int i = 0; i < 1000; ++i) {
+    std::string data(200, static_cast<char>('a' + i % 26));
+    auto id = mgr->Allocate(data, AllocHint{});
+    ASSERT_TRUE(id.ok());
+    shadow[id.value().raw] = data;
+  }
+  for (const auto& [raw, data] : shadow) {
+    ASSERT_EQ(mgr->Read(ObjectId(raw)).value(), data);
+  }
+  StorageStats s = mgr->stats();
+  EXPECT_GT(s.evictions, 0u) << "a 4-page pool over ~30 pages must evict";
+  EXPECT_GT(s.disk_reads, 0u) << "re-reading evicted pages must fault";
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskManagers, PersistentManagerTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kTexasTC),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+TEST(ClusteringTest, TexasTcPlacesNeighborsOnAnchorPage) {
+  TempDir dir;
+  auto mgr = MakeManager(ManagerKind::kTexasTC, dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  auto anchor = mgr->Allocate("anchor", AllocHint{});
+  ASSERT_TRUE(anchor.ok());
+  // Interleave: allocations hinted at the anchor vs unhinted noise.
+  std::vector<ObjectId> clustered;
+  for (int i = 0; i < 20; ++i) {
+    AllocHint hint;
+    hint.cluster_near = anchor.value();
+    auto near = mgr->Allocate(std::string(64, 'c'), hint);
+    ASSERT_TRUE(near.ok());
+    clustered.push_back(near.value());
+    ASSERT_TRUE(mgr->Allocate(std::string(64, 'n'), AllocHint{}).ok());
+  }
+  for (ObjectId id : clustered) {
+    EXPECT_EQ(id.page(), anchor.value().page())
+        << "clustered object landed off the anchor page";
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(ClusteringTest, PlainTexasIgnoresClusterHint) {
+  TempDir dir;
+  auto mgr = MakeManager(ManagerKind::kTexas, dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  auto anchor = mgr->Allocate("anchor", AllocHint{});
+  ASSERT_TRUE(anchor.ok());
+  // Fill several pages of noise, then ask (futilely) for clustering.
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(mgr->Allocate(std::string(200, 'n'), AllocHint{}).ok());
+  }
+  AllocHint hint;
+  hint.cluster_near = anchor.value();
+  auto near = mgr->Allocate(std::string(64, 'c'), hint);
+  ASSERT_TRUE(near.ok());
+  EXPECT_NE(near.value().page(), anchor.value().page())
+      << "plain Texas must allocate in allocation order, not near anchors";
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(SegmentTest, OstoreSegmentsSeparatePages) {
+  TempDir dir;
+  auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  auto hot = mgr->CreateSegment("hot");
+  auto cold = mgr->CreateSegment("cold");
+  ASSERT_TRUE(hot.ok() && cold.ok());
+  EXPECT_NE(hot.value(), cold.value());
+  std::set<uint64_t> hot_pages, cold_pages;
+  for (int i = 0; i < 200; ++i) {
+    AllocHint h;
+    h.segment = hot.value();
+    auto a = mgr->Allocate(std::string(100, 'h'), h);
+    ASSERT_TRUE(a.ok());
+    hot_pages.insert(a.value().page());
+    h.segment = cold.value();
+    auto b = mgr->Allocate(std::string(100, 'c'), h);
+    ASSERT_TRUE(b.ok());
+    cold_pages.insert(b.value().page());
+  }
+  for (uint64_t p : hot_pages) {
+    EXPECT_EQ(cold_pages.count(p), 0u)
+        << "segments must never share a page";
+  }
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(SegmentTest, TexasCollapsesSegmentsToZero) {
+  TempDir dir;
+  auto mgr = MakeManager(ManagerKind::kTexas, dir.file("db"));
+  ASSERT_NE(mgr, nullptr);
+  auto a = mgr->CreateSegment("hot");
+  auto b = mgr->CreateSegment("cold");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(b.value(), 0);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::storage

@@ -1,0 +1,86 @@
+#ifndef LABFLOW_TESTS_TEST_UTIL_H_
+#define LABFLOW_TESTS_TEST_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "mm/mm_manager.h"
+#include "ostore/ostore_manager.h"
+#include "storage/storage_manager.h"
+#include "texas/texas_manager.h"
+
+namespace labflow::test {
+
+/// Self-deleting temporary directory for database files.
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl = "/tmp/labflow_test_XXXXXX";
+    char* dir = ::mkdtemp(tmpl.data());
+    path_ = dir == nullptr ? "/tmp" : dir;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+enum class ManagerKind { kOstore, kTexas, kTexasTC, kMm };
+
+inline const char* ManagerKindName(ManagerKind kind) {
+  switch (kind) {
+    case ManagerKind::kOstore:
+      return "OStore";
+    case ManagerKind::kTexas:
+      return "Texas";
+    case ManagerKind::kTexasTC:
+      return "TexasTC";
+    case ManagerKind::kMm:
+      return "Mm";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<storage::StorageManager> MakeManager(
+    ManagerKind kind, const std::string& path, size_t pool_pages = 256,
+    bool truncate = true) {
+  switch (kind) {
+    case ManagerKind::kOstore: {
+      ostore::OstoreOptions opts;
+      opts.base.path = path;
+      opts.base.buffer_pool_pages = pool_pages;
+      opts.base.truncate = truncate;
+      auto r = ostore::OstoreManager::Open(opts);
+      return r.ok() ? std::move(r).value() : nullptr;
+    }
+    case ManagerKind::kTexas:
+    case ManagerKind::kTexasTC: {
+      texas::TexasOptions opts;
+      opts.base.path = path;
+      opts.base.buffer_pool_pages = pool_pages;
+      opts.base.truncate = truncate;
+      opts.client_clustering = (kind == ManagerKind::kTexasTC);
+      auto r = texas::TexasManager::Open(opts);
+      return r.ok() ? std::move(r).value() : nullptr;
+    }
+    case ManagerKind::kMm:
+      return std::make_unique<mm::MmManager>("mm");
+  }
+  return nullptr;
+}
+
+}  // namespace labflow::test
+
+#endif  // LABFLOW_TESTS_TEST_UTIL_H_

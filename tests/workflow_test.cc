@@ -1,0 +1,189 @@
+#include "workflow/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "mm/mm_manager.h"
+#include "workflow/simulator.h"
+#include "workflow/values.h"
+
+namespace labflow::workflow {
+namespace {
+
+TEST(GraphTest, GenomeWorkflowValidates) {
+  WorkflowGraph g = GenomeMappingWorkflow();
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate().ToString();
+  EXPECT_EQ(g.material_classes.size(), 3u);
+  EXPECT_GE(g.transitions.size(), 13u);
+}
+
+TEST(GraphTest, OrderWorkflowValidates) {
+  WorkflowGraph g = OrderFulfillmentWorkflow();
+  EXPECT_TRUE(g.Validate().ok()) << g.Validate().ToString();
+}
+
+TEST(GraphTest, FindTransition) {
+  WorkflowGraph g = GenomeMappingWorkflow();
+  const Transition* t = g.FindTransition("determine_sequence");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->source_state, "waiting_for_sequencing");
+  EXPECT_EQ(t->target_state, "waiting_for_incorporation");
+  EXPECT_EQ(t->failure_state, "tc_picked");
+  EXPECT_EQ(g.FindTransition("no_such_step"), nullptr);
+}
+
+TEST(GraphTest, TransitionsFromState) {
+  WorkflowGraph g = GenomeMappingWorkflow();
+  auto from = g.TransitionsFrom("tc_picked");
+  ASSERT_EQ(from.size(), 1u);
+  EXPECT_EQ(from[0]->step_name, "seq_reaction");
+}
+
+TEST(GraphTest, ValidationCatchesBadGraphs) {
+  WorkflowGraph g;
+  g.name = "bad";
+  g.material_classes = {"widget"};
+  g.states = {"a", "b"};
+  Transition t;
+  t.step_name = "move";
+  t.material_class = "widget";
+  t.source_state = "a";
+  t.target_state = "nowhere";  // unknown state
+  g.transitions.push_back(t);
+  EXPECT_FALSE(g.Validate().ok());
+
+  g.transitions[0].target_state = "b";
+  EXPECT_TRUE(g.Validate().ok());
+
+  g.transitions[0].failure_prob = 0.5;  // without failure_state
+  EXPECT_FALSE(g.Validate().ok());
+
+  g.transitions[0].failure_prob = 0;
+  g.transitions.push_back(g.transitions[0]);  // duplicate step name
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(GraphTest, AnalyzeGenomeWorkflow) {
+  WorkflowGraph g = GenomeMappingWorkflow();
+  WorkflowGraph::Analysis a = g.Analyze();
+  // Every state in the production graph is reachable.
+  EXPECT_TRUE(a.unreachable_states.empty())
+      << "unreachable: " << a.unreachable_states.front();
+  EXPECT_TRUE(a.dead_transitions.empty());
+  // Terminal states are exactly the intended sinks.
+  std::set<std::string> terminals(a.terminal_states.begin(),
+                                  a.terminal_states.end());
+  EXPECT_TRUE(terminals.count("cl_finished"));
+  EXPECT_TRUE(terminals.count("tc_incorporated"));
+  EXPECT_TRUE(terminals.count("tc_failed"));
+  EXPECT_FALSE(terminals.count("waiting_for_sequencing"));
+}
+
+TEST(GraphTest, AnalyzeFlagsDanglingPieces) {
+  WorkflowGraph g;
+  g.material_classes = {"widget"};
+  g.states = {"start", "middle", "end", "orphan"};
+  Transition arrive;
+  arrive.step_name = "arrive";
+  arrive.material_class = "widget";
+  arrive.target_state = "start";
+  Transition move;
+  move.step_name = "move";
+  move.material_class = "widget";
+  move.source_state = "start";
+  move.target_state = "end";
+  Transition dead;
+  dead.step_name = "from_nowhere";
+  dead.material_class = "widget";
+  dead.source_state = "middle";  // nothing produces "middle"
+  dead.target_state = "end";
+  g.transitions = {arrive, move, dead};
+  ASSERT_TRUE(g.Validate().ok());
+  WorkflowGraph::Analysis a = g.Analyze();
+  EXPECT_EQ(a.unreachable_states,
+            (std::vector<std::string>{"middle", "orphan"}));
+  EXPECT_EQ(a.dead_transitions, (std::vector<std::string>{"from_nowhere"}));
+}
+
+TEST(GraphTest, InstallSchemaDefinesEverything) {
+  mm::MmManager mgr("mm");
+  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  WorkflowGraph g = GenomeMappingWorkflow();
+  ASSERT_TRUE(g.InstallSchema(db.get()).ok());
+  EXPECT_TRUE(db->schema().MaterialClassByName("tclone").ok());
+  EXPECT_TRUE(db->schema().StepClassByName("assemble_sequence").ok());
+  EXPECT_TRUE(db->schema().StateByName("waiting_for_incorporation").ok());
+  EXPECT_TRUE(db->schema().AttributeByName("sequence").ok());
+  // Idempotent.
+  EXPECT_TRUE(g.InstallSchema(db.get()).ok());
+}
+
+TEST(ValuesTest, GeneratorsRespectSpecs) {
+  Rng rng(5);
+  ResultSpec ints{.attr = "n", .gen = ResultSpec::Gen::kInt, .min = 3,
+                  .max = 9};
+  for (int i = 0; i < 100; ++i) {
+    Value v = GenerateResult(ints, &rng);
+    ASSERT_EQ(v.type(), ValueType::kInt);
+    EXPECT_GE(v.int_value(), 3);
+    EXPECT_LE(v.int_value(), 9);
+  }
+  ResultSpec reals{.attr = "r", .gen = ResultSpec::Gen::kReal, .rmin = 0.5,
+                   .rmax = 0.7};
+  for (int i = 0; i < 100; ++i) {
+    Value v = GenerateResult(reals, &rng);
+    ASSERT_EQ(v.type(), ValueType::kReal);
+    EXPECT_GE(v.real_value(), 0.5);
+    EXPECT_LT(v.real_value(), 0.7);
+  }
+  ResultSpec dna{.attr = "d", .gen = ResultSpec::Gen::kDna, .min = 10,
+                 .max = 20};
+  Value v = GenerateResult(dna, &rng);
+  ASSERT_EQ(v.type(), ValueType::kString);
+  EXPECT_GE(v.string_value().size(), 10u);
+  EXPECT_LE(v.string_value().size(), 20u);
+  ResultSpec hits{.attr = "h", .gen = ResultSpec::Gen::kHitList, .min = 1,
+                  .max = 5};
+  Value hv = GenerateResult(hits, &rng);
+  ASSERT_EQ(hv.type(), ValueType::kList);
+  EXPECT_GE(hv.list_value().size(), 1u);
+  for (const Value& hit : hv.list_value()) {
+    ASSERT_EQ(hit.type(), ValueType::kList);
+    EXPECT_EQ(hit.list_value().size(), 3u);
+  }
+}
+
+TEST(SimulatorTest, OrderWorkflowRunsToQuiescence) {
+  mm::MmManager mgr("mm");
+  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  WorkflowGraph g = OrderFulfillmentWorkflow();
+  SimpleSimulator sim(db.get(), g, /*seed=*/7);
+  auto steps = sim.Run(/*n_materials=*/50);
+  ASSERT_TRUE(steps.ok()) << steps.status().ToString();
+  // Every order plus at least one transition each.
+  EXPECT_GE(steps.value(), 50 * 2);
+
+  // All orders must end delivered (failure loop included).
+  labbase::StateId delivered = db->schema().StateByName("delivered").value();
+  EXPECT_EQ(db->CountInState(delivered).value(), 50);
+  // And the audit trail must expose what happened.
+  labbase::ClassId order = db->schema().MaterialClassByName("order").value();
+  auto orders = db->MaterialsOfClass(order).value();
+  ASSERT_EQ(orders.size(), 50u);
+  labbase::AttrId tracking = db->schema().AttributeByName("tracking").value();
+  int with_tracking = 0;
+  for (Oid o : orders) {
+    if (db->MostRecent(o, tracking).ok()) ++with_tracking;
+  }
+  EXPECT_EQ(with_tracking, 50);
+}
+
+TEST(SimulatorTest, RejectsSpawnJoinGraphs) {
+  mm::MmManager mgr("mm");
+  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  WorkflowGraph g = GenomeMappingWorkflow();
+  SimpleSimulator sim(db.get(), g, 1);
+  EXPECT_TRUE(sim.Run(1).status().IsNotSupported());
+}
+
+}  // namespace
+}  // namespace labflow::workflow
