@@ -6,12 +6,15 @@
 // access". The main benchmark is single-client (as the paper's was); this
 // bench exercises the part of the OStore design the main table cannot —
 // page-level strict 2PL with deadlock resolution — by running N client
-// threads of small update transactions against one database.
+// threads of small update transactions against one database, each thread
+// holding its own explicit transaction handle.
 //
 // Reported: committed transactions/sec, abort (deadlock-timeout) rate, and
-// lock waits, for 1..8 threads, in two contention regimes:
+// lock waits, for 1..8 threads, in three regimes:
 //   disjoint — each client works in its own segment (no page sharing)
-//   shared   — all clients update a small common set of objects.
+//   shared   — all clients update a small common set of objects
+//   labbase  — N LabBase sessions record steps against disjoint materials
+//              through the full wrapper stack (indexes, most-recent cache).
 
 #include <atomic>
 #include <iomanip>
@@ -22,11 +25,13 @@
 #include "bench/bench_util.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "labbase/labbase.h"
 #include "ostore/ostore_manager.h"
 
 namespace labflow::bench {
 namespace {
 
+using labbase::LabBase;
 using ostore::OstoreManager;
 using ostore::OstoreOptions;
 using storage::AllocHint;
@@ -39,33 +44,43 @@ struct Outcome {
   uint64_t lock_waits = 0;
 };
 
-Outcome RunRegime(bool shared, int threads, int txns_per_thread) {
-  BenchDir dir;
+Result<std::unique_ptr<OstoreManager>> OpenManager(const std::string& path) {
   OstoreOptions opts;
-  opts.base.path = dir.file("conc.db");
+  opts.base.path = path;
   opts.base.buffer_pool_pages = 4096;
   opts.lock_timeout_ms = 20;
-  auto mgr_or = OstoreManager::Open(opts);
-  if (!mgr_or.ok()) return Outcome{};
-  std::unique_ptr<OstoreManager> mgr = std::move(mgr_or).value();
+  return OstoreManager::Open(opts);
+}
 
-  // Shared regime: a handful of hot objects everyone updates.
+Result<Outcome> RunRegime(bool shared, int threads, int txns_per_thread) {
+  BenchDir dir;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<OstoreManager> mgr,
+                           OpenManager(dir.file("conc.db")));
+
+  // Shared regime: a handful of hot objects everyone updates. Spread them
+  // over distinct pages with ~7KB filler between the allocations, so the
+  // regime measures object-level conflicts rather than one page's lock.
   std::vector<ObjectId> hot;
   if (shared) {
     for (int i = 0; i < 4; ++i) {
-      hot.push_back(
-          mgr->Allocate(std::string(128, 'h'), AllocHint{}).value());
+      LABFLOW_ASSIGN_OR_RETURN(
+          ObjectId id, mgr->Allocate(std::string(128, 'h'), AllocHint{}));
+      hot.push_back(id);
+      LABFLOW_RETURN_IF_ERROR(
+          mgr->Allocate(std::string(7000, 'f'), AllocHint{}).status());
     }
   }
   // Disjoint regime: one segment per client.
   std::vector<uint16_t> segments;
   for (int t = 0; t < threads; ++t) {
-    segments.push_back(
-        mgr->CreateSegment("client" + std::to_string(t)).value());
+    LABFLOW_ASSIGN_OR_RETURN(uint16_t seg,
+                             mgr->CreateSegment("client" + std::to_string(t)));
+    segments.push_back(seg);
   }
 
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};
+  std::atomic<int> begin_failures{0};
   Stopwatch sw;
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
@@ -74,26 +89,31 @@ Outcome RunRegime(bool shared, int threads, int txns_per_thread) {
       AllocHint hint;
       hint.segment = segments[t];
       for (int i = 0; i < txns_per_thread; ++i) {
-        if (!mgr->Begin().ok()) return;
+        auto txn_or = mgr->Begin();
+        if (!txn_or.ok()) {
+          begin_failures.fetch_add(1);
+          return;
+        }
+        storage::Txn* txn = txn_or.value();
         Status st = Status::OK();
         if (shared) {
           // Touch two hot objects in random order: deadlock-prone.
           size_t a = rng.NextBelow(hot.size());
           size_t b = rng.NextBelow(hot.size());
-          st = mgr->Update(hot[a], std::string(128, 'x'));
+          st = mgr->Update(txn, hot[a], std::string(128, 'x'));
           if (st.ok() && b != a) {
-            st = mgr->Update(hot[b], std::string(128, 'y'));
+            st = mgr->Update(txn, hot[b], std::string(128, 'y'));
           }
         } else {
-          st = mgr->Allocate(std::string(200, 'd'), hint).status();
+          st = mgr->Allocate(txn, std::string(200, 'd'), hint).status();
           if (st.ok()) {
-            st = mgr->Allocate(std::string(200, 'e'), hint).status();
+            st = mgr->Allocate(txn, std::string(200, 'e'), hint).status();
           }
         }
-        if (st.ok() && mgr->Commit().ok()) {
+        if (st.ok() && mgr->Commit(txn).ok()) {
           committed.fetch_add(1);
         } else {
-          (void)mgr->Abort();
+          (void)mgr->Abort(txn);
           aborted.fetch_add(1);
         }
       }
@@ -101,13 +121,92 @@ Outcome RunRegime(bool shared, int threads, int txns_per_thread) {
   }
   for (std::thread& w : workers) w.join();
   double elapsed = sw.ElapsedSeconds();
+  if (begin_failures.load() > 0) {
+    return Status::Internal("Begin failed for " +
+                            std::to_string(begin_failures.load()) +
+                            " worker(s)");
+  }
 
   Outcome out;
   out.commits = committed.load();
   out.aborts = aborted.load();
   out.txn_per_sec = elapsed > 0 ? out.commits / elapsed : 0;
   out.lock_waits = mgr->stats().lock_waits;
-  (void)mgr->Close();
+  LABFLOW_RETURN_IF_ERROR(mgr->Close());
+  return out;
+}
+
+/// The same experiment through the full wrapper: N LabBase sessions, each
+/// creating its own materials and recording steps against them. Data is
+/// disjoint per client but the hot/cold segments — and the in-memory
+/// indexes — are shared, exercising the session layer end to end.
+Result<Outcome> RunLabBaseSessions(int threads, int txns_per_thread) {
+  BenchDir dir;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<OstoreManager> mgr,
+                           OpenManager(dir.file("conc_lb.db")));
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
+                           LabBase::Open(mgr.get(), labbase::LabBaseOptions{}));
+
+  // Schema DDL is a single-session operation: run it before the fan-out.
+  auto admin = db->OpenSession();
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId clone,
+                           admin->DefineMaterialClass("clone"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::StateId active,
+                           admin->DefineState("active"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId measure,
+                           admin->DefineStepClass("measure", {"x"}));
+  labbase::AttrId x = admin->schema().AttributeByName("x").value();
+  admin.reset();
+
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> aborted{0};
+  std::atomic<int> hard_failures{0};
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = db->OpenSession();
+      for (int i = 0; i < txns_per_thread; ++i) {
+        if (!session->Begin().ok()) {
+          hard_failures.fetch_add(1);
+          return;
+        }
+        std::string name =
+            "m-" + std::to_string(t) + "-" + std::to_string(i);
+        auto m = session->CreateMaterial(clone, name, active,
+                                         Timestamp(i));
+        Status st = m.status();
+        if (st.ok()) {
+          labbase::StepEffect effect;
+          effect.material = m.value();
+          effect.tags = {{x, Value::Int(i)}};
+          st = session->RecordStep(measure, Timestamp(i + 1), {effect})
+                   .status();
+        }
+        if (st.ok() && session->Commit().ok()) {
+          committed.fetch_add(1);
+        } else {
+          (void)session->Abort();
+          aborted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double elapsed = sw.ElapsedSeconds();
+  if (hard_failures.load() > 0) {
+    return Status::Internal("session Begin failed for " +
+                            std::to_string(hard_failures.load()) +
+                            " worker(s)");
+  }
+
+  Outcome out;
+  out.commits = committed.load();
+  out.aborts = aborted.load();
+  out.txn_per_sec = elapsed > 0 ? out.commits / elapsed : 0;
+  out.lock_waits = mgr->stats().lock_waits;
+  db.reset();
+  LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return out;
 }
 
@@ -115,16 +214,31 @@ int Main(int argc, char** argv) {
   int txns = static_cast<int>(FlagValue(argc, argv, "txns", 2000));
   std::cout << "OStore concurrent clients (extension experiment) — "
             << txns << " txns/client\n\n";
-  for (bool shared : {false, true}) {
-    std::cout << (shared ? "shared hot set (deadlock-prone):"
-                         : "disjoint segments:")
-              << "\n";
+  struct Regime {
+    const char* title;
+    std::function<Result<Outcome>(int, int)> run;
+  };
+  Regime regimes[] = {
+      {"disjoint segments:",
+       [](int n, int k) { return RunRegime(false, n, k); }},
+      {"shared hot set (deadlock-prone):",
+       [](int n, int k) { return RunRegime(true, n, k); }},
+      {"labbase sessions (disjoint materials):",
+       [](int n, int k) { return RunLabBaseSessions(n, k); }},
+  };
+  for (const Regime& regime : regimes) {
+    std::cout << regime.title << "\n";
     std::cout << std::left << std::setw(10) << "clients" << std::right
               << std::setw(14) << "commit/sec" << std::setw(12) << "commits"
               << std::setw(12) << "aborts" << std::setw(12) << "lockwaits"
               << "\n";
     for (int threads : {1, 2, 4, 8}) {
-      Outcome out = RunRegime(shared, threads, txns);
+      auto out_or = regime.run(threads, txns);
+      if (!out_or.ok()) {
+        std::cerr << "ERROR: " << out_or.status().ToString() << "\n";
+        return 1;
+      }
+      Outcome out = out_or.value();
       std::cout << std::left << std::setw(10) << threads << std::right
                 << std::setw(14) << std::fixed << std::setprecision(0)
                 << out.txn_per_sec << std::setw(12) << out.commits

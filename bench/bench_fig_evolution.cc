@@ -43,7 +43,9 @@ int Main(int argc, char** argv) {
     std::cerr << db_or.status().ToString() << "\n";
     return 1;
   }
-  labbase::LabBase* db = db_or->get();
+  std::unique_ptr<labbase::LabBase::Session> session =
+      (*db_or)->OpenSession();
+  labbase::LabBase::Session* db = session.get();
 
   auto clone = db->DefineMaterialClass("clone");
   auto state = db->DefineState("active");

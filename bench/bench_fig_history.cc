@@ -32,8 +32,9 @@ Result<double> Measure(bool use_index, int history_len, int lookups) {
                            CreateServer(ServerVersion::kTexas, server_opts));
   labbase::LabBaseOptions opts;
   opts.use_most_recent_index = use_index;
-  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> db,
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> base,
                            labbase::LabBase::Open(mgr.get(), opts));
+  std::unique_ptr<labbase::LabBase::Session> db = base->OpenSession();
   LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId clone,
                            db->DefineMaterialClass("clone"));
   LABFLOW_ASSIGN_OR_RETURN(labbase::StateId state, db->DefineState("active"));
@@ -58,6 +59,7 @@ Result<double> Measure(bool use_index, int history_len, int lookups) {
   }
   double us = sw.ElapsedSeconds() * 1e6 / lookups;
   db.reset();
+  base.reset();
   LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return us;
 }

@@ -38,8 +38,9 @@ Result<Row> Measure(bool persistent, int materials, int lookups) {
     server_opts.pool_pages = 8192;
     LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
                              CreateServer(ServerVersion::kTexas, server_opts));
-    LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> db,
+    LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> base,
                              labbase::LabBase::Open(mgr.get(), lab_opts));
+    std::unique_ptr<labbase::LabBase::Session> db = base->OpenSession();
     LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId clone,
                              db->DefineMaterialClass("clone"));
     LABFLOW_ASSIGN_OR_RETURN(labbase::StateId state, db->DefineState("s"));
@@ -50,6 +51,7 @@ Result<Row> Measure(bool persistent, int materials, int lookups) {
       names.push_back(std::move(name));
     }
     db.reset();
+    base.reset();
     LABFLOW_RETURN_IF_ERROR(mgr->Close());
   }
 
@@ -60,8 +62,9 @@ Result<Row> Measure(bool persistent, int materials, int lookups) {
   Stopwatch open_sw;
   LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
                            CreateServer(ServerVersion::kTexas, server_opts));
-  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> db,
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<labbase::LabBase> base,
                            labbase::LabBase::Open(mgr.get(), lab_opts));
+  std::unique_ptr<labbase::LabBase::Session> db = base->OpenSession();
   Row row;
   row.open_ms = open_sw.ElapsedSeconds() * 1e3;
 

@@ -33,7 +33,7 @@ struct QueryTargets {
 };
 
 /// Loads the update stream into `db`, remembering audit targets.
-Status BuildDatabase(labbase::LabBase* db, const WorkloadParams& params,
+Status BuildDatabase(labbase::LabBase::Session* db, const WorkloadParams& params,
                      QueryTargets* targets) {
   WorkloadGenerator generator(params);
   LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db));
@@ -83,13 +83,14 @@ int Main(int argc, char** argv) {
       std::cerr << mgr.status().ToString() << "\n";
       return 1;
     }
-    auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
-    if (!db.ok()) {
-      std::cerr << db.status().ToString() << "\n";
+    auto base = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+    if (!base.ok()) {
+      std::cerr << base.status().ToString() << "\n";
       return 1;
     }
+    std::unique_ptr<labbase::LabBase::Session> db = (*base)->OpenSession();
     QueryTargets targets;
-    Status st = BuildDatabase(db->get(), params, &targets);
+    Status st = BuildDatabase(db.get(), params, &targets);
     if (!st.ok()) {
       std::cerr << "build failed: " << st.ToString() << "\n";
       return 1;
@@ -99,7 +100,7 @@ int Main(int argc, char** argv) {
       return 1;
     }
 
-    const labbase::Schema& schema = (*db)->schema();
+    const labbase::Schema& schema = db->schema();
     Rng rng(7);
     auto time_class = [&](const std::string& cls,
                           const std::function<Status()>& one) -> Status {
@@ -115,18 +116,18 @@ int Main(int argc, char** argv) {
     st = time_class("most_recent", [&]() -> Status {
       const auto& [name, attr] =
           targets.value_targets[rng.NextBelow(targets.value_targets.size())];
-      LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
-      Status qs = (*db)->MostRecent(m, attr).status();
+      LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(name));
+      Status qs = db->MostRecent(m, attr).status();
       return qs.IsNotFound() ? Status::OK() : qs;
     });
     if (st.ok()) {
       st = time_class("history", [&]() -> Status {
         const auto& [name, attr] =
             targets.value_targets[rng.NextBelow(targets.value_targets.size())];
-        LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
+        LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(name));
         LABFLOW_ASSIGN_OR_RETURN(labbase::AttrId a,
                                  schema.AttributeByName(attr));
-        return (*db)->History(m, a).status();
+        return db->History(m, a).status();
       });
     }
     if (st.ok()) {
@@ -136,10 +137,10 @@ int Main(int argc, char** argv) {
         LABFLOW_ASSIGN_OR_RETURN(labbase::StateId s,
                                  schema.StateByName(state));
         LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> queue,
-                                 (*db)->MaterialsInState(s));
+                                 db->MaterialsInState(s));
         size_t inspect = queue.size() < 20 ? queue.size() : 20;
         for (size_t i = 0; i < inspect; ++i) {
-          LABFLOW_RETURN_IF_ERROR((*db)->GetMaterial(queue[i]).status());
+          LABFLOW_RETURN_IF_ERROR(db->GetMaterial(queue[i]).status());
         }
         return Status::OK();
       });
@@ -150,15 +151,15 @@ int Main(int argc, char** argv) {
             targets.states[rng.NextBelow(targets.states.size())];
         LABFLOW_ASSIGN_OR_RETURN(labbase::StateId s,
                                  schema.StateByName(state));
-        return (*db)->CountInState(s).status();
+        return db->CountInState(s).status();
       });
     }
     if (st.ok() && !targets.sets.empty()) {
       st = time_class("set_members", [&]() -> Status {
         const std::string& set_name =
             targets.sets[rng.NextBelow(targets.sets.size())];
-        LABFLOW_ASSIGN_OR_RETURN(Oid set, (*db)->FindSetByName(set_name));
-        return (*db)->SetMembers(set).status();
+        LABFLOW_ASSIGN_OR_RETURN(Oid set, db->FindSetByName(set_name));
+        return db->SetMembers(set).status();
       });
     }
     if (st.ok()) {
@@ -166,8 +167,8 @@ int Main(int argc, char** argv) {
         const auto& [name, attr] =
             targets.value_targets[rng.NextBelow(targets.value_targets.size())];
         (void)attr;
-        LABFLOW_ASSIGN_OR_RETURN(Oid m, (*db)->FindMaterialByName(name));
-        return (*db)->GetMaterial(m).status();
+        LABFLOW_ASSIGN_OR_RETURN(Oid m, db->FindMaterialByName(name));
+        return db->GetMaterial(m).status();
       });
     }
     if (!st.ok()) {
@@ -175,7 +176,8 @@ int Main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "done: " << ServerVersionName(version) << "\n";
-    db->reset();
+    db.reset();
+    base->reset();
     (void)(*mgr)->Close();
   }
 

@@ -83,8 +83,9 @@ class DbFixture {
  public:
   DbFixture() {
     mgr_ = std::make_unique<mm::MmManager>("mm");
-    db_ = labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{})
+    base_ = labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{})
               .value();
+    db_ = base_->OpenSession();
     solver_ = std::make_unique<Solver>(db_.get());
     (void)solver_->Prove(
         "define_material_class(tclone), define_state(waiting), "
@@ -105,7 +106,8 @@ class DbFixture {
 
  private:
   std::unique_ptr<mm::MmManager> mgr_;
-  std::unique_ptr<labbase::LabBase> db_;
+  std::unique_ptr<labbase::LabBase> base_;
+  std::unique_ptr<labbase::LabBase::Session> db_;
   std::unique_ptr<Solver> solver_;
 };
 

@@ -112,11 +112,12 @@ void BM_TxnCommitThreeWrites(benchmark::State& state) {
   auto mgr = MakeManager(VersionArg(state), dir);
   std::string data(200, 't');
   for (auto _ : state) {
-    (void)mgr->Begin();
+    auto txn = mgr->Begin();
+    if (!txn.ok()) continue;
     for (int i = 0; i < 3; ++i) {
-      benchmark::DoNotOptimize(mgr->Allocate(data, AllocHint{}));
+      benchmark::DoNotOptimize(mgr->Allocate(txn.value(), data, AllocHint{}));
     }
-    (void)mgr->Commit();
+    (void)mgr->Commit(txn.value());
   }
   SetVersionLabel(state);
   (void)mgr->Close();

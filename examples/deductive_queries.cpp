@@ -55,12 +55,13 @@ void Show(query::Solver* solver, const std::string& text, int64_t limit = 10) {
 
 int main() {
   labflow::mm::MmManager mgr("mm");
-  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{});
-  if (!db.ok()) {
-    std::cerr << db.status().ToString() << "\n";
+  auto base = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{});
+  if (!base.ok()) {
+    std::cerr << base.status().ToString() << "\n";
     return 1;
   }
-  query::Solver solver(db->get());
+  std::unique_ptr<labbase::LabBase::Session> db = (*base)->OpenSession();
+  query::Solver solver(db.get());
 
   // ---- Build the lab through the language itself (paper Section 8.3) ----
   const char* setup[] = {

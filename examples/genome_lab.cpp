@@ -25,7 +25,7 @@ namespace query = labflow::query;
 
 namespace {
 
-Status LoadStream(labbase::LabBase* db, const bench::WorkloadParams& params) {
+Status LoadStream(labbase::LabBase::Session* db, const bench::WorkloadParams& params) {
   bench::WorkloadGenerator generator(params);
   LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db));
   bench::Event ev;
@@ -44,28 +44,29 @@ int Run(int clones) {
     std::cerr << mgr.status().ToString() << "\n";
     return 1;
   }
-  auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
-  if (!db.ok()) {
-    std::cerr << db.status().ToString() << "\n";
+  auto base = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!base.ok()) {
+    std::cerr << base.status().ToString() << "\n";
     return 1;
   }
+  std::unique_ptr<labbase::LabBase::Session> db = (*base)->OpenSession();
 
   bench::WorkloadParams params;
   params.base_clones = clones;
   params.intvl = 1.0;
   std::cout << "Running the genome-mapping workflow for " << clones
             << " clones...\n";
-  Status st = LoadStream(db->get(), params);
+  Status st = LoadStream(db.get(), params);
   if (!st.ok()) {
     std::cerr << "load failed: " << st.ToString() << "\n";
     return 1;
   }
-  const labbase::LabBaseStats& stats = (*db)->stats();
+  const labbase::LabBaseStats& stats = db->stats();
   std::cout << "  " << stats.materials_created << " materials, "
             << stats.steps_recorded << " steps recorded\n\n";
 
   // ---- Lab report, in the deductive query language ----
-  query::Solver solver(db->get());
+  query::Solver solver(db.get());
   st = solver.LoadProgram(
       // A view: backlog per state.
       "backlog(S, N) <- workflow_state(S), count(state(M, S), N).\n"
@@ -121,15 +122,16 @@ int Run(int clones) {
 
   // Schema evolution left its trace: versioned step classes.
   auto versions =
-      (*db)->schema().VersionCount(
-          (*db)->schema().StepClassByName("determine_sequence").value());
+      db->schema().VersionCount(
+          db->schema().StepClassByName("determine_sequence").value());
   if (versions.ok()) {
     std::cout << "\ndetermine_sequence has " << versions.value()
               << " schema version(s) — old instances were never migrated\n";
   }
 
-  (void)(*db)->Checkpoint();
-  db->reset();
+  (void)db->Checkpoint();
+  db.reset();
+  base->reset();
   (void)(*mgr)->Close();
   return 0;
 }

@@ -48,7 +48,7 @@ labflow::Result<std::unique_ptr<labflow::ostore::OstoreManager>> OpenDb(
   return labflow::ostore::OstoreManager::Open(opts);
 }
 
-Status Load(labbase::LabBase* db, int clones) {
+Status Load(labbase::LabBase::Session* db, int clones) {
   bench::WorkloadParams params;
   params.base_clones = clones;
   bench::WorkloadGenerator generator(params);
@@ -90,26 +90,27 @@ int main(int argc, char** argv) {
     std::cerr << mgr.status().ToString() << "\n";
     return 1;
   }
-  auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
-  if (!db.ok()) {
-    std::cerr << db.status().ToString() << "\n";
+  auto base = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!base.ok()) {
+    std::cerr << base.status().ToString() << "\n";
     return 1;
   }
+  std::unique_ptr<labbase::LabBase::Session> db = (*base)->OpenSession();
 
   Status st;
   if (command == "init") {
-    st = (*db)->Checkpoint();
+    st = db->Checkpoint();
     if (st.ok()) std::cout << "created " << path << "\n";
   } else if (command == "load" && argc >= 4) {
-    st = Load(db->get(), std::max(1, std::atoi(argv[3])));
+    st = Load(db.get(), std::max(1, std::atoi(argv[3])));
   } else if (command == "summary") {
-    st = labbase::DumpSummary(db->get(), std::cout);
+    st = labbase::DumpSummary(db.get(), std::cout);
   } else if (command == "audit" && argc >= 4) {
-    auto m = (*db)->FindMaterialByName(argv[3]);
-    st = m.ok() ? labbase::DumpMaterialAudit(db->get(), m.value(), std::cout)
+    auto m = db->FindMaterialByName(argv[3]);
+    st = m.ok() ? labbase::DumpMaterialAudit(db.get(), m.value(), std::cout)
                 : m.status();
   } else if (command == "query" && argc >= 4) {
-    query::Solver solver(db->get());
+    query::Solver solver(db.get());
     auto solutions = solver.QueryAll(argv[3], 100);
     if (!solutions.ok()) {
       st = solutions.status();
@@ -138,6 +139,7 @@ int main(int argc, char** argv) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
-  db->reset();
+  db.reset();
+  base->reset();
   return (*mgr)->Close().ok() ? 0 : 1;
 }

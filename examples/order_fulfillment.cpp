@@ -34,14 +34,15 @@ int main(int argc, char** argv) {
     std::cerr << mgr.status().ToString() << "\n";
     return 1;
   }
-  auto db = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
-  if (!db.ok()) {
-    std::cerr << db.status().ToString() << "\n";
+  auto base = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
+  if (!base.ok()) {
+    std::cerr << base.status().ToString() << "\n";
     return 1;
   }
+  std::unique_ptr<labbase::LabBase::Session> db = (*base)->OpenSession();
 
   workflow::WorkflowGraph graph = workflow::OrderFulfillmentWorkflow();
-  workflow::SimpleSimulator sim(db->get(), graph, /*seed=*/2024);
+  workflow::SimpleSimulator sim(db.get(), graph, /*seed=*/2024);
   auto steps = sim.Run(orders);
   if (!steps.ok()) {
     std::cerr << steps.status().ToString() << "\n";
@@ -50,12 +51,12 @@ int main(int argc, char** argv) {
   std::cout << orders << " orders processed in " << steps.value()
             << " workflow steps\n";
 
-  const labbase::Schema& schema = (*db)->schema();
+  const labbase::Schema& schema = db->schema();
   std::cout << "\nFinal state distribution:\n";
   for (const std::string& state : graph.states) {
     auto id = schema.StateByName(state);
     if (!id.ok()) continue;
-    auto n = (*db)->CountInState(id.value());
+    auto n = db->CountInState(id.value());
     if (n.ok() && n.value() > 0) {
       std::cout << "  " << state << ": " << n.value() << "\n";
     }
@@ -64,16 +65,16 @@ int main(int argc, char** argv) {
   // Audit: how many orders needed the payment-failure loop?
   labbase::ClassId order_cls = schema.MaterialClassByName("order").value();
   labbase::AttrId auth = schema.AttributeByName("auth_code").value();
-  auto all = (*db)->MaterialsOfClass(order_cls).value();
+  auto all = db->MaterialsOfClass(order_cls).value();
   int retried = 0;
   for (Oid o : all) {
-    auto hist = (*db)->History(o, auth);
+    auto hist = db->History(o, auth);
     if (hist.ok() && hist->size() > 1) ++retried;
   }
   std::cout << "\norders that needed a payment retry: " << retried << "\n";
 
   // Run-time schema evolution: ship_order gains a carrier attribute.
-  auto evolved = (*db)->DefineStepClass("ship_order", {"tracking", "carrier"});
+  auto evolved = db->DefineStepClass("ship_order", {"tracking", "carrier"});
   if (!evolved.ok()) {
     std::cerr << evolved.status().ToString() << "\n";
     return 1;
@@ -85,7 +86,7 @@ int main(int argc, char** argv) {
 
   labbase::StateId packed = schema.StateByName("packed").value();
   labbase::StateId shipped = schema.StateByName("shipped").value();
-  auto late_order = (*db)->CreateMaterial(order_cls, "order-late", packed,
+  auto late_order = db->CreateMaterial(order_cls, "order-late", packed,
                                           Timestamp(1));
   if (!late_order.ok()) {
     std::cerr << late_order.status().ToString() << "\n";
@@ -99,18 +100,19 @@ int main(int argc, char** argv) {
       {carrier, Value::String("overnight-express")},
   };
   effect.new_state = shipped;
-  auto step = (*db)->RecordStep(evolved.value(), Timestamp(2), {effect});
+  auto step = db->RecordStep(evolved.value(), Timestamp(2), {effect});
   if (!step.ok()) {
     std::cerr << step.status().ToString() << "\n";
     return 1;
   }
-  auto v = (*db)->MostRecent(late_order.value(), carrier);
+  auto v = db->MostRecent(late_order.value(), carrier);
   std::cout << "  order-late carrier = " << v->ToString()
             << " (step instance on version "
-            << (*db)->GetStep(step.value())->version << ")\n";
+            << db->GetStep(step.value())->version << ")\n";
 
-  (void)(*db)->Checkpoint();
-  db->reset();
+  (void)db->Checkpoint();
+  db.reset();
+  base->reset();
   (void)(*mgr)->Close();
   return 0;
 }

@@ -42,7 +42,9 @@ int main() {
   // 2. LabBase on top: the workflow wrapper with the fixed storage schema.
   auto db_or = labbase::LabBase::Open(mgr->get(), labbase::LabBaseOptions{});
   CHECK_OK(db_or);
-  labbase::LabBase& db = **db_or;
+  // All data access goes through a session (one per client).
+  std::unique_ptr<labbase::LabBase::Session> session = (*db_or)->OpenSession();
+  labbase::LabBase::Session& db = *session;
 
   // 3. User schema: evolves freely at run time.
   auto clone = db.DefineMaterialClass("clone");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 check: normal build + full test suite, then a ThreadSanitizer
+# build of the tree with the concurrency tests run under TSan.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+jobs="${1:-$(nproc)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "== normal build + ctest =="
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo
+echo "== ThreadSanitizer build + concurrency tests =="
+cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
+cmake --build "$root/build-tsan" -j "$jobs" --target \
+  concurrency_test ostore_test storage_manager_test
+ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
+  -R 'concurrency_test|ostore_test|storage_manager_test'
+
+echo
+echo "All checks passed."

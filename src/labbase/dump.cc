@@ -2,7 +2,7 @@
 
 namespace labflow::labbase {
 
-Status DumpSummary(LabBase* db, std::ostream& os) {
+Status DumpSummary(LabBase::Session* db, std::ostream& os) {
   const Schema& schema = db->schema();
   os << "=== LabBase database summary ===\n";
 
@@ -51,7 +51,7 @@ Status DumpSummary(LabBase* db, std::ostream& os) {
   return Status::OK();
 }
 
-Status DumpMaterialAudit(LabBase* db, Oid material, std::ostream& os) {
+Status DumpMaterialAudit(LabBase::Session* db, Oid material, std::ostream& os) {
   const Schema& schema = db->schema();
   LABFLOW_ASSIGN_OR_RETURN(MaterialInfo info, db->GetMaterial(material));
   LABFLOW_ASSIGN_OR_RETURN(std::string class_name,

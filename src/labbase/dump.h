@@ -10,13 +10,13 @@ namespace labflow::labbase {
 /// Prints a database overview: schema (classes, states, step-class
 /// versions), material counts per class and state, set directory, and
 /// storage statistics. The LIMS-report side of LabBase (paper Section 2).
-Status DumpSummary(LabBase* db, std::ostream& os);
+Status DumpSummary(LabBase::Session* db, std::ostream& os);
 
 /// Prints one material's complete audit trail: identity, current state,
 /// every attribute's most-recent value, and the full event history (each
 /// step instance that processed it, with its class, version, valid time
 /// and tags). This is the paper's "audit trail" requirement made visible.
-Status DumpMaterialAudit(LabBase* db, Oid material, std::ostream& os);
+Status DumpMaterialAudit(LabBase::Session* db, Oid material, std::ostream& os);
 
 }  // namespace labflow::labbase
 

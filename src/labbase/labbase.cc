@@ -29,6 +29,10 @@ Result<std::unique_ptr<LabBase>> LabBase::Open(storage::StorageManager* mgr,
   return db;
 }
 
+std::unique_ptr<LabBase::Session> LabBase::OpenSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
 Status LabBase::Bootstrap() {
   if (options_.separate_segments) {
     LABFLOW_ASSIGN_OR_RETURN(hot_segment_, mgr_->CreateSegment("labbase_hot"));
@@ -70,12 +74,25 @@ Status LabBase::LoadExisting(ObjectId root) {
   return RebuildIndexes();
 }
 
-Status LabBase::PersistRoot() {
+Status LabBase::PersistRoot(storage::Txn* txn) {
   root_.schema_blob = schema_.Encode();
-  return mgr_->Update(root_id_, root_.Encode());
+  return mgr_->Update(txn, root_id_, root_.Encode());
+}
+
+Status LabBase::ReloadCatalog() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string blob, mgr_->Read(root_id_));
+  LABFLOW_ASSIGN_OR_RETURN(root_, RootRecord::Decode(blob));
+  LABFLOW_ASSIGN_OR_RETURN(schema_, Schema::Decode(root_.schema_blob));
+  sets_by_name_.clear();
+  for (const auto& [name, id] : root_.sets) {
+    sets_by_name_[name] = ToUser(id);
+  }
+  return RebuildIndexes();
 }
 
 Status LabBase::RebuildIndexes() {
+  // Requires no concurrent sessions (open / catalog-abort path), so the
+  // indexes can be swapped without holding index_mu_ across the scan.
   materials_by_name_.clear();
   by_state_.clear();
   by_class_.clear();
@@ -98,80 +115,169 @@ Status LabBase::RebuildIndexes() {
   });
 }
 
-Status LabBase::Abort() {
-  LABFLOW_RETURN_IF_ERROR(mgr_->Abort());
-  // The in-memory indexes (and possibly the cached catalog) reflect
-  // rolled-back changes; reload from storage.
-  LABFLOW_ASSIGN_OR_RETURN(std::string blob, mgr_->Read(root_id_));
-  LABFLOW_ASSIGN_OR_RETURN(root_, RootRecord::Decode(blob));
-  LABFLOW_ASSIGN_OR_RETURN(schema_, Schema::Decode(root_.schema_blob));
-  sets_by_name_.clear();
-  for (const auto& [name, id] : root_.sets) {
-    sets_by_name_[name] = ToUser(id);
-  }
-  return RebuildIndexes();
+// ---- Session: transactions --------------------------------------------------
+
+LabBase::Session::~Session() {
+  // Best-effort rollback of an abandoned transaction. Safe even if the
+  // manager was closed underneath us: StorageManager::Abort looks the
+  // handle up by pointer value without dereferencing it.
+  if (txn_ != nullptr) (void)Abort();
 }
 
-// ---- Schema -------------------------------------------------------------------
+Status LabBase::Session::Begin() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("nested transactions are not supported");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(txn_, db_->mgr_->Begin());
+  return Status::OK();
+}
 
-Result<ClassId> LabBase::DefineMaterialClass(std::string_view name) {
-  LABFLOW_ASSIGN_OR_RETURN(ClassId id, schema_.DefineMaterialClass(name));
-  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+Status LabBase::Session::Commit() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  storage::Txn* t = txn_;
+  txn_ = nullptr;
+  index_undo_.clear();
+  catalog_dirty_ = false;
+  return db_->mgr_->Commit(t);
+}
+
+Status LabBase::Session::Abort() {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument("no active transaction");
+  }
+  storage::Txn* t = txn_;
+  txn_ = nullptr;
+  // Roll the shared in-memory indexes back from this session's undo log,
+  // in reverse. Concurrent sessions never saw uncommitted *storage* state
+  // (page locks), but they could see these index entries; undoing them
+  // here restores the pre-transaction view.
+  {
+    std::lock_guard<std::mutex> g(db_->index_mu_);
+    for (auto it = index_undo_.rbegin(); it != index_undo_.rend(); ++it) {
+      switch (it->kind) {
+        case IndexUndo::kMaterialCreated:
+          db_->materials_by_name_.erase(it->name);
+          db_->by_state_[it->from].erase({it->name, it->oid});
+          db_->by_class_[it->class_id].erase(it->oid);
+          break;
+        case IndexUndo::kStateChanged:
+          db_->by_state_[it->to].erase({it->name, it->oid});
+          db_->by_state_[it->from].insert({it->name, it->oid});
+          break;
+      }
+    }
+  }
+  index_undo_.clear();
+  Status st = db_->mgr_->Abort(t);
+  if (catalog_dirty_) {
+    // The transaction touched the catalog (DDL / set creation — documented
+    // single-session operations), so the cached copy may reflect rolled
+    // back changes; re-read it from storage.
+    catalog_dirty_ = false;
+    Status reload = db_->ReloadCatalog();
+    if (st.ok()) st = reload;
+  }
+  return st;
+}
+
+// ---- Session: schema --------------------------------------------------------
+
+Result<ClassId> LabBase::Session::DefineMaterialClass(std::string_view name) {
+  LABFLOW_ASSIGN_OR_RETURN(ClassId id, db_->schema_.DefineMaterialClass(name));
+  TouchCatalog();
+  LABFLOW_RETURN_IF_ERROR(db_->PersistRoot(txn_));
   return id;
 }
 
-Result<ClassId> LabBase::DefineStepClass(
+Result<ClassId> LabBase::Session::DefineStepClass(
     std::string_view name, const std::vector<std::string>& attr_names) {
   LABFLOW_ASSIGN_OR_RETURN(ClassId id,
-                           schema_.DefineStepClass(name, attr_names));
-  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+                           db_->schema_.DefineStepClass(name, attr_names));
+  TouchCatalog();
+  LABFLOW_RETURN_IF_ERROR(db_->PersistRoot(txn_));
   return id;
 }
 
-Result<StateId> LabBase::DefineState(std::string_view name) {
-  StateId id = schema_.InternState(name);
-  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+Result<StateId> LabBase::Session::DefineState(std::string_view name) {
+  StateId id = db_->schema_.InternState(name);
+  TouchCatalog();
+  LABFLOW_RETURN_IF_ERROR(db_->PersistRoot(txn_));
   return id;
 }
 
-// ---- Materials & steps ----------------------------------------------------
+// ---- Session: materials & steps ---------------------------------------------
 
-Result<Oid> LabBase::CreateMaterial(ClassId material_class,
-                                    std::string_view name,
-                                    StateId initial_state, Timestamp created) {
-  if (!schema_.IsMaterialClass(material_class)) {
+Result<Oid> LabBase::Session::CreateMaterial(ClassId material_class,
+                                             std::string_view name,
+                                             StateId initial_state,
+                                             Timestamp created) {
+  LabBase* db = db_;
+  if (!db->schema_.IsMaterialClass(material_class)) {
     return Status::InvalidArgument("not a material class");
   }
-  if (name_dir_ != nullptr) {
-    if (name_dir_->Lookup(name).ok()) {
-      return Status::AlreadyExists("material name taken: " +
-                                   std::string(name));
-    }
-  } else if (materials_by_name_.count(name)) {
+  if (db->name_dir_ != nullptr &&
+      db->name_dir_->Lookup(name, txn_).ok()) {
     return Status::AlreadyExists("material name taken: " + std::string(name));
   }
+  std::string name_str(name);
+  // Reserve the name with a null Oid before the storage allocation: the
+  // allocation may block on page locks, and index_mu_ must never be held
+  // across storage calls. A concurrent CreateMaterial of the same name
+  // fails here; FindMaterialByName treats the null placeholder as absent.
+  {
+    std::lock_guard<std::mutex> g(db->index_mu_);
+    auto [it, inserted] = db->materials_by_name_.try_emplace(name_str, Oid());
+    if (!inserted) {
+      return Status::AlreadyExists("material name taken: " + name_str);
+    }
+  }
+  auto release_reservation = [&] {
+    std::lock_guard<std::mutex> g(db->index_mu_);
+    db->materials_by_name_.erase(name_str);
+  };
+
   MaterialRecord rec;
   rec.class_id = material_class;
-  rec.name = std::string(name);
+  rec.name = name_str;
   rec.state = initial_state;
   rec.state_time = created;
   rec.created = created;
   AllocHint hint;
-  hint.segment = hot_segment_;
-  LABFLOW_ASSIGN_OR_RETURN(ObjectId id, mgr_->Allocate(rec.Encode(), hint));
-  Oid oid = ToUser(id);
-  if (name_dir_ != nullptr) {
-    LABFLOW_RETURN_IF_ERROR(name_dir_->Insert(rec.name, id));
+  hint.segment = db->hot_segment_;
+  Result<ObjectId> id_or = db->mgr_->Allocate(txn_, rec.Encode(), hint);
+  if (!id_or.ok()) {
+    release_reservation();
+    return id_or.status();
   }
-  materials_by_name_[rec.name] = oid;
-  by_state_[initial_state].insert({rec.name, oid});
-  by_class_[material_class].insert(oid);
+  ObjectId id = id_or.value();
+  Oid oid = ToUser(id);
+  if (db->name_dir_ != nullptr) {
+    Status st = db->name_dir_->Insert(rec.name, id, txn_);
+    if (!st.ok()) {
+      release_reservation();
+      return st;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(db->index_mu_);
+    db->materials_by_name_[name_str] = oid;
+    db->by_state_[initial_state].insert({name_str, oid});
+    db->by_class_[material_class].insert(oid);
+  }
+  if (txn_ != nullptr) {
+    index_undo_.push_back(IndexUndo{IndexUndo::kMaterialCreated, name_str, oid,
+                                    material_class, initial_state,
+                                    kInvalidState});
+  }
   ++stats_.materials_created;
   return oid;
 }
 
-Result<MaterialRecord> LabBase::ReadMaterial(Oid material) {
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(material)));
+Result<MaterialRecord> LabBase::Session::ReadMaterial(Oid material) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data,
+                           db_->mgr_->Read(txn_, ToStorage(material)));
   LABFLOW_ASSIGN_OR_RETURN(RecordKind kind, PeekRecordKind(data));
   if (kind != RecordKind::kMaterial) {
     return Status::InvalidArgument("oid is not a material");
@@ -179,25 +285,35 @@ Result<MaterialRecord> LabBase::ReadMaterial(Oid material) {
   return MaterialRecord::Decode(data);
 }
 
-Status LabBase::WriteMaterial(Oid material, const MaterialRecord& rec) {
-  return mgr_->Update(ToStorage(material), rec.Encode());
+Status LabBase::Session::WriteMaterial(Oid material,
+                                       const MaterialRecord& rec) {
+  return db_->mgr_->Update(txn_, ToStorage(material), rec.Encode());
 }
 
-void LabBase::IndexStateChange(Oid material, const std::string& name,
-                               StateId from, StateId to) {
+void LabBase::Session::IndexStateChange(Oid material, const std::string& name,
+                                        StateId from, StateId to) {
   if (from == to) return;
-  by_state_[from].erase({name, material});
-  by_state_[to].insert({name, material});
+  {
+    std::lock_guard<std::mutex> g(db_->index_mu_);
+    db_->by_state_[from].erase({name, material});
+    db_->by_state_[to].insert({name, material});
+  }
+  if (txn_ != nullptr) {
+    index_undo_.push_back(IndexUndo{IndexUndo::kStateChanged, name, material,
+                                    kInvalidClass, from, to});
+  }
 }
 
-Result<Oid> LabBase::RecordStep(ClassId step_class, Timestamp time,
-                                const std::vector<StepEffect>& effects) {
-  if (!schema_.IsStepClass(step_class)) {
+Result<Oid> LabBase::Session::RecordStep(ClassId step_class, Timestamp time,
+                                         const std::vector<StepEffect>& effects) {
+  LabBase* db = db_;
+  if (!db->schema_.IsStepClass(step_class)) {
     return Status::InvalidArgument("not a step class");
   }
-  LABFLOW_ASSIGN_OR_RETURN(uint32_t version, schema_.LatestVersion(step_class));
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t version,
+                           db->schema_.LatestVersion(step_class));
   LABFLOW_ASSIGN_OR_RETURN(std::vector<AttrId> version_attrs,
-                           schema_.VersionAttrs(step_class, version));
+                           db->schema_.VersionAttrs(step_class, version));
 
   // Build the sm_step instance, validating tags against the version's
   // attribute set (this is what binds the instance to the version).
@@ -211,7 +327,7 @@ Result<Oid> LabBase::RecordStep(ClassId step_class, Timestamp time,
       if (!std::binary_search(version_attrs.begin(), version_attrs.end(),
                               tag.attr)) {
         LABFLOW_ASSIGN_OR_RETURN(std::string attr_name,
-                                 schema_.AttributeName(tag.attr));
+                                 db->schema_.AttributeName(tag.attr));
         return Status::InvalidArgument(
             "attribute '" + attr_name +
             "' is not in the current version of the step class");
@@ -225,19 +341,19 @@ Result<Oid> LabBase::RecordStep(ClassId step_class, Timestamp time,
   }
 
   AllocHint hint;
-  hint.segment = cold_segment_;
-  if (options_.cluster_steps_near_material && !effects.empty()) {
+  hint.segment = db->cold_segment_;
+  if (db->options_.cluster_steps_near_material && !effects.empty()) {
     hint.cluster_near = ToStorage(effects[0].material);
   }
   LABFLOW_ASSIGN_OR_RETURN(ObjectId step_id,
-                           mgr_->Allocate(step.Encode(), hint));
+                           db->mgr_->Allocate(txn_, step.Encode(), hint));
 
   // Apply the step to each material: involves list, attribute index,
   // state — honouring valid-time ordering throughout.
   for (const StepEffect& effect : effects) {
     LABFLOW_ASSIGN_OR_RETURN(MaterialRecord mat, ReadMaterial(effect.material));
     mat.involves.push_back(step_id);
-    if (options_.use_most_recent_index) {
+    if (db->options_.use_most_recent_index) {
       for (const StepTag& tag : effect.tags) {
         AttrIndexEntry* entry = mat.FindOrAddAttr(tag.attr);
         HistoryRef ref{step_id, time};
@@ -267,11 +383,11 @@ Result<Oid> LabBase::RecordStep(ClassId step_class, Timestamp time,
   return ToUser(step_id);
 }
 
-// ---- Queries -------------------------------------------------------------
+// ---- Session: queries -------------------------------------------------------
 
-Result<Value> LabBase::MostRecent(Oid material, AttrId attr) {
+Result<Value> LabBase::Session::MostRecent(Oid material, AttrId attr) {
   ++stats_.most_recent_queries;
-  if (!options_.use_most_recent_index) {
+  if (!db_->options_.use_most_recent_index) {
     return MostRecentByScan(material, attr);
   }
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
@@ -282,18 +398,20 @@ Result<Value> LabBase::MostRecent(Oid material, AttrId attr) {
   return entry->most_recent;
 }
 
-Result<Value> LabBase::MostRecent(Oid material, std::string_view attr_name) {
-  LABFLOW_ASSIGN_OR_RETURN(AttrId attr, schema_.AttributeByName(attr_name));
+Result<Value> LabBase::Session::MostRecent(Oid material,
+                                           std::string_view attr_name) {
+  LABFLOW_ASSIGN_OR_RETURN(AttrId attr,
+                           db_->schema_.AttributeByName(attr_name));
   return MostRecent(material, attr);
 }
 
-Result<Value> LabBase::MostRecentByScan(Oid material, AttrId attr) {
+Result<Value> LabBase::Session::MostRecentByScan(Oid material, AttrId attr) {
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
   bool found = false;
   Timestamp best_time(INT64_MIN);
   Value best;
   for (ObjectId step_id : rec.involves) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(step_id));
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, db_->mgr_->Read(txn_, step_id));
     LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
     const StepMaterialEntry* entry = step.FindMaterial(ToStorage(material));
     if (entry == nullptr) continue;
@@ -309,9 +427,10 @@ Result<Value> LabBase::MostRecentByScan(Oid material, AttrId attr) {
   return best;
 }
 
-Result<std::vector<HistoryEntry>> LabBase::History(Oid material, AttrId attr) {
+Result<std::vector<HistoryEntry>> LabBase::Session::History(Oid material,
+                                                            AttrId attr) {
   ++stats_.history_queries;
-  if (!options_.use_most_recent_index) {
+  if (!db_->options_.use_most_recent_index) {
     return HistoryByScan(material, attr);
   }
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
@@ -320,7 +439,7 @@ Result<std::vector<HistoryEntry>> LabBase::History(Oid material, AttrId attr) {
   if (entry == nullptr) return out;
   out.reserve(entry->history.size());
   for (const HistoryRef& ref : entry->history) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ref.step));
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, db_->mgr_->Read(txn_, ref.step));
     LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
     const StepMaterialEntry* sm = step.FindMaterial(ToStorage(material));
     if (sm == nullptr) continue;
@@ -333,12 +452,12 @@ Result<std::vector<HistoryEntry>> LabBase::History(Oid material, AttrId attr) {
   return out;
 }
 
-Result<std::vector<HistoryEntry>> LabBase::HistoryByScan(Oid material,
-                                                         AttrId attr) {
+Result<std::vector<HistoryEntry>> LabBase::Session::HistoryByScan(Oid material,
+                                                                  AttrId attr) {
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
   std::vector<HistoryEntry> out;
   for (ObjectId step_id : rec.involves) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(step_id));
+    LABFLOW_ASSIGN_OR_RETURN(std::string data, db_->mgr_->Read(txn_, step_id));
     LABFLOW_ASSIGN_OR_RETURN(StepRecord step, StepRecord::Decode(data));
     const StepMaterialEntry* entry = step.FindMaterial(ToStorage(material));
     if (entry == nullptr) continue;
@@ -356,7 +475,8 @@ Result<std::vector<HistoryEntry>> LabBase::HistoryByScan(Oid material,
   return out;
 }
 
-Result<Value> LabBase::ValueAsOf(Oid material, AttrId attr, Timestamp at) {
+Result<Value> LabBase::Session::ValueAsOf(Oid material, AttrId attr,
+                                          Timestamp at) {
   ++stats_.history_queries;
   LABFLOW_ASSIGN_OR_RETURN(std::vector<HistoryEntry> hist,
                            History(material, attr));
@@ -370,10 +490,8 @@ Result<Value> LabBase::ValueAsOf(Oid material, AttrId attr, Timestamp at) {
   return best->value;
 }
 
-Result<std::vector<HistoryEntry>> LabBase::HistoryBetween(Oid material,
-                                                          AttrId attr,
-                                                          Timestamp from,
-                                                          Timestamp to) {
+Result<std::vector<HistoryEntry>> LabBase::Session::HistoryBetween(
+    Oid material, AttrId attr, Timestamp from, Timestamp to) {
   LABFLOW_ASSIGN_OR_RETURN(std::vector<HistoryEntry> hist,
                            History(material, attr));
   std::vector<HistoryEntry> out;
@@ -383,7 +501,7 @@ Result<std::vector<HistoryEntry>> LabBase::HistoryBetween(Oid material,
   return out;
 }
 
-Result<MaterialInfo> LabBase::GetMaterial(Oid material) {
+Result<MaterialInfo> LabBase::Session::GetMaterial(Oid material) {
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
   MaterialInfo info;
   info.id = material;
@@ -398,8 +516,9 @@ Result<MaterialInfo> LabBase::GetMaterial(Oid material) {
   return info;
 }
 
-Result<StepInfo> LabBase::GetStep(Oid step) {
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(step)));
+Result<StepInfo> LabBase::Session::GetStep(Oid step) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data,
+                           db_->mgr_->Read(txn_, ToStorage(step)));
   LABFLOW_ASSIGN_OR_RETURN(RecordKind kind, PeekRecordKind(data));
   if (kind != RecordKind::kStep) {
     return Status::InvalidArgument("oid is not a step");
@@ -414,75 +533,94 @@ Result<StepInfo> LabBase::GetStep(Oid step) {
   return info;
 }
 
-Result<Oid> LabBase::FindMaterialByName(std::string_view name) {
-  if (name_dir_ != nullptr) {
-    LABFLOW_ASSIGN_OR_RETURN(ObjectId id, name_dir_->Lookup(name));
+Result<Oid> LabBase::Session::FindMaterialByName(std::string_view name) {
+  if (db_->name_dir_ != nullptr) {
+    LABFLOW_ASSIGN_OR_RETURN(ObjectId id, db_->name_dir_->Lookup(name, txn_));
     return ToUser(id);
   }
-  auto it = materials_by_name_.find(name);
-  if (it == materials_by_name_.end()) {
+  std::lock_guard<std::mutex> g(db_->index_mu_);
+  auto it = db_->materials_by_name_.find(name);
+  // A null placeholder is a concurrent CreateMaterial's name reservation:
+  // the material does not exist yet.
+  if (it == db_->materials_by_name_.end() || it->second.IsNull()) {
     return Status::NotFound("no material named " + std::string(name));
   }
   return it->second;
 }
 
-Result<StateId> LabBase::CurrentState(Oid material) {
+Result<StateId> LabBase::Session::CurrentState(Oid material) {
   ++stats_.state_queries;
   LABFLOW_ASSIGN_OR_RETURN(MaterialRecord rec, ReadMaterial(material));
   return rec.state;
 }
 
-Result<std::vector<Oid>> LabBase::MaterialsInState(StateId state) {
+Result<std::vector<Oid>> LabBase::Session::MaterialsInState(StateId state) {
   ++stats_.state_queries;
-  auto it = by_state_.find(state);
-  if (it == by_state_.end()) return std::vector<Oid>{};
+  std::lock_guard<std::mutex> g(db_->index_mu_);
+  auto it = db_->by_state_.find(state);
+  if (it == db_->by_state_.end()) return std::vector<Oid>{};
   std::vector<Oid> out;
   out.reserve(it->second.size());
   for (const auto& [name, oid] : it->second) out.push_back(oid);
   return out;
 }
 
-Result<int64_t> LabBase::CountInState(StateId state) {
+Result<int64_t> LabBase::Session::CountInState(StateId state) {
   ++stats_.state_queries;
-  auto it = by_state_.find(state);
-  return it == by_state_.end() ? 0 : static_cast<int64_t>(it->second.size());
+  std::lock_guard<std::mutex> g(db_->index_mu_);
+  auto it = db_->by_state_.find(state);
+  return it == db_->by_state_.end() ? 0
+                                    : static_cast<int64_t>(it->second.size());
 }
 
-Result<std::vector<Oid>> LabBase::MaterialsOfClass(ClassId material_class) {
-  auto it = by_class_.find(material_class);
-  if (it == by_class_.end()) return std::vector<Oid>{};
+Result<std::vector<Oid>> LabBase::Session::MaterialsOfClass(
+    ClassId material_class) {
+  std::lock_guard<std::mutex> g(db_->index_mu_);
+  auto it = db_->by_class_.find(material_class);
+  if (it == db_->by_class_.end()) return std::vector<Oid>{};
   return std::vector<Oid>(it->second.begin(), it->second.end());
 }
 
-// ---- Sets ------------------------------------------------------------------
+// ---- Session: sets ----------------------------------------------------------
 
-Result<Oid> LabBase::CreateSet(std::string_view name) {
+Result<Oid> LabBase::Session::CreateSet(std::string_view name) {
+  LabBase* db = db_;
   ++stats_.set_operations;
-  if (sets_by_name_.count(name)) {
-    return Status::AlreadyExists("set exists: " + std::string(name));
+  {
+    std::lock_guard<std::mutex> g(db->index_mu_);
+    if (db->sets_by_name_.count(name)) {
+      return Status::AlreadyExists("set exists: " + std::string(name));
+    }
   }
   SetRecord rec;
   rec.name = std::string(name);
   AllocHint hint;
-  hint.segment = hot_segment_;
-  LABFLOW_ASSIGN_OR_RETURN(ObjectId id, mgr_->Allocate(rec.Encode(), hint));
-  sets_by_name_[rec.name] = ToUser(id);
-  root_.sets.emplace_back(rec.name, id);
-  LABFLOW_RETURN_IF_ERROR(PersistRoot());
+  hint.segment = db->hot_segment_;
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId id,
+                           db->mgr_->Allocate(txn_, rec.Encode(), hint));
+  {
+    std::lock_guard<std::mutex> g(db->index_mu_);
+    db->sets_by_name_[rec.name] = ToUser(id);
+  }
+  db->root_.sets.emplace_back(rec.name, id);
+  TouchCatalog();
+  LABFLOW_RETURN_IF_ERROR(db->PersistRoot(txn_));
   return ToUser(id);
 }
 
-Status LabBase::AddToSet(Oid set, Oid material) {
+Status LabBase::Session::AddToSet(Oid set, Oid material) {
   ++stats_.set_operations;
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(std::string data,
+                           db_->mgr_->Read(txn_, ToStorage(set)));
   LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
   rec.members.push_back(ToStorage(material));
-  return mgr_->Update(ToStorage(set), rec.Encode());
+  return db_->mgr_->Update(txn_, ToStorage(set), rec.Encode());
 }
 
-Status LabBase::RemoveFromSet(Oid set, Oid material) {
+Status LabBase::Session::RemoveFromSet(Oid set, Oid material) {
   ++stats_.set_operations;
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(std::string data,
+                           db_->mgr_->Read(txn_, ToStorage(set)));
   LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
   auto it = std::find(rec.members.begin(), rec.members.end(),
                       ToStorage(material));
@@ -490,12 +628,13 @@ Status LabBase::RemoveFromSet(Oid set, Oid material) {
     return Status::NotFound("material not in set");
   }
   rec.members.erase(it);
-  return mgr_->Update(ToStorage(set), rec.Encode());
+  return db_->mgr_->Update(txn_, ToStorage(set), rec.Encode());
 }
 
-Result<std::vector<Oid>> LabBase::SetMembers(Oid set) {
+Result<std::vector<Oid>> LabBase::Session::SetMembers(Oid set) {
   ++stats_.set_operations;
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(ToStorage(set)));
+  LABFLOW_ASSIGN_OR_RETURN(std::string data,
+                           db_->mgr_->Read(txn_, ToStorage(set)));
   LABFLOW_ASSIGN_OR_RETURN(SetRecord rec, SetRecord::Decode(data));
   std::vector<Oid> out;
   out.reserve(rec.members.size());
@@ -503,9 +642,10 @@ Result<std::vector<Oid>> LabBase::SetMembers(Oid set) {
   return out;
 }
 
-Result<Oid> LabBase::FindSetByName(std::string_view name) {
-  auto it = sets_by_name_.find(name);
-  if (it == sets_by_name_.end()) {
+Result<Oid> LabBase::Session::FindSetByName(std::string_view name) {
+  std::lock_guard<std::mutex> g(db_->index_mu_);
+  auto it = db_->sets_by_name_.find(name);
+  if (it == db_->sets_by_name_.end()) {
     return Status::NotFound("no set named " + std::string(name));
   }
   return it->second;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -37,6 +38,7 @@ struct LabBaseOptions {
   /// (storage::HashDir) instead of an in-memory map rebuilt by scan — the
   /// style of access structure the production LabBase kept in persistent
   /// C++. Slower per lookup (it reads storage) but O(1) at open.
+  /// Single-session only: the directory object is not session-aware.
   bool persistent_name_index = false;
 };
 
@@ -74,7 +76,8 @@ struct StepEffect {
   StateId new_state = kInvalidState;
 };
 
-/// Wrapper-level activity counters.
+/// Wrapper-level activity counters. One instance per Session: each client's
+/// activity is accounted where it happened, with no cross-thread sharing.
 struct LabBaseStats {
   uint64_t materials_created = 0;
   uint64_t steps_recorded = 0;
@@ -82,6 +85,16 @@ struct LabBaseStats {
   uint64_t history_queries = 0;
   uint64_t state_queries = 0;
   uint64_t set_operations = 0;
+
+  LabBaseStats& operator+=(const LabBaseStats& o) {
+    materials_created += o.materials_created;
+    steps_recorded += o.steps_recorded;
+    most_recent_queries += o.most_recent_queries;
+    history_queries += o.history_queries;
+    state_queries += o.state_queries;
+    set_operations += o.set_operations;
+    return *this;
+  }
 };
 
 /// LabBase: the workflow-data manager of the paper's Architecture (C) — a
@@ -93,11 +106,21 @@ struct LabBaseStats {
 /// manager it runs on is exactly the variable the LabFlow-1 benchmark
 /// measures.
 ///
-/// Thread compatibility: a LabBase instance serves one thread (matching the
-/// paper's single data-server process); the storage managers underneath are
-/// independently thread-safe.
+/// All data access goes through Session objects (OpenSession). A LabBase
+/// instance may serve many concurrent sessions, each from its own thread; a
+/// single Session serves one thread at a time. Isolation between sessions
+/// is whatever the storage manager provides (OStore: page 2PL; Texas: one
+/// transaction at a time; mm: none) — the shared in-memory indexes are
+/// internally synchronized and roll back with Session::Abort.
+///
+/// Exceptions to multi-session concurrency, by design (the paper's LabBase
+/// ran DDL as rare administrative actions): schema changes (DefineX),
+/// set creation, and the persistent_name_index option require that no other
+/// session is active.
 class LabBase {
  public:
+  class Session;
+
   /// Attaches to `mgr` (not owned). On an empty store this bootstraps the
   /// catalog (root record, segments) and checkpoints once so the root
   /// pointer is durable; on an existing store it loads the schema and
@@ -108,7 +131,83 @@ class LabBase {
   LabBase(const LabBase&) = delete;
   LabBase& operator=(const LabBase&) = delete;
 
-  // ---- Schema (all changes persist immediately via the root record) ------
+  /// Opens a new session. Sessions are independent: each may hold its own
+  /// transaction and runs from its own thread. The session must not outlive
+  /// the LabBase (or the storage manager).
+  std::unique_ptr<Session> OpenSession();
+
+  const Schema& schema() const { return schema_; }
+  storage::StorageManager* storage() { return mgr_; }
+  Status Checkpoint() { return mgr_->Checkpoint(); }
+
+  /// Rebuilds the derived in-memory indexes (name map, state/class sets)
+  /// from the persistent records. Requires no active sessions.
+  Status RebuildIndexes();
+
+ private:
+  friend class Session;
+
+  explicit LabBase(storage::StorageManager* mgr, LabBaseOptions options)
+      : mgr_(mgr), options_(options) {}
+
+  Status Bootstrap();
+  Status LoadExisting(storage::ObjectId root);
+  Status PersistRoot(storage::Txn* txn);
+  /// Re-reads the catalog (root record, schema, set directory) from
+  /// storage. Used after an abort that touched the catalog.
+  Status ReloadCatalog();
+
+  storage::StorageManager* mgr_;
+  LabBaseOptions options_;
+  Schema schema_;
+  storage::ObjectId root_id_;
+  uint16_t hot_segment_ = 0;
+  uint16_t cold_segment_ = 0;
+
+  RootRecord root_;
+  std::unique_ptr<storage::HashDir> name_dir_;
+
+  /// Guards the derived in-memory indexes below against concurrent
+  /// sessions. Never held across storage-manager calls (those may block on
+  /// page locks); instead, mutators reserve/patch entries around the
+  /// storage operation (see Session::CreateMaterial).
+  std::mutex index_mu_;
+  std::map<std::string, Oid, std::less<>> materials_by_name_;
+  // Ordered by material name so work-queue scans are deterministic across
+  // storage managers (object ids are manager-specific).
+  std::map<StateId, std::set<std::pair<std::string, Oid>>> by_state_;
+  std::map<ClassId, std::set<Oid>> by_class_;
+  std::map<std::string, Oid, std::less<>> sets_by_name_;
+};
+
+/// A client session: the unit of transactional interaction with LabBase.
+/// Owns at most one storage transaction at a time (Begin/Commit/Abort) and
+/// its own LabBaseStats. Operations outside a transaction run in
+/// auto-commit mode, exactly as before.
+///
+/// Threading: one thread at a time per Session; different Sessions of the
+/// same LabBase run fully concurrently.
+class LabBase::Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- Transactions --------------------------------------------------------
+
+  /// Starts this session's transaction. InvalidArgument if one is active;
+  /// ResourceExhausted if the manager's concurrency cap is reached (Texas).
+  Status Begin();
+  Status Commit();
+  /// Aborts the storage transaction and rolls the shared in-memory indexes
+  /// back (via this session's index undo log). If the transaction touched
+  /// the catalog (DDL, set creation — single-session operations), the
+  /// catalog is re-read from storage.
+  Status Abort();
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  // ---- Schema (single-session; persists immediately via the root record) ---
 
   Result<ClassId> DefineMaterialClass(std::string_view name);
   /// Defines a step class, or evolves it to a new version when the
@@ -116,7 +215,7 @@ class LabBase {
   Result<ClassId> DefineStepClass(std::string_view name,
                                   const std::vector<std::string>& attr_names);
   Result<StateId> DefineState(std::string_view name);
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const { return db_->schema_; }
 
   // ---- Workflow tracking (paper Section 8.3) -------------------------------
 
@@ -169,7 +268,7 @@ class LabBase {
   Result<int64_t> CountInState(StateId state);
   Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class);
 
-  // ---- Material sets --------------------------------------------------------
+  // ---- Material sets (creation is single-session) ---------------------------
 
   Result<Oid> CreateSet(std::string_view name);
   Status AddToSet(Oid set, Oid material);
@@ -177,57 +276,51 @@ class LabBase {
   Result<std::vector<Oid>> SetMembers(Oid set);
   Result<Oid> FindSetByName(std::string_view name);
 
-  // ---- Transactions & lifecycle -------------------------------------------
+  // ---- Misc ----------------------------------------------------------------
 
-  Status Begin() { return mgr_->Begin(); }
-  Status Commit() { return mgr_->Commit(); }
-  /// Aborts the storage transaction and rebuilds the in-memory indexes
-  /// (which may have observed rolled-back changes).
-  Status Abort();
-  Status Checkpoint() { return mgr_->Checkpoint(); }
-
+  Status Checkpoint() { return db_->mgr_->Checkpoint(); }
   const LabBaseStats& stats() const { return stats_; }
-  storage::StorageManager* storage() { return mgr_; }
-
-  /// Rebuilds the derived in-memory indexes (name map, state/class sets)
-  /// from the persistent records.
-  Status RebuildIndexes();
+  storage::StorageManager* storage() { return db_->mgr_; }
+  LabBase* db() { return db_; }
 
  private:
-  explicit LabBase(storage::StorageManager* mgr, LabBaseOptions options)
-      : mgr_(mgr), options_(options) {}
+  friend class LabBase;
 
-  Status Bootstrap();
-  Status LoadExisting(storage::ObjectId root);
-  Status PersistRoot();
+  explicit Session(LabBase* db) : db_(db) {}
+
+  /// One rollback entry for the shared in-memory indexes. Logged only
+  /// inside a transaction; applied in reverse by Abort.
+  struct IndexUndo {
+    enum Kind : uint8_t { kMaterialCreated = 1, kStateChanged = 2 };
+    Kind kind;
+    std::string name;
+    Oid oid;
+    ClassId class_id = kInvalidClass;  // kMaterialCreated
+    StateId from = kInvalidState;      // kStateChanged / created state
+    StateId to = kInvalidState;        // kStateChanged
+  };
 
   Result<MaterialRecord> ReadMaterial(Oid material);
   Status WriteMaterial(Oid material, const MaterialRecord& rec);
 
-  /// Index maintenance on state transition.
+  /// Index maintenance on state transition (locks index_mu_, logs undo).
   void IndexStateChange(Oid material, const std::string& name, StateId from,
                         StateId to);
+
+  /// Marks the catalog as touched by the active transaction, so Abort
+  /// knows to re-read it.
+  void TouchCatalog() {
+    if (txn_ != nullptr) catalog_dirty_ = true;
+  }
 
   /// Slow-path most-recent: scan the involves list (D1 ablation).
   Result<Value> MostRecentByScan(Oid material, AttrId attr);
   Result<std::vector<HistoryEntry>> HistoryByScan(Oid material, AttrId attr);
 
-  storage::StorageManager* mgr_;
-  LabBaseOptions options_;
-  Schema schema_;
-  storage::ObjectId root_id_;
-  uint16_t hot_segment_ = 0;
-  uint16_t cold_segment_ = 0;
-
-  RootRecord root_;
-  std::unique_ptr<storage::HashDir> name_dir_;
-  std::map<std::string, Oid, std::less<>> materials_by_name_;
-  // Ordered by material name so work-queue scans are deterministic across
-  // storage managers (object ids are manager-specific).
-  std::map<StateId, std::set<std::pair<std::string, Oid>>> by_state_;
-  std::map<ClassId, std::set<Oid>> by_class_;
-  std::map<std::string, Oid, std::less<>> sets_by_name_;
-
+  LabBase* db_;
+  storage::Txn* txn_ = nullptr;
+  std::vector<IndexUndo> index_undo_;
+  bool catalog_dirty_ = false;
   LabBaseStats stats_;
 };
 

@@ -9,7 +9,7 @@ using labbase::StateId;
 using labbase::StepEffect;
 using labbase::StepTag;
 
-Status ApplyUpdate(LabBase* db, const Event& ev) {
+Status ApplyUpdate(LabBase::Session* db, const Event& ev) {
   const labbase::Schema& schema = db->schema();
   switch (ev.type) {
     case Event::Type::kCreateMaterial: {

@@ -11,7 +11,7 @@ namespace labflow::bench {
 /// lookups resolved through the wrapper). Query events are rejected with
 /// InvalidArgument — executing those (and folding their results) is the
 /// driver's job. Shared by the driver, the benches and the examples.
-Status ApplyUpdate(labbase::LabBase* db, const Event& event);
+Status ApplyUpdate(labbase::LabBase::Session* db, const Event& event);
 
 }  // namespace labflow::bench
 

@@ -29,7 +29,7 @@ void FoldString(uint64_t* h, std::string_view s) {
 /// Executes one event against LabBase, folding query results into the
 /// checksum. Updates delegate to ApplyUpdate (shared with the other
 /// harnesses); queries are executed and folded here.
-Status Execute(LabBase* db, const Event& ev, uint64_t* checksum) {
+Status Execute(LabBase::Session* db, const Event& ev, uint64_t* checksum) {
   if (ev.IsUpdate()) return ApplyUpdate(db, ev);
   const labbase::Schema& schema = db->schema();
   switch (ev.type) {
@@ -122,6 +122,10 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
                            LabBase::Open(mgr.get(), options.labbase));
 
+  // One session per event stream: the stream is this driver's single
+  // client, and the session carries its transaction state and counters.
+  std::unique_ptr<LabBase::Session> session = db->OpenSession();
+
   WorkloadGenerator generator(params);
 
   RunReport report;
@@ -131,7 +135,7 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   Stopwatch total;
   ResourceUsage usage_before = ResourceUsage::Now();
 
-  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(db.get()));
+  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(session.get()));
 
   Event ev;
   Stopwatch phase;
@@ -139,15 +143,15 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
     if (!options.run_queries && !ev.IsUpdate()) continue;
     phase.Restart();
     if (options.per_event_transactions) {
-      LABFLOW_RETURN_IF_ERROR(db->Begin());
+      LABFLOW_RETURN_IF_ERROR(session->Begin());
     }
-    Status st = Execute(db.get(), ev, &report.result_checksum);
+    Status st = Execute(session.get(), ev, &report.result_checksum);
     if (!st.ok()) {
-      if (options.per_event_transactions) (void)db->Abort();
+      if (options.per_event_transactions) (void)session->Abort();
       return st;
     }
     if (options.per_event_transactions) {
-      LABFLOW_RETURN_IF_ERROR(db->Commit());
+      LABFLOW_RETURN_IF_ERROR(session->Commit());
     }
     double dt = phase.ElapsedSeconds();
     if (ev.IsUpdate()) {
@@ -160,7 +164,7 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   }
 
   if (options.checkpoint_at_end) {
-    LABFLOW_RETURN_IF_ERROR(db->Checkpoint());
+    LABFLOW_RETURN_IF_ERROR(session->Checkpoint());
   }
 
   report.elapsed_sec = total.ElapsedSeconds();
@@ -173,7 +177,7 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   report.majflt = report.storage.disk_reads;
   report.db_size_bytes = report.storage.db_size_bytes;
   report.wal_bytes = report.storage.wal_bytes;
-  report.wrapper = db->stats();
+  report.wrapper = session->stats();
 
   const WorkloadGenerator::Totals& totals = generator.totals();
   report.events = totals.events;
@@ -182,6 +186,7 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   report.steps = totals.steps;
   report.materials = totals.materials;
 
+  session.reset();
   db.reset();
   LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return report;

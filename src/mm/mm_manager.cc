@@ -9,20 +9,22 @@ using storage::StorageStats;
 MmManager::MmManager(std::string display_name)
     : name_(std::move(display_name)) {}
 
-Status MmManager::Begin() { return Status::OK(); }
-
-Status MmManager::Commit() {
+Status MmManager::CommitTxn(storage::Txn* txn) {
+  (void)txn;
   std::lock_guard<std::mutex> g(mu_);
   ++commits_;
   return Status::OK();
 }
 
-Status MmManager::Abort() {
+Status MmManager::AbortTxn(storage::Txn* txn) {
+  (void)txn;
   return Status::NotSupported("mm: no transaction support");
 }
 
-Result<ObjectId> MmManager::Allocate(std::string_view data,
-                                     const AllocHint& hint) {
+Result<ObjectId> MmManager::DoAllocate(storage::Txn* txn,
+                                       std::string_view data,
+                                       const AllocHint& hint) {
+  (void)txn;   // no isolation in main memory
   (void)hint;  // no placement control in main memory
   std::lock_guard<std::mutex> g(mu_);
   if (closed_) return Status::InvalidArgument("manager closed");
@@ -32,7 +34,8 @@ Result<ObjectId> MmManager::Allocate(std::string_view data,
   return ObjectId(id);
 }
 
-Result<std::string> MmManager::Read(ObjectId id) {
+Result<std::string> MmManager::DoRead(storage::Txn* txn, ObjectId id) {
+  (void)txn;
   std::lock_guard<std::mutex> g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
@@ -41,7 +44,9 @@ Result<std::string> MmManager::Read(ObjectId id) {
   return it->second;
 }
 
-Status MmManager::Update(ObjectId id, std::string_view data) {
+Status MmManager::DoUpdate(storage::Txn* txn, ObjectId id,
+                           std::string_view data) {
+  (void)txn;
   std::lock_guard<std::mutex> g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
@@ -53,7 +58,8 @@ Status MmManager::Update(ObjectId id, std::string_view data) {
   return Status::OK();
 }
 
-Status MmManager::Free(ObjectId id) {
+Status MmManager::DoFree(storage::Txn* txn, ObjectId id) {
+  (void)txn;
   std::lock_guard<std::mutex> g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
@@ -69,8 +75,10 @@ Result<uint16_t> MmManager::CreateSegment(std::string_view name) {
   return static_cast<uint16_t>(0);
 }
 
-Status MmManager::ScanAll(
+Status MmManager::DoScanAll(
+    storage::Txn* txn,
     const std::function<Status(ObjectId, std::string_view)>& fn) {
+  (void)txn;
   // Copy ids first so fn may mutate the store.
   std::vector<uint64_t> ids;
   {
@@ -94,6 +102,7 @@ Status MmManager::ScanAll(
 Status MmManager::Checkpoint() { return Status::OK(); }
 
 Status MmManager::Close() {
+  DropActiveTxns();
   std::lock_guard<std::mutex> g(mu_);
   closed_ = true;
   return Status::OK();

@@ -13,8 +13,10 @@ namespace labflow::mm {
 /// Main-memory storage manager: the paper's "OStore-mm / Texas-mm" server
 /// versions, which run the identical LabBase code "without any persistent
 /// storage management". Objects live in a hash map; there is no paging, no
-/// durability, and Checkpoint is a no-op. Begin/Commit are accepted (and
-/// counted) so the wrapper code path is unchanged; Abort is NotSupported,
+/// durability, and Checkpoint is a no-op. Transactions are accepted (and
+/// commits counted) so the wrapper code path is unchanged, but provide no
+/// isolation or rollback: operations from concurrent handles interleave
+/// freely with per-operation atomicity only, and Abort is NotSupported,
 /// matching the paper's mm configurations which relied on the benchmark
 /// stream never aborting.
 class MmManager : public storage::StorageManager {
@@ -27,14 +29,6 @@ class MmManager : public storage::StorageManager {
 
   std::string_view name() const override { return name_; }
 
-  Status Begin() override;
-  Status Commit() override;
-  Status Abort() override;
-  Result<storage::ObjectId> Allocate(std::string_view data,
-                                     const storage::AllocHint& hint) override;
-  Result<std::string> Read(storage::ObjectId id) override;
-  Status Update(storage::ObjectId id, std::string_view data) override;
-  Status Free(storage::ObjectId id) override;
   Result<uint16_t> CreateSegment(std::string_view name) override;
   Status SetRoot(storage::ObjectId root) override {
     std::lock_guard<std::mutex> g(mu_);
@@ -45,11 +39,24 @@ class MmManager : public storage::StorageManager {
     std::lock_guard<std::mutex> g(mu_);
     return root_;
   }
-  Status ScanAll(const std::function<Status(storage::ObjectId,
-                                            std::string_view)>& fn) override;
   Status Checkpoint() override;
   Status Close() override;
   storage::StorageStats stats() const override;
+
+ protected:
+  Status CommitTxn(storage::Txn* txn) override;
+  Status AbortTxn(storage::Txn* txn) override;
+
+  Result<storage::ObjectId> DoAllocate(storage::Txn* txn,
+                                       std::string_view data,
+                                       const storage::AllocHint& hint) override;
+  Result<std::string> DoRead(storage::Txn* txn, storage::ObjectId id) override;
+  Status DoUpdate(storage::Txn* txn, storage::ObjectId id,
+                  std::string_view data) override;
+  Status DoFree(storage::Txn* txn, storage::ObjectId id) override;
+  Status DoScanAll(storage::Txn* txn,
+                   const std::function<Status(storage::ObjectId,
+                                              std::string_view)>& fn) override;
 
  private:
   std::string name_;

@@ -44,6 +44,22 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
   return Status::OK();
 }
 
+bool LockManager::TryAcquire(uint64_t txn, uint64_t page, bool exclusive) {
+  std::lock_guard<std::mutex> g(mu_);
+  PageLock& lock = table_[page];
+  if (!exclusive && lock.s_owners.count(txn)) return true;
+  if (lock.x_owner == txn) return true;
+  if (!CanGrantLocked(lock, txn, exclusive)) return false;
+  if (exclusive) {
+    lock.s_owners.erase(txn);  // upgrade consumes the shared hold
+    lock.x_owner = txn;
+  } else {
+    lock.s_owners.insert(txn);
+  }
+  held_[txn].insert(page);
+  return true;
+}
+
 void LockManager::ReleaseAll(uint64_t txn) {
   std::lock_guard<std::mutex> g(mu_);
   auto it = held_.find(txn);

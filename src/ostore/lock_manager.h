@@ -31,6 +31,11 @@ class LockManager {
   /// Returns Aborted on timeout.
   Status Acquire(uint64_t txn, uint64_t page, bool exclusive);
 
+  /// Non-blocking Acquire: grants immediately or returns false without
+  /// waiting (and without counting a lock wait). Used by the allocator to
+  /// probe placement candidates that may be held by concurrent inserters.
+  bool TryAcquire(uint64_t txn, uint64_t page, bool exclusive);
+
   /// Releases every lock `txn` holds and wakes waiters.
   void ReleaseAll(uint64_t txn);
 

@@ -16,58 +16,29 @@ Result<std::unique_ptr<OstoreManager>> OstoreManager::Open(
 
 // ---- Transactions ---------------------------------------------------------
 
-OstoreManager::Txn* OstoreManager::CurrentTxn() {
-  std::lock_guard<std::mutex> g(txn_mu_);
-  auto it = txns_.find(std::this_thread::get_id());
-  return it == txns_.end() ? nullptr : it->second.get();
+std::unique_ptr<storage::Txn> OstoreManager::CreateTxn(uint64_t id) {
+  return std::make_unique<OstoreTxn>(this, id);
 }
 
-Status OstoreManager::Begin() {
-  std::lock_guard<std::mutex> g(txn_mu_);
-  auto& slot = txns_[std::this_thread::get_id()];
-  if (slot != nullptr) {
-    return Status::InvalidArgument("nested transactions are not supported");
-  }
-  slot = std::make_unique<Txn>();
-  slot->id = next_txn_id_.fetch_add(1);
-  return Status::OK();
-}
-
-Status OstoreManager::Commit() {
-  std::unique_ptr<Txn> txn;
-  {
-    std::lock_guard<std::mutex> g(txn_mu_);
-    auto it = txns_.find(std::this_thread::get_id());
-    if (it == txns_.end() || it->second == nullptr) {
-      return Status::InvalidArgument("no active transaction");
-    }
-    txn = std::move(it->second);
-    txns_.erase(it);
-  }
+Status OstoreManager::CommitTxn(storage::Txn* txn) {
+  OstoreTxn* t = Cast(txn);
   // WAL first, then make pages evictable, then release locks.
-  if (txn->redo.size() > 0) {
+  if (t->redo.size() > 0) {
     LABFLOW_RETURN_IF_ERROR(
-        wal_.AppendGroup(txn->id, txn->redo.buffer(), sync_commit_));
+        wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_));
   }
-  txn->pins.clear();
-  locks_->ReleaseAll(txn->id);
+  t->pins.clear();
+  locks_->ReleaseAll(t->id());
   commits_.fetch_add(1);
   return Status::OK();
 }
 
-Status OstoreManager::Abort() {
-  std::unique_ptr<Txn> txn;
-  {
-    std::lock_guard<std::mutex> g(txn_mu_);
-    auto it = txns_.find(std::this_thread::get_id());
-    if (it == txns_.end() || it->second == nullptr) {
-      return Status::InvalidArgument("no active transaction");
-    }
-    txn = std::move(it->second);
-    txns_.erase(it);
-  }
+Status OstoreManager::AbortTxn(storage::Txn* txn) {
+  OstoreTxn* t = Cast(txn);
   Status result = Status::OK();
-  for (auto it = txn->undo.rbegin(); it != txn->undo.rend(); ++it) {
+  // The transaction still X-holds every page it dirtied, so the in-memory
+  // undo below is invisible to concurrent transactions until ReleaseAll.
+  for (auto it = t->undo.rbegin(); it != t->undo.rend(); ++it) {
     Status st;
     switch (it->kind) {
       case kUndoInsert:
@@ -91,34 +62,52 @@ Status OstoreManager::Abort() {
     }
     if (!st.ok() && result.ok()) result = st;
   }
-  txn->pins.clear();
-  locks_->ReleaseAll(txn->id);
+  t->pins.clear();
+  locks_->ReleaseAll(t->id());
   aborts_.fetch_add(1);
   return result;
 }
 
-// ---- Hooks from the paged base --------------------------------------------
-
-Status OstoreManager::LockPage(uint64_t page_no, bool exclusive) {
-  Txn* txn = CurrentTxn();
-  if (txn == nullptr) return Status::OK();  // auto-commit mode: no locking
-  return locks_->Acquire(txn->id, page_no, exclusive);
+void OstoreManager::OnTxnDrop(storage::Txn* txn) {
+  // A close or crash with live transactions must release their page pins
+  // before the buffer pool is torn down (their changes are simply dropped:
+  // never committed, so never logged).
+  OstoreTxn* t = Cast(txn);
+  t->pins.clear();
+  locks_->ReleaseAll(t->id());
 }
 
-void OstoreManager::RetainPage(uint64_t page_no) {
-  Txn* txn = CurrentTxn();
+// ---- Hooks from the paged base --------------------------------------------
+
+Status OstoreManager::LockPage(storage::Txn* txn, uint64_t page_no,
+                               bool exclusive) {
+  if (txn == nullptr) return Status::OK();  // auto-commit mode: no locking
+  return locks_->Acquire(txn->id(), page_no, exclusive);
+}
+
+Status OstoreManager::TryLockPage(storage::Txn* txn, uint64_t page_no,
+                                  bool exclusive) {
+  if (txn == nullptr) return Status::OK();
+  if (!locks_->TryAcquire(txn->id(), page_no, exclusive)) {
+    return Status::ResourceExhausted("page lock busy");
+  }
+  return Status::OK();
+}
+
+void OstoreManager::RetainPage(storage::Txn* txn, uint64_t page_no) {
   if (txn == nullptr) return;
-  if (txn->pins.count(page_no)) return;
+  OstoreTxn* t = Cast(txn);
+  if (t->pins.count(page_no)) return;
   // No-steal: hold a pin so an uncommitted dirty page cannot be evicted
   // (and thus never reaches disk before its WAL group does).
   Result<BufferPool::PinGuard> guard = buffer_pool()->Fetch(page_no);
-  if (guard.ok()) txn->pins.emplace(page_no, std::move(guard).value());
+  if (guard.ok()) t->pins.emplace(page_no, std::move(guard).value());
 }
 
-void OstoreManager::AppendRedo(const std::function<void(Encoder*)>& encode) {
-  Txn* txn = CurrentTxn();
+void OstoreManager::AppendRedo(storage::Txn* txn,
+                               const std::function<void(Encoder*)>& encode) {
   if (txn != nullptr) {
-    encode(&txn->redo);
+    encode(&Cast(txn)->redo);
     return;
   }
   // Auto-commit: one-op group, logged immediately with txn id 0.
@@ -127,8 +116,9 @@ void OstoreManager::AppendRedo(const std::function<void(Encoder*)>& encode) {
   (void)wal_.AppendGroup(0, enc.buffer(), false);
 }
 
-void OstoreManager::OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) {
-  AppendRedo([&](Encoder* enc) {
+void OstoreManager::OnPageInit(storage::Txn* txn, uint64_t lsn, uint64_t page,
+                               uint16_t segment) {
+  AppendRedo(txn, [&](Encoder* enc) {
     enc->PutU8(kRedoPageInit);
     enc->PutU64(lsn);
     enc->PutU64(page);
@@ -138,54 +128,52 @@ void OstoreManager::OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) {
   // empty page behind.
 }
 
-void OstoreManager::OnInsert(uint64_t lsn, uint64_t page, uint16_t slot,
-                             std::string_view bytes) {
-  AppendRedo([&](Encoder* enc) {
+void OstoreManager::OnInsert(storage::Txn* txn, uint64_t lsn, uint64_t page,
+                             uint16_t slot, std::string_view bytes) {
+  AppendRedo(txn, [&](Encoder* enc) {
     enc->PutU8(kRedoInsertOp);
     enc->PutU64(lsn);
     enc->PutU64(page);
     enc->PutU32(slot);
     enc->PutString(bytes);
   });
-  Txn* txn = CurrentTxn();
   if (txn != nullptr) {
     uint8_t tag = bytes.empty() ? 0xFF : static_cast<uint8_t>(bytes[0]);
-    txn->undo.push_back(Txn::Undo{kUndoInsert, page, slot, std::string(), tag});
+    Cast(txn)->undo.push_back(
+        OstoreTxn::Undo{kUndoInsert, page, slot, std::string(), tag});
   }
 }
 
-void OstoreManager::OnUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
-                             std::string_view old_bytes,
+void OstoreManager::OnUpdate(storage::Txn* txn, uint64_t lsn, uint64_t page,
+                             uint16_t slot, std::string_view old_bytes,
                              std::string_view bytes) {
-  AppendRedo([&](Encoder* enc) {
+  AppendRedo(txn, [&](Encoder* enc) {
     enc->PutU8(kRedoUpdateOp);
     enc->PutU64(lsn);
     enc->PutU64(page);
     enc->PutU32(slot);
     enc->PutString(bytes);
   });
-  Txn* txn = CurrentTxn();
   if (txn != nullptr) {
     uint8_t tag = bytes.empty() ? 0xFF : static_cast<uint8_t>(bytes[0]);
-    txn->undo.push_back(
-        Txn::Undo{kUndoUpdate, page, slot, std::string(old_bytes), tag});
+    Cast(txn)->undo.push_back(
+        OstoreTxn::Undo{kUndoUpdate, page, slot, std::string(old_bytes), tag});
   }
 }
 
-void OstoreManager::OnDelete(uint64_t lsn, uint64_t page, uint16_t slot,
-                             std::string_view old_bytes) {
-  AppendRedo([&](Encoder* enc) {
+void OstoreManager::OnDelete(storage::Txn* txn, uint64_t lsn, uint64_t page,
+                             uint16_t slot, std::string_view old_bytes) {
+  AppendRedo(txn, [&](Encoder* enc) {
     enc->PutU8(kRedoDeleteOp);
     enc->PutU64(lsn);
     enc->PutU64(page);
     enc->PutU32(slot);
   });
-  Txn* txn = CurrentTxn();
   if (txn != nullptr) {
     uint8_t tag =
         old_bytes.empty() ? 0xFF : static_cast<uint8_t>(old_bytes[0]);
-    txn->undo.push_back(
-        Txn::Undo{kUndoDelete, page, slot, std::string(old_bytes), tag});
+    Cast(txn)->undo.push_back(
+        OstoreTxn::Undo{kUndoDelete, page, slot, std::string(old_bytes), tag});
   }
 }
 
@@ -248,29 +236,9 @@ Status OstoreManager::Recover() {
 
 Status OstoreManager::OnCheckpoint() { return wal_.Truncate(); }
 
-void OstoreManager::DropActiveTransactions() {
-  // A close or crash with live transactions must release their page pins
-  // before the buffer pool is torn down (their changes are simply dropped:
-  // never committed, so never logged).
-  std::lock_guard<std::mutex> g(txn_mu_);
-  for (auto& [tid, txn] : txns_) {
-    if (txn != nullptr) {
-      txn->pins.clear();
-      locks_->ReleaseAll(txn->id);
-    }
-  }
-  txns_.clear();
-}
+Status OstoreManager::OnClose() { return wal_.Close(); }
 
-Status OstoreManager::OnClose() {
-  DropActiveTransactions();
-  return wal_.Close();
-}
-
-Status OstoreManager::OnCrash() {
-  DropActiveTransactions();
-  return wal_.Close();
-}
+Status OstoreManager::OnCrash() { return wal_.Close(); }
 
 void OstoreManager::AugmentStats(StorageStats* stats) const {
   stats->wal_bytes = wal_.SizeBytes();

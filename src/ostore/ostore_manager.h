@@ -3,9 +3,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +38,11 @@ struct OstoreOptions {
 ///    redo WAL whose groups are appended only at commit;
 ///  * recovery: forward replay of committed groups, idempotent through page
 ///    LSNs.
+///
+/// Transactions are explicit Txn handles (see StorageManager); any number of
+/// them may run concurrently from different threads, isolated by the page
+/// locks. Per-transaction state (redo buffer, undo log, page pins) lives on
+/// the handle itself — there is no thread-keyed state.
 class OstoreManager : public storage::PagedManagerBase {
  public:
   /// Opens (or creates) an OStore database; runs recovery when the existing
@@ -49,23 +52,29 @@ class OstoreManager : public storage::PagedManagerBase {
 
   std::string_view name() const override { return "OStore"; }
 
-  Status Begin() override;
-  Status Commit() override;
-  Status Abort() override;
-
  protected:
   bool SupportsSegments() const override { return true; }
   bool UseClusterHint() const override { return false; }
 
-  Status LockPage(uint64_t page_no, bool exclusive) override;
-  void RetainPage(uint64_t page_no) override;
+  // Transaction policy (see StorageManager):
+  std::unique_ptr<storage::Txn> CreateTxn(uint64_t id) override;
+  Status CommitTxn(storage::Txn* txn) override;
+  Status AbortTxn(storage::Txn* txn) override;
+  void OnTxnDrop(storage::Txn* txn) override;
 
-  void OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) override;
-  void OnInsert(uint64_t lsn, uint64_t page, uint16_t slot,
+  Status LockPage(storage::Txn* txn, uint64_t page_no,
+                  bool exclusive) override;
+  Status TryLockPage(storage::Txn* txn, uint64_t page_no,
+                     bool exclusive) override;
+  void RetainPage(storage::Txn* txn, uint64_t page_no) override;
+
+  void OnPageInit(storage::Txn* txn, uint64_t lsn, uint64_t page,
+                  uint16_t segment) override;
+  void OnInsert(storage::Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                 std::string_view bytes) override;
-  void OnUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
+  void OnUpdate(storage::Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                 std::string_view old_bytes, std::string_view bytes) override;
-  void OnDelete(uint64_t lsn, uint64_t page, uint16_t slot,
+  void OnDelete(storage::Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                 std::string_view old_bytes) override;
 
   Status OnOpen(bool fresh) override;
@@ -83,8 +92,12 @@ class OstoreManager : public storage::PagedManagerBase {
     kRedoDeleteOp = 4,
   };
 
-  struct Txn {
-    uint64_t id = 0;
+  /// OStore's transaction handle: redo buffer, undo log and page pins ride
+  /// on the handle, so concurrent transactions never share mutable state.
+  struct OstoreTxn : storage::Txn {
+    OstoreTxn(storage::StorageManager* owner, uint64_t id)
+        : storage::Txn(owner, id) {}
+
     Encoder redo;
     struct Undo {
       UndoKind kind;
@@ -97,24 +110,24 @@ class OstoreManager : public storage::PagedManagerBase {
     std::unordered_map<uint64_t, storage::BufferPool::PinGuard> pins;
   };
 
+  /// Hooks only ever see handles this manager created (CheckTxn upstream).
+  static OstoreTxn* Cast(storage::Txn* txn) {
+    return static_cast<OstoreTxn*>(txn);
+  }
+
   OstoreManager() = default;
 
-  Txn* CurrentTxn();
-  /// Appends an op to the active transaction's redo buffer, or — outside a
-  /// transaction — logs it immediately as an auto-committed group.
-  void AppendRedo(const std::function<void(Encoder*)>& encode);
+  /// Appends an op to the transaction's redo buffer, or — in auto-commit
+  /// mode — logs it immediately as a one-op group.
+  void AppendRedo(storage::Txn* txn,
+                  const std::function<void(Encoder*)>& encode);
 
   Status Recover();
-  /// Releases pins/locks of all live transactions (close/crash teardown).
-  void DropActiveTransactions();
 
   std::unique_ptr<LockManager> locks_;
   Wal wal_;
   bool sync_commit_ = false;
 
-  mutable std::mutex txn_mu_;
-  std::unordered_map<std::thread::id, std::unique_ptr<Txn>> txns_;
-  std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
 };

@@ -71,6 +71,7 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   PutLE64(&frame, txn_id);
   frame.append(payload.data(), payload.size());
   PutLE32(&frame, Checksum(payload));
+  std::lock_guard<std::mutex> g(append_mu_);
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status::IOError("wal append: " + std::string(std::strerror(errno)));
   }
@@ -80,7 +81,7 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   if (sync && ::fdatasync(fileno(file_)) != 0) {
     return Status::IOError("wal sync: " + std::string(std::strerror(errno)));
   }
-  size_ += frame.size();
+  size_.fetch_add(frame.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 

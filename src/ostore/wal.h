@@ -1,8 +1,10 @@
 #ifndef LABFLOW_OSTORE_WAL_H_
 #define LABFLOW_OSTORE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,10 @@ namespace labflow::ostore {
 ///
 /// A torn tail (partial final group or checksum mismatch) terminates the
 /// scan cleanly — exactly what a crash mid-append produces.
+///
+/// AppendGroup is internally serialized so concurrent transactions may
+/// commit from different threads; groups land whole, in some serial order.
+/// Open/ReadAll/Truncate/Close are lifecycle calls (single-threaded).
 class Wal {
  public:
   Wal() = default;
@@ -45,7 +51,7 @@ class Wal {
   /// Discards the log contents (after a checkpoint).
   Status Truncate();
 
-  uint64_t SizeBytes() const { return size_; }
+  uint64_t SizeBytes() const { return size_.load(std::memory_order_relaxed); }
 
   Status Close();
 
@@ -56,7 +62,8 @@ class Wal {
 
   std::string path_;
   FILE* file_ = nullptr;
-  uint64_t size_ = 0;
+  std::mutex append_mu_;
+  std::atomic<uint64_t> size_{0};
 };
 
 }  // namespace labflow::ostore

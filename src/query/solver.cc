@@ -168,9 +168,9 @@ Result<int> CompareForOrder(const Term& lhs, const Term& rhs,
 
 // ---- Solver core ------------------------------------------------------------
 
-Solver::Solver(labbase::LabBase* db) : Solver(db, Options{}) {}
+Solver::Solver(labbase::LabBase::Session* db) : Solver(db, Options{}) {}
 
-Solver::Solver(labbase::LabBase* db, Options options)
+Solver::Solver(labbase::LabBase::Session* db, Options options)
     : db_(db), options_(options) {}
 
 Status Solver::LoadProgram(std::string_view src) {

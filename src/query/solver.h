@@ -57,8 +57,8 @@ class Solver {
   };
 
   /// `db` may be null, giving a pure rule interpreter (used by unit tests).
-  explicit Solver(labbase::LabBase* db);
-  Solver(labbase::LabBase* db, Options options);
+  explicit Solver(labbase::LabBase::Session* db);
+  Solver(labbase::LabBase::Session* db, Options options);
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
@@ -111,7 +111,7 @@ class Solver {
   Clause Rename(const Clause& clause);
   static Term RenameTerm(const Term& t, const std::string& suffix);
 
-  labbase::LabBase* db_;
+  labbase::LabBase::Session* db_;
   Options options_;
   int64_t work_ = 0;
   int64_t depth_ = 0;

@@ -43,13 +43,13 @@ Result<HashDir::Bucket> HashDir::Bucket::Decode(std::string_view data) {
   return bucket;
 }
 
-Status HashDir::WriteRoot() {
+Status HashDir::WriteRoot(Txn* txn) {
   Encoder enc;
   enc.PutU8(kRootKind);
   enc.PutU64(entry_count_);
   enc.PutU32(static_cast<uint32_t>(buckets_.size()));
   for (ObjectId b : buckets_) enc.PutU64(b.raw);
-  return mgr_->Update(root_, enc.buffer());
+  return mgr_->Update(txn, root_, enc.buffer());
 }
 
 Status HashDir::LoadRoot() {
@@ -82,7 +82,7 @@ Result<std::unique_ptr<HashDir>> HashDir::Create(StorageManager* mgr,
   }
   // Placeholder root, then fill it in.
   LABFLOW_ASSIGN_OR_RETURN(dir->root_, mgr->Allocate("", hint));
-  LABFLOW_RETURN_IF_ERROR(dir->WriteRoot());
+  LABFLOW_RETURN_IF_ERROR(dir->WriteRoot(nullptr));
   return dir;
 }
 
@@ -94,62 +94,62 @@ Result<std::unique_ptr<HashDir>> HashDir::Attach(StorageManager* mgr,
   return dir;
 }
 
-Result<HashDir::Bucket> HashDir::ReadBucket(uint32_t index) {
-  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(buckets_[index]));
+Result<HashDir::Bucket> HashDir::ReadBucket(Txn* txn, uint32_t index) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string data, mgr_->Read(txn, buckets_[index]));
   return Bucket::Decode(data);
 }
 
-Status HashDir::WriteBucket(uint32_t index, const Bucket& bucket) {
-  return mgr_->Update(buckets_[index], bucket.Encode());
+Status HashDir::WriteBucket(Txn* txn, uint32_t index, const Bucket& bucket) {
+  return mgr_->Update(txn, buckets_[index], bucket.Encode());
 }
 
-Status HashDir::Insert(std::string_view key, ObjectId id) {
+Status HashDir::Insert(std::string_view key, ObjectId id, Txn* txn) {
   uint32_t index =
       static_cast<uint32_t>(HashKey(key) % buckets_.size());
-  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(txn, index));
   for (const auto& [k, v] : bucket.entries) {
     if (k == key) return Status::AlreadyExists("key exists: " +
                                                std::string(key));
   }
   bucket.entries.emplace_back(std::string(key), id);
-  LABFLOW_RETURN_IF_ERROR(WriteBucket(index, bucket));
+  LABFLOW_RETURN_IF_ERROR(WriteBucket(txn, index, bucket));
   ++entry_count_;
-  LABFLOW_RETURN_IF_ERROR(WriteRoot());
+  LABFLOW_RETURN_IF_ERROR(WriteRoot(txn));
   if (entry_count_ > kSplitLoad * buckets_.size()) {
-    return Grow();
+    return Grow(txn);
   }
   return Status::OK();
 }
 
-Result<ObjectId> HashDir::Lookup(std::string_view key) {
+Result<ObjectId> HashDir::Lookup(std::string_view key, Txn* txn) {
   uint32_t index =
       static_cast<uint32_t>(HashKey(key) % buckets_.size());
-  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(txn, index));
   for (const auto& [k, v] : bucket.entries) {
     if (k == key) return v;
   }
   return Status::NotFound("no such key: " + std::string(key));
 }
 
-Status HashDir::Erase(std::string_view key) {
+Status HashDir::Erase(std::string_view key, Txn* txn) {
   uint32_t index =
       static_cast<uint32_t>(HashKey(key) % buckets_.size());
-  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(index));
+  LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(txn, index));
   for (auto it = bucket.entries.begin(); it != bucket.entries.end(); ++it) {
     if (it->first == key) {
       bucket.entries.erase(it);
-      LABFLOW_RETURN_IF_ERROR(WriteBucket(index, bucket));
+      LABFLOW_RETURN_IF_ERROR(WriteBucket(txn, index, bucket));
       --entry_count_;
-      return WriteRoot();
+      return WriteRoot(txn);
     }
   }
   return Status::NotFound("no such key: " + std::string(key));
 }
 
 Status HashDir::ForEach(
-    const std::function<Status(std::string_view, ObjectId)>& fn) {
+    const std::function<Status(std::string_view, ObjectId)>& fn, Txn* txn) {
   for (uint32_t i = 0; i < buckets_.size(); ++i) {
-    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(i));
+    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(txn, i));
     for (const auto& [key, id] : bucket.entries) {
       LABFLOW_RETURN_IF_ERROR(fn(key, id));
     }
@@ -157,11 +157,11 @@ Status HashDir::ForEach(
   return Status::OK();
 }
 
-Status HashDir::Grow() {
+Status HashDir::Grow(Txn* txn) {
   uint32_t new_count = static_cast<uint32_t>(buckets_.size() * 2);
   std::vector<Bucket> rehashed(new_count);
   for (uint32_t i = 0; i < buckets_.size(); ++i) {
-    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(i));
+    LABFLOW_ASSIGN_OR_RETURN(Bucket bucket, ReadBucket(txn, i));
     for (auto& [key, id] : bucket.entries) {
       uint32_t target = static_cast<uint32_t>(HashKey(key) % new_count);
       rehashed[target].entries.emplace_back(std::move(key), id);
@@ -171,14 +171,14 @@ Status HashDir::Grow() {
   for (uint32_t i = 0; i < new_count; ++i) {
     if (i < buckets_.size()) {
       LABFLOW_RETURN_IF_ERROR(
-          mgr_->Update(buckets_[i], rehashed[i].Encode()));
+          mgr_->Update(txn, buckets_[i], rehashed[i].Encode()));
     } else {
-      LABFLOW_ASSIGN_OR_RETURN(ObjectId b,
-                               mgr_->Allocate(rehashed[i].Encode(), hint_));
+      LABFLOW_ASSIGN_OR_RETURN(
+          ObjectId b, mgr_->Allocate(txn, rehashed[i].Encode(), hint_));
       buckets_.push_back(b);
     }
   }
-  return WriteRoot();
+  return WriteRoot(txn);
 }
 
 }  // namespace labflow::storage

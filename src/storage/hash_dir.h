@@ -23,7 +23,9 @@ namespace labflow::storage {
 /// when the mean bucket occupancy exceeds a threshold (all buckets are
 /// rewritten; the root id stays stable so owners can hold it forever).
 ///
-/// Not thread-safe; callers serialize access (as LabBase does).
+/// Not thread-safe; callers serialize access (as LabBase does). Each
+/// operation takes an optional explicit Txn* forwarded to the underlying
+/// storage manager (nullptr = auto-commit).
 class HashDir {
  public:
   /// Creates an empty directory on `mgr`; returns the handle. The root id
@@ -43,17 +45,17 @@ class HashDir {
   uint64_t size() const { return entry_count_; }
 
   /// Inserts key -> id; AlreadyExists if the key is present.
-  Status Insert(std::string_view key, ObjectId id);
+  Status Insert(std::string_view key, ObjectId id, Txn* txn = nullptr);
 
   /// Returns the id for `key`, or NotFound.
-  Result<ObjectId> Lookup(std::string_view key);
+  Result<ObjectId> Lookup(std::string_view key, Txn* txn = nullptr);
 
   /// Removes `key`; NotFound if absent.
-  Status Erase(std::string_view key);
+  Status Erase(std::string_view key, Txn* txn = nullptr);
 
   /// Visits every (key, id) pair. Order is unspecified.
-  Status ForEach(
-      const std::function<Status(std::string_view, ObjectId)>& fn);
+  Status ForEach(const std::function<Status(std::string_view, ObjectId)>& fn,
+                 Txn* txn = nullptr);
 
  private:
   /// Mean entries per bucket that triggers doubling.
@@ -69,12 +71,12 @@ class HashDir {
     static Result<Bucket> Decode(std::string_view data);
   };
 
-  Result<Bucket> ReadBucket(uint32_t index);
-  Status WriteBucket(uint32_t index, const Bucket& bucket);
-  Status WriteRoot();
+  Result<Bucket> ReadBucket(Txn* txn, uint32_t index);
+  Status WriteBucket(Txn* txn, uint32_t index, const Bucket& bucket);
+  Status WriteRoot(Txn* txn);
   Status LoadRoot();
   /// Doubles the bucket table and rehashes every entry.
-  Status Grow();
+  Status Grow(Txn* txn);
 
   StorageManager* mgr_;
   AllocHint hint_;

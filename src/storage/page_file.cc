@@ -54,13 +54,14 @@ Status PageFile::Close() {
 Result<uint64_t> PageFile::AppendPage() {
   if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
   std::vector<char> zeros(kPageSize, 0);
-  uint64_t page_no = page_count_;
+  std::lock_guard<std::mutex> g(append_mu_);
+  uint64_t page_no = page_count_.load(std::memory_order_relaxed);
   ssize_t n = ::pwrite(fd_, zeros.data(), kPageSize,
                        static_cast<off_t>(page_no * kPageSize));
   if (n != static_cast<ssize_t>(kPageSize)) {
     return ErrnoStatus("pwrite append " + path_);
   }
-  ++page_count_;
+  page_count_.fetch_add(1, std::memory_order_relaxed);
   return page_no;
 }
 

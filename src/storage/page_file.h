@@ -1,7 +1,9 @@
 #ifndef LABFLOW_STORAGE_PAGE_FILE_H_
 #define LABFLOW_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -13,8 +15,11 @@ namespace labflow::storage {
 /// File-backed array of kPageSize pages accessed with pread/pwrite.
 ///
 /// Page numbering starts at 0; callers typically reserve page 0 for a
-/// superblock. PageFile performs no caching — that is the buffer pool's job —
-/// and no locking: callers serialize access.
+/// superblock. PageFile performs no caching — that is the buffer pool's job.
+/// Concurrency: AppendPage is internally serialized and page_count() is a
+/// relaxed atomic (so growth is safe alongside concurrent readers); reads
+/// and writes of the *same* page are the caller's to serialize (page locks
+/// in OStore, the single-transaction discipline in Texas).
 class PageFile {
  public:
   PageFile() = default;
@@ -32,7 +37,9 @@ class PageFile {
   bool is_open() const { return fd_ >= 0; }
 
   /// Number of pages currently in the file.
-  uint64_t page_count() const { return page_count_; }
+  uint64_t page_count() const {
+    return page_count_.load(std::memory_order_relaxed);
+  }
 
   /// Appends a zeroed page; returns its page number.
   Result<uint64_t> AppendPage();
@@ -47,11 +54,12 @@ class PageFile {
   Status Sync();
 
   /// Total file size in bytes.
-  uint64_t SizeBytes() const { return page_count_ * kPageSize; }
+  uint64_t SizeBytes() const { return page_count() * kPageSize; }
 
  private:
   int fd_ = -1;
-  uint64_t page_count_ = 0;
+  std::atomic<uint64_t> page_count_{0};
+  std::mutex append_mu_;
   std::string path_;
 };
 

@@ -235,6 +235,9 @@ Status PagedManagerBase::Checkpoint() {
 Status PagedManagerBase::Close() {
   if (!open_) return Status::OK();
   LABFLOW_RETURN_IF_ERROR(Checkpoint());
+  // Live transactions are dropped (releasing their locks and page pins)
+  // before the buffer pool goes away; their handles become invalid.
+  DropActiveTxns();
   LABFLOW_RETURN_IF_ERROR(OnClose());
   open_ = false;
   pool_.reset();
@@ -244,6 +247,7 @@ Status PagedManagerBase::Close() {
 Status PagedManagerBase::SimulateCrash() {
   if (!open_) return Status::OK();
   open_ = false;
+  DropActiveTxns();
   LABFLOW_RETURN_IF_ERROR(OnCrash());
   pool_.reset();  // dirty pages vanish, as in a process kill
   return file_.Close();
@@ -300,24 +304,30 @@ void PagedManagerBase::NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment,
   }
 }
 
-Result<uint64_t> PagedManagerBase::NewPageInSegment(uint16_t segment) {
+Result<uint64_t> PagedManagerBase::NewPageInSegment(Txn* txn,
+                                                    uint16_t segment) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->NewPage());
   uint64_t page_no = guard->page_no();
-  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   Page page(guard->data());
   page.Initialize(segment);
   uint64_t lsn = NextLsn();
   page.set_lsn(lsn);
   guard->MarkDirty();
-  RetainPage(page_no);
-  OnPageInit(lsn, page_no, segment);
+  RetainPage(txn, page_no);
+  OnPageInit(txn, lsn, page_no, segment);
   return page_no;
 }
 
-Result<ObjectId> PagedManagerBase::TryInsertOnPage(uint64_t page_no,
+Result<ObjectId> PagedManagerBase::TryInsertOnPage(Txn* txn, uint64_t page_no,
                                                    std::string_view record,
-                                                   size_t min_leftover) {
-  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+                                                   size_t min_leftover,
+                                                   bool try_lock) {
+  if (try_lock) {
+    LABFLOW_RETURN_IF_ERROR(TryLockPage(txn, page_no, /*exclusive=*/true));
+  } else {
+    LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
+  }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
   Page page(guard->data());
   if (min_leftover > 0 &&
@@ -337,8 +347,8 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(uint64_t page_no,
   uint64_t lsn = NextLsn();
   page.set_lsn(lsn);
   guard->MarkDirty();
-  RetainPage(page_no);
-  OnInsert(lsn, page_no, slot.value(), record);
+  RetainPage(txn, page_no);
+  OnInsert(txn, lsn, page_no, slot.value(), record);
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
@@ -346,14 +356,17 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(uint64_t page_no,
   return ObjectId::Make(page_no, slot.value());
 }
 
-Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
+Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
+                                                std::string_view record,
                                                 const AllocHint& hint) {
-  // Clustering path: place next to the anchor object if possible.
+  // Clustering path: place next to the anchor object if possible. Blocking
+  // locks are fine here — the only manager honouring cluster hints (Texas)
+  // admits a single transaction and takes no locks at all.
   if (UseClusterHint() && hint.cluster_near.IsValid()) {
     uint64_t anchor_page = hint.cluster_near.page();
     if (anchor_page >= 1 && anchor_page < file_.page_count()) {
       Result<ObjectId> r =
-          TryInsertOnPage(anchor_page, record, kClusterAnchorSlack);
+          TryInsertOnPage(txn, anchor_page, record, kClusterAnchorSlack);
       if (r.ok() || !r.status().IsResourceExhausted()) return r;
       uint64_t overflow = 0;
       {
@@ -362,7 +375,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
         if (it != cluster_overflow_.end()) overflow = it->second;
       }
       if (overflow != 0) {
-        r = TryInsertOnPage(overflow, record);
+        r = TryInsertOnPage(txn, overflow, record);
         if (r.ok() || !r.status().IsResourceExhausted()) return r;
       }
       // Dedicate a new overflow page to this anchor, preferring to adopt a
@@ -371,7 +384,8 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
       // and segment policies compose.
       uint16_t seg = 0;
       {
-        LABFLOW_RETURN_IF_ERROR(LockPage(anchor_page, /*exclusive=*/false));
+        LABFLOW_RETURN_IF_ERROR(
+            LockPage(txn, anchor_page, /*exclusive=*/false));
         LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                  pool_->Fetch(anchor_page));
         seg = Page(guard->data()).segment();
@@ -389,7 +403,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
         }
       }
       if (adopted != 0) {
-        Result<ObjectId> ar = TryInsertOnPage(adopted, record);
+        Result<ObjectId> ar = TryInsertOnPage(txn, adopted, record);
         if (ar.ok()) {
           std::lock_guard<std::mutex> g(alloc_mu_);
           cluster_overflow_[anchor_page] = adopted;
@@ -397,12 +411,12 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
         }
         if (!ar.status().IsResourceExhausted()) return ar;
       }
-      LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(seg));
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(txn, seg));
       {
         std::lock_guard<std::mutex> g(alloc_mu_);
         cluster_overflow_[anchor_page] = fresh;
       }
-      return TryInsertOnPage(fresh, record);
+      return TryInsertOnPage(txn, fresh, record);
     }
   }
 
@@ -414,6 +428,24 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
     }
   }
 
+  // 0. The transaction's preferred page: the page it last inserted into.
+  // Under 2PL it still holds that page's X lock, so this is contention-free
+  // and keeps a transaction's allocations clustered.
+  if (txn != nullptr) {
+    uint64_t pref = txn->preferred_page(seg);
+    if (pref != 0) {
+      Result<ObjectId> r = TryInsertOnPage(txn, pref, record);
+      if (r.ok() || !r.status().IsResourceExhausted()) return r;
+    }
+  }
+
+  // Shared placement candidates are only *probed* when inside a transaction:
+  // another inserter X-holds its page until commit, and blocking on it would
+  // serialize all insert transactions (or abort them as presumed deadlocks).
+  // A busy page reads as ResourceExhausted and falls through, like a full
+  // page would.
+  const bool probe = (txn != nullptr);
+
   // 1. The segment's current open page.
   uint64_t open_page = 0;
   {
@@ -421,17 +453,24 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
     open_page = segments_[seg].open_page;
   }
   if (open_page != 0) {
-    Result<ObjectId> r = TryInsertOnPage(open_page, record);
-    if (r.ok() || !r.status().IsResourceExhausted()) return r;
+    Result<ObjectId> r = TryInsertOnPage(txn, open_page, record, 0, probe);
+    if (r.ok()) {
+      if (txn != nullptr) txn->set_preferred_page(seg, open_page);
+      return r;
+    }
+    if (!r.status().IsResourceExhausted()) return r;
   }
 
-  // 2. A few candidates from the segment's free map.
+  // 2. A few candidates from the segment's free map (more of them when
+  // probing, since busy pages are skipped too).
+  const size_t max_candidates = probe ? 8 : 4;
   std::vector<uint64_t> candidates;
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     const SegmentState& s = segments_[seg];
     for (auto it = s.free_pages.begin();
-         it != s.free_pages.end() && candidates.size() < 4; ++it) {
+         it != s.free_pages.end() && candidates.size() < max_candidates;
+         ++it) {
       if (it->second >= record.size() + Page::kSlotSize &&
           it->first != open_page) {
         candidates.push_back(it->first);
@@ -439,37 +478,41 @@ Result<ObjectId> PagedManagerBase::InsertRecord(std::string_view record,
     }
   }
   for (uint64_t page_no : candidates) {
-    Result<ObjectId> r = TryInsertOnPage(page_no, record);
+    Result<ObjectId> r = TryInsertOnPage(txn, page_no, record, 0, probe);
     if (r.ok()) {
       std::lock_guard<std::mutex> g(alloc_mu_);
       segments_[seg].open_page = page_no;
+      if (txn != nullptr) txn->set_preferred_page(seg, page_no);
       return r;
     }
     if (!r.status().IsResourceExhausted()) return r;
   }
 
   // 3. A fresh page.
-  LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(seg));
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(txn, seg));
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     segments_[seg].open_page = fresh;
   }
-  return TryInsertOnPage(fresh, record);
+  Result<ObjectId> r = TryInsertOnPage(txn, fresh, record);
+  if (r.ok() && txn != nullptr) txn->set_preferred_page(seg, fresh);
+  return r;
 }
 
-Result<ObjectId> PagedManagerBase::Allocate(std::string_view data,
-                                            const AllocHint& hint) {
+Result<ObjectId> PagedManagerBase::DoAllocate(Txn* txn, std::string_view data,
+                                              const AllocHint& hint) {
   if (!open_) return Status::InvalidArgument("manager not open");
   Result<ObjectId> id = Status::Internal("unreachable");
   if (data.size() <= kInlineMax) {
-    id = InsertRecord(PadRecord(EncodeData(kRecTagData, data)), hint);
+    id = InsertRecord(txn, PadRecord(EncodeData(kRecTagData, data)), hint);
   } else {
     std::vector<ObjectId> chunks;
     for (size_t pos = 0; pos < data.size(); pos += kChunkPayload) {
       size_t n = std::min(kChunkPayload, data.size() - pos);
       LABFLOW_ASSIGN_OR_RETURN(
           ObjectId chunk,
-          InsertRecord(PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
+          InsertRecord(txn,
+                       PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
                        hint));
       chunks.push_back(chunk);
     }
@@ -477,7 +520,7 @@ Result<ObjectId> PagedManagerBase::Allocate(std::string_view data,
     if (root.size() > kInlineMax) {
       return Status::NotSupported("object too large");
     }
-    id = InsertRecord(PadRecord(std::move(root)), hint);
+    id = InsertRecord(txn, PadRecord(std::move(root)), hint);
   }
   if (id.ok()) live_objects_.fetch_add(1);
   return id;
@@ -485,25 +528,25 @@ Result<ObjectId> PagedManagerBase::Allocate(std::string_view data,
 
 // ---- Read -----------------------------------------------------------------
 
-Result<std::string> PagedManagerBase::ReadRaw(ObjectId id) {
+Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id) {
   if (!id.IsValid()) return Status::InvalidArgument("invalid object id");
   uint64_t page_no = id.page();
   if (page_no == 0 || page_no >= file_.page_count()) {
     return Status::NotFound("no such object: " + id.ToString());
   }
-  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/false));
+  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
   Page page(guard->data());
   LABFLOW_ASSIGN_OR_RETURN(std::string_view rec, page.Read(id.slot()));
   return std::string(rec);
 }
 
-Result<ObjectId> PagedManagerBase::ResolveForward(ObjectId id,
+Result<ObjectId> PagedManagerBase::ResolveForward(Txn* txn, ObjectId id,
                                                   ObjectId* first_hop) {
   if (first_hop != nullptr) *first_hop = ObjectId::Invalid();
   ObjectId cur = id;
   for (int hops = 0; hops < 32; ++hops) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(cur));
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur));
     if (rec.empty()) return Status::Corruption("empty record");
     if (static_cast<uint8_t>(rec[0]) != kRecTagForward) return cur;
     if (first_hop != nullptr && !first_hop->IsValid()) *first_hop = cur;
@@ -512,10 +555,10 @@ Result<ObjectId> PagedManagerBase::ResolveForward(ObjectId id,
   return Status::Corruption("forwarding chain too long");
 }
 
-Result<std::string> PagedManagerBase::Read(ObjectId id) {
+Result<std::string> PagedManagerBase::DoRead(Txn* txn, ObjectId id) {
   if (!open_) return Status::InvalidArgument("manager not open");
-  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(id, nullptr));
-  LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(terminal));
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(txn, id, nullptr));
+  LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, terminal));
   if (rec.empty()) return Status::Corruption("empty record");
   uint8_t tag = static_cast<uint8_t>(rec[0]);
   if (tag == kRecTagData || tag == kRecTagMovedData) {
@@ -526,7 +569,7 @@ Result<std::string> PagedManagerBase::Read(ObjectId id) {
     LABFLOW_ASSIGN_OR_RETURN(std::vector<ObjectId> chunks, DecodeRoot(rec));
     std::string out;
     for (ObjectId chunk : chunks) {
-      LABFLOW_ASSIGN_OR_RETURN(std::string crec, ReadRaw(chunk));
+      LABFLOW_ASSIGN_OR_RETURN(std::string crec, ReadRaw(txn, chunk));
       LABFLOW_ASSIGN_OR_RETURN(std::string_view payload, DecodePayload(crec));
       out.append(payload.data(), payload.size());
     }
@@ -540,9 +583,10 @@ Result<std::string> PagedManagerBase::Read(ObjectId id) {
 
 // ---- Update / Free --------------------------------------------------------
 
-Status PagedManagerBase::UpdateSlot(ObjectId id, std::string_view record) {
+Status PagedManagerBase::UpdateSlot(Txn* txn, ObjectId id,
+                                    std::string_view record) {
   uint64_t page_no = id.page();
-  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
   Page page(guard->data());
   LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
@@ -551,8 +595,8 @@ Status PagedManagerBase::UpdateSlot(ObjectId id, std::string_view record) {
   uint64_t lsn = NextLsn();
   page.set_lsn(lsn);
   guard->MarkDirty();
-  RetainPage(page_no);
-  OnUpdate(lsn, page_no, id.slot(), old_bytes, record);
+  RetainPage(txn, page_no);
+  OnUpdate(txn, lsn, page_no, id.slot(), old_bytes, record);
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
@@ -560,9 +604,9 @@ Status PagedManagerBase::UpdateSlot(ObjectId id, std::string_view record) {
   return Status::OK();
 }
 
-Status PagedManagerBase::DeleteSlot(ObjectId id) {
+Status PagedManagerBase::DeleteSlot(Txn* txn, ObjectId id) {
   uint64_t page_no = id.page();
-  LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/true));
+  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
   Page page(guard->data());
   LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
@@ -571,8 +615,8 @@ Status PagedManagerBase::DeleteSlot(ObjectId id) {
   uint64_t lsn = NextLsn();
   page.set_lsn(lsn);
   guard->MarkDirty();
-  RetainPage(page_no);
-  OnDelete(lsn, page_no, id.slot(), old_bytes);
+  RetainPage(txn, page_no);
+  OnDelete(txn, lsn, page_no, id.slot(), old_bytes);
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
@@ -580,11 +624,13 @@ Status PagedManagerBase::DeleteSlot(ObjectId id) {
   return Status::OK();
 }
 
-Status PagedManagerBase::Update(ObjectId id, std::string_view data) {
+Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
+                                  std::string_view data) {
   if (!open_) return Status::InvalidArgument("manager not open");
   ObjectId first_hop = ObjectId::Invalid();
-  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(id, &first_hop));
-  LABFLOW_ASSIGN_OR_RETURN(std::string old_rec, ReadRaw(terminal));
+  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal,
+                           ResolveForward(txn, id, &first_hop));
+  LABFLOW_ASSIGN_OR_RETURN(std::string old_rec, ReadRaw(txn, terminal));
   if (old_rec.empty()) return Status::Corruption("empty record");
   uint8_t old_tag = static_cast<uint8_t>(old_rec[0]);
   if (old_tag == kRecTagChunk || old_tag == kRecTagForward) {
@@ -602,7 +648,8 @@ Status PagedManagerBase::Update(ObjectId id, std::string_view data) {
   // churn, and the freed extents there are rarely revisited.
   AllocHint derived;
   {
-    LABFLOW_RETURN_IF_ERROR(LockPage(terminal.page(), /*exclusive=*/false));
+    LABFLOW_RETURN_IF_ERROR(
+        LockPage(txn, terminal.page(), /*exclusive=*/false));
     LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                              pool_->Fetch(terminal.page()));
     derived.segment = Page(guard->data()).segment();
@@ -620,7 +667,8 @@ Status PagedManagerBase::Update(ObjectId id, std::string_view data) {
       size_t n = std::min(kChunkPayload, data.size() - pos);
       LABFLOW_ASSIGN_OR_RETURN(
           ObjectId chunk,
-          InsertRecord(PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
+          InsertRecord(txn,
+                       PadRecord(EncodeData(kRecTagChunk, data.substr(pos, n))),
                        derived));
       new_chunks.push_back(chunk);
     }
@@ -632,53 +680,53 @@ Status PagedManagerBase::Update(ObjectId id, std::string_view data) {
     new_rec = PadRecord(std::move(new_rec));
   }
 
-  Status st = UpdateSlot(terminal, new_rec);
+  Status st = UpdateSlot(txn, terminal, new_rec);
   if (st.IsResourceExhausted()) {
     // Does not fit where it lives: move the payload and forward to it.
     std::string moved = new_rec;
     moved[0] = static_cast<char>(
         (moved[0] == kRecTagRoot || moved[0] == kRecTagMovedRoot) ? kRecTagMovedRoot
                                                             : kRecTagMovedData);
-    LABFLOW_ASSIGN_OR_RETURN(ObjectId target, InsertRecord(moved, derived));
+    LABFLOW_ASSIGN_OR_RETURN(ObjectId target, InsertRecord(txn, moved, derived));
     if (first_hop.IsValid()) {
       // Collapse the chain: repoint the origin, drop the old terminal.
-      LABFLOW_RETURN_IF_ERROR(UpdateSlot(first_hop, EncodeForward(target)));
-      LABFLOW_RETURN_IF_ERROR(DeleteSlot(terminal));
+      LABFLOW_RETURN_IF_ERROR(UpdateSlot(txn, first_hop, EncodeForward(target)));
+      LABFLOW_RETURN_IF_ERROR(DeleteSlot(txn, terminal));
     } else {
-      LABFLOW_RETURN_IF_ERROR(UpdateSlot(terminal, EncodeForward(target)));
+      LABFLOW_RETURN_IF_ERROR(UpdateSlot(txn, terminal, EncodeForward(target)));
     }
   } else if (!st.ok()) {
     return st;
   }
 
   for (ObjectId chunk : old_chunks) {
-    LABFLOW_RETURN_IF_ERROR(DeleteSlot(chunk));
+    LABFLOW_RETURN_IF_ERROR(DeleteSlot(txn, chunk));
   }
   return Status::OK();
 }
 
-Status PagedManagerBase::Free(ObjectId id) {
+Status PagedManagerBase::DoFree(Txn* txn, ObjectId id) {
   if (!open_) return Status::InvalidArgument("manager not open");
   ObjectId cur = id;
   for (int hops = 0; hops < 32; ++hops) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(cur));
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur));
     if (rec.empty()) return Status::Corruption("empty record");
     uint8_t tag = static_cast<uint8_t>(rec[0]);
     if (tag == kRecTagForward) {
       LABFLOW_ASSIGN_OR_RETURN(ObjectId next, DecodeForward(rec));
-      LABFLOW_RETURN_IF_ERROR(DeleteSlot(cur));
+      LABFLOW_RETURN_IF_ERROR(DeleteSlot(txn, cur));
       cur = next;
       continue;
     }
     if (tag == kRecTagRoot || tag == kRecTagMovedRoot) {
       LABFLOW_ASSIGN_OR_RETURN(std::vector<ObjectId> chunks, DecodeRoot(rec));
       for (ObjectId chunk : chunks) {
-        LABFLOW_RETURN_IF_ERROR(DeleteSlot(chunk));
+        LABFLOW_RETURN_IF_ERROR(DeleteSlot(txn, chunk));
       }
     } else if (tag == kRecTagChunk) {
       return Status::InvalidArgument("cannot free internal chunk");
     }
-    LABFLOW_RETURN_IF_ERROR(DeleteSlot(cur));
+    LABFLOW_RETURN_IF_ERROR(DeleteSlot(txn, cur));
     live_objects_.fetch_sub(1);
     return Status::OK();
   }
@@ -687,8 +735,8 @@ Status PagedManagerBase::Free(ObjectId id) {
 
 // ---- Scan -----------------------------------------------------------------
 
-Status PagedManagerBase::ScanAll(
-    const std::function<Status(ObjectId, std::string_view)>& fn) {
+Status PagedManagerBase::DoScanAll(
+    Txn* txn, const std::function<Status(ObjectId, std::string_view)>& fn) {
   if (!open_) return Status::InvalidArgument("manager not open");
   for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
     struct Item {
@@ -698,7 +746,7 @@ Status PagedManagerBase::ScanAll(
     };
     std::vector<Item> items;
     {
-      LABFLOW_RETURN_IF_ERROR(LockPage(page_no, /*exclusive=*/false));
+      LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
       LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                pool_->Fetch(page_no));
       Page page(guard->data());
@@ -721,7 +769,7 @@ Status PagedManagerBase::ScanAll(
       if (item.inline_payload) {
         LABFLOW_RETURN_IF_ERROR(fn(item.id, item.payload));
       } else {
-        LABFLOW_ASSIGN_OR_RETURN(std::string data, Read(item.id));
+        LABFLOW_ASSIGN_OR_RETURN(std::string data, DoRead(txn, item.id));
         LABFLOW_RETURN_IF_ERROR(fn(item.id, data));
       }
     }

@@ -40,10 +40,15 @@ struct PagedManagerOptions {
 ///  * objects larger than a page (spanning roots + chunks),
 ///  * segment- and cluster-hint-driven placement (policy hooks decide which
 ///    hints are honoured — this is where OStore and Texas differ),
-///  * per-segment free-space tracking,
+///  * per-segment free-space tracking with transaction-affine placement
+///    (concurrent inserting transactions are steered onto disjoint pages),
 ///  * superblock persistence and rebuild-by-scan on reopen,
 ///  * hook points for logging (WAL), locking, and dirty-page retention so
 ///    the ostore subclass can layer transactions on top.
+///
+/// Every data path carries the explicit Txn* of the transaction it runs
+/// under (nullptr = auto-commit); the hooks receive it so subclasses never
+/// need thread-keyed transaction state.
 ///
 /// Record wire tags (first byte of every slot record):
 ///   0 data        [0][varint n][n bytes][pad...]
@@ -62,25 +67,12 @@ class PagedManagerBase : public StorageManager {
   Status Open(const PagedManagerOptions& options);
 
   // StorageManager:
-  Status Begin() override { return Status::OK(); }
-  Status Commit() override { return Status::OK(); }
-  Status Abort() override {
-    return Status::NotSupported(std::string(name()) +
-                                ": no transaction support");
-  }
-  Result<ObjectId> Allocate(std::string_view data,
-                            const AllocHint& hint) override;
-  Result<std::string> Read(ObjectId id) override;
-  Status Update(ObjectId id, std::string_view data) override;
-  Status Free(ObjectId id) override;
   Result<uint16_t> CreateSegment(std::string_view name) override;
   Status SetRoot(ObjectId root) override {
     root_.store(root.raw);
     return Status::OK();
   }
   Result<ObjectId> GetRoot() override { return ObjectId(root_.load()); }
-  Status ScanAll(
-      const std::function<Status(ObjectId, std::string_view)>& fn) override;
   Status Checkpoint() override;
   Status Close() override;
   StorageStats stats() const override;
@@ -93,6 +85,16 @@ class PagedManagerBase : public StorageManager {
 
  protected:
   PagedManagerBase() = default;
+
+  // StorageManager data ops:
+  Result<ObjectId> DoAllocate(Txn* txn, std::string_view data,
+                              const AllocHint& hint) override;
+  Result<std::string> DoRead(Txn* txn, ObjectId id) override;
+  Status DoUpdate(Txn* txn, ObjectId id, std::string_view data) override;
+  Status DoFree(Txn* txn, ObjectId id) override;
+  Status DoScanAll(
+      Txn* txn,
+      const std::function<Status(ObjectId, std::string_view)>& fn) override;
 
   // ---- Policy hooks ------------------------------------------------------
 
@@ -109,36 +111,45 @@ class PagedManagerBase : public StorageManager {
   /// is exact-fit. Values are clamped to the page capacity.
   virtual size_t StoreSize(size_t encoded_size) const { return encoded_size; }
 
-  /// Acquire a page lock before any access (OStore: strict 2PL; default:
-  /// no locking).
-  virtual Status LockPage(uint64_t page_no, bool exclusive) {
-    (void)page_no;
-    (void)exclusive;
+  /// Acquire a page lock for `txn` before any access (OStore: strict 2PL;
+  /// default: no locking).
+  virtual Status LockPage(Txn* txn, uint64_t page_no, bool exclusive) {
+    (void)txn, (void)page_no, (void)exclusive;
     return Status::OK();
   }
 
-  /// Keep a dirtied page memory-resident until the active transaction ends
-  /// (OStore no-steal policy; default: nothing).
-  virtual void RetainPage(uint64_t page_no) { (void)page_no; }
+  /// Non-blocking variant used by the allocator when probing shared
+  /// placement candidates: must return ResourceExhausted instead of waiting
+  /// when the lock is held by another transaction, so the allocator can
+  /// fall through to another page. Default: same as LockPage.
+  virtual Status TryLockPage(Txn* txn, uint64_t page_no, bool exclusive) {
+    return LockPage(txn, page_no, exclusive);
+  }
+
+  /// Keep a page dirtied by `txn` memory-resident until the transaction
+  /// ends (OStore no-steal policy; default: nothing).
+  virtual void RetainPage(Txn* txn, uint64_t page_no) {
+    (void)txn, (void)page_no;
+  }
 
   // ---- Logging hooks (called after the in-memory change, with its LSN) ---
 
-  virtual void OnPageInit(uint64_t lsn, uint64_t page, uint16_t segment) {
-    (void)lsn;
-    (void)page;
-    (void)segment;
+  virtual void OnPageInit(Txn* txn, uint64_t lsn, uint64_t page,
+                          uint16_t segment) {
+    (void)txn, (void)lsn, (void)page, (void)segment;
   }
-  virtual void OnInsert(uint64_t lsn, uint64_t page, uint16_t slot,
+  virtual void OnInsert(Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                         std::string_view bytes) {
-    (void)lsn, (void)page, (void)slot, (void)bytes;
+    (void)txn, (void)lsn, (void)page, (void)slot, (void)bytes;
   }
-  virtual void OnUpdate(uint64_t lsn, uint64_t page, uint16_t slot,
+  virtual void OnUpdate(Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                         std::string_view old_bytes, std::string_view bytes) {
-    (void)lsn, (void)page, (void)slot, (void)old_bytes, (void)bytes;
+    (void)txn, (void)lsn, (void)page, (void)slot, (void)old_bytes,
+        (void)bytes;
   }
-  virtual void OnDelete(uint64_t lsn, uint64_t page, uint16_t slot,
+  virtual void OnDelete(Txn* txn, uint64_t lsn, uint64_t page, uint16_t slot,
                         std::string_view old_bytes) {
-    (void)lsn, (void)page, (void)slot, (void)old_bytes;
+    (void)txn, (void)lsn, (void)page, (void)slot, (void)old_bytes;
   }
 
   // ---- Lifecycle hooks ----------------------------------------------------
@@ -238,25 +249,32 @@ class PagedManagerBase : public StorageManager {
   std::string PadRecord(std::string record) const;
 
   /// Inserts an encoded record honouring placement hints; returns its id.
-  Result<ObjectId> InsertRecord(std::string_view record,
+  /// In a transaction, shared placement candidates are probed with
+  /// TryLockPage and the winning page becomes the transaction's preferred
+  /// page for the segment, so concurrent inserters spread out instead of
+  /// serializing on (or deadlocking over) one open page.
+  Result<ObjectId> InsertRecord(Txn* txn, std::string_view record,
                                 const AllocHint& hint);
-  /// Attempts insertion into one specific page; ResourceExhausted if full.
+  /// Attempts insertion into one specific page; ResourceExhausted if full
+  /// (or, with `try_lock`, if the page lock is held by another txn).
   /// `min_leftover` demands that much free space remain afterwards (used to
   /// keep growth slack on cluster-anchor pages).
-  Result<ObjectId> TryInsertOnPage(uint64_t page_no, std::string_view record,
-                                   size_t min_leftover = 0);
+  Result<ObjectId> TryInsertOnPage(Txn* txn, uint64_t page_no,
+                                   std::string_view record,
+                                   size_t min_leftover = 0,
+                                   bool try_lock = false);
   /// Creates, initializes and registers a new page in `segment`.
-  Result<uint64_t> NewPageInSegment(uint16_t segment);
+  Result<uint64_t> NewPageInSegment(Txn* txn, uint16_t segment);
 
   /// Reads the raw (tagged) record bytes of an object.
-  Result<std::string> ReadRaw(ObjectId id);
+  Result<std::string> ReadRaw(Txn* txn, ObjectId id);
   /// Follows forwarding records; returns the terminal id (tag 0/2/5 there).
-  Result<ObjectId> ResolveForward(ObjectId id, ObjectId* first_hop);
+  Result<ObjectId> ResolveForward(Txn* txn, ObjectId id, ObjectId* first_hop);
   /// Deletes one slot, firing hooks and maintaining the free map.
-  Status DeleteSlot(ObjectId id);
+  Status DeleteSlot(Txn* txn, ObjectId id);
   /// Overwrites one slot in place, firing hooks; ResourceExhausted if the
   /// page cannot host the new size.
-  Status UpdateSlot(ObjectId id, std::string_view record);
+  Status UpdateSlot(Txn* txn, ObjectId id, std::string_view record);
 
   void NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment, size_t free);
 

@@ -1,0 +1,100 @@
+#include "storage/storage_manager.h"
+
+namespace labflow::storage {
+
+Result<Txn*> StorageManager::Begin() {
+  std::lock_guard<std::mutex> g(txn_mu_);
+  if (active_txns_.size() >= MaxConcurrentTxns()) {
+    return Status::ResourceExhausted(
+        std::string(name()) + ": concurrent transaction limit reached (" +
+        std::to_string(MaxConcurrentTxns()) + ")");
+  }
+  std::unique_ptr<Txn> txn = CreateTxn(next_txn_id_.fetch_add(1));
+  Txn* raw = txn.get();
+  active_txns_.emplace(raw, std::move(txn));
+  return raw;
+}
+
+Status StorageManager::CheckTxn(Txn* txn) const {
+  if (txn == nullptr) return Status::OK();
+  // Membership is tested by pointer value only: a handle that is not in
+  // active_txns_ may be foreign (another manager's) or stale (already
+  // committed/aborted and freed), and a stale pointer must never be
+  // dereferenced.
+  std::lock_guard<std::mutex> g(txn_mu_);
+  if (active_txns_.count(txn) == 0) {
+    return Status::InvalidArgument(
+        "unknown transaction handle (stale, or owned by another manager)");
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Commit(Txn* txn) {
+  std::unique_ptr<Txn> owned;
+  {
+    std::lock_guard<std::mutex> g(txn_mu_);
+    auto it = txn == nullptr ? active_txns_.end() : active_txns_.find(txn);
+    if (it == active_txns_.end()) {
+      return Status::InvalidArgument("no such transaction");
+    }
+    owned = std::move(it->second);
+    active_txns_.erase(it);
+  }
+  return CommitTxn(owned.get());
+}
+
+Status StorageManager::Abort(Txn* txn) {
+  std::unique_ptr<Txn> owned;
+  {
+    std::lock_guard<std::mutex> g(txn_mu_);
+    auto it = txn == nullptr ? active_txns_.end() : active_txns_.find(txn);
+    if (it == active_txns_.end()) {
+      return Status::InvalidArgument("no such transaction");
+    }
+    owned = std::move(it->second);
+    active_txns_.erase(it);
+  }
+  return AbortTxn(owned.get());
+}
+
+void StorageManager::DropActiveTxns() {
+  std::lock_guard<std::mutex> g(txn_mu_);
+  for (auto& [raw, txn] : active_txns_) {
+    if (txn != nullptr) OnTxnDrop(txn.get());
+  }
+  active_txns_.clear();
+}
+
+size_t StorageManager::ActiveTxnCount() const {
+  std::lock_guard<std::mutex> g(txn_mu_);
+  return active_txns_.size();
+}
+
+Result<ObjectId> StorageManager::Allocate(Txn* txn, std::string_view data,
+                                          const AllocHint& hint) {
+  LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  return DoAllocate(txn, data, hint);
+}
+
+Result<std::string> StorageManager::Read(Txn* txn, ObjectId id) {
+  LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  return DoRead(txn, id);
+}
+
+Status StorageManager::Update(Txn* txn, ObjectId id, std::string_view data) {
+  LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  return DoUpdate(txn, id, data);
+}
+
+Status StorageManager::Free(Txn* txn, ObjectId id) {
+  LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  return DoFree(txn, id);
+}
+
+Status StorageManager::ScanAll(
+    Txn* txn, const std::function<Status(ObjectId, std::string_view)>& fn) {
+  LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  return DoScanAll(txn, fn);
+}
+
+}  // namespace labflow::storage

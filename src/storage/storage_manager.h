@@ -1,10 +1,14 @@
 #ifndef LABFLOW_STORAGE_STORAGE_MANAGER_H_
 #define LABFLOW_STORAGE_STORAGE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -12,9 +16,18 @@
 
 namespace labflow::storage {
 
+class StorageManager;
+
 /// Counters reported by every storage manager. `disk_reads` is the
 /// LabFlow-1 `majflt` proxy (a demand page read from the database file —
 /// see DESIGN.md, substitution table).
+///
+/// Thread-safety contract: stats() may be called from any thread at any
+/// time, including while other threads run transactions. Every counter is
+/// maintained with either a mutex or relaxed atomics, so the snapshot is
+/// tear-free per field; it is NOT a consistent cut across fields (e.g.
+/// txn_commits may already include a commit whose disk_writes are still
+/// being counted).
 struct StorageStats {
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
@@ -40,37 +53,139 @@ struct AllocHint {
   ObjectId cluster_near = ObjectId::Invalid();
 };
 
+/// A first-class transaction handle, returned by StorageManager::Begin()
+/// and passed explicitly to every operation that should run inside the
+/// transaction. This replaces the earlier implicit thread-keyed transaction
+/// state: a handle is not bound to the thread that created it, so a session
+/// layer can own it, hand it around, or multiplex many transactions over a
+/// thread pool.
+///
+/// Threading: a Txn may be *used* by one thread at a time (operations on a
+/// single handle are not internally synchronized); distinct handles on the
+/// same manager may run fully concurrently, subject to the manager's
+/// concurrency-control policy (OStore: page-level 2PL; Texas: a single
+/// transaction at a time; Mm: per-operation mutual exclusion only).
+///
+/// Lifetime: the manager owns the object. Commit/Abort (and Close /
+/// SimulateCrash) invalidate the handle; any later use is a caller error
+/// that the manager detects and rejects (the pointer is removed from the
+/// live-transaction registry before being freed).
+class Txn {
+ public:
+  virtual ~Txn() = default;
+
+  Txn(const Txn&) = delete;
+  Txn& operator=(const Txn&) = delete;
+
+  uint64_t id() const { return id_; }
+  StorageManager* owner() const { return owner_; }
+
+  /// Allocation affinity: the page this transaction last inserted into, per
+  /// segment. Steers concurrent inserters onto disjoint pages so insert-only
+  /// transactions do not serialize on one global open page (the page is
+  /// X-locked until commit under 2PL). Accessed only by the thread running
+  /// the transaction — unsynchronized by design.
+  uint64_t preferred_page(uint16_t segment) const {
+    auto it = preferred_.find(segment);
+    return it == preferred_.end() ? 0 : it->second;
+  }
+  void set_preferred_page(uint16_t segment, uint64_t page) {
+    preferred_[segment] = page;
+  }
+
+ protected:
+  Txn(StorageManager* owner, uint64_t id) : owner_(owner), id_(id) {}
+
+ private:
+  friend class StorageManager;
+
+  StorageManager* owner_;
+  uint64_t id_;
+  std::unordered_map<uint16_t, uint64_t> preferred_;
+};
+
 /// Abstract object storage manager: the substrate under the LabBase
 /// workflow wrapper (paper Architecture (C)). Objects are untyped byte
 /// records identified by stable ObjectIds; object ids never change across
 /// updates (updates that outgrow their slot install a forwarding record
 /// internally).
+///
+/// Transactions are explicit: Begin() returns a Txn* handle and every data
+/// operation takes one. Passing `nullptr` runs the operation in auto-commit
+/// mode (it is its own atomic unit; OStore takes no page locks for it).
+/// The txn-less overloads below are shorthand for exactly that.
+///
+/// Thread-safety contract (per layer, see also docs/STORAGE.md):
+///  * StorageManager and its subclasses are thread-safe: any number of
+///    threads may call data operations concurrently, each with its own Txn
+///    handle (or nullptr). Begin/Commit/Abort are fully synchronized.
+///  * A single Txn handle must not be used from two threads at once.
+///  * Open/Close/SimulateCrash/Checkpoint are lifecycle operations and must
+///    be called while no other thread is inside the manager.
+///  * Whether concurrent transactions are *isolated* is manager policy:
+///    OStore provides strict 2PL page locking; Texas admits only one live
+///    transaction (its no-CC contract); Mm interleaves freely with
+///    per-operation atomicity only.
 class StorageManager {
  public:
   virtual ~StorageManager() = default;
 
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
   /// Human-readable server-version name ("OStore", "Texas", ...).
   virtual std::string_view name() const = 0;
 
-  /// Begins a transaction on the calling thread. Managers without
-  /// concurrency control (texas) treat the triple as no-ops / NotSupported
-  /// per their documented semantics.
-  virtual Status Begin() = 0;
-  virtual Status Commit() = 0;
-  virtual Status Abort() = 0;
+  // ---- Transactions --------------------------------------------------------
+
+  /// Starts a transaction and returns its handle (owned by the manager).
+  /// Managers with a concurrency cap (Texas: one) return ResourceExhausted
+  /// when the cap is reached.
+  Result<Txn*> Begin();
+
+  /// Commits `txn` and invalidates the handle. InvalidArgument for null,
+  /// foreign (different manager) or already-finished handles.
+  Status Commit(Txn* txn);
+
+  /// Aborts `txn`. The handle is invalidated even when rollback is not
+  /// supported (Texas/Mm return NotSupported and simply discard the handle;
+  /// state changes stay applied, per their documented no-CC semantics).
+  Status Abort(Txn* txn);
+
+  // ---- Data operations (explicit-transaction forms) ------------------------
 
   /// Stores a new object; returns its permanent id.
-  virtual Result<ObjectId> Allocate(std::string_view data,
-                                    const AllocHint& hint) = 0;
+  Result<ObjectId> Allocate(Txn* txn, std::string_view data,
+                            const AllocHint& hint);
 
   /// Reads an object's bytes.
-  virtual Result<std::string> Read(ObjectId id) = 0;
+  Result<std::string> Read(Txn* txn, ObjectId id);
 
   /// Replaces an object's bytes; the id remains valid.
-  virtual Status Update(ObjectId id, std::string_view data) = 0;
+  Status Update(Txn* txn, ObjectId id, std::string_view data);
 
   /// Removes an object.
-  virtual Status Free(ObjectId id) = 0;
+  Status Free(Txn* txn, ObjectId id);
+
+  /// Invokes `fn` for every live object. Iteration order is unspecified.
+  Status ScanAll(Txn* txn,
+                 const std::function<Status(ObjectId, std::string_view)>& fn);
+
+  // ---- Auto-commit conveniences (txn == nullptr) ---------------------------
+
+  Result<ObjectId> Allocate(std::string_view data, const AllocHint& hint) {
+    return Allocate(nullptr, data, hint);
+  }
+  Result<std::string> Read(ObjectId id) { return Read(nullptr, id); }
+  Status Update(ObjectId id, std::string_view data) {
+    return Update(nullptr, id, data);
+  }
+  Status Free(ObjectId id) { return Free(nullptr, id); }
+  Status ScanAll(const std::function<Status(ObjectId, std::string_view)>& fn) {
+    return ScanAll(nullptr, fn);
+  }
+
+  // ---- Catalog / lifecycle -------------------------------------------------
 
   /// Creates a named clustering segment and returns its id. Managers
   /// without placement control return segment 0 for every call.
@@ -81,17 +196,78 @@ class StorageManager {
   virtual Status SetRoot(ObjectId root) = 0;
   virtual Result<ObjectId> GetRoot() = 0;
 
-  /// Invokes `fn` for every live object. Iteration order is unspecified.
-  virtual Status ScanAll(
-      const std::function<Status(ObjectId, std::string_view)>& fn) = 0;
-
   /// Forces all state to stable storage (flush + sync + metadata).
   virtual Status Checkpoint() = 0;
 
   /// Checkpoint + release resources. The manager is unusable afterwards.
+  /// Any transaction still live is dropped (its handle becomes invalid).
   virtual Status Close() = 0;
 
   virtual StorageStats stats() const = 0;
+
+ protected:
+  StorageManager() = default;
+
+  // ---- Transaction policy hooks -------------------------------------------
+
+  /// Constructs the manager-specific transaction object. The default is a
+  /// bare Txn (enough for managers whose transactions carry no state).
+  virtual std::unique_ptr<Txn> CreateTxn(uint64_t id) {
+    return std::unique_ptr<Txn>(new Txn(this, id));
+  }
+
+  /// Concurrency cap enforced by Begin(). Texas returns 1 — "Texas does not
+  /// support concurrent access" (paper Section 10).
+  virtual size_t MaxConcurrentTxns() const { return SIZE_MAX; }
+
+  /// Commit work. Called with the handle still valid; it is freed after
+  /// this returns. Default: nothing to do.
+  virtual Status CommitTxn(Txn* txn) {
+    (void)txn;
+    return Status::OK();
+  }
+
+  /// Abort/rollback work; same lifetime rules as CommitTxn. Default:
+  /// rollback is not supported (the handle is still discarded).
+  virtual Status AbortTxn(Txn* txn) {
+    (void)txn;
+    return Status::NotSupported(std::string(name()) +
+                                ": no transaction support");
+  }
+
+  /// Teardown for a transaction dropped without commit or abort (Close /
+  /// SimulateCrash with live transactions). Must release any resources the
+  /// txn holds (locks, page pins) without touching data.
+  virtual void OnTxnDrop(Txn* txn) { (void)txn; }
+
+  // ---- Data-operation implementations --------------------------------------
+  // `txn` has been validated (nullptr, or a live handle of this manager).
+
+  virtual Result<ObjectId> DoAllocate(Txn* txn, std::string_view data,
+                                      const AllocHint& hint) = 0;
+  virtual Result<std::string> DoRead(Txn* txn, ObjectId id) = 0;
+  virtual Status DoUpdate(Txn* txn, ObjectId id, std::string_view data) = 0;
+  virtual Status DoFree(Txn* txn, ObjectId id) = 0;
+  virtual Status DoScanAll(
+      Txn* txn,
+      const std::function<Status(ObjectId, std::string_view)>& fn) = 0;
+
+  // ---- Registry helpers for subclasses -------------------------------------
+
+  /// OK when `txn` is nullptr or a live handle of this manager;
+  /// InvalidArgument otherwise (foreign or stale handle).
+  Status CheckTxn(Txn* txn) const;
+
+  /// Drops every live transaction via OnTxnDrop (close/crash teardown).
+  void DropActiveTxns();
+
+  /// Number of currently live transactions.
+  size_t ActiveTxnCount() const;
+
+ private:
+  mutable std::mutex txn_mu_;
+  std::unordered_map<Txn*, std::unique_ptr<Txn>> active_txns_;
+  std::atomic<uint64_t> next_txn_id_{1};
 };
 
 }  // namespace labflow::storage

@@ -1,6 +1,7 @@
 #ifndef LABFLOW_TEXAS_TEXAS_MANAGER_H_
 #define LABFLOW_TEXAS_TEXAS_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -27,9 +28,12 @@ struct TexasOptions {
 /// "fault" (StorageStats::disk_reads, the benchmark's majflt measure), after
 /// which access is direct until eviction.
 ///
-/// Transaction semantics, as in Texas v0.3: Begin/Commit are accepted but
-/// are no-ops (durability comes from Checkpoint, which writes the whole
-/// dirty set); Abort is NotSupported.
+/// Transaction semantics, as in Texas v0.3: "Texas does not support
+/// concurrent access" (paper Section 10), so Begin() admits exactly one
+/// transaction at a time — a second concurrent Begin is ResourceExhausted.
+/// Commit is a counted no-op (durability comes from Checkpoint, which
+/// writes the whole dirty set); Abort is NotSupported, though the handle is
+/// still retired.
 class TexasManager : public storage::PagedManagerBase {
  public:
   /// Opens (or creates) a Texas database.
@@ -40,14 +44,16 @@ class TexasManager : public storage::PagedManagerBase {
     return client_clustering_ ? "Texas+TC" : "Texas";
   }
 
-  Status Commit() override {
-    ++commits_;
-    return Status::OK();
-  }
-
  protected:
   bool SupportsSegments() const override { return false; }
   bool UseClusterHint() const override { return client_clustering_; }
+
+  size_t MaxConcurrentTxns() const override { return 1; }
+  Status CommitTxn(storage::Txn* txn) override {
+    (void)txn;
+    commits_.fetch_add(1);
+    return Status::OK();
+  }
 
   /// Texas's segregated-fit allocator (Wilson/Kakkad) places objects in
   /// power-of-two size classes; the resulting internal fragmentation is why
@@ -59,14 +65,14 @@ class TexasManager : public storage::PagedManagerBase {
     return cls;
   }
   void AugmentStats(storage::StorageStats* stats) const override {
-    stats->txn_commits = commits_;
+    stats->txn_commits = commits_.load();
   }
 
  private:
   TexasManager() = default;
 
   bool client_clustering_ = false;
-  uint64_t commits_ = 0;
+  std::atomic<uint64_t> commits_{0};
 };
 
 }  // namespace labflow::texas

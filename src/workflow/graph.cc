@@ -144,7 +144,7 @@ WorkflowGraph::Analysis WorkflowGraph::Analyze() const {
   return out;
 }
 
-Status WorkflowGraph::InstallSchema(labbase::LabBase* db) const {
+Status WorkflowGraph::InstallSchema(labbase::LabBase::Session* db) const {
   for (const std::string& cls : material_classes) {
     Status st = db->DefineMaterialClass(cls).status();
     if (!st.ok() && !st.IsAlreadyExists()) return st;

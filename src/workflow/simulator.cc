@@ -9,7 +9,7 @@ using labbase::StateId;
 using labbase::StepEffect;
 using labbase::StepTag;
 
-SimpleSimulator::SimpleSimulator(labbase::LabBase* db,
+SimpleSimulator::SimpleSimulator(labbase::LabBase::Session* db,
                                  const WorkflowGraph& graph, uint64_t seed)
     : db_(db), graph_(graph), rng_(seed) {}
 

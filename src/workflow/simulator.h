@@ -23,7 +23,7 @@ class SimpleSimulator {
  public:
   /// The graph must contain exactly one arrival transition (empty
   /// source_state) and no kSpawn/kJoin transitions.
-  SimpleSimulator(labbase::LabBase* db, const WorkflowGraph& graph,
+  SimpleSimulator(labbase::LabBase::Session* db, const WorkflowGraph& graph,
                   uint64_t seed);
 
   /// Installs the schema and runs `n_materials` materials from arrival to
@@ -44,7 +44,7 @@ class SimpleSimulator {
   Result<int64_t> FireTransition(const Transition& t,
                                  std::vector<Oid> batch);
 
-  labbase::LabBase* db_;
+  labbase::LabBase::Session* db_;
   const WorkflowGraph& graph_;
   Rng rng_;
   VirtualClock clock_;

@@ -1,0 +1,270 @@
+// Concurrency smoke tests: many threads, each with its own explicit Txn
+// handle (or session), against a single manager. These are the tests meant
+// to run under -fsanitize=thread (see scripts/check.sh): they assert only
+// coarse outcomes — counts, visibility, status codes — and exist mainly so
+// TSan can watch the locking.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "labbase/labbase.h"
+#include "ostore/ostore_manager.h"
+#include "storage/storage_manager.h"
+#include "tests/test_util.h"
+
+namespace labflow {
+namespace {
+
+using storage::AllocHint;
+using storage::ObjectId;
+using storage::StorageManager;
+using storage::Txn;
+using test::MakeManager;
+using test::ManagerKind;
+using test::ManagerKindName;
+using test::TempDir;
+
+constexpr int kThreads = 4;
+constexpr int kTxnsPerThread = 16;
+
+/// Begin() with retry: managers with a concurrency cap (Texas admits one
+/// transaction at a time) return ResourceExhausted while the slot is taken,
+/// which a multi-client smoke test must treat as "wait", not "fail".
+Txn* BeginWithRetry(StorageManager* mgr) {
+  for (;;) {
+    auto txn_or = mgr->Begin();
+    if (txn_or.ok()) return txn_or.value();
+    if (!txn_or.status().IsResourceExhausted()) return nullptr;
+    std::this_thread::yield();
+  }
+}
+
+class ConcurrencySmokeTest : public ::testing::TestWithParam<ManagerKind> {
+ protected:
+  void SetUp() override {
+    mgr_ = MakeManager(GetParam(), dir_.file("db"), /*pool_pages=*/1024);
+    ASSERT_NE(mgr_, nullptr);
+  }
+  void TearDown() override {
+    if (mgr_) ASSERT_TRUE(mgr_->Close().ok());
+  }
+
+  TempDir dir_;
+  std::unique_ptr<StorageManager> mgr_;
+};
+
+TEST_P(ConcurrencySmokeTest, DisjointWritersAllCommit) {
+  // N threads, each running short allocate+update transactions on its own
+  // data. Nothing conflicts, so every transaction must commit.
+  std::atomic<uint64_t> commits{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        Txn* txn = BeginWithRetry(mgr_.get());
+        if (txn == nullptr) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::string payload(64, static_cast<char>('a' + t));
+        auto id_or = mgr_->Allocate(txn, payload, AllocHint{});
+        if (!id_or.ok() || !mgr_->Update(txn, id_or.value(), payload).ok() ||
+            !mgr_->Commit(txn).ok()) {
+          (void)mgr_->Abort(txn);
+          failures.fetch_add(1);
+          return;
+        }
+        commits.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(commits.load(), kThreads * kTxnsPerThread);
+  auto stats = mgr_->stats();
+  EXPECT_EQ(stats.live_objects,
+            static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  EXPECT_GE(stats.txn_commits, static_cast<uint64_t>(kThreads) *
+                                   kTxnsPerThread);
+}
+
+TEST_P(ConcurrencySmokeTest, AutoCommitFromManyThreads) {
+  // nullptr-txn (auto-commit) operations never take a concurrency slot and
+  // must be safe from any number of threads on every manager.
+  std::atomic<int> failures{0};
+  std::vector<ObjectId> per_thread_first(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto id_or = mgr_->Allocate(std::string(32, 'a'), AllocHint{});
+        if (!id_or.ok() || !mgr_->Read(id_or.value()).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (i == 0) per_thread_first[t] = id_or.value();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mgr_->stats().live_objects,
+            static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(mgr_->Read(per_thread_first[t]).ok());
+  }
+}
+
+TEST_P(ConcurrencySmokeTest, ConcurrencyCapIsEnforcedOrAbsent) {
+  Txn* first = BeginWithRetry(mgr_.get());
+  ASSERT_NE(first, nullptr);
+  auto second = mgr_->Begin();
+  if (GetParam() == ManagerKind::kTexas) {
+    // "Texas does not support concurrent access": the slot is taken.
+    EXPECT_TRUE(second.status().IsResourceExhausted())
+        << second.status().ToString();
+  } else {
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_TRUE(mgr_->Commit(second.value()).ok());
+  }
+  EXPECT_TRUE(mgr_->Commit(first).ok());
+  // With the slot free again, Begin succeeds everywhere.
+  auto third = mgr_->Begin();
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(mgr_->Commit(third.value()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllManagers, ConcurrencySmokeTest,
+                         ::testing::Values(ManagerKind::kOstore,
+                                           ManagerKind::kTexas,
+                                           ManagerKind::kMm),
+                         [](const auto& info) {
+                           return ManagerKindName(info.param);
+                         });
+
+TEST(OstoreSharedHotSetTest, NoTransactionIsLost) {
+  // All threads hammer the same two objects under 2PL with a short deadlock
+  // timeout: some transactions abort, but commits + aborts must equal the
+  // submitted count and the objects stay readable.
+  TempDir dir;
+  ostore::OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.buffer_pool_pages = 1024;
+  opts.lock_timeout_ms = 10;
+  auto mgr_or = ostore::OstoreManager::Open(opts);
+  ASSERT_TRUE(mgr_or.ok());
+  auto mgr = std::move(mgr_or).value();
+
+  auto a = mgr->Allocate(std::string(64, 'a'), AllocHint{});
+  ASSERT_TRUE(a.ok());
+  // Push the second hot object onto a different page so lock ordering
+  // actually matters.
+  ASSERT_TRUE(mgr->Allocate(std::string(7000, 'f'), AllocHint{}).ok());
+  auto b = mgr->Allocate(std::string(64, 'b'), AllocHint{});
+  ASSERT_TRUE(b.ok());
+  const ObjectId hot[2] = {a.value(), b.value()};
+
+  std::atomic<uint64_t> commits{0};
+  std::atomic<uint64_t> aborts{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        auto txn_or = mgr->Begin();
+        ASSERT_TRUE(txn_or.ok());
+        Txn* txn = txn_or.value();
+        // Opposite orders on alternating threads: deadlock-prone by design.
+        int first = (t + i) % 2;
+        Status st = mgr->Update(txn, hot[first], std::string(64, 'x'));
+        if (st.ok()) st = mgr->Update(txn, hot[1 - first], std::string(64, 'y'));
+        if (st.ok() && mgr->Commit(txn).ok()) {
+          commits.fetch_add(1);
+        } else {
+          (void)mgr->Abort(txn);
+          aborts.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(commits.load() + aborts.load(),
+            static_cast<uint64_t>(kThreads) * kTxnsPerThread);
+  EXPECT_GT(commits.load(), 0u);
+  EXPECT_TRUE(mgr->Read(hot[0]).ok());
+  EXPECT_TRUE(mgr->Read(hot[1]).ok());
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(LabBaseSessionConcurrencyTest, SessionsCommitDisjointMaterials) {
+  // N LabBase sessions on their own threads, each creating its own
+  // materials inside explicit transactions. The shared name directory and
+  // state index must end up consistent.
+  TempDir dir;
+  ostore::OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.buffer_pool_pages = 1024;
+  auto mgr_or = ostore::OstoreManager::Open(opts);
+  ASSERT_TRUE(mgr_or.ok());
+  auto mgr = std::move(mgr_or).value();
+  auto db_or = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{});
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(db_or).value();
+
+  labbase::ClassId clone;
+  labbase::StateId active;
+  {
+    auto admin = db->OpenSession();
+    auto c = admin->DefineMaterialClass("clone");
+    ASSERT_TRUE(c.ok());
+    clone = c.value();
+    auto s = admin->DefineState("active");
+    ASSERT_TRUE(s.ok());
+    active = s.value();
+  }
+
+  constexpr int kPerSession = 12;
+  std::atomic<uint64_t> commits{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = db->OpenSession();
+      for (int i = 0; i < kPerSession; ++i) {
+        if (!session->Begin().ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::string name =
+            "m-" + std::to_string(t) + "-" + std::to_string(i);
+        auto m = session->CreateMaterial(clone, name, active, Timestamp(i));
+        if (m.ok() && session->Commit().ok()) {
+          commits.fetch_add(1);
+        } else {
+          (void)session->Abort();
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(commits.load(), static_cast<uint64_t>(kThreads) * kPerSession);
+
+  auto check = db->OpenSession();
+  auto count = check->CountInState(active);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), static_cast<size_t>(kThreads) * kPerSession);
+  for (int t = 0; t < kThreads; ++t) {
+    auto found = check->FindMaterialByName("m-" + std::to_string(t) + "-0");
+    EXPECT_TRUE(found.ok()) << found.status().ToString();
+  }
+  check.reset();
+  db.reset();
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow

@@ -129,7 +129,8 @@ TEST(LabBasePersistentNameIndexTest, LookupsAndReopenWork) {
   Oid m1;
   {
     auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
-    auto db = labbase::LabBase::Open(mgr.get(), opts).value();
+    auto base = labbase::LabBase::Open(mgr.get(), opts).value();
+    auto db = base->OpenSession();
     auto clone = db->DefineMaterialClass("clone").value();
     auto s0 = db->DefineState("s0").value();
     m1 = db->CreateMaterial(clone, "cl-1", s0, Timestamp(0)).value();
@@ -145,8 +146,9 @@ TEST(LabBasePersistentNameIndexTest, LookupsAndReopenWork) {
   // Reopen: the directory comes back via the catalog, without a scan.
   auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"), 256,
                          /*truncate=*/false);
-  auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
-                .value();  // option restored from the catalog itself
+  auto base = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                  .value();  // option restored from the catalog itself
+  auto db = base->OpenSession();
   EXPECT_EQ(db->FindMaterialByName("cl-1").value(), m1);
   EXPECT_TRUE(db->FindMaterialByName("cl-2").ok());
   ASSERT_TRUE(mgr->Close().ok());

@@ -25,10 +25,12 @@ class LabBaseTest : public ::testing::TestWithParam<ManagerKind> {
     ASSERT_NE(mgr_, nullptr);
     auto db = LabBase::Open(mgr_.get(), LabBaseOptions{});
     ASSERT_TRUE(db.ok()) << db.status().ToString();
-    db_ = std::move(db).value();
+    base_ = std::move(db).value();
+    db_ = base_->OpenSession();
   }
   void TearDown() override {
     db_.reset();
+    base_.reset();
     if (mgr_ != nullptr) {
       ASSERT_TRUE(mgr_->Close().ok());
     }
@@ -65,7 +67,8 @@ class LabBaseTest : public ::testing::TestWithParam<ManagerKind> {
 
   TempDir dir_;
   std::unique_ptr<storage::StorageManager> mgr_;
-  std::unique_ptr<LabBase> db_;
+  std::unique_ptr<LabBase> base_;
+  std::unique_ptr<LabBase::Session> db_;
   ClassId clone_ = kInvalidClass;
   ClassId seq_step_ = kInvalidClass;
   StateId received_ = kInvalidState;
@@ -472,7 +475,8 @@ TEST_P(NoIndexLabBaseTest, ScanPathMatchesIndexedAnswers) {
   ASSERT_NE(mgr, nullptr);
   LabBaseOptions opts;
   opts.use_most_recent_index = false;
-  auto db = LabBase::Open(mgr.get(), opts).value();
+  auto base = LabBase::Open(mgr.get(), opts).value();
+  auto db = base->OpenSession();
   ClassId clone = db->DefineMaterialClass("clone").value();
   StateId s0 = db->DefineState("s0").value();
   ClassId step = db->DefineStepClass("measure", {"x"}).value();
@@ -516,7 +520,8 @@ TEST_P(LabBasePersistenceTest, FullStateSurvivesReopen) {
   {
     auto mgr = MakeManager(GetParam(), dir.file("db"));
     ASSERT_NE(mgr, nullptr);
-    auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+    auto base = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+    auto db = base->OpenSession();
     ClassId clone = db->DefineMaterialClass("clone").value();
     StateId received = db->DefineState("received").value();
     sequenced = db->DefineState("sequenced").value();
@@ -538,7 +543,8 @@ TEST_P(LabBasePersistenceTest, FullStateSurvivesReopen) {
   }
   auto mgr = MakeManager(GetParam(), dir.file("db"), 256, /*truncate=*/false);
   ASSERT_NE(mgr, nullptr);
-  auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  auto base = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   EXPECT_EQ(db->schema().VersionCount(step_class).value(), 2u);
   EXPECT_EQ(db->FindMaterialByName("cl-7").value(), m_id);
   EXPECT_EQ(db->MostRecent(m_id, seq).value().string_value(), "GATTACA");
@@ -561,7 +567,8 @@ TEST(LabBaseTxnTest, AbortedStepLeavesNoTrace) {
   TempDir dir;
   auto mgr = MakeManager(ManagerKind::kOstore, dir.file("db"));
   ASSERT_NE(mgr, nullptr);
-  auto db = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  auto base = LabBase::Open(mgr.get(), LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   ClassId clone = db->DefineMaterialClass("clone").value();
   StateId s0 = db->DefineState("s0").value();
   StateId s1 = db->DefineState("s1").value();

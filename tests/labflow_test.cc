@@ -359,8 +359,9 @@ TEST_P(MidStreamReopenTest, ContinuingAfterReopenMatchesUninterruptedRun) {
         GetParam() == ServerVersion::kOstore ? test::ManagerKind::kOstore
                                              : test::ManagerKind::kTexas,
         dir.file("db"));
-    auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
-                  .value();
+    auto base = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                    .value();
+    auto db = base->OpenSession();
     WorkloadGenerator gen(params);
     ASSERT_TRUE(gen.graph().InstallSchema(db.get()).ok());
     Event ev;
@@ -392,8 +393,9 @@ TEST_P(MidStreamReopenTest, ContinuingAfterReopenMatchesUninterruptedRun) {
   size_t half = updates.size() / 2;
   {
     auto mgr = test::MakeManager(kind, dir.file("db"));
-    auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
-                  .value();
+    auto base = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                    .value();
+    auto db = base->OpenSession();
     ASSERT_TRUE(gen.graph().InstallSchema(db.get()).ok());
     for (size_t i = 0; i < half; ++i) {
       ASSERT_TRUE(ApplyUpdate(db.get(), updates[i]).ok());
@@ -401,8 +403,9 @@ TEST_P(MidStreamReopenTest, ContinuingAfterReopenMatchesUninterruptedRun) {
     ASSERT_TRUE(mgr->Close().ok());
   }
   auto mgr = test::MakeManager(kind, dir.file("db"), 256, /*truncate=*/false);
-  auto db =
+  auto base =
       labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   for (size_t i = half; i < updates.size(); ++i) {
     ASSERT_TRUE(ApplyUpdate(db.get(), updates[i]).ok())
         << "event " << i << " after reopen";

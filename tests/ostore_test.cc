@@ -12,6 +12,7 @@ namespace {
 
 using storage::AllocHint;
 using storage::ObjectId;
+using storage::Txn;
 using test::TempDir;
 
 std::unique_ptr<OstoreManager> OpenOstore(const std::string& path,
@@ -28,13 +29,19 @@ std::unique_ptr<OstoreManager> OpenOstore(const std::string& path,
   return r.ok() ? std::move(r).value() : nullptr;
 }
 
+Txn* MustBegin(OstoreManager* mgr) {
+  auto txn = mgr->Begin();
+  EXPECT_TRUE(txn.ok()) << txn.status().ToString();
+  return txn.ok() ? txn.value() : nullptr;
+}
+
 TEST(OstoreTxnTest, CommitMakesChangesVisible) {
   TempDir dir;
   auto mgr = OpenOstore(dir.file("db"));
-  ASSERT_TRUE(mgr->Begin().ok());
-  auto id = mgr->Allocate("committed", AllocHint{});
+  Txn* txn = MustBegin(mgr.get());
+  auto id = mgr->Allocate(txn, "committed", AllocHint{});
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(mgr->Commit().ok());
+  ASSERT_TRUE(mgr->Commit(txn).ok());
   EXPECT_EQ(mgr->Read(id.value()).value(), "committed");
   EXPECT_EQ(mgr->stats().txn_commits, 1u);
   ASSERT_TRUE(mgr->Close().ok());
@@ -43,10 +50,10 @@ TEST(OstoreTxnTest, CommitMakesChangesVisible) {
 TEST(OstoreTxnTest, AbortRollsBackAllocate) {
   TempDir dir;
   auto mgr = OpenOstore(dir.file("db"));
-  ASSERT_TRUE(mgr->Begin().ok());
-  auto id = mgr->Allocate("doomed", AllocHint{});
+  Txn* txn = MustBegin(mgr.get());
+  auto id = mgr->Allocate(txn, "doomed", AllocHint{});
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(mgr->Abort().ok());
+  ASSERT_TRUE(mgr->Abort(txn).ok());
   EXPECT_TRUE(mgr->Read(id.value()).status().IsNotFound());
   EXPECT_EQ(mgr->stats().live_objects, 0u);
   EXPECT_EQ(mgr->stats().txn_aborts, 1u);
@@ -58,10 +65,10 @@ TEST(OstoreTxnTest, AbortRollsBackUpdate) {
   auto mgr = OpenOstore(dir.file("db"));
   auto id = mgr->Allocate("original", AllocHint{});
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(mgr->Begin().ok());
-  ASSERT_TRUE(mgr->Update(id.value(), "scribbled").ok());
-  EXPECT_EQ(mgr->Read(id.value()).value(), "scribbled");
-  ASSERT_TRUE(mgr->Abort().ok());
+  Txn* txn = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Update(txn, id.value(), "scribbled").ok());
+  EXPECT_EQ(mgr->Read(txn, id.value()).value(), "scribbled");
+  ASSERT_TRUE(mgr->Abort(txn).ok());
   EXPECT_EQ(mgr->Read(id.value()).value(), "original");
   ASSERT_TRUE(mgr->Close().ok());
 }
@@ -72,9 +79,9 @@ TEST(OstoreTxnTest, AbortRollsBackFree) {
   auto id = mgr->Allocate("keep me", AllocHint{});
   ASSERT_TRUE(id.ok());
   uint64_t live = mgr->stats().live_objects;
-  ASSERT_TRUE(mgr->Begin().ok());
-  ASSERT_TRUE(mgr->Free(id.value()).ok());
-  ASSERT_TRUE(mgr->Abort().ok());
+  Txn* txn = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Free(txn, id.value()).ok());
+  ASSERT_TRUE(mgr->Abort(txn).ok());
   EXPECT_EQ(mgr->Read(id.value()).value(), "keep me");
   EXPECT_EQ(mgr->stats().live_objects, live);
   ASSERT_TRUE(mgr->Close().ok());
@@ -88,14 +95,14 @@ TEST(OstoreTxnTest, AbortRollsBackMixedSequence) {
   auto doomed = mgr->Allocate("doomed", AllocHint{});
   ASSERT_TRUE(keep.ok() && mutate.ok() && doomed.ok());
 
-  ASSERT_TRUE(mgr->Begin().ok());
-  ASSERT_TRUE(mgr->Update(mutate.value(), std::string(3000, 'x')).ok());
+  Txn* txn = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Update(txn, mutate.value(), std::string(3000, 'x')).ok());
   // Allocate before the free: a freed slot may be reused by a later
   // allocation, which would make `fresh`'s id ambiguous after rollback.
-  auto fresh = mgr->Allocate("fresh", AllocHint{});
+  auto fresh = mgr->Allocate(txn, "fresh", AllocHint{});
   ASSERT_TRUE(fresh.ok());
-  ASSERT_TRUE(mgr->Free(doomed.value()).ok());
-  ASSERT_TRUE(mgr->Abort().ok());
+  ASSERT_TRUE(mgr->Free(txn, doomed.value()).ok());
+  ASSERT_TRUE(mgr->Abort(txn).ok());
 
   EXPECT_EQ(mgr->Read(keep.value()).value(), "stable");
   EXPECT_EQ(mgr->Read(mutate.value()).value(), "before");
@@ -105,20 +112,50 @@ TEST(OstoreTxnTest, AbortRollsBackMixedSequence) {
   ASSERT_TRUE(mgr->Close().ok());
 }
 
-TEST(OstoreTxnTest, NestedBeginRejected) {
+TEST(OstoreTxnTest, TwoHandlesFromOneThreadBothCommit) {
+  // The old thread-keyed API forced one transaction per thread; explicit
+  // handles allow any number side by side, touching disjoint pages.
   TempDir dir;
   auto mgr = OpenOstore(dir.file("db"));
-  ASSERT_TRUE(mgr->Begin().ok());
-  EXPECT_TRUE(mgr->Begin().IsInvalidArgument());
-  ASSERT_TRUE(mgr->Commit().ok());
+  auto seg2 = mgr->CreateSegment("other");
+  ASSERT_TRUE(seg2.ok());
+  Txn* t1 = MustBegin(mgr.get());
+  Txn* t2 = MustBegin(mgr.get());
+  ASSERT_NE(t1, t2);
+  auto a = mgr->Allocate(t1, "from t1", AllocHint{});
+  AllocHint h2;
+  h2.segment = seg2.value();
+  auto b = mgr->Allocate(t2, "from t2", h2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(mgr->Commit(t1).ok());
+  ASSERT_TRUE(mgr->Commit(t2).ok());
+  EXPECT_EQ(mgr->Read(a.value()).value(), "from t1");
+  EXPECT_EQ(mgr->Read(b.value()).value(), "from t2");
+  EXPECT_EQ(mgr->stats().txn_commits, 2u);
   ASSERT_TRUE(mgr->Close().ok());
 }
 
-TEST(OstoreTxnTest, CommitWithoutBeginRejected) {
+TEST(OstoreTxnTest, StaleAndForeignHandlesRejected) {
   TempDir dir;
   auto mgr = OpenOstore(dir.file("db"));
-  EXPECT_TRUE(mgr->Commit().IsInvalidArgument());
-  EXPECT_TRUE(mgr->Abort().IsInvalidArgument());
+  EXPECT_TRUE(mgr->Commit(nullptr).IsInvalidArgument());
+  EXPECT_TRUE(mgr->Abort(nullptr).IsInvalidArgument());
+
+  Txn* txn = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Commit(txn).ok());
+  // The handle is dead after commit: both control and data ops reject it.
+  EXPECT_TRUE(mgr->Commit(txn).IsInvalidArgument());
+  EXPECT_TRUE(mgr->Abort(txn).IsInvalidArgument());
+  EXPECT_TRUE(mgr->Allocate(txn, "x", AllocHint{}).status()
+                  .IsInvalidArgument());
+
+  // A handle from another manager is foreign.
+  auto other = OpenOstore(dir.file("db2"));
+  Txn* foreign = MustBegin(other.get());
+  EXPECT_TRUE(mgr->Commit(foreign).IsInvalidArgument());
+  EXPECT_TRUE(mgr->Read(foreign, ObjectId(1)).status().IsInvalidArgument());
+  ASSERT_TRUE(other->Abort(foreign).ok());
+  ASSERT_TRUE(other->Close().ok());
   ASSERT_TRUE(mgr->Close().ok());
 }
 
@@ -127,11 +164,11 @@ TEST(OstoreRecoveryTest, CommittedTxnSurvivesCrash) {
   ObjectId id;
   {
     auto mgr = OpenOstore(dir.file("db"));
-    ASSERT_TRUE(mgr->Begin().ok());
-    auto r = mgr->Allocate("durable", AllocHint{});
+    Txn* txn = MustBegin(mgr.get());
+    auto r = mgr->Allocate(txn, "durable", AllocHint{});
     ASSERT_TRUE(r.ok());
     id = r.value();
-    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->Commit(txn).ok());
     ASSERT_TRUE(mgr->SimulateCrash().ok());  // no checkpoint
   }
   auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
@@ -146,13 +183,13 @@ TEST(OstoreRecoveryTest, UncommittedTxnVanishesAfterCrash) {
   ObjectId committed_id, uncommitted_id;
   {
     auto mgr = OpenOstore(dir.file("db"));
-    ASSERT_TRUE(mgr->Begin().ok());
-    auto a = mgr->Allocate("committed", AllocHint{});
+    Txn* t1 = MustBegin(mgr.get());
+    auto a = mgr->Allocate(t1, "committed", AllocHint{});
     ASSERT_TRUE(a.ok());
     committed_id = a.value();
-    ASSERT_TRUE(mgr->Commit().ok());
-    ASSERT_TRUE(mgr->Begin().ok());
-    auto b = mgr->Allocate("uncommitted", AllocHint{});
+    ASSERT_TRUE(mgr->Commit(t1).ok());
+    Txn* t2 = MustBegin(mgr.get());
+    auto b = mgr->Allocate(t2, "uncommitted", AllocHint{});
     ASSERT_TRUE(b.ok());
     uncommitted_id = b.value();
     ASSERT_TRUE(mgr->SimulateCrash().ok());  // crash mid-transaction
@@ -170,15 +207,16 @@ TEST(OstoreRecoveryTest, ManyTxnsReplayInOrder) {
     auto mgr = OpenOstore(dir.file("db"));
     // Interleave allocations and updates over 50 committed txns.
     for (int t = 0; t < 50; ++t) {
-      ASSERT_TRUE(mgr->Begin().ok());
-      auto id = mgr->Allocate("v0-" + std::to_string(t), AllocHint{});
+      Txn* txn = MustBegin(mgr.get());
+      auto id = mgr->Allocate(txn, "v0-" + std::to_string(t), AllocHint{});
       ASSERT_TRUE(id.ok());
       ids.push_back(id.value());
       if (t > 0) {
         ASSERT_TRUE(
-            mgr->Update(ids[t - 1], "final-" + std::to_string(t - 1)).ok());
+            mgr->Update(txn, ids[t - 1], "final-" + std::to_string(t - 1))
+                .ok());
       }
-      ASSERT_TRUE(mgr->Commit().ok());
+      ASSERT_TRUE(mgr->Commit(txn).ok());
     }
     ASSERT_TRUE(mgr->SimulateCrash().ok());
   }
@@ -195,9 +233,9 @@ TEST(OstoreRecoveryTest, ManyTxnsReplayInOrder) {
 TEST(OstoreRecoveryTest, CheckpointTruncatesWal) {
   TempDir dir;
   auto mgr = OpenOstore(dir.file("db"));
-  ASSERT_TRUE(mgr->Begin().ok());
-  ASSERT_TRUE(mgr->Allocate(std::string(1000, 'w'), AllocHint{}).ok());
-  ASSERT_TRUE(mgr->Commit().ok());
+  Txn* txn = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Allocate(txn, std::string(1000, 'w'), AllocHint{}).ok());
+  ASSERT_TRUE(mgr->Commit(txn).ok());
   EXPECT_GT(mgr->stats().wal_bytes, 0u);
   ASSERT_TRUE(mgr->Checkpoint().ok());
   EXPECT_EQ(mgr->stats().wal_bytes, 0u);
@@ -213,12 +251,12 @@ TEST(OstoreRecoveryTest, RecoveryAfterCheckpointPlusMoreTxns) {
     ASSERT_TRUE(a.ok());
     old_id = a.value();
     ASSERT_TRUE(mgr->Checkpoint().ok());
-    ASSERT_TRUE(mgr->Begin().ok());
-    auto b = mgr->Allocate("post-checkpoint", AllocHint{});
+    Txn* txn = MustBegin(mgr.get());
+    auto b = mgr->Allocate(txn, "post-checkpoint", AllocHint{});
     ASSERT_TRUE(b.ok());
     new_id = b.value();
-    ASSERT_TRUE(mgr->Update(old_id, "updated after checkpoint").ok());
-    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->Update(txn, old_id, "updated after checkpoint").ok());
+    ASSERT_TRUE(mgr->Commit(txn).ok());
     ASSERT_TRUE(mgr->SimulateCrash().ok());
   }
   auto mgr = OpenOstore(dir.file("db"), /*truncate=*/false);
@@ -233,17 +271,19 @@ TEST(OstoreLockTest, ConcurrentDisjointTxnsBothCommit) {
   std::atomic<int> failures{0};
   auto worker = [&](int which) {
     for (int i = 0; i < 20; ++i) {
-      if (!mgr->Begin().ok()) {
+      auto txn = mgr->Begin();
+      if (!txn.ok()) {
         ++failures;
         return;
       }
       AllocHint hint;
       hint.segment = 0;
       auto id = mgr->Allocate(
-          "w" + std::to_string(which) + "-" + std::to_string(i), hint);
-      if (!id.ok() || !mgr->Commit().ok()) {
+          txn.value(), "w" + std::to_string(which) + "-" + std::to_string(i),
+          hint);
+      if (!id.ok() || !mgr->Commit(txn.value()).ok()) {
         ++failures;
-        (void)mgr->Abort();
+        (void)mgr->Abort(txn.value());
         return;
       }
     }
@@ -263,20 +303,20 @@ TEST(OstoreLockTest, WriterBlocksWriterUntilCommit) {
   auto id = mgr->Allocate("contended", AllocHint{});
   ASSERT_TRUE(id.ok());
 
-  ASSERT_TRUE(mgr->Begin().ok());
-  ASSERT_TRUE(mgr->Update(id.value(), "writer-1").ok());
+  Txn* writer1 = MustBegin(mgr.get());
+  ASSERT_TRUE(mgr->Update(writer1, id.value(), "writer-1").ok());
 
   std::atomic<bool> second_done{false};
   std::thread t([&] {
-    ASSERT_TRUE(mgr->Begin().ok());
-    ASSERT_TRUE(mgr->Update(id.value(), "writer-2").ok());
+    Txn* writer2 = MustBegin(mgr.get());
+    ASSERT_TRUE(mgr->Update(writer2, id.value(), "writer-2").ok());
     second_done = true;
-    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->Commit(writer2).ok());
   });
   // Give the second writer time to block on our X lock.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   EXPECT_FALSE(second_done.load()) << "second writer must wait for the lock";
-  ASSERT_TRUE(mgr->Commit().ok());
+  ASSERT_TRUE(mgr->Commit(writer1).ok());
   t.join();
   EXPECT_TRUE(second_done.load());
   EXPECT_EQ(mgr->Read(id.value()).value(), "writer-2");
@@ -299,18 +339,18 @@ TEST(OstoreLockTest, DeadlockResolvedByTimeout) {
 
   std::atomic<int> aborted{0};
   auto worker = [&](ObjectId first, ObjectId second) {
-    ASSERT_TRUE(mgr->Begin().ok());
-    Status st = mgr->Update(first, "mine");
+    Txn* txn = MustBegin(mgr.get());
+    Status st = mgr->Update(txn, first, "mine");
     if (st.ok()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
-      st = mgr->Update(second, "mine too");
+      st = mgr->Update(txn, second, "mine too");
     }
     if (st.ok()) {
-      ASSERT_TRUE(mgr->Commit().ok());
+      ASSERT_TRUE(mgr->Commit(txn).ok());
     } else {
       EXPECT_TRUE(st.IsAborted()) << st.ToString();
       ++aborted;
-      ASSERT_TRUE(mgr->Abort().ok());
+      ASSERT_TRUE(mgr->Abort(txn).ok());
     }
   };
   std::thread t1(worker, a.value(), b.value());

@@ -390,7 +390,9 @@ class DbSolverTest : public ::testing::Test {
  protected:
   void SetUp() override {
     mgr_ = std::make_unique<mm::MmManager>("mm");
-    db_ = labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{}).value();
+    base_ =
+        labbase::LabBase::Open(mgr_.get(), labbase::LabBaseOptions{}).value();
+    db_ = base_->OpenSession();
     solver_ = std::make_unique<Solver>(db_.get());
     // Build a tiny lab through the *query language* itself (paper 8.3).
     ASSERT_TRUE(solver_
@@ -416,7 +418,8 @@ class DbSolverTest : public ::testing::Test {
   }
 
   std::unique_ptr<mm::MmManager> mgr_;
-  std::unique_ptr<labbase::LabBase> db_;
+  std::unique_ptr<labbase::LabBase> base_;
+  std::unique_ptr<labbase::LabBase::Session> db_;
   std::unique_ptr<Solver> solver_;
 };
 

@@ -50,33 +50,35 @@ TEST_P(RecoveryPropertyTest, CommittedPrefixSurvivesCrash) {
       ASSERT_TRUE(mgr->Checkpoint().ok());
       checkpointed_once = true;
     }
-    ASSERT_TRUE(mgr->Begin().ok());
+    auto txn_or = mgr->Begin();
+    ASSERT_TRUE(txn_or.ok());
+    storage::Txn* txn = txn_or.value();
     std::map<uint64_t, std::string> pending = committed;
     int ops = 1 + static_cast<int>(rng.NextBelow(6));
     for (int i = 0; i < ops; ++i) {
       int action = static_cast<int>(rng.NextBelow(10));
       if (action < 5 || pending.empty()) {
         std::string data = rng.NextName(1 + rng.NextBelow(600));
-        auto id = mgr->Allocate(data, AllocHint{});
+        auto id = mgr->Allocate(txn, data, AllocHint{});
         ASSERT_TRUE(id.ok());
         pending[id.value().raw] = data;
       } else if (action < 8) {
         auto it = pending.begin();
         std::advance(it, rng.NextBelow(pending.size()));
         std::string data = rng.NextName(1 + rng.NextBelow(1500));
-        ASSERT_TRUE(mgr->Update(ObjectId(it->first), data).ok());
+        ASSERT_TRUE(mgr->Update(txn, ObjectId(it->first), data).ok());
         it->second = data;
       } else {
         auto it = pending.begin();
         std::advance(it, rng.NextBelow(pending.size()));
-        ASSERT_TRUE(mgr->Free(ObjectId(it->first)).ok());
+        ASSERT_TRUE(mgr->Free(txn, ObjectId(it->first)).ok());
         pending.erase(it);
       }
     }
     if (rng.NextBool(0.2)) {
-      ASSERT_TRUE(mgr->Abort().ok());  // pending discarded
+      ASSERT_TRUE(mgr->Abort(txn).ok());  // pending discarded
     } else {
-      ASSERT_TRUE(mgr->Commit().ok());
+      ASSERT_TRUE(mgr->Commit(txn).ok());
       committed = std::move(pending);
     }
   }
@@ -118,10 +120,11 @@ TEST_P(RecoveryPropertyTest, CommittedPrefixSurvivesCrash) {
   EXPECT_EQ(live, committed.size());
 
   // The recovered database must remain fully usable.
-  ASSERT_TRUE(recovered->Begin().ok());
-  auto id = recovered->Allocate("post-recovery", AllocHint{});
+  auto post_txn = recovered->Begin();
+  ASSERT_TRUE(post_txn.ok());
+  auto id = recovered->Allocate(post_txn.value(), "post-recovery", AllocHint{});
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(recovered->Commit().ok());
+  ASSERT_TRUE(recovered->Commit(post_txn.value()).ok());
   EXPECT_EQ(recovered->Read(id.value()).value(), "post-recovery");
   ASSERT_TRUE(recovered->Close().ok());
 }
@@ -137,11 +140,12 @@ TEST(RecoveryDoubleCrashTest, RecoveryIsIdempotent) {
   ObjectId id;
   {
     auto mgr = OstoreManager::Open(opts).value();
-    ASSERT_TRUE(mgr->Begin().ok());
-    auto r = mgr->Allocate("survives twice", AllocHint{});
+    auto txn = mgr->Begin();
+    ASSERT_TRUE(txn.ok());
+    auto r = mgr->Allocate(txn.value(), "survives twice", AllocHint{});
     ASSERT_TRUE(r.ok());
     id = r.value();
-    ASSERT_TRUE(mgr->Commit().ok());
+    ASSERT_TRUE(mgr->Commit(txn.value()).ok());
     ASSERT_TRUE(mgr->SimulateCrash().ok());
   }
   opts.base.truncate = false;

@@ -106,7 +106,8 @@ TEST(GraphTest, AnalyzeFlagsDanglingPieces) {
 
 TEST(GraphTest, InstallSchemaDefinesEverything) {
   mm::MmManager mgr("mm");
-  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto base = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   WorkflowGraph g = GenomeMappingWorkflow();
   ASSERT_TRUE(g.InstallSchema(db.get()).ok());
   EXPECT_TRUE(db->schema().MaterialClassByName("tclone").ok());
@@ -154,7 +155,8 @@ TEST(ValuesTest, GeneratorsRespectSpecs) {
 
 TEST(SimulatorTest, OrderWorkflowRunsToQuiescence) {
   mm::MmManager mgr("mm");
-  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto base = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   WorkflowGraph g = OrderFulfillmentWorkflow();
   SimpleSimulator sim(db.get(), g, /*seed=*/7);
   auto steps = sim.Run(/*n_materials=*/50);
@@ -179,7 +181,8 @@ TEST(SimulatorTest, OrderWorkflowRunsToQuiescence) {
 
 TEST(SimulatorTest, RejectsSpawnJoinGraphs) {
   mm::MmManager mgr("mm");
-  auto db = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto base = labbase::LabBase::Open(&mgr, labbase::LabBaseOptions{}).value();
+  auto db = base->OpenSession();
   WorkflowGraph g = GenomeMappingWorkflow();
   SimpleSimulator sim(db.get(), g, 1);
   EXPECT_TRUE(sim.Run(1).status().IsNotSupported());
