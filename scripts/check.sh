@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 check: normal build + full test suite, then a ThreadSanitizer
-# build of the tree with the concurrency tests run under TSan.
+# Tier-1 check, in three named phases:
+#
+#   fast — normal build + every test not labelled `slow`
+#   slow — the exhaustive sweeps (fault-injection truncation sweep,
+#          recovery property seeds), same build
+#   tsan — ThreadSanitizer build, concurrency-focused tests
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -8,18 +12,49 @@ set -euo pipefail
 jobs="${1:-$(nproc)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
-echo "== normal build + ctest =="
-cmake -B "$root/build" -S "$root" >/dev/null
-cmake --build "$root/build" -j "$jobs"
-ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+declare -A phase_result
+
+run_phase() {
+  local name="$1"
+  shift
+  echo
+  echo "== phase: $name =="
+  if "$@"; then
+    phase_result[$name]="ok"
+  else
+    phase_result[$name]="FAIL"
+    return 1
+  fi
+}
+
+fast() {
+  cmake -B "$root/build" -S "$root" >/dev/null
+  cmake --build "$root/build" -j "$jobs"
+  ctest --test-dir "$root/build" --output-on-failure -j "$jobs" -LE slow
+}
+
+slow() {
+  ctest --test-dir "$root/build" --output-on-failure -j "$jobs" -L slow
+}
+
+tsan() {
+  cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
+  cmake --build "$root/build-tsan" -j "$jobs" --target \
+    concurrency_test ostore_test storage_manager_test wal_fault_test
+  ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
+    -R 'concurrency_test|ostore_test|storage_manager_test|wal_fault_test'
+}
+
+status=0
+run_phase fast fast || status=1
+if [[ $status -eq 0 ]]; then
+  run_phase slow slow || status=1
+else
+  phase_result[slow]="skipped"
+fi
+run_phase tsan tsan || status=1
 
 echo
-echo "== ThreadSanitizer build + concurrency tests =="
-cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
-cmake --build "$root/build-tsan" -j "$jobs" --target \
-  concurrency_test ostore_test storage_manager_test
-ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-  -R 'concurrency_test|ostore_test|storage_manager_test'
-
-echo
-echo "All checks passed."
+echo "check.sh summary: fast=${phase_result[fast]:-FAIL}" \
+     "slow=${phase_result[slow]:-FAIL} tsan=${phase_result[tsan]:-FAIL}"
+exit $status

@@ -10,6 +10,8 @@ Result<std::unique_ptr<OstoreManager>> OstoreManager::Open(
   std::unique_ptr<OstoreManager> mgr(new OstoreManager());
   mgr->locks_ = std::make_unique<LockManager>(options.lock_timeout_ms);
   mgr->sync_commit_ = options.sync_commit;
+  mgr->wal_.SetGroupLimits(options.wal_max_group_bytes,
+                           options.wal_max_group_wait_us);
   LABFLOW_RETURN_IF_ERROR(mgr->PagedManagerBase::Open(options.base));
   return mgr;
 }
@@ -242,6 +244,10 @@ Status OstoreManager::OnCrash() { return wal_.Close(); }
 
 void OstoreManager::AugmentStats(StorageStats* stats) const {
   stats->wal_bytes = wal_.SizeBytes();
+  Wal::GroupStats wal_stats = wal_.group_stats();
+  stats->wal_frames = wal_stats.frames;
+  stats->wal_group_writes = wal_stats.writes;
+  stats->wal_group_syncs = wal_stats.syncs;
   stats->lock_waits = locks_ == nullptr ? 0 : locks_->lock_waits();
   stats->txn_commits = commits_.load();
   stats->txn_aborts = aborts_.load();

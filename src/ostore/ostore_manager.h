@@ -23,6 +23,14 @@ struct OstoreOptions {
   /// as in the paper's measurements, where durability was bounded by
   /// checkpoints.
   bool sync_commit = false;
+  /// Group commit: upper bound on the frame bytes one commit leader
+  /// coalesces into a single WAL write (and, with sync_commit, one
+  /// fdatasync).
+  size_t wal_max_group_bytes = 1 << 20;
+  /// Group commit: grace window (microseconds) a sync-commit leader waits
+  /// for more committers before forcing the log. 0 = never delay; batching
+  /// then comes only from commits that queue up behind an in-flight sync.
+  int64_t wal_max_group_wait_us = 0;
 };
 
 /// A storage manager modeled on ObjectStore v3.0 (Lamb et al. [32]) as

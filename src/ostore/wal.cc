@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace labflow::ostore {
@@ -39,9 +40,8 @@ Wal::~Wal() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-uint32_t Wal::Checksum(std::string_view data) {
-  // FNV-1a, sufficient to detect torn writes.
-  uint32_t h = 2166136261u;
+uint32_t Wal::Checksum(std::string_view data, uint32_t seed) {
+  uint32_t h = seed;
   for (char c : data) {
     h ^= static_cast<uint8_t>(c);
     h *= 16777619u;
@@ -62,27 +62,85 @@ Status Wal::Open(const std::string& path) {
   return Status::OK();
 }
 
+void Wal::SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us) {
+  std::lock_guard<std::mutex> g(mu_);
+  max_group_bytes_ = max_group_bytes == 0 ? 1 : max_group_bytes;
+  max_group_wait_us_ = max_group_wait_us;
+}
+
 Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   if (file_ == nullptr) return Status::InvalidArgument("wal not open");
-  std::string frame;
-  frame.reserve(payload.size() + 20);
-  PutLE32(&frame, kGroupMagic);
-  PutLE32(&frame, static_cast<uint32_t>(payload.size()));
-  PutLE64(&frame, txn_id);
-  frame.append(payload.data(), payload.size());
-  PutLE32(&frame, Checksum(payload));
-  std::lock_guard<std::mutex> g(append_mu_);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::IOError("wal append: " + std::string(std::strerror(errno)));
+
+  Waiter w;
+  w.sync = sync;
+  w.frame.reserve(payload.size() + kHeaderBytes + kChecksumBytes);
+  PutLE32(&w.frame, kGroupMagic);
+  PutLE32(&w.frame, static_cast<uint32_t>(payload.size()));
+  PutLE64(&w.frame, txn_id);
+  w.frame.append(payload.data(), payload.size());
+  // The frame so far is exactly header+payload: checksum the whole of it so
+  // a flipped bit in the length or txn id fields is caught at recovery.
+  PutLE32(&w.frame, Checksum(w.frame));
+
+  std::unique_lock<std::mutex> lk(mu_);
+  queue_.push_back(&w);
+  queued_bytes_ += w.frame.size();
+  cv_.notify_all();  // a leader in its grace window re-checks its quota
+  cv_.wait(lk, [&] {
+    return w.done ||
+           (!leader_active_ && !queue_.empty() && queue_.front() == &w);
+  });
+  if (w.done) return w.status;  // an earlier leader carried our frame
+
+  // This thread leads the next batch. Optionally linger so concurrent
+  // committers can join before the expensive force; only a sync commit pays
+  // the window (it exists to amortize fdatasync, not buffered appends).
+  leader_active_ = true;
+  if (sync && max_group_wait_us_ > 0) {
+    cv_.wait_for(lk, std::chrono::microseconds(max_group_wait_us_),
+                 [&] { return queued_bytes_ >= max_group_bytes_; });
   }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("wal flush: " + std::string(std::strerror(errno)));
+
+  std::vector<Waiter*> batch;
+  std::string buf;
+  bool batch_sync = false;
+  while (!queue_.empty() && (batch.empty() || buf.size() < max_group_bytes_)) {
+    Waiter* f = queue_.front();
+    queue_.pop_front();
+    queued_bytes_ -= f->frame.size();
+    buf.append(f->frame);
+    batch_sync |= f->sync;
+    batch.push_back(f);
   }
-  if (sync && ::fdatasync(fileno(file_)) != 0) {
-    return Status::IOError("wal sync: " + std::string(std::strerror(errno)));
+  lk.unlock();
+
+  Status st = Status::OK();
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
+    st = Status::IOError("wal append: " + std::string(std::strerror(errno)));
+  } else if (std::fflush(file_) != 0) {
+    st = Status::IOError("wal flush: " + std::string(std::strerror(errno)));
+  } else if (batch_sync && ::fdatasync(fileno(file_)) != 0) {
+    st = Status::IOError("wal sync: " + std::string(std::strerror(errno)));
   }
-  size_.fetch_add(frame.size(), std::memory_order_relaxed);
-  return Status::OK();
+  if (st.ok()) size_.fetch_add(buf.size(), std::memory_order_relaxed);
+
+  lk.lock();
+  if (st.ok()) {
+    stats_.frames += batch.size();
+    stats_.writes += 1;
+    stats_.syncs += batch_sync ? 1 : 0;
+    if (batch.size() > stats_.max_frames_per_write) {
+      stats_.max_frames_per_write = batch.size();
+    }
+  }
+  for (Waiter* f : batch) {
+    if (f == &w) continue;
+    f->status = st;
+    f->done = true;
+  }
+  leader_active_ = false;
+  cv_.notify_all();
+  return st;
 }
 
 Result<std::vector<Wal::Group>> Wal::ReadAll() {
@@ -92,20 +150,35 @@ Result<std::vector<Wal::Group>> Wal::ReadAll() {
     return Status::IOError("wal read open: " +
                            std::string(std::strerror(errno)));
   }
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    long end = std::ftell(f);
+    file_size = end < 0 ? 0 : static_cast<uint64_t>(end);
+  }
+  std::rewind(f);
+
   std::vector<Group> groups;
+  uint64_t pos = 0;
   while (true) {
-    char header[16];
+    char header[kHeaderBytes];
     size_t n = std::fread(header, 1, sizeof(header), f);
     if (n < sizeof(header)) break;  // clean end or torn tail
     if (GetLE32(header) != kGroupMagic) break;
     uint32_t len = GetLE32(header + 4);
     uint64_t txn = GetLE64(header + 8);
+    // Never trust the header's length on its own: a flipped bit could demand
+    // a multi-GB allocation. The payload and its checksum must fit in what
+    // the file actually still holds, else this is a torn/corrupt tail.
+    uint64_t remaining = file_size - pos - kHeaderBytes;
+    if (len > remaining || remaining - len < kChecksumBytes) break;
     std::string payload(len, '\0');
     if (std::fread(payload.data(), 1, len, f) != len) break;
-    char csum[4];
-    if (std::fread(csum, 1, 4, f) != 4) break;
-    if (GetLE32(csum) != Checksum(payload)) break;
+    char csum[kChecksumBytes];
+    if (std::fread(csum, 1, sizeof(csum), f) != sizeof(csum)) break;
+    uint32_t expect = Checksum(payload, Checksum({header, sizeof(header)}));
+    if (GetLE32(csum) != expect) break;
     groups.push_back(Group{txn, std::move(payload)});
+    pos += kHeaderBytes + len + kChecksumBytes;
   }
   std::fclose(f);
   return groups;
@@ -127,6 +200,11 @@ Status Wal::Truncate() {
   }
   size_ = 0;
   return Status::OK();
+}
+
+Wal::GroupStats Wal::group_stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
 }
 
 Status Wal::Close() {

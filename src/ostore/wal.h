@@ -2,8 +2,10 @@
 #define LABFLOW_OSTORE_WAL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -19,12 +21,18 @@ namespace labflow::ostore {
 ///
 ///   [u32 magic][u32 payload_len][u64 txn_id][payload][u32 checksum]
 ///
-/// A torn tail (partial final group or checksum mismatch) terminates the
-/// scan cleanly — exactly what a crash mid-append produces.
+/// The checksum covers the 16-byte header *and* the payload, so a corrupted
+/// length or transaction id is caught, not just a torn payload. A torn tail
+/// (partial final group, impossible length, or checksum mismatch) terminates
+/// the scan cleanly — exactly what a crash mid-append produces.
 ///
-/// AppendGroup is internally serialized so concurrent transactions may
-/// commit from different threads; groups land whole, in some serial order.
-/// Open/ReadAll/Truncate/Close are lifecycle calls (single-threaded).
+/// AppendGroup implements group commit: concurrent committers enqueue their
+/// frames, the first waiter becomes the batch leader, writes every queued
+/// frame with a single fwrite (syncing once if any member asked for it), and
+/// wakes the followers with their individual Status. Frames land whole and
+/// in queue order, so the on-disk format is identical to one-write-per-group;
+/// only the syscall boundaries change. Open/ReadAll/Truncate/Close are
+/// lifecycle calls (single-threaded, no appender may be in flight).
 class Wal {
  public:
   Wal() = default;
@@ -36,8 +44,20 @@ class Wal {
   /// Opens (creating if needed) the log for appending.
   Status Open(const std::string& path);
 
+  /// Group-commit tuning. Call before concurrent appends begin.
+  ///
+  /// `max_group_bytes` bounds how many queued frame bytes one leader
+  /// coalesces into a single write. `max_group_wait_us`, when positive, is a
+  /// grace window: a leader whose own frame wants a sync waits up to this
+  /// long for more committers to enqueue before forcing the log, trading
+  /// commit latency for fewer fdatasyncs. Zero (the default) never delays —
+  /// batching then comes only from committers that pile up while the
+  /// previous leader is inside its write+sync.
+  void SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us);
+
   /// Appends one commit group and flushes it to the OS. When `sync` is set,
-  /// also fdatasyncs (force-at-commit durability).
+  /// also fdatasyncs (force-at-commit durability). May coalesce with other
+  /// concurrent appenders; the returned Status is this group's own outcome.
   Status AppendGroup(uint64_t txn_id, std::string_view payload, bool sync);
 
   struct Group {
@@ -46,6 +66,9 @@ class Wal {
   };
 
   /// Reads every complete group in file order (used once, at recovery).
+  /// Validation is defensive: a frame whose length field exceeds the bytes
+  /// remaining in the file, or whose header+payload checksum mismatches,
+  /// ends the scan with the clean prefix read so far.
   Result<std::vector<Group>> ReadAll();
 
   /// Discards the log contents (after a checkpoint).
@@ -53,17 +76,50 @@ class Wal {
 
   uint64_t SizeBytes() const { return size_.load(std::memory_order_relaxed); }
 
+  /// Group-commit counters (monotonic since Open).
+  struct GroupStats {
+    uint64_t frames = 0;                ///< groups appended to the file
+    uint64_t writes = 0;                ///< coalesced batch writes
+    uint64_t syncs = 0;                 ///< batch writes ending in fdatasync
+    uint64_t max_frames_per_write = 0;  ///< largest batch observed
+  };
+  GroupStats group_stats() const;
+
   Status Close();
 
  private:
   static constexpr uint32_t kGroupMagic = 0x57414C47;  // "WALG"
+  static constexpr size_t kHeaderBytes = 16;
+  static constexpr size_t kChecksumBytes = 4;
 
-  static uint32_t Checksum(std::string_view data);
+  /// FNV-1a, chainable: pass the previous return value as `seed` to extend
+  /// the checksum over several spans (header, then payload).
+  static uint32_t Checksum(std::string_view data, uint32_t seed = 2166136261u);
+
+  /// A committer parked in the group-commit queue. Lives on the appending
+  /// thread's stack; the leader fills `status` and flips `done` under `mu_`.
+  struct Waiter {
+    std::string frame;  // fully framed bytes (header + payload + checksum)
+    bool sync = false;
+    bool done = false;
+    Status status;
+  };
 
   std::string path_;
   FILE* file_ = nullptr;
-  std::mutex append_mu_;
   std::atomic<uint64_t> size_{0};
+
+  // Group-commit state. `mu_` guards the queue, the leader flag and the
+  // stats; the file itself is written only by the current leader, outside
+  // the lock (leader_active_ excludes a second writer).
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;
+  size_t queued_bytes_ = 0;
+  bool leader_active_ = false;
+  size_t max_group_bytes_ = 1 << 20;
+  int64_t max_group_wait_us_ = 0;
+  GroupStats stats_;
 };
 
 }  // namespace labflow::ostore

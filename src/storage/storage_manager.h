@@ -35,6 +35,12 @@ struct StorageStats {
   uint64_t evictions = 0;
   uint64_t db_size_bytes = 0;
   uint64_t wal_bytes = 0;
+  /// Group-commit telemetry (zero for managers without a WAL): redo groups
+  /// appended, coalesced batch writes, and batches that ended in a sync.
+  /// Mean frames-per-sync is wal_frames / wal_group_syncs.
+  uint64_t wal_frames = 0;
+  uint64_t wal_group_writes = 0;
+  uint64_t wal_group_syncs = 0;
   uint64_t live_objects = 0;
   uint64_t lock_waits = 0;
   uint64_t txn_commits = 0;

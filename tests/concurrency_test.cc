@@ -198,6 +198,92 @@ TEST(OstoreSharedHotSetTest, NoTransactionIsLost) {
   ASSERT_TRUE(mgr->Close().ok());
 }
 
+TEST(GroupCommitDurabilityTest, SyncCommitsSurviveCrashAndReopen) {
+  // N threads commit through LabBase sessions with sync_commit on, so their
+  // WAL groups are coalesced by the commit queue (a grace window makes
+  // multi-frame batches near-certain). The process then "crashes" — dirty
+  // pages vanish, only the synced WAL survives — and after reopen every
+  // acknowledged commit must be visible: group commit must not lose or
+  // reorder commits it acknowledged.
+  TempDir dir;
+  ostore::OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.buffer_pool_pages = 1024;
+  opts.sync_commit = true;
+  opts.wal_max_group_wait_us = 2000;
+  auto mgr_or = ostore::OstoreManager::Open(opts);
+  ASSERT_TRUE(mgr_or.ok());
+  auto mgr = std::move(mgr_or).value();
+  auto db = labbase::LabBase::Open(mgr.get(), labbase::LabBaseOptions{})
+                .value();
+
+  labbase::ClassId clone;
+  labbase::StateId active;
+  {
+    auto admin = db->OpenSession();
+    clone = admin->DefineMaterialClass("clone").value();
+    active = admin->DefineState("active").value();
+  }
+
+  constexpr int kPerSession = 8;
+  std::atomic<uint64_t> committed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto session = db->OpenSession();
+      for (int i = 0; i < kPerSession; ++i) {
+        if (!session->Begin().ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        std::string name = "m-" + std::to_string(t) + "-" + std::to_string(i);
+        auto m = session->CreateMaterial(clone, name, active, Timestamp(i));
+        if (m.ok() && session->Commit().ok()) {
+          committed.fetch_add(1);
+        } else {
+          (void)session->Abort();
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_EQ(committed.load(), static_cast<uint64_t>(kThreads) * kPerSession);
+  auto stats = mgr->stats();
+  EXPECT_GT(stats.wal_group_syncs, 0u);
+  EXPECT_GE(stats.wal_frames, committed.load());
+
+  db.reset();
+  ASSERT_TRUE(mgr->SimulateCrash().ok());
+  mgr.reset();
+
+  opts.base.truncate = false;
+  auto reopened_or = ostore::OstoreManager::Open(opts);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened = std::move(reopened_or).value();
+  auto db2 = labbase::LabBase::Open(reopened.get(), labbase::LabBaseOptions{})
+                 .value();
+  auto check = db2->OpenSession();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerSession; ++i) {
+      std::string name = "m-" + std::to_string(t) + "-" + std::to_string(i);
+      auto found = check->FindMaterialByName(name);
+      EXPECT_TRUE(found.ok())
+          << "acknowledged commit lost: " << name << " — "
+          << found.status().ToString();
+    }
+  }
+  auto count = check->CountInState(active);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(),
+            static_cast<int64_t>(kThreads) * kPerSession);
+  check.reset();
+  db2.reset();
+  ASSERT_TRUE(reopened->Close().ok());
+}
+
 TEST(LabBaseSessionConcurrencyTest, SessionsCommitDisjointMaterials) {
   // N LabBase sessions on their own threads, each creating its own
   // materials inside explicit transactions. The shared name directory and

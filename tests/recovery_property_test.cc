@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <tuple>
 
 #include "common/rng.h"
 #include "ostore/ostore_manager.h"
@@ -22,10 +23,14 @@ using storage::AllocHint;
 using storage::ObjectId;
 using test::TempDir;
 
-class RecoveryPropertyTest : public ::testing::TestWithParam<int> {};
+/// Parametrized over (rng seed, sync_commit). The sync variant drives every
+/// commit through the group-commit queue's force path, so replay is checked
+/// against WALs produced by the batched writer as well as the buffered one.
+class RecoveryPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 TEST_P(RecoveryPropertyTest, CommittedPrefixSurvivesCrash) {
-  uint64_t seed = static_cast<uint64_t>(GetParam());
+  uint64_t seed = static_cast<uint64_t>(std::get<0>(GetParam()));
   Rng rng(seed);
   TempDir dir;
 
@@ -33,6 +38,7 @@ TEST_P(RecoveryPropertyTest, CommittedPrefixSurvivesCrash) {
   opts.base.path = dir.file("db");
   opts.base.buffer_pool_pages = 64;  // small: force evictions mid-run
   opts.base.truncate = true;
+  opts.sync_commit = std::get<1>(GetParam());
   auto mgr_or = OstoreManager::Open(opts);
   ASSERT_TRUE(mgr_or.ok());
   std::unique_ptr<OstoreManager> mgr = std::move(mgr_or).value();
@@ -129,8 +135,21 @@ TEST_P(RecoveryPropertyTest, CommittedPrefixSurvivesCrash) {
   ASSERT_TRUE(recovered->Close().ok());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryPropertyTest,
-                         ::testing::Range(1, 21));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RecoveryPropertyTest,
+    ::testing::Combine(::testing::Range(1, 21), ::testing::Values(false)),
+    [](const auto& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param));
+    });
+
+// Fewer seeds for the force-at-commit variant: each commit pays an
+// fdatasync, so the sweep is disk-bound.
+INSTANTIATE_TEST_SUITE_P(
+    SyncCommitSeeds, RecoveryPropertyTest,
+    ::testing::Combine(::testing::Range(1, 8), ::testing::Values(true)),
+    [](const auto& info) {
+      return "Seed" + std::to_string(std::get<0>(info.param));
+    });
 
 TEST(RecoveryDoubleCrashTest, RecoveryIsIdempotent) {
   TempDir dir;
