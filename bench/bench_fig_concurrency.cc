@@ -32,6 +32,7 @@
 #include "common/rng.h"
 #include "labbase/labbase.h"
 #include "ostore/ostore_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 namespace {
@@ -120,7 +121,10 @@ Result<Outcome> RunRegime(bool shared, int threads, int txns_per_thread) {
         if (st.ok() && mgr->Commit(txn).ok()) {
           committed.fetch_add(1);
         } else {
-          (void)mgr->Abort(txn);
+          LABFLOW_IGNORE_STATUS(
+              mgr->Abort(txn),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           aborted.fetch_add(1);
         }
       }
@@ -193,7 +197,10 @@ Result<Outcome> RunLabBaseSessions(int threads, int txns_per_thread) {
         if (st.ok() && session->Commit().ok()) {
           committed.fetch_add(1);
         } else {
-          (void)session->Abort();
+          LABFLOW_IGNORE_STATUS(
+              session->Abort(),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           aborted.fetch_add(1);
         }
       }
@@ -259,7 +266,10 @@ Result<SyncOutcome> RunSyncCommit(int threads, int txns_per_thread) {
         if (st.ok() && mgr->Commit(txn).ok()) {
           committed.fetch_add(1);
         } else {
-          (void)mgr->Abort(txn);
+          LABFLOW_IGNORE_STATUS(
+              mgr->Abort(txn),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           failures.fetch_add(1);
         }
       }

@@ -118,7 +118,10 @@ int Main(int argc, char** argv) {
   std::cout << "\nfirst recorded instance still reports version 0 "
                "(no data migration): OK\n";
   db_or->reset();
-  (void)(*mgr)->Close();
+  if (Status st = (*mgr)->Close(); !st.ok()) {
+    std::cerr << "close failed: " << st.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

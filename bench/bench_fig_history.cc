@@ -17,6 +17,7 @@
 #include "common/clock.h"
 #include "labbase/labbase.h"
 #include "labflow/server_version.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 namespace {

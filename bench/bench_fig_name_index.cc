@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "labbase/labbase.h"
 #include "labflow/server_version.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 namespace {

@@ -22,6 +22,7 @@
 #include "labflow/generator.h"
 #include "labflow/server_version.h"
 #include "workflow/graph.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 namespace {
@@ -178,7 +179,9 @@ int Main(int argc, char** argv) {
     std::cerr << "done: " << ServerVersionName(version) << "\n";
     db.reset();
     base->reset();
-    (void)(*mgr)->Close();
+    LABFLOW_IGNORE_STATUS((*mgr)->Close(),
+                          "per-version teardown; the measured phases above "
+                          "already failed loudly");
   }
 
   std::cout << std::left << std::setw(14) << "query class";

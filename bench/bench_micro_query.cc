@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "labbase/labbase.h"
 #include "mm/mm_manager.h"
 #include "query/parser.h"
@@ -16,6 +19,24 @@
 
 namespace labflow::query {
 namespace {
+
+/// Benchmark setup is not a measured path: a failure here would silently
+/// turn every number below into garbage, so die loudly instead.
+void RequireOk(const labflow::Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+}
+
+void RequireProved(const labflow::Result<bool>& r) {
+  if (!r.ok() || !r.value()) {
+    std::fprintf(stderr, "bench setup goal failed: %s\n",
+                 r.ok() ? "goal not proved" : r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
 
 void BM_ParseQuery(benchmark::State& state) {
   const std::string src =
@@ -58,7 +79,7 @@ void BM_SolveRecursiveRules(benchmark::State& state) {
   }
   facts += "reach(X, Y) <- next(X, Y).\n";
   facts += "reach(X, Z) <- next(X, Y), reach(Y, Z).\n";
-  (void)solver.LoadProgram(facts);
+  RequireOk(solver.LoadProgram(facts));
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.Prove("reach(n0, n50)"));
   }
@@ -71,7 +92,7 @@ void BM_SetofAggregation(benchmark::State& state) {
   for (int i = 0; i < 200; ++i) {
     facts += "item(i" + std::to_string(i % 100) + ").\n";
   }
-  (void)solver.LoadProgram(facts);
+  RequireOk(solver.LoadProgram(facts));
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.QueryAll("setof(X, item(X), L)"));
   }
@@ -87,18 +108,18 @@ class DbFixture {
               .value();
     db_ = base_->OpenSession();
     solver_ = std::make_unique<Solver>(db_.get());
-    (void)solver_->Prove(
+    RequireProved(solver_->Prove(
         "define_material_class(tclone), define_state(waiting), "
         "define_state(done), "
-        "define_step_class(measure, [quality])");
+        "define_step_class(measure, [quality])"));
     for (int i = 0; i < 500; ++i) {
       std::string name = "tc-" + std::to_string(i);
-      (void)solver_->Prove("create_material(tclone, \"" + name +
+      RequireProved(solver_->Prove("create_material(tclone, \"" + name +
                            "\", waiting, M), record_step(measure, @" +
                            std::to_string(i + 1) + ", [effect(M, "
                            "[tag(quality, " +
                            std::to_string((i % 100) / 100.0) + ")], " +
-                           (i % 2 == 0 ? "done" : "same") + ")])");
+                           (i % 2 == 0 ? "done" : "same") + ")])"));
     }
   }
 

@@ -16,6 +16,7 @@
 #include "labflow/generator.h"
 #include "labflow/server_version.h"
 #include "query/solver.h"
+#include "common/status_macros.h"
 
 using labflow::Oid;
 using labflow::Status;
@@ -129,10 +130,16 @@ int Run(int clones) {
               << " schema version(s) — old instances were never migrated\n";
   }
 
-  (void)db->Checkpoint();
+  if (Status st = db->Checkpoint(); !st.ok()) {
+    std::cerr << "checkpoint failed: " << st.ToString() << "\n";
+    return 1;
+  }
   db.reset();
   base->reset();
-  (void)(*mgr)->Close();
+  if (Status st = (*mgr)->Close(); !st.ok()) {
+    std::cerr << "close failed: " << st.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }
 

@@ -27,6 +27,7 @@
 #include "labflow/generator.h"
 #include "ostore/ostore_manager.h"
 #include "query/solver.h"
+#include "common/status_macros.h"
 
 using labflow::Oid;
 using labflow::Status;
@@ -60,7 +61,9 @@ Status Load(labbase::LabBase::Session* db, int clones) {
     LABFLOW_RETURN_IF_ERROR(db->Begin());
     Status st = bench::ApplyUpdate(db, ev);
     if (!st.ok()) {
-      (void)db->Abort();
+      LABFLOW_IGNORE_STATUS(db->Abort(),
+                            "best-effort rollback; the update's own error "
+                            "is returned");
       return st;
     }
     LABFLOW_RETURN_IF_ERROR(db->Commit());

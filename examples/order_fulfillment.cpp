@@ -17,6 +17,7 @@
 #include "workflow/simulator.h"
 
 using labflow::Oid;
+using labflow::Status;
 using labflow::Timestamp;
 using labflow::Value;
 namespace labbase = labflow::labbase;
@@ -110,9 +111,15 @@ int main(int argc, char** argv) {
             << " (step instance on version "
             << db->GetStep(step.value())->version << ")\n";
 
-  (void)db->Checkpoint();
+  if (Status st = db->Checkpoint(); !st.ok()) {
+    std::cerr << "checkpoint failed: " << st.ToString() << "\n";
+    return 1;
+  }
   db.reset();
   base->reset();
-  (void)(*mgr)->Close();
+  if (Status st = (*mgr)->Close(); !st.ok()) {
+    std::cerr << "close failed: " << st.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 check, in three named phases:
+# Tier-1 check, in five named phases:
 #
 #   fast — normal build + every test not labelled `slow`
 #   slow — the exhaustive sweeps (fault-injection truncation sweep,
 #          recovery property seeds), same build
 #   tsan — ThreadSanitizer build, concurrency-focused tests
+#   asan — Address+UndefinedBehaviorSanitizer build, every fast test
+#   lint — scripts/lint.py project rules, plus clang-tidy over the
+#          compilation database when clang-tidy is installed
 #
-# Usage: scripts/check.sh [jobs]
+# Usage: scripts/check.sh [jobs]           (all phases)
+#        scripts/check.sh <phase> [jobs]   (one phase: fast|slow|tsan|asan|lint)
 set -euo pipefail
 
-jobs="${1:-$(nproc)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
+
+only=""
+if [[ $# -ge 1 && "$1" =~ ^(fast|slow|tsan|asan|lint)$ ]]; then
+  only="$1"
+  shift
+fi
+jobs="${1:-$(nproc)}"
 
 declare -A phase_result
 
@@ -45,16 +55,45 @@ tsan() {
     -R 'concurrency_test|ostore_test|storage_manager_test|wal_fault_test'
 }
 
-status=0
-run_phase fast fast || status=1
-if [[ $status -eq 0 ]]; then
-  run_phase slow slow || status=1
-else
-  phase_result[slow]="skipped"
+asan() {
+  cmake -B "$root/build-asan" -S "$root" \
+    -DLABFLOW_SANITIZE=address,undefined >/dev/null
+  cmake --build "$root/build-asan" -j "$jobs"
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -LE slow
+}
+
+lint() {
+  python3 "$root/scripts/lint.py"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    # The fast phase (or any configure of build/) exports the database.
+    if [[ ! -f "$root/build/compile_commands.json" ]]; then
+      cmake -B "$root/build" -S "$root" >/dev/null
+    fi
+    find "$root/src" -name '*.cc' -print0 |
+      xargs -0 clang-tidy -p "$root/build" --quiet
+  else
+    echo "clang-tidy not installed; ran scripts/lint.py only"
+  fi
+}
+
+phases=(fast slow tsan asan lint)
+if [[ -n "$only" ]]; then
+  phases=("$only")
 fi
-run_phase tsan tsan || status=1
+
+status=0
+for phase in "${phases[@]}"; do
+  if [[ "$phase" == slow && "${phase_result[fast]:-}" == "FAIL" ]]; then
+    phase_result[slow]="skipped"
+    continue
+  fi
+  run_phase "$phase" "$phase" || status=1
+done
 
 echo
-echo "check.sh summary: fast=${phase_result[fast]:-FAIL}" \
-     "slow=${phase_result[slow]:-FAIL} tsan=${phase_result[tsan]:-FAIL}"
+summary="check.sh summary:"
+for phase in "${phases[@]}"; do
+  summary+=" $phase=${phase_result[$phase]:-FAIL}"
+done
+echo "$summary"
 exit $status

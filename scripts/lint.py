@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Project lint: the checks clang-tidy does not cover.
+
+Rules (all scoped to the source tree: src/, tests/, bench/, examples/):
+
+  value-on-temporary   Naked `.value()` chained onto a function call in
+                       src/ — the Result temporary dies at the end of the
+                       statement (see the lifetime note in common/result.h)
+                       and nothing checked ok() first. Bind the Result to a
+                       local, test ok(), then take the value, or use
+                       LABFLOW_ASSIGN_OR_RETURN. `std::move(local).value()`
+                       is the sanctioned extraction and is allowed.
+  assert-side-effect   `assert(...)` whose condition contains ++/--/
+                       assignment: the expression vanishes under NDEBUG, so
+                       the side effect silently disappears in release
+                       builds.
+  pragma-once          `#pragma once` — this tree uses include guards
+                       (LABFLOW_<PATH>_H_), which clang-tidy and the guard
+                       check below can verify.
+  include-guard        Header guard missing or not matching the canonical
+                       LABFLOW_<PATH>_H_ name derived from the file path.
+
+A finding can be waived by putting NOLINT(<rule>) in a trailing comment on
+the offending line. Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+EXTS = {".h", ".cc", ".cpp", ".hpp"}
+
+findings = []
+
+
+def report(path, lineno, rule, msg):
+    findings.append(f"{path.relative_to(ROOT)}:{lineno}: [{rule}] {msg}")
+
+
+def waived(line, rule):
+    return f"NOLINT({rule})" in line or "NOLINT(*)" in line
+
+
+def strip_strings_and_comments(line):
+    """Crude but adequate: blanks string/char literals and // comments so
+    the regexes below do not fire inside them."""
+    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+    return re.sub(r"//.*", "", line)
+
+
+# `).value()` not immediately preceded by a std::move(<ident...>) call.
+VALUE_ON_TEMP = re.compile(r"\)\s*\.\s*value\s*\(\)")
+MOVED_VALUE = re.compile(r"std::move\s*\([^()]*\)\s*\.\s*value\s*\(\)")
+
+ASSERT_CALL = re.compile(r"\bassert\s*\(")
+# ++/--/compound or plain assignment; plain `=` must not be ==, !=, <=, >=
+# or be preceded by one of those operators' first characters.
+SIDE_EFFECT = re.compile(r"\+\+|--|(?<![=!<>+\-*/&|^])=(?!=)")
+
+GUARD_DEF = re.compile(r"^#define\s+(\w+)\s*$")
+GUARD_IFNDEF = re.compile(r"^#ifndef\s+(\w+)\s*$")
+
+
+def canonical_guard(relpath):
+    parts = list(relpath.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    return "LABFLOW_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def check_file(path):
+    rel = path.relative_to(ROOT)
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    in_src = rel.parts[0] == "src"
+    for i, raw in enumerate(lines, 1):
+        line = strip_strings_and_comments(raw)
+
+        if "#pragma once" in line and not waived(raw, "pragma-once"):
+            report(path, i, "pragma-once",
+                   "use a LABFLOW_<PATH>_H_ include guard instead")
+
+        if in_src and not waived(raw, "value-on-temporary"):
+            for m in VALUE_ON_TEMP.finditer(line):
+                # Allowed iff this .value() is the tail of std::move(...).
+                if any(mm.end() == m.end()
+                       for mm in MOVED_VALUE.finditer(line)):
+                    continue
+                report(path, i, "value-on-temporary",
+                       ".value() on an unchecked temporary Result; bind it "
+                       "to a local and test ok() first")
+
+        if not waived(raw, "assert-side-effect"):
+            for m in ASSERT_CALL.finditer(line):
+                # Take the parenthesized argument (balanced on this line).
+                depth, j = 0, m.end() - 1
+                arg_start = m.end()
+                while j < len(line):
+                    if line[j] == "(":
+                        depth += 1
+                    elif line[j] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j += 1
+                arg = line[arg_start:j if depth == 0 else len(line)]
+                if SIDE_EFFECT.search(arg):
+                    report(path, i, "assert-side-effect",
+                           "assert condition has a side effect, which "
+                           "vanishes under NDEBUG")
+
+    if path.suffix in {".h", ".hpp"} and not waived(lines[0] if lines else "",
+                                                    "include-guard"):
+        want = canonical_guard(rel)
+        ifndefs = [m.group(1) for ln in lines[:5]
+                   for m in [GUARD_IFNDEF.match(ln.strip())] if m]
+        if want not in ifndefs:
+            report(path, 1, "include-guard",
+                   f"expected include guard {want}")
+        elif f"#define {want}" not in text:
+            report(path, 1, "include-guard",
+                   f"#ifndef {want} without matching #define")
+
+
+def main():
+    for d in SCAN_DIRS:
+        base = ROOT / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTS and path.is_file():
+                check_file(path)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

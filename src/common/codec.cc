@@ -1,4 +1,5 @@
 #include "common/codec.h"
+#include "common/status_macros.h"
 
 namespace labflow {
 

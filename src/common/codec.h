@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/status_macros.h"
 #include "common/value.h"
 
 namespace labflow {

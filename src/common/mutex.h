@@ -1,0 +1,99 @@
+#ifndef LABFLOW_COMMON_MUTEX_H_
+#define LABFLOW_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace labflow {
+
+/// A std::mutex with Clang capability annotations, so classes that guard
+/// state with `LABFLOW_GUARDED_BY(mu_)` get their locking discipline checked
+/// at compile time (see common/thread_annotations.h). Zero-cost: every
+/// method is an inline forward to the underlying std::mutex.
+///
+/// Lowercase lock/unlock/try_lock keep the type BasicLockable, so it also
+/// composes with std facilities where needed; annotated code should prefer
+/// MutexLock (scoped) or explicit Lock()/Unlock() pairs, which the analysis
+/// tracks.
+class LABFLOW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() LABFLOW_ACQUIRE() { mu_.lock(); }
+  void Unlock() LABFLOW_RELEASE() { mu_.unlock(); }
+  bool TryLock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable spellings (same semantics, same annotations).
+  void lock() LABFLOW_ACQUIRE() { mu_.lock(); }
+  void unlock() LABFLOW_RELEASE() { mu_.unlock(); }
+  bool try_lock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a labflow::Mutex, visible to the thread-safety analysis
+/// (std::lock_guard acquisitions are not). Not movable: one scope, one hold.
+class LABFLOW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LABFLOW_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() LABFLOW_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with labflow::Mutex. Every wait declares
+/// LABFLOW_REQUIRES(mu): the caller holds the mutex across the call, and the
+/// wait reacquires it before returning (the transient release inside the
+/// std::condition_variable_any machinery is invisible to — and irrelevant
+/// for — the capability analysis, which checks the caller's hold).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  /// Blocks until `pred()` is true, releasing `mu` while parked.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) LABFLOW_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  /// Untimed single wakeup (spurious wakeups possible; re-test and re-wait).
+  void Wait(Mutex& mu) LABFLOW_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Waits until `deadline`; std::cv_status::timeout when it passed.
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) LABFLOW_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  /// Waits up to `rel_time` for `pred()`; returns its final value.
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& rel_time,
+               Pred pred) LABFLOW_REQUIRES(mu) {
+    return cv_.wait_for(mu, rel_time, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_MUTEX_H_

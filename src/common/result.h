@@ -2,6 +2,8 @@
 #define LABFLOW_COMMON_RESULT_H_
 
 #include <cassert>
+#include <source_location>
+#include <string>
 #include <utility>
 #include <variant>
 
@@ -13,17 +15,31 @@ namespace labflow {
 ///
 /// Invariant: holds either a T or a non-OK Status; it never holds an OK
 /// Status without a value. Constructing a Result from an OK Status is a
-/// programming error and converts to an Internal error.
+/// programming error: debug builds assert on the spot, release builds
+/// convert it to an Internal error naming the offending call site.
+///
+/// `[[nodiscard]]`: discarding a Result drops both the value and the error,
+/// so the tree builds with -Werror=unused-result (see common/status_macros.h
+/// and docs/STYLE.md for the discipline).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Implicit from error Status (failure).
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+  /// Implicit from error Status (failure). Passing an OK status is a
+  /// contract violation — the defaulted source_location pins the blame on
+  /// the caller, not on result.h.
+  Result(Status status,  // NOLINT(runtime/explicit)
+         std::source_location loc = std::source_location::current())
+      : repr_(std::move(status)) {
     if (std::get<Status>(repr_).ok()) {
-      repr_ = Status::Internal("Result constructed from OK status");
+      assert(false &&
+             "Result constructed from OK Status: return the value instead");
+      repr_ = Status::Internal(
+          std::string("Result constructed from OK Status at ") +
+          loc.file_name() + ":" + std::to_string(loc.line()) + " (" +
+          loc.function_name() + ")");
     }
   }
 
@@ -75,19 +91,5 @@ class Result {
 };
 
 }  // namespace labflow
-
-/// Evaluates `rexpr` (a Result<T>), propagating its error or assigning the
-/// value into `lhs`, which may be a declaration.
-#define LABFLOW_ASSIGN_OR_RETURN(lhs, rexpr)                            \
-  LABFLOW_ASSIGN_OR_RETURN_IMPL_(                                       \
-      LABFLOW_RESULT_CONCAT_(_labflow_result_, __LINE__), lhs, rexpr)
-
-#define LABFLOW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
-  auto tmp = (rexpr);                                   \
-  if (!tmp.ok()) return tmp.status();                   \
-  lhs = std::move(tmp).value()
-
-#define LABFLOW_RESULT_CONCAT_(a, b) LABFLOW_RESULT_CONCAT_IMPL_(a, b)
-#define LABFLOW_RESULT_CONCAT_IMPL_(a, b) a##b
 
 #endif  // LABFLOW_COMMON_RESULT_H_

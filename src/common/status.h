@@ -32,7 +32,13 @@ std::string_view StatusCodeName(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// message. Statuses compare equal iff their codes are equal (messages are
 /// for humans, not for dispatch).
-class Status {
+///
+/// `[[nodiscard]]`: a dropped Status is a silently swallowed error, so the
+/// whole tree builds with -Werror=unused-result. Propagate it
+/// (LABFLOW_RETURN_IF_ERROR), handle it, or discard explicitly with
+/// LABFLOW_IGNORE_STATUS(expr, reason) — see common/status_macros.h and
+/// docs/STYLE.md.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -109,12 +115,5 @@ class Status {
 };
 
 }  // namespace labflow
-
-/// Propagates a non-OK Status from the enclosing function.
-#define LABFLOW_RETURN_IF_ERROR(expr)                \
-  do {                                               \
-    ::labflow::Status _st = (expr);                  \
-    if (!_st.ok()) return _st;                       \
-  } while (0)
 
 #endif  // LABFLOW_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef LABFLOW_COMMON_STATUS_MACROS_H_
+#define LABFLOW_COMMON_STATUS_MACROS_H_
+
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Control-flow helpers for the Status/Result error discipline (the contract
+/// itself — when to propagate, when to ignore — is docs/STYLE.md).
+///
+/// `Status` and `Result<T>` are `[[nodiscard]]` and the tree builds with
+/// `-Werror=unused-result`: a fallible call must either be propagated
+/// (LABFLOW_RETURN_IF_ERROR / LABFLOW_ASSIGN_OR_RETURN), handled, or
+/// explicitly waved off with LABFLOW_IGNORE_STATUS and a reason.
+
+/// Propagates a non-OK Status from the enclosing function.
+#define LABFLOW_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::labflow::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or assigning the
+/// value into `lhs`, which may be a declaration. The value is moved, so
+/// move-only payloads (unique_ptr, ...) work.
+#define LABFLOW_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  LABFLOW_ASSIGN_OR_RETURN_IMPL_(                                       \
+      LABFLOW_STATUS_CONCAT_(_labflow_result_, __LINE__), lhs, rexpr)
+
+#define LABFLOW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+/// Deliberately discards a Status or Result. `reason` must be a non-empty
+/// string literal saying *why* ignoring is correct here — it is the audit
+/// trail for the one escape hatch from -Werror=unused-result. Best-effort
+/// cleanup on an already-failing path is the typical legitimate use.
+#define LABFLOW_IGNORE_STATUS(expr, reason)                               \
+  do {                                                                    \
+    static_assert(sizeof("" reason) > 1,                                  \
+                  "LABFLOW_IGNORE_STATUS needs a non-empty reason");      \
+    auto _labflow_ignored_status = (expr);                                \
+    (void)_labflow_ignored_status;                                        \
+  } while (0)
+
+#define LABFLOW_STATUS_CONCAT_(a, b) LABFLOW_STATUS_CONCAT_IMPL_(a, b)
+#define LABFLOW_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // LABFLOW_COMMON_STATUS_MACROS_H_

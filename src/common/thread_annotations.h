@@ -1,0 +1,70 @@
+#ifndef LABFLOW_COMMON_THREAD_ANNOTATIONS_H_
+#define LABFLOW_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety (capability) annotation wrappers.
+///
+/// Under Clang these expand to the `__attribute__` spellings consumed by
+/// `-Wthread-safety`, turning the locking contract of an annotated class
+/// into a compile-time check: touching a `LABFLOW_GUARDED_BY(mu_)` member
+/// without holding `mu_`, or calling a `LABFLOW_REQUIRES(mu_)` function
+/// with the lock not held, is a build error (the tree compiles with
+/// `-Werror=thread-safety`). Under GCC and other compilers the macros
+/// vanish and the annotations are documentation.
+///
+/// The analysis only tracks locks acquired through annotated functions, so
+/// annotated classes must synchronize with `labflow::Mutex` /
+/// `labflow::MutexLock` / `labflow::CondVar` (common/mutex.h), not raw
+/// `std::mutex` + `std::lock_guard` (whose acquisitions are invisible to
+/// the analysis). Conventions are documented in docs/STYLE.md.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LABFLOW_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define LABFLOW_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define LABFLOW_CAPABILITY(x) LABFLOW_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor releases.
+#define LABFLOW_SCOPED_CAPABILITY LABFLOW_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member may only be touched while holding `x`.
+#define LABFLOW_GUARDED_BY(x) LABFLOW_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define LABFLOW_PT_GUARDED_BY(x) LABFLOW_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the given capabilities held on entry (and keeps them).
+#define LABFLOW_REQUIRES(...) \
+  LABFLOW_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LABFLOW_REQUIRES_SHARED(...) \
+  LABFLOW_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define LABFLOW_ACQUIRE(...) \
+  LABFLOW_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define LABFLOW_RELEASE(...) \
+  LABFLOW_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define LABFLOW_TRY_ACQUIRE(ret, ...) \
+  LABFLOW_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called with the given capabilities held
+/// (non-reentrancy / deadlock guard on public entry points).
+#define LABFLOW_EXCLUDES(...) \
+  LABFLOW_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define LABFLOW_RETURN_CAPABILITY(x) \
+  LABFLOW_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only with a
+/// comment explaining why the contract holds anyway.
+#define LABFLOW_NO_THREAD_SAFETY_ANALYSIS \
+  LABFLOW_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // LABFLOW_COMMON_THREAD_ANNOTATIONS_H_

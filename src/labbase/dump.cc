@@ -1,4 +1,5 @@
 #include "labbase/dump.h"
+#include "common/status_macros.h"
 
 namespace labflow::labbase {
 

@@ -1,6 +1,7 @@
 #include "labbase/labbase.h"
 
 #include <algorithm>
+#include "common/status_macros.h"
 
 namespace labflow::labbase {
 
@@ -121,7 +122,11 @@ LabBase::Session::~Session() {
   // Best-effort rollback of an abandoned transaction. Safe even if the
   // manager was closed underneath us: StorageManager::Abort looks the
   // handle up by pointer value without dereferencing it.
-  if (txn_ != nullptr) (void)Abort();
+  if (txn_ != nullptr) {
+    LABFLOW_IGNORE_STATUS(Abort(),
+                          "a destructor cannot propagate; the rollback of an "
+                          "abandoned transaction is best-effort");
+  }
 }
 
 Status LabBase::Session::Begin() {
@@ -154,7 +159,7 @@ Status LabBase::Session::Abort() {
   // (page locks), but they could see these index entries; undoing them
   // here restores the pre-transaction view.
   {
-    std::lock_guard<std::mutex> g(db_->index_mu_);
+    MutexLock g(db_->index_mu_);
     for (auto it = index_undo_.rbegin(); it != index_undo_.rend(); ++it) {
       switch (it->kind) {
         case IndexUndo::kMaterialCreated:
@@ -227,14 +232,14 @@ Result<Oid> LabBase::Session::CreateMaterial(ClassId material_class,
   // across storage calls. A concurrent CreateMaterial of the same name
   // fails here; FindMaterialByName treats the null placeholder as absent.
   {
-    std::lock_guard<std::mutex> g(db->index_mu_);
+    MutexLock g(db->index_mu_);
     auto [it, inserted] = db->materials_by_name_.try_emplace(name_str, Oid());
     if (!inserted) {
       return Status::AlreadyExists("material name taken: " + name_str);
     }
   }
   auto release_reservation = [&] {
-    std::lock_guard<std::mutex> g(db->index_mu_);
+    MutexLock g(db->index_mu_);
     db->materials_by_name_.erase(name_str);
   };
 
@@ -261,7 +266,7 @@ Result<Oid> LabBase::Session::CreateMaterial(ClassId material_class,
     }
   }
   {
-    std::lock_guard<std::mutex> g(db->index_mu_);
+    MutexLock g(db->index_mu_);
     db->materials_by_name_[name_str] = oid;
     db->by_state_[initial_state].insert({name_str, oid});
     db->by_class_[material_class].insert(oid);
@@ -294,7 +299,7 @@ void LabBase::Session::IndexStateChange(Oid material, const std::string& name,
                                         StateId from, StateId to) {
   if (from == to) return;
   {
-    std::lock_guard<std::mutex> g(db_->index_mu_);
+    MutexLock g(db_->index_mu_);
     db_->by_state_[from].erase({name, material});
     db_->by_state_[to].insert({name, material});
   }
@@ -538,7 +543,7 @@ Result<Oid> LabBase::Session::FindMaterialByName(std::string_view name) {
     LABFLOW_ASSIGN_OR_RETURN(ObjectId id, db_->name_dir_->Lookup(name, txn_));
     return ToUser(id);
   }
-  std::lock_guard<std::mutex> g(db_->index_mu_);
+  MutexLock g(db_->index_mu_);
   auto it = db_->materials_by_name_.find(name);
   // A null placeholder is a concurrent CreateMaterial's name reservation:
   // the material does not exist yet.
@@ -556,7 +561,7 @@ Result<StateId> LabBase::Session::CurrentState(Oid material) {
 
 Result<std::vector<Oid>> LabBase::Session::MaterialsInState(StateId state) {
   ++stats_.state_queries;
-  std::lock_guard<std::mutex> g(db_->index_mu_);
+  MutexLock g(db_->index_mu_);
   auto it = db_->by_state_.find(state);
   if (it == db_->by_state_.end()) return std::vector<Oid>{};
   std::vector<Oid> out;
@@ -567,7 +572,7 @@ Result<std::vector<Oid>> LabBase::Session::MaterialsInState(StateId state) {
 
 Result<int64_t> LabBase::Session::CountInState(StateId state) {
   ++stats_.state_queries;
-  std::lock_guard<std::mutex> g(db_->index_mu_);
+  MutexLock g(db_->index_mu_);
   auto it = db_->by_state_.find(state);
   return it == db_->by_state_.end() ? 0
                                     : static_cast<int64_t>(it->second.size());
@@ -575,7 +580,7 @@ Result<int64_t> LabBase::Session::CountInState(StateId state) {
 
 Result<std::vector<Oid>> LabBase::Session::MaterialsOfClass(
     ClassId material_class) {
-  std::lock_guard<std::mutex> g(db_->index_mu_);
+  MutexLock g(db_->index_mu_);
   auto it = db_->by_class_.find(material_class);
   if (it == db_->by_class_.end()) return std::vector<Oid>{};
   return std::vector<Oid>(it->second.begin(), it->second.end());
@@ -587,7 +592,7 @@ Result<Oid> LabBase::Session::CreateSet(std::string_view name) {
   LabBase* db = db_;
   ++stats_.set_operations;
   {
-    std::lock_guard<std::mutex> g(db->index_mu_);
+    MutexLock g(db->index_mu_);
     if (db->sets_by_name_.count(name)) {
       return Status::AlreadyExists("set exists: " + std::string(name));
     }
@@ -599,7 +604,7 @@ Result<Oid> LabBase::Session::CreateSet(std::string_view name) {
   LABFLOW_ASSIGN_OR_RETURN(ObjectId id,
                            db->mgr_->Allocate(txn_, rec.Encode(), hint));
   {
-    std::lock_guard<std::mutex> g(db->index_mu_);
+    MutexLock g(db->index_mu_);
     db->sets_by_name_[rec.name] = ToUser(id);
   }
   db->root_.sets.emplace_back(rec.name, id);
@@ -643,7 +648,7 @@ Result<std::vector<Oid>> LabBase::Session::SetMembers(Oid set) {
 }
 
 Result<Oid> LabBase::Session::FindSetByName(std::string_view name) {
-  std::lock_guard<std::mutex> g(db_->index_mu_);
+  MutexLock g(db_->index_mu_);
   auto it = db_->sets_by_name_.find(name);
   if (it == db_->sets_by_name_.end()) {
     return Status::NotFound("no set named " + std::string(name));

@@ -3,14 +3,15 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/value.h"
 #include "labbase/records.h"
 #include "labbase/schema.h"
@@ -142,7 +143,7 @@ class LabBase {
 
   /// Rebuilds the derived in-memory indexes (name map, state/class sets)
   /// from the persistent records. Requires no active sessions.
-  Status RebuildIndexes();
+  Status RebuildIndexes() LABFLOW_EXCLUDES(index_mu_);
 
  private:
   friend class Session;
@@ -171,13 +172,16 @@ class LabBase {
   /// sessions. Never held across storage-manager calls (those may block on
   /// page locks); instead, mutators reserve/patch entries around the
   /// storage operation (see Session::CreateMaterial).
-  std::mutex index_mu_;
-  std::map<std::string, Oid, std::less<>> materials_by_name_;
+  Mutex index_mu_;
+  std::map<std::string, Oid, std::less<>> materials_by_name_
+      LABFLOW_GUARDED_BY(index_mu_);
   // Ordered by material name so work-queue scans are deterministic across
   // storage managers (object ids are manager-specific).
-  std::map<StateId, std::set<std::pair<std::string, Oid>>> by_state_;
-  std::map<ClassId, std::set<Oid>> by_class_;
-  std::map<std::string, Oid, std::less<>> sets_by_name_;
+  std::map<StateId, std::set<std::pair<std::string, Oid>>> by_state_
+      LABFLOW_GUARDED_BY(index_mu_);
+  std::map<ClassId, std::set<Oid>> by_class_ LABFLOW_GUARDED_BY(index_mu_);
+  std::map<std::string, Oid, std::less<>> sets_by_name_
+      LABFLOW_GUARDED_BY(index_mu_);
 };
 
 /// A client session: the unit of transactional interaction with LabBase.
@@ -305,7 +309,7 @@ class LabBase::Session {
 
   /// Index maintenance on state transition (locks index_mu_, logs undo).
   void IndexStateChange(Oid material, const std::string& name, StateId from,
-                        StateId to);
+                        StateId to) LABFLOW_EXCLUDES(db_->index_mu_);
 
   /// Marks the catalog as touched by the active transaction, so Abort
   /// knows to re-read it.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/codec.h"
+#include "common/status_macros.h"
 
 namespace labflow::labbase {
 

@@ -1,4 +1,5 @@
 #include "labflow/apply.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 

@@ -2,6 +2,7 @@
 
 #include "common/clock.h"
 #include "labflow/apply.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 
@@ -147,7 +148,11 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
     }
     Status st = Execute(session.get(), ev, &report.result_checksum);
     if (!st.ok()) {
-      if (options.per_event_transactions) (void)session->Abort();
+      if (options.per_event_transactions) {
+        LABFLOW_IGNORE_STATUS(session->Abort(),
+                              "best-effort rollback; the event's own error "
+                              "is what the caller needs to see");
+      }
       return st;
     }
     if (options.per_event_transactions) {

@@ -3,6 +3,7 @@
 #include "mm/mm_manager.h"
 #include "ostore/ostore_manager.h"
 #include "texas/texas_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::bench {
 

@@ -1,4 +1,5 @@
 #include "mm/mm_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::mm {
 

@@ -17,7 +17,7 @@ bool LockManager::CanGrantLocked(const PageLock& lock, uint64_t txn,
 }
 
 Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
-  std::unique_lock<std::mutex> g(mu_);
+  MutexLock g(mu_);
   PageLock& lock = table_[page];
   if (!exclusive && lock.s_owners.count(txn)) return Status::OK();
   if (lock.x_owner == txn) return Status::OK();
@@ -26,7 +26,7 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(timeout_ms_);
     while (!CanGrantLocked(table_[page], txn, exclusive)) {
-      if (cv_.wait_until(g, deadline) == std::cv_status::timeout) {
+      if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
         if (CanGrantLocked(table_[page], txn, exclusive)) break;
         return Status::Aborted("lock timeout on page " + std::to_string(page) +
                                " (presumed deadlock)");
@@ -45,7 +45,7 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
 }
 
 bool LockManager::TryAcquire(uint64_t txn, uint64_t page, bool exclusive) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   PageLock& lock = table_[page];
   if (!exclusive && lock.s_owners.count(txn)) return true;
   if (lock.x_owner == txn) return true;
@@ -61,7 +61,7 @@ bool LockManager::TryAcquire(uint64_t txn, uint64_t page, bool exclusive) {
 }
 
 void LockManager::ReleaseAll(uint64_t txn) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = held_.find(txn);
   if (it == held_.end()) return;
   for (uint64_t page : it->second) {
@@ -74,7 +74,7 @@ void LockManager::ReleaseAll(uint64_t txn) {
     }
   }
   held_.erase(it);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 }  // namespace labflow::ostore

@@ -1,13 +1,13 @@
 #ifndef LABFLOW_OSTORE_LOCK_MANAGER_H_
 #define LABFLOW_OSTORE_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace labflow::ostore {
 
@@ -29,19 +29,21 @@ class LockManager {
   /// Acquires (or upgrades to) the requested lock for `txn` on `page`.
   /// Reentrant: holding X satisfies S and X; holding S satisfies S.
   /// Returns Aborted on timeout.
-  Status Acquire(uint64_t txn, uint64_t page, bool exclusive);
+  Status Acquire(uint64_t txn, uint64_t page, bool exclusive)
+      LABFLOW_EXCLUDES(mu_);
 
   /// Non-blocking Acquire: grants immediately or returns false without
   /// waiting (and without counting a lock wait). Used by the allocator to
   /// probe placement candidates that may be held by concurrent inserters.
-  bool TryAcquire(uint64_t txn, uint64_t page, bool exclusive);
+  [[nodiscard]] bool TryAcquire(uint64_t txn, uint64_t page, bool exclusive)
+      LABFLOW_EXCLUDES(mu_);
 
   /// Releases every lock `txn` holds and wakes waiters.
-  void ReleaseAll(uint64_t txn);
+  void ReleaseAll(uint64_t txn) LABFLOW_EXCLUDES(mu_);
 
   /// Number of requests that had to block before being granted or aborted.
-  uint64_t lock_waits() const {
-    std::lock_guard<std::mutex> g(mu_);
+  uint64_t lock_waits() const LABFLOW_EXCLUDES(mu_) {
+    MutexLock g(mu_);
     return lock_waits_;
   }
 
@@ -52,15 +54,16 @@ class LockManager {
   };
 
   /// True if the request can be granted right now (lock table locked).
-  bool CanGrantLocked(const PageLock& lock, uint64_t txn,
-                      bool exclusive) const;
+  bool CanGrantLocked(const PageLock& lock, uint64_t txn, bool exclusive) const
+      LABFLOW_REQUIRES(mu_);
 
   int64_t timeout_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, PageLock> table_;
-  std::unordered_map<uint64_t, std::set<uint64_t>> held_;  // txn -> pages
-  uint64_t lock_waits_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<uint64_t, PageLock> table_ LABFLOW_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::set<uint64_t>> held_
+      LABFLOW_GUARDED_BY(mu_);  // txn -> pages
+  uint64_t lock_waits_ LABFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace labflow::ostore

@@ -1,4 +1,5 @@
 #include "ostore/ostore_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::ostore {
 
@@ -24,10 +25,23 @@ std::unique_ptr<storage::Txn> OstoreManager::CreateTxn(uint64_t id) {
 
 Status OstoreManager::CommitTxn(storage::Txn* txn) {
   OstoreTxn* t = Cast(txn);
+  // A redo group lost on the auto-commit path means recovery can no longer
+  // replay everything this store claims durable; refuse to certify further
+  // commits until a checkpoint closes the hole.
+  Status st = ConsumeWalError();
   // WAL first, then make pages evictable, then release locks.
-  if (t->redo.size() > 0) {
-    LABFLOW_RETURN_IF_ERROR(
-        wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_));
+  if (st.ok() && t->redo.size() > 0) {
+    st = wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_);
+  }
+  if (!st.ok()) {
+    // The handle is invalidated regardless of the outcome (Commit frees
+    // it), so a commit that cannot reach the log degrades to an abort:
+    // undo the in-memory changes, drop the pins, release the 2PL locks —
+    // an early return here would leak the transaction's page locks.
+    LABFLOW_IGNORE_STATUS(
+        AbortTxn(txn),
+        "surfacing the WAL failure; the rollback is best-effort");
+    return st;
   }
   t->pins.clear();
   locks_->ReleaseAll(t->id());
@@ -112,10 +126,24 @@ void OstoreManager::AppendRedo(storage::Txn* txn,
     encode(&Cast(txn)->redo);
     return;
   }
-  // Auto-commit: one-op group, logged immediately with txn id 0.
+  // Auto-commit: one-op group, logged immediately with txn id 0, honouring
+  // the same force-at-commit regime as transactional commits.
   Encoder enc;
   encode(&enc);
-  (void)wal_.AppendGroup(0, enc.buffer(), false);
+  Status st = wal_.AppendGroup(0, enc.buffer(), sync_commit_);
+  if (!st.ok()) RecordWalError(std::move(st));
+}
+
+void OstoreManager::RecordWalError(Status st) {
+  MutexLock g(wal_error_mu_);
+  if (wal_error_.ok()) wal_error_ = std::move(st);
+}
+
+Status OstoreManager::ConsumeWalError() {
+  MutexLock g(wal_error_mu_);
+  Status st = std::move(wal_error_);
+  wal_error_ = Status::OK();
+  return st;
 }
 
 void OstoreManager::OnPageInit(storage::Txn* txn, uint64_t lsn, uint64_t page,
@@ -236,7 +264,15 @@ Status OstoreManager::Recover() {
   return wal_.Truncate();
 }
 
-Status OstoreManager::OnCheckpoint() { return wal_.Truncate(); }
+Status OstoreManager::OnCheckpoint() {
+  LABFLOW_RETURN_IF_ERROR(wal_.Truncate());
+  // Every dirty page hit disk before this hook ran (the base flushes and
+  // syncs first), so a redo group lost on the auto-commit path is now
+  // covered by the page file and the sticky error can be retired.
+  MutexLock g(wal_error_mu_);
+  wal_error_ = Status::OK();
+  return Status::OK();
+}
 
 Status OstoreManager::OnClose() { return wal_.Close(); }
 

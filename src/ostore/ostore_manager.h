@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "ostore/lock_manager.h"
 #include "ostore/wal.h"
 #include "storage/paged_manager.h"
@@ -132,9 +134,20 @@ class OstoreManager : public storage::PagedManagerBase {
 
   Status Recover();
 
+  /// Records the first WAL append failure from the auto-commit redo hook
+  /// (AppendRedo returns void, so the error cannot propagate at the fault
+  /// site). RecordWalError keeps the earliest failure; ConsumeWalError
+  /// hands it to the next CommitTxn so the durability hole is surfaced
+  /// loudly instead of silently shrinking the recoverable prefix.
+  void RecordWalError(Status st) LABFLOW_EXCLUDES(wal_error_mu_);
+  Status ConsumeWalError() LABFLOW_EXCLUDES(wal_error_mu_);
+
   std::unique_ptr<LockManager> locks_;
   Wal wal_;
   bool sync_commit_ = false;
+
+  mutable Mutex wal_error_mu_;
+  Status wal_error_ LABFLOW_GUARDED_BY(wal_error_mu_);
 
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};

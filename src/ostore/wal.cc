@@ -63,7 +63,7 @@ Status Wal::Open(const std::string& path) {
 }
 
 void Wal::SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   max_group_bytes_ = max_group_bytes == 0 ? 1 : max_group_bytes;
   max_group_wait_us_ = max_group_wait_us;
 }
@@ -82,23 +82,33 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   // a flipped bit in the length or txn id fields is caught at recovery.
   PutLE32(&w.frame, Checksum(w.frame));
 
-  std::unique_lock<std::mutex> lk(mu_);
+  // Explicit Lock/Unlock (not a scoped guard): the leader drops the mutex
+  // around the file write below, and the thread-safety analysis tracks the
+  // hand-over-hand pairing.
+  mu_.Lock();
   queue_.push_back(&w);
   queued_bytes_ += w.frame.size();
-  cv_.notify_all();  // a leader in its grace window re-checks its quota
-  cv_.wait(lk, [&] {
-    return w.done ||
-           (!leader_active_ && !queue_.empty() && queue_.front() == &w);
-  });
-  if (w.done) return w.status;  // an earlier leader carried our frame
+  cv_.NotifyAll();  // a leader in its grace window re-checks its quota
+  while (!w.done &&
+         (leader_active_ || queue_.empty() || queue_.front() != &w)) {
+    cv_.Wait(mu_);
+  }
+  if (w.done) {  // an earlier leader carried our frame
+    Status carried = w.status;
+    mu_.Unlock();
+    return carried;
+  }
 
   // This thread leads the next batch. Optionally linger so concurrent
   // committers can join before the expensive force; only a sync commit pays
   // the window (it exists to amortize fdatasync, not buffered appends).
   leader_active_ = true;
   if (sync && max_group_wait_us_ > 0) {
-    cv_.wait_for(lk, std::chrono::microseconds(max_group_wait_us_),
-                 [&] { return queued_bytes_ >= max_group_bytes_; });
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(max_group_wait_us_);
+    while (queued_bytes_ < max_group_bytes_ &&
+           cv_.WaitUntil(mu_, deadline) != std::cv_status::timeout) {
+    }
   }
 
   std::vector<Waiter*> batch;
@@ -112,7 +122,7 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
     batch_sync |= f->sync;
     batch.push_back(f);
   }
-  lk.unlock();
+  mu_.Unlock();
 
   Status st = Status::OK();
   if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
@@ -124,7 +134,7 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   }
   if (st.ok()) size_.fetch_add(buf.size(), std::memory_order_relaxed);
 
-  lk.lock();
+  mu_.Lock();
   if (st.ok()) {
     stats_.frames += batch.size();
     stats_.writes += 1;
@@ -139,7 +149,8 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
     f->done = true;
   }
   leader_active_ = false;
-  cv_.notify_all();
+  cv_.NotifyAll();
+  mu_.Unlock();
   return st;
 }
 
@@ -203,7 +214,7 @@ Status Wal::Truncate() {
 }
 
 Wal::GroupStats Wal::group_stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return stats_;
 }
 

@@ -2,16 +2,16 @@
 #define LABFLOW_OSTORE_WAL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace labflow::ostore {
 
@@ -53,12 +53,14 @@ class Wal {
   /// commit latency for fewer fdatasyncs. Zero (the default) never delays —
   /// batching then comes only from committers that pile up while the
   /// previous leader is inside its write+sync.
-  void SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us);
+  void SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us)
+      LABFLOW_EXCLUDES(mu_);
 
   /// Appends one commit group and flushes it to the OS. When `sync` is set,
   /// also fdatasyncs (force-at-commit durability). May coalesce with other
   /// concurrent appenders; the returned Status is this group's own outcome.
-  Status AppendGroup(uint64_t txn_id, std::string_view payload, bool sync);
+  Status AppendGroup(uint64_t txn_id, std::string_view payload, bool sync)
+      LABFLOW_EXCLUDES(mu_);
 
   struct Group {
     uint64_t txn_id;
@@ -83,7 +85,7 @@ class Wal {
     uint64_t syncs = 0;                 ///< batch writes ending in fdatasync
     uint64_t max_frames_per_write = 0;  ///< largest batch observed
   };
-  GroupStats group_stats() const;
+  GroupStats group_stats() const LABFLOW_EXCLUDES(mu_);
 
   Status Close();
 
@@ -112,14 +114,14 @@ class Wal {
   // Group-commit state. `mu_` guards the queue, the leader flag and the
   // stats; the file itself is written only by the current leader, outside
   // the lock (leader_active_ excludes a second writer).
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Waiter*> queue_;
-  size_t queued_bytes_ = 0;
-  bool leader_active_ = false;
-  size_t max_group_bytes_ = 1 << 20;
-  int64_t max_group_wait_us_ = 0;
-  GroupStats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Waiter*> queue_ LABFLOW_GUARDED_BY(mu_);
+  size_t queued_bytes_ LABFLOW_GUARDED_BY(mu_) = 0;
+  bool leader_active_ LABFLOW_GUARDED_BY(mu_) = false;
+  size_t max_group_bytes_ LABFLOW_GUARDED_BY(mu_) = 1 << 20;
+  int64_t max_group_wait_us_ LABFLOW_GUARDED_BY(mu_) = 0;
+  GroupStats stats_ LABFLOW_GUARDED_BY(mu_);
 };
 
 }  // namespace labflow::ostore

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include "common/status_macros.h"
 
 namespace labflow::query {
 

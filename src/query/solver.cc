@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include "common/status_macros.h"
 
 namespace labflow::query {
 

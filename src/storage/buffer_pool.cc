@@ -3,6 +3,7 @@
 #include <time.h>
 
 #include <cstring>
+#include "common/status_macros.h"
 
 namespace labflow::storage {
 
@@ -25,7 +26,7 @@ void SimulateFaultDelay(int64_t us) {
 }  // namespace
 
 Result<BufferPool::PinGuard> BufferPool::Fetch(uint64_t page_no) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = frames_.find(page_no);
   if (it != frames_.end()) {
     ++stats_.hits;
@@ -49,7 +50,7 @@ Result<BufferPool::PinGuard> BufferPool::Fetch(uint64_t page_no) {
 }
 
 Result<BufferPool::PinGuard> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   LABFLOW_RETURN_IF_ERROR(EnsureCapacityLocked());
   LABFLOW_ASSIGN_OR_RETURN(uint64_t page_no, file_->AppendPage());
   auto frame = std::make_unique<Frame>();
@@ -65,7 +66,7 @@ Result<BufferPool::PinGuard> BufferPool::NewPage() {
 }
 
 void BufferPool::Unpin(Frame* frame) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   if (frame->pin_count_ > 0) --frame->pin_count_;
 }
 
@@ -93,7 +94,7 @@ Status BufferPool::EnsureCapacityLocked() {
     }
     uint64_t page_no = *victim;
     Frame* f = frames_.at(page_no).get();
-    if (f->dirty_) {
+    if (f->dirty_.load(std::memory_order_acquire)) {
       LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, f->data()));
       ++stats_.disk_writes;
     }
@@ -105,34 +106,34 @@ Status BufferPool::EnsureCapacityLocked() {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (auto& [page_no, frame] : frames_) {
-    if (frame->dirty_) {
+    if (frame->dirty_.load(std::memory_order_acquire)) {
       LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, frame->data()));
       ++stats_.disk_writes;
-      frame->dirty_ = false;
+      frame->dirty_.store(false, std::memory_order_release);
     }
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushPage(uint64_t page_no) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto it = frames_.find(page_no);
   if (it == frames_.end()) return Status::OK();
-  if (it->second->dirty_) {
+  if (it->second->dirty_.load(std::memory_order_acquire)) {
     LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, it->second->data()));
     ++stats_.disk_writes;
-    it->second->dirty_ = false;
+    it->second->dirty_.store(false, std::memory_order_release);
   }
   return Status::OK();
 }
 
 Status BufferPool::DropClean() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame* f = it->second.get();
-    if (f->pin_count_ == 0 && !f->dirty_) {
+    if (f->pin_count_ == 0 && !f->dirty_.load(std::memory_order_acquire)) {
       if (f->in_lru_) lru_.erase(f->lru_pos_);
       it = frames_.erase(it);
     } else {

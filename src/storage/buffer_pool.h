@@ -1,15 +1,17 @@
 #ifndef LABFLOW_STORAGE_BUFFER_POOL_H_
 #define LABFLOW_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
 
@@ -28,9 +30,13 @@ struct BufferPoolStats {
 
 /// A fixed-capacity LRU page cache over a PageFile.
 ///
-/// Thread safety: all public methods are internally synchronized; access to
-/// the *contents* of a pinned frame is the caller's responsibility (the
-/// ostore lock manager or single-threaded texas discipline).
+/// Thread safety: all public methods are internally synchronized. Access to
+/// the *contents* of a pinned frame must hold that frame's latch()
+/// (byte-level, access-scope) — transaction page locks are txn-scope and a
+/// no-op both for auto-commit operations and for managers without locking
+/// (Texas), so they cannot serialize two writers on the same page bytes.
+/// Flushing a frame that a concurrent writer is mutating is still the
+/// caller's checkpoint discipline.
 class BufferPool {
  public:
   /// `capacity_pages` must be >= 2 (one target + one victim-in-flight).
@@ -50,16 +56,21 @@ class BufferPool {
     char* data() { return data_.get(); }
     const char* data() const { return data_.get(); }
     uint64_t page_no() const { return page_no_; }
-    void MarkDirty() { dirty_ = true; }
+    void MarkDirty() { dirty_.store(true, std::memory_order_release); }
+
+    /// Byte-level latch: hold it (MutexLock) around any read or write of
+    /// data(). Leaf lock — never acquire another mutex while holding it.
+    Mutex& latch() const LABFLOW_RETURN_CAPABILITY(latch_) { return latch_; }
 
    private:
     friend class BufferPool;
     std::unique_ptr<char[]> data_;
     uint64_t page_no_ = 0;
     int pin_count_ = 0;
-    bool dirty_ = false;
+    std::atomic<bool> dirty_{false};
     std::list<uint64_t>::iterator lru_pos_;
     bool in_lru_ = false;
+    mutable Mutex latch_;
   };
 
   /// RAII pin: unpins on destruction.
@@ -100,41 +111,42 @@ class BufferPool {
 
   /// Pins the page, reading it from disk on a miss (counted as a
   /// disk_read / simulated major fault).
-  Result<PinGuard> Fetch(uint64_t page_no);
+  Result<PinGuard> Fetch(uint64_t page_no) LABFLOW_EXCLUDES(mu_);
 
   /// Appends a fresh zeroed page to the file and pins it (no disk read).
-  Result<PinGuard> NewPage();
+  Result<PinGuard> NewPage() LABFLOW_EXCLUDES(mu_);
 
   /// Writes all dirty frames back to the file (does not sync).
-  Status FlushAll();
+  Status FlushAll() LABFLOW_EXCLUDES(mu_);
 
   /// Flushes one page if cached and dirty.
-  Status FlushPage(uint64_t page_no);
+  Status FlushPage(uint64_t page_no) LABFLOW_EXCLUDES(mu_);
 
   /// Drops every unpinned frame from the cache (after FlushAll, typically);
   /// used by tests to force cold reads.
-  Status DropClean();
+  Status DropClean() LABFLOW_EXCLUDES(mu_);
 
-  BufferPoolStats stats() const {
-    std::lock_guard<std::mutex> g(mu_);
+  BufferPoolStats stats() const LABFLOW_EXCLUDES(mu_) {
+    MutexLock g(mu_);
     return stats_;
   }
 
   size_t capacity() const { return capacity_; }
 
  private:
-  void Unpin(Frame* frame);
+  void Unpin(Frame* frame) LABFLOW_EXCLUDES(mu_);
   /// Evicts LRU unpinned frames until the cache has room for one more.
-  Status EnsureCapacityLocked();
-  void TouchLocked(Frame* frame);
+  Status EnsureCapacityLocked() LABFLOW_REQUIRES(mu_);
+  void TouchLocked(Frame* frame) LABFLOW_REQUIRES(mu_);
 
   PageFile* file_;
   size_t capacity_;
   int64_t fault_delay_us_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_;
-  std::list<uint64_t> lru_;  // front = most recent, back = victim
-  BufferPoolStats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_
+      LABFLOW_GUARDED_BY(mu_);
+  std::list<uint64_t> lru_ LABFLOW_GUARDED_BY(mu_);  // front = MRU
+  BufferPoolStats stats_ LABFLOW_GUARDED_BY(mu_);
 };
 
 }  // namespace labflow::storage

@@ -1,6 +1,7 @@
 #include "storage/hash_dir.h"
 
 #include "common/codec.h"
+#include "common/status_macros.h"
 
 namespace labflow::storage {
 

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/codec.h"
+#include "common/mutex.h"
+#include "common/status_macros.h"
 
 namespace labflow::storage {
 
@@ -309,11 +311,15 @@ Result<uint64_t> PagedManagerBase::NewPageInSegment(Txn* txn,
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->NewPage());
   uint64_t page_no = guard->page_no();
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
-  Page page(guard->data());
-  page.Initialize(segment);
-  uint64_t lsn = NextLsn();
-  page.set_lsn(lsn);
-  guard->MarkDirty();
+  uint64_t lsn = 0;
+  {
+    MutexLock l(guard->latch());
+    Page page(guard->data());
+    page.Initialize(segment);
+    lsn = NextLsn();
+    page.set_lsn(lsn);
+    guard->MarkDirty();
+  }
   RetainPage(txn, page_no);
   OnPageInit(txn, lsn, page_no, segment);
   return page_no;
@@ -329,24 +335,42 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(Txn* txn, uint64_t page_no,
     LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  Page page(guard->data());
-  if (min_leftover > 0 &&
-      page.FreeForInsert() < record.size() + min_leftover) {
+  // The frame latch serializes the byte-level mutation: the page lock above
+  // is txn-scope and a no-op for auto-commit and for managers without
+  // locking, so it cannot keep two inserters off the same page.
+  uint16_t seg = 0;
+  size_t free = 0;
+  uint64_t lsn = 0;
+  bool anchor_near_full = false;
+  Result<uint16_t> slot = static_cast<uint16_t>(0);
+  {
+    MutexLock l(guard->latch());
+    Page page(guard->data());
+    seg = page.segment();
+    if (min_leftover > 0 &&
+        page.FreeForInsert() < record.size() + min_leftover) {
+      anchor_near_full = true;
+      free = page.FreeForInsert();
+    } else {
+      slot = page.Insert(record);
+      free = page.FreeForInsert();
+      if (slot.ok()) {
+        lsn = NextLsn();
+        page.set_lsn(lsn);
+        guard->MarkDirty();
+      }
+    }
+  }
+  if (anchor_near_full) {
     std::lock_guard<std::mutex> g(alloc_mu_);
-    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+    NoteFreeSpaceLocked(page_no, seg, free);
     return Status::ResourceExhausted("cluster anchor page near full");
   }
-  Result<uint16_t> slot = page.Insert(record);
-  uint16_t seg = page.segment();
-  size_t free = page.FreeForInsert();
   if (!slot.ok()) {
     std::lock_guard<std::mutex> g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
     return slot.status();
   }
-  uint64_t lsn = NextLsn();
-  page.set_lsn(lsn);
-  guard->MarkDirty();
   RetainPage(txn, page_no);
   OnInsert(txn, lsn, page_no, slot.value(), record);
   {
@@ -388,6 +412,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
             LockPage(txn, anchor_page, /*exclusive=*/false));
         LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                  pool_->Fetch(anchor_page));
+        MutexLock l(guard->latch());
         seg = Page(guard->data()).segment();
       }
       uint64_t adopted = 0;
@@ -536,6 +561,7 @@ Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id) {
   }
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_ASSIGN_OR_RETURN(std::string_view rec, page.Read(id.slot()));
   return std::string(rec);
@@ -588,18 +614,27 @@ Status PagedManagerBase::UpdateSlot(Txn* txn, ObjectId id,
   uint64_t page_no = id.page();
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  Page page(guard->data());
-  LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
-  std::string old_bytes(old_view);
-  LABFLOW_RETURN_IF_ERROR(page.Update(id.slot(), record));
-  uint64_t lsn = NextLsn();
-  page.set_lsn(lsn);
-  guard->MarkDirty();
+  std::string old_bytes;
+  uint64_t lsn = 0;
+  uint16_t seg = 0;
+  size_t free = 0;
+  {
+    MutexLock l(guard->latch());
+    Page page(guard->data());
+    LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
+    old_bytes.assign(old_view);
+    LABFLOW_RETURN_IF_ERROR(page.Update(id.slot(), record));
+    lsn = NextLsn();
+    page.set_lsn(lsn);
+    guard->MarkDirty();
+    seg = page.segment();
+    free = page.FreeForInsert();
+  }
   RetainPage(txn, page_no);
   OnUpdate(txn, lsn, page_no, id.slot(), old_bytes, record);
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
-    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+    NoteFreeSpaceLocked(page_no, seg, free);
   }
   return Status::OK();
 }
@@ -608,18 +643,27 @@ Status PagedManagerBase::DeleteSlot(Txn* txn, ObjectId id) {
   uint64_t page_no = id.page();
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  Page page(guard->data());
-  LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
-  std::string old_bytes(old_view);
-  LABFLOW_RETURN_IF_ERROR(page.Delete(id.slot()));
-  uint64_t lsn = NextLsn();
-  page.set_lsn(lsn);
-  guard->MarkDirty();
+  std::string old_bytes;
+  uint64_t lsn = 0;
+  uint16_t seg = 0;
+  size_t free = 0;
+  {
+    MutexLock l(guard->latch());
+    Page page(guard->data());
+    LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
+    old_bytes.assign(old_view);
+    LABFLOW_RETURN_IF_ERROR(page.Delete(id.slot()));
+    lsn = NextLsn();
+    page.set_lsn(lsn);
+    guard->MarkDirty();
+    seg = page.segment();
+    free = page.FreeForInsert();
+  }
   RetainPage(txn, page_no);
   OnDelete(txn, lsn, page_no, id.slot(), old_bytes);
   {
     std::lock_guard<std::mutex> g(alloc_mu_);
-    NoteFreeSpaceLocked(page_no, page.segment(), page.FreeForInsert());
+    NoteFreeSpaceLocked(page_no, seg, free);
   }
   return Status::OK();
 }
@@ -652,6 +696,7 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
         LockPage(txn, terminal.page(), /*exclusive=*/false));
     LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                              pool_->Fetch(terminal.page()));
+    MutexLock l(guard->latch());
     derived.segment = Page(guard->data()).segment();
   }
 
@@ -749,6 +794,7 @@ Status PagedManagerBase::DoScanAll(
       LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
       LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                pool_->Fetch(page_no));
+      MutexLock l(guard->latch());
       Page page(guard->data());
       for (uint16_t s = 0; s < page.slot_count(); ++s) {
         if (!page.IsLive(s)) continue;
@@ -785,6 +831,7 @@ Status PagedManagerBase::RedoPageInit(uint64_t lsn, uint64_t page_no,
     LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   page.Initialize(segment);
@@ -802,6 +849,7 @@ Status PagedManagerBase::RedoInsert(uint64_t lsn, uint64_t page_no,
     LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   if (!page.IsInitialized()) page.Initialize(0);
@@ -817,6 +865,7 @@ Status PagedManagerBase::RedoUpdate(uint64_t lsn, uint64_t page_no,
     return Status::Corruption("redo update: missing page");
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   LABFLOW_RETURN_IF_ERROR(page.Update(slot, bytes));
@@ -831,6 +880,7 @@ Status PagedManagerBase::RedoDelete(uint64_t lsn, uint64_t page_no,
     return Status::Corruption("redo delete: missing page");
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
@@ -841,6 +891,7 @@ Status PagedManagerBase::RedoDelete(uint64_t lsn, uint64_t page_no,
 
 Status PagedManagerBase::UndoInsert(uint64_t page_no, uint16_t slot) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
   page.set_lsn(NextLsn());
@@ -851,6 +902,7 @@ Status PagedManagerBase::UndoInsert(uint64_t page_no, uint16_t slot) {
 Status PagedManagerBase::UndoUpdate(uint64_t page_no, uint16_t slot,
                                     std::string_view old_bytes) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.Update(slot, old_bytes));
   page.set_lsn(NextLsn());
@@ -861,6 +913,7 @@ Status PagedManagerBase::UndoUpdate(uint64_t page_no, uint16_t slot,
 Status PagedManagerBase::UndoDelete(uint64_t page_no, uint16_t slot,
                                     std::string_view old_bytes) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
+  MutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.InsertAt(slot, old_bytes));
   page.set_lsn(NextLsn());

@@ -1,9 +1,10 @@
 #include "storage/storage_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::storage {
 
 Result<Txn*> StorageManager::Begin() {
-  std::lock_guard<std::mutex> g(txn_mu_);
+  MutexLock g(txn_mu_);
   if (active_txns_.size() >= MaxConcurrentTxns()) {
     return Status::ResourceExhausted(
         std::string(name()) + ": concurrent transaction limit reached (" +
@@ -21,7 +22,7 @@ Status StorageManager::CheckTxn(Txn* txn) const {
   // active_txns_ may be foreign (another manager's) or stale (already
   // committed/aborted and freed), and a stale pointer must never be
   // dereferenced.
-  std::lock_guard<std::mutex> g(txn_mu_);
+  MutexLock g(txn_mu_);
   if (active_txns_.count(txn) == 0) {
     return Status::InvalidArgument(
         "unknown transaction handle (stale, or owned by another manager)");
@@ -32,7 +33,7 @@ Status StorageManager::CheckTxn(Txn* txn) const {
 Status StorageManager::Commit(Txn* txn) {
   std::unique_ptr<Txn> owned;
   {
-    std::lock_guard<std::mutex> g(txn_mu_);
+    MutexLock g(txn_mu_);
     auto it = txn == nullptr ? active_txns_.end() : active_txns_.find(txn);
     if (it == active_txns_.end()) {
       return Status::InvalidArgument("no such transaction");
@@ -46,7 +47,7 @@ Status StorageManager::Commit(Txn* txn) {
 Status StorageManager::Abort(Txn* txn) {
   std::unique_ptr<Txn> owned;
   {
-    std::lock_guard<std::mutex> g(txn_mu_);
+    MutexLock g(txn_mu_);
     auto it = txn == nullptr ? active_txns_.end() : active_txns_.find(txn);
     if (it == active_txns_.end()) {
       return Status::InvalidArgument("no such transaction");
@@ -58,7 +59,7 @@ Status StorageManager::Abort(Txn* txn) {
 }
 
 void StorageManager::DropActiveTxns() {
-  std::lock_guard<std::mutex> g(txn_mu_);
+  MutexLock g(txn_mu_);
   for (auto& [raw, txn] : active_txns_) {
     if (txn != nullptr) OnTxnDrop(txn.get());
   }
@@ -66,7 +67,7 @@ void StorageManager::DropActiveTxns() {
 }
 
 size_t StorageManager::ActiveTxnCount() const {
-  std::lock_guard<std::mutex> g(txn_mu_);
+  MutexLock g(txn_mu_);
   return active_txns_.size();
 }
 

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/object_id.h"
 
 namespace labflow::storage {
@@ -147,16 +148,16 @@ class StorageManager {
   /// Starts a transaction and returns its handle (owned by the manager).
   /// Managers with a concurrency cap (Texas: one) return ResourceExhausted
   /// when the cap is reached.
-  Result<Txn*> Begin();
+  Result<Txn*> Begin() LABFLOW_EXCLUDES(txn_mu_);
 
   /// Commits `txn` and invalidates the handle. InvalidArgument for null,
   /// foreign (different manager) or already-finished handles.
-  Status Commit(Txn* txn);
+  Status Commit(Txn* txn) LABFLOW_EXCLUDES(txn_mu_);
 
   /// Aborts `txn`. The handle is invalidated even when rollback is not
   /// supported (Texas/Mm return NotSupported and simply discard the handle;
   /// state changes stay applied, per their documented no-CC semantics).
-  Status Abort(Txn* txn);
+  Status Abort(Txn* txn) LABFLOW_EXCLUDES(txn_mu_);
 
   // ---- Data operations (explicit-transaction forms) ------------------------
 
@@ -262,17 +263,18 @@ class StorageManager {
 
   /// OK when `txn` is nullptr or a live handle of this manager;
   /// InvalidArgument otherwise (foreign or stale handle).
-  Status CheckTxn(Txn* txn) const;
+  Status CheckTxn(Txn* txn) const LABFLOW_EXCLUDES(txn_mu_);
 
   /// Drops every live transaction via OnTxnDrop (close/crash teardown).
-  void DropActiveTxns();
+  void DropActiveTxns() LABFLOW_EXCLUDES(txn_mu_);
 
   /// Number of currently live transactions.
-  size_t ActiveTxnCount() const;
+  size_t ActiveTxnCount() const LABFLOW_EXCLUDES(txn_mu_);
 
  private:
-  mutable std::mutex txn_mu_;
-  std::unordered_map<Txn*, std::unique_ptr<Txn>> active_txns_;
+  mutable Mutex txn_mu_;
+  std::unordered_map<Txn*, std::unique_ptr<Txn>> active_txns_
+      LABFLOW_GUARDED_BY(txn_mu_);
   std::atomic<uint64_t> next_txn_id_{1};
 };
 

@@ -1,4 +1,5 @@
 #include "texas/texas_manager.h"
+#include "common/status_macros.h"
 
 namespace labflow::texas {
 

@@ -1,6 +1,7 @@
 #include "workflow/graph.h"
 
 #include <set>
+#include "common/status_macros.h"
 
 namespace labflow::workflow {
 

@@ -1,6 +1,7 @@
 #include "workflow/simulator.h"
 
 #include "workflow/values.h"
+#include "common/status_macros.h"
 
 namespace labflow::workflow {
 

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status_macros.h"
 #include "gtest/gtest.h"
 #include "labbase/labbase.h"
 #include "ostore/ostore_manager.h"
@@ -73,7 +74,10 @@ TEST_P(ConcurrencySmokeTest, DisjointWritersAllCommit) {
         auto id_or = mgr_->Allocate(txn, payload, AllocHint{});
         if (!id_or.ok() || !mgr_->Update(txn, id_or.value(), payload).ok() ||
             !mgr_->Commit(txn).ok()) {
-          (void)mgr_->Abort(txn);
+          LABFLOW_IGNORE_STATUS(
+              mgr_->Abort(txn),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           failures.fetch_add(1);
           return;
         }
@@ -183,7 +187,10 @@ TEST(OstoreSharedHotSetTest, NoTransactionIsLost) {
         if (st.ok() && mgr->Commit(txn).ok()) {
           commits.fetch_add(1);
         } else {
-          (void)mgr->Abort(txn);
+          LABFLOW_IGNORE_STATUS(
+              mgr->Abort(txn),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           aborts.fetch_add(1);
         }
       }
@@ -242,7 +249,10 @@ TEST(GroupCommitDurabilityTest, SyncCommitsSurviveCrashAndReopen) {
         if (m.ok() && session->Commit().ok()) {
           committed.fetch_add(1);
         } else {
-          (void)session->Abort();
+          LABFLOW_IGNORE_STATUS(
+              session->Abort(),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           failures.fetch_add(1);
         }
       }
@@ -329,7 +339,10 @@ TEST(LabBaseSessionConcurrencyTest, SessionsCommitDisjointMaterials) {
         if (m.ok() && session->Commit().ok()) {
           commits.fetch_add(1);
         } else {
-          (void)session->Abort();
+          LABFLOW_IGNORE_STATUS(
+              session->Abort(),
+              "best-effort rollback on the failure path; a handle already "
+              "invalidated by Commit makes this a no-op");
           failures.fetch_add(1);
         }
       }

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/status_macros.h"
 #include "tests/test_util.h"
 
 namespace labflow::ostore {
@@ -283,7 +284,10 @@ TEST(OstoreLockTest, ConcurrentDisjointTxnsBothCommit) {
           hint);
       if (!id.ok() || !mgr->Commit(txn.value()).ok()) {
         ++failures;
-        (void)mgr->Abort(txn.value());
+        LABFLOW_IGNORE_STATUS(
+            mgr->Abort(txn.value()),
+            "best-effort rollback on the failure path; a handle already "
+            "invalidated by Commit makes this a no-op");
         return;
       }
     }
