@@ -1,22 +1,24 @@
 #!/usr/bin/env bash
-# Tier-1 check, in five named phases:
+# Tier-1 check, in six named phases:
 #
-#   fast — normal build + every test not labelled `slow`
-#   slow — the exhaustive sweeps (fault-injection truncation sweep,
-#          recovery property seeds), same build
-#   tsan — ThreadSanitizer build, concurrency-focused tests
-#   asan — Address+UndefinedBehaviorSanitizer build, every fast test
-#   lint — scripts/lint.py project rules, plus clang-tidy over the
-#          compilation database when clang-tidy is installed
+#   fast  — normal build + every test not labelled `slow`
+#   slow  — the exhaustive sweeps (fault-injection truncation sweep,
+#           recovery property seeds), same build
+#   fault — storage fault-tolerance suite with a widened seed sweep
+#           (LABFLOW_FAULT_SEEDS=48), same build
+#   tsan  — ThreadSanitizer build, concurrency-focused tests
+#   asan  — Address+UndefinedBehaviorSanitizer build, every fast test
+#   lint  — scripts/lint.py project rules, plus clang-tidy over the
+#           compilation database when clang-tidy is installed
 #
 # Usage: scripts/check.sh [jobs]           (all phases)
-#        scripts/check.sh <phase> [jobs]   (one phase: fast|slow|tsan|asan|lint)
+#        scripts/check.sh <phase> [jobs]   (one: fast|slow|fault|tsan|asan|lint)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 only=""
-if [[ $# -ge 1 && "$1" =~ ^(fast|slow|tsan|asan|lint)$ ]]; then
+if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint)$ ]]; then
   only="$1"
   shift
 fi
@@ -47,12 +49,24 @@ slow() {
   ctest --test-dir "$root/build" --output-on-failure -j "$jobs" -L slow
 }
 
+fault() {
+  # The fast phase already ran the default 16-seed sweep; here the WAL
+  # fault sweep gets 48 seeds to dig deeper into the fault space.
+  if [[ ! -d "$root/build" ]]; then
+    cmake -B "$root/build" -S "$root" >/dev/null
+    cmake --build "$root/build" -j "$jobs" --target storage_fault_test
+  fi
+  LABFLOW_FAULT_SEEDS=48 ctest --test-dir "$root/build" \
+    --output-on-failure -j "$jobs" -R storage_fault_test
+}
+
 tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs" --target \
-    concurrency_test ostore_test storage_manager_test wal_fault_test
+    concurrency_test ostore_test storage_manager_test wal_fault_test \
+    storage_fault_test
   ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'concurrency_test|ostore_test|storage_manager_test|wal_fault_test'
+    -R 'concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test'
 }
 
 asan() {
@@ -76,15 +90,16 @@ lint() {
   fi
 }
 
-phases=(fast slow tsan asan lint)
+phases=(fast slow fault tsan asan lint)
 if [[ -n "$only" ]]; then
   phases=("$only")
 fi
 
 status=0
 for phase in "${phases[@]}"; do
-  if [[ "$phase" == slow && "${phase_result[fast]:-}" == "FAIL" ]]; then
-    phase_result[slow]="skipped"
+  if [[ ("$phase" == slow || "$phase" == fault) &&
+        "${phase_result[fast]:-}" == "FAIL" ]]; then
+    phase_result[$phase]="skipped"
     continue
   fi
   run_phase "$phase" "$phase" || status=1

@@ -14,6 +14,19 @@
 
 namespace labflow {
 
+/// 32-bit FNV-1a over a byte span. Chainable: pass a previous return value
+/// as `seed` to extend the hash over multiple spans. Shared by the WAL
+/// frame checksum and the slotted-page trailer checksum so both sides of
+/// the durability boundary agree on one codec.
+inline uint32_t Fnv1a32(std::string_view data, uint32_t seed = 2166136261u) {
+  uint32_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
 /// Append-only binary encoder used for all on-page record formats.
 ///
 /// Integers use LEB128 varints (zig-zag for signed); strings and blobs are

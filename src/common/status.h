@@ -19,9 +19,11 @@ enum class StatusCode : int {
   kIOError = 5,
   kNotSupported = 6,
   kOutOfRange = 7,
-  kAborted = 8,        ///< transaction aborted (deadlock timeout, user abort)
+  kAborted = 8,        ///< transaction aborted (deadlock victim, user abort)
   kResourceExhausted = 9,
   kInternal = 10,
+  kUnavailable = 11,   ///< service degraded (e.g. sticky WAL error); retry
+                       ///< after the operator intervenes, not immediately
 };
 
 /// Returns a stable human-readable name for a status code ("NotFound", ...).
@@ -82,6 +84,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -98,6 +103,7 @@ class [[nodiscard]] Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -1,6 +1,10 @@
 #include "labbase/labbase.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
 #include "common/status_macros.h"
 
 namespace labflow::labbase {
@@ -137,15 +141,50 @@ Status LabBase::Session::Begin() {
   return Status::OK();
 }
 
+void LabBase::Session::RollbackIndexes() {
+  // Roll the shared in-memory indexes back from this session's undo log,
+  // in reverse. Concurrent sessions never saw uncommitted *storage* state
+  // (page locks), but they could see these index entries; undoing them
+  // here restores the pre-transaction view.
+  MutexLock g(db_->index_mu_);
+  for (auto it = index_undo_.rbegin(); it != index_undo_.rend(); ++it) {
+    switch (it->kind) {
+      case IndexUndo::kMaterialCreated:
+        db_->materials_by_name_.erase(it->name);
+        db_->by_state_[it->from].erase({it->name, it->oid});
+        db_->by_class_[it->class_id].erase(it->oid);
+        break;
+      case IndexUndo::kStateChanged:
+        db_->by_state_[it->to].erase({it->name, it->oid});
+        db_->by_state_[it->from].insert({it->name, it->oid});
+        break;
+    }
+  }
+}
+
 Status LabBase::Session::Commit() {
   if (txn_ == nullptr) {
     return Status::InvalidArgument("no active transaction");
   }
   storage::Txn* t = txn_;
   txn_ = nullptr;
+  Status st = db_->mgr_->Commit(t);
+  if (!st.ok()) {
+    // The manager degrades a commit it cannot certify (e.g. a WAL append
+    // failure) to an abort: its storage state rolled back, so the shared
+    // in-memory indexes — and a dirtied catalog — must follow, exactly as
+    // in Abort(). Skipping this would leave phantom index entries pointing
+    // at objects that no longer exist.
+    RollbackIndexes();
+    if (catalog_dirty_) {
+      LABFLOW_IGNORE_STATUS(db_->ReloadCatalog(),
+                            "surfacing the commit failure; the catalog "
+                            "re-read is best-effort here");
+    }
+  }
   index_undo_.clear();
   catalog_dirty_ = false;
-  return db_->mgr_->Commit(t);
+  return st;
 }
 
 Status LabBase::Session::Abort() {
@@ -154,26 +193,7 @@ Status LabBase::Session::Abort() {
   }
   storage::Txn* t = txn_;
   txn_ = nullptr;
-  // Roll the shared in-memory indexes back from this session's undo log,
-  // in reverse. Concurrent sessions never saw uncommitted *storage* state
-  // (page locks), but they could see these index entries; undoing them
-  // here restores the pre-transaction view.
-  {
-    MutexLock g(db_->index_mu_);
-    for (auto it = index_undo_.rbegin(); it != index_undo_.rend(); ++it) {
-      switch (it->kind) {
-        case IndexUndo::kMaterialCreated:
-          db_->materials_by_name_.erase(it->name);
-          db_->by_state_[it->from].erase({it->name, it->oid});
-          db_->by_class_[it->class_id].erase(it->oid);
-          break;
-        case IndexUndo::kStateChanged:
-          db_->by_state_[it->to].erase({it->name, it->oid});
-          db_->by_state_[it->from].insert({it->name, it->oid});
-          break;
-      }
-    }
-  }
+  RollbackIndexes();
   index_undo_.clear();
   Status st = db_->mgr_->Abort(t);
   if (catalog_dirty_) {
@@ -185,6 +205,42 @@ Status LabBase::Session::Abort() {
     if (st.ok()) st = reload;
   }
   return st;
+}
+
+Status LabBase::Session::RunTransaction(const std::function<Status()>& body) {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument(
+        "RunTransaction inside an active transaction");
+  }
+  const LabBaseOptions& opt = db_->options_;
+  int64_t backoff_us = std::max<int64_t>(opt.retry_backoff_us, 1);
+  std::unique_ptr<Rng> rng;
+  for (int attempt = 0;; ++attempt) {
+    LABFLOW_RETURN_IF_ERROR(Begin());
+    if (rng == nullptr) {
+      // Decorrelate backoff across sessions: transaction ids are unique per
+      // manager, so hashing the first attempt's id gives each session its
+      // own jitter stream without a configuration knob.
+      rng = std::make_unique<Rng>(txn_->id() * 0x9E3779B97F4A7C15ull + 1);
+    }
+    Status st = body();
+    if (st.ok()) {
+      st = Commit();
+      if (st.ok()) return st;
+    } else {
+      LABFLOW_IGNORE_STATUS(Abort(),
+                            "surfacing the body's error; rollback of an "
+                            "aborting transaction is best-effort");
+    }
+    if (!st.IsAborted() || attempt >= opt.max_txn_retries) return st;
+    ++stats_.txn_retries;
+    int64_t sleep_us =
+        backoff_us / 2 +
+        static_cast<int64_t>(
+            rng->NextBelow(static_cast<uint64_t>(backoff_us / 2 + 1)));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff_us = std::min(backoff_us * 2, opt.retry_backoff_max_us);
+  }
 }
 
 // ---- Session: schema --------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef LABFLOW_LABBASE_LABBASE_H_
 #define LABFLOW_LABBASE_LABBASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -41,6 +42,14 @@ struct LabBaseOptions {
   /// C++. Slower per lookup (it reads storage) but O(1) at open.
   /// Single-session only: the directory object is not session-aware.
   bool persistent_name_index = false;
+  /// Retry policy for Session::RunTransaction: a transaction aborted as a
+  /// deadlock victim is re-run up to this many times (with exponential
+  /// backoff and jitter between attempts) before the Aborted surfaces to
+  /// the caller. Other errors never retry.
+  int max_txn_retries = 10;
+  /// First retry backoff (microseconds); doubles per attempt up to the max.
+  int64_t retry_backoff_us = 100;
+  int64_t retry_backoff_max_us = 10000;
 };
 
 /// One event in a material's attribute history, ordered by valid time.
@@ -86,6 +95,9 @@ struct LabBaseStats {
   uint64_t history_queries = 0;
   uint64_t state_queries = 0;
   uint64_t set_operations = 0;
+  /// Transaction attempts re-run by Session::RunTransaction after a
+  /// deadlock abort (invisible to the caller; counted here).
+  uint64_t txn_retries = 0;
 
   LabBaseStats& operator+=(const LabBaseStats& o) {
     materials_created += o.materials_created;
@@ -94,6 +106,7 @@ struct LabBaseStats {
     history_queries += o.history_queries;
     state_queries += o.state_queries;
     set_operations += o.set_operations;
+    txn_retries += o.txn_retries;
     return *this;
   }
 };
@@ -211,6 +224,16 @@ class LabBase::Session {
   Status Abort();
   bool in_transaction() const { return txn_ != nullptr; }
 
+  /// Runs `body` inside this session's transaction: Begin, body, Commit.
+  /// When the transaction loses a deadlock (Aborted) the whole body is
+  /// re-run — with exponential backoff and per-session jitter — up to
+  /// LabBaseOptions::max_txn_retries times, so deadlock aborts become
+  /// invisible to the caller. `body` must therefore be restartable: all
+  /// its effects must go through this session (they roll back with the
+  /// transaction). Any other error aborts once and surfaces as-is.
+  /// InvalidArgument if a transaction is already active.
+  Status RunTransaction(const std::function<Status()>& body);
+
   // ---- Schema (single-session; persists immediately via the root record) ---
 
   Result<ClassId> DefineMaterialClass(std::string_view name);
@@ -306,6 +329,11 @@ class LabBase::Session {
 
   Result<MaterialRecord> ReadMaterial(Oid material);
   Status WriteMaterial(Oid material, const MaterialRecord& rec);
+
+  /// Applies this session's index undo log in reverse (shared in-memory
+  /// indexes only; storage rollback is the manager's). Leaves the log
+  /// intact — callers clear it.
+  void RollbackIndexes() LABFLOW_EXCLUDES(db_->index_mu_);
 
   /// Index maintenance on state transition (locks index_mu_, logs undo).
   void IndexStateChange(Oid material, const std::string& name, StateId from,

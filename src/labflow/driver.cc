@@ -144,19 +144,18 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
     if (!options.run_queries && !ev.IsUpdate()) continue;
     phase.Restart();
     if (options.per_event_transactions) {
-      LABFLOW_RETURN_IF_ERROR(session->Begin());
-    }
-    Status st = Execute(session.get(), ev, &report.result_checksum);
-    if (!st.ok()) {
-      if (options.per_event_transactions) {
-        LABFLOW_IGNORE_STATUS(session->Abort(),
-                              "best-effort rollback; the event's own error "
-                              "is what the caller needs to see");
-      }
-      return st;
-    }
-    if (options.per_event_transactions) {
-      LABFLOW_RETURN_IF_ERROR(session->Commit());
+      // RunTransaction retries deadlock aborts transparently (relevant when
+      // several drivers share one database). The checksum is folded inside
+      // the body, so each attempt must restart from the pre-event value or
+      // a retried query would double-fold its results.
+      const uint64_t checksum_before = report.result_checksum;
+      LABFLOW_RETURN_IF_ERROR(session->RunTransaction([&]() -> Status {
+        report.result_checksum = checksum_before;
+        return Execute(session.get(), ev, &report.result_checksum);
+      }));
+    } else {
+      LABFLOW_RETURN_IF_ERROR(
+          Execute(session.get(), ev, &report.result_checksum));
     }
     double dt = phase.ElapsedSeconds();
     if (ev.IsUpdate()) {

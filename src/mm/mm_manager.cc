@@ -115,6 +115,7 @@ StorageStats MmManager::stats() const {
   s.db_size_bytes = bytes_;
   s.live_objects = objects_.size();
   s.txn_commits = commits_;
+  s.txn_retries = txn_retry_count();
   return s;
 }
 

@@ -1,6 +1,8 @@
 #include "ostore/lock_manager.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 
 namespace labflow::ostore {
 
@@ -16,6 +18,50 @@ bool LockManager::CanGrantLocked(const PageLock& lock, uint64_t txn,
   return lock.s_owners.size() == 1 && lock.s_owners.count(txn) == 1;
 }
 
+bool LockManager::DeadlockDfsLocked(uint64_t start, uint64_t t,
+                                    std::set<uint64_t>* seen,
+                                    std::vector<uint64_t>* path,
+                                    uint64_t* victim) const {
+  auto wit = waiting_.find(t);
+  if (wit == waiting_.end()) return false;  // t is running, not a graph node
+  auto lit = table_.find(wit->second.page);
+  if (lit == table_.end()) return false;
+  seen->insert(t);
+  path->push_back(t);
+  const PageLock& lock = lit->second;
+  // The holders t waits behind. An S request conflicts only with the X
+  // holder; an X request additionally with every other S holder (the
+  // upgrade deadlock — two S holders both requesting X — closes its cycle
+  // through exactly these edges).
+  std::vector<uint64_t> holders;
+  if (lock.x_owner != 0 && lock.x_owner != t) holders.push_back(lock.x_owner);
+  if (wit->second.exclusive) {
+    for (uint64_t s : lock.s_owners) {
+      if (s != t) holders.push_back(s);
+    }
+  }
+  for (uint64_t h : holders) {
+    if (h == start) {
+      // `path` holds every waiting transaction on the cycle, `start`
+      // included (it is path->front()). Youngest = largest id loses.
+      *victim = *std::max_element(path->begin(), path->end());
+      return true;
+    }
+    if (seen->count(h)) continue;
+    if (DeadlockDfsLocked(start, h, seen, path, victim)) return true;
+  }
+  path->pop_back();
+  return false;
+}
+
+uint64_t LockManager::FindDeadlockVictimLocked(uint64_t start) const {
+  std::set<uint64_t> seen;
+  std::vector<uint64_t> path;
+  uint64_t victim = 0;
+  if (DeadlockDfsLocked(start, start, &seen, &path, &victim)) return victim;
+  return 0;
+}
+
 Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
   MutexLock g(mu_);
   PageLock& lock = table_[page];
@@ -23,15 +69,47 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
   if (lock.x_owner == txn) return Status::OK();
   if (!CanGrantLocked(lock, txn, exclusive)) {
     ++lock_waits_;
+    waiting_[txn] = WaitInfo{page, exclusive};
+    // This request just added an edge to the waits-for graph; if that edge
+    // completed a cycle, this thread is the one that can see it. Detect now,
+    // before parking, and abort the youngest cycle member.
+    if (uint64_t victim = FindDeadlockVictimLocked(txn); victim != 0) {
+      ++deadlocks_;
+      if (victim == txn) {
+        waiting_.erase(txn);
+        return Status::Aborted("deadlock victim: txn " + std::to_string(txn) +
+                               " waiting for page " + std::to_string(page));
+      }
+      victims_.insert(victim);
+      cv_.NotifyAll();
+    }
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(timeout_ms_);
-    while (!CanGrantLocked(table_[page], txn, exclusive)) {
+    while (true) {
+      // Victimhood outranks grantability: if some detection pass sentenced
+      // this transaction, honoring a concurrent grant could leave the cycle
+      // it was chosen to break intact.
+      if (victims_.erase(txn) > 0) {
+        waiting_.erase(txn);
+        return Status::Aborted("deadlock victim: txn " + std::to_string(txn) +
+                               " waiting for page " + std::to_string(page));
+      }
+      if (CanGrantLocked(table_[page], txn, exclusive)) break;
       if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
+        if (victims_.erase(txn) > 0) {
+          waiting_.erase(txn);
+          return Status::Aborted("deadlock victim: txn " +
+                                 std::to_string(txn) + " waiting for page " +
+                                 std::to_string(page));
+        }
         if (CanGrantLocked(table_[page], txn, exclusive)) break;
+        waiting_.erase(txn);
         return Status::Aborted("lock timeout on page " + std::to_string(page) +
-                               " (presumed deadlock)");
+                               " (no cycle chose this txn; holder presumed "
+                               "stalled)");
       }
     }
+    waiting_.erase(txn);
   }
   PageLock& granted = table_[page];
   if (exclusive) {
@@ -63,6 +141,11 @@ bool LockManager::TryAcquire(uint64_t txn, uint64_t page, bool exclusive) {
 void LockManager::ReleaseAll(uint64_t txn) {
   MutexLock g(mu_);
   auto it = held_.find(txn);
+  // Even a transaction that never acquired a lock may have bookkeeping to
+  // clear: a victim entry it never consumed (granted before it woke, then
+  // aborted for another reason) or a stale waiting entry.
+  waiting_.erase(txn);
+  victims_.erase(txn);
   if (it == held_.end()) return;
   for (uint64_t page : it->second) {
     auto lit = table_.find(page);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/status.h"
@@ -15,10 +16,17 @@ namespace labflow::ostore {
 /// "lock based concurrency control implemented in a page server that
 /// mediates all access to the database" (paper Section 10).
 ///
-/// Shared/exclusive locks with in-place upgrade; blocked requests wait on a
-/// condition variable and time out after `timeout_ms`, which doubles as the
-/// deadlock-resolution mechanism (the timed-out transaction gets Aborted and
-/// is expected to roll back).
+/// Shared/exclusive locks with in-place upgrade. Deadlocks are resolved by
+/// waits-for cycle detection: every blocked request records what it waits on,
+/// and the request whose edge completes a cycle runs a DFS over the graph and
+/// aborts the youngest (largest transaction id) member of the cycle — it has
+/// done the least work and, with monotonically increasing ids, the choice
+/// starves no one. The victim's Acquire returns Aborted immediately (whether
+/// the victim is the detecting request or one already parked), so resolution
+/// latency is bounded by a condvar wakeup, not by `timeout_ms`. The timeout
+/// remains as a fallback for requests no detection pass chose to abort
+/// (e.g. a waiter behind several simultaneous cycles, or a holder stalled
+/// outside the lock manager); it too returns Aborted.
 class LockManager {
  public:
   explicit LockManager(int64_t timeout_ms = 1000) : timeout_ms_(timeout_ms) {}
@@ -28,7 +36,7 @@ class LockManager {
 
   /// Acquires (or upgrades to) the requested lock for `txn` on `page`.
   /// Reentrant: holding X satisfies S and X; holding S satisfies S.
-  /// Returns Aborted on timeout.
+  /// Returns Aborted when chosen as a deadlock victim or on timeout.
   Status Acquire(uint64_t txn, uint64_t page, bool exclusive)
       LABFLOW_EXCLUDES(mu_);
 
@@ -47,14 +55,42 @@ class LockManager {
     return lock_waits_;
   }
 
+  /// Number of waits-for cycles detected (== victims chosen).
+  uint64_t deadlocks() const LABFLOW_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return deadlocks_;
+  }
+
  private:
   struct PageLock {
     uint64_t x_owner = 0;          // 0 = none
     std::set<uint64_t> s_owners;   // shared holders
   };
 
+  /// One blocked request: which page, and at what strength. A transaction
+  /// has at most one outstanding request (its thread is parked in Acquire),
+  /// so the waits-for graph has out-degree one in pages — but an edge per
+  /// *holder* of that page, since any of them could be the cycle.
+  struct WaitInfo {
+    uint64_t page = 0;
+    bool exclusive = false;
+  };
+
   /// True if the request can be granted right now (lock table locked).
   bool CanGrantLocked(const PageLock& lock, uint64_t txn, bool exclusive) const
+      LABFLOW_REQUIRES(mu_);
+
+  /// Runs a DFS over the waits-for graph from `start` (which must have its
+  /// `waiting_` entry recorded). Returns the chosen victim — the largest
+  /// transaction id on the first cycle found — or 0 when `start` is not on
+  /// any cycle.
+  uint64_t FindDeadlockVictimLocked(uint64_t start) const
+      LABFLOW_REQUIRES(mu_);
+
+  /// DFS step for FindDeadlockVictimLocked: explores the waiting txn `t`,
+  /// returns true once a path back to `start` is found, with `*victim` set.
+  bool DeadlockDfsLocked(uint64_t start, uint64_t t, std::set<uint64_t>* seen,
+                         std::vector<uint64_t>* path, uint64_t* victim) const
       LABFLOW_REQUIRES(mu_);
 
   int64_t timeout_ms_;
@@ -63,7 +99,12 @@ class LockManager {
   std::unordered_map<uint64_t, PageLock> table_ LABFLOW_GUARDED_BY(mu_);
   std::unordered_map<uint64_t, std::set<uint64_t>> held_
       LABFLOW_GUARDED_BY(mu_);  // txn -> pages
+  std::unordered_map<uint64_t, WaitInfo> waiting_ LABFLOW_GUARDED_BY(mu_);
+  /// Transactions sentenced by a detection pass but not yet woken; each
+  /// victim consumes (erases) its own entry and returns Aborted.
+  std::set<uint64_t> victims_ LABFLOW_GUARDED_BY(mu_);
   uint64_t lock_waits_ LABFLOW_GUARDED_BY(mu_) = 0;
+  uint64_t deadlocks_ LABFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace labflow::ostore

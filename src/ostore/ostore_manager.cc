@@ -25,13 +25,14 @@ std::unique_ptr<storage::Txn> OstoreManager::CreateTxn(uint64_t id) {
 
 Status OstoreManager::CommitTxn(storage::Txn* txn) {
   OstoreTxn* t = Cast(txn);
-  // A redo group lost on the auto-commit path means recovery can no longer
-  // replay everything this store claims durable; refuse to certify further
-  // commits until a checkpoint closes the hole.
-  Status st = ConsumeWalError();
+  // A redo group already lost means recovery can no longer replay
+  // everything this store claims durable; refuse to certify further commits
+  // until a checkpoint closes the hole.
+  Status st = CheckWritable();
   // WAL first, then make pages evictable, then release locks.
   if (st.ok() && t->redo.size() > 0) {
     st = wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_);
+    if (!st.ok()) RecordWalError(st);
   }
   if (!st.ok()) {
     // The handle is invalidated regardless of the outcome (Commit frees
@@ -139,11 +140,18 @@ void OstoreManager::RecordWalError(Status st) {
   if (wal_error_.ok()) wal_error_ = std::move(st);
 }
 
-Status OstoreManager::ConsumeWalError() {
+Status OstoreManager::PeekWalError() const {
   MutexLock g(wal_error_mu_);
-  Status st = std::move(wal_error_);
-  wal_error_ = Status::OK();
-  return st;
+  return wal_error_;
+}
+
+Status OstoreManager::CheckWritable() {
+  Status st = PeekWalError();
+  if (st.ok()) st = wal_.error_state();
+  if (st.ok()) return Status::OK();
+  return Status::Unavailable("ostore is read-only after a WAL failure (" +
+                             st.message() +
+                             "); checkpoint to restore write availability");
 }
 
 void OstoreManager::OnPageInit(storage::Txn* txn, uint64_t lsn, uint64_t page,
@@ -210,7 +218,7 @@ void OstoreManager::OnDelete(storage::Txn* txn, uint64_t lsn, uint64_t page,
 // ---- Lifecycle ------------------------------------------------------------
 
 Status OstoreManager::OnOpen(bool fresh) {
-  LABFLOW_RETURN_IF_ERROR(wal_.Open(options().path + ".wal"));
+  LABFLOW_RETURN_IF_ERROR(wal_.Open(env(), options().path + ".wal"));
   if (!fresh) return Recover();
   return Status::OK();
 }
@@ -265,10 +273,11 @@ Status OstoreManager::Recover() {
 }
 
 Status OstoreManager::OnCheckpoint() {
-  LABFLOW_RETURN_IF_ERROR(wal_.Truncate());
   // Every dirty page hit disk before this hook ran (the base flushes and
-  // syncs first), so a redo group lost on the auto-commit path is now
-  // covered by the page file and the sticky error can be retired.
+  // syncs first), so any redo group lost earlier is now covered by the page
+  // file: both sticky error states — the WAL's own (cleared by Truncate)
+  // and this manager's — can be retired.
+  LABFLOW_RETURN_IF_ERROR(wal_.Truncate());
   MutexLock g(wal_error_mu_);
   wal_error_ = Status::OK();
   return Status::OK();
@@ -285,6 +294,7 @@ void OstoreManager::AugmentStats(StorageStats* stats) const {
   stats->wal_group_writes = wal_stats.writes;
   stats->wal_group_syncs = wal_stats.syncs;
   stats->lock_waits = locks_ == nullptr ? 0 : locks_->lock_waits();
+  stats->deadlocks = locks_ == nullptr ? 0 : locks_->deadlocks();
   stats->txn_commits = commits_.load();
   stats->txn_aborts = aborts_.load();
 }

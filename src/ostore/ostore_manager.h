@@ -19,7 +19,9 @@ namespace labflow::ostore {
 /// Configuration for the ObjectStore-like manager.
 struct OstoreOptions {
   storage::PagedManagerOptions base;
-  /// Lock wait budget before a transaction is presumed deadlocked.
+  /// Fallback lock wait budget. Deadlocks are detected and resolved by the
+  /// lock manager's waits-for graph as they form; the timeout only catches
+  /// requests no detection pass chose to abort (see LockManager).
   int64_t lock_timeout_ms = 1000;
   /// fdatasync the WAL on every commit (force durability). Off by default,
   /// as in the paper's measurements, where durability was bounded by
@@ -41,8 +43,8 @@ struct OstoreOptions {
 ///  * named *segments* give the application control over clustering —
 ///    LabBase places hot material/index data and cold history data in
 ///    different segments;
-///  * page-level strict 2PL concurrency control with timeout-based deadlock
-///    resolution;
+///  * page-level strict 2PL concurrency control with waits-for deadlock
+///    detection (youngest cycle member aborted; timeout as fallback);
 ///  * transactions: atomicity via in-memory undo (no-steal — pages dirtied
 ///    by an active transaction stay pinned until it ends), durability via a
 ///    redo WAL whose groups are appended only at commit;
@@ -93,6 +95,13 @@ class OstoreManager : public storage::PagedManagerBase {
   Status OnCrash() override;
   void AugmentStats(storage::StorageStats* stats) const override;
 
+  /// Degraded mode: after any WAL append failure the store refuses new
+  /// writes (Unavailable) while reads keep working; a checkpoint — whose
+  /// flush+sync makes the in-memory image durable without the log — retires
+  /// the condition. Appending past a failed group would let recovery replay
+  /// a "valid prefix" containing a commit that was reported failed.
+  Status CheckWritable() override;
+
  private:
   enum UndoKind : uint8_t { kUndoInsert = 1, kUndoUpdate = 2, kUndoDelete = 3 };
   enum RedoOp : uint8_t {
@@ -134,13 +143,13 @@ class OstoreManager : public storage::PagedManagerBase {
 
   Status Recover();
 
-  /// Records the first WAL append failure from the auto-commit redo hook
-  /// (AppendRedo returns void, so the error cannot propagate at the fault
-  /// site). RecordWalError keeps the earliest failure; ConsumeWalError
-  /// hands it to the next CommitTxn so the durability hole is surfaced
-  /// loudly instead of silently shrinking the recoverable prefix.
+  /// Records the first WAL append failure (the auto-commit redo hook
+  /// returns void, so the error cannot propagate at the fault site; the
+  /// transactional path records too, for CheckWritable). RecordWalError
+  /// keeps the earliest failure; PeekWalError reports it without clearing —
+  /// the store stays degraded until OnCheckpoint retires the condition.
   void RecordWalError(Status st) LABFLOW_EXCLUDES(wal_error_mu_);
-  Status ConsumeWalError() LABFLOW_EXCLUDES(wal_error_mu_);
+  Status PeekWalError() const LABFLOW_EXCLUDES(wal_error_mu_);
 
   std::unique_ptr<LockManager> locks_;
   Wal wal_;

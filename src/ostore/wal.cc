@@ -1,10 +1,9 @@
 #include "ostore/wal.h"
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstring>
+
+#include "common/status_macros.h"
 
 namespace labflow::ostore {
 
@@ -37,7 +36,11 @@ uint64_t GetLE64(const char* p) {
 }  // namespace
 
 Wal::~Wal() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    LABFLOW_IGNORE_STATUS(file_->Close(),
+                          "destructor has no error channel; the owner should "
+                          "Close() explicitly to observe failures");
+  }
 }
 
 uint32_t Wal::Checksum(std::string_view data, uint32_t seed) {
@@ -49,16 +52,15 @@ uint32_t Wal::Checksum(std::string_view data, uint32_t seed) {
   return h;
 }
 
-Status Wal::Open(const std::string& path) {
+Status Wal::Open(storage::Env* env, const std::string& path) {
   if (file_ != nullptr) return Status::InvalidArgument("wal already open");
-  FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IOError("wal open " + path + ": " + std::strerror(errno));
-  }
+  env_ = env != nullptr ? env : storage::Env::Default();
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                           env_->OpenFile(path, /*truncate=*/false));
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   path_ = path;
-  file_ = f;
-  long pos = std::ftell(f);
-  size_ = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  file_ = std::move(file);
+  size_.store(size, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -66,6 +68,12 @@ void Wal::SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us) {
   MutexLock g(mu_);
   max_group_bytes_ = max_group_bytes == 0 ? 1 : max_group_bytes;
   max_group_wait_us_ = max_group_wait_us;
+}
+
+Status Wal::StickyLocked() const {
+  return Status::Unavailable("wal refused after earlier write failure (" +
+                             error_state_.message() +
+                             "); checkpoint to truncate and recover");
 }
 
 Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
@@ -86,6 +94,11 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   // around the file write below, and the thread-safety analysis tracks the
   // hand-over-hand pairing.
   mu_.Lock();
+  if (!error_state_.ok()) {
+    Status refused = StickyLocked();
+    mu_.Unlock();
+    return refused;
+  }
   queue_.push_back(&w);
   queued_bytes_ += w.frame.size();
   cv_.NotifyAll();  // a leader in its grace window re-checks its quota
@@ -97,6 +110,17 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
     Status carried = w.status;
     mu_.Unlock();
     return carried;
+  }
+  if (!error_state_.ok()) {
+    // The leader we were parked behind failed without carrying our frame.
+    // Our group never reached the file; withdraw it and refuse, so the next
+    // parked waiter can do the same instead of appending past a ghost.
+    queue_.pop_front();  // == &w: the wait loop only exits at the front
+    queued_bytes_ -= w.frame.size();
+    Status refused = StickyLocked();
+    cv_.NotifyAll();
+    mu_.Unlock();
+    return refused;
   }
 
   // This thread leads the next batch. Optionally linger so concurrent
@@ -124,14 +148,8 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
   }
   mu_.Unlock();
 
-  Status st = Status::OK();
-  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) {
-    st = Status::IOError("wal append: " + std::string(std::strerror(errno)));
-  } else if (std::fflush(file_) != 0) {
-    st = Status::IOError("wal flush: " + std::string(std::strerror(errno)));
-  } else if (batch_sync && ::fdatasync(fileno(file_)) != 0) {
-    st = Status::IOError("wal sync: " + std::string(std::strerror(errno)));
-  }
+  Status st = file_->Append(buf);
+  if (st.ok() && batch_sync) st = file_->Sync();
   if (st.ok()) size_.fetch_add(buf.size(), std::memory_order_relaxed);
 
   mu_.Lock();
@@ -142,6 +160,12 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
     if (batch.size() > stats_.max_frames_per_write) {
       stats_.max_frames_per_write = batch.size();
     }
+  } else if (error_state_.ok()) {
+    // Poison the log. Even a failed *sync* is unsafe to append past: the
+    // group's bytes may be intact in the file while its commit was reported
+    // failed, and later groups would promote that ghost into the valid
+    // prefix recovery replays.
+    error_state_ = st;
   }
   for (Waiter* f : batch) {
     if (f == &w) continue;
@@ -156,24 +180,17 @@ Status Wal::AppendGroup(uint64_t txn_id, std::string_view payload, bool sync) {
 
 Result<std::vector<Wal::Group>> Wal::ReadAll() {
   if (file_ == nullptr) return Status::InvalidArgument("wal not open");
-  FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::IOError("wal read open: " +
-                           std::string(std::strerror(errno)));
-  }
-  uint64_t file_size = 0;
-  if (std::fseek(f, 0, SEEK_END) == 0) {
-    long end = std::ftell(f);
-    file_size = end < 0 ? 0 : static_cast<uint64_t>(end);
-  }
-  std::rewind(f);
+  // A second handle to the same path: reads see the appended bytes (handles
+  // share state in every Env), and the append handle keeps its position.
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> f,
+                           env_->OpenFile(path_, /*truncate=*/false));
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t file_size, f->Size());
 
   std::vector<Group> groups;
   uint64_t pos = 0;
-  while (true) {
+  while (file_size - pos >= kHeaderBytes) {
     char header[kHeaderBytes];
-    size_t n = std::fread(header, 1, sizeof(header), f);
-    if (n < sizeof(header)) break;  // clean end or torn tail
+    LABFLOW_RETURN_IF_ERROR(f->Read(pos, sizeof(header), header));
     if (GetLE32(header) != kGroupMagic) break;
     uint32_t len = GetLE32(header + 4);
     uint64_t txn = GetLE64(header + 8);
@@ -183,34 +200,38 @@ Result<std::vector<Wal::Group>> Wal::ReadAll() {
     uint64_t remaining = file_size - pos - kHeaderBytes;
     if (len > remaining || remaining - len < kChecksumBytes) break;
     std::string payload(len, '\0');
-    if (std::fread(payload.data(), 1, len, f) != len) break;
+    LABFLOW_RETURN_IF_ERROR(f->Read(pos + kHeaderBytes, len, payload.data()));
     char csum[kChecksumBytes];
-    if (std::fread(csum, 1, sizeof(csum), f) != sizeof(csum)) break;
+    LABFLOW_RETURN_IF_ERROR(
+        f->Read(pos + kHeaderBytes + len, sizeof(csum), csum));
     uint32_t expect = Checksum(payload, Checksum({header, sizeof(header)}));
     if (GetLE32(csum) != expect) break;
     groups.push_back(Group{txn, std::move(payload)});
     pos += kHeaderBytes + len + kChecksumBytes;
   }
-  std::fclose(f);
+  LABFLOW_RETURN_IF_ERROR(f->Close());
   return groups;
 }
 
 Status Wal::Truncate() {
   if (file_ == nullptr) return Status::InvalidArgument("wal not open");
-  std::fclose(file_);
-  FILE* f = std::fopen(path_.c_str(), "wb");
-  if (f == nullptr) {
-    file_ = nullptr;
-    return Status::IOError("wal truncate: " +
-                           std::string(std::strerror(errno)));
-  }
-  std::fclose(f);
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ == nullptr) {
-    return Status::IOError("wal reopen: " + std::string(std::strerror(errno)));
-  }
-  size_ = 0;
+  LABFLOW_IGNORE_STATUS(file_->Close(),
+                        "the handle is being replaced; a close error on an "
+                        "append-only handle loses nothing the truncating "
+                        "reopen would have kept");
+  file_ = nullptr;
+  LABFLOW_ASSIGN_OR_RETURN(file_, env_->OpenFile(path_, /*truncate=*/true));
+  size_.store(0, std::memory_order_relaxed);
+  MutexLock g(mu_);
+  // With the in-memory image checkpointed and the file empty, no ghost
+  // group can survive: the sticky error has served its purpose.
+  error_state_ = Status::OK();
   return Status::OK();
+}
+
+Status Wal::error_state() const {
+  MutexLock g(mu_);
+  return error_state_;
 }
 
 Wal::GroupStats Wal::group_stats() const {
@@ -220,12 +241,9 @@ Wal::GroupStats Wal::group_stats() const {
 
 Status Wal::Close() {
   if (file_ == nullptr) return Status::OK();
-  int rc = std::fclose(file_);
+  Status st = file_->Close();
   file_ = nullptr;
-  if (rc != 0) {
-    return Status::IOError("wal close: " + std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+  return st;
 }
 
 }  // namespace labflow::ostore

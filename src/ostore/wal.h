@@ -3,8 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "storage/env.h"
 
 namespace labflow::ostore {
 
@@ -28,11 +29,20 @@ namespace labflow::ostore {
 ///
 /// AppendGroup implements group commit: concurrent committers enqueue their
 /// frames, the first waiter becomes the batch leader, writes every queued
-/// frame with a single fwrite (syncing once if any member asked for it), and
+/// frame with a single append (syncing once if any member asked for it), and
 /// wakes the followers with their individual Status. Frames land whole and
 /// in queue order, so the on-disk format is identical to one-write-per-group;
 /// only the syscall boundaries change. Open/ReadAll/Truncate/Close are
 /// lifecycle calls (single-threaded, no appender may be in flight).
+///
+/// Error stickiness: the first failed append (write or sync) poisons the
+/// log — every later AppendGroup is refused with Unavailable until
+/// Truncate() runs. This is a correctness property, not just caution: a
+/// group whose *sync* failed may still be intact in the file even though
+/// its commit was reported failed and rolled back in memory; appending more
+/// groups after it would make recovery resurrect the ghost. Refusing until
+/// the next checkpoint truncates the log keeps "valid prefix of the file" =
+/// "acknowledged commit prefix".
 class Wal {
  public:
   Wal() = default;
@@ -41,8 +51,10 @@ class Wal {
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Opens (creating if needed) the log for appending.
-  Status Open(const std::string& path);
+  /// Opens (creating if needed) the log for appending, in `env` (nullptr =
+  /// the real filesystem).
+  Status Open(storage::Env* env, const std::string& path);
+  Status Open(const std::string& path) { return Open(nullptr, path); }
 
   /// Group-commit tuning. Call before concurrent appends begin.
   ///
@@ -56,9 +68,10 @@ class Wal {
   void SetGroupLimits(size_t max_group_bytes, int64_t max_group_wait_us)
       LABFLOW_EXCLUDES(mu_);
 
-  /// Appends one commit group and flushes it to the OS. When `sync` is set,
-  /// also fdatasyncs (force-at-commit durability). May coalesce with other
+  /// Appends one commit group. When `sync` is set, also forces it to stable
+  /// storage (force-at-commit durability). May coalesce with other
   /// concurrent appenders; the returned Status is this group's own outcome.
+  /// Unavailable once the log is in its sticky error state (see above).
   Status AppendGroup(uint64_t txn_id, std::string_view payload, bool sync)
       LABFLOW_EXCLUDES(mu_);
 
@@ -70,13 +83,21 @@ class Wal {
   /// Reads every complete group in file order (used once, at recovery).
   /// Validation is defensive: a frame whose length field exceeds the bytes
   /// remaining in the file, or whose header+payload checksum mismatches,
-  /// ends the scan with the clean prefix read so far.
+  /// ends the scan with the clean prefix read so far. A *read error*, by
+  /// contrast, is propagated — silently treating it as end-of-log would
+  /// drop committed groups that are still in the file.
   Result<std::vector<Group>> ReadAll();
 
-  /// Discards the log contents (after a checkpoint).
-  Status Truncate();
+  /// Discards the log contents (after a checkpoint) and clears the sticky
+  /// error state: with the in-memory image checkpointed and the file empty,
+  /// no ghost group can survive.
+  Status Truncate() LABFLOW_EXCLUDES(mu_);
 
   uint64_t SizeBytes() const { return size_.load(std::memory_order_relaxed); }
+
+  /// The sticky error (OK when healthy). Set by the first failed append,
+  /// cleared by Truncate.
+  Status error_state() const LABFLOW_EXCLUDES(mu_);
 
   /// Group-commit counters (monotonic since Open).
   struct GroupStats {
@@ -98,6 +119,9 @@ class Wal {
   /// the checksum over several spans (header, then payload).
   static uint32_t Checksum(std::string_view data, uint32_t seed = 2166136261u);
 
+  /// Unavailable status carrying the sticky error's message.
+  Status StickyLocked() const LABFLOW_REQUIRES(mu_);
+
   /// A committer parked in the group-commit queue. Lives on the appending
   /// thread's stack; the leader fills `status` and flips `done` under `mu_`.
   struct Waiter {
@@ -108,12 +132,13 @@ class Wal {
   };
 
   std::string path_;
-  FILE* file_ = nullptr;
+  storage::Env* env_ = nullptr;
+  std::unique_ptr<storage::File> file_;
   std::atomic<uint64_t> size_{0};
 
-  // Group-commit state. `mu_` guards the queue, the leader flag and the
-  // stats; the file itself is written only by the current leader, outside
-  // the lock (leader_active_ excludes a second writer).
+  // Group-commit state. `mu_` guards the queue, the leader flag, the sticky
+  // error and the stats; the file itself is written only by the current
+  // leader, outside the lock (leader_active_ excludes a second writer).
   mutable Mutex mu_;
   CondVar cv_;
   std::deque<Waiter*> queue_ LABFLOW_GUARDED_BY(mu_);
@@ -121,6 +146,7 @@ class Wal {
   bool leader_active_ LABFLOW_GUARDED_BY(mu_) = false;
   size_t max_group_bytes_ LABFLOW_GUARDED_BY(mu_) = 1 << 20;
   int64_t max_group_wait_us_ LABFLOW_GUARDED_BY(mu_) = 0;
+  Status error_state_ LABFLOW_GUARDED_BY(mu_);
   GroupStats stats_ LABFLOW_GUARDED_BY(mu_);
 };
 

@@ -40,6 +40,10 @@ Result<BufferPool::PinGuard> BufferPool::Fetch(uint64_t page_no) {
   frame->data_ = std::make_unique<char[]>(kPageSize);
   frame->page_no_ = page_no;
   LABFLOW_RETURN_IF_ERROR(file_->ReadPage(page_no, frame->data_.get()));
+  if (Status st = VerifyPageChecksum(frame->data_.get(), page_no); !st.ok()) {
+    ++stats_.checksum_failures;
+    return st;
+  }
   SimulateFaultDelay(fault_delay_us_);
   ++stats_.disk_reads;
   Frame* f = frame.get();
@@ -95,6 +99,7 @@ Status BufferPool::EnsureCapacityLocked() {
     uint64_t page_no = *victim;
     Frame* f = frames_.at(page_no).get();
     if (f->dirty_.load(std::memory_order_acquire)) {
+      StampPageChecksum(f->data());
       LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, f->data()));
       ++stats_.disk_writes;
     }
@@ -109,6 +114,7 @@ Status BufferPool::FlushAll() {
   MutexLock g(mu_);
   for (auto& [page_no, frame] : frames_) {
     if (frame->dirty_.load(std::memory_order_acquire)) {
+      StampPageChecksum(frame->data());
       LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, frame->data()));
       ++stats_.disk_writes;
       frame->dirty_.store(false, std::memory_order_release);
@@ -122,6 +128,7 @@ Status BufferPool::FlushPage(uint64_t page_no) {
   auto it = frames_.find(page_no);
   if (it == frames_.end()) return Status::OK();
   if (it->second->dirty_.load(std::memory_order_acquire)) {
+    StampPageChecksum(it->second->data());
     LABFLOW_RETURN_IF_ERROR(file_->WritePage(page_no, it->second->data()));
     ++stats_.disk_writes;
     it->second->dirty_.store(false, std::memory_order_release);

@@ -26,6 +26,7 @@ struct BufferPoolStats {
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
   uint64_t evictions = 0;
+  uint64_t checksum_failures = 0;  ///< pages rejected by VerifyPageChecksum
 };
 
 /// A fixed-capacity LRU page cache over a PageFile.

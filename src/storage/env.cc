@@ -1,0 +1,121 @@
+#include "storage/env.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace labflow::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::IOError(what + ": " + strerror(err));
+}
+
+/// POSIX File over pread/pwrite. Short transfers and EINTR are retried in a
+/// loop — a non-negative short count is progress, not an error, and carries
+/// no errno — so callers only ever see complete transfers or a real error.
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* buf) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, buf + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_, errno);
+      }
+      if (r == 0) {
+        return Status::IOError("pread " + path_ + ": unexpected end of file");
+      }
+      done += static_cast<size_t>(r);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    size_t done = 0;
+    while (done < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + done, data.size() - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite " + path_, errno);
+      }
+      done += static_cast<size_t>(w);
+    }
+    uint64_t end = offset + data.size();
+    uint64_t cur = size_.load(std::memory_order_relaxed);
+    while (end > cur &&
+           !size_.compare_exchange_weak(cur, end, std::memory_order_relaxed)) {
+    }
+    return Status::OK();
+  }
+
+  Status Append(std::string_view data) override {
+    return Write(size_.load(std::memory_order_relaxed), data);
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_, errno);
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  const std::string path_;
+  std::atomic<uint64_t> size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                          bool truncate) override {
+    int flags = O_RDWR | O_CREAT | O_CLOEXEC;
+    if (truncate) flags |= O_TRUNC;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fstat " + path, err);
+    }
+    return std::unique_ptr<File>(
+        new PosixFile(fd, path, static_cast<uint64_t>(st.st_size)));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace labflow::storage

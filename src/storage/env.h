@@ -1,0 +1,61 @@
+#ifndef LABFLOW_STORAGE_ENV_H_
+#define LABFLOW_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace labflow::storage {
+
+/// Random-access file handle abstracted away from POSIX so that fault
+/// injection can sit underneath PageFile and Wal (see FaultInjectionEnv in
+/// fault_env.h). Thread safety: Read/Write/Size/Sync may be called
+/// concurrently; Append calls must be externally serialized (PageFile and
+/// Wal both do — the append mutex and the group-commit leader respectively).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `buf`. A short file is an
+  /// error (IOError naming the path), never a partial fill.
+  virtual Status Read(uint64_t offset, size_t n, char* buf) = 0;
+
+  /// Writes all of `data` at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, std::string_view data) = 0;
+
+  /// Appends all of `data` at the current end of file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces written data to stable storage (fdatasync semantics).
+  virtual Status Sync() = 0;
+
+  /// Current size in bytes.
+  virtual Result<uint64_t> Size() const = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Factory for File handles. Env::Default() returns the process-wide POSIX
+/// environment; tests substitute a FaultInjectionEnv to make the storage
+/// stack fail on purpose. An Env outlives every File it opened.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if absent) the file at `path` for read/write.
+  /// `truncate` discards existing contents. Multiple handles to one path
+  /// see each other's writes (the WAL reader opens a second handle).
+  virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                                 bool truncate) = 0;
+
+  /// The real filesystem. Never deleted; safe to share across threads.
+  static Env* Default();
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_ENV_H_

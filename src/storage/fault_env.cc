@@ -1,0 +1,143 @@
+#include "storage/fault_env.h"
+
+#include <cstring>
+#include <utility>
+
+namespace labflow::storage {
+
+/// File handle over a FaultInjectionEnv::FileState. All state (including
+/// the fault decision stream) lives in the env so that a second handle to
+/// the same path shares bytes with the first, like fds on one inode.
+class FaultFile : public File {
+ public:
+  FaultFile(FaultInjectionEnv* env, std::string path,
+            std::shared_ptr<FaultInjectionEnv::FileState> state)
+      : env_(env), path_(std::move(path)), state_(std::move(state)) {}
+
+  Status Read(uint64_t offset, size_t n, char* buf) override {
+    MutexLock g(env_->mu_);
+    if (env_->ShouldFault(path_, env_->options_.read_fault_p)) {
+      return Status::IOError("injected read fault on " + path_);
+    }
+    if (offset + n > state_->data.size()) {
+      return Status::IOError("read past end of " + path_);
+    }
+    std::memcpy(buf, state_->data.data() + offset, n);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, std::string_view data) override {
+    MutexLock g(env_->mu_);
+    return WriteLocked(offset, data);
+  }
+
+  Status Append(std::string_view data) override {
+    MutexLock g(env_->mu_);
+    return WriteLocked(state_->data.size(), data);
+  }
+
+  Status Sync() override {
+    MutexLock g(env_->mu_);
+    if (env_->ShouldFault(path_, env_->options_.sync_fault_p)) {
+      return Status::IOError("injected sync fault on " + path_);
+    }
+    state_->synced = state_->data;
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() const override {
+    MutexLock g(env_->mu_);
+    return static_cast<uint64_t>(state_->data.size());
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  Status WriteLocked(uint64_t offset, std::string_view data)
+      LABFLOW_REQUIRES(env_->mu_) {
+    if (env_->ShouldFault(path_, env_->options_.write_fault_p)) {
+      size_t applied = 0;
+      if (env_->options_.torn_writes && !data.empty()) {
+        applied = env_->rng_.NextBelow(data.size() + 1);
+      }
+      ApplyLocked(offset, data.substr(0, applied));
+      return Status::IOError("injected write fault on " + path_ + " (" +
+                             std::to_string(applied) + "/" +
+                             std::to_string(data.size()) + " bytes applied)");
+    }
+    ApplyLocked(offset, data);
+    return Status::OK();
+  }
+
+  void ApplyLocked(uint64_t offset, std::string_view data)
+      LABFLOW_REQUIRES(env_->mu_) {
+    if (data.empty()) return;
+    if (state_->data.size() < offset + data.size()) {
+      state_->data.resize(offset + data.size(), '\0');
+    }
+    state_->data.replace(offset, data.size(), data.data(), data.size());
+  }
+
+  FaultInjectionEnv* const env_;
+  const std::string path_;
+  const std::shared_ptr<FaultInjectionEnv::FileState> state_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(const Options& options)
+    : rng_(options.seed), options_(options) {}
+
+Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
+    const std::string& path, bool truncate) {
+  MutexLock g(mu_);
+  std::shared_ptr<FileState>& state = files_[path];
+  if (state == nullptr) state = std::make_shared<FileState>();
+  if (truncate) {
+    state->data.clear();
+    state->synced.clear();
+  }
+  return std::unique_ptr<File>(new FaultFile(this, path, state));
+}
+
+void FaultInjectionEnv::set_enabled(bool enabled) {
+  MutexLock g(mu_);
+  enabled_ = enabled;
+}
+
+void FaultInjectionEnv::DropUnsynced() {
+  MutexLock g(mu_);
+  for (auto& [path, state] : files_) state->data = state->synced;
+}
+
+Status FaultInjectionEnv::CorruptByte(const std::string& path,
+                                      uint64_t offset) {
+  MutexLock g(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileState& f = *it->second;
+  if (offset >= f.data.size()) {
+    return Status::OutOfRange("corrupt offset past end of " + path);
+  }
+  f.data[offset] = static_cast<char>(f.data[offset] ^ 0x40);
+  if (offset < f.synced.size()) {
+    f.synced[offset] = static_cast<char>(f.synced[offset] ^ 0x40);
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  MutexLock g(mu_);
+  return faults_;
+}
+
+bool FaultInjectionEnv::ShouldFault(const std::string& path, double p) {
+  if (!enabled_ || p <= 0.0) return false;
+  if (!options_.path_filter.empty() &&
+      path.find(options_.path_filter) == std::string::npos) {
+    return false;
+  }
+  if (!rng_.NextBool(p)) return false;
+  ++faults_;
+  return true;
+}
+
+}  // namespace labflow::storage

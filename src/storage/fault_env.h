@@ -1,0 +1,78 @@
+#ifndef LABFLOW_STORAGE_FAULT_ENV_H_
+#define LABFLOW_STORAGE_FAULT_ENV_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "storage/env.h"
+
+namespace labflow::storage {
+
+/// In-memory Env that injects I/O failures deterministically from a seed,
+/// in the spirit of RocksDB's FaultInjectionTestFS. Every file is a pair of
+/// byte strings: `data` (what the OS would buffer) and `synced` (what is on
+/// stable storage). Sync promotes data to synced; DropUnsynced() reverts
+/// every file to its synced image — a power cut. A faulted write can apply
+/// a torn prefix before failing, and a faulted sync leaves the synced image
+/// stale, so crash/recovery paths see the failure shapes real disks
+/// produce. Thread-safe; the fault stream is deterministic for a given
+/// seed and I/O sequence (single-threaded use replays exactly).
+class FaultInjectionEnv : public Env {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    double read_fault_p = 0.0;   ///< probability a Read fails
+    double write_fault_p = 0.0;  ///< probability a Write/Append fails
+    double sync_fault_p = 0.0;   ///< probability a Sync fails
+    bool torn_writes = true;     ///< a failed write applies a random prefix
+    /// When non-empty, only paths containing this substring fault; other
+    /// files behave perfectly (still in-memory, still crash-droppable).
+    std::string path_filter;
+  };
+
+  explicit FaultInjectionEnv(const Options& options);
+
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                          bool truncate) override;
+
+  /// Master switch; faults fire only while enabled (default on).
+  void set_enabled(bool enabled);
+
+  /// Simulates a power cut: every file reverts to its last-synced bytes.
+  void DropUnsynced();
+
+  /// Flips one bit of the byte at `offset` in the file at `path` (both the
+  /// live and the synced image), simulating at-rest bit rot. NotFound for
+  /// an unknown path, OutOfRange past the end.
+  Status CorruptByte(const std::string& path, uint64_t offset);
+
+  /// Number of faults injected so far (all kinds).
+  uint64_t faults_injected() const;
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::string data;
+    std::string synced;
+  };
+
+  /// True (and counts the fault) when a fault should fire for `path`.
+  bool ShouldFault(const std::string& path, double p) LABFLOW_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  Rng rng_ LABFLOW_GUARDED_BY(mu_);
+  bool enabled_ LABFLOW_GUARDED_BY(mu_) = true;
+  uint64_t faults_ LABFLOW_GUARDED_BY(mu_) = 0;
+  const Options options_;
+  std::map<std::string, std::shared_ptr<FileState>> files_
+      LABFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_FAULT_ENV_H_

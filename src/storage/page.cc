@@ -1,9 +1,47 @@
 #include "storage/page.h"
 
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "common/codec.h"
+
 namespace labflow::storage {
+
+void StampPageChecksum(char* page) {
+  uint32_t sum = Fnv1a32(std::string_view(page, kPageCapacity));
+  if (sum == 0) sum = 1;
+  for (int i = 0; i < 4; ++i) {
+    page[kPageCapacity + i] = static_cast<char>(sum >> (8 * i));
+  }
+}
+
+Status VerifyPageChecksum(const char* page, uint64_t page_no) {
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(page[kPageCapacity + i]))
+              << (8 * i);
+  }
+  if (stored == 0) {
+    // Never stamped — legitimate only for a freshly appended page, which is
+    // all zeros. Content under a zero trailer is a torn first write-back.
+    for (size_t i = 0; i < kPageCapacity; ++i) {
+      if (page[i] != 0) {
+        return Status::Corruption("page " + std::to_string(page_no) +
+                                  " has data but no checksum (torn write)");
+      }
+    }
+    return Status::OK();
+  }
+  uint32_t sum = Fnv1a32(std::string_view(page, kPageCapacity));
+  if (sum == 0) sum = 1;
+  if (sum != stored) {
+    return Status::Corruption("page " + std::to_string(page_no) +
+                              " checksum mismatch (torn write or bit rot)");
+  }
+  return Status::OK();
+}
 
 uint16_t Page::LoadU16(size_t off) const {
   uint16_t v;
@@ -51,7 +89,7 @@ size_t Page::FreeForInsert() const {
   }
   size_t dir = kSlotSize * slot_count() + (has_free_slot ? 0 : kSlotSize);
   size_t used = kHeaderSize + live + dir;
-  return used < kPageSize ? kPageSize - used : 0;
+  return used < kPageCapacity ? kPageCapacity - used : 0;
 }
 
 size_t Page::LiveBytes() const {

@@ -13,6 +13,26 @@ namespace labflow::storage {
 /// page grain ObjectStore and Texas both fault at.
 inline constexpr size_t kPageSize = 8192;
 
+/// The last 4 bytes of every page hold an FNV-1a checksum of the rest,
+/// stamped by the buffer pool on write-back and verified on read (see
+/// StampPageChecksum below). Slotted-page content therefore lives in
+/// [0, kPageCapacity).
+inline constexpr size_t kPageChecksumBytes = 4;
+inline constexpr size_t kPageCapacity = kPageSize - kPageChecksumBytes;
+
+/// Stamps the checksum trailer of a kPageSize buffer: FNV-1a over
+/// [0, kPageCapacity), stored little-endian in the last 4 bytes. A computed
+/// value of 0 is remapped to 1 so that a stored 0 always means "never
+/// stamped" (a freshly appended all-zero page), which VerifyPageChecksum
+/// accepts.
+void StampPageChecksum(char* page);
+
+/// Verifies the trailer written by StampPageChecksum; Corruption (naming
+/// `page_no`) on mismatch. A stored checksum of 0 passes only when the
+/// whole page is zero — an appended page that was never written back;
+/// content under a zero trailer means a torn first write-back.
+Status VerifyPageChecksum(const char* page, uint64_t page_no);
+
 /// A slotted-page view over a raw kPageSize buffer (owned by the buffer
 /// pool). Layout:
 ///
@@ -22,8 +42,9 @@ inline constexpr size_t kPageSize = 8192;
 ///   [12..14)  free_start (u16; records grow upward from kHeaderSize)
 ///   [14..16)  flags      (u16; reserved)
 ///   records...           (each prefixed by nothing; slots carry extents)
-///   slot directory       (grows downward from kPageSize; 4 bytes/slot:
+///   slot directory       (grows downward from kPageCapacity; 4 bytes/slot:
 ///                         u16 offset, u16 length; offset 0 = free slot)
+///   [kPageCapacity..kPageSize)  checksum trailer (see StampPageChecksum)
 ///
 /// Page is a non-owning view: cheap to construct, no copies of page data.
 class Page {
@@ -32,7 +53,7 @@ class Page {
   static constexpr size_t kSlotSize = 4;
   /// Largest record a fresh page can hold.
   static constexpr size_t kMaxRecordSize =
-      kPageSize - kHeaderSize - kSlotSize;
+      kPageCapacity - kHeaderSize - kSlotSize;
 
   explicit Page(char* data) : data_(data) {}
 
@@ -95,16 +116,18 @@ class Page {
   void set_free_start(uint16_t v) { StoreU16(12, v); }
   void set_slot_count(uint16_t v) { StoreU16(10, v); }
 
-  size_t SlotDirStart() const { return kPageSize - kSlotSize * slot_count(); }
+  size_t SlotDirStart() const {
+    return kPageCapacity - kSlotSize * slot_count();
+  }
   uint16_t SlotOffset(uint16_t slot) const {
-    return LoadU16(kPageSize - kSlotSize * (slot + 1));
+    return LoadU16(kPageCapacity - kSlotSize * (slot + 1));
   }
   uint16_t SlotLength(uint16_t slot) const {
-    return LoadU16(kPageSize - kSlotSize * (slot + 1) + 2);
+    return LoadU16(kPageCapacity - kSlotSize * (slot + 1) + 2);
   }
   void SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
-    StoreU16(kPageSize - kSlotSize * (slot + 1), offset);
-    StoreU16(kPageSize - kSlotSize * (slot + 1) + 2, length);
+    StoreU16(kPageCapacity - kSlotSize * (slot + 1), offset);
+    StoreU16(kPageCapacity - kSlotSize * (slot + 1) + 2, length);
   }
 
   /// Slides live records toward the header, eliminating holes.

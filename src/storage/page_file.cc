@@ -1,102 +1,76 @@
 #include "storage/page_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <vector>
+
+#include "common/status_macros.h"
 
 namespace labflow::storage {
 
-namespace {
-
-Status ErrnoStatus(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
 PageFile::~PageFile() {
-  if (fd_ >= 0) ::close(fd_);
+  if (file_ != nullptr) {
+    LABFLOW_IGNORE_STATUS(file_->Close(),
+                          "destructor has no error channel; Close() first "
+                          "when the result matters");
+  }
 }
 
-Status PageFile::Open(const std::string& path, bool truncate) {
-  if (fd_ >= 0) return Status::InvalidArgument("PageFile already open");
-  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
-  int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return ErrnoStatus("open " + path);
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return ErrnoStatus("lseek " + path);
-  }
+Status PageFile::Open(Env* env, const std::string& path, bool truncate) {
+  if (file_ != nullptr) return Status::InvalidArgument("PageFile already open");
+  if (env == nullptr) env = Env::Default();
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                           env->OpenFile(path, truncate));
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   if (size % kPageSize != 0) {
-    ::close(fd);
+    LABFLOW_IGNORE_STATUS(file->Close(), "already failing with Corruption");
     return Status::Corruption("page file size not a multiple of page size: " +
                               path);
   }
-  fd_ = fd;
+  file_ = std::move(file);
   path_ = path;
-  page_count_ = static_cast<uint64_t>(size) / kPageSize;
+  page_count_ = size / kPageSize;
   return Status::OK();
 }
 
 Status PageFile::Close() {
-  if (fd_ < 0) return Status::OK();
-  int rc = ::close(fd_);
-  fd_ = -1;
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
   page_count_ = 0;
-  if (rc != 0) return ErrnoStatus("close " + path_);
-  return Status::OK();
+  return st;
 }
 
 Result<uint64_t> PageFile::AppendPage() {
-  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (file_ == nullptr) return Status::InvalidArgument("PageFile not open");
   std::vector<char> zeros(kPageSize, 0);
   std::lock_guard<std::mutex> g(append_mu_);
   uint64_t page_no = page_count_.load(std::memory_order_relaxed);
-  ssize_t n = ::pwrite(fd_, zeros.data(), kPageSize,
-                       static_cast<off_t>(page_no * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return ErrnoStatus("pwrite append " + path_);
-  }
+  LABFLOW_RETURN_IF_ERROR(file_->Write(
+      page_no * kPageSize, std::string_view(zeros.data(), kPageSize)));
   page_count_.fetch_add(1, std::memory_order_relaxed);
   return page_no;
 }
 
 Status PageFile::ReadPage(uint64_t page_no, char* buf) {
-  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (file_ == nullptr) return Status::InvalidArgument("PageFile not open");
   if (page_no >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(page_no) +
                               " beyond end of file");
   }
-  ssize_t n = ::pread(fd_, buf, kPageSize,
-                      static_cast<off_t>(page_no * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return ErrnoStatus("pread " + path_);
-  }
-  return Status::OK();
+  return file_->Read(page_no * kPageSize, kPageSize, buf);
 }
 
 Status PageFile::WritePage(uint64_t page_no, const char* buf) {
-  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
+  if (file_ == nullptr) return Status::InvalidArgument("PageFile not open");
   if (page_no >= page_count_) {
     return Status::OutOfRange("page " + std::to_string(page_no) +
                               " beyond end of file");
   }
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(page_no * kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return ErrnoStatus("pwrite " + path_);
-  }
-  return Status::OK();
+  return file_->Write(page_no * kPageSize, std::string_view(buf, kPageSize));
 }
 
 Status PageFile::Sync() {
-  if (fd_ < 0) return Status::InvalidArgument("PageFile not open");
-  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync " + path_);
-  return Status::OK();
+  if (file_ == nullptr) return Status::InvalidArgument("PageFile not open");
+  return file_->Sync();
 }
 
 }  // namespace labflow::storage

@@ -3,16 +3,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/env.h"
 #include "storage/page.h"
 
 namespace labflow::storage {
 
-/// File-backed array of kPageSize pages accessed with pread/pwrite.
+/// File-backed array of kPageSize pages over a storage::Env file handle,
+/// so tests can swap the real filesystem for a FaultInjectionEnv.
 ///
 /// Page numbering starts at 0; callers typically reserve page 0 for a
 /// superblock. PageFile performs no caching — that is the buffer pool's job.
@@ -28,13 +31,16 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  /// Opens (creating if necessary) the file at `path`. Truncates to empty
-  /// when `truncate` is set.
-  Status Open(const std::string& path, bool truncate);
+  /// Opens (creating if necessary) the file at `path` in `env`. Truncates
+  /// to empty when `truncate` is set. Passing nullptr uses Env::Default().
+  Status Open(Env* env, const std::string& path, bool truncate);
+  Status Open(const std::string& path, bool truncate) {
+    return Open(nullptr, path, truncate);
+  }
 
   Status Close();
 
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return file_ != nullptr; }
 
   /// Number of pages currently in the file.
   uint64_t page_count() const {
@@ -57,7 +63,7 @@ class PageFile {
   uint64_t SizeBytes() const { return page_count() * kPageSize; }
 
  private:
-  int fd_ = -1;
+  std::unique_ptr<File> file_;
   std::atomic<uint64_t> page_count_{0};
   std::mutex append_mu_;
   std::string path_;

@@ -128,7 +128,8 @@ Result<std::vector<ObjectId>> PagedManagerBase::DecodeRoot(
 Status PagedManagerBase::Open(const PagedManagerOptions& options) {
   if (open_) return Status::InvalidArgument("manager already open");
   options_ = options;
-  LABFLOW_RETURN_IF_ERROR(file_.Open(options.path, options.truncate));
+  env_ = options.env != nullptr ? options.env : Env::Default();
+  LABFLOW_RETURN_IF_ERROR(file_.Open(env_, options.path, options.truncate));
   pool_ = std::make_unique<BufferPool>(&file_, options.buffer_pool_pages,
                                        options.fault_delay_us);
   bool fresh = (file_.page_count() == 0);
@@ -158,17 +159,22 @@ Status PagedManagerBase::WriteSuperblock() {
   enc.PutU32(static_cast<uint32_t>(segments_.size()));
   for (const SegmentState& seg : segments_) enc.PutString(seg.name);
   enc.PutString(EncodeMeta());
-  if (enc.size() > kPageSize) {
+  if (enc.size() > kPageCapacity) {
     return Status::Internal("superblock overflow");
   }
   std::vector<char> buf(kPageSize, 0);
   std::memcpy(buf.data(), enc.buffer().data(), enc.size());
+  StampPageChecksum(buf.data());
   return file_.WritePage(0, buf.data());
 }
 
 Status PagedManagerBase::ReadSuperblock() {
   std::vector<char> buf(kPageSize);
   LABFLOW_RETURN_IF_ERROR(file_.ReadPage(0, buf.data()));
+  if (Status st = VerifyPageChecksum(buf.data(), 0); !st.ok()) {
+    direct_checksum_failures_.fetch_add(1);
+    return st;
+  }
   Decoder dec(std::string_view(buf.data(), buf.size()));
   LABFLOW_ASSIGN_OR_RETURN(uint32_t magic, dec.GetFixed32());
   if (magic != kMagic) return Status::Corruption("bad superblock magic");
@@ -200,6 +206,10 @@ Status PagedManagerBase::RebuildFromScan() {
   uint64_t max_lsn = lsn_.load();
   for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
     LABFLOW_RETURN_IF_ERROR(file_.ReadPage(page_no, buf.data()));
+    if (Status st = VerifyPageChecksum(buf.data(), page_no); !st.ok()) {
+      direct_checksum_failures_.fetch_add(1);
+      return st;
+    }
     Page page(buf.data());
     if (page.lsn() > max_lsn) max_lsn = page.lsn();
     uint16_t seg = page.segment();
@@ -257,15 +267,18 @@ Status PagedManagerBase::SimulateCrash() {
 
 StorageStats PagedManagerBase::stats() const {
   StorageStats s;
+  s.checksum_failures = direct_checksum_failures_.load();
   if (pool_ != nullptr) {
     BufferPoolStats ps = pool_->stats();
     s.disk_reads = ps.disk_reads;
     s.disk_writes = ps.disk_writes;
     s.cache_hits = ps.hits;
     s.evictions = ps.evictions;
+    s.checksum_failures += ps.checksum_failures;
   }
   s.db_size_bytes = file_.SizeBytes();
   s.live_objects = live_objects_.load();
+  s.txn_retries = txn_retry_count();
   AugmentStats(&s);
   return s;
 }
@@ -527,6 +540,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
 Result<ObjectId> PagedManagerBase::DoAllocate(Txn* txn, std::string_view data,
                                               const AllocHint& hint) {
   if (!open_) return Status::InvalidArgument("manager not open");
+  LABFLOW_RETURN_IF_ERROR(CheckWritable());
   Result<ObjectId> id = Status::Internal("unreachable");
   if (data.size() <= kInlineMax) {
     id = InsertRecord(txn, PadRecord(EncodeData(kRecTagData, data)), hint);
@@ -671,6 +685,7 @@ Status PagedManagerBase::DeleteSlot(Txn* txn, ObjectId id) {
 Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
                                   std::string_view data) {
   if (!open_) return Status::InvalidArgument("manager not open");
+  LABFLOW_RETURN_IF_ERROR(CheckWritable());
   ObjectId first_hop = ObjectId::Invalid();
   LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal,
                            ResolveForward(txn, id, &first_hop));
@@ -752,6 +767,7 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
 
 Status PagedManagerBase::DoFree(Txn* txn, ObjectId id) {
   if (!open_) return Status::InvalidArgument("manager not open");
+  LABFLOW_RETURN_IF_ERROR(CheckWritable());
   ObjectId cur = id;
   for (int hops = 0; hops < 32; ++hops) {
     LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur));

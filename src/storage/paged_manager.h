@@ -31,6 +31,10 @@ struct PagedManagerOptions {
   bool truncate = true;
   /// Simulated per-fault disk latency in microseconds (see BufferPool).
   int64_t fault_delay_us = 0;
+  /// I/O environment for the database file (and the WAL, for managers that
+  /// keep one). nullptr = the real filesystem (Env::Default()); tests pass
+  /// a FaultInjectionEnv. Must outlive the manager.
+  Env* env = nullptr;
 };
 
 /// Shared implementation of a slotted-page object heap used by both the
@@ -110,6 +114,13 @@ class PagedManagerBase : public StorageManager {
   /// larger than ObjectStore's in the paper's Section 10 table; the default
   /// is exact-fit. Values are clamped to the page capacity.
   virtual size_t StoreSize(size_t encoded_size) const { return encoded_size; }
+
+  /// Gate on every mutating operation (Allocate/Update/Free). A subclass
+  /// that has lost its durability guarantee (OStore with a sticky WAL
+  /// error) returns Unavailable here, degrading the manager to read-only
+  /// until the condition is repaired (a successful checkpoint). Reads and
+  /// scans stay unaffected. Default: always writable.
+  virtual Status CheckWritable() { return Status::OK(); }
 
   /// Acquire a page lock for `txn` before any access (OStore: strict 2PL;
   /// default: no locking).
@@ -212,6 +223,8 @@ class PagedManagerBase : public StorageManager {
   const PagedManagerOptions& options() const { return options_; }
   bool is_open() const { return open_; }
   PageFile* page_file() { return &file_; }
+  /// The resolved I/O environment (options().env or Env::Default()).
+  Env* env() const { return env_; }
 
  private:
   struct SegmentState {
@@ -221,7 +234,9 @@ class PagedManagerBase : public StorageManager {
   };
 
   static constexpr uint32_t kMagic = 0x4C465731;  // "LFW1"
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2: pages carry a checksum trailer (kPageCapacity shrank by 4 bytes),
+  /// so v1 files are unreadable and rejected by version.
+  static constexpr uint32_t kFormatVersion = 2;
   /// Payload above this size is split into spanning chunks.
   static constexpr size_t kInlineMax = 7900;
   static constexpr size_t kChunkPayload = 7900;
@@ -283,9 +298,13 @@ class PagedManagerBase : public StorageManager {
   Status RebuildFromScan();
 
   PagedManagerOptions options_;
+  Env* env_ = nullptr;
   PageFile file_;
   std::unique_ptr<BufferPool> pool_;
   bool open_ = false;
+  /// Checksum rejections on reads that bypass the buffer pool (superblock,
+  /// rebuild scan); pool-mediated rejections are counted by the pool.
+  std::atomic<uint64_t> direct_checksum_failures_{0};
 
   std::atomic<uint64_t> lsn_{0};
   std::atomic<uint64_t> root_{0};

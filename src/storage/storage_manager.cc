@@ -1,4 +1,10 @@
 #include "storage/storage_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
 #include "common/status_macros.h"
 
 namespace labflow::storage {
@@ -56,6 +62,40 @@ Status StorageManager::Abort(Txn* txn) {
     active_txns_.erase(it);
   }
   return AbortTxn(owned.get());
+}
+
+Status StorageManager::RunTransaction(const std::function<Status(Txn*)>& body,
+                                      const TxnRetryOptions& retry) {
+  int64_t backoff_us = std::max<int64_t>(retry.initial_backoff_us, 1);
+  std::unique_ptr<Rng> rng;
+  for (int attempt = 0;; ++attempt) {
+    Result<Txn*> begun = Begin();
+    if (!begun.ok()) return begun.status();
+    Txn* txn = begun.value();
+    if (rng == nullptr) {
+      rng = std::make_unique<Rng>(retry.jitter_seed ^
+                                  (txn->id() * 0x9E3779B97F4A7C15ull));
+    }
+    Status st = body(txn);
+    if (st.ok()) {
+      // Commit consumes the handle whether it succeeds or not (a failed
+      // commit degrades to an abort inside the manager), so no Abort here.
+      st = Commit(txn);
+      if (st.ok()) return st;
+    } else {
+      LABFLOW_IGNORE_STATUS(Abort(txn),
+                            "surfacing the body's error; rollback of an "
+                            "aborting transaction is best-effort");
+    }
+    if (!st.IsAborted() || attempt >= retry.max_retries) return st;
+    txn_retries_.fetch_add(1, std::memory_order_relaxed);
+    int64_t sleep_us =
+        backoff_us / 2 +
+        static_cast<int64_t>(
+            rng->NextBelow(static_cast<uint64_t>(backoff_us / 2 + 1)));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff_us = std::min(backoff_us * 2, retry.max_backoff_us);
+  }
 }
 
 void StorageManager::DropActiveTxns() {

@@ -46,6 +46,26 @@ struct StorageStats {
   uint64_t lock_waits = 0;
   uint64_t txn_commits = 0;
   uint64_t txn_aborts = 0;
+  /// Fault-tolerance telemetry: attempts re-run by RunTransaction, waits-for
+  /// cycles broken by the lock manager, and pages rejected by the page
+  /// checksum (zero for managers without the corresponding machinery).
+  uint64_t txn_retries = 0;
+  uint64_t deadlocks = 0;
+  uint64_t checksum_failures = 0;
+};
+
+/// Backoff policy for StorageManager::RunTransaction. Retries apply only to
+/// kAborted outcomes (deadlock victim or lock timeout) — every other error
+/// is surfaced on the first attempt. The sleep before attempt n is a
+/// uniformly jittered value around initial_backoff_us * 2^(n-1), capped at
+/// max_backoff_us; jitter is drawn from a deterministic stream seeded by
+/// jitter_seed and the first attempt's transaction id (unique per manager,
+/// so colliding threads do not back off in lockstep).
+struct TxnRetryOptions {
+  int max_retries = 10;  ///< re-runs after the first attempt
+  int64_t initial_backoff_us = 100;
+  int64_t max_backoff_us = 10000;
+  uint64_t jitter_seed = 1;
 };
 
 /// Placement hint attached to an allocation. This is the knob the paper's
@@ -159,6 +179,16 @@ class StorageManager {
   /// state changes stay applied, per their documented no-CC semantics).
   Status Abort(Txn* txn) LABFLOW_EXCLUDES(txn_mu_);
 
+  /// Runs `body` in a fresh transaction, committing on success and
+  /// retrying the whole closure (after rollback, with jittered exponential
+  /// backoff) when it ends in kAborted — the transient outcome a deadlock
+  /// victim or lock timeout produces. The body must be safe to re-run from
+  /// scratch: it sees a new Txn* each attempt and must not leak side
+  /// effects outside the transaction. Non-Aborted errors, and Aborted ones
+  /// past max_retries, are returned as-is.
+  Status RunTransaction(const std::function<Status(Txn*)>& body,
+                        const TxnRetryOptions& retry = TxnRetryOptions());
+
   // ---- Data operations (explicit-transaction forms) ------------------------
 
   /// Stores a new object; returns its permanent id.
@@ -271,11 +301,17 @@ class StorageManager {
   /// Number of currently live transactions.
   size_t ActiveTxnCount() const LABFLOW_EXCLUDES(txn_mu_);
 
+  /// Attempts re-run by RunTransaction so far (for stats() overrides).
+  uint64_t txn_retry_count() const {
+    return txn_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable Mutex txn_mu_;
   std::unordered_map<Txn*, std::unique_ptr<Txn>> active_txns_
       LABFLOW_GUARDED_BY(txn_mu_);
   std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> txn_retries_{0};
 };
 
 }  // namespace labflow::storage

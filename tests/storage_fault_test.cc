@@ -1,0 +1,487 @@
+// End-to-end storage fault tolerance, driven through FaultInjectionEnv.
+//
+// These tests torture the full stack — Env, PageFile, BufferPool, WAL,
+// OstoreManager — with deterministic injected faults and check the
+// durability contract from the outside:
+//
+//   * a commit acknowledged with sync_commit survives any later crash;
+//   * a commit reported failed leaves no trace after a crash (no ghost
+//     groups resurrected by recovery);
+//   * a torn page write or a flipped bit is *detected* (Corruption), never
+//     silently returned as data;
+//   * after a WAL failure the store degrades to read-only (Unavailable on
+//     writes, reads fine) until a checkpoint restores service;
+//   * deadlocks are broken by waits-for detection in milliseconds even when
+//     the fallback lock timeout is a minute.
+//
+// The seed sweep width is controlled by LABFLOW_FAULT_SEEDS (default 16);
+// scripts/check.sh's `fault` phase widens it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "ostore/ostore_manager.h"
+#include "storage/fault_env.h"
+#include "tests/test_util.h"
+
+namespace labflow::ostore {
+namespace {
+
+using storage::AllocHint;
+using storage::FaultInjectionEnv;
+using storage::ObjectId;
+using test::TempDir;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---- Scenario A: WAL write/sync faults, then crash --------------------------
+
+std::vector<int> FaultSeeds() {
+  int n = 16;
+  if (const char* e = std::getenv("LABFLOW_FAULT_SEEDS")) {
+    n = std::atoi(e);
+    if (n < 1) n = 1;
+  }
+  std::vector<int> seeds;
+  for (int i = 1; i <= n; ++i) seeds.push_back(i);
+  return seeds;
+}
+
+class WalFaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalFaultSweep, AckedCommitsSurviveCrashFailedOnesVanish) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  TempDir dir;
+
+  FaultInjectionEnv::Options fopt;
+  fopt.seed = seed;
+  fopt.write_fault_p = 0.05;
+  fopt.sync_fault_p = 0.05;
+  fopt.torn_writes = true;
+  fopt.path_filter = ".wal";  // fault only the log; page I/O stays clean
+  FaultInjectionEnv env(fopt);
+
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.env = &env;
+  opts.base.truncate = true;
+  opts.sync_commit = true;  // every ack is a durability promise
+  auto mgr_or = OstoreManager::Open(opts);
+  ASSERT_TRUE(mgr_or.ok()) << mgr_or.status().ToString();
+  std::unique_ptr<OstoreManager> mgr = std::move(mgr_or).value();
+
+  // A fresh database has written its superblock but synced nothing; the
+  // durability contract starts at the first checkpoint (LabBase's bootstrap
+  // does the same).
+  ASSERT_TRUE(mgr->Checkpoint().ok());
+
+  Rng rng(seed * 7 + 1);
+  std::map<uint64_t, std::string> confirmed;  // ack'd commits: must survive
+  int failed_commits = 0;
+
+  for (int t = 0; t < 120; ++t) {
+    auto txn_or = mgr->Begin();
+    ASSERT_TRUE(txn_or.ok());
+    storage::Txn* txn = txn_or.value();
+    std::map<uint64_t, std::string> pending;
+    Status st = Status::OK();
+    int ops = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < ops && st.ok(); ++i) {
+      std::string data = rng.NextName(1 + rng.NextBelow(500));
+      auto id = mgr->Allocate(txn, data, AllocHint{});
+      st = id.status();
+      if (st.ok()) pending[id.value().raw] = data;
+    }
+    if (st.ok()) {
+      st = mgr->Commit(txn);
+      if (st.ok()) {
+        confirmed.insert(pending.begin(), pending.end());
+        continue;
+      }
+      // Commit consumed (and rolled back) the handle; nothing to abort.
+    } else {
+      ASSERT_TRUE(mgr->Abort(txn).ok());
+    }
+    // A write refusal (degraded mode) or a commit that hit the injected
+    // fault. Either way the transaction rolled back; the operator action
+    // that restores service is a checkpoint (page I/O is clean here).
+    ++failed_commits;
+    ASSERT_TRUE(mgr->Checkpoint().ok())
+        << "checkpoint after WAL failure (seed " << seed << ")";
+  }
+
+  // Power cut: buffered pages vanish, and everything the env never synced
+  // vanishes with them.
+  ASSERT_TRUE(mgr->SimulateCrash().ok());
+  mgr.reset();
+  env.DropUnsynced();
+  env.set_enabled(false);
+
+  opts.base.truncate = false;
+  auto rec_or = OstoreManager::Open(opts);
+  ASSERT_TRUE(rec_or.ok()) << "recovery failed (seed " << seed
+                           << "): " << rec_or.status().ToString();
+  std::unique_ptr<OstoreManager> rec = std::move(rec_or).value();
+
+  // Every acknowledged commit, byte for byte.
+  for (const auto& [raw, data] : confirmed) {
+    auto back = rec->Read(ObjectId(raw));
+    ASSERT_TRUE(back.ok()) << "lost committed object " << raw << " (seed "
+                           << seed << ", " << failed_commits
+                           << " failed commits): " << back.status().ToString();
+    ASSERT_EQ(back.value(), data) << "corrupt object " << raw;
+  }
+  // And nothing else: a failed commit was rolled back in memory and its
+  // group either never reached the log, was torn (checksum), or was never
+  // synced (dropped) — recovery must not resurrect it.
+  uint64_t live = 0;
+  ASSERT_TRUE(rec->ScanAll([&](ObjectId id, std::string_view data) {
+                   auto it = confirmed.find(id.raw);
+                   EXPECT_NE(it, confirmed.end())
+                       << "ghost object " << id.raw << " (seed " << seed
+                       << ")";
+                   if (it != confirmed.end()) {
+                     EXPECT_EQ(std::string(data), it->second);
+                   }
+                   ++live;
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(live, confirmed.size());
+
+  // The survivor is a fully usable database.
+  auto post = rec->Begin();
+  ASSERT_TRUE(post.ok());
+  auto id = rec->Allocate(post.value(), "post-fault", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(rec->Commit(post.value()).ok());
+  EXPECT_EQ(rec->Read(id.value()).value(), "post-fault");
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalFaultSweep,
+                         ::testing::ValuesIn(FaultSeeds()),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+// ---- Scenario B: torn page writes -------------------------------------------
+
+TEST(StorageFaultTest, TornPageWriteNeverReadsBackAsGarbage) {
+  TempDir dir;
+  FaultInjectionEnv::Options fopt;
+  fopt.seed = 99;
+  fopt.write_fault_p = 1.0;
+  fopt.torn_writes = true;
+  FaultInjectionEnv env(fopt);
+  env.set_enabled(false);  // faults armed only around the checkpoint below
+
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.env = &env;
+  opts.base.truncate = true;
+  opts.sync_commit = true;
+  std::map<uint64_t, std::string> committed;
+  {
+    auto mgr = OstoreManager::Open(opts).value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+      std::string data = rng.NextName(100 + rng.NextBelow(400));
+      auto id = mgr->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      committed[id.value().raw] = data;
+    }
+    // Now every page write tears at a random prefix. The checkpoint's
+    // write-back must fail loudly...
+    env.set_enabled(true);
+    EXPECT_FALSE(mgr->Checkpoint().ok());
+    env.set_enabled(false);
+    // ...and the process dies with torn bytes on "disk" (no DropUnsynced:
+    // this models a tear that really hit the platter).
+    ASSERT_TRUE(mgr->SimulateCrash().ok());
+  }
+
+  opts.base.truncate = false;
+  auto rec_or = OstoreManager::Open(opts);
+  if (!rec_or.ok()) {
+    // Detected at open (superblock or a page touched by WAL replay).
+    EXPECT_TRUE(rec_or.status().IsCorruption())
+        << rec_or.status().ToString();
+    return;
+  }
+  // If open survived, every object must read back exactly or be *detected*
+  // as corrupt — silent garbage is the one forbidden outcome.
+  auto rec = std::move(rec_or).value();
+  for (const auto& [raw, data] : committed) {
+    auto back = rec->Read(ObjectId(raw));
+    if (back.ok()) {
+      EXPECT_EQ(back.value(), data) << "silent corruption on " << raw;
+    } else {
+      EXPECT_TRUE(back.status().IsCorruption()) << back.status().ToString();
+    }
+  }
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+// ---- Scenario C: read faults surface as errors ------------------------------
+
+TEST(StorageFaultTest, ReadFaultsPropagateAndClear) {
+  TempDir dir;
+  FaultInjectionEnv::Options fopt;
+  fopt.seed = 5;
+  fopt.read_fault_p = 1.0;
+  FaultInjectionEnv env(fopt);
+  env.set_enabled(false);
+
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.env = &env;
+  opts.base.truncate = true;
+  ObjectId id;
+  {
+    auto mgr = OstoreManager::Open(opts).value();
+    auto r = mgr->Allocate("fragile", AllocHint{});
+    ASSERT_TRUE(r.ok());
+    id = r.value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+
+  // With every read failing, open cannot even load the superblock — and
+  // says so, instead of treating the failure as an empty file.
+  opts.base.truncate = false;
+  env.set_enabled(true);
+  auto broken = OstoreManager::Open(opts);
+  EXPECT_FALSE(broken.ok());
+  env.set_enabled(false);
+
+  auto mgr = OstoreManager::Open(opts).value();
+  env.set_enabled(true);
+  auto faulted = mgr->Read(id);  // page 1 is not cached yet: hits the file
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_TRUE(faulted.status().IsIOError()) << faulted.status().ToString();
+  env.set_enabled(false);
+  EXPECT_EQ(mgr->Read(id).value(), "fragile");
+  EXPECT_GE(env.faults_injected(), 2u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+// ---- Scenario D: deadlock detection -----------------------------------------
+
+TEST(StorageFaultTest, DeadlockBrokenByDetectionNotTimeout) {
+  TempDir dir;
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.truncate = true;
+  // The fallback timeout is a full minute: if resolution still depended on
+  // it, this test would time out. Detection must break the cycle at block
+  // time.
+  opts.lock_timeout_ms = 60000;
+  auto mgr = OstoreManager::Open(opts).value();
+
+  // Two objects that cannot share a page (4KB each + 4KB filler overflows
+  // the 8KB page), so the two lock requests really cross.
+  auto a_or = mgr->Allocate(std::string(4000, 'a'), AllocHint{});
+  ASSERT_TRUE(a_or.ok());
+  ASSERT_TRUE(mgr->Allocate(std::string(4000, 'f'), AllocHint{}).ok());
+  auto b_or = mgr->Allocate(std::string(4000, 'b'), AllocHint{});
+  ASSERT_TRUE(b_or.ok());
+  ObjectId a = a_or.value(), b = b_or.value();
+  ASSERT_NE(a.raw >> 16, b.raw >> 16) << "test objects share a page";
+
+  auto start = std::chrono::steady_clock::now();
+  std::atomic<int> arrived{0};
+  std::atomic<int> committed{0}, aborted{0};
+  auto worker = [&](ObjectId first, ObjectId second) {
+    auto txn_or = mgr->Begin();
+    ASSERT_TRUE(txn_or.ok());
+    storage::Txn* txn = txn_or.value();
+    Status st = mgr->Update(txn, first, std::string(128, 'w'));
+    EXPECT_TRUE(st.ok());
+    // Only proceed once both threads hold their first page: the second
+    // updates then wait on each other — a certain A→B→A cycle.
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) std::this_thread::yield();
+    if (st.ok()) st = mgr->Update(txn, second, std::string(128, 'v'));
+    if (st.ok()) {
+      EXPECT_TRUE(mgr->Commit(txn).ok());
+      committed.fetch_add(1);
+    } else {
+      EXPECT_TRUE(st.IsAborted()) << st.ToString();
+      EXPECT_TRUE(mgr->Abort(txn).ok());
+      aborted.fetch_add(1);
+    }
+  };
+  std::thread t1(worker, a, b);
+  std::thread t2(worker, b, a);
+  t1.join();
+  t2.join();
+
+  // Exactly one victim, chosen and woken in far less than the minute the
+  // timeout would have cost.
+  EXPECT_EQ(committed.load(), 1);
+  EXPECT_EQ(aborted.load(), 1);
+  EXPECT_LT(SecondsSince(start), 30.0);
+  EXPECT_GE(mgr->stats().deadlocks, 1u);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+TEST(StorageFaultTest, HighContentionCommitsEverythingViaRetry) {
+  TempDir dir;
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.truncate = true;
+  opts.lock_timeout_ms = 60000;  // detection, not the timeout, must resolve
+  auto mgr = OstoreManager::Open(opts).value();
+
+  std::vector<ObjectId> hot;
+  for (int i = 0; i < 4; ++i) {
+    auto id = mgr->Allocate(std::string(128, 'h'), AllocHint{});
+    ASSERT_TRUE(id.ok());
+    hot.push_back(id.value());
+    ASSERT_TRUE(mgr->Allocate(std::string(7000, 'f'), AllocHint{}).ok());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 50;
+  auto start = std::chrono::steady_clock::now();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 11);
+      storage::TxnRetryOptions retry;
+      retry.max_retries = 100;
+      retry.jitter_seed = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < kTxns; ++i) {
+        Status st = mgr->RunTransaction(
+            [&](storage::Txn* txn) -> Status {
+              size_t x = rng.NextBelow(hot.size());
+              size_t y = rng.NextBelow(hot.size());
+              Status s = mgr->Update(txn, hot[x], std::string(128, 'x'));
+              if (s.ok() && y != x) {
+                s = mgr->Update(txn, hot[y], std::string(128, 'y'));
+              }
+              return s;
+            },
+            retry);
+        if (!st.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Deadlock aborts are absorbed by the retry loop: the user sees none.
+  EXPECT_EQ(failures.load(), 0);
+  auto stats = mgr->stats();
+  EXPECT_EQ(stats.txn_commits, static_cast<uint64_t>(kThreads) * kTxns);
+  // If resolution latency scaled with lock_timeout_ms, one deadlock would
+  // already blow this bound.
+  EXPECT_LT(SecondsSince(start), 40.0);
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+// ---- Scenario E: sticky degradation (writes refused, reads fine) ------------
+
+TEST(StorageFaultTest, WalFailureDegradesToReadOnlyUntilCheckpoint) {
+  TempDir dir;
+  FaultInjectionEnv::Options fopt;
+  fopt.seed = 7;
+  fopt.write_fault_p = 1.0;
+  fopt.path_filter = ".wal";
+  FaultInjectionEnv env(fopt);
+  env.set_enabled(false);
+
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.env = &env;
+  opts.base.truncate = true;
+  auto mgr = OstoreManager::Open(opts).value();
+  auto keep_or = mgr->Allocate("must stay readable", AllocHint{});
+  ASSERT_TRUE(keep_or.ok());
+  ObjectId keep = keep_or.value();
+  ASSERT_TRUE(mgr->Checkpoint().ok());
+
+  // First failure: the commit hits the injected WAL fault and is rolled
+  // back; its error is the genuine I/O failure.
+  env.set_enabled(true);
+  auto txn_or = mgr->Begin();
+  ASSERT_TRUE(txn_or.ok());
+  auto doomed = mgr->Allocate(txn_or.value(), "doomed", AllocHint{});
+  ASSERT_TRUE(doomed.ok());
+  Status st = mgr->Commit(txn_or.value());
+  ASSERT_FALSE(st.ok());
+
+  // Degraded mode: every write path refuses with Unavailable...
+  Status auto_write = mgr->Allocate("refused", AllocHint{}).status();
+  EXPECT_TRUE(auto_write.IsUnavailable()) << auto_write.ToString();
+  auto txn2 = mgr->Begin();
+  ASSERT_TRUE(txn2.ok());
+  Status txn_write = mgr->Update(txn2.value(), keep, "refused");
+  EXPECT_TRUE(txn_write.IsUnavailable()) << txn_write.ToString();
+  ASSERT_TRUE(mgr->Abort(txn2.value()).ok());
+  // ...while reads keep serving, and the failed commit left no trace.
+  EXPECT_EQ(mgr->Read(keep).value(), "must stay readable");
+  EXPECT_FALSE(mgr->Read(doomed.value()).ok());
+
+  // A checkpoint makes the in-memory image durable without the log and
+  // restores write service.
+  env.set_enabled(false);
+  ASSERT_TRUE(mgr->Checkpoint().ok());
+  auto healed = mgr->Allocate("healed", AllocHint{});
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(mgr->Read(healed.value()).value(), "healed");
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+// ---- Scenario F: bit rot ----------------------------------------------------
+
+TEST(StorageFaultTest, BitRotDetectedByPageChecksum) {
+  TempDir dir;
+  FaultInjectionEnv env(FaultInjectionEnv::Options{});
+
+  OstoreOptions opts;
+  opts.base.path = dir.file("db");
+  opts.base.env = &env;
+  opts.base.truncate = true;
+  ObjectId id;
+  {
+    auto mgr = OstoreManager::Open(opts).value();
+    auto r = mgr->Allocate(std::string(3000, 'z'), AllocHint{});
+    ASSERT_TRUE(r.ok());
+    id = r.value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+
+  // One bit of rot in page 1's record area, below any I/O error.
+  ASSERT_TRUE(env.CorruptByte(dir.file("db"), storage::kPageSize + 200).ok());
+
+  opts.base.truncate = false;
+  auto rec_or = OstoreManager::Open(opts);
+  if (!rec_or.ok()) {
+    EXPECT_TRUE(rec_or.status().IsCorruption()) << rec_or.status().ToString();
+    return;
+  }
+  auto rec = std::move(rec_or).value();
+  auto back = rec->Read(id);
+  ASSERT_FALSE(back.ok()) << "bit rot went undetected";
+  EXPECT_TRUE(back.status().IsCorruption()) << back.status().ToString();
+  EXPECT_GE(rec->stats().checksum_failures, 1u);
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::ostore

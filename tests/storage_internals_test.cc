@@ -18,6 +18,7 @@ using ostore::Wal;
 using storage::BufferPool;
 using storage::kPageSize;
 using storage::PageFile;
+using storage::StampPageChecksum;
 using test::TempDir;
 
 // ---- PageFile ---------------------------------------------------------------
@@ -106,6 +107,9 @@ class BufferPoolTest : public ::testing::Test {
       auto p = file_.AppendPage();
       ASSERT_TRUE(p.ok());
       std::vector<char> data(kPageSize, static_cast<char>('a' + i));
+      // Raw PageFile writes bypass the buffer pool's stamp-on-write-back,
+      // so stamp here or Fetch would (rightly) reject the pages.
+      StampPageChecksum(data.data());
       ASSERT_TRUE(file_.WritePage(p.value(), data.data()).ok());
     }
   }
