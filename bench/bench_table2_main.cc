@@ -28,6 +28,8 @@ int Main(int argc, char** argv) {
   int base_clones = static_cast<int>(FlagValue(argc, argv, "clones", 500));
   size_t pool = static_cast<size_t>(FlagValue(argc, argv, "pool", 2048));
   uint64_t seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1996));
+  std::string json_path = FlagString(argc, argv, "json");
+  JsonReport json("table2_main");
 
   std::cout << "LabFlow-1 main results (T2) — base_clones=" << base_clones
             << ", pool=" << pool << " pages ("
@@ -53,6 +55,17 @@ int Main(int argc, char** argv) {
       }
       std::cerr << "done: " << report->version << " @ " << intvl << "X ("
                 << report->events << " events)\n";
+      json.AddRow()
+          .Str("version", report->version)
+          .Num("intvl", report->intvl)
+          .Num("elapsed_sec", report->elapsed_sec)
+          .Num("user_cpu_sec", report->user_cpu_sec)
+          .Num("sys_cpu_sec", report->sys_cpu_sec)
+          .Int("majflt", report->majflt)
+          .Int("db_size_bytes", report->db_size_bytes)
+          .Int("events", static_cast<uint64_t>(report->events))
+          // As a string: JSON numbers lose precision past 2^53.
+          .Str("result_checksum", std::to_string(report->result_checksum));
       reports.push_back(std::move(report).value());
     }
   }
@@ -74,6 +87,10 @@ int Main(int argc, char** argv) {
   }
   std::cout << (consistent ? "cross-version checksums: CONSISTENT\n"
                            : "cross-version checksums: MISMATCH (BUG)\n");
+  if (!json.WriteTo(json_path)) {
+    std::cerr << "ERROR: could not write " << json_path << "\n";
+    return 1;
+  }
   return consistent ? 0 : 1;
 }
 

@@ -3,9 +3,14 @@
 
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace labflow::bench {
 
@@ -42,6 +47,96 @@ inline double FlagValue(int argc, char** argv, const std::string& key,
   }
   return fallback;
 }
+
+/// String variant of FlagValue (e.g. `--json=/path/out.json`).
+inline std::string FlagString(int argc, char** argv, const std::string& key,
+                              const std::string& fallback = "") {
+  std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+/// Machine-readable benchmark output alongside the human tables: rows of
+/// key/value pairs, serialized as `{"bench": <name>, "rows": [{...}, ...]}`.
+/// Benches call AddRow() as they print each table line; WriteTo() is a
+/// no-op when the `--json=` flag was absent, so instrumentation costs
+/// nothing in interactive runs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Row {
+   public:
+    Row& Int(const std::string& key, uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& Num(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& Str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, Quote(v));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the report to `path`; empty path is a no-op. Returns false on
+  /// I/O failure (callers treat that as a bench error, not a warning — CI
+  /// depends on the artifact existing).
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return false;
+    out << "{\"bench\": " << Row::Quote(bench_name_) << ", \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "  {";
+      const auto& fields = rows_[i].fields_;
+      for (size_t j = 0; j < fields.size(); ++j) {
+        if (j != 0) out << ", ";
+        out << Row::Quote(fields[j].first) << ": " << fields[j].second;
+      }
+      out << "}";
+    }
+    out << "\n]}\n";
+    out.flush();
+    return out.good();
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace labflow::bench
 

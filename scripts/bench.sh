@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: runs the JSON-emitting benches and writes
+# BENCH_<name>.json at the repo root, so successive commits leave a
+# machine-readable performance trail (CI uploads them as artifacts).
+#
+# Usage: scripts/bench.sh [quick|full] [jobs]
+#
+#   quick — small deterministic sizes, minutes not hours; the default and
+#           what CI runs. Numbers are noisy at this scale; the files are
+#           for trend-watching and the embedded correctness checks
+#           (cross-version checksums, read-mostly scaling gate), not for
+#           quoting.
+#   full  — paper-scale runs (see EXPERIMENTS.md for the intended sizes).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-quick}"
+jobs="${2:-$(nproc)}"
+
+if [[ "$mode" != quick && "$mode" != full ]]; then
+  echo "usage: scripts/bench.sh [quick|full] [jobs]" >&2
+  exit 2
+fi
+
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs" --target \
+  bench_table2_main bench_fig_concurrency
+
+if [[ "$mode" == quick ]]; then
+  table2_flags=(--clones=60 --intvl=1)
+  conc_flags=(--txns=150 --sync_txns=30 --queries=1500 --materials=128)
+else
+  table2_flags=()
+  conc_flags=()
+fi
+
+echo "== bench: table2_main ($mode) =="
+"$root/build/bench/bench_table2_main" "${table2_flags[@]}" \
+  --json="$root/BENCH_table2_main.json"
+
+echo "== bench: fig_concurrency ($mode) =="
+"$root/build/bench/bench_fig_concurrency" "${conc_flags[@]}" \
+  --json="$root/BENCH_fig_concurrency.json"
+
+echo
+echo "wrote:"
+ls -l "$root"/BENCH_*.json

@@ -10,15 +10,19 @@
 #   asan  — Address+UndefinedBehaviorSanitizer build, every fast test
 #   lint  — scripts/lint.py project rules, plus clang-tidy over the
 #           compilation database when clang-tidy is installed
+#   bench-smoke — one short deterministic bench run, twice with different
+#           buffer pool sizes (and therefore shard counts): validates the
+#           cross-version result checksum, that it is identical across pool
+#           configurations, and that the --json output parses
 #
 # Usage: scripts/check.sh [jobs]           (all phases)
-#        scripts/check.sh <phase> [jobs]   (one: fast|slow|fault|tsan|asan|lint)
+#        scripts/check.sh <phase> [jobs]   (one of the names above)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 only=""
-if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint)$ ]]; then
+if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint|bench-smoke)$ ]]; then
   only="$1"
   shift
 fi
@@ -63,10 +67,10 @@ fault() {
 tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs" --target \
-    concurrency_test ostore_test storage_manager_test wal_fault_test \
-    storage_fault_test
+    concurrency_test buffer_pool_concurrency_test ostore_test \
+    storage_manager_test wal_fault_test storage_fault_test
   ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test'
+    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test'
 }
 
 asan() {
@@ -74,6 +78,32 @@ asan() {
     -DLABFLOW_SANITIZE=address,undefined >/dev/null
   cmake --build "$root/build-asan" -j "$jobs"
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -LE slow
+}
+
+bench-smoke() {
+  cmake -B "$root/build" -S "$root" >/dev/null
+  cmake --build "$root/build" -j "$jobs" --target bench_table2_main
+  local out
+  out="$(mktemp -d)"
+  # Same workload against a small and a large pool: different shard counts,
+  # different eviction pressure, same answers. bench_table2_main itself
+  # gates on cross-version checksum consistency (exit 1 on mismatch).
+  "$root/build/bench/bench_table2_main" --clones=40 --intvl=0.5 \
+    --pool=512 --json="$out/small.json" >/dev/null
+  "$root/build/bench/bench_table2_main" --clones=40 --intvl=0.5 \
+    --pool=4096 --json="$out/large.json" >/dev/null
+  python3 - "$out/small.json" "$out/large.json" <<'EOF'
+import json, sys
+runs = [json.load(open(p)) for p in sys.argv[1:]]
+sums = [{r["result_checksum"] for r in run["rows"]} for run in runs]
+for s, run in zip(sums, runs):
+    assert len(run["rows"]) > 0, "bench produced no rows"
+    assert len(s) == 1, f"checksum varies across versions: {s}"
+assert sums[0] == sums[1], f"checksum varies with pool size: {sums}"
+print(f"bench-smoke: checksum {sums[0].pop()} consistent across "
+      f"versions and pool sizes; JSON ok")
+EOF
+  rm -rf "$out"
 }
 
 lint() {
@@ -90,7 +120,7 @@ lint() {
   fi
 }
 
-phases=(fast slow fault tsan asan lint)
+phases=(fast slow fault tsan asan lint bench-smoke)
 if [[ -n "$only" ]]; then
   phases=("$only")
 fi

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/thread_annotations.h"
@@ -50,6 +51,64 @@ class LABFLOW_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// A std::shared_mutex with Clang capability annotations: many concurrent
+/// readers (LockShared) or one writer (Lock). Used for read-mostly state —
+/// most prominently the per-frame page latches, where concurrent most-recent
+/// queries all read the same hot catalog/material pages. Prefer the scoped
+/// ReaderMutexLock / WriterMutexLock; the analysis tracks both.
+class LABFLOW_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() LABFLOW_ACQUIRE() { mu_.lock(); }
+  void Unlock() LABFLOW_RELEASE() { mu_.unlock(); }
+  bool TryLock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() LABFLOW_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() LABFLOW_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() LABFLOW_TRY_ACQUIRE(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex. The destructor releases in
+/// "generic" mode — the spelling Clang requires for scoped capabilities
+/// whose constructor acquired shared.
+class LABFLOW_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) LABFLOW_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() LABFLOW_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class LABFLOW_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) LABFLOW_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() LABFLOW_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// Condition variable paired with labflow::Mutex. Every wait declares

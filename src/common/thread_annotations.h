@@ -45,9 +45,22 @@
 #define LABFLOW_ACQUIRE(...) \
   LABFLOW_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
 
+/// Function acquires the capability in shared (reader) mode.
+#define LABFLOW_ACQUIRE_SHARED(...) \
+  LABFLOW_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
 /// Function releases the capability (which must be held on entry).
 #define LABFLOW_RELEASE(...) \
   LABFLOW_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function releases a capability held in shared (reader) mode.
+#define LABFLOW_RELEASE_SHARED(...) \
+  LABFLOW_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held in either mode (RAII destructors of
+/// scoped types that may hold shared or exclusive).
+#define LABFLOW_RELEASE_GENERIC(...) \
+  LABFLOW_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
 
 /// Function acquires the capability iff it returns `ret`.
 #define LABFLOW_TRY_ACQUIRE(ret, ...) \

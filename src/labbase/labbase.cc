@@ -38,6 +38,54 @@ std::unique_ptr<LabBase::Session> LabBase::OpenSession() {
   return std::unique_ptr<Session>(new Session(this));
 }
 
+// ---- SessionPool ------------------------------------------------------------
+
+LabBase::SessionPool::Lease LabBase::SessionPool::Acquire() {
+  std::unique_ptr<Session> session;
+  {
+    MutexLock l(mu_);
+    ++stats_.acquired;
+    if (!idle_.empty()) {
+      session = std::move(idle_.back());
+      idle_.pop_back();
+      ++stats_.reused;
+    } else {
+      ++stats_.created;
+    }
+  }
+  if (session == nullptr) session = db_->OpenSession();
+  return Lease(this, std::move(session));
+}
+
+void LabBase::SessionPool::Return(std::unique_ptr<Session> session) {
+  // A session abandoned mid-transaction is poisoned for reuse: the next
+  // lease would silently join (or deadlock against) the old transaction.
+  // Abort it and drop it instead of pooling it.
+  if (session->in_transaction()) {
+    LABFLOW_IGNORE_STATUS(session->Abort(),
+                          "pooled session is being discarded either way");
+    MutexLock l(mu_);
+    ++stats_.discarded;
+    return;
+  }
+  MutexLock l(mu_);
+  if (idle_.size() >= max_idle_) {
+    ++stats_.discarded;
+    return;
+  }
+  idle_.push_back(std::move(session));
+}
+
+LabBase::SessionPool::Stats LabBase::SessionPool::stats() const {
+  MutexLock l(mu_);
+  return stats_;
+}
+
+size_t LabBase::SessionPool::idle_count() const {
+  MutexLock l(mu_);
+  return idle_.size();
+}
+
 Status LabBase::Bootstrap() {
   if (options_.separate_segments) {
     LABFLOW_ASSIGN_OR_RETURN(hot_segment_, mgr_->CreateSegment("labbase_hot"));

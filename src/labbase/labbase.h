@@ -134,6 +134,7 @@ struct LabBaseStats {
 class LabBase {
  public:
   class Session;
+  class SessionPool;
 
   /// Attaches to `mgr` (not owned). On an empty store this bootstraps the
   /// catalog (root record, segments) and checkpoints once so the root
@@ -354,6 +355,99 @@ class LabBase::Session {
   std::vector<IndexUndo> index_undo_;
   bool catalog_dirty_ = false;
   LabBaseStats stats_;
+};
+
+/// A bounded pool of reusable sessions (ROADMAP: session pooling).
+///
+/// OpenSession allocates a fresh session per call; short-lived clients — a
+/// driver stream, a query thread in the F6 bench — would otherwise pay that
+/// allocation (and lose the session's accumulated state) on every
+/// interaction. Acquire() hands out an idle pooled session when one is
+/// available and opens a new one when none is; the returned Lease gives it
+/// back on destruction. Sessions returned mid-transaction are aborted and
+/// discarded rather than reused — a pooled session is always
+/// transaction-free. At most `max_idle` sessions are kept warm; extras are
+/// dropped on return.
+///
+/// Thread safety: Acquire/Return may be called from any thread; the leased
+/// Session itself remains single-threaded (one thread at a time per lease).
+/// A reused session keeps its LabBaseStats — per-lease deltas are the
+/// caller's bookkeeping if they need them.
+class LabBase::SessionPool {
+ public:
+  /// RAII checkout: returns the session to the pool on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SessionPool* pool, std::unique_ptr<Session> session)
+        : pool_(pool), session_(std::move(session)) {}
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), session_(std::move(o.session_)) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      Release();
+      pool_ = o.pool_;
+      session_ = std::move(o.session_);
+      o.pool_ = nullptr;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    Session* get() const { return session_.get(); }
+    Session* operator->() const { return session_.get(); }
+    Session& operator*() const { return *session_; }
+    bool valid() const { return session_ != nullptr; }
+
+    /// Returns the session to the pool now (idempotent).
+    void Release() {
+      if (pool_ != nullptr && session_ != nullptr) {
+        pool_->Return(std::move(session_));
+      }
+      pool_ = nullptr;
+      session_ = nullptr;
+    }
+
+   private:
+    SessionPool* pool_ = nullptr;
+    std::unique_ptr<Session> session_;
+  };
+
+  struct Stats {
+    uint64_t acquired = 0;  ///< total Acquire() calls
+    uint64_t reused = 0;    ///< served from the idle pool
+    uint64_t created = 0;   ///< served by opening a new session
+    uint64_t discarded = 0; ///< returns dropped (mid-txn or pool full)
+  };
+
+  explicit SessionPool(LabBase* db, size_t max_idle = 8)
+      : db_(db), max_idle_(max_idle) {}
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+  /// Outstanding leases must be released (or destroyed) first.
+  ~SessionPool() = default;
+
+  /// Checks out a session: a warm pooled one when available, a fresh one
+  /// otherwise. Never blocks — the pool bounds idle sessions, not
+  /// concurrency.
+  Lease Acquire();
+
+  Stats stats() const;
+  size_t idle_count() const;
+
+ private:
+  friend class Lease;
+
+  void Return(std::unique_ptr<Session> session);
+
+  LabBase* db_;
+  const size_t max_idle_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Session>> idle_ LABFLOW_GUARDED_BY(mu_);
+  Stats stats_ LABFLOW_GUARDED_BY(mu_);
 };
 
 }  // namespace labflow::labbase

@@ -123,9 +123,11 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
                            LabBase::Open(mgr.get(), options.labbase));
 
-  // One session per event stream: the stream is this driver's single
-  // client, and the session carries its transaction state and counters.
-  std::unique_ptr<LabBase::Session> session = db->OpenSession();
+  // One session per event stream, checked out from a pool: the stream is
+  // this driver's single client, and the session carries its transaction
+  // state and counters for the whole run.
+  LabBase::SessionPool pool(db.get());
+  LabBase::SessionPool::Lease session = pool.Acquire();
 
   WorkloadGenerator generator(params);
 
@@ -190,7 +192,7 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   report.steps = totals.steps;
   report.materials = totals.materials;
 
-  session.reset();
+  session.Release();
   db.reset();
   LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return report;

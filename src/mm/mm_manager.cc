@@ -12,7 +12,7 @@ MmManager::MmManager(std::string display_name)
 
 Status MmManager::CommitTxn(storage::Txn* txn) {
   (void)txn;
-  std::lock_guard<std::mutex> g(mu_);
+  WriterMutexLock g(mu_);
   ++commits_;
   return Status::OK();
 }
@@ -27,7 +27,7 @@ Result<ObjectId> MmManager::DoAllocate(storage::Txn* txn,
                                        const AllocHint& hint) {
   (void)txn;   // no isolation in main memory
   (void)hint;  // no placement control in main memory
-  std::lock_guard<std::mutex> g(mu_);
+  WriterMutexLock g(mu_);
   if (closed_) return Status::InvalidArgument("manager closed");
   uint64_t id = next_id_++;
   objects_.emplace(id, std::string(data));
@@ -37,7 +37,7 @@ Result<ObjectId> MmManager::DoAllocate(storage::Txn* txn,
 
 Result<std::string> MmManager::DoRead(storage::Txn* txn, ObjectId id) {
   (void)txn;
-  std::lock_guard<std::mutex> g(mu_);
+  ReaderMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + std::to_string(id.raw));
@@ -48,7 +48,7 @@ Result<std::string> MmManager::DoRead(storage::Txn* txn, ObjectId id) {
 Status MmManager::DoUpdate(storage::Txn* txn, ObjectId id,
                            std::string_view data) {
   (void)txn;
-  std::lock_guard<std::mutex> g(mu_);
+  WriterMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + std::to_string(id.raw));
@@ -61,7 +61,7 @@ Status MmManager::DoUpdate(storage::Txn* txn, ObjectId id,
 
 Status MmManager::DoFree(storage::Txn* txn, ObjectId id) {
   (void)txn;
-  std::lock_guard<std::mutex> g(mu_);
+  WriterMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + std::to_string(id.raw));
@@ -83,14 +83,14 @@ Status MmManager::DoScanAll(
   // Copy ids first so fn may mutate the store.
   std::vector<uint64_t> ids;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    ReaderMutexLock g(mu_);
     ids.reserve(objects_.size());
     for (const auto& [id, data] : objects_) ids.push_back(id);
   }
   for (uint64_t id : ids) {
     std::string data;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      ReaderMutexLock g(mu_);
       auto it = objects_.find(id);
       if (it == objects_.end()) continue;
       data = it->second;
@@ -104,13 +104,13 @@ Status MmManager::Checkpoint() { return Status::OK(); }
 
 Status MmManager::Close() {
   DropActiveTxns();
-  std::lock_guard<std::mutex> g(mu_);
+  WriterMutexLock g(mu_);
   closed_ = true;
   return Status::OK();
 }
 
 StorageStats MmManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
+  ReaderMutexLock g(mu_);
   StorageStats s;
   s.db_size_bytes = bytes_;
   s.live_objects = objects_.size();

@@ -2,10 +2,11 @@
 #define LABFLOW_MM_MM_MANAGER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/storage_manager.h"
 
 namespace labflow::mm {
@@ -31,12 +32,12 @@ class MmManager : public storage::StorageManager {
 
   Result<uint16_t> CreateSegment(std::string_view name) override;
   Status SetRoot(storage::ObjectId root) override {
-    std::lock_guard<std::mutex> g(mu_);
+    WriterMutexLock g(mu_);
     root_ = root;
     return Status::OK();
   }
   Result<storage::ObjectId> GetRoot() override {
-    std::lock_guard<std::mutex> g(mu_);
+    ReaderMutexLock g(mu_);
     return root_;
   }
   Status Checkpoint() override;
@@ -60,13 +61,15 @@ class MmManager : public storage::StorageManager {
 
  private:
   std::string name_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::string> objects_;
-  uint64_t next_id_ = 1;
-  storage::ObjectId root_;
-  uint64_t bytes_ = 0;
-  uint64_t commits_ = 0;
-  bool closed_ = false;
+  /// Reader–writer: reads (DoRead, DoScanAll, stats, GetRoot) take shared
+  /// holds so concurrent query clients never serialize on the mm store.
+  mutable SharedMutex mu_;
+  std::unordered_map<uint64_t, std::string> objects_ LABFLOW_GUARDED_BY(mu_);
+  uint64_t next_id_ LABFLOW_GUARDED_BY(mu_) = 1;
+  storage::ObjectId root_ LABFLOW_GUARDED_BY(mu_);
+  uint64_t bytes_ LABFLOW_GUARDED_BY(mu_) = 0;
+  uint64_t commits_ LABFLOW_GUARDED_BY(mu_) = 0;
+  bool closed_ LABFLOW_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace labflow::mm

@@ -136,12 +136,12 @@ void OstoreManager::AppendRedo(storage::Txn* txn,
 }
 
 void OstoreManager::RecordWalError(Status st) {
-  MutexLock g(wal_error_mu_);
+  WriterMutexLock g(wal_error_mu_);
   if (wal_error_.ok()) wal_error_ = std::move(st);
 }
 
 Status OstoreManager::PeekWalError() const {
-  MutexLock g(wal_error_mu_);
+  ReaderMutexLock g(wal_error_mu_);
   return wal_error_;
 }
 
@@ -278,7 +278,7 @@ Status OstoreManager::OnCheckpoint() {
   // file: both sticky error states — the WAL's own (cleared by Truncate)
   // and this manager's — can be retired.
   LABFLOW_RETURN_IF_ERROR(wal_.Truncate());
-  MutexLock g(wal_error_mu_);
+  WriterMutexLock g(wal_error_mu_);
   wal_error_ = Status::OK();
   return Status::OK();
 }

@@ -155,7 +155,9 @@ class OstoreManager : public storage::PagedManagerBase {
   Wal wal_;
   bool sync_commit_ = false;
 
-  mutable Mutex wal_error_mu_;
+  /// Reader–writer: PeekWalError sits on every write operation's path
+  /// (CheckWritable), so the healthy-store common case takes a shared hold.
+  mutable SharedMutex wal_error_mu_;
   Status wal_error_ LABFLOW_GUARDED_BY(wal_error_mu_);
 
   std::atomic<uint64_t> commits_{0};

@@ -20,24 +20,38 @@ namespace labflow::storage {
 /// Counters the benchmark reports. `disk_reads` is LabFlow-1's `majflt`
 /// proxy: in both ObjectStore and Texas a major page fault is exactly "a
 /// page demand-read from the database file", which for us is a buffer-pool
-/// miss that goes to disk.
+/// miss that goes to disk. Invariant: `hits + disk_reads >= fetches`, with
+/// equality when no read attempt failed (a failed attempt still counts as a
+/// disk_read, and the caller's Fetch resolves as neither hit nor cached).
 struct BufferPoolStats {
+  uint64_t fetches = 0;  ///< Fetch() calls (not NewPage)
   uint64_t hits = 0;
-  uint64_t disk_reads = 0;
+  uint64_t disk_reads = 0;  ///< read attempts, including failed ones
   uint64_t disk_writes = 0;
   uint64_t evictions = 0;
   uint64_t checksum_failures = 0;  ///< pages rejected by VerifyPageChecksum
+  uint64_t shard_mutex_waits = 0;  ///< shard-lock acquisitions that blocked
 };
 
-/// A fixed-capacity LRU page cache over a PageFile.
+/// A sharded, fixed-capacity LRU page cache over a PageFile.
+///
+/// The cache is split into N shards (power of two; by default one shard per
+/// 256 pages of capacity, at least one), selected by the low bits of the
+/// page number. Each shard has its own mutex, frame map, LRU list, and
+/// counters, so fetches of pages in different shards never contend. All
+/// I/O — miss reads, eviction write-back, flushes — happens *outside* the
+/// shard mutex: a miss installs an in-flight frame, drops the lock, reads,
+/// and publishes; concurrent fetchers of the same page wait on the frame
+/// (one disk read, not N) while hits on other pages in the shard proceed.
 ///
 /// Thread safety: all public methods are internally synchronized. Access to
-/// the *contents* of a pinned frame must hold that frame's latch()
-/// (byte-level, access-scope) — transaction page locks are txn-scope and a
-/// no-op both for auto-commit operations and for managers without locking
-/// (Texas), so they cannot serialize two writers on the same page bytes.
-/// Flushing a frame that a concurrent writer is mutating is still the
-/// caller's checkpoint discipline.
+/// the *contents* of a pinned frame must hold that frame's latch() —
+/// shared for reads, exclusive for writes (byte-level, access-scope).
+/// Transaction page locks are txn-scope and a no-op both for auto-commit
+/// operations and for managers without locking (Texas), so they cannot
+/// serialize two writers on the same page bytes. Lock order: shard mutex →
+/// frame latch, never the reverse. Flushing a frame that a concurrent
+/// writer is mutating is still the caller's checkpoint discipline.
 class BufferPool {
  public:
   /// `capacity_pages` must be >= 2 (one target + one victim-in-flight).
@@ -46,8 +60,10 @@ class BufferPool {
   /// the OS page cache, so without this knob a 1996-style fault costs
   /// microseconds instead of milliseconds. Used by bench_fig_locality to
   /// reproduce the paper's elapsed-time divergence.
-  BufferPool(PageFile* file, size_t capacity_pages,
-             int64_t fault_delay_us = 0);
+  /// `shards` overrides the shard count (rounded down to a power of two,
+  /// clamped so every shard keeps >= 2 frames); 0 picks the default.
+  BufferPool(PageFile* file, size_t capacity_pages, int64_t fault_delay_us = 0,
+             size_t shards = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -59,19 +75,31 @@ class BufferPool {
     uint64_t page_no() const { return page_no_; }
     void MarkDirty() { dirty_.store(true, std::memory_order_release); }
 
-    /// Byte-level latch: hold it (MutexLock) around any read or write of
-    /// data(). Leaf lock — never acquire another mutex while holding it.
-    Mutex& latch() const LABFLOW_RETURN_CAPABILITY(latch_) { return latch_; }
+    /// Byte-level latch: hold it around any access to data() —
+    /// ReaderMutexLock to read, WriterMutexLock to mutate. Leaf lock —
+    /// never acquire another mutex while holding it.
+    SharedMutex& latch() const LABFLOW_RETURN_CAPABILITY(latch_) {
+      return latch_;
+    }
 
    private:
     friend class BufferPool;
+
+    /// kLoading: in the map, being read from disk off-lock; not in the LRU,
+    /// not evictable, contents unpublished. kReady: normal cached state.
+    /// kWriting: victim mid-write-back off-lock; kept in the map so a
+    /// concurrent Fetch of the same page waits instead of re-reading bytes
+    /// the write may not have persisted yet.
+    enum class State { kLoading, kReady, kWriting };
+
     std::unique_ptr<char[]> data_;
     uint64_t page_no_ = 0;
-    int pin_count_ = 0;
+    std::atomic<int> pin_count_{0};  // 0->1 only under the shard mutex
     std::atomic<bool> dirty_{false};
-    std::list<uint64_t>::iterator lru_pos_;
-    bool in_lru_ = false;
-    mutable Mutex latch_;
+    State state_ = State::kLoading;          // guarded by the shard mutex
+    std::list<uint64_t>::iterator lru_pos_;  // guarded by the shard mutex
+    bool in_lru_ = false;                    // guarded by the shard mutex
+    mutable SharedMutex latch_;
   };
 
   /// RAII pin: unpins on destruction.
@@ -111,43 +139,78 @@ class BufferPool {
   };
 
   /// Pins the page, reading it from disk on a miss (counted as a
-  /// disk_read / simulated major fault).
-  Result<PinGuard> Fetch(uint64_t page_no) LABFLOW_EXCLUDES(mu_);
+  /// disk_read / simulated major fault). The read happens outside the
+  /// shard mutex; concurrent fetchers of the same page share one read.
+  Result<PinGuard> Fetch(uint64_t page_no);
 
   /// Appends a fresh zeroed page to the file and pins it (no disk read).
-  Result<PinGuard> NewPage() LABFLOW_EXCLUDES(mu_);
+  Result<PinGuard> NewPage();
 
-  /// Writes all dirty frames back to the file (does not sync).
-  Status FlushAll() LABFLOW_EXCLUDES(mu_);
+  /// Writes all dirty frames back to the file (does not sync). Each frame
+  /// is staged under its latch and written outside the shard mutex, so
+  /// concurrent fetches are never blocked on flush I/O.
+  Status FlushAll();
 
   /// Flushes one page if cached and dirty.
-  Status FlushPage(uint64_t page_no) LABFLOW_EXCLUDES(mu_);
+  Status FlushPage(uint64_t page_no);
 
   /// Drops every unpinned frame from the cache (after FlushAll, typically);
   /// used by tests to force cold reads.
-  Status DropClean() LABFLOW_EXCLUDES(mu_);
+  Status DropClean();
 
-  BufferPoolStats stats() const LABFLOW_EXCLUDES(mu_) {
-    MutexLock g(mu_);
-    return stats_;
-  }
+  /// Aggregated counters across all shards.
+  BufferPoolStats stats() const;
+
+  /// Per-shard counters, for contention reporting (bench_fig_concurrency).
+  std::vector<BufferPoolStats> shard_stats() const;
 
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
-  void Unpin(Frame* frame) LABFLOW_EXCLUDES(mu_);
-  /// Evicts LRU unpinned frames until the cache has room for one more.
-  Status EnsureCapacityLocked() LABFLOW_REQUIRES(mu_);
-  void TouchLocked(Frame* frame) LABFLOW_REQUIRES(mu_);
+  /// Lock-free counters; bumped under the shard mutex on the fetch path but
+  /// off-lock for write-back, hence atomics.
+  struct ShardStats {
+    std::atomic<uint64_t> fetches{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> disk_reads{0};
+    std::atomic<uint64_t> disk_writes{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> checksum_failures{0};
+    std::atomic<uint64_t> mutex_waits{0};
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    /// Signaled whenever a frame changes state (published, write-back done,
+    /// load failed): waiters in Fetch/FlushPage/EnsureCapacity re-check.
+    CondVar cv;
+    std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames
+        LABFLOW_GUARDED_BY(mu);
+    std::list<uint64_t> lru LABFLOW_GUARDED_BY(mu);  // front = MRU
+    size_t capacity = 0;
+    int writing LABFLOW_GUARDED_BY(mu) = 0;  ///< frames in State::kWriting
+    ShardStats stats;
+  };
+
+  Shard& ShardFor(uint64_t page_no) const {
+    return *shards_[page_no & shard_mask_];
+  }
+  void Unpin(Frame* frame);
+  /// Evicts LRU unpinned frames until `s` has room. May drop and reacquire
+  /// `s.mu` around a victim's write-back; holds it again on return.
+  Status EnsureCapacityLocked(Shard& s) LABFLOW_REQUIRES(s.mu);
+  void TouchLocked(Shard& s, Frame* frame) LABFLOW_REQUIRES(s.mu);
+  /// Stages `frame` (pinned by the caller, no shard mutex held) under its
+  /// latch and writes it out; restores the dirty bit on failure.
+  Status WriteBack(Frame* frame, ShardStats& stats);
+  void LockShard(Shard& s) const LABFLOW_ACQUIRE(s.mu);
 
   PageFile* file_;
   size_t capacity_;
   int64_t fault_delay_us_;
-  mutable Mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames_
-      LABFLOW_GUARDED_BY(mu_);
-  std::list<uint64_t> lru_ LABFLOW_GUARDED_BY(mu_);  // front = MRU
-  BufferPoolStats stats_ LABFLOW_GUARDED_BY(mu_);
+  uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace labflow::storage

@@ -1,9 +1,25 @@
 #include "storage/fault_env.h"
 
+#include <time.h>
+
 #include <cstring>
 #include <utility>
 
 namespace labflow::storage {
+
+namespace {
+
+/// Sleeps `us` microseconds. Called before taking the env mutex, so one
+/// slow operation delays only its caller.
+void SimulateIoDelay(int64_t us) {
+  if (us <= 0) return;
+  timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
 
 /// File handle over a FaultInjectionEnv::FileState. All state (including
 /// the fault decision stream) lives in the env so that a second handle to
@@ -15,6 +31,7 @@ class FaultFile : public File {
       : env_(env), path_(std::move(path)), state_(std::move(state)) {}
 
   Status Read(uint64_t offset, size_t n, char* buf) override {
+    SimulateIoDelay(env_->options_.read_delay_us);
     MutexLock g(env_->mu_);
     if (env_->ShouldFault(path_, env_->options_.read_fault_p)) {
       return Status::IOError("injected read fault on " + path_);
@@ -27,11 +44,13 @@ class FaultFile : public File {
   }
 
   Status Write(uint64_t offset, std::string_view data) override {
+    SimulateIoDelay(env_->options_.write_delay_us);
     MutexLock g(env_->mu_);
     return WriteLocked(offset, data);
   }
 
   Status Append(std::string_view data) override {
+    SimulateIoDelay(env_->options_.write_delay_us);
     MutexLock g(env_->mu_);
     return WriteLocked(state_->data.size(), data);
   }

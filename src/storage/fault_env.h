@@ -29,6 +29,11 @@ class FaultInjectionEnv : public Env {
     double write_fault_p = 0.0;  ///< probability a Write/Append fails
     double sync_fault_p = 0.0;   ///< probability a Sync fails
     bool torn_writes = true;     ///< a failed write applies a random prefix
+    /// Per-operation latency, applied *without* holding the env mutex so a
+    /// slow file models a slow disk, not a slow kernel: used to prove that
+    /// buffer-pool flush/eviction I/O no longer blocks concurrent hits.
+    int64_t write_delay_us = 0;
+    int64_t read_delay_us = 0;
     /// When non-empty, only paths containing this substring fault; other
     /// files behave perfectly (still in-memory, still crash-droppable).
     std::string path_filter;

@@ -131,7 +131,8 @@ Status PagedManagerBase::Open(const PagedManagerOptions& options) {
   env_ = options.env != nullptr ? options.env : Env::Default();
   LABFLOW_RETURN_IF_ERROR(file_.Open(env_, options.path, options.truncate));
   pool_ = std::make_unique<BufferPool>(&file_, options.buffer_pool_pages,
-                                       options.fault_delay_us);
+                                       options.fault_delay_us,
+                                       options.buffer_pool_shards);
   bool fresh = (file_.page_count() == 0);
   if (fresh) {
     LABFLOW_ASSIGN_OR_RETURN(uint64_t sb, file_.AppendPage());
@@ -326,7 +327,7 @@ Result<uint64_t> PagedManagerBase::NewPageInSegment(Txn* txn,
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/true));
   uint64_t lsn = 0;
   {
-    MutexLock l(guard->latch());
+    WriterMutexLock l(guard->latch());
     Page page(guard->data());
     page.Initialize(segment);
     lsn = NextLsn();
@@ -357,7 +358,7 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(Txn* txn, uint64_t page_no,
   bool anchor_near_full = false;
   Result<uint16_t> slot = static_cast<uint16_t>(0);
   {
-    MutexLock l(guard->latch());
+    WriterMutexLock l(guard->latch());
     Page page(guard->data());
     seg = page.segment();
     if (min_leftover > 0 &&
@@ -425,7 +426,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
             LockPage(txn, anchor_page, /*exclusive=*/false));
         LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                  pool_->Fetch(anchor_page));
-        MutexLock l(guard->latch());
+        ReaderMutexLock l(guard->latch());
         seg = Page(guard->data()).segment();
       }
       uint64_t adopted = 0;
@@ -575,7 +576,7 @@ Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id) {
   }
   LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  ReaderMutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_ASSIGN_OR_RETURN(std::string_view rec, page.Read(id.slot()));
   return std::string(rec);
@@ -633,7 +634,7 @@ Status PagedManagerBase::UpdateSlot(Txn* txn, ObjectId id,
   uint16_t seg = 0;
   size_t free = 0;
   {
-    MutexLock l(guard->latch());
+    WriterMutexLock l(guard->latch());
     Page page(guard->data());
     LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
     old_bytes.assign(old_view);
@@ -662,7 +663,7 @@ Status PagedManagerBase::DeleteSlot(Txn* txn, ObjectId id) {
   uint16_t seg = 0;
   size_t free = 0;
   {
-    MutexLock l(guard->latch());
+    WriterMutexLock l(guard->latch());
     Page page(guard->data());
     LABFLOW_ASSIGN_OR_RETURN(std::string_view old_view, page.Read(id.slot()));
     old_bytes.assign(old_view);
@@ -711,7 +712,7 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
         LockPage(txn, terminal.page(), /*exclusive=*/false));
     LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                              pool_->Fetch(terminal.page()));
-    MutexLock l(guard->latch());
+    ReaderMutexLock l(guard->latch());
     derived.segment = Page(guard->data()).segment();
   }
 
@@ -810,7 +811,7 @@ Status PagedManagerBase::DoScanAll(
       LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
       LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                                pool_->Fetch(page_no));
-      MutexLock l(guard->latch());
+      ReaderMutexLock l(guard->latch());
       Page page(guard->data());
       for (uint16_t s = 0; s < page.slot_count(); ++s) {
         if (!page.IsLive(s)) continue;
@@ -847,7 +848,7 @@ Status PagedManagerBase::RedoPageInit(uint64_t lsn, uint64_t page_no,
     LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   page.Initialize(segment);
@@ -865,7 +866,7 @@ Status PagedManagerBase::RedoInsert(uint64_t lsn, uint64_t page_no,
     LABFLOW_RETURN_IF_ERROR(file_.AppendPage().status());
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   if (!page.IsInitialized()) page.Initialize(0);
@@ -881,7 +882,7 @@ Status PagedManagerBase::RedoUpdate(uint64_t lsn, uint64_t page_no,
     return Status::Corruption("redo update: missing page");
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   LABFLOW_RETURN_IF_ERROR(page.Update(slot, bytes));
@@ -896,7 +897,7 @@ Status PagedManagerBase::RedoDelete(uint64_t lsn, uint64_t page_no,
     return Status::Corruption("redo delete: missing page");
   }
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   if (page.lsn() >= lsn) return Status::OK();
   LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
@@ -907,7 +908,7 @@ Status PagedManagerBase::RedoDelete(uint64_t lsn, uint64_t page_no,
 
 Status PagedManagerBase::UndoInsert(uint64_t page_no, uint16_t slot) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.Delete(slot));
   page.set_lsn(NextLsn());
@@ -918,7 +919,7 @@ Status PagedManagerBase::UndoInsert(uint64_t page_no, uint16_t slot) {
 Status PagedManagerBase::UndoUpdate(uint64_t page_no, uint16_t slot,
                                     std::string_view old_bytes) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.Update(slot, old_bytes));
   page.set_lsn(NextLsn());
@@ -929,7 +930,7 @@ Status PagedManagerBase::UndoUpdate(uint64_t page_no, uint16_t slot,
 Status PagedManagerBase::UndoDelete(uint64_t page_no, uint16_t slot,
                                     std::string_view old_bytes) {
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
-  MutexLock l(guard->latch());
+  WriterMutexLock l(guard->latch());
   Page page(guard->data());
   LABFLOW_RETURN_IF_ERROR(page.InsertAt(slot, old_bytes));
   page.set_lsn(NextLsn());

@@ -27,6 +27,9 @@ struct PagedManagerOptions {
   /// sweeps: it plays the role of available physical memory in the paper's
   /// testbed.
   size_t buffer_pool_pages = 1024;
+  /// Buffer-pool shard count override (0 = auto: one shard per 256 pages
+  /// of capacity; see BufferPool). Power of two; mainly a test/bench knob.
+  size_t buffer_pool_shards = 0;
   /// Start from an empty database, discarding any existing file.
   bool truncate = true;
   /// Simulated per-fault disk latency in microseconds (see BufferPool).
