@@ -1,0 +1,564 @@
+// Network-seam experiment: the F6-style read-mostly regime through labflowd.
+//
+// The main benches drive LabBase in-process; this one puts the wire between
+// the driver and the database and asks two questions the in-process numbers
+// cannot answer:
+//
+//   closed loop — N clients, each with its own connection and remote
+//     session, issue the read-mostly query mix back-to-back. Per-operation
+//     latency here is the full round trip (encode, loopback TCP, epoll
+//     dispatch, worker execution, response flush), so the p50 is the seam's
+//     overhead floor and the tail shows dispatch jitter under concurrency.
+//
+//   open loop — requests arrive on a schedule (a fraction of the measured
+//     closed-loop capacity), pipelined over one connection across several
+//     sessions, with a bounded in-flight window (see the pipelining
+//     discipline note in net/client.h). Latency is measured from the
+//     *scheduled* arrival, so queueing delay is charged to the server — the
+//     coordinated-omission-free view a closed loop structurally cannot give.
+//
+// Correctness ride-along: every regime folds its query results into an
+// order-independent checksum over backend-neutral fields (values and
+// timestamps, never Oids). Run in-process (the default), the bench replays
+// the identical closed-loop workload directly against LabBase sessions and
+// fails unless the checksums match — the wire must change no answers. Run
+// with --connect=host:port against an external labflowd, the checksums are
+// printed and written to the JSON so the harness (scripts/check.sh server
+// phase) can compare them against an in-process run's.
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/codec.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/status_macros.h"
+#include "labbase/labbase.h"
+#include "mm/mm_manager.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+
+namespace labflow::bench {
+namespace {
+
+using labbase::LabBase;
+using net::Connection;
+using net::Op;
+using net::RemoteSession;
+using net::Server;
+using net::ServerConfig;
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Deterministic preload through any session implementation: the read-mostly
+/// fixture from bench_fig_concurrency (materials with short step histories).
+/// Returns the material Oids in creation order — indices are the cross-
+/// backend currency; the Oids themselves never enter a checksum.
+Result<std::vector<Oid>> Preload(labbase::SessionIface* admin, int materials,
+                                 int steps_per_material,
+                                 labbase::AttrId* x_out) {
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId clone,
+                           admin->DefineMaterialClass("clone"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::StateId active,
+                           admin->DefineState("active"));
+  LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId measure,
+                           admin->DefineStepClass("measure", {"x"}));
+  labbase::AttrId x = admin->schema().AttributeByName("x").value();
+  *x_out = x;
+  std::vector<Oid> mats;
+  mats.reserve(materials);
+  for (int m = 0; m < materials; ++m) {
+    Oid mat;
+    LABFLOW_RETURN_IF_ERROR(admin->RunTransaction([&]() -> Status {
+      LABFLOW_ASSIGN_OR_RETURN(
+          mat, admin->CreateMaterial(clone, "rm-" + std::to_string(m), active,
+                                     Timestamp(m)));
+      for (int s = 0; s < steps_per_material; ++s) {
+        labbase::StepEffect effect;
+        effect.material = mat;
+        effect.tags = {{x, Value::Int(m * 1000 + s)}};
+        LABFLOW_RETURN_IF_ERROR(
+            admin->RecordStep(measure, Timestamp(m * 100 + s + 1), {effect})
+                .status());
+      }
+      return Status::OK();
+    }));
+    mats.push_back(mat);
+  }
+  return mats;
+}
+
+/// One client's closed-loop query stream: the concurrency bench's read-mostly
+/// mix (1-in-8 history, the rest most-recent) with per-operation latency and
+/// an FNV fold of the results. Deterministic per (seed, queries); the fold
+/// uses values and timestamps only, so the same stream against any backend —
+/// local session or remote — must produce the same checksum.
+Status RunQueryStream(labbase::SessionIface* session,
+                      const std::vector<Oid>& mats, labbase::AttrId x,
+                      uint64_t seed, int queries, LatencyHistogram* hist,
+                      uint64_t* checksum) {
+  Rng rng(seed);
+  uint64_t local = kFnvOffset;
+  for (int i = 0; i < queries; ++i) {
+    Oid mat = mats[rng.NextBelow(mats.size())];
+    Stopwatch op;
+    if (i % 8 == 7) {
+      LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> h,
+                               session->History(mat, x));
+      hist->RecordSeconds(op.ElapsedSeconds());
+      local = (local ^ h.size()) * kFnvPrime;
+      for (const labbase::HistoryEntry& e : h) {
+        local = (local ^ static_cast<uint64_t>(e.time.micros)) * kFnvPrime;
+      }
+    } else {
+      LABFLOW_ASSIGN_OR_RETURN(Value v, session->MostRecent(mat, x));
+      hist->RecordSeconds(op.ElapsedSeconds());
+      local = (local ^ static_cast<uint64_t>(v.int_value())) * kFnvPrime;
+    }
+  }
+  *checksum = local;
+  return Status::OK();
+}
+
+struct ClosedOutcome {
+  double queries_per_sec = 0;
+  uint64_t queries = 0;
+  uint64_t checksum = 0;  ///< XOR of the per-thread folds
+  LatencyHistogram latency;
+};
+
+/// Closed loop over the wire: each thread dials its own connection and opens
+/// its own remote session, so N clients exercise N sockets and N pool leases
+/// — the shape a real client fleet presents to labflowd.
+Result<ClosedOutcome> RunClosedRemote(const std::string& host, uint16_t port,
+                                      const std::vector<Oid>& mats,
+                                      labbase::AttrId x, int threads,
+                                      int queries_per_thread) {
+  std::vector<std::thread> workers;
+  std::vector<Status> status(threads, Status::OK());
+  std::vector<uint64_t> sums(threads, 0);
+  std::vector<LatencyHistogram> hists(threads);
+  Stopwatch sw;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto run = [&]() -> Status {
+        LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                                 Connection::Dial(host, port));
+        LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<RemoteSession> session,
+                                 RemoteSession::Open(conn.get()));
+        return RunQueryStream(session.get(), mats, x,
+                              static_cast<uint64_t>(t) * 7919 + 1,
+                              queries_per_thread, &hists[t], &sums[t]);
+      };
+      status[t] = run();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double elapsed = sw.ElapsedSeconds();
+
+  ClosedOutcome out;
+  for (int t = 0; t < threads; ++t) {
+    LABFLOW_RETURN_IF_ERROR(status[t]);
+    out.checksum ^= sums[t];
+    out.latency.Merge(hists[t]);
+  }
+  out.queries = static_cast<uint64_t>(threads) * queries_per_thread;
+  out.queries_per_sec = elapsed > 0 ? out.queries / elapsed : 0;
+  return out;
+}
+
+/// The identical closed-loop workload with the wire removed: threads check
+/// sessions out of a local pool. Latencies here are the in-process baseline
+/// the remote rows are read against, and the checksum is the parity gate.
+Result<ClosedOutcome> RunClosedInProcess(LabBase* db,
+                                         const std::vector<Oid>& mats,
+                                         labbase::AttrId x, int threads,
+                                         int queries_per_thread) {
+  LabBase::SessionPool pool(db, /*max_idle=*/static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  std::vector<Status> status(threads, Status::OK());
+  std::vector<uint64_t> sums(threads, 0);
+  std::vector<LatencyHistogram> hists(threads);
+  Stopwatch sw;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      LabBase::SessionPool::Lease lease = pool.Acquire();
+      status[t] = RunQueryStream(lease.get(), mats, x,
+                                 static_cast<uint64_t>(t) * 7919 + 1,
+                                 queries_per_thread, &hists[t], &sums[t]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  double elapsed = sw.ElapsedSeconds();
+
+  ClosedOutcome out;
+  for (int t = 0; t < threads; ++t) {
+    LABFLOW_RETURN_IF_ERROR(status[t]);
+    out.checksum ^= sums[t];
+    out.latency.Merge(hists[t]);
+  }
+  out.queries = static_cast<uint64_t>(threads) * queries_per_thread;
+  out.queries_per_sec = elapsed > 0 ? out.queries / elapsed : 0;
+  return out;
+}
+
+struct OpenOutcome {
+  double offered_per_sec = 0;
+  double achieved_per_sec = 0;
+  uint64_t completed = 0;
+  uint64_t checksum = 0;
+  LatencyHistogram latency;
+};
+
+/// Open loop: one connection, a few sessions for server-side parallelism,
+/// raw pipelined most-recent frames. The submitter paces sends to the
+/// offered schedule; an awaiter drains completions in submission order and
+/// charges each response from its *scheduled* arrival time. The in-flight
+/// window is bounded (kWindow) per the client pipelining discipline — an
+/// unbounded pipeline can wedge against the server's read-pause
+/// backpressure. The fold is over decoded values in submission order, so it
+/// is independent of the offered rate: both rate points must agree.
+Result<OpenOutcome> RunOpenLoop(const std::string& host, uint16_t port,
+                                const std::vector<Oid>& mats,
+                                labbase::AttrId x, double rate,
+                                int total_reqs) {
+  constexpr int kSessions = 4;
+  constexpr size_t kWindow = 256;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                           Connection::Dial(host, port));
+  std::vector<std::unique_ptr<RemoteSession>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<RemoteSession> session,
+                             RemoteSession::Open(conn.get()));
+    sessions.push_back(std::move(session));
+  }
+
+  struct Pending {
+    uint64_t rid = 0;
+    double sched = 0;  ///< scheduled arrival, seconds from run start
+  };
+  Mutex mu;
+  CondVar cv;
+  std::deque<Pending> pending;
+  bool submit_done = false;
+
+  OpenOutcome out;
+  out.offered_per_sec = rate;
+  Status await_status = Status::OK();
+  uint64_t fold = kFnvOffset;
+  double last_completion = 0;
+
+  Stopwatch sw;
+  std::thread awaiter([&] {
+    for (;;) {
+      Pending p;
+      {
+        MutexLock l(mu);
+        cv.Wait(mu, [&]() LABFLOW_REQUIRES(mu) {
+          return !pending.empty() || submit_done;
+        });
+        if (pending.empty()) return;
+        p = pending.front();
+        pending.pop_front();
+        cv.NotifyAll();  // reopen the submitter's window
+      }
+      auto body = conn->Await(p.rid);
+      double now = sw.ElapsedSeconds();
+      if (!body.ok()) {
+        await_status = body.status();
+        return;
+      }
+      out.latency.RecordSeconds(now - p.sched);
+      last_completion = now;
+      ++out.completed;
+      Decoder d(*body);
+      auto v = d.GetValue();
+      if (!v.ok()) {
+        await_status = v.status();
+        return;
+      }
+      fold = (fold ^ static_cast<uint64_t>(v->int_value())) * kFnvPrime;
+    }
+  });
+
+  Status submit_status = Status::OK();
+  Rng rng(12345);
+  for (int i = 0; i < total_reqs; ++i) {
+    double sched = i / rate;
+    double now = sw.ElapsedSeconds();
+    if (now < sched) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sched - now));
+    }
+    Encoder e;
+    net::EncodeOid(&e, mats[rng.NextBelow(mats.size())]);
+    e.PutU32(x);
+    {
+      MutexLock l(mu);
+      cv.Wait(mu, [&]() LABFLOW_REQUIRES(mu) {
+        return pending.size() < kWindow;
+      });
+    }
+    auto rid = conn->Send(Op::kMostRecent,
+                          sessions[i % kSessions]->session_id(), e.buffer());
+    if (!rid.ok()) {
+      submit_status = rid.status();
+      break;
+    }
+    {
+      MutexLock l(mu);
+      pending.push_back({rid.value(), sched});
+      cv.NotifyAll();
+    }
+  }
+  {
+    MutexLock l(mu);
+    submit_done = true;
+    cv.NotifyAll();
+  }
+  awaiter.join();
+  LABFLOW_RETURN_IF_ERROR(submit_status);
+  LABFLOW_RETURN_IF_ERROR(await_status);
+  out.checksum = fold;
+  out.achieved_per_sec =
+      last_completion > 0 ? out.completed / last_completion : 0;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  int queries = static_cast<int>(FlagValue(argc, argv, "queries", 2000));
+  int materials = static_cast<int>(FlagValue(argc, argv, "materials", 192));
+  int steps = static_cast<int>(FlagValue(argc, argv, "steps", 8));
+  int open_reqs = static_cast<int>(FlagValue(argc, argv, "open_reqs", 6000));
+  std::string connect = FlagString(argc, argv, "connect");
+  std::string json_path = FlagString(argc, argv, "json");
+
+  // Target: --connect=host:port uses an external labflowd (the harness
+  // starts one and compares checksums across runs); otherwise an in-process
+  // server over a main-memory store, which also enables the parity gate.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::unique_ptr<mm::MmManager> mgr;
+  std::unique_ptr<LabBase> db;
+  std::unique_ptr<Server> server;
+  if (connect.empty()) {
+    mgr = std::make_unique<mm::MmManager>("fig-server");
+    auto db_or = LabBase::Open(mgr.get(), {});
+    if (!db_or.ok()) {
+      std::cerr << "ERROR: " << db_or.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::move(db_or.value());
+    server = std::make_unique<Server>(db.get(), mgr.get(), ServerConfig{});
+    Status st = server->Start();
+    if (!st.ok()) {
+      std::cerr << "ERROR: " << st.ToString() << "\n";
+      return 1;
+    }
+    port = server->port();
+  } else {
+    size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "ERROR: --connect wants host:port, got " << connect << "\n";
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = static_cast<uint16_t>(std::atoi(connect.c_str() + colon + 1));
+  }
+
+  std::cout << "labflowd read-mostly over " << (connect.empty()
+                ? std::string("in-process loopback server")
+                : connect)
+            << " — " << materials << " materials x " << steps << " steps, "
+            << queries << " queries/client\n\n";
+
+  // Remote preload (works against either target; the harness always starts
+  // labflowd on a fresh database).
+  std::vector<Oid> mats;
+  labbase::AttrId attr_x = 0;
+  {
+    auto conn_or = Connection::Dial(host, port);
+    if (!conn_or.ok()) {
+      std::cerr << "ERROR: dial: " << conn_or.status().ToString() << "\n";
+      return 1;
+    }
+    auto admin_or = RemoteSession::Open(conn_or.value().get());
+    if (!admin_or.ok()) {
+      std::cerr << "ERROR: open: " << admin_or.status().ToString() << "\n";
+      return 1;
+    }
+    auto mats_or = Preload(admin_or.value().get(), materials, steps, &attr_x);
+    if (!mats_or.ok()) {
+      std::cerr << "ERROR: preload: " << mats_or.status().ToString() << "\n";
+      return 1;
+    }
+    mats = std::move(mats_or.value());
+  }
+
+  JsonReport report("fig_server");
+
+  // Closed loop, with the wire-free replay alongside when in-process.
+  std::cout << "closed loop (own connection + session per client):\n";
+  std::cout << std::left << std::setw(9) << "clients" << std::setw(9) << "path"
+            << std::right << std::setw(13) << "queries/sec" << std::setw(11)
+            << "p50_us" << std::setw(11) << "p99_us" << std::setw(11)
+            << "p999_us" << std::setw(22) << "checksum"
+            << "\n";
+  double capacity = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    auto remote_or =
+        RunClosedRemote(host, port, mats, attr_x, threads, queries);
+    if (!remote_or.ok()) {
+      std::cerr << "ERROR: " << remote_or.status().ToString() << "\n";
+      return 1;
+    }
+    ClosedOutcome remote = remote_or.value();
+    capacity = std::max(capacity, remote.queries_per_sec);
+    std::cout << std::left << std::setw(9) << threads << std::setw(9)
+              << "remote" << std::right << std::setw(13) << std::fixed
+              << std::setprecision(0) << remote.queries_per_sec
+              << std::setw(11) << remote.latency.PercentileUs(50)
+              << std::setw(11) << remote.latency.PercentileUs(99)
+              << std::setw(11) << remote.latency.PercentileUs(99.9)
+              << std::setw(22) << remote.checksum << "\n";
+    report.AddRow()
+        .Str("regime", "closed_remote")
+        .Int("clients", threads)
+        .Int("queries", remote.queries)
+        .Num("queries_per_sec", remote.queries_per_sec)
+        .LatencyUs("query", remote.latency)
+        .Str("checksum", std::to_string(remote.checksum));
+
+    if (db != nullptr) {
+      // Parity fixture: a second, locally-preloaded database — never the
+      // server's, so the replay cannot lean on server-side state.
+      mm::MmManager local_mgr("fig-server-parity");
+      auto local_db_or = LabBase::Open(&local_mgr, {});
+      if (!local_db_or.ok()) {
+        std::cerr << "ERROR: " << local_db_or.status().ToString() << "\n";
+        return 1;
+      }
+      std::unique_ptr<LabBase> local_db = std::move(local_db_or.value());
+      std::vector<Oid> local_mats;
+      labbase::AttrId local_x = 0;
+      {
+        auto admin = local_db->OpenSession();
+        auto mats_or = Preload(admin.get(), materials, steps, &local_x);
+        if (!mats_or.ok()) {
+          std::cerr << "ERROR: " << mats_or.status().ToString() << "\n";
+          return 1;
+        }
+        local_mats = std::move(mats_or.value());
+      }
+      auto inproc_or = RunClosedInProcess(local_db.get(), local_mats, local_x,
+                                          threads, queries);
+      if (!inproc_or.ok()) {
+        std::cerr << "ERROR: " << inproc_or.status().ToString() << "\n";
+        return 1;
+      }
+      ClosedOutcome inproc = inproc_or.value();
+      std::cout << std::left << std::setw(9) << "" << std::setw(9) << "local"
+                << std::right << std::setw(13) << std::fixed
+                << std::setprecision(0) << inproc.queries_per_sec
+                << std::setw(11) << inproc.latency.PercentileUs(50)
+                << std::setw(11) << inproc.latency.PercentileUs(99)
+                << std::setw(11) << inproc.latency.PercentileUs(99.9)
+                << std::setw(22) << inproc.checksum << "\n";
+      report.AddRow()
+          .Str("regime", "closed_inproc")
+          .Int("clients", threads)
+          .Int("queries", inproc.queries)
+          .Num("queries_per_sec", inproc.queries_per_sec)
+          .LatencyUs("query", inproc.latency)
+          .Str("checksum", std::to_string(inproc.checksum));
+      if (inproc.checksum != remote.checksum) {
+        std::cerr << "ERROR: closed-loop checksum diverges between remote ("
+                  << remote.checksum << ") and in-process (" << inproc.checksum
+                  << ") at " << threads << " clients — the wire changed an "
+                  << "answer\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "\n";
+
+  // Open loop at fractions of the measured closed-loop capacity: the 50%
+  // point shows the uncongested service time, the 90% point the queueing
+  // tail as the server runs hot.
+  std::cout << "open loop (paced arrivals, 1 connection x 4 sessions, "
+               "window 256):\n";
+  std::cout << std::left << std::setw(9) << "load" << std::right
+            << std::setw(13) << "offered/sec" << std::setw(13)
+            << "achieved/sec" << std::setw(11) << "p50_us" << std::setw(11)
+            << "p99_us" << std::setw(11) << "p999_us" << std::setw(22)
+            << "checksum"
+            << "\n";
+  uint64_t open_checksum = 0;
+  bool open_checksum_set = false;
+  for (double fraction : {0.5, 0.9}) {
+    double rate = std::max(1.0, capacity * fraction);
+    auto open_or = RunOpenLoop(host, port, mats, attr_x, rate, open_reqs);
+    if (!open_or.ok()) {
+      std::cerr << "ERROR: " << open_or.status().ToString() << "\n";
+      return 1;
+    }
+    OpenOutcome open = open_or.value();
+    std::cout << std::left << std::setw(9)
+              << (std::to_string(static_cast<int>(fraction * 100)) + "%")
+              << std::right << std::setw(13) << std::fixed
+              << std::setprecision(0) << open.offered_per_sec << std::setw(13)
+              << open.achieved_per_sec << std::setw(11)
+              << open.latency.PercentileUs(50) << std::setw(11)
+              << open.latency.PercentileUs(99) << std::setw(11)
+              << open.latency.PercentileUs(99.9) << std::setw(22)
+              << open.checksum << "\n";
+    report.AddRow()
+        .Str("regime", "open_remote")
+        .Num("load_fraction", fraction)
+        .Num("offered_per_sec", open.offered_per_sec)
+        .Num("achieved_per_sec", open.achieved_per_sec)
+        .Int("completed", open.completed)
+        .LatencyUs("query", open.latency)
+        .Str("checksum", std::to_string(open.checksum));
+    if (open.completed != static_cast<uint64_t>(open_reqs)) {
+      std::cerr << "ERROR: open loop lost responses: " << open.completed
+                << " of " << open_reqs << "\n";
+      return 1;
+    }
+    // The fold is rate-independent (submission order, fixed rng stream), so
+    // the two load points must agree bit-for-bit.
+    if (!open_checksum_set) {
+      open_checksum = open.checksum;
+      open_checksum_set = true;
+    } else if (open.checksum != open_checksum) {
+      std::cerr << "ERROR: open-loop checksum varies with offered rate\n";
+      return 1;
+    }
+  }
+  std::cout << "\n";
+
+  if (server != nullptr) {
+    server->Shutdown();
+    server.reset();
+    db.reset();
+  }
+  if (!report.WriteTo(json_path)) {
+    std::cerr << "ERROR: could not write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
+
 namespace labflow::bench {
 
 /// Scratch directory for benchmark database files; removed on destruction.
@@ -84,6 +86,16 @@ class JsonReport {
     Row& Str(const std::string& key, const std::string& v) {
       fields_.emplace_back(key, Quote(v));
       return *this;
+    }
+    /// Emits the standard latency tail for a histogram as four keys:
+    /// `<prefix>_p50_us`, `<prefix>_p99_us`, `<prefix>_p999_us` and
+    /// `<prefix>_mean_us`. Every bench that reports latency uses this, so
+    /// downstream tooling can rely on one schema.
+    Row& LatencyUs(const std::string& prefix, const LatencyHistogram& h) {
+      return Num(prefix + "_mean_us", h.mean_us())
+          .Num(prefix + "_p50_us", h.PercentileUs(50))
+          .Num(prefix + "_p99_us", h.PercentileUs(99))
+          .Num(prefix + "_p999_us", h.PercentileUs(99.9));
     }
 
    private:

@@ -24,14 +24,16 @@ fi
 
 cmake -B "$root/build" -S "$root" >/dev/null
 cmake --build "$root/build" -j "$jobs" --target \
-  bench_table2_main bench_fig_concurrency
+  bench_table2_main bench_fig_concurrency bench_fig_server
 
 if [[ "$mode" == quick ]]; then
   table2_flags=(--clones=60 --intvl=1)
   conc_flags=(--txns=150 --sync_txns=30 --queries=1500 --materials=128)
+  server_flags=(--queries=800 --materials=96 --open_reqs=2500)
 else
   table2_flags=()
   conc_flags=()
+  server_flags=()
 fi
 
 echo "== bench: table2_main ($mode) =="
@@ -41,6 +43,10 @@ echo "== bench: table2_main ($mode) =="
 echo "== bench: fig_concurrency ($mode) =="
 "$root/build/bench/bench_fig_concurrency" "${conc_flags[@]}" \
   --json="$root/BENCH_fig_concurrency.json"
+
+echo "== bench: fig_server ($mode) =="
+"$root/build/bench/bench_fig_server" "${server_flags[@]}" \
+  --json="$root/BENCH_fig_server.json"
 
 echo
 echo "wrote:"

@@ -14,6 +14,11 @@
 #           buffer pool sizes (and therefore shard counts): validates the
 #           cross-version result checksum, that it is identical across pool
 #           configurations, and that the --json output parses
+#   server — end-to-end labflowd: start the daemon on loopback (ephemeral
+#           port), run the network bench against it remotely and once
+#           in-process, assert the result checksums are identical (the wire
+#           changes no answers), then SIGTERM the daemon and require a
+#           graceful drain (exit 0)
 #
 # Usage: scripts/check.sh [jobs]           (all phases)
 #        scripts/check.sh <phase> [jobs]   (one of the names above)
@@ -22,7 +27,7 @@ set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 only=""
-if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint|bench-smoke)$ ]]; then
+if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint|bench-smoke|server)$ ]]; then
   only="$1"
   shift
 fi
@@ -68,9 +73,9 @@ tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs" --target \
     concurrency_test buffer_pool_concurrency_test ostore_test \
-    storage_manager_test wal_fault_test storage_fault_test
+    storage_manager_test wal_fault_test storage_fault_test net_test
   ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test'
+    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test|net_test'
 }
 
 asan() {
@@ -106,6 +111,66 @@ EOF
   rm -rf "$out"
 }
 
+server() {
+  cmake -B "$root/build" -S "$root" >/dev/null
+  cmake --build "$root/build" -j "$jobs" --target labflowd bench_fig_server
+  local out
+  out="$(mktemp -d)"
+  # Start labflowd on a durable (OStore) database, ephemeral port; the port
+  # file doubles as the readiness signal.
+  "$root/build/src/net/labflowd" --db="$out/server.db" --port=0 \
+    --port_file="$out/port" >"$out/labflowd.log" 2>&1 &
+  local srv_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    if [[ -s "$out/port" ]]; then port="$(cat "$out/port")" && break; fi
+    if ! kill -0 "$srv_pid" 2>/dev/null; then
+      echo "labflowd died during startup:" >&2
+      cat "$out/labflowd.log" >&2
+      rm -rf "$out"
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "labflowd never published its port" >&2
+    kill "$srv_pid" 2>/dev/null || true
+    rm -rf "$out"
+    return 1
+  fi
+  # Same workload twice: remotely against the disk-backed daemon, then
+  # in-process on a main-memory store (which also runs its internal
+  # remote-vs-local parity gate). The folds are backend-neutral, so every
+  # checksum must agree across the two runs.
+  local bench_flags=(--queries=400 --materials=64 --open_reqs=1500)
+  local rc=0
+  "$root/build/bench/bench_fig_server" "${bench_flags[@]}" \
+    --connect="127.0.0.1:$port" --json="$out/remote.json" || rc=1
+  "$root/build/bench/bench_fig_server" "${bench_flags[@]}" \
+    --json="$out/local.json" || rc=1
+  if [[ $rc -eq 0 ]]; then
+    python3 - "$out/remote.json" "$out/local.json" <<'EOF' || rc=1
+import json, sys
+remote, local = [json.load(open(p)) for p in sys.argv[1:]]
+def sums(run, regime, key):
+    return {r[key]: r["checksum"] for r in run["rows"] if r["regime"] == regime}
+for regime, key in [("closed_remote", "clients"), ("open_remote", "load_fraction")]:
+    a, b = sums(remote, regime, key), sums(local, regime, key)
+    assert a and a == b, f"{regime} checksums diverge: daemon={a} in-process={b}"
+print("server: remote labflowd checksum-identical to in-process; JSON ok")
+EOF
+  fi
+  # Graceful drain: SIGTERM must produce a clean exit.
+  kill -TERM "$srv_pid"
+  if ! wait "$srv_pid"; then
+    echo "labflowd did not shut down cleanly:" >&2
+    cat "$out/labflowd.log" >&2
+    rc=1
+  fi
+  rm -rf "$out"
+  return $rc
+}
+
 lint() {
   python3 "$root/scripts/lint.py"
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -120,7 +185,7 @@ lint() {
   fi
 }
 
-phases=(fast slow fault tsan asan lint bench-smoke)
+phases=(fast slow fault tsan asan lint bench-smoke server)
 if [[ -n "$only" ]]; then
   phases=("$only")
 fi

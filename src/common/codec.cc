@@ -35,7 +35,12 @@ void Encoder::PutValue(const Value& v) {
   }
 }
 
-Result<Value> Decoder::GetValue() {
+Result<Value> Decoder::GetValue() { return GetValueAtDepth(0); }
+
+Result<Value> Decoder::GetValueAtDepth(int depth) {
+  if (depth >= kMaxValueDepth) {
+    return Status::Corruption("value nesting too deep");
+  }
   LABFLOW_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
   if (tag > static_cast<uint8_t>(ValueType::kList)) {
     return Status::Corruption("bad value tag");
@@ -73,7 +78,7 @@ Result<Value> Decoder::GetValue() {
       Value::List items;
       items.reserve(n);
       for (uint64_t i = 0; i < n; ++i) {
-        LABFLOW_ASSIGN_OR_RETURN(Value item, GetValue());
+        LABFLOW_ASSIGN_OR_RETURN(Value item, GetValueAtDepth(depth + 1));
         items.push_back(std::move(item));
       }
       return Value::MakeList(std::move(items));

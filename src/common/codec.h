@@ -85,6 +85,14 @@ class Encoder {
 
 /// Sequential binary decoder over a borrowed byte range. All getters return
 /// Corruption on truncated input instead of reading past the end.
+///
+/// The input is treated as *untrusted*: since the wire protocol (src/net)
+/// started feeding network bytes through this class, every getter must be
+/// total over arbitrary byte strings. Concretely: varints longer than ten
+/// bytes or carrying overflow bits in the tenth byte are Corruption (not
+/// silent truncation), and length prefixes are validated against the bytes
+/// actually remaining — a hostile 2^64-ish length can neither wrap the
+/// bounds check nor drive an allocation.
 class Decoder {
  public:
   explicit Decoder(std::string_view data) : data_(data) {}
@@ -131,7 +139,9 @@ class Decoder {
   }
   Result<std::string> GetString() {
     LABFLOW_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
-    if (pos_ + n > data_.size()) return Truncated();
+    // Compare against the remaining bytes, not `pos_ + n`: with n near
+    // 2^64 the addition would wrap and pass the check.
+    if (n > data_.size() - pos_) return Truncated();
     std::string s(data_.substr(pos_, n));
     pos_ += n;
     return s;
@@ -141,13 +151,19 @@ class Decoder {
     return b != 0;
   }
 
-  /// Decodes a Value written by Encoder::PutValue.
+  /// Decodes a Value written by Encoder::PutValue. List nesting beyond
+  /// kMaxValueDepth is Corruption: legitimate values are one level deep
+  /// (lists of scalars), while unbounded nesting lets a hostile payload
+  /// recurse the decoder off the stack.
   Result<Value> GetValue();
+  static constexpr int kMaxValueDepth = 32;
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }
 
  private:
+  Result<Value> GetValueAtDepth(int depth);
+
   static int64_t UnZigZag(uint64_t z) {
     return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
   }
@@ -158,6 +174,12 @@ class Decoder {
       if (pos_ >= data_.size()) return Truncated();
       uint8_t b = static_cast<uint8_t>(data_[pos_++]);
       if (shift >= 64) return Status::Corruption("varint too long");
+      // The tenth byte (shift 63) may only contribute its lowest bit; any
+      // higher payload bit would shift past 2^64 and vanish silently —
+      // an adversarial encoding, not a value.
+      if (shift == 63 && (b & 0x7E) != 0) {
+        return Status::Corruption("varint overflows 64 bits");
+      }
       v |= static_cast<uint64_t>(b & 0x7F) << shift;
       if (!(b & 0x80)) return v;
       shift += 7;

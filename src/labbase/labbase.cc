@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/rng.h"
@@ -40,11 +42,27 @@ std::unique_ptr<LabBase::Session> LabBase::OpenSession() {
 
 // ---- SessionPool ------------------------------------------------------------
 
+LabBase::SessionPool::~SessionPool() {
+  MutexLock l(mu_);
+  if (outstanding_ != 0) {
+    // A Lease destructor dereferences its pool; destroying the pool first
+    // turns every outstanding lease into a use-after-free. This is a
+    // teardown-ordering bug at the call site (e.g. a server connection
+    // surviving its pool), and it must not limp on in release builds.
+    std::fprintf(stderr,
+                 "labflow fatal: SessionPool destroyed with %zu outstanding "
+                 "lease(s); release every Lease before the pool\n",
+                 outstanding_);
+    std::abort();
+  }
+}
+
 LabBase::SessionPool::Lease LabBase::SessionPool::Acquire() {
   std::unique_ptr<Session> session;
   {
     MutexLock l(mu_);
     ++stats_.acquired;
+    ++outstanding_;
     if (!idle_.empty()) {
       session = std::move(idle_.back());
       idle_.pop_back();
@@ -65,10 +83,12 @@ void LabBase::SessionPool::Return(std::unique_ptr<Session> session) {
     LABFLOW_IGNORE_STATUS(session->Abort(),
                           "pooled session is being discarded either way");
     MutexLock l(mu_);
+    --outstanding_;
     ++stats_.discarded;
     return;
   }
   MutexLock l(mu_);
+  --outstanding_;
   if (idle_.size() >= max_idle_) {
     ++stats_.discarded;
     return;
@@ -84,6 +104,11 @@ LabBase::SessionPool::Stats LabBase::SessionPool::stats() const {
 size_t LabBase::SessionPool::idle_count() const {
   MutexLock l(mu_);
   return idle_.size();
+}
+
+size_t LabBase::SessionPool::outstanding() const {
+  MutexLock l(mu_);
+  return outstanding_;
 }
 
 Status LabBase::Bootstrap() {

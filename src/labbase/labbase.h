@@ -16,6 +16,7 @@
 #include "common/value.h"
 #include "labbase/records.h"
 #include "labbase/schema.h"
+#include "labbase/session_iface.h"
 #include "storage/hash_dir.h"
 #include "storage/storage_manager.h"
 
@@ -52,64 +53,9 @@ struct LabBaseOptions {
   int64_t retry_backoff_max_us = 10000;
 };
 
-/// One event in a material's attribute history, ordered by valid time.
-struct HistoryEntry {
-  Timestamp time;
-  Value value;
-  Oid step;
-};
-
-/// Snapshot of a material's identity and workflow position.
-struct MaterialInfo {
-  Oid id;
-  ClassId class_id = kInvalidClass;
-  std::string name;
-  StateId state = kInvalidState;
-  Timestamp created;
-  std::vector<AttrId> attrs_present;
-};
-
-/// Snapshot of a step instance (audit-trail entry).
-struct StepInfo {
-  Oid id;
-  ClassId class_id = kInvalidClass;
-  uint32_t version = 0;
-  Timestamp time;
-  std::vector<StepMaterialEntry> materials;
-};
-
-/// The per-material effect passed to RecordStep.
-struct StepEffect {
-  Oid material;
-  std::vector<StepTag> tags;
-  /// Target workflow state, or kInvalidState to leave the state alone.
-  StateId new_state = kInvalidState;
-};
-
-/// Wrapper-level activity counters. One instance per Session: each client's
-/// activity is accounted where it happened, with no cross-thread sharing.
-struct LabBaseStats {
-  uint64_t materials_created = 0;
-  uint64_t steps_recorded = 0;
-  uint64_t most_recent_queries = 0;
-  uint64_t history_queries = 0;
-  uint64_t state_queries = 0;
-  uint64_t set_operations = 0;
-  /// Transaction attempts re-run by Session::RunTransaction after a
-  /// deadlock abort (invisible to the caller; counted here).
-  uint64_t txn_retries = 0;
-
-  LabBaseStats& operator+=(const LabBaseStats& o) {
-    materials_created += o.materials_created;
-    steps_recorded += o.steps_recorded;
-    most_recent_queries += o.most_recent_queries;
-    history_queries += o.history_queries;
-    state_queries += o.state_queries;
-    set_operations += o.set_operations;
-    txn_retries += o.txn_retries;
-    return *this;
-  }
-};
+// HistoryEntry, MaterialInfo, StepInfo, StepEffect, LabBaseStats and the
+// abstract SessionIface live in labbase/session_iface.h — the seam shared
+// with the network client (net::RemoteSession mirrors Session through it).
 
 /// LabBase: the workflow-data manager of the paper's Architecture (C) — a
 /// specialized DBMS providing event histories, most-recent-value queries,
@@ -205,9 +151,13 @@ class LabBase {
 ///
 /// Threading: one thread at a time per Session; different Sessions of the
 /// same LabBase run fully concurrently.
-class LabBase::Session {
+///
+/// Session is the in-process implementation of labbase::SessionIface; the
+/// network client (net::RemoteSession) is the remote one. Code that should
+/// run against either — the driver, the benches — takes a SessionIface*.
+class LabBase::Session : public SessionIface {
  public:
-  ~Session();
+  ~Session() override;
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -216,14 +166,14 @@ class LabBase::Session {
 
   /// Starts this session's transaction. InvalidArgument if one is active;
   /// ResourceExhausted if the manager's concurrency cap is reached (Texas).
-  Status Begin();
-  Status Commit();
+  Status Begin() override;
+  Status Commit() override;
   /// Aborts the storage transaction and rolls the shared in-memory indexes
   /// back (via this session's index undo log). If the transaction touched
   /// the catalog (DDL, set creation — single-session operations), the
   /// catalog is re-read from storage.
-  Status Abort();
-  bool in_transaction() const { return txn_ != nullptr; }
+  Status Abort() override;
+  bool in_transaction() const override { return txn_ != nullptr; }
 
   /// Runs `body` inside this session's transaction: Begin, body, Commit.
   /// When the transaction loses a deadlock (Aborted) the whole body is
@@ -233,23 +183,25 @@ class LabBase::Session {
   /// its effects must go through this session (they roll back with the
   /// transaction). Any other error aborts once and surfaces as-is.
   /// InvalidArgument if a transaction is already active.
-  Status RunTransaction(const std::function<Status()>& body);
+  Status RunTransaction(const std::function<Status()>& body) override;
 
   // ---- Schema (single-session; persists immediately via the root record) ---
 
-  Result<ClassId> DefineMaterialClass(std::string_view name);
+  Result<ClassId> DefineMaterialClass(std::string_view name) override;
   /// Defines a step class, or evolves it to a new version when the
   /// attribute set differs (paper Section 5.1).
-  Result<ClassId> DefineStepClass(std::string_view name,
-                                  const std::vector<std::string>& attr_names);
-  Result<StateId> DefineState(std::string_view name);
-  const Schema& schema() const { return db_->schema_; }
+  Result<ClassId> DefineStepClass(
+      std::string_view name,
+      const std::vector<std::string>& attr_names) override;
+  Result<StateId> DefineState(std::string_view name) override;
+  const Schema& schema() const override { return db_->schema_; }
 
   // ---- Workflow tracking (paper Section 8.3) -------------------------------
 
   /// Creates a material in `initial_state`. Names must be unique.
   Result<Oid> CreateMaterial(ClassId material_class, std::string_view name,
-                             StateId initial_state, Timestamp created);
+                             StateId initial_state,
+                             Timestamp created) override;
 
   /// Records one executed workflow step: appends an sm_step instance to the
   /// event history and updates every affected material (involves list,
@@ -262,52 +214,53 @@ class LabBase::Session {
   /// applied only if `time` is not older than what the material already
   /// reflects.
   Result<Oid> RecordStep(ClassId step_class, Timestamp time,
-                         const std::vector<StepEffect>& effects);
+                         const std::vector<StepEffect>& effects) override;
 
   // ---- Queries (paper Sections 8.1, 8.2) -----------------------------------
 
   /// Most-recent value of `attr` on `material` (by valid time); NotFound if
   /// no step ever produced it.
-  Result<Value> MostRecent(Oid material, AttrId attr);
-  Result<Value> MostRecent(Oid material, std::string_view attr_name);
+  Result<Value> MostRecent(Oid material, AttrId attr) override;
+  Result<Value> MostRecent(Oid material, std::string_view attr_name) override;
 
   /// Full history of `attr` on `material`, ascending by valid time.
-  Result<std::vector<HistoryEntry>> History(Oid material, AttrId attr);
+  Result<std::vector<HistoryEntry>> History(Oid material,
+                                            AttrId attr) override;
 
   /// Temporal as-of query: the value `attr` had on `material` at valid time
   /// `at` (i.e. the most recent tag with time <= at). NotFound if nothing
   /// was recorded by then. This is the "what did we believe on Tuesday"
   /// query the valid-time event history exists to answer.
-  Result<Value> ValueAsOf(Oid material, AttrId attr, Timestamp at);
+  Result<Value> ValueAsOf(Oid material, AttrId attr, Timestamp at) override;
 
   /// History entries with valid time in [from, to], ascending.
   Result<std::vector<HistoryEntry>> HistoryBetween(Oid material, AttrId attr,
                                                    Timestamp from,
-                                                   Timestamp to);
+                                                   Timestamp to) override;
 
-  Result<MaterialInfo> GetMaterial(Oid material);
-  Result<StepInfo> GetStep(Oid step);
-  Result<Oid> FindMaterialByName(std::string_view name);
+  Result<MaterialInfo> GetMaterial(Oid material) override;
+  Result<StepInfo> GetStep(Oid step) override;
+  Result<Oid> FindMaterialByName(std::string_view name) override;
 
-  Result<StateId> CurrentState(Oid material);
+  Result<StateId> CurrentState(Oid material) override;
   /// Work-queue query: all materials currently in `state`, ordered by
   /// material name (a manager-independent, deterministic order).
-  Result<std::vector<Oid>> MaterialsInState(StateId state);
-  Result<int64_t> CountInState(StateId state);
-  Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class);
+  Result<std::vector<Oid>> MaterialsInState(StateId state) override;
+  Result<int64_t> CountInState(StateId state) override;
+  Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class) override;
 
   // ---- Material sets (creation is single-session) ---------------------------
 
-  Result<Oid> CreateSet(std::string_view name);
-  Status AddToSet(Oid set, Oid material);
-  Status RemoveFromSet(Oid set, Oid material);
-  Result<std::vector<Oid>> SetMembers(Oid set);
-  Result<Oid> FindSetByName(std::string_view name);
+  Result<Oid> CreateSet(std::string_view name) override;
+  Status AddToSet(Oid set, Oid material) override;
+  Status RemoveFromSet(Oid set, Oid material) override;
+  Result<std::vector<Oid>> SetMembers(Oid set) override;
+  Result<Oid> FindSetByName(std::string_view name) override;
 
   // ---- Misc ----------------------------------------------------------------
 
-  Status Checkpoint() { return db_->mgr_->Checkpoint(); }
-  const LabBaseStats& stats() const { return stats_; }
+  Status Checkpoint() override { return db_->mgr_->Checkpoint(); }
+  const LabBaseStats& stats() const override { return stats_; }
   storage::StorageManager* storage() { return db_->mgr_; }
   LabBase* db() { return db_; }
 
@@ -373,6 +326,15 @@ class LabBase::Session {
 /// Session itself remains single-threaded (one thread at a time per lease).
 /// A reused session keeps its LabBaseStats — per-lease deltas are the
 /// caller's bookkeeping if they need them.
+///
+/// Lifetime contract: every Lease must be released (or destroyed) before
+/// the pool — a Lease destructor calls back into its pool, so a pool torn
+/// down under an outstanding lease is a use-after-free. This became a real
+/// ordering concern when `labflowd` started multiplexing connections over a
+/// pool: connection teardown (which releases leases) must strictly precede
+/// pool destruction. The destructor enforces the contract: it aborts the
+/// process, in every build mode, if leases are still outstanding —
+/// loudly-now beats heap-corruption-later on a server.
 class LabBase::SessionPool {
  public:
   /// RAII checkout: returns the session to the pool on destruction.
@@ -427,8 +389,9 @@ class LabBase::SessionPool {
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
-  /// Outstanding leases must be released (or destroyed) first.
-  ~SessionPool() = default;
+  /// Outstanding leases must be released (or destroyed) first; violating
+  /// that ordering aborts the process (see the class comment).
+  ~SessionPool();
 
   /// Checks out a session: a warm pooled one when available, a fresh one
   /// otherwise. Never blocks — the pool bounds idle sessions, not
@@ -437,6 +400,9 @@ class LabBase::SessionPool {
 
   Stats stats() const;
   size_t idle_count() const;
+  /// Leases currently checked out (Acquired and not yet Returned). Must be
+  /// zero before the pool may be destroyed.
+  size_t outstanding() const;
 
  private:
   friend class Lease;
@@ -447,6 +413,7 @@ class LabBase::SessionPool {
   const size_t max_idle_;
   mutable Mutex mu_;
   std::vector<std::unique_ptr<Session>> idle_ LABFLOW_GUARDED_BY(mu_);
+  size_t outstanding_ LABFLOW_GUARDED_BY(mu_) = 0;
   Stats stats_ LABFLOW_GUARDED_BY(mu_);
 };
 

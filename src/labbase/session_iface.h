@@ -1,0 +1,159 @@
+#ifndef LABFLOW_LABBASE_SESSION_IFACE_H_
+#define LABFLOW_LABBASE_SESSION_IFACE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "labbase/records.h"
+#include "labbase/schema.h"
+
+namespace labflow::labbase {
+
+/// One event in a material's attribute history, ordered by valid time.
+struct HistoryEntry {
+  Timestamp time;
+  Value value;
+  Oid step;
+};
+
+/// Snapshot of a material's identity and workflow position.
+struct MaterialInfo {
+  Oid id;
+  ClassId class_id = kInvalidClass;
+  std::string name;
+  StateId state = kInvalidState;
+  Timestamp created;
+  std::vector<AttrId> attrs_present;
+};
+
+/// Snapshot of a step instance (audit-trail entry).
+struct StepInfo {
+  Oid id;
+  ClassId class_id = kInvalidClass;
+  uint32_t version = 0;
+  Timestamp time;
+  std::vector<StepMaterialEntry> materials;
+};
+
+/// The per-material effect passed to RecordStep.
+struct StepEffect {
+  Oid material;
+  std::vector<StepTag> tags;
+  /// Target workflow state, or kInvalidState to leave the state alone.
+  StateId new_state = kInvalidState;
+};
+
+/// Wrapper-level activity counters. One instance per Session: each client's
+/// activity is accounted where it happened, with no cross-thread sharing.
+struct LabBaseStats {
+  uint64_t materials_created = 0;
+  uint64_t steps_recorded = 0;
+  uint64_t most_recent_queries = 0;
+  uint64_t history_queries = 0;
+  uint64_t state_queries = 0;
+  uint64_t set_operations = 0;
+  /// Transaction attempts re-run by Session::RunTransaction after a
+  /// deadlock abort (invisible to the caller; counted here).
+  uint64_t txn_retries = 0;
+
+  LabBaseStats& operator+=(const LabBaseStats& o) {
+    materials_created += o.materials_created;
+    steps_recorded += o.steps_recorded;
+    most_recent_queries += o.most_recent_queries;
+    history_queries += o.history_queries;
+    state_queries += o.state_queries;
+    set_operations += o.set_operations;
+    txn_retries += o.txn_retries;
+    return *this;
+  }
+};
+
+/// The abstract client session: the one API through which the driver, the
+/// benches and the examples talk to a workflow database — whether the
+/// database lives in this process (labbase::LabBase::Session) or behind a
+/// socket (net::RemoteSession talking to `labflowd`). Extracting this seam
+/// is what lets the same workload run in-process and remote and compare
+/// result checksums (the network layer must not change any answer).
+///
+/// Semantics are those documented on LabBase::Session; implementations must
+/// preserve them bit-for-bit. Threading contract is also inherited: one
+/// thread at a time per session, many sessions concurrently.
+class SessionIface {
+ public:
+  virtual ~SessionIface() = default;
+
+  // ---- Transactions --------------------------------------------------------
+
+  virtual Status Begin() = 0;
+  virtual Status Commit() = 0;
+  virtual Status Abort() = 0;
+  virtual bool in_transaction() const = 0;
+
+  /// Runs `body` inside a transaction: Begin, body, Commit; a deadlock
+  /// abort re-runs the whole body (with backoff) until it commits or the
+  /// retry budget is exhausted. `body` must be restartable: all its effects
+  /// must go through this session.
+  virtual Status RunTransaction(const std::function<Status()>& body) = 0;
+
+  // ---- Schema --------------------------------------------------------------
+
+  virtual Result<ClassId> DefineMaterialClass(std::string_view name) = 0;
+  virtual Result<ClassId> DefineStepClass(
+      std::string_view name, const std::vector<std::string>& attr_names) = 0;
+  virtual Result<StateId> DefineState(std::string_view name) = 0;
+  /// The current user schema. For remote sessions this is a client-side
+  /// cache, refreshed on open and after every DDL call through this
+  /// session (DDL is single-session by contract, so the cache cannot go
+  /// stale underneath its own writer).
+  virtual const Schema& schema() const = 0;
+
+  // ---- Workflow tracking ---------------------------------------------------
+
+  virtual Result<Oid> CreateMaterial(ClassId material_class,
+                                     std::string_view name,
+                                     StateId initial_state,
+                                     Timestamp created) = 0;
+  virtual Result<Oid> RecordStep(ClassId step_class, Timestamp time,
+                                 const std::vector<StepEffect>& effects) = 0;
+
+  // ---- Queries -------------------------------------------------------------
+
+  virtual Result<Value> MostRecent(Oid material, AttrId attr) = 0;
+  virtual Result<Value> MostRecent(Oid material, std::string_view attr_name) = 0;
+  virtual Result<std::vector<HistoryEntry>> History(Oid material,
+                                                    AttrId attr) = 0;
+  virtual Result<Value> ValueAsOf(Oid material, AttrId attr, Timestamp at) = 0;
+  virtual Result<std::vector<HistoryEntry>> HistoryBetween(Oid material,
+                                                           AttrId attr,
+                                                           Timestamp from,
+                                                           Timestamp to) = 0;
+  virtual Result<MaterialInfo> GetMaterial(Oid material) = 0;
+  virtual Result<StepInfo> GetStep(Oid step) = 0;
+  virtual Result<Oid> FindMaterialByName(std::string_view name) = 0;
+  virtual Result<StateId> CurrentState(Oid material) = 0;
+  virtual Result<std::vector<Oid>> MaterialsInState(StateId state) = 0;
+  virtual Result<int64_t> CountInState(StateId state) = 0;
+  virtual Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class) = 0;
+
+  // ---- Material sets -------------------------------------------------------
+
+  virtual Result<Oid> CreateSet(std::string_view name) = 0;
+  virtual Status AddToSet(Oid set, Oid material) = 0;
+  virtual Status RemoveFromSet(Oid set, Oid material) = 0;
+  virtual Result<std::vector<Oid>> SetMembers(Oid set) = 0;
+  virtual Result<Oid> FindSetByName(std::string_view name) = 0;
+
+  // ---- Misc ----------------------------------------------------------------
+
+  virtual Status Checkpoint() = 0;
+  virtual const LabBaseStats& stats() const = 0;
+};
+
+}  // namespace labflow::labbase
+
+#endif  // LABFLOW_LABBASE_SESSION_IFACE_H_

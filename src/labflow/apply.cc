@@ -10,7 +10,7 @@ using labbase::StateId;
 using labbase::StepEffect;
 using labbase::StepTag;
 
-Status ApplyUpdate(LabBase::Session* db, const Event& ev) {
+Status ApplyUpdate(labbase::SessionIface* db, const Event& ev) {
   const labbase::Schema& schema = db->schema();
   switch (ev.type) {
     case Event::Type::kCreateMaterial: {

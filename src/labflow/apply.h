@@ -7,11 +7,13 @@
 
 namespace labflow::bench {
 
-/// Applies one *update* event of the LabFlow-1 stream to LabBase (name
-/// lookups resolved through the wrapper). Query events are rejected with
-/// InvalidArgument — executing those (and folding their results) is the
-/// driver's job. Shared by the driver, the benches and the examples.
-Status ApplyUpdate(labbase::LabBase::Session* db, const Event& event);
+/// Applies one *update* event of the LabFlow-1 stream to a workflow session
+/// (name lookups resolved through the wrapper). Query events are rejected
+/// with InvalidArgument — executing those (and folding their results) is
+/// the driver's job. Shared by the driver, the benches and the examples;
+/// takes the abstract session so the same stream applies in-process
+/// (LabBase::Session) or across the wire (net::RemoteSession).
+Status ApplyUpdate(labbase::SessionIface* db, const Event& event);
 
 }  // namespace labflow::bench
 

@@ -27,10 +27,11 @@ void FoldString(uint64_t* h, std::string_view s) {
   Fold(h, x);
 }
 
-/// Executes one event against LabBase, folding query results into the
-/// checksum. Updates delegate to ApplyUpdate (shared with the other
-/// harnesses); queries are executed and folded here.
-Status Execute(LabBase::Session* db, const Event& ev, uint64_t* checksum) {
+/// Executes one event against a workflow session (in-process or remote),
+/// folding query results into the checksum. Updates delegate to ApplyUpdate
+/// (shared with the other harnesses); queries are executed and folded here.
+Status Execute(labbase::SessionIface* db, const Event& ev,
+               uint64_t* checksum) {
   if (ev.IsUpdate()) return ApplyUpdate(db, ev);
   const labbase::Schema& schema = db->schema();
   switch (ev.type) {
@@ -110,35 +111,20 @@ Status Execute(LabBase::Session* db, const Event& ev, uint64_t* checksum) {
 
 }  // namespace
 
-Result<RunReport> Driver::Run(const WorkloadParams& params,
-                              const Options& options) {
-  ServerOptions server_opts;
-  server_opts.path = options.db_path;
-  server_opts.pool_pages = options.pool_pages;
-  server_opts.truncate = true;
-  server_opts.fault_delay_us = options.fault_delay_us;
-  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
-                           CreateServer(options.version, server_opts));
-
-  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
-                           LabBase::Open(mgr.get(), options.labbase));
-
-  // One session per event stream, checked out from a pool: the stream is
-  // this driver's single client, and the session carries its transaction
-  // state and counters for the whole run.
-  LabBase::SessionPool pool(db.get());
-  LabBase::SessionPool::Lease session = pool.Acquire();
-
+Result<RunReport> Driver::RunStream(const WorkloadParams& params,
+                                    const StreamOptions& options,
+                                    labbase::SessionIface* session) {
+  if (session == nullptr) return Status::InvalidArgument("null session");
   WorkloadGenerator generator(params);
 
   RunReport report;
-  report.version = std::string(ServerVersionName(options.version));
+  report.version = options.version_label;
   report.intvl = params.intvl;
 
   Stopwatch total;
   ResourceUsage usage_before = ResourceUsage::Now();
 
-  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(session.get()));
+  LABFLOW_RETURN_IF_ERROR(generator.graph().InstallSchema(session));
 
   Event ev;
   Stopwatch phase;
@@ -153,11 +139,10 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
       const uint64_t checksum_before = report.result_checksum;
       LABFLOW_RETURN_IF_ERROR(session->RunTransaction([&]() -> Status {
         report.result_checksum = checksum_before;
-        return Execute(session.get(), ev, &report.result_checksum);
+        return Execute(session, ev, &report.result_checksum);
       }));
     } else {
-      LABFLOW_RETURN_IF_ERROR(
-          Execute(session.get(), ev, &report.result_checksum));
+      LABFLOW_RETURN_IF_ERROR(Execute(session, ev, &report.result_checksum));
     }
     double dt = phase.ElapsedSeconds();
     if (ev.IsUpdate()) {
@@ -178,11 +163,6 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   report.user_cpu_sec = delta.user_cpu_sec;
   report.sys_cpu_sec = delta.sys_cpu_sec;
   report.os_majflt = delta.os_major_faults;
-
-  report.storage = mgr->stats();
-  report.majflt = report.storage.disk_reads;
-  report.db_size_bytes = report.storage.db_size_bytes;
-  report.wal_bytes = report.storage.wal_bytes;
   report.wrapper = session->stats();
 
   const WorkloadGenerator::Totals& totals = generator.totals();
@@ -191,8 +171,45 @@ Result<RunReport> Driver::Run(const WorkloadParams& params,
   report.queries = totals.queries;
   report.steps = totals.steps;
   report.materials = totals.materials;
+  return report;
+}
 
-  session.Release();
+Result<RunReport> Driver::Run(const WorkloadParams& params,
+                              const Options& options) {
+  ServerOptions server_opts;
+  server_opts.path = options.db_path;
+  server_opts.pool_pages = options.pool_pages;
+  server_opts.truncate = true;
+  server_opts.fault_delay_us = options.fault_delay_us;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::StorageManager> mgr,
+                           CreateServer(options.version, server_opts));
+
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<LabBase> db,
+                           LabBase::Open(mgr.get(), options.labbase));
+
+  RunReport report;
+  {
+    // One session per event stream, checked out from a pool: the stream is
+    // this driver's single client, and the session carries its transaction
+    // state and counters for the whole run. Scoped so the lease returns
+    // before the pool is destroyed (the pool enforces that ordering).
+    LabBase::SessionPool pool(db.get());
+    LabBase::SessionPool::Lease session = pool.Acquire();
+
+    StreamOptions stream;
+    stream.version_label = std::string(ServerVersionName(options.version));
+    stream.per_event_transactions = options.per_event_transactions;
+    stream.checkpoint_at_end = options.checkpoint_at_end;
+    stream.run_queries = options.run_queries;
+    LABFLOW_ASSIGN_OR_RETURN(report,
+                             RunStream(params, stream, session.get()));
+  }
+
+  report.storage = mgr->stats();
+  report.majflt = report.storage.disk_reads;
+  report.db_size_bytes = report.storage.db_size_bytes;
+  report.wal_bytes = report.storage.wal_bytes;
+
   db.reset();
   LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return report;

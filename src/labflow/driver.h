@@ -73,10 +73,31 @@ class Driver {
     bool run_queries = true;
   };
 
+  /// The subset of Options that makes sense without owning the database —
+  /// what RunStream needs to drive an already-open session, in-process or
+  /// remote.
+  struct StreamOptions {
+    std::string version_label;
+    bool per_event_transactions = true;
+    bool checkpoint_at_end = true;
+    bool run_queries = true;
+  };
+
   /// Runs the full benchmark: fresh database, schema install, event stream,
   /// final checkpoint; returns the measurements.
   static Result<RunReport> Run(const WorkloadParams& params,
                                const Options& options);
+
+  /// Runs the event stream against a caller-provided session — the same
+  /// stream, latency accounting and result checksum as Run, minus database
+  /// ownership. This is the seam the network layer plugs into: hand it a
+  /// net::RemoteSession and the identical workload runs against `labflowd`;
+  /// the checksums must match the in-process run bit-for-bit. Storage-level
+  /// counters (disk reads, db size) are left zero — they belong to whoever
+  /// owns the storage manager.
+  static Result<RunReport> RunStream(const WorkloadParams& params,
+                                     const StreamOptions& options,
+                                     labbase::SessionIface* session);
 };
 
 }  // namespace labflow::bench

@@ -100,10 +100,12 @@ void PrintRunDetails(std::ostream& os, const RunReport& r) {
      << "  update latency us: mean=" << FormatSeconds(r.update_latency.mean_us())
      << " p50=" << FormatSeconds(r.update_latency.PercentileUs(50))
      << " p99=" << FormatSeconds(r.update_latency.PercentileUs(99))
+     << " p999=" << FormatSeconds(r.update_latency.PercentileUs(99.9))
      << " max=" << FormatSeconds(r.update_latency.max_us()) << "\n"
      << "  query latency us:  mean=" << FormatSeconds(r.query_latency.mean_us())
      << " p50=" << FormatSeconds(r.query_latency.PercentileUs(50))
      << " p99=" << FormatSeconds(r.query_latency.PercentileUs(99))
+     << " p999=" << FormatSeconds(r.query_latency.PercentileUs(99.9))
      << " max=" << FormatSeconds(r.query_latency.max_us()) << "\n"
      << "  checksum: " << std::hex << r.result_checksum << std::dec << "\n";
 }

@@ -1,0 +1,501 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status_macros.h"
+
+namespace labflow::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Splits a response frame into (header, body-decoder) and lifts the wire
+/// status: non-OK responses become the operation's Status.
+Result<std::string> LiftResponse(std::string frame) {
+  Decoder d(frame);
+  LABFLOW_ASSIGN_OR_RETURN(ResponseHeader h, DecodeResponseHeader(&d));
+  LABFLOW_RETURN_IF_ERROR(h.status);
+  return std::string(frame.substr(frame.size() - d.remaining()));
+}
+
+}  // namespace
+
+// ---- Connection -------------------------------------------------------------
+
+Result<std::unique_ptr<Connection>> Connection::Dial(const std::string& host,
+                                                     uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Connection>(new Connection(fd));
+}
+
+Connection::~Connection() { ::close(fd_); }
+
+Result<uint64_t> Connection::Send(Op op, uint64_t session_id,
+                                  std::string_view body) {
+  uint64_t id;
+  {
+    MutexLock l(mu_);
+    if (!broken_.ok()) return broken_;
+    id = next_request_id_++;
+  }
+  Encoder e;
+  RequestHeader h;
+  h.request_id = id;
+  h.op = op;
+  h.session_id = session_id;
+  EncodeRequestHeader(&e, h);
+  std::string payload = e.Release();
+  payload.append(body.data(), body.size());
+  std::string wire;
+  AppendFrame(&wire, payload);
+
+  {
+    MutexLock l(write_mu_);
+    size_t off = 0;
+    while (off < wire.size()) {
+      ssize_t n =
+          ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status st = Errno("send");
+        MutexLock ml(mu_);
+        if (broken_.ok()) broken_ = st;
+        cv_.NotifyAll();
+        return broken_;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+  return id;
+}
+
+Status Connection::ReadUntil(uint64_t request_id) {
+  // Caller holds mu_ and has claimed the reader role.
+  while (true) {
+    // Drain already-buffered frames first.
+    while (true) {
+      std::string frame;
+      Result<bool> got = reader_.Next(&frame);
+      if (!got.ok()) return got.status();
+      if (!got.value()) break;
+      Decoder d(frame);
+      Result<ResponseHeader> h = DecodeResponseHeader(&d);
+      if (!h.ok()) return h.status();
+      uint64_t rid = h->request_id;
+      completed_.emplace(rid, std::move(frame));
+      if (rid != request_id) cv_.NotifyAll();
+      if (completed_.count(request_id) != 0) return Status::OK();
+    }
+    // Blocking socket read with the lock dropped.
+    char buf[64 * 1024];
+    mu_.Unlock();
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    mu_.Lock();
+    if (n > 0) {
+      reader_.Append(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::Unavailable("server closed connection");
+    return Errno("read");
+  }
+}
+
+Result<std::string> Connection::Await(uint64_t request_id) {
+  MutexLock l(mu_);
+  while (true) {
+    auto it = completed_.find(request_id);
+    if (it != completed_.end()) {
+      std::string frame = std::move(it->second);
+      completed_.erase(it);
+      return LiftResponse(std::move(frame));
+    }
+    if (!broken_.ok()) return broken_;
+    if (!reader_active_) {
+      reader_active_ = true;
+      Status st = ReadUntil(request_id);
+      reader_active_ = false;
+      if (!st.ok() && broken_.ok()) broken_ = st;
+      // Wake parked waiters: either their response was filed, or the
+      // connection just died and they must observe broken_.
+      cv_.NotifyAll();
+      continue;
+    }
+    cv_.Wait(mu_);
+  }
+}
+
+Result<std::string> Connection::Call(Op op, uint64_t session_id,
+                                     std::string_view body) {
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t id, Send(op, session_id, body));
+  return Await(id);
+}
+
+Status Connection::Ping() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kPing, 0, {}));
+  Decoder d(body);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("server protocol version " +
+                                   std::to_string(version));
+  }
+  return Status::OK();
+}
+
+Result<WireServerStats> Connection::ServerStats() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kServerStats, 0, {}));
+  Decoder d(body);
+  return DecodeServerStats(&d);
+}
+
+// ---- RemoteSession ----------------------------------------------------------
+
+Result<std::unique_ptr<RemoteSession>> RemoteSession::Open(Connection* conn) {
+  Encoder e;
+  e.PutU32(kProtocolVersion);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           conn->Call(Op::kSessionOpen, 0, e.buffer()));
+  Decoder d(body);
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t session_id, d.GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(std::string blob, d.GetString());
+  LABFLOW_ASSIGN_OR_RETURN(labbase::Schema schema,
+                           labbase::Schema::Decode(blob));
+  auto session =
+      std::unique_ptr<RemoteSession>(new RemoteSession(conn, session_id));
+  session->schema_ = std::move(schema);
+  return session;
+}
+
+RemoteSession::~RemoteSession() {
+  auto closed = conn_->Call(Op::kSessionClose, session_id_, {});
+  (void)closed;  // best-effort: the server reaps the lease on disconnect too
+}
+
+Status RemoteSession::Begin() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kBegin, {}));
+  (void)body;
+  in_txn_ = true;
+  return Status::OK();
+}
+
+Status RemoteSession::Commit() {
+  Result<std::string> body = Call(Op::kCommit, {});
+  // Commit ends the transaction whether it succeeded or was an abort
+  // verdict; only a transport failure leaves the state unknown (and then
+  // the connection is poisoned anyway).
+  in_txn_ = false;
+  if (!body.ok()) return body.status();
+  return Status::OK();
+}
+
+Status RemoteSession::Abort() {
+  Result<std::string> body = Call(Op::kAbort, {});
+  in_txn_ = false;
+  if (!body.ok()) return body.status();
+  return Status::OK();
+}
+
+Status RemoteSession::RunTransaction(const std::function<Status()>& body) {
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "RunTransaction inside an active transaction");
+  }
+  // Mirrors LabBase::Session::RunTransaction: retry deadlock aborts with
+  // decorrelated exponential backoff. The retry budget matches the
+  // in-process defaults; the jitter stream seeds from the session id.
+  constexpr int kMaxRetries = 10;
+  int64_t backoff_us = 100;
+  Rng rng(session_id_ * 0x9E3779B97F4A7C15ull + 1);
+  for (int attempt = 0;; ++attempt) {
+    LABFLOW_RETURN_IF_ERROR(Begin());
+    Status st = body();
+    if (st.ok()) {
+      st = Commit();
+      if (st.ok()) return st;
+    } else {
+      LABFLOW_IGNORE_STATUS(Abort(),
+                            "surfacing the body's error; rollback of an "
+                            "aborting transaction is best-effort");
+    }
+    if (!st.IsAborted() || attempt >= kMaxRetries) return st;
+    ++stats_.txn_retries;
+    int64_t sleep_us =
+        backoff_us / 2 +
+        static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(backoff_us / 2 + 1)));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    backoff_us = std::min<int64_t>(backoff_us * 2, 10000);
+  }
+}
+
+Result<uint32_t> RemoteSession::DdlCall(Op op, std::string_view body) {
+  LABFLOW_ASSIGN_OR_RETURN(std::string resp, Call(op, body));
+  Decoder d(resp);
+  LABFLOW_ASSIGN_OR_RETURN(uint32_t id, d.GetU32());
+  LABFLOW_ASSIGN_OR_RETURN(std::string blob, d.GetString());
+  LABFLOW_ASSIGN_OR_RETURN(schema_, labbase::Schema::Decode(blob));
+  return id;
+}
+
+Result<labbase::ClassId> RemoteSession::DefineMaterialClass(
+    std::string_view name) {
+  Encoder e;
+  e.PutString(name);
+  return DdlCall(Op::kDefineMaterialClass, e.buffer());
+}
+
+Result<labbase::ClassId> RemoteSession::DefineStepClass(
+    std::string_view name, const std::vector<std::string>& attr_names) {
+  Encoder e;
+  e.PutString(name);
+  e.PutU64(attr_names.size());
+  for (const std::string& attr : attr_names) e.PutString(attr);
+  return DdlCall(Op::kDefineStepClass, e.buffer());
+}
+
+Result<labbase::StateId> RemoteSession::DefineState(std::string_view name) {
+  Encoder e;
+  e.PutString(name);
+  return DdlCall(Op::kDefineState, e.buffer());
+}
+
+Result<Oid> RemoteSession::CreateMaterial(labbase::ClassId material_class,
+                                          std::string_view name,
+                                          labbase::StateId initial_state,
+                                          Timestamp created) {
+  Encoder e;
+  e.PutU32(material_class);
+  e.PutString(name);
+  e.PutU32(initial_state);
+  EncodeTimestamp(&e, created);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kCreateMaterial, e.buffer()));
+  ++stats_.materials_created;
+  Decoder d(body);
+  return DecodeOid(&d);
+}
+
+Result<Oid> RemoteSession::RecordStep(
+    labbase::ClassId step_class, Timestamp time,
+    const std::vector<labbase::StepEffect>& effects) {
+  Encoder e;
+  e.PutU32(step_class);
+  EncodeTimestamp(&e, time);
+  EncodeStepEffects(&e, effects);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kRecordStep, e.buffer()));
+  ++stats_.steps_recorded;
+  Decoder d(body);
+  return DecodeOid(&d);
+}
+
+Result<Value> RemoteSession::MostRecent(Oid material, labbase::AttrId attr) {
+  ++stats_.most_recent_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  e.PutU32(attr);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kMostRecent, e.buffer()));
+  Decoder d(body);
+  return d.GetValue();
+}
+
+Result<Value> RemoteSession::MostRecent(Oid material,
+                                        std::string_view attr_name) {
+  ++stats_.most_recent_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  e.PutString(attr_name);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kMostRecentByName, e.buffer()));
+  Decoder d(body);
+  return d.GetValue();
+}
+
+Result<std::vector<labbase::HistoryEntry>> RemoteSession::History(
+    Oid material, labbase::AttrId attr) {
+  ++stats_.history_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  e.PutU32(attr);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kHistory, e.buffer()));
+  Decoder d(body);
+  return DecodeHistoryEntries(&d);
+}
+
+Result<Value> RemoteSession::ValueAsOf(Oid material, labbase::AttrId attr,
+                                       Timestamp at) {
+  ++stats_.history_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  e.PutU32(attr);
+  EncodeTimestamp(&e, at);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kValueAsOf, e.buffer()));
+  Decoder d(body);
+  return d.GetValue();
+}
+
+Result<std::vector<labbase::HistoryEntry>> RemoteSession::HistoryBetween(
+    Oid material, labbase::AttrId attr, Timestamp from, Timestamp to) {
+  ++stats_.history_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  e.PutU32(attr);
+  EncodeTimestamp(&e, from);
+  EncodeTimestamp(&e, to);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kHistoryBetween, e.buffer()));
+  Decoder d(body);
+  return DecodeHistoryEntries(&d);
+}
+
+Result<labbase::MaterialInfo> RemoteSession::GetMaterial(Oid material) {
+  Encoder e;
+  EncodeOid(&e, material);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kGetMaterial, e.buffer()));
+  Decoder d(body);
+  return DecodeMaterialInfo(&d);
+}
+
+Result<labbase::StepInfo> RemoteSession::GetStep(Oid step) {
+  Encoder e;
+  EncodeOid(&e, step);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kGetStep, e.buffer()));
+  Decoder d(body);
+  return DecodeStepInfo(&d);
+}
+
+Result<Oid> RemoteSession::FindMaterialByName(std::string_view name) {
+  Encoder e;
+  e.PutString(name);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kFindMaterialByName, e.buffer()));
+  Decoder d(body);
+  return DecodeOid(&d);
+}
+
+Result<labbase::StateId> RemoteSession::CurrentState(Oid material) {
+  ++stats_.state_queries;
+  Encoder e;
+  EncodeOid(&e, material);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kCurrentState, e.buffer()));
+  Decoder d(body);
+  return d.GetU32();
+}
+
+Result<std::vector<Oid>> RemoteSession::MaterialsInState(
+    labbase::StateId state) {
+  ++stats_.state_queries;
+  Encoder e;
+  e.PutU32(state);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kMaterialsInState, e.buffer()));
+  Decoder d(body);
+  return DecodeOids(&d);
+}
+
+Result<int64_t> RemoteSession::CountInState(labbase::StateId state) {
+  ++stats_.state_queries;
+  Encoder e;
+  e.PutU32(state);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kCountInState, e.buffer()));
+  Decoder d(body);
+  return d.GetI64();
+}
+
+Result<std::vector<Oid>> RemoteSession::MaterialsOfClass(
+    labbase::ClassId material_class) {
+  ++stats_.state_queries;
+  Encoder e;
+  e.PutU32(material_class);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kMaterialsOfClass, e.buffer()));
+  Decoder d(body);
+  return DecodeOids(&d);
+}
+
+Result<Oid> RemoteSession::CreateSet(std::string_view name) {
+  ++stats_.set_operations;
+  Encoder e;
+  e.PutString(name);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kCreateSet, e.buffer()));
+  Decoder d(body);
+  return DecodeOid(&d);
+}
+
+Status RemoteSession::AddToSet(Oid set, Oid material) {
+  ++stats_.set_operations;
+  Encoder e;
+  EncodeOid(&e, set);
+  EncodeOid(&e, material);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kAddToSet, e.buffer()));
+  (void)body;
+  return Status::OK();
+}
+
+Status RemoteSession::RemoveFromSet(Oid set, Oid material) {
+  ++stats_.set_operations;
+  Encoder e;
+  EncodeOid(&e, set);
+  EncodeOid(&e, material);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kRemoveFromSet, e.buffer()));
+  (void)body;
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> RemoteSession::SetMembers(Oid set) {
+  ++stats_.set_operations;
+  Encoder e;
+  EncodeOid(&e, set);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kSetMembers, e.buffer()));
+  Decoder d(body);
+  return DecodeOids(&d);
+}
+
+Result<Oid> RemoteSession::FindSetByName(std::string_view name) {
+  ++stats_.set_operations;
+  Encoder e;
+  e.PutString(name);
+  LABFLOW_ASSIGN_OR_RETURN(std::string body,
+                           Call(Op::kFindSetByName, e.buffer()));
+  Decoder d(body);
+  return DecodeOid(&d);
+}
+
+Status RemoteSession::Checkpoint() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kCheckpoint, {}));
+  (void)body;
+  return Status::OK();
+}
+
+}  // namespace labflow::net

@@ -1,0 +1,136 @@
+/// labflowd — the LabFlow workflow database as a network server.
+///
+/// Binds a loopback TCP port, opens (or creates) a database with the chosen
+/// storage version, and serves the wire protocol (net/wire.h) until
+/// SIGINT/SIGTERM, then drains gracefully: in-flight requests finish, their
+/// responses flush, open transactions abort, and the store closes clean.
+///
+/// Usage:
+///   labflowd --db=/path/file.lfdb [--version=OStore] [--port=0]
+///            [--host=127.0.0.1] [--threads=4] [--pool_pages=2048]
+///            [--truncate=1] [--port_file=/path]
+///
+/// With --port=0 the kernel picks the port; it is printed on stdout as
+/// "labflowd listening on HOST:PORT" and, with --port_file, written bare to
+/// that file — which is how scripts/check.sh finds an ephemeral server.
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "labbase/labbase.h"
+#include "labflow/server_version.h"
+#include "net/server.h"
+
+namespace {
+
+/// SIGINT/SIGTERM handler writes one byte into this self-pipe; main blocks
+/// on the read end. Signal-safe by construction (write is async-safe).
+int g_shutdown_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char b = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &b, 1);
+}
+
+labflow::Result<labflow::bench::ServerVersion> VersionByName(
+    const std::string& name) {
+  for (labflow::bench::ServerVersion v : labflow::bench::kAllServerVersions) {
+    if (name == labflow::bench::ServerVersionName(v)) return v;
+  }
+  return labflow::Status::InvalidArgument("unknown version '" + name +
+                                          "' (try OStore, Texas, Texas+TC, "
+                                          "OStore-mm, Texas-mm)");
+}
+
+int Run(int argc, char** argv) {
+  using labflow::bench::FlagString;
+  using labflow::bench::FlagValue;
+
+  const std::string db_path = FlagString(argc, argv, "db");
+  const std::string version_name = FlagString(argc, argv, "version", "OStore");
+  const std::string host = FlagString(argc, argv, "host", "127.0.0.1");
+  const std::string port_file = FlagString(argc, argv, "port_file");
+
+  auto version = VersionByName(version_name);
+  if (!version.ok()) {
+    std::cerr << "labflowd: " << version.status().ToString() << "\n";
+    return 2;
+  }
+
+  labflow::bench::ServerOptions storage_opts;
+  storage_opts.path = db_path;
+  storage_opts.pool_pages =
+      static_cast<size_t>(FlagValue(argc, argv, "pool_pages", 2048));
+  storage_opts.truncate = FlagValue(argc, argv, "truncate", 1) != 0;
+  if (db_path.empty() && version_name.find("-mm") == std::string::npos) {
+    std::cerr << "labflowd: --db=PATH is required for disk versions\n";
+    return 2;
+  }
+
+  auto mgr = labflow::bench::CreateServer(version.value(), storage_opts);
+  if (!mgr.ok()) {
+    std::cerr << "labflowd: open storage: " << mgr.status().ToString() << "\n";
+    return 1;
+  }
+  auto db = labflow::labbase::LabBase::Open(mgr.value().get(), {});
+  if (!db.ok()) {
+    std::cerr << "labflowd: open labbase: " << db.status().ToString() << "\n";
+    return 1;
+  }
+
+  labflow::net::ServerConfig config;
+  config.host = host;
+  config.port = static_cast<uint16_t>(FlagValue(argc, argv, "port", 0));
+  config.worker_threads = static_cast<int>(FlagValue(argc, argv, "threads", 4));
+  labflow::net::Server server(db.value().get(), mgr.value().get(), config);
+  if (labflow::Status st = server.Start(); !st.ok()) {
+    std::cerr << "labflowd: start: " << st.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "labflowd listening on " << host << ":" << server.port()
+            << std::endl;
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << server.port() << "\n";
+    if (!out.good()) {
+      std::cerr << "labflowd: cannot write " << port_file << "\n";
+      return 1;
+    }
+  }
+
+  // Park until a signal arrives.
+  char b;
+  while (::read(g_shutdown_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "labflowd: draining" << std::endl;
+  server.Shutdown();
+
+  db.value().reset();
+  if (labflow::Status st = mgr.value()->Close(); !st.ok()) {
+    std::cerr << "labflowd: close: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "labflowd: stopped" << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (::pipe(g_shutdown_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  return Run(argc, argv);
+}

@@ -1,0 +1,944 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/status_macros.h"
+
+namespace labflow::net {
+
+using labbase::LabBase;
+
+namespace {
+
+/// Connection-scope requests execute under this pseudo-session key: they
+/// need no lease, but still flow through the per-key FIFO so one
+/// connection's control traffic stays ordered.
+constexpr uint64_t kControlSession = 0;
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// One live session behind the wire: its pool lease plus the FIFO of
+/// frames waiting to execute on it. For kControlSession `lease` is empty.
+struct Server::SessionState {
+  LabBase::SessionPool::Lease lease;
+  std::deque<std::string> pending;
+  /// True while a worker owns this session's FIFO (it drains one frame at
+  /// a time, re-enqueueing itself while pending is non-empty).
+  bool running = false;
+};
+
+struct Server::Connection {
+  explicit Connection(int fd_in, uint32_t max_frame)
+      : fd(fd_in), reader(max_frame) {}
+
+  const int fd;
+  /// Loop-thread only.
+  FrameReader reader;
+  bool reads_paused = false;
+  bool want_write = false;
+
+  Mutex mu;
+  std::string out LABFLOW_GUARDED_BY(mu);
+  bool dead LABFLOW_GUARDED_BY(mu) = false;
+  uint64_t next_session_id LABFLOW_GUARDED_BY(mu) = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<SessionState>> sessions
+      LABFLOW_GUARDED_BY(mu);
+};
+
+Server::Server(labbase::LabBase* db, storage::StorageManager* mgr,
+               ServerConfig config)
+    : db_(db), mgr_(mgr), config_(std::move(config)), pool_(db) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  started_ = true;
+  int workers = config_.worker_threads < 1 ? 1 : config_.worker_threads;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // Phase 1: stop accepting and reading. The loop observes `stopping_`,
+  // closes the listen socket and unsubscribes every connection from
+  // EPOLLIN — the request set is now frozen.
+  {
+    MutexLock l(queue_mu_);
+    stopping_ = true;
+  }
+  WakeLoop();
+
+  // Phase 2: drain. Every frame already received either executes and its
+  // response is appended, or is dropped with its connection.
+  {
+    MutexLock l(queue_mu_);
+    drain_cv_.Wait(queue_mu_, [this]() LABFLOW_REQUIRES(queue_mu_) {
+      return inflight_ == 0 && queue_.empty();
+    });
+    stop_workers_ = true;
+  }
+  queue_cv_.NotifyAll();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  // Phase 3: final flush and teardown. With workers gone no more bytes can
+  // appear; the loop pushes out what's buffered, then closes every
+  // connection — releasing session leases (open transactions abort) while
+  // the pool is still alive.
+  WakeLoop();
+  loop_thread_.join();
+
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  wake_fd_ = epoll_fd_ = -1;
+}
+
+void Server::WakeLoop() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::EnqueueWork(const std::shared_ptr<Connection>& conn,
+                         uint64_t session_key) {
+  {
+    MutexLock l(queue_mu_);
+    queue_.push_back(Work{conn, session_key});
+  }
+  queue_cv_.NotifyOne();
+}
+
+// ---- Event loop -------------------------------------------------------------
+
+void Server::LoopMain() {
+  bool listen_open = true;
+  std::vector<epoll_event> events(64);
+  while (true) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        if (listen_open) AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        if (!FlushConnection(conn)) continue;  // closed on write error
+      }
+      if (mask & EPOLLIN) ReadReady(conn);
+    }
+
+    // Worker-completed responses: flush each touched connection and
+    // re-evaluate its backpressure state.
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      MutexLock l(dirty_mu_);
+      dirty.swap(dirty_);
+    }
+    for (const std::shared_ptr<Connection>& conn : dirty) {
+      if (conns_.count(conn->fd) == 0) continue;
+      FlushConnection(conn);
+    }
+
+    bool stopping;
+    {
+      MutexLock l(queue_mu_);
+      stopping = stopping_;
+    }
+    if (stopping && listen_open) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listen_open = false;
+      for (auto& [fd, conn] : conns_) {
+        conn->reads_paused = true;
+        UpdateInterest(conn);
+      }
+    }
+    if (stopping) {
+      // Drop connections whose output is fully flushed; once the drain
+      // completes (workers joined) and every buffer is empty, exit.
+      bool workers_done;
+      {
+        MutexLock l(queue_mu_);
+        workers_done = stop_workers_;
+      }
+      if (workers_done) {
+        std::vector<std::shared_ptr<Connection>> all;
+        all.reserve(conns_.size());
+        for (auto& [fd, conn] : conns_) all.push_back(conn);
+        bool pending_output = false;
+        for (const std::shared_ptr<Connection>& conn : all) {
+          if (!FlushConnection(conn)) continue;
+          MutexLock l(conn->mu);
+          if (!conn->out.empty()) pending_output = true;
+        }
+        if (!pending_output) break;
+      }
+    }
+  }
+
+  // Teardown on the loop thread: every connection closes here, which
+  // destroys its SessionStates and returns their leases to pool_ — before
+  // ~Server destroys the pool.
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn);
+  for (const std::shared_ptr<Connection>& conn : remaining) {
+    CloseConnection(conn);
+  }
+  if (listen_open && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) return;  // EAGAIN or transient error; LT retries
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd, config_.max_frame_bytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void Server::UpdateInterest(const std::shared_ptr<Connection>& conn) {
+  epoll_event ev{};
+  ev.events = (conn->reads_paused ? 0u : EPOLLIN) |
+              (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Server::ReadReady(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  while (!conn->reads_paused) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->reader.Append(std::string_view(buf, static_cast<size_t>(n)));
+      std::string frame;
+      while (true) {
+        Result<bool> got = conn->reader.Next(&frame);
+        if (!got.ok()) {
+          // Desynchronized stream: no frame boundary to answer on. Close.
+          CloseConnection(conn);
+          return;
+        }
+        if (!got.value()) break;
+        RouteFrame(conn, std::move(frame));
+      }
+      // Backpressure: a pipelining client can queue enough responses to
+      // hit the high watermark without the socket ever blocking.
+      size_t buffered;
+      {
+        MutexLock l(conn->mu);
+        buffered = conn->out.size();
+      }
+      if (buffered > config_.write_high_watermark) {
+        conn->reads_paused = true;
+        UpdateInterest(conn);
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return;  // drained
+      continue;
+    }
+    if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      CloseConnection(conn);
+    }
+    return;
+  }
+}
+
+void Server::RouteFrame(const std::shared_ptr<Connection>& conn,
+                        std::string frame) {
+  Decoder d(frame);
+  Result<RequestHeader> header = DecodeRequestHeader(&d);
+  if (!header.ok()) {
+    // A frame whose header does not parse has no request id to answer on:
+    // the stream is garbage, not a request. Close.
+    CloseConnection(conn);
+    return;
+  }
+
+  uint64_t key;
+  switch (header->op) {
+    case Op::kPing:
+    case Op::kSessionOpen:
+    case Op::kServerStats:
+      key = kControlSession;
+      break;
+    default:
+      key = header->session_id;
+      break;
+  }
+
+  // Count the frame in-flight BEFORE publishing it to a session FIFO: a
+  // worker already draining that FIFO may execute and count it down
+  // immediately, and the counter must never dip negative.
+  {
+    MutexLock l(queue_mu_);
+    ++inflight_;
+  }
+  bool start_worker = false;
+  bool consumed = false;
+  bool direct_reply = false;
+  {
+    MutexLock l(conn->mu);
+    if (!conn->dead) {
+      auto it = conn->sessions.find(key);
+      if (key == kControlSession && it == conn->sessions.end()) {
+        it = conn->sessions.emplace(key, std::make_unique<SessionState>())
+                 .first;
+      }
+      if (it == conn->sessions.end()) {
+        // Unknown session: answer directly, no worker required.
+        Encoder e;
+        EncodeResponseHeader(
+            &e, header->request_id,
+            Status::NotFound("unknown session " +
+                             std::to_string(header->session_id)));
+        AppendFrame(&conn->out, e.buffer());
+        direct_reply = true;
+      } else {
+        it->second->pending.push_back(std::move(frame));
+        consumed = true;
+        if (!it->second->running) {
+          it->second->running = true;
+          start_worker = true;
+        }
+      }
+    }
+  }
+  if (!consumed) {
+    MutexLock l(queue_mu_);
+    --inflight_;
+    if (inflight_ == 0 && queue_.empty()) drain_cv_.NotifyAll();
+  }
+  if (direct_reply) {
+    // RouteFrame runs on the loop thread; the dirty list is drained at the
+    // end of this same loop iteration, which flushes the reply.
+    MutexLock l(dirty_mu_);
+    dirty_.push_back(conn);
+  }
+  if (start_worker) EnqueueWork(conn, key);
+}
+
+bool Server::FlushConnection(const std::shared_ptr<Connection>& conn) {
+  size_t sent_total = 0;
+  while (true) {
+    std::string chunk;
+    {
+      MutexLock l(conn->mu);
+      if (conn->dead) return false;
+      if (conn->out.empty()) break;
+      // Swap out up to 256 KiB per round so the lock is never held across
+      // send().
+      size_t take = conn->out.size() < (256u << 10) ? conn->out.size()
+                                                    : (256u << 10);
+      chunk = conn->out.substr(0, take);
+    }
+    ssize_t n = ::send(conn->fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      MutexLock l(conn->mu);
+      conn->out.erase(0, static_cast<size_t>(n));
+      sent_total += static_cast<size_t>(n);
+      if (static_cast<size_t>(n) < chunk.size()) {
+        conn->want_write = true;
+        UpdateInterest(conn);
+        return true;
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      conn->want_write = true;
+      UpdateInterest(conn);
+      return true;
+    }
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return false;
+  }
+  // Fully flushed: disarm EPOLLOUT, resume reads below the low watermark.
+  bool changed = false;
+  if (conn->want_write) {
+    conn->want_write = false;
+    changed = true;
+  }
+  bool stopping;
+  {
+    MutexLock l(queue_mu_);
+    stopping = stopping_;
+  }
+  if (conn->reads_paused && !stopping) {
+    size_t buffered;
+    {
+      MutexLock l(conn->mu);
+      buffered = conn->out.size();
+    }
+    if (buffered < config_.write_low_watermark) {
+      conn->reads_paused = false;
+      changed = true;
+    }
+  }
+  if (changed) UpdateInterest(conn);
+  (void)sent_total;
+  return true;
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  size_t dropped = 0;
+  {
+    MutexLock l(conn->mu);
+    if (conn->dead) return;
+    conn->dead = true;
+    // Pending frames of idle sessions die here; a running session's FIFO
+    // is drained (and counted down) by its worker when it observes `dead`.
+    for (auto& [key, state] : conn->sessions) {
+      if (!state->running) {
+        dropped += state->pending.size();
+        state->pending.clear();
+      }
+    }
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  if (dropped > 0) {
+    MutexLock l(queue_mu_);
+    inflight_ -= dropped;
+    if (inflight_ == 0 && queue_.empty()) drain_cv_.NotifyAll();
+  }
+  // Leases return to the pool when the last shared_ptr drops (usually
+  // right here, on the loop thread).
+}
+
+// ---- Workers ----------------------------------------------------------------
+
+void Server::WorkerMain() {
+  while (true) {
+    Work work;
+    {
+      MutexLock l(queue_mu_);
+      queue_cv_.Wait(queue_mu_, [this]() LABFLOW_REQUIRES(queue_mu_) {
+        return stop_workers_ || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stop_workers_ and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    // Drain this session's FIFO one frame at a time. Between frames the
+    // lock is dropped, so responses interleave fairly across sessions.
+    while (true) {
+      std::string frame;
+      bool dead;
+      {
+        MutexLock l(work.conn->mu);
+        dead = work.conn->dead;
+        auto it = work.conn->sessions.find(work.session_key);
+        if (it == work.conn->sessions.end() || it->second->pending.empty()) {
+          if (it != work.conn->sessions.end()) it->second->running = false;
+          frame.clear();
+        } else if (dead) {
+          // Count down the frames we are about to drop.
+          size_t dropped = it->second->pending.size();
+          it->second->pending.clear();
+          it->second->running = false;
+          MutexLock ql(queue_mu_);
+          inflight_ -= dropped;
+          if (inflight_ == 0 && queue_.empty()) drain_cv_.NotifyAll();
+          frame.clear();
+        } else {
+          frame = std::move(it->second->pending.front());
+          it->second->pending.pop_front();
+        }
+      }
+      if (frame.empty()) break;
+
+      std::string response = HandleFrame(work.conn, work.session_key, frame);
+
+      {
+        MutexLock l(work.conn->mu);
+        if (!work.conn->dead) AppendFrame(&work.conn->out, response);
+      }
+      {
+        MutexLock l(dirty_mu_);
+        dirty_.push_back(work.conn);
+      }
+      WakeLoop();
+      {
+        MutexLock l(queue_mu_);
+        --inflight_;
+        if (inflight_ == 0 && queue_.empty()) drain_cv_.NotifyAll();
+      }
+    }
+  }
+}
+
+// ---- Request dispatch -------------------------------------------------------
+
+namespace {
+
+/// Encodes `st` (and on OK, the body built by `body`) into a response.
+template <typename BodyFn>
+std::string Respond(uint64_t request_id, const Status& st, BodyFn body) {
+  Encoder e;
+  EncodeResponseHeader(&e, request_id, st);
+  if (st.ok()) body(&e);
+  return e.Release();
+}
+
+std::string RespondStatus(uint64_t request_id, const Status& st) {
+  return Respond(request_id, st, [](Encoder*) {});
+}
+
+}  // namespace
+
+std::string Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                                uint64_t session_key,
+                                const std::string& frame) {
+  Decoder d(frame);
+  Result<RequestHeader> hr = DecodeRequestHeader(&d);
+  if (!hr.ok()) return RespondStatus(0, hr.status());
+  const RequestHeader& h = hr.value();
+  const uint64_t id = h.request_id;
+
+  // Connection-scope ops need no lease.
+  switch (h.op) {
+    case Op::kPing:
+      return Respond(id, Status::OK(),
+                     [](Encoder* e) { e->PutU32(kProtocolVersion); });
+    case Op::kServerStats: {
+      WireServerStats s;
+      if (mgr_ != nullptr) {
+        storage::StorageStats st = mgr_->stats();
+        s.disk_reads = st.disk_reads;
+        s.disk_writes = st.disk_writes;
+        s.cache_hits = st.cache_hits;
+        s.txn_commits = st.txn_commits;
+        s.db_size_bytes = st.db_size_bytes;
+        s.wal_bytes = st.wal_bytes;
+      }
+      return Respond(id, Status::OK(),
+                     [&s](Encoder* e) { EncodeServerStats(e, s); });
+    }
+    case Op::kSessionOpen: {
+      Result<uint32_t> ver = d.GetU32();
+      if (!ver.ok()) return RespondStatus(id, ver.status());
+      if (ver.value() != kProtocolVersion) {
+        return RespondStatus(
+            id, Status::InvalidArgument(
+                    "protocol version mismatch: client " +
+                    std::to_string(ver.value()) + ", server " +
+                    std::to_string(kProtocolVersion)));
+      }
+      LabBase::SessionPool::Lease lease = pool_.Acquire();
+      if (!lease.valid()) {
+        return RespondStatus(id, Status::Unavailable("session pool closed"));
+      }
+      std::string schema_blob = lease->schema().Encode();
+      uint64_t session_id;
+      {
+        MutexLock l(conn->mu);
+        if (conn->dead) {
+          // Lease dtor returns it to the pool.
+          return RespondStatus(id, Status::Unavailable("connection closed"));
+        }
+        session_id = conn->next_session_id++;
+        auto state = std::make_unique<SessionState>();
+        state->lease = std::move(lease);
+        conn->sessions.emplace(session_id, std::move(state));
+      }
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        e->PutU64(session_id);
+        e->PutString(schema_blob);
+      });
+    }
+    default:
+      break;
+  }
+
+  // Session-scope ops: resolve the lease. The running flag guarantees this
+  // worker is the only thread touching the session, so the pointer stays
+  // valid outside the map lock.
+  labbase::SessionIface* session = nullptr;
+  {
+    MutexLock l(conn->mu);
+    auto it = conn->sessions.find(session_key);
+    if (it != conn->sessions.end() && it->second->lease.valid()) {
+      session = it->second->lease.get();
+    }
+  }
+  if (session == nullptr) {
+    return RespondStatus(
+        id, Status::NotFound("unknown session " + std::to_string(h.session_id)));
+  }
+
+  switch (h.op) {
+    case Op::kSessionClose: {
+      // Abort an open transaction explicitly (releasing mid-txn would
+      // discard the pooled session; an explicit abort lets it be reused).
+      if (session->in_transaction()) {
+        LABFLOW_IGNORE_STATUS(session->Abort(),
+                              "closing session; abort failure changes nothing");
+      }
+      {
+        MutexLock l(conn->mu);
+        auto it = conn->sessions.find(session_key);
+        if (it != conn->sessions.end()) {
+          // Frames pipelined behind a close are dropped; their responses
+          // would name a session that no longer exists.
+          size_t dropped = it->second->pending.size();
+          conn->sessions.erase(it);
+          if (dropped > 0) {
+            MutexLock ql(queue_mu_);
+            inflight_ -= dropped;
+            if (inflight_ == 0 && queue_.empty()) drain_cv_.NotifyAll();
+          }
+        }
+      }
+      return RespondStatus(id, Status::OK());
+    }
+    case Op::kBegin:
+      return RespondStatus(id, session->Begin());
+    case Op::kCommit:
+      return RespondStatus(id, session->Commit());
+    case Op::kAbort:
+      return RespondStatus(id, session->Abort());
+    case Op::kCheckpoint:
+      return RespondStatus(id, session->Checkpoint());
+
+    case Op::kDefineMaterialClass: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<labbase::ClassId> cid = session->DefineMaterialClass(name.value());
+      if (!cid.ok()) return RespondStatus(id, cid.status());
+      std::string blob = session->schema().Encode();
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        e->PutU32(cid.value());
+        e->PutString(blob);
+      });
+    }
+    case Op::kDefineStepClass: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<uint64_t> n = d.GetU64();
+      if (!n.ok()) return RespondStatus(id, n.status());
+      if (n.value() > d.remaining()) {
+        return RespondStatus(id, Status::Corruption("attr count too large"));
+      }
+      std::vector<std::string> attrs;
+      attrs.reserve(n.value());
+      for (uint64_t i = 0; i < n.value(); ++i) {
+        Result<std::string> attr = d.GetString();
+        if (!attr.ok()) return RespondStatus(id, attr.status());
+        attrs.push_back(std::move(attr.value()));
+      }
+      Result<labbase::ClassId> cid =
+          session->DefineStepClass(name.value(), attrs);
+      if (!cid.ok()) return RespondStatus(id, cid.status());
+      std::string blob = session->schema().Encode();
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        e->PutU32(cid.value());
+        e->PutString(blob);
+      });
+    }
+    case Op::kDefineState: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<labbase::StateId> sid = session->DefineState(name.value());
+      if (!sid.ok()) return RespondStatus(id, sid.status());
+      std::string blob = session->schema().Encode();
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        e->PutU32(sid.value());
+        e->PutString(blob);
+      });
+    }
+    case Op::kGetSchema: {
+      std::string blob = session->schema().Encode();
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutString(blob); });
+    }
+
+    case Op::kCreateMaterial: {
+      Result<uint32_t> cls = d.GetU32();
+      if (!cls.ok()) return RespondStatus(id, cls.status());
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<uint32_t> state = d.GetU32();
+      if (!state.ok()) return RespondStatus(id, state.status());
+      Result<Timestamp> created = DecodeTimestamp(&d);
+      if (!created.ok()) return RespondStatus(id, created.status());
+      Result<Oid> oid = session->CreateMaterial(cls.value(), name.value(),
+                                                state.value(), created.value());
+      if (!oid.ok()) return RespondStatus(id, oid.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOid(e, oid.value()); });
+    }
+    case Op::kRecordStep: {
+      Result<uint32_t> cls = d.GetU32();
+      if (!cls.ok()) return RespondStatus(id, cls.status());
+      Result<Timestamp> time = DecodeTimestamp(&d);
+      if (!time.ok()) return RespondStatus(id, time.status());
+      Result<std::vector<labbase::StepEffect>> effects = DecodeStepEffects(&d);
+      if (!effects.ok()) return RespondStatus(id, effects.status());
+      Result<Oid> oid =
+          session->RecordStep(cls.value(), time.value(), effects.value());
+      if (!oid.ok()) return RespondStatus(id, oid.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOid(e, oid.value()); });
+    }
+
+    case Op::kMostRecent: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<uint32_t> attr = d.GetU32();
+      if (!attr.ok()) return RespondStatus(id, attr.status());
+      Result<Value> v = session->MostRecent(m.value(), attr.value());
+      if (!v.ok()) return RespondStatus(id, v.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutValue(v.value()); });
+    }
+    case Op::kMostRecentByName: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<std::string> attr = d.GetString();
+      if (!attr.ok()) return RespondStatus(id, attr.status());
+      Result<Value> v = session->MostRecent(m.value(), attr.value());
+      if (!v.ok()) return RespondStatus(id, v.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutValue(v.value()); });
+    }
+    case Op::kValueAsOf: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<uint32_t> attr = d.GetU32();
+      if (!attr.ok()) return RespondStatus(id, attr.status());
+      Result<Timestamp> at = DecodeTimestamp(&d);
+      if (!at.ok()) return RespondStatus(id, at.status());
+      Result<Value> v = session->ValueAsOf(m.value(), attr.value(), at.value());
+      if (!v.ok()) return RespondStatus(id, v.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutValue(v.value()); });
+    }
+    case Op::kHistory: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<uint32_t> attr = d.GetU32();
+      if (!attr.ok()) return RespondStatus(id, attr.status());
+      Result<std::vector<labbase::HistoryEntry>> hist =
+          session->History(m.value(), attr.value());
+      if (!hist.ok()) return RespondStatus(id, hist.status());
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        EncodeHistoryEntries(e, hist.value());
+      });
+    }
+    case Op::kHistoryBetween: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<uint32_t> attr = d.GetU32();
+      if (!attr.ok()) return RespondStatus(id, attr.status());
+      Result<Timestamp> from = DecodeTimestamp(&d);
+      if (!from.ok()) return RespondStatus(id, from.status());
+      Result<Timestamp> to = DecodeTimestamp(&d);
+      if (!to.ok()) return RespondStatus(id, to.status());
+      Result<std::vector<labbase::HistoryEntry>> hist = session->HistoryBetween(
+          m.value(), attr.value(), from.value(), to.value());
+      if (!hist.ok()) return RespondStatus(id, hist.status());
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        EncodeHistoryEntries(e, hist.value());
+      });
+    }
+    case Op::kGetMaterial: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<labbase::MaterialInfo> info = session->GetMaterial(m.value());
+      if (!info.ok()) return RespondStatus(id, info.status());
+      return Respond(id, Status::OK(), [&](Encoder* e) {
+        EncodeMaterialInfo(e, info.value());
+      });
+    }
+    case Op::kGetStep: {
+      Result<Oid> s = DecodeOid(&d);
+      if (!s.ok()) return RespondStatus(id, s.status());
+      Result<labbase::StepInfo> info = session->GetStep(s.value());
+      if (!info.ok()) return RespondStatus(id, info.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeStepInfo(e, info.value()); });
+    }
+    case Op::kFindMaterialByName: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<Oid> oid = session->FindMaterialByName(name.value());
+      if (!oid.ok()) return RespondStatus(id, oid.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOid(e, oid.value()); });
+    }
+    case Op::kCurrentState: {
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      Result<labbase::StateId> state = session->CurrentState(m.value());
+      if (!state.ok()) return RespondStatus(id, state.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutU32(state.value()); });
+    }
+    case Op::kMaterialsInState: {
+      Result<uint32_t> state = d.GetU32();
+      if (!state.ok()) return RespondStatus(id, state.status());
+      Result<std::vector<Oid>> oids = session->MaterialsInState(state.value());
+      if (!oids.ok()) return RespondStatus(id, oids.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOids(e, oids.value()); });
+    }
+    case Op::kCountInState: {
+      Result<uint32_t> state = d.GetU32();
+      if (!state.ok()) return RespondStatus(id, state.status());
+      Result<int64_t> n = session->CountInState(state.value());
+      if (!n.ok()) return RespondStatus(id, n.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { e->PutI64(n.value()); });
+    }
+    case Op::kMaterialsOfClass: {
+      Result<uint32_t> cls = d.GetU32();
+      if (!cls.ok()) return RespondStatus(id, cls.status());
+      Result<std::vector<Oid>> oids = session->MaterialsOfClass(cls.value());
+      if (!oids.ok()) return RespondStatus(id, oids.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOids(e, oids.value()); });
+    }
+
+    case Op::kCreateSet: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<Oid> oid = session->CreateSet(name.value());
+      if (!oid.ok()) return RespondStatus(id, oid.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOid(e, oid.value()); });
+    }
+    case Op::kAddToSet: {
+      Result<Oid> set = DecodeOid(&d);
+      if (!set.ok()) return RespondStatus(id, set.status());
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      return RespondStatus(id, session->AddToSet(set.value(), m.value()));
+    }
+    case Op::kRemoveFromSet: {
+      Result<Oid> set = DecodeOid(&d);
+      if (!set.ok()) return RespondStatus(id, set.status());
+      Result<Oid> m = DecodeOid(&d);
+      if (!m.ok()) return RespondStatus(id, m.status());
+      return RespondStatus(id, session->RemoveFromSet(set.value(), m.value()));
+    }
+    case Op::kSetMembers: {
+      Result<Oid> set = DecodeOid(&d);
+      if (!set.ok()) return RespondStatus(id, set.status());
+      Result<std::vector<Oid>> members = session->SetMembers(set.value());
+      if (!members.ok()) return RespondStatus(id, members.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOids(e, members.value()); });
+    }
+    case Op::kFindSetByName: {
+      Result<std::string> name = d.GetString();
+      if (!name.ok()) return RespondStatus(id, name.status());
+      Result<Oid> oid = session->FindSetByName(name.value());
+      if (!oid.ok()) return RespondStatus(id, oid.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOid(e, oid.value()); });
+    }
+
+    default:
+      return RespondStatus(
+          id, Status::InvalidArgument("op " + std::string(OpName(h.op)) +
+                                      " not valid here"));
+  }
+}
+
+}  // namespace labflow::net

@@ -1,0 +1,189 @@
+#ifndef LABFLOW_NET_WIRE_H_
+#define LABFLOW_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "labbase/session_iface.h"
+
+namespace labflow::net {
+
+/// The labflowd wire protocol.
+///
+/// Everything on the socket is a *frame*: a varint length prefix followed
+/// by that many payload bytes. Payloads reuse the storage codec
+/// (common/codec.h): LEB128 varints, length-prefixed strings, tagged
+/// Values — one codec on both sides of every durability and network
+/// boundary.
+///
+///   frame    := len:varint payload[len]
+///   request  := request_id:varint op:u8 session_id:varint body
+///   response := request_id:varint code:u8 message:string body
+///
+/// `request_id` is chosen by the client and echoed verbatim in the
+/// response; it is what lets requests *pipeline*: a client may have any
+/// number of requests in flight per connection and match completions by
+/// id, in whatever order they arrive. The server preserves order only
+/// within a session (a session is single-threaded by contract); requests
+/// for different sessions multiplexed on one connection complete in any
+/// order.
+///
+/// `code` is the StatusCode of the operation (0 = OK). `message` is the
+/// status message (empty on success). `body` is the op-specific result
+/// payload, present only when code == 0.
+///
+/// All decode paths treat the bytes as untrusted: truncated or oversized
+/// input returns Corruption, never reads past the buffer, and never
+/// allocates more than the received byte count. See docs/SERVER.md for the
+/// full frame catalogue.
+
+/// Protocol version, exchanged in kSessionOpen. Bump on any incompatible
+/// frame-layout change.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload (16 MiB). A length prefix above
+/// this is Corruption: it is either a desynchronized stream or an
+/// adversarial allocation probe, and both end the connection.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 24;
+
+/// Request opcodes. Wire values are stable; append only.
+enum class Op : uint8_t {
+  kPing = 1,
+  kSessionOpen = 2,
+  kSessionClose = 3,
+  kBegin = 4,
+  kCommit = 5,
+  kAbort = 6,
+  kDefineMaterialClass = 7,
+  kDefineStepClass = 8,
+  kDefineState = 9,
+  kGetSchema = 10,
+  kCreateMaterial = 11,
+  kRecordStep = 12,
+  kMostRecent = 13,
+  kMostRecentByName = 14,
+  kValueAsOf = 15,
+  kHistory = 16,
+  kHistoryBetween = 17,
+  kGetMaterial = 18,
+  kGetStep = 19,
+  kFindMaterialByName = 20,
+  kCurrentState = 21,
+  kMaterialsInState = 22,
+  kCountInState = 23,
+  kMaterialsOfClass = 24,
+  kCreateSet = 25,
+  kAddToSet = 26,
+  kRemoveFromSet = 27,
+  kSetMembers = 28,
+  kFindSetByName = 29,
+  kCheckpoint = 30,
+  kServerStats = 31,
+};
+inline constexpr uint8_t kMinOp = static_cast<uint8_t>(Op::kPing);
+inline constexpr uint8_t kMaxOp = static_cast<uint8_t>(Op::kServerStats);
+
+/// Stable human-readable opcode name, for logs and errors.
+std::string_view OpName(Op op);
+
+/// Appends `payload` to `wire` as one frame (varint length + bytes).
+void AppendFrame(std::string* wire, std::string_view payload);
+
+/// Incremental frame reassembly over an untrusted byte stream. Feed
+/// whatever the socket produced — single bytes, half frames, several
+/// frames at once — and take complete frames out. Used by both the server
+/// (per connection) and the client (response stream).
+class FrameReader {
+ public:
+  explicit FrameReader(uint32_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_(max_frame_bytes) {}
+
+  /// Buffers more stream bytes.
+  void Append(std::string_view bytes);
+
+  /// If a complete frame is buffered, moves its payload into *frame and
+  /// returns true. Returns false when more bytes are needed. Returns
+  /// Corruption — permanently; the stream is desynchronized — on a
+  /// malformed or oversized length prefix.
+  Result<bool> Next(std::string* frame);
+
+  /// Bytes buffered and not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  const uint32_t max_frame_;
+  bool poisoned_ = false;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+// ---- Headers ----------------------------------------------------------------
+
+struct RequestHeader {
+  uint64_t request_id = 0;
+  Op op = Op::kPing;
+  uint64_t session_id = 0;
+};
+
+void EncodeRequestHeader(Encoder* e, const RequestHeader& h);
+Result<RequestHeader> DecodeRequestHeader(Decoder* d);
+
+struct ResponseHeader {
+  uint64_t request_id = 0;
+  Status status;
+};
+
+void EncodeResponseHeader(Encoder* e, uint64_t request_id, const Status& st);
+Result<ResponseHeader> DecodeResponseHeader(Decoder* d);
+
+// ---- Body payloads ----------------------------------------------------------
+//
+// Symmetric encode/decode helpers for every composite the protocol
+// carries. Client and server share these, so a roundtrip test of each
+// helper covers both directions of the wire.
+
+void EncodeOid(Encoder* e, Oid oid);
+Result<Oid> DecodeOid(Decoder* d);
+
+void EncodeTimestamp(Encoder* e, Timestamp t);
+Result<Timestamp> DecodeTimestamp(Decoder* d);
+
+void EncodeOids(Encoder* e, const std::vector<Oid>& oids);
+Result<std::vector<Oid>> DecodeOids(Decoder* d);
+
+void EncodeHistoryEntries(Encoder* e,
+                          const std::vector<labbase::HistoryEntry>& entries);
+Result<std::vector<labbase::HistoryEntry>> DecodeHistoryEntries(Decoder* d);
+
+void EncodeMaterialInfo(Encoder* e, const labbase::MaterialInfo& info);
+Result<labbase::MaterialInfo> DecodeMaterialInfo(Decoder* d);
+
+void EncodeStepInfo(Encoder* e, const labbase::StepInfo& info);
+Result<labbase::StepInfo> DecodeStepInfo(Decoder* d);
+
+void EncodeStepEffects(Encoder* e,
+                       const std::vector<labbase::StepEffect>& effects);
+Result<std::vector<labbase::StepEffect>> DecodeStepEffects(Decoder* d);
+
+/// Server-side storage counters exposed to remote clients (kServerStats),
+/// so a remote bench can report I/O alongside latency.
+struct WireServerStats {
+  uint64_t disk_reads = 0;
+  uint64_t disk_writes = 0;
+  uint64_t cache_hits = 0;
+  uint64_t txn_commits = 0;
+  uint64_t db_size_bytes = 0;
+  uint64_t wal_bytes = 0;
+};
+
+void EncodeServerStats(Encoder* e, const WireServerStats& s);
+Result<WireServerStats> DecodeServerStats(Decoder* d);
+
+}  // namespace labflow::net
+
+#endif  // LABFLOW_NET_WIRE_H_

@@ -145,7 +145,7 @@ WorkflowGraph::Analysis WorkflowGraph::Analyze() const {
   return out;
 }
 
-Status WorkflowGraph::InstallSchema(labbase::LabBase::Session* db) const {
+Status WorkflowGraph::InstallSchema(labbase::SessionIface* db) const {
   for (const std::string& cls : material_classes) {
     Status st = db->DefineMaterialClass(cls).status();
     if (!st.ok() && !st.IsAlreadyExists()) return st;

@@ -102,7 +102,7 @@ struct WorkflowGraph {
       std::string_view state, std::string_view material_class = "") const;
 
   /// Declares every class, state and step class of this graph in LabBase.
-  Status InstallSchema(labbase::LabBase::Session* db) const;
+  Status InstallSchema(labbase::SessionIface* db) const;
 
   /// Static analysis over the graph (process re-engineering support: when
   /// the lab rewires its workflow, these catch dangling pieces).

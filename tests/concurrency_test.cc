@@ -365,5 +365,114 @@ TEST(LabBaseSessionConcurrencyTest, SessionsCommitDisjointMaterials) {
   ASSERT_TRUE(mgr->Close().ok());
 }
 
+// ---- SessionPool lifecycle --------------------------------------------------
+//
+// The pool's lifetime contract (labbase.h): every Lease is released before
+// the pool is destroyed, and the destructor aborts the process otherwise.
+// These tests pin the bookkeeping that labflowd's connection teardown
+// depends on.
+
+TEST(SessionPoolLifecycleTest, OutstandingTracksLeases) {
+  auto mgr = MakeManager(ManagerKind::kMm, "");
+  auto db = std::move(labbase::LabBase::Open(mgr.get(), {}).value());
+  labbase::LabBase::SessionPool pool(db.get());
+  EXPECT_EQ(pool.outstanding(), 0u);
+  {
+    auto a = pool.Acquire();
+    auto b = pool.Acquire();
+    EXPECT_EQ(pool.outstanding(), 2u);
+    a.Release();
+    EXPECT_EQ(pool.outstanding(), 1u);
+    // Release is idempotent.
+    a.Release();
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // A discarded (mid-transaction) return still counts the lease back in.
+  {
+    auto c = pool.Acquire();
+    ASSERT_TRUE(c->Begin().ok());
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_GE(pool.stats().discarded, 1u);
+}
+
+TEST(SessionPoolLifecycleTest, ConcurrentChurnLeavesNoLeaseBehind) {
+  // Many threads checking sessions in and out at once: the outstanding
+  // count must end at zero and the pool must stay destroyable — this is
+  // exactly the shutdown path of a busy labflowd.
+  auto mgr = MakeManager(ManagerKind::kMm, "");
+  auto db = std::move(labbase::LabBase::Open(mgr.get(), {}).value());
+
+  labbase::ClassId clone;
+  labbase::StateId active;
+  {
+    auto admin = db->OpenSession();
+    clone = admin->DefineMaterialClass("clone").value();
+    active = admin->DefineState("active").value();
+  }
+
+  constexpr int kChurnThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  {
+    labbase::LabBase::SessionPool pool(db.get());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kChurnThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kIters; ++i) {
+          auto lease = pool.Acquire();
+          if (!lease.valid()) {
+            ++failures;
+            continue;
+          }
+          if (i % 3 == 0) {
+            // Exercise the mid-transaction discard path.
+            if (!lease->Begin().ok()) ++failures;
+            continue;  // lease destructor returns it mid-txn
+          }
+          Status st = lease->RunTransaction([&]() -> Status {
+            LABFLOW_ASSIGN_OR_RETURN(
+                Oid m, lease->CreateMaterial(
+                           clone,
+                           "churn-" + std::to_string(t) + "-" +
+                               std::to_string(i),
+                           active, Timestamp(i)));
+            (void)m;
+            return Status::OK();
+          });
+          if (!st.ok()) ++failures;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    EXPECT_EQ(pool.stats().acquired,
+              static_cast<uint64_t>(kChurnThreads) * kIters);
+    // Pool destruction here must not abort: all leases are back.
+  }
+  db.reset();
+  ASSERT_TRUE(mgr->Close().ok());
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+TEST(SessionPoolDeathTest, DestroyingPoolWithLiveLeaseAborts) {
+  // Violating the lifetime contract must die loudly in every build mode,
+  // not corrupt the heap later.
+  auto mgr = MakeManager(ManagerKind::kMm, "");
+  auto db = std::move(labbase::LabBase::Open(mgr.get(), {}).value());
+  EXPECT_DEATH(
+      {
+        auto pool =
+            std::make_unique<labbase::LabBase::SessionPool>(db.get());
+        auto lease = pool->Acquire();
+        pool.reset();  // outstanding lease -> abort
+      },
+      "outstanding lease");
+}
+#endif
+
 }  // namespace
 }  // namespace labflow

@@ -1,0 +1,499 @@
+/// Wire-protocol and client/server tests: codec roundtrips, frame
+/// reassembly at every split offset, adversarial length prefixes, a live
+/// loopback server (pipelining, out-of-order completion, backpressure),
+/// and kill-the-server-mid-commit client recovery on a durable store.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "labbase/labbase.h"
+#include "labflow/driver.h"
+#include "labflow/server_version.h"
+#include "mm/mm_manager.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "tests/test_util.h"
+
+namespace labflow::net {
+namespace {
+
+using labbase::LabBase;
+using test::TempDir;
+
+// ---- Wire codec -------------------------------------------------------------
+
+TEST(WireTest, PayloadHelpersRoundtrip) {
+  Encoder e;
+  EncodeOid(&e, Oid(42));
+  EncodeTimestamp(&e, Timestamp(-123456789));
+  EncodeOids(&e, {Oid(1), Oid(2), Oid(1ull << 40)});
+
+  std::vector<labbase::HistoryEntry> hist;
+  hist.push_back({Timestamp(10), Value::Int(7), Oid(100)});
+  hist.push_back({Timestamp(20), Value::String("ACGT"), Oid(101)});
+  EncodeHistoryEntries(&e, hist);
+
+  labbase::MaterialInfo mat;
+  mat.id = Oid(7);
+  mat.class_id = 3;
+  mat.name = "clone-7";
+  mat.state = 2;
+  mat.created = Timestamp(777);
+  mat.attrs_present = {1, 4, 9};
+  EncodeMaterialInfo(&e, mat);
+
+  std::vector<labbase::StepEffect> effects;
+  labbase::StepEffect eff;
+  eff.material = Oid(7);
+  eff.new_state = 5;
+  eff.tags.push_back({2, Value::Real(1.5)});
+  effects.push_back(eff);
+  EncodeStepEffects(&e, effects);
+
+  WireServerStats stats{1, 2, 3, 4, 5, 6};
+  EncodeServerStats(&e, stats);
+
+  Decoder d(e.buffer());
+  auto oid = DecodeOid(&d);
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(oid->raw, 42u);
+  auto ts = DecodeTimestamp(&d);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->micros, -123456789);
+  auto oids = DecodeOids(&d);
+  ASSERT_TRUE(oids.ok());
+  ASSERT_EQ(oids->size(), 3u);
+  EXPECT_EQ((*oids)[2].raw, 1ull << 40);
+  auto hist2 = DecodeHistoryEntries(&d);
+  ASSERT_TRUE(hist2.ok());
+  ASSERT_EQ(hist2->size(), 2u);
+  EXPECT_EQ((*hist2)[1].value, Value::String("ACGT"));
+  auto mat2 = DecodeMaterialInfo(&d);
+  ASSERT_TRUE(mat2.ok());
+  EXPECT_EQ(mat2->name, "clone-7");
+  EXPECT_EQ(mat2->attrs_present, mat.attrs_present);
+  auto eff2 = DecodeStepEffects(&d);
+  ASSERT_TRUE(eff2.ok());
+  ASSERT_EQ(eff2->size(), 1u);
+  EXPECT_EQ((*eff2)[0].new_state, 5u);
+  ASSERT_EQ((*eff2)[0].tags.size(), 1u);
+  EXPECT_EQ((*eff2)[0].tags[0].value, Value::Real(1.5));
+  auto stats2 = DecodeServerStats(&d);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->wal_bytes, 6u);
+  EXPECT_TRUE(d.AtEnd());
+}
+
+TEST(WireTest, RequestAndResponseHeadersRoundtrip) {
+  Encoder e;
+  EncodeRequestHeader(&e, {987654321, Op::kRecordStep, 17});
+  EncodeResponseHeader(&e, 987654321, Status::NotFound("no such material"));
+  Decoder d(e.buffer());
+  auto req = DecodeRequestHeader(&d);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->request_id, 987654321u);
+  EXPECT_EQ(req->op, Op::kRecordStep);
+  EXPECT_EQ(req->session_id, 17u);
+  auto resp = DecodeResponseHeader(&d);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->request_id, 987654321u);
+  EXPECT_TRUE(resp->status.IsNotFound());
+  EXPECT_EQ(resp->status.message(), "no such material");
+}
+
+TEST(WireTest, UnknownOpcodeAndStatusCodeAreCorruption) {
+  {
+    Encoder e;
+    e.PutU64(1);
+    e.PutU8(200);  // not an opcode
+    e.PutU64(0);
+    Decoder d(e.buffer());
+    EXPECT_TRUE(DecodeRequestHeader(&d).status().IsCorruption());
+  }
+  {
+    Encoder e;
+    e.PutU64(1);
+    e.PutU8(250);  // not a status code
+    e.PutString("");
+    Decoder d(e.buffer());
+    EXPECT_TRUE(DecodeResponseHeader(&d).status().IsCorruption());
+  }
+}
+
+TEST(WireTest, FrameReaderReassemblesAtEverySplitOffset) {
+  // Three frames — empty, small, multi-KB — concatenated, then delivered
+  // as two chunks split at every possible byte offset. Every split must
+  // produce exactly the same three payloads.
+  std::vector<std::string> payloads = {"", "ping", std::string(3000, 'x')};
+  std::string wire;
+  for (const std::string& p : payloads) AppendFrame(&wire, p);
+
+  for (size_t split = 0; split <= wire.size(); ++split) {
+    FrameReader reader;
+    reader.Append(std::string_view(wire).substr(0, split));
+    std::vector<std::string> got;
+    std::string frame;
+    while (true) {
+      auto r = reader.Next(&frame);
+      ASSERT_TRUE(r.ok());
+      if (!r.value()) break;
+      got.push_back(frame);
+    }
+    reader.Append(std::string_view(wire).substr(split));
+    while (true) {
+      auto r = reader.Next(&frame);
+      ASSERT_TRUE(r.ok());
+      if (!r.value()) break;
+      got.push_back(frame);
+    }
+    ASSERT_EQ(got, payloads) << "split at offset " << split;
+    EXPECT_EQ(reader.buffered(), 0u);
+  }
+}
+
+TEST(WireTest, FrameReaderByteAtATime) {
+  std::string wire;
+  AppendFrame(&wire, "one byte at a time");
+  FrameReader reader;
+  std::string frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.Append(std::string_view(wire).substr(i, 1));
+    auto r = reader.Next(&frame);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value()) << "complete after " << (i + 1) << " bytes";
+  }
+  reader.Append(std::string_view(wire).substr(wire.size() - 1, 1));
+  auto r = reader.Next(&frame);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.value());
+  EXPECT_EQ(frame, "one byte at a time");
+}
+
+TEST(WireTest, FrameReaderRejectsOversizedFrameAndStaysPoisoned) {
+  FrameReader reader(/*max_frame_bytes=*/1024);
+  Encoder len;
+  len.PutU64(1u << 20);  // 1 MiB length prefix against a 1 KiB cap
+  reader.Append(len.buffer());
+  std::string frame;
+  EXPECT_TRUE(reader.Next(&frame).status().IsCorruption());
+  // Poisoned: even a now-valid frame is rejected — the stream has no
+  // trustworthy boundary anymore.
+  std::string wire;
+  AppendFrame(&wire, "ok");
+  reader.Append(wire);
+  EXPECT_TRUE(reader.Next(&frame).status().IsCorruption());
+}
+
+TEST(WireTest, FrameReaderRejectsUnterminatedLengthPrefix) {
+  FrameReader reader;
+  reader.Append(std::string(6, static_cast<char>(0xFF)));
+  std::string frame;
+  EXPECT_TRUE(reader.Next(&frame).status().IsCorruption());
+}
+
+// ---- Live server ------------------------------------------------------------
+
+/// In-process labflowd over loopback on a main-memory store.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerConfig config = {}) {
+    mgr_ = std::make_unique<mm::MmManager>("net-test");
+    db_ = std::move(LabBase::Open(mgr_.get(), {}).value());
+    server_ = std::make_unique<Server>(db_.get(), mgr_.get(), config);
+    Status st = server_->Start();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+
+  ~ServerFixture() {
+    server_->Shutdown();
+    server_.reset();
+    db_.reset();
+  }
+
+  uint16_t port() const { return server_->port(); }
+  Server* server() { return server_.get(); }
+
+  std::unique_ptr<Connection> Connect() {
+    auto conn = Connection::Dial("127.0.0.1", port());
+    EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+    return std::move(conn.value());
+  }
+
+ private:
+  std::unique_ptr<mm::MmManager> mgr_;
+  std::unique_ptr<LabBase> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST(ServerTest, PingAndServerStats) {
+  ServerFixture fx;
+  std::unique_ptr<Connection> conn = fx.Connect();
+  ASSERT_TRUE(conn->Ping().ok());
+  auto stats = conn->ServerStats();
+  ASSERT_TRUE(stats.ok());
+}
+
+TEST(ServerTest, RemoteSessionEndToEnd) {
+  ServerFixture fx;
+  std::unique_ptr<Connection> conn = fx.Connect();
+  auto session_or = RemoteSession::Open(conn.get());
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  RemoteSession& s = *session_or.value();
+
+  ASSERT_TRUE(s.RunTransaction([&]() -> Status {
+    LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId mat_cls,
+                             s.DefineMaterialClass("clone"));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::ClassId step_cls,
+                             s.DefineStepClass("measure", {"length"}));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StateId fresh, s.DefineState("fresh"));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StateId done, s.DefineState("done"));
+
+    LABFLOW_ASSIGN_OR_RETURN(
+        Oid m, s.CreateMaterial(mat_cls, "clone-1", fresh, Timestamp(100)));
+    LABFLOW_ASSIGN_OR_RETURN(labbase::AttrId len_attr,
+                             s.schema().AttributeByName("length"));
+    labbase::StepEffect eff;
+    eff.material = m;
+    eff.tags.push_back({len_attr, Value::Int(42)});
+    eff.new_state = done;
+    LABFLOW_ASSIGN_OR_RETURN(Oid step,
+                             s.RecordStep(step_cls, Timestamp(200), {eff}));
+
+    LABFLOW_ASSIGN_OR_RETURN(Value v, s.MostRecent(m, len_attr));
+    EXPECT_EQ(v, Value::Int(42));
+    LABFLOW_ASSIGN_OR_RETURN(Value v2, s.MostRecent(m, "length"));
+    EXPECT_EQ(v2, Value::Int(42));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
+                             s.History(m, len_attr));
+    EXPECT_EQ(hist.size(), 1u);
+    LABFLOW_ASSIGN_OR_RETURN(Oid found, s.FindMaterialByName("clone-1"));
+    EXPECT_EQ(found.raw, m.raw);
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StateId st, s.CurrentState(m));
+    EXPECT_EQ(st, done);
+    LABFLOW_ASSIGN_OR_RETURN(int64_t n, s.CountInState(done));
+    EXPECT_EQ(n, 1);
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> in_state,
+                             s.MaterialsInState(done));
+    EXPECT_EQ(in_state.size(), 1u);
+    LABFLOW_ASSIGN_OR_RETURN(labbase::MaterialInfo info, s.GetMaterial(m));
+    EXPECT_EQ(info.name, "clone-1");
+    LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo sinfo, s.GetStep(step));
+    EXPECT_EQ(sinfo.materials.size(), 1u);
+
+    LABFLOW_ASSIGN_OR_RETURN(Oid set, s.CreateSet("batch"));
+    LABFLOW_RETURN_IF_ERROR(s.AddToSet(set, m));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> members, s.SetMembers(set));
+    EXPECT_EQ(members.size(), 1u);
+    LABFLOW_ASSIGN_OR_RETURN(Oid set2, s.FindSetByName("batch"));
+    EXPECT_EQ(set2.raw, set.raw);
+    return Status::OK();
+  }).ok());
+
+  // Application-level error statuses cross the wire intact.
+  auto missing = s.FindMaterialByName("no-such-clone");
+  EXPECT_TRUE(missing.status().IsNotFound());
+
+  // Client-side stats mirror in-process accounting.
+  EXPECT_EQ(s.stats().materials_created, 1u);
+  EXPECT_EQ(s.stats().steps_recorded, 1u);
+  EXPECT_GE(s.stats().most_recent_queries, 2u);
+}
+
+TEST(ServerTest, ChecksumParityBetweenInProcessAndRemote) {
+  // The network layer must not change any answer: the same deterministic
+  // workload, fed once through an in-process session and once through a
+  // remote one, must fold to the identical result checksum.
+  bench::WorkloadParams params;
+  params.base_clones = 15;
+  params.seed = 2024;
+  bench::Driver::StreamOptions opts;
+  opts.version_label = "parity";
+  opts.checkpoint_at_end = false;
+
+  uint64_t local_checksum;
+  {
+    mm::MmManager mgr("parity-local");
+    auto db = std::move(LabBase::Open(&mgr, {}).value());
+    LabBase::SessionPool pool(db.get());
+    {
+      LabBase::SessionPool::Lease lease = pool.Acquire();
+      auto report = bench::Driver::RunStream(params, opts, lease.get());
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      local_checksum = report->result_checksum;
+    }
+  }
+
+  uint64_t remote_checksum;
+  {
+    ServerFixture fx;
+    std::unique_ptr<Connection> conn = fx.Connect();
+    auto session = RemoteSession::Open(conn.get());
+    ASSERT_TRUE(session.ok());
+    auto report = bench::Driver::RunStream(params, opts, session->get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    remote_checksum = report->result_checksum;
+  }
+
+  EXPECT_EQ(local_checksum, remote_checksum);
+}
+
+TEST(ServerTest, PipelinedRequestsCompleteOutOfAwaitOrder) {
+  ServerFixture fx;
+  std::unique_ptr<Connection> conn = fx.Connect();
+  auto s1 = RemoteSession::Open(conn.get());
+  auto s2 = RemoteSession::Open(conn.get());
+  ASSERT_TRUE(s1.ok() && s2.ok());
+
+  // Queue pings and per-session schema fetches without awaiting any of
+  // them, then claim completions newest-first. Request ids interleave two
+  // server-side sessions on one connection.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    uint64_t sid =
+        (i % 2 == 0) ? s1.value()->session_id() : s2.value()->session_id();
+    auto id = conn->Send(Op::kGetSchema, sid, {});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+    auto body = conn->Await(*it);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    Decoder d(body.value());
+    auto blob = d.GetString();
+    ASSERT_TRUE(blob.ok());
+    EXPECT_TRUE(labbase::Schema::Decode(blob.value()).ok());
+  }
+}
+
+TEST(ServerTest, UnknownSessionGetsNotFoundNotDisconnect) {
+  ServerFixture fx;
+  std::unique_ptr<Connection> conn = fx.Connect();
+  auto r = conn->Call(Op::kBegin, /*session_id=*/424242, {});
+  EXPECT_TRUE(r.status().IsNotFound());
+  // The connection survives.
+  EXPECT_TRUE(conn->Ping().ok());
+}
+
+TEST(ServerTest, BackpressureWatermarksStillDeliverEverything) {
+  // Shrink the write watermarks so a pipelined burst forces the server to
+  // pause and resume reads; every response must still arrive.
+  ServerConfig config;
+  config.write_high_watermark = 2048;
+  config.write_low_watermark = 512;
+  ServerFixture fx(config);
+  std::unique_ptr<Connection> conn = fx.Connect();
+  auto session = RemoteSession::Open(conn.get());
+  ASSERT_TRUE(session.ok());
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 300; ++i) {
+    auto id = conn->Send(Op::kGetSchema, session.value()->session_id(), {});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  for (uint64_t id : ids) {
+    auto body = conn->Await(id);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+  }
+}
+
+TEST(ServerTest, ShutdownPoisonsClientCleanly) {
+  ServerFixture fx;
+  std::unique_ptr<Connection> conn = fx.Connect();
+  ASSERT_TRUE(conn->Ping().ok());
+  fx.server()->Shutdown();
+  // Whether the failure surfaces at send or await, it is a clean status —
+  // and it sticks.
+  auto r = conn->Call(Op::kPing, 0, {});
+  EXPECT_FALSE(r.ok());
+  auto r2 = conn->Call(Op::kPing, 0, {});
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(ServerTest, KillServerMidCommitThenClientRecovers) {
+  // A client loses its server mid-transaction. On restart over the same
+  // database file, the uncommitted work must be gone (WAL rollback), and
+  // redoing the transaction against the new server must succeed.
+  TempDir dir;
+  bench::ServerOptions storage_opts;
+  storage_opts.path = dir.file("killtest.db");
+
+  auto run_server = [&](bool truncate) {
+    storage_opts.truncate = truncate;
+    auto mgr = bench::CreateServer(bench::ServerVersion::kOstore, storage_opts);
+    EXPECT_TRUE(mgr.ok());
+    auto db = std::move(LabBase::Open(mgr.value().get(), {}).value());
+    return std::make_pair(std::move(mgr.value()), std::move(db));
+  };
+
+  labbase::ClassId mat_cls;
+  labbase::StateId fresh;
+  {
+    auto [mgr, db] = run_server(/*truncate=*/true);
+    Server server(db.get(), mgr.get(), {});
+    ASSERT_TRUE(server.Start().ok());
+    auto conn = Connection::Dial("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    auto session = RemoteSession::Open(conn.value().get());
+    ASSERT_TRUE(session.ok());
+    RemoteSession& s = *session.value();
+
+    // Committed schema survives the kill; the dangling material must not.
+    ASSERT_TRUE(s.RunTransaction([&]() -> Status {
+      LABFLOW_ASSIGN_OR_RETURN(mat_cls, s.DefineMaterialClass("clone"));
+      LABFLOW_ASSIGN_OR_RETURN(fresh, s.DefineState("fresh"));
+      return Status::OK();
+    }).ok());
+
+    ASSERT_TRUE(s.Begin().ok());
+    auto orphan =
+        s.CreateMaterial(mat_cls, "orphan", fresh, Timestamp(1));
+    ASSERT_TRUE(orphan.ok());
+
+    // Server dies before the client commits: the drain aborts the open
+    // transaction when the session lease is released.
+    server.Shutdown();
+    EXPECT_FALSE(s.Commit().ok());
+
+    // The session destructor's best-effort close hits a dead connection;
+    // that must be harmless.
+  }
+
+  {
+    auto [mgr, db] = run_server(/*truncate=*/false);
+    Server server(db.get(), mgr.get(), {});
+    ASSERT_TRUE(server.Start().ok());
+    auto conn = Connection::Dial("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    auto session = RemoteSession::Open(conn.value().get());
+    ASSERT_TRUE(session.ok());
+    RemoteSession& s = *session.value();
+
+    // Uncommitted material is gone.
+    EXPECT_TRUE(s.FindMaterialByName("orphan").status().IsNotFound());
+
+    // The redo succeeds against the restarted server; the schema cache
+    // primed at Open still has the committed classes.
+    auto redo_cls = s.schema().MaterialClassByName("clone");
+    ASSERT_TRUE(redo_cls.ok());
+    auto redo_state = s.schema().StateByName("fresh");
+    ASSERT_TRUE(redo_state.ok());
+    ASSERT_TRUE(s.RunTransaction([&]() -> Status {
+      LABFLOW_ASSIGN_OR_RETURN(
+          Oid m, s.CreateMaterial(redo_cls.value(), "orphan",
+                                  redo_state.value(), Timestamp(2)));
+      (void)m;
+      return Status::OK();
+    }).ok());
+    auto found = s.FindMaterialByName("orphan");
+    EXPECT_TRUE(found.ok());
+    server.Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace labflow::net
