@@ -32,6 +32,7 @@
 #include <atomic>
 #include <iomanip>
 #include <iostream>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -58,6 +59,9 @@ struct Outcome {
   uint64_t retries = 0;
   uint64_t deadlocks = 0;
   uint64_t lock_waits = 0;
+  uint64_t snapshot_reads = 0;      ///< shared regime: concurrent MVCC reads
+  uint64_t reader_lock_waits = 0;   ///< must stay 0: snapshot reads are lock-free
+  uint64_t reader_deadlocks = 0;    ///< must stay 0: readers can no longer deadlock
 };
 
 Result<std::unique_ptr<OstoreManager>> OpenManager(const std::string& path,
@@ -101,8 +105,45 @@ Result<Outcome> RunRegime(bool shared, int threads, int txns_per_thread) {
 
   std::atomic<uint64_t> committed{0};
   std::atomic<uint64_t> aborted{0};
+  std::atomic<uint64_t> snapshot_reads{0};
+  std::atomic<int> reader_failures{0};
+  std::atomic<bool> writers_done{false};
   Stopwatch sw;
   std::vector<std::thread> workers;
+  // Shared regime: two snapshot readers ride along with the deadlock-prone
+  // writers, re-reading the hot set inside Begin(snapshot=true)
+  // transactions. MVCC makes them lock-free: the run gates on zero reader
+  // lock-waits and zero reader deadlocks while the writers thrash.
+  std::vector<std::thread> snapshot_readers;
+  if (shared) {
+    for (int r = 0; r < 2; ++r) {
+      snapshot_readers.emplace_back([&] {
+        while (!writers_done.load()) {
+          auto txn_or = mgr->Begin(/*snapshot=*/true);
+          if (!txn_or.ok()) {
+            reader_failures.fetch_add(1);
+            return;
+          }
+          storage::Txn* txn = txn_or.value();
+          for (ObjectId id : hot) {
+            auto data = mgr->Read(txn, id);
+            if (!data.ok() || data.value().size() != 128) {
+              reader_failures.fetch_add(1);
+              LABFLOW_IGNORE_STATUS(mgr->Abort(txn),
+                                    "failing the run anyway; rollback of the "
+                                    "reader's snapshot is best-effort");
+              return;
+            }
+          }
+          if (!mgr->Commit(txn).ok()) {
+            reader_failures.fetch_add(1);
+            return;
+          }
+          snapshot_reads.fetch_add(hot.size());
+        }
+      });
+    }
+  }
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Rng rng(static_cast<uint64_t>(t) + 1);
@@ -139,15 +180,24 @@ Result<Outcome> RunRegime(bool shared, int threads, int txns_per_thread) {
   }
   for (std::thread& w : workers) w.join();
   double elapsed = sw.ElapsedSeconds();
+  writers_done.store(true);
+  for (std::thread& r : snapshot_readers) r.join();
+  if (reader_failures.load() > 0) {
+    return Status::Internal(std::to_string(reader_failures.load()) +
+                            " snapshot reader failure(s)");
+  }
 
   Outcome out;
   out.commits = committed.load();
   out.aborts = aborted.load();
   out.txn_per_sec = elapsed > 0 ? out.commits / elapsed : 0;
+  out.snapshot_reads = snapshot_reads.load();
   auto stats = mgr->stats();
   out.retries = stats.txn_retries;
   out.deadlocks = stats.deadlocks;
   out.lock_waits = stats.lock_waits;
+  out.reader_lock_waits = stats.reader_lock_waits;
+  out.reader_deadlocks = stats.reader_deadlocks;
   LABFLOW_RETURN_IF_ERROR(mgr->Close());
   return out;
 }
@@ -470,13 +520,29 @@ int Main(int argc, char** argv) {
           .Int("aborts", out.aborts)
           .Int("retries", out.retries)
           .Int("deadlocks", out.deadlocks)
-          .Int("lock_waits", out.lock_waits);
+          .Int("lock_waits", out.lock_waits)
+          .Int("snapshot_reads", out.snapshot_reads)
+          .Int("reader_lock_waits", out.reader_lock_waits)
+          .Int("reader_deadlocks", out.reader_deadlocks);
       // RunTransaction absorbs deadlock aborts: every submitted
       // transaction must commit.
       if (out.commits != static_cast<uint64_t>(threads) * txns) {
         std::cerr << "ERROR: " << out.aborts
                   << " user-visible abort(s); expected every transaction "
                      "to commit via retry\n";
+        return 1;
+      }
+      // Shared regime rides snapshot readers alongside the thrashing
+      // writers: MVCC reads are lock-free, so any reader lock-wait or
+      // reader deadlock is a regression in the snapshot path. (The other
+      // regimes have no snapshot readers, and labbase writers make their
+      // own shared requests inside read-modify-write transactions.)
+      if (std::string_view(regime.key) == "shared" &&
+          (out.reader_lock_waits != 0 || out.reader_deadlocks != 0)) {
+        std::cerr << "ERROR: " << out.reader_lock_waits
+                  << " reader lock-wait(s), " << out.reader_deadlocks
+                  << " reader deadlock(s); snapshot readers must take no "
+                     "locks\n";
         return 1;
       }
     }

@@ -1,0 +1,296 @@
+// F8 — snapshot analytics (extension experiment).
+//
+// Long-running whole-database scans concurrent with an append-dominated
+// event stream: the BioWorkbench-style analytics shape that motivated MVCC
+// snapshot reads. Writers commit fixed-size batches of event objects into
+// per-writer segments (all-or-nothing transactions) while reader threads
+// repeatedly scan the whole store.
+//
+// Two regimes, identical workload:
+//   snapshot   — readers scan inside Begin(snapshot=true) transactions:
+//                lock-free MVCC reads at a fixed commit timestamp. Gated:
+//                zero reader lock-waits, zero reader deadlocks, zero reader
+//                aborts, no torn batch in any scan, and per-reader scan
+//                sizes monotonically nondecreasing (later snapshot ==
+//                superset of committed batches).
+//   locked_2pl — readers scan inside ordinary 2PL transactions: every page
+//                read takes a shared lock held to commit. Reported for
+//                contrast (shared-lock waits, reader aborts); not gated —
+//                its contention profile is the problem the snapshot path
+//                removes.
+//
+// A scan's consistency is checked arithmetically: every committed batch
+// adds exactly `batch` objects, so any consistent view holds
+// preload + k*batch objects. A count that is not on that lattice is a torn
+// batch and fails the run (snapshot regime).
+
+#include <atomic>
+#include <iomanip>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/status_macros.h"
+#include "ostore/ostore_manager.h"
+
+namespace labflow::bench {
+namespace {
+
+using ostore::OstoreManager;
+using ostore::OstoreOptions;
+using storage::AllocHint;
+using storage::ObjectId;
+
+struct SnapshotOutcome {
+  double writer_txn_per_sec = 0;
+  double scans_per_sec = 0;
+  uint64_t writer_commits = 0;
+  uint64_t scans = 0;
+  uint64_t scanned_objects = 0;
+  uint64_t torn_scans = 0;       ///< scans whose count was off the batch lattice
+  uint64_t reader_aborts = 0;    ///< scan attempts aborted (2PL regime only)
+  uint64_t monotonic_violations = 0;
+  uint64_t checksum = 0;         ///< order-independent fold of scan counts
+  uint64_t reader_lock_waits = 0;
+  uint64_t reader_deadlocks = 0;
+  uint64_t deadlocks = 0;
+  uint64_t snapshots_opened = 0;
+  uint64_t mvcc_chains = 0;
+};
+
+Result<SnapshotOutcome> RunAnalytics(bool snapshot, int writers, int readers,
+                                     int batches_per_writer, int batch,
+                                     int scans_per_reader) {
+  BenchDir dir;
+  OstoreOptions opts;
+  opts.base.path = dir.file("snap.db");
+  opts.base.buffer_pool_pages = 4096;
+  opts.lock_timeout_ms = 10000;
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<OstoreManager> mgr,
+                           OstoreManager::Open(opts));
+
+  // Preload a resident population so the first scans are not trivially
+  // empty, then remember the baseline for the batch-lattice check.
+  constexpr int kPreload = 64;
+  for (int i = 0; i < kPreload; ++i) {
+    LABFLOW_RETURN_IF_ERROR(
+        mgr->Allocate(std::string(120, 'p'), AllocHint{}).status());
+  }
+  std::vector<uint16_t> segments;
+  for (int t = 0; t < writers; ++t) {
+    LABFLOW_ASSIGN_OR_RETURN(uint16_t seg,
+                             mgr->CreateSegment("events" + std::to_string(t)));
+    segments.push_back(seg);
+  }
+  // Measured baseline (not assumed): whatever the store holds before the
+  // event stream starts is the lattice origin for the torn-batch check.
+  uint64_t baseline = 0;
+  LABFLOW_RETURN_IF_ERROR(mgr->ScanAll([&](ObjectId, std::string_view) {
+    ++baseline;
+    return Status::OK();
+  }));
+
+  std::atomic<uint64_t> writer_commits{0};
+  std::atomic<uint64_t> scans_done{0};
+  std::atomic<uint64_t> scanned_objects{0};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> reader_aborts{0};
+  std::atomic<uint64_t> monotonic_violations{0};
+  std::atomic<uint64_t> checksum{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> writers_done{false};
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      AllocHint hint;
+      hint.segment = segments[t];
+      storage::TxnRetryOptions retry;
+      retry.max_retries = 100;
+      retry.jitter_seed = static_cast<uint64_t>(t) + 1;
+      for (int b = 0; b < batches_per_writer; ++b) {
+        Status st = mgr->RunTransaction(
+            [&](storage::Txn* txn) -> Status {
+              for (int i = 0; i < batch; ++i) {
+                LABFLOW_RETURN_IF_ERROR(
+                    mgr->Allocate(txn, std::string(200, 'e'), hint).status());
+              }
+              return Status::OK();
+            },
+            retry);
+        if (!st.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        writer_commits.fetch_add(1);
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      uint64_t local = 14695981039346656037ULL ^ static_cast<uint64_t>(r);
+      uint64_t prev_count = 0;
+      for (int s = 0; s < scans_per_reader;) {
+        auto txn_or = mgr->Begin(snapshot);
+        if (!txn_or.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        storage::Txn* txn = txn_or.value();
+        uint64_t count = 0;
+        Status st = mgr->ScanAll(txn, [&](ObjectId, std::string_view data) {
+          ++count;
+          local = (local ^ data.size()) * 1099511628211ULL;
+          return Status::OK();
+        });
+        if (!st.ok()) {
+          // 2PL readers can lose a deadlock against the event stream; a
+          // snapshot reader never can (any abort there fails the run).
+          LABFLOW_IGNORE_STATUS(mgr->Abort(txn),
+                                "rollback after a failed scan is best-effort");
+          if (st.IsAborted() && !snapshot) {
+            reader_aborts.fetch_add(1);
+            continue;  // retry the scan
+          }
+          failures.fetch_add(1);
+          return;
+        }
+        if (!mgr->Commit(txn).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (count < baseline ||
+            (count - baseline) % static_cast<uint64_t>(batch) != 0) {
+          torn.fetch_add(1);
+        }
+        if (count < prev_count) monotonic_violations.fetch_add(1);
+        prev_count = count;
+        scanned_objects.fetch_add(count);
+        local = (local ^ count) * 1099511628211ULL;
+        ++s;
+        scans_done.fetch_add(1);
+        // Keep scanning for the whole event stream, then finish the quota.
+        if (s == scans_per_reader && !writers_done.load()) --s;
+      }
+      checksum.fetch_xor(local);
+    });
+  }
+  for (int t = 0; t < writers; ++t) threads[t].join();
+  writers_done.store(true);
+  for (size_t t = writers; t < threads.size(); ++t) threads[t].join();
+  double elapsed = sw.ElapsedSeconds();
+  if (failures.load() > 0) {
+    return Status::Internal(std::to_string(failures.load()) +
+                            " snapshot-analytics worker failure(s)");
+  }
+
+  SnapshotOutcome out;
+  out.writer_commits = writer_commits.load();
+  out.scans = scans_done.load();
+  out.scanned_objects = scanned_objects.load();
+  out.torn_scans = torn.load();
+  out.reader_aborts = reader_aborts.load();
+  out.monotonic_violations = monotonic_violations.load();
+  out.checksum = checksum.load();
+  out.writer_txn_per_sec = elapsed > 0 ? out.writer_commits / elapsed : 0;
+  out.scans_per_sec = elapsed > 0 ? out.scans / elapsed : 0;
+  storage::StorageStats stats = mgr->stats();
+  out.reader_lock_waits = stats.reader_lock_waits;
+  out.reader_deadlocks = stats.reader_deadlocks;
+  out.deadlocks = stats.deadlocks;
+  out.snapshots_opened = stats.snapshots_opened;
+  out.mvcc_chains = stats.mvcc_chains;
+  LABFLOW_RETURN_IF_ERROR(mgr->Close());
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  int batches = static_cast<int>(FlagValue(argc, argv, "batches", 200));
+  int batch = static_cast<int>(FlagValue(argc, argv, "batch", 8));
+  int scans = static_cast<int>(FlagValue(argc, argv, "scans", 40));
+  std::string json_path = FlagString(argc, argv, "json");
+  JsonReport report("fig_snapshot");
+  std::cout << "Snapshot analytics: long scans vs the event stream — "
+            << batches << " batches/writer x " << batch << " objects, "
+            << scans << " scans/reader\n\n";
+  std::cout << std::left << std::setw(12) << "readers" << std::right
+            << std::setw(10) << "regime" << std::setw(13) << "batch/sec"
+            << std::setw(11) << "scans/sec" << std::setw(9) << "torn"
+            << std::setw(9) << "aborts" << std::setw(12) << "rd_waits"
+            << std::setw(9) << "rd_dlk"
+            << "\n";
+  for (int readers : {1, 2, 4}) {
+    for (bool snapshot : {true, false}) {
+      auto out_or = RunAnalytics(snapshot, /*writers=*/2, readers, batches,
+                                 batch, scans);
+      if (!out_or.ok()) {
+        std::cerr << "ERROR: " << out_or.status().ToString() << "\n";
+        return 1;
+      }
+      SnapshotOutcome out = out_or.value();
+      const char* regime = snapshot ? "snapshot" : "locked_2pl";
+      std::cout << std::left << std::setw(12) << readers << std::right
+                << std::setw(10) << regime << std::setw(13) << std::fixed
+                << std::setprecision(0) << out.writer_txn_per_sec
+                << std::setw(11) << out.scans_per_sec << std::setw(9)
+                << out.torn_scans << std::setw(9) << out.reader_aborts
+                << std::setw(12) << out.reader_lock_waits << std::setw(9)
+                << out.reader_deadlocks << "\n";
+      report.AddRow()
+          .Str("regime", regime)
+          .Int("readers", readers)
+          .Int("writers", 2)
+          .Num("batch_per_sec", out.writer_txn_per_sec)
+          .Num("scans_per_sec", out.scans_per_sec)
+          .Int("writer_commits", out.writer_commits)
+          .Int("scans", out.scans)
+          .Int("scanned_objects", out.scanned_objects)
+          .Int("torn_scans", out.torn_scans)
+          .Int("reader_aborts", out.reader_aborts)
+          .Int("reader_lock_waits", out.reader_lock_waits)
+          .Int("reader_deadlocks", out.reader_deadlocks)
+          .Int("deadlocks", out.deadlocks)
+          .Int("snapshots_opened", out.snapshots_opened)
+          .Int("mvcc_chains", out.mvcc_chains)
+          .Str("checksum", std::to_string(out.checksum));
+      if (out.writer_commits !=
+          static_cast<uint64_t>(2) * static_cast<uint64_t>(batches)) {
+        std::cerr << "ERROR: lost writer batches\n";
+        return 1;
+      }
+      if (snapshot) {
+        // The tentpole gates: snapshot readers take no locks, never
+        // deadlock, never abort, and every scan is a consistent prefix.
+        if (out.reader_lock_waits != 0 || out.reader_deadlocks != 0) {
+          std::cerr << "ERROR: snapshot regime saw " << out.reader_lock_waits
+                    << " reader lock-wait(s), " << out.reader_deadlocks
+                    << " reader deadlock(s); both must be zero\n";
+          return 1;
+        }
+        if (out.torn_scans != 0 || out.reader_aborts != 0 ||
+            out.monotonic_violations != 0) {
+          std::cerr << "ERROR: snapshot scans not consistent (torn="
+                    << out.torn_scans << " aborts=" << out.reader_aborts
+                    << " monotonic_violations=" << out.monotonic_violations
+                    << ")\n";
+          return 1;
+        }
+      }
+    }
+  }
+  std::cout << "\n(locked_2pl rows show the shared-lock traffic the snapshot "
+               "path removes.)\n";
+  if (!report.WriteTo(json_path)) {
+    std::cerr << "ERROR: could not write " << json_path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace labflow::bench
+
+int main(int argc, char** argv) { return labflow::bench::Main(argc, argv); }

@@ -24,29 +24,40 @@ fi
 
 cmake -B "$root/build" -S "$root" >/dev/null
 cmake --build "$root/build" -j "$jobs" --target \
-  bench_table2_main bench_fig_concurrency bench_fig_server
+  bench_table2_main bench_fig_concurrency bench_fig_server bench_fig_snapshot
 
 if [[ "$mode" == quick ]]; then
   table2_flags=(--clones=60 --intvl=1)
   conc_flags=(--txns=150 --sync_txns=30 --queries=1500 --materials=128)
   server_flags=(--queries=800 --materials=96 --open_reqs=2500)
+  snapshot_flags=(--batches=60 --batch=8 --scans=10)
 else
   table2_flags=()
   conc_flags=()
   server_flags=()
+  snapshot_flags=()
 fi
 
-echo "== bench: table2_main ($mode) =="
-"$root/build/bench/bench_table2_main" "${table2_flags[@]}" \
-  --json="$root/BENCH_table2_main.json"
+# Runs one bench binary and insists on a fresh, non-empty JSON report: the
+# stale file is removed first, so a bench that crashes (or silently writes
+# nothing) fails the run instead of leaving the previous commit's numbers
+# in place under this commit's name.
+run_bench() {
+  local name="$1"; shift
+  local out="$root/BENCH_${name}.json"
+  echo "== bench: $name ($mode) =="
+  rm -f "$out"
+  "$root/build/bench/bench_${name}" "$@" --json="$out"
+  if [[ ! -s "$out" ]]; then
+    echo "ERROR: bench_${name} exited 0 but wrote no JSON to $out" >&2
+    exit 1
+  fi
+}
 
-echo "== bench: fig_concurrency ($mode) =="
-"$root/build/bench/bench_fig_concurrency" "${conc_flags[@]}" \
-  --json="$root/BENCH_fig_concurrency.json"
-
-echo "== bench: fig_server ($mode) =="
-"$root/build/bench/bench_fig_server" "${server_flags[@]}" \
-  --json="$root/BENCH_fig_server.json"
+run_bench table2_main "${table2_flags[@]}"
+run_bench fig_concurrency "${conc_flags[@]}"
+run_bench fig_server "${server_flags[@]}"
+run_bench fig_snapshot "${snapshot_flags[@]}"
 
 echo
 echo "wrote:"

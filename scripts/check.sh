@@ -6,7 +6,9 @@
 #           recovery property seeds), same build
 #   fault — storage fault-tolerance suite with a widened seed sweep
 #           (LABFLOW_FAULT_SEEDS=48), same build
-#   tsan  — ThreadSanitizer build, concurrency-focused tests
+#   tsan  — ThreadSanitizer build, concurrency-focused tests, including
+#           the MVCC snapshot-isolation checker with a widened seed sweep
+#           (LABFLOW_SNAPSHOT_SEEDS=8; default 4)
 #   asan  — Address+UndefinedBehaviorSanitizer build, every fast test
 #   lint  — scripts/lint.py project rules, plus clang-tidy over the
 #           compilation database when clang-tidy is installed
@@ -73,9 +75,13 @@ tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DLABFLOW_SANITIZE=thread >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs" --target \
     concurrency_test buffer_pool_concurrency_test ostore_test \
-    storage_manager_test wal_fault_test storage_fault_test net_test
-  ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test|net_test'
+    storage_manager_test wal_fault_test storage_fault_test net_test \
+    snapshot_isolation_test
+  # The snapshot checker's seed sweep widens here (default 4): its read
+  # path is lock-free by design, which is exactly what TSan should watch.
+  LABFLOW_SNAPSHOT_SEEDS=8 \
+    ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
+    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test|net_test|snapshot_isolation_test'
 }
 
 asan() {

@@ -214,6 +214,14 @@ Status LabBase::Session::Begin() {
   return Status::OK();
 }
 
+Status LabBase::Session::BeginReadOnly() {
+  if (txn_ != nullptr) {
+    return Status::InvalidArgument("nested transactions are not supported");
+  }
+  LABFLOW_ASSIGN_OR_RETURN(txn_, db_->mgr_->Begin(/*snapshot=*/true));
+  return Status::OK();
+}
+
 void LabBase::Session::RollbackIndexes() {
   // Roll the shared in-memory indexes back from this session's undo log,
   // in reverse. Concurrent sessions never saw uncommitted *storage* state
@@ -713,6 +721,22 @@ Result<std::vector<Oid>> LabBase::Session::MaterialsOfClass(
   auto it = db_->by_class_.find(material_class);
   if (it == db_->by_class_.end()) return std::vector<Oid>{};
   return std::vector<Oid>(it->second.begin(), it->second.end());
+}
+
+Result<std::vector<Oid>> LabBase::Session::ListSteps() {
+  // Storage scan, not an index: the audit trail has no in-memory index, and
+  // scanning through txn_ means a snapshot session enumerates exactly the
+  // steps committed at its snapshot.
+  std::vector<Oid> steps;
+  LABFLOW_RETURN_IF_ERROR(db_->mgr_->ScanAll(
+      txn_, [&steps](ObjectId id, std::string_view data) -> Status {
+        auto kind_or = PeekRecordKind(data);
+        if (kind_or.ok() && kind_or.value() == RecordKind::kStep) {
+          steps.push_back(ToUser(id));
+        }
+        return Status::OK();
+      }));
+  return steps;
 }
 
 // ---- Session: sets ----------------------------------------------------------

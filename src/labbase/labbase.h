@@ -167,6 +167,10 @@ class LabBase::Session : public SessionIface {
   /// Starts this session's transaction. InvalidArgument if one is active;
   /// ResourceExhausted if the manager's concurrency cap is reached (Texas).
   Status Begin() override;
+  /// Starts a read-only snapshot transaction (see SessionIface). On an
+  /// MVCC-capable manager the reads are lock-free at a fixed commit
+  /// timestamp; elsewhere it silently degrades to Begin().
+  Status BeginReadOnly() override;
   Status Commit() override;
   /// Aborts the storage transaction and rolls the shared in-memory indexes
   /// back (via this session's index undo log). If the transaction touched
@@ -248,6 +252,7 @@ class LabBase::Session : public SessionIface {
   Result<std::vector<Oid>> MaterialsInState(StateId state) override;
   Result<int64_t> CountInState(StateId state) override;
   Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class) override;
+  Result<std::vector<Oid>> ListSteps() override;
 
   // ---- Material sets (creation is single-session) ---------------------------
 

@@ -90,6 +90,14 @@ class SessionIface {
   // ---- Transactions --------------------------------------------------------
 
   virtual Status Begin() = 0;
+  /// Begins a read-only snapshot transaction: every read through this
+  /// session observes one consistent committed state of the database as of
+  /// the call, and on MVCC-capable managers takes no page locks at all (a
+  /// snapshot reader can neither block a writer nor deadlock against one).
+  /// On managers without snapshot support this degrades to Begin(). Writes
+  /// inside the transaction are rejected. End with Commit() or Abort() as
+  /// usual (equivalent for a snapshot: both just release it).
+  virtual Status BeginReadOnly() = 0;
   virtual Status Commit() = 0;
   virtual Status Abort() = 0;
   virtual bool in_transaction() const = 0;
@@ -139,6 +147,11 @@ class SessionIface {
   virtual Result<std::vector<Oid>> MaterialsInState(StateId state) = 0;
   virtual Result<int64_t> CountInState(StateId state) = 0;
   virtual Result<std::vector<Oid>> MaterialsOfClass(ClassId material_class) = 0;
+  /// Every step instance in the database, in storage order. Audit-trail
+  /// enumeration for the deductive layer's unbound step/3 goal; runs inside
+  /// the session's transaction (so a snapshot session enumerates the steps
+  /// visible at its snapshot).
+  virtual Result<std::vector<Oid>> ListSteps() = 0;
 
   // ---- Material sets -------------------------------------------------------
 

@@ -1,4 +1,9 @@
 #include "mm/mm_manager.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
 #include "common/status_macros.h"
 
 namespace labflow::mm {
@@ -6,37 +11,75 @@ namespace labflow::mm {
 using storage::AllocHint;
 using storage::ObjectId;
 using storage::StorageStats;
+using storage::VersionStore;
 
 MmManager::MmManager(std::string display_name)
     : name_(std::move(display_name)) {}
 
+void MmManager::StampTxn(storage::Txn* txn) {
+  if (txn == nullptr) return;
+  uint64_t ts = versions_.PrepareCommit(txn->id());
+  versions_.FinalizeCommit(txn->id(), ts);
+}
+
 Status MmManager::CommitTxn(storage::Txn* txn) {
-  (void)txn;
+  StampTxn(txn);
   WriterMutexLock g(mu_);
   ++commits_;
   return Status::OK();
 }
 
 Status MmManager::AbortTxn(storage::Txn* txn) {
-  (void)txn;
+  // No rollback: the changes stay applied, so the chains are stamped as if
+  // committed — a dangling pending entry would hide the (kept!) writes from
+  // every future snapshot and pin the chain forever.
+  StampTxn(txn);
   return Status::NotSupported("mm: no transaction support");
 }
+
+void MmManager::OnTxnDrop(storage::Txn* txn) { StampTxn(txn); }
 
 Result<ObjectId> MmManager::DoAllocate(storage::Txn* txn,
                                        std::string_view data,
                                        const AllocHint& hint) {
-  (void)txn;   // no isolation in main memory
   (void)hint;  // no placement control in main memory
   WriterMutexLock g(mu_);
   if (closed_) return Status::InvalidArgument("manager closed");
   uint64_t id = next_id_++;
   objects_.emplace(id, std::string(data));
   bytes_ += data.size();
+  if (txn != nullptr) {
+    // Inside the writer hold: no snapshot scan can see the object before
+    // its chain exists. Created by this txn, so no pre-image.
+    versions_.RecordWrite(txn->id(), id, data, nullptr);
+  }
   return ObjectId(id);
 }
 
 Result<std::string> MmManager::DoRead(storage::Txn* txn, ObjectId id) {
-  (void)txn;
+  if (txn != nullptr && txn->is_snapshot()) {
+    // Physical read first, chain lookup second: a writer captures its chain
+    // in the same writer hold as the mutation, so a read that observed the
+    // mutation is always overridden by the chain it left behind.
+    Result<std::string> physical =
+        Status::NotFound("no such object: " + std::to_string(id.raw));
+    {
+      ReaderMutexLock g(mu_);
+      auto it = objects_.find(id.raw);
+      if (it != objects_.end()) physical = it->second;
+    }
+    std::string chained;
+    switch (versions_.Lookup(txn->snapshot_ts(), id.raw, &chained)) {
+      case VersionStore::Resolve::kData:
+        return chained;
+      case VersionStore::Resolve::kNotFound:
+        return Status::NotFound("no such object at snapshot: " +
+                                std::to_string(id.raw));
+      case VersionStore::Resolve::kFallThrough:
+        break;
+    }
+    return physical;
+  }
   ReaderMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
@@ -47,11 +90,17 @@ Result<std::string> MmManager::DoRead(storage::Txn* txn, ObjectId id) {
 
 Status MmManager::DoUpdate(storage::Txn* txn, ObjectId id,
                            std::string_view data) {
-  (void)txn;
   WriterMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + std::to_string(id.raw));
+  }
+  if (txn != nullptr) {
+    if (versions_.HasPending(txn->id(), id.raw)) {
+      versions_.RecordWrite(txn->id(), id.raw, data, nullptr);
+    } else {
+      versions_.RecordWrite(txn->id(), id.raw, data, &it->second);
+    }
   }
   bytes_ += data.size();
   bytes_ -= it->second.size();
@@ -60,11 +109,17 @@ Status MmManager::DoUpdate(storage::Txn* txn, ObjectId id,
 }
 
 Status MmManager::DoFree(storage::Txn* txn, ObjectId id) {
-  (void)txn;
   WriterMutexLock g(mu_);
   auto it = objects_.find(id.raw);
   if (it == objects_.end()) {
     return Status::NotFound("no such object: " + std::to_string(id.raw));
+  }
+  if (txn != nullptr) {
+    if (versions_.HasPending(txn->id(), id.raw)) {
+      versions_.RecordDelete(txn->id(), id.raw, nullptr);
+    } else {
+      versions_.RecordDelete(txn->id(), id.raw, &it->second);
+    }
   }
   bytes_ -= it->second.size();
   objects_.erase(it);
@@ -79,7 +134,48 @@ Result<uint16_t> MmManager::CreateSegment(std::string_view name) {
 Status MmManager::DoScanAll(
     storage::Txn* txn,
     const std::function<Status(ObjectId, std::string_view)>& fn) {
-  (void)txn;
+  if (txn != nullptr && txn->is_snapshot()) {
+    uint64_t snap = txn->snapshot_ts();
+    std::vector<uint64_t> ids;
+    {
+      ReaderMutexLock g(mu_);
+      ids.reserve(objects_.size());
+      for (const auto& [id, data] : objects_) ids.push_back(id);
+    }
+    std::unordered_set<uint64_t> emitted;
+    for (uint64_t id : ids) {
+      emitted.insert(id);
+      bool have_physical = false;
+      std::string physical;
+      {
+        ReaderMutexLock g(mu_);
+        auto it = objects_.find(id);
+        if (it != objects_.end()) {
+          have_physical = true;
+          physical = it->second;
+        }
+      }
+      std::string chained;
+      switch (versions_.Lookup(snap, id, &chained)) {
+        case VersionStore::Resolve::kData:
+          LABFLOW_RETURN_IF_ERROR(fn(ObjectId(id), chained));
+          break;
+        case VersionStore::Resolve::kNotFound:
+          break;  // not visible at this snapshot
+        case VersionStore::Resolve::kFallThrough:
+          if (have_physical) {
+            LABFLOW_RETURN_IF_ERROR(fn(ObjectId(id), physical));
+          }
+          break;
+      }
+    }
+    // Objects whose map entries vanished before the id pass reached them
+    // still have chains while this snapshot is open.
+    return versions_.SweepVisible(
+        snap, emitted, [&fn](uint64_t key, std::string_view data) {
+          return fn(ObjectId(key), data);
+        });
+  }
   // Copy ids first so fn may mutate the store.
   std::vector<uint64_t> ids;
   {
@@ -116,6 +212,9 @@ StorageStats MmManager::stats() const {
   s.live_objects = objects_.size();
   s.txn_commits = commits_;
   s.txn_retries = txn_retry_count();
+  s.snapshots_opened = versions_.snapshots_opened();
+  s.commit_ts_hwm = versions_.high_water();
+  s.mvcc_chains = versions_.chain_count();
   return s;
 }
 

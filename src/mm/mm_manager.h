@@ -8,6 +8,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "storage/storage_manager.h"
+#include "storage/version_store.h"
 
 namespace labflow::mm {
 
@@ -47,6 +48,19 @@ class MmManager : public storage::StorageManager {
  protected:
   Status CommitTxn(storage::Txn* txn) override;
   Status AbortTxn(storage::Txn* txn) override;
+  void OnTxnDrop(storage::Txn* txn) override;
+
+  /// MVCC snapshot reads. Writers capture pre-images inside the same writer
+  /// hold that applies the mutation, so a snapshot reader that observes a
+  /// mutation always observes its chain too. Since mm never rolls anything
+  /// back (Abort is NotSupported and leaves changes applied), aborts and
+  /// drops stamp the pending entries like commits — the chains must mirror
+  /// what the map actually holds.
+  bool SupportsSnapshots() const override { return true; }
+  uint64_t AcquireSnapshot() override { return versions_.AcquireSnapshot(); }
+  void ReleaseSnapshot(uint64_t ts) override {
+    versions_.ReleaseSnapshot(ts);
+  }
 
   Result<storage::ObjectId> DoAllocate(storage::Txn* txn,
                                        std::string_view data,
@@ -60,7 +74,12 @@ class MmManager : public storage::StorageManager {
                                               std::string_view)>& fn) override;
 
  private:
+  /// Stamps a transaction's pending chain entries as committed at a fresh
+  /// timestamp (commit, and — see above — abort/drop too).
+  void StampTxn(storage::Txn* txn);
+
   std::string name_;
+  storage::VersionStore versions_;
   /// Reader–writer: reads (DoRead, DoScanAll, stats, GetRoot) take shared
   /// holds so concurrent query clients never serialize on the mm store.
   mutable SharedMutex mu_;

@@ -206,6 +206,13 @@ Status RemoteSession::Begin() {
   return Status::OK();
 }
 
+Status RemoteSession::BeginReadOnly() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kBeginReadOnly, {}));
+  (void)body;
+  in_txn_ = true;
+  return Status::OK();
+}
+
 Status RemoteSession::Commit() {
   Result<std::string> body = Call(Op::kCommit, {});
   // Commit ends the transaction whether it succeeded or was an abort
@@ -439,6 +446,12 @@ Result<std::vector<Oid>> RemoteSession::MaterialsOfClass(
   e.PutU32(material_class);
   LABFLOW_ASSIGN_OR_RETURN(std::string body,
                            Call(Op::kMaterialsOfClass, e.buffer()));
+  Decoder d(body);
+  return DecodeOids(&d);
+}
+
+Result<std::vector<Oid>> RemoteSession::ListSteps() {
+  LABFLOW_ASSIGN_OR_RETURN(std::string body, Call(Op::kListSteps, {}));
   Decoder d(body);
   return DecodeOids(&d);
 }

@@ -99,6 +99,7 @@ class RemoteSession : public labbase::SessionIface {
   ~RemoteSession() override;
 
   Status Begin() override;
+  Status BeginReadOnly() override;
   Status Commit() override;
   Status Abort() override;
   bool in_transaction() const override { return in_txn_; }
@@ -136,6 +137,7 @@ class RemoteSession : public labbase::SessionIface {
   Result<int64_t> CountInState(labbase::StateId state) override;
   Result<std::vector<Oid>> MaterialsOfClass(
       labbase::ClassId material_class) override;
+  Result<std::vector<Oid>> ListSteps() override;
 
   Result<Oid> CreateSet(std::string_view name) override;
   Status AddToSet(Oid set, Oid material) override;

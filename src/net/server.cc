@@ -689,6 +689,8 @@ std::string Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     }
     case Op::kBegin:
       return RespondStatus(id, session->Begin());
+    case Op::kBeginReadOnly:
+      return RespondStatus(id, session->BeginReadOnly());
     case Op::kCommit:
       return RespondStatus(id, session->Commit());
     case Op::kAbort:
@@ -890,6 +892,13 @@ std::string Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       Result<uint32_t> cls = d.GetU32();
       if (!cls.ok()) return RespondStatus(id, cls.status());
       Result<std::vector<Oid>> oids = session->MaterialsOfClass(cls.value());
+      if (!oids.ok()) return RespondStatus(id, oids.status());
+      return Respond(id, Status::OK(),
+                     [&](Encoder* e) { EncodeOids(e, oids.value()); });
+    }
+
+    case Op::kListSteps: {
+      Result<std::vector<Oid>> oids = session->ListSteps();
       if (!oids.ok()) return RespondStatus(id, oids.status());
       return Respond(id, Status::OK(),
                      [&](Encoder* e) { EncodeOids(e, oids.value()); });

@@ -37,6 +37,8 @@ std::string_view OpName(Op op) {
     case Op::kFindSetByName: return "FindSetByName";
     case Op::kCheckpoint: return "Checkpoint";
     case Op::kServerStats: return "ServerStats";
+    case Op::kBeginReadOnly: return "BeginReadOnly";
+    case Op::kListSteps: return "ListSteps";
   }
   return "UnknownOp";
 }

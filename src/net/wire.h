@@ -84,9 +84,11 @@ enum class Op : uint8_t {
   kFindSetByName = 29,
   kCheckpoint = 30,
   kServerStats = 31,
+  kBeginReadOnly = 32,
+  kListSteps = 33,
 };
 inline constexpr uint8_t kMinOp = static_cast<uint8_t>(Op::kPing);
-inline constexpr uint8_t kMaxOp = static_cast<uint8_t>(Op::kServerStats);
+inline constexpr uint8_t kMaxOp = static_cast<uint8_t>(Op::kListSteps);
 
 /// Stable human-readable opcode name, for logs and errors.
 std::string_view OpName(Op op);

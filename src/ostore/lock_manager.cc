@@ -69,6 +69,7 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
   if (lock.x_owner == txn) return Status::OK();
   if (!CanGrantLocked(lock, txn, exclusive)) {
     ++lock_waits_;
+    if (!exclusive) ++reader_lock_waits_;
     waiting_[txn] = WaitInfo{page, exclusive};
     // This request just added an edge to the waits-for graph; if that edge
     // completed a cycle, this thread is the one that can see it. Detect now,
@@ -76,6 +77,7 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
     if (uint64_t victim = FindDeadlockVictimLocked(txn); victim != 0) {
       ++deadlocks_;
       if (victim == txn) {
+        if (!exclusive) ++reader_deadlocks_;
         waiting_.erase(txn);
         return Status::Aborted("deadlock victim: txn " + std::to_string(txn) +
                                " waiting for page " + std::to_string(page));
@@ -90,6 +92,7 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
       // this transaction, honoring a concurrent grant could leave the cycle
       // it was chosen to break intact.
       if (victims_.erase(txn) > 0) {
+        if (!exclusive) ++reader_deadlocks_;
         waiting_.erase(txn);
         return Status::Aborted("deadlock victim: txn " + std::to_string(txn) +
                                " waiting for page " + std::to_string(page));
@@ -97,12 +100,14 @@ Status LockManager::Acquire(uint64_t txn, uint64_t page, bool exclusive) {
       if (CanGrantLocked(table_[page], txn, exclusive)) break;
       if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
         if (victims_.erase(txn) > 0) {
+          if (!exclusive) ++reader_deadlocks_;
           waiting_.erase(txn);
           return Status::Aborted("deadlock victim: txn " +
                                  std::to_string(txn) + " waiting for page " +
                                  std::to_string(page));
         }
         if (CanGrantLocked(table_[page], txn, exclusive)) break;
+        if (!exclusive) ++reader_deadlocks_;
         waiting_.erase(txn);
         return Status::Aborted("lock timeout on page " + std::to_string(page) +
                                " (no cycle chose this txn; holder presumed "

@@ -61,6 +61,21 @@ class LockManager {
     return deadlocks_;
   }
 
+  /// Subset of lock_waits() where the blocked request was shared. MVCC
+  /// snapshot readers bypass the lock manager entirely, so regimes that
+  /// read through snapshots assert this stays zero.
+  uint64_t reader_lock_waits() const LABFLOW_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return reader_lock_waits_;
+  }
+
+  /// Aborted returns (victim or timeout) handed to a *shared* request —
+  /// the reader half of the reader/writer deadlock class snapshots remove.
+  uint64_t reader_deadlocks() const LABFLOW_EXCLUDES(mu_) {
+    MutexLock g(mu_);
+    return reader_deadlocks_;
+  }
+
  private:
   struct PageLock {
     uint64_t x_owner = 0;          // 0 = none
@@ -105,6 +120,8 @@ class LockManager {
   std::set<uint64_t> victims_ LABFLOW_GUARDED_BY(mu_);
   uint64_t lock_waits_ LABFLOW_GUARDED_BY(mu_) = 0;
   uint64_t deadlocks_ LABFLOW_GUARDED_BY(mu_) = 0;
+  uint64_t reader_lock_waits_ LABFLOW_GUARDED_BY(mu_) = 0;
+  uint64_t reader_deadlocks_ LABFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace labflow::ostore

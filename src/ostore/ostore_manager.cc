@@ -30,20 +30,32 @@ Status OstoreManager::CommitTxn(storage::Txn* txn) {
   // until a checkpoint closes the hole.
   Status st = CheckWritable();
   // WAL first, then make pages evictable, then release locks.
-  if (st.ok() && t->redo.size() > 0) {
-    st = wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_);
-    if (!st.ok()) RecordWalError(st);
+  uint64_t commit_ts = 0;
+  if (st.ok()) {
+    // Stamp the version chains before the group hits the log; the commit
+    // timestamp stays in-flight — invisible to new snapshots — until the
+    // durability write settles one way or the other.
+    commit_ts = version_store()->PrepareCommit(t->id());
+    if (t->redo.size() > 0) {
+      t->redo.PutU8(kRedoCommitTs);
+      t->redo.PutU64(0);          // lsn slot of the generic op prefix
+      t->redo.PutU64(commit_ts);  // rides in the page slot
+      st = wal_.AppendGroup(t->id(), t->redo.buffer(), sync_commit_);
+      if (!st.ok()) RecordWalError(st);
+    }
   }
   if (!st.ok()) {
     // The handle is invalidated regardless of the outcome (Commit frees
     // it), so a commit that cannot reach the log degrades to an abort:
     // undo the in-memory changes, drop the pins, release the 2PL locks —
     // an early return here would leak the transaction's page locks.
+    if (commit_ts != 0) version_store()->AbandonCommit(t->id(), commit_ts);
     LABFLOW_IGNORE_STATUS(
         AbortTxn(txn),
         "surfacing the WAL failure; the rollback is best-effort");
     return st;
   }
+  version_store()->FinalizeCommit(t->id(), commit_ts);
   t->pins.clear();
   locks_->ReleaseAll(t->id());
   commits_.fetch_add(1);
@@ -79,6 +91,9 @@ Status OstoreManager::AbortTxn(storage::Txn* txn) {
     }
     if (!st.ok() && result.ok()) result = st;
   }
+  // After the physical rollback: the pages again hold what the chains'
+  // committed tails (or fall-through) describe, so the pendings can go.
+  version_store()->AbortOwner(t->id());
   t->pins.clear();
   locks_->ReleaseAll(t->id());
   aborts_.fetch_add(1);
@@ -90,6 +105,7 @@ void OstoreManager::OnTxnDrop(storage::Txn* txn) {
   // before the buffer pool is torn down (their changes are simply dropped:
   // never committed, so never logged).
   OstoreTxn* t = Cast(txn);
+  version_store()->AbortOwner(t->id());
   t->pins.clear();
   locks_->ReleaseAll(t->id());
 }
@@ -260,6 +276,11 @@ Status OstoreManager::Recover() {
               RedoDelete(lsn, page, static_cast<uint16_t>(slot)));
           break;
         }
+        case kRedoCommitTs:
+          // The timestamp rides in the page slot of the generic prefix;
+          // replaying it restores the allocator past every logged commit.
+          version_store()->EnsureTimestamp(page);
+          break;
         default:
           return Status::Corruption("unknown wal op");
       }
@@ -287,6 +308,20 @@ Status OstoreManager::OnClose() { return wal_.Close(); }
 
 Status OstoreManager::OnCrash() { return wal_.Close(); }
 
+std::string OstoreManager::EncodeMeta() const {
+  Encoder enc;
+  enc.PutU64(version_store()->high_water());
+  return std::string(enc.buffer());
+}
+
+Status OstoreManager::DecodeMeta(std::string_view meta) {
+  if (meta.empty()) return Status::OK();  // pre-MVCC superblock
+  Decoder dec(meta);
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t hwm, dec.GetU64());
+  version_store()->EnsureTimestamp(hwm);
+  return Status::OK();
+}
+
 void OstoreManager::AugmentStats(StorageStats* stats) const {
   stats->wal_bytes = wal_.SizeBytes();
   Wal::GroupStats wal_stats = wal_.group_stats();
@@ -295,6 +330,10 @@ void OstoreManager::AugmentStats(StorageStats* stats) const {
   stats->wal_group_syncs = wal_stats.syncs;
   stats->lock_waits = locks_ == nullptr ? 0 : locks_->lock_waits();
   stats->deadlocks = locks_ == nullptr ? 0 : locks_->deadlocks();
+  stats->reader_lock_waits =
+      locks_ == nullptr ? 0 : locks_->reader_lock_waits();
+  stats->reader_deadlocks =
+      locks_ == nullptr ? 0 : locks_->reader_deadlocks();
   stats->txn_commits = commits_.load();
   stats->txn_aborts = aborts_.load();
 }

@@ -67,6 +67,10 @@ class OstoreManager : public storage::PagedManagerBase {
  protected:
   bool SupportsSegments() const override { return true; }
   bool UseClusterHint() const override { return false; }
+  /// MVCC snapshot reads (see PagedManagerBase::version_store): commits are
+  /// stamped through the two-phase PrepareCommit/FinalizeCommit protocol so
+  /// a group-committed WAL write sits safely between the phases.
+  bool SupportsSnapshots() const override { return true; }
 
   // Transaction policy (see StorageManager):
   std::unique_ptr<storage::Txn> CreateTxn(uint64_t id) override;
@@ -93,6 +97,10 @@ class OstoreManager : public storage::PagedManagerBase {
   Status OnCheckpoint() override;
   Status OnClose() override;
   Status OnCrash() override;
+  /// Persists the commit-timestamp high-water mark in the superblock (and
+  /// restores it on open; an empty meta — a pre-MVCC file — means zero).
+  std::string EncodeMeta() const override;
+  Status DecodeMeta(std::string_view meta) override;
   void AugmentStats(storage::StorageStats* stats) const override;
 
   /// Degraded mode: after any WAL append failure the store refuses new
@@ -109,6 +117,10 @@ class OstoreManager : public storage::PagedManagerBase {
     kRedoInsertOp = 2,
     kRedoUpdateOp = 3,
     kRedoDeleteOp = 4,
+    /// Commit-timestamp marker: [op][u64 0][u64 ts] — shaped like the
+    /// generic op prefix, with the timestamp riding in the page field, so
+    /// recovery can rebuild the allocator's high-water mark from the log.
+    kRedoCommitTs = 5,
   };
 
   /// OStore's transaction handle: redo buffer, undo log and page pins ride

@@ -232,11 +232,27 @@ class ParserImpl {
   }
 
   Result<std::vector<Term>> Query() {
-    LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Conjunction());
+    LABFLOW_ASSIGN_OR_RETURN(ParsedQuery q, QueryAsOf());
+    if (q.as_of >= 0) return Err("AS OF is not allowed in this context");
+    return std::move(q.goals);
+  }
+
+  Result<ParsedQuery> QueryAsOf() {
+    ParsedQuery q;
+    LABFLOW_ASSIGN_OR_RETURN(q.goals, Conjunction());
+    // `AS`/`OF` lex as variables (uppercase) and `as`/`of` as atoms; both
+    // spellings are accepted as the suffix keywords.
+    if (ConsumeKeyword("as")) {
+      if (!ConsumeKeyword("of")) return Err("expected OF after AS");
+      if (Peek().kind != TokKind::kTime) {
+        return Err("expected @time after AS OF");
+      }
+      q.as_of = Next().int_value;
+    }
     (void)ConsumePunct(".");
     (void)ConsumePunct("?");
     if (!AtEnd()) return Err("trailing tokens after query");
-    return goals;
+    return q;
   }
 
   Result<Term> SingleTerm() {
@@ -249,6 +265,21 @@ class ParserImpl {
   const Token& Peek() const { return tokens_[pos_]; }
   bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
   const Token& Next() { return tokens_[pos_++]; }
+
+  /// Consumes a case-insensitive keyword token (`as`, `of`). Matches both
+  /// the atom (lowercase) and variable (uppercase) lexings.
+  bool ConsumeKeyword(std::string_view lower) {
+    const Token& t = Peek();
+    if (t.kind != TokKind::kAtom && t.kind != TokKind::kVar) return false;
+    if (t.text.size() != lower.size()) return false;
+    for (size_t i = 0; i < lower.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(t.text[i])) != lower[i]) {
+        return false;
+      }
+    }
+    ++pos_;
+    return true;
+  }
 
   bool PeekPunct(const std::string& p) const {
     return Peek().kind == TokKind::kPunct && Peek().text == p;
@@ -457,6 +488,13 @@ Result<std::vector<Term>> Parser::ParseQuery(std::string_view src) {
   LABFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   ParserImpl parser(std::move(tokens));
   return parser.Query();
+}
+
+Result<ParsedQuery> Parser::ParseQueryAsOf(std::string_view src) {
+  Lexer lexer(src);
+  LABFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  ParserImpl parser(std::move(tokens));
+  return parser.QueryAsOf();
 }
 
 Result<Term> Parser::ParseTerm(std::string_view src) {

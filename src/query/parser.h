@@ -19,10 +19,21 @@ struct Clause {
   std::vector<Term> body;
 };
 
+/// A parsed query: the goal conjunction plus the optional trailing
+/// `AS OF @T` valid-time horizon (-1 when absent). Under a horizon the
+/// solver answers the temporal predicates as of valid time T: most_recent
+/// becomes value-as-of-T, histories are clamped to T, and steps recorded
+/// after T do not exist.
+struct ParsedQuery {
+  std::vector<Term> goals;
+  int64_t as_of = -1;
+};
+
 /// Recursive-descent parser for the deductive language.
 ///
 /// Syntax summary:
 ///   clause   := term ( ("<-" | ":-") conj )? "."
+///   query    := conj ( ("AS" "OF" | "as" "of") @time )? ("." | "?")?
 ///   conj     := expr ("," expr)*
 ///   expr     := arith ( ("="|"\\="|"<"|">"|"=<"|">="|"is") arith )?
 ///   arith    := prod (("+"|"-") prod)*
@@ -40,7 +51,12 @@ class Parser {
   static Result<std::vector<Clause>> ParseProgram(std::string_view src);
 
   /// Parses a query: a conjunction, with optional trailing "." or "?".
+  /// A trailing `AS OF @T` is a parse error here; use ParseQueryAsOf.
   static Result<std::vector<Term>> ParseQuery(std::string_view src);
+
+  /// Parses a query that may carry a trailing `AS OF @T` valid-time
+  /// horizon (both `AS OF` and `as of` are accepted).
+  static Result<ParsedQuery> ParseQueryAsOf(std::string_view src);
 
   /// Parses a single term (no trailing period required).
   static Result<Term> ParseTerm(std::string_view src);

@@ -1,6 +1,7 @@
 #include "query/solver.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include "common/status_macros.h"
 
@@ -169,9 +170,9 @@ Result<int> CompareForOrder(const Term& lhs, const Term& rhs,
 
 // ---- Solver core ------------------------------------------------------------
 
-Solver::Solver(labbase::LabBase::Session* db) : Solver(db, Options{}) {}
+Solver::Solver(labbase::SessionIface* db) : Solver(db, Options{}) {}
 
-Solver::Solver(labbase::LabBase::Session* db, Options options)
+Solver::Solver(labbase::SessionIface* db, Options options)
     : db_(db), options_(options) {}
 
 Status Solver::LoadProgram(std::string_view src) {
@@ -206,8 +207,11 @@ Result<int64_t> Solver::Solve(const std::vector<Term>& goals,
 }
 
 Result<int64_t> Solver::SolveText(std::string_view query, const Callback& cb) {
-  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
-  return Solve(goals, cb);
+  LABFLOW_ASSIGN_OR_RETURN(ParsedQuery parsed, Parser::ParseQueryAsOf(query));
+  as_of_ = parsed.as_of;
+  Result<int64_t> n = Solve(parsed.goals, cb);
+  as_of_ = -1;
+  return n;
 }
 
 namespace {
@@ -229,27 +233,27 @@ void CollectVars(const Term& t, std::set<std::string>* out) {
 
 Result<std::vector<Solver::Solution>> Solver::QueryAll(std::string_view query,
                                                        int64_t limit) {
-  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
+  LABFLOW_ASSIGN_OR_RETURN(ParsedQuery parsed, Parser::ParseQueryAsOf(query));
   std::set<std::string> vars;
-  for (const Term& g : goals) CollectVars(g, &vars);
+  for (const Term& g : parsed.goals) CollectVars(g, &vars);
   std::vector<Solution> out;
-  LABFLOW_ASSIGN_OR_RETURN(
-      int64_t n, Solve(goals, [&](const Bindings& b) {
-        Solution sol;
-        for (const std::string& v : vars) {
-          sol.vars[v] = b.Resolve(Term::Var(v));
-        }
-        out.push_back(std::move(sol));
-        return limit < 0 || static_cast<int64_t>(out.size()) < limit;
-      }));
-  (void)n;
+  as_of_ = parsed.as_of;
+  Result<int64_t> n = Solve(parsed.goals, [&](const Bindings& b) {
+    Solution sol;
+    for (const std::string& v : vars) {
+      sol.vars[v] = b.Resolve(Term::Var(v));
+    }
+    out.push_back(std::move(sol));
+    return limit < 0 || static_cast<int64_t>(out.size()) < limit;
+  });
+  as_of_ = -1;
+  LABFLOW_RETURN_IF_ERROR(n.status());
   return out;
 }
 
 Result<bool> Solver::Prove(std::string_view query) {
-  LABFLOW_ASSIGN_OR_RETURN(std::vector<Term> goals, Parser::ParseQuery(query));
   bool found = false;
-  LABFLOW_ASSIGN_OR_RETURN(int64_t n, Solve(goals, [&](const Bindings&) {
+  LABFLOW_ASSIGN_OR_RETURN(int64_t n, SolveText(query, [&](const Bindings&) {
                              found = true;
                              return false;  // first solution suffices
                            }));
@@ -948,7 +952,9 @@ Status Solver::SolveDbPredicate(const Term& goal,
                                db_->GetMaterial(oid));
       for (AttrId attr : info.attrs_present) {
         LABFLOW_ASSIGN_OR_RETURN(std::string name, schema.AttributeName(attr));
-        auto value = db_->MostRecent(oid, attr);
+        auto value = as_of_ >= 0
+                         ? db_->ValueAsOf(oid, attr, Timestamp(as_of_))
+                         : db_->MostRecent(oid, attr);
         if (!value.ok()) continue;
         LABFLOW_RETURN_IF_ERROR(UnifyAllAndContinue(
             {{goal.args()[1], Term::Atom(name)},
@@ -960,7 +966,10 @@ Status Solver::SolveDbPredicate(const Term& goal,
     LABFLOW_ASSIGN_OR_RETURN(std::string attr_name, TermToName(attr_t));
     auto attr = schema.AttributeByName(attr_name);
     if (!attr.ok()) return Status::OK();
-    auto value = db_->MostRecent(oid, attr.value());
+    auto value =
+        as_of_ >= 0
+            ? db_->ValueAsOf(oid, attr.value(), Timestamp(as_of_))
+            : db_->MostRecent(oid, attr.value());
     if (!value.ok()) return Status::OK();  // no tag recorded -> fail
     return UnifyAndContinue(goal.args()[2], ValueToTerm(value.value()));
   }
@@ -971,8 +980,15 @@ Status Solver::SolveDbPredicate(const Term& goal,
                              TermToName(b->Resolve(goal.args()[1])));
     auto attr = schema.AttributeByName(attr_name);
     if (!attr.ok()) return Status::OK();
-    LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
-                             db_->History(oid, attr.value()));
+    std::vector<labbase::HistoryEntry> hist;
+    if (as_of_ >= 0) {
+      LABFLOW_ASSIGN_OR_RETURN(
+          hist, db_->HistoryBetween(oid, attr.value(),
+                                    Timestamp(std::numeric_limits<int64_t>::min()),
+                                    Timestamp(as_of_)));
+    } else {
+      LABFLOW_ASSIGN_OR_RETURN(hist, db_->History(oid, attr.value()));
+    }
     std::vector<Term> items;
     items.reserve(hist.size());
     for (const labbase::HistoryEntry& e : hist) {
@@ -991,6 +1007,7 @@ Status Solver::SolveDbPredicate(const Term& goal,
     if (!attr.ok()) return Status::OK();
     LABFLOW_ASSIGN_OR_RETURN(Timestamp at,
                              TermToTime(b->Resolve(goal.args()[2])));
+    if (as_of_ >= 0 && at > Timestamp(as_of_)) at = Timestamp(as_of_);
     auto value = db_->ValueAsOf(oid, attr.value(), at);
     if (!value.ok()) return Status::OK();
     return UnifyAndContinue(goal.args()[3], ValueToTerm(value.value()));
@@ -1007,6 +1024,7 @@ Status Solver::SolveDbPredicate(const Term& goal,
                              TermToTime(b->Resolve(goal.args()[2])));
     LABFLOW_ASSIGN_OR_RETURN(Timestamp to,
                              TermToTime(b->Resolve(goal.args()[3])));
+    if (as_of_ >= 0 && to > Timestamp(as_of_)) to = Timestamp(as_of_);
     LABFLOW_ASSIGN_OR_RETURN(std::vector<labbase::HistoryEntry> hist,
                              db_->HistoryBetween(oid, attr.value(), from, to));
     std::vector<Term> items;
@@ -1022,6 +1040,8 @@ Status Solver::SolveDbPredicate(const Term& goal,
     Term s = b->Walk(goal.args()[0]);
     auto EmitStep = [&](Oid step_oid) -> Status {
       LABFLOW_ASSIGN_OR_RETURN(labbase::StepInfo info, db_->GetStep(step_oid));
+      // Steps recorded after the AS OF horizon do not exist at it.
+      if (as_of_ >= 0 && info.time > Timestamp(as_of_)) return Status::OK();
       LABFLOW_ASSIGN_OR_RETURN(std::string class_name,
                                schema.ClassName(info.class_id));
       return UnifyAllAndContinue(
@@ -1033,15 +1053,7 @@ Status Solver::SolveDbPredicate(const Term& goal,
       LABFLOW_ASSIGN_OR_RETURN(Oid oid, TermToOid(b->Resolve(s)));
       return EmitStep(oid);
     }
-    std::vector<Oid> steps;
-    LABFLOW_RETURN_IF_ERROR(db_->storage()->ScanAll(
-        [&](storage::ObjectId id, std::string_view data) {
-          auto kind = labbase::PeekRecordKind(data);
-          if (kind.ok() && kind.value() == labbase::RecordKind::kStep) {
-            steps.push_back(Oid(id.raw));
-          }
-          return Status::OK();
-        }));
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<Oid> steps, db_->ListSteps());
     for (Oid oid : steps) {
       LABFLOW_RETURN_IF_ERROR(EmitStep(oid));
       if (*stop) return Status::OK();

@@ -11,7 +11,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
-#include "labbase/labbase.h"
+#include "labbase/session_iface.h"
 #include "query/parser.h"
 #include "query/term.h"
 #include "query/unify.h"
@@ -57,8 +57,10 @@ class Solver {
   };
 
   /// `db` may be null, giving a pure rule interpreter (used by unit tests).
-  explicit Solver(labbase::LabBase::Session* db);
-  Solver(labbase::LabBase::Session* db, Options options);
+  /// Any SessionIface works: an in-process LabBase::Session or a remote
+  /// net::RemoteSession — the solver only speaks the session seam.
+  explicit Solver(labbase::SessionIface* db);
+  Solver(labbase::SessionIface* db, Options options);
 
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
@@ -111,8 +113,13 @@ class Solver {
   Clause Rename(const Clause& clause);
   static Term RenameTerm(const Term& t, const std::string& suffix);
 
-  labbase::LabBase::Session* db_;
+  labbase::SessionIface* db_;
   Options options_;
+  /// Valid-time horizon from the query's `AS OF @T` suffix; -1 when absent.
+  /// Under a horizon the temporal predicates answer as of T: most_recent/3
+  /// becomes value-at-T, history/3 and history_between/5 are clamped to T,
+  /// value_at/4 never sees past T, and step/3 hides steps recorded after T.
+  int64_t as_of_ = -1;
   int64_t work_ = 0;
   int64_t depth_ = 0;
   uint64_t rename_counter_ = 0;

@@ -1,6 +1,7 @@
 #include "storage/paged_manager.h"
 
 #include <cstring>
+#include <unordered_set>
 
 #include "common/codec.h"
 #include "common/mutex.h"
@@ -280,6 +281,11 @@ StorageStats PagedManagerBase::stats() const {
   s.db_size_bytes = file_.SizeBytes();
   s.live_objects = live_objects_.load();
   s.txn_retries = txn_retry_count();
+  if (SupportsSnapshots()) {
+    s.snapshots_opened = versions_.snapshots_opened();
+    s.commit_ts_hwm = versions_.high_water();
+    s.mvcc_chains = versions_.chain_count();
+  }
   AugmentStats(&s);
   return s;
 }
@@ -372,6 +378,16 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(Txn* txn, uint64_t page_no,
         lsn = NextLsn();
         page.set_lsn(lsn);
         guard->MarkDirty();
+        if (txn != nullptr && SupportsSnapshots() && !record.empty()) {
+          uint8_t tag = static_cast<uint8_t>(record[0]);
+          if (tag == kRecTagData || tag == kRecTagRoot) {
+            // Register the uncommitted slot before the latch drops: a
+            // snapshot scan that sees it live must also see the chain and
+            // skip it.
+            versions_.NotePendingInsert(
+                txn->id(), ObjectId::Make(page_no, slot.value()).raw);
+          }
+        }
       }
     }
   }
@@ -562,19 +578,27 @@ Result<ObjectId> PagedManagerBase::DoAllocate(Txn* txn, std::string_view data,
     }
     id = InsertRecord(txn, PadRecord(std::move(root)), hint);
   }
-  if (id.ok()) live_objects_.fetch_add(1);
+  if (id.ok()) {
+    live_objects_.fetch_add(1);
+    if (txn != nullptr && SupportsSnapshots()) {
+      // Created by this transaction: no pre-image; the object stays
+      // invisible to snapshots until its commit timestamp.
+      versions_.RecordWrite(txn->id(), id.value().raw, data, nullptr);
+    }
+  }
   return id;
 }
 
 // ---- Read -----------------------------------------------------------------
 
-Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id) {
+Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id,
+                                              bool for_update) {
   if (!id.IsValid()) return Status::InvalidArgument("invalid object id");
   uint64_t page_no = id.page();
   if (page_no == 0 || page_no >= file_.page_count()) {
     return Status::NotFound("no such object: " + id.ToString());
   }
-  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/false));
+  LABFLOW_RETURN_IF_ERROR(LockPage(txn, page_no, /*exclusive=*/for_update));
   LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard, pool_->Fetch(page_no));
   ReaderMutexLock l(guard->latch());
   Page page(guard->data());
@@ -583,11 +607,12 @@ Result<std::string> PagedManagerBase::ReadRaw(Txn* txn, ObjectId id) {
 }
 
 Result<ObjectId> PagedManagerBase::ResolveForward(Txn* txn, ObjectId id,
-                                                  ObjectId* first_hop) {
+                                                  ObjectId* first_hop,
+                                                  bool for_update) {
   if (first_hop != nullptr) *first_hop = ObjectId::Invalid();
   ObjectId cur = id;
   for (int hops = 0; hops < 32; ++hops) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur));
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur, for_update));
     if (rec.empty()) return Status::Corruption("empty record");
     if (static_cast<uint8_t>(rec[0]) != kRecTagForward) return cur;
     if (first_hop != nullptr && !first_hop->IsValid()) *first_hop = cur;
@@ -598,6 +623,9 @@ Result<ObjectId> PagedManagerBase::ResolveForward(Txn* txn, ObjectId id,
 
 Result<std::string> PagedManagerBase::DoRead(Txn* txn, ObjectId id) {
   if (!open_) return Status::InvalidArgument("manager not open");
+  if (txn != nullptr && txn->is_snapshot()) {
+    return SnapshotRead(txn->snapshot_ts(), id);
+  }
   LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal, ResolveForward(txn, id, nullptr));
   LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, terminal));
   if (rec.empty()) return Status::Corruption("empty record");
@@ -620,6 +648,128 @@ Result<std::string> PagedManagerBase::DoRead(Txn* txn, ObjectId id) {
     return Status::InvalidArgument("id refers to an internal chunk");
   }
   return Status::Corruption("unknown record tag");
+}
+
+// ---- Snapshot reads -------------------------------------------------------
+
+Result<std::string> PagedManagerBase::PayloadOfRecord(Txn* txn,
+                                                      std::string_view record,
+                                                      bool for_update) {
+  if (record.empty()) return Status::Corruption("empty record");
+  uint8_t tag = static_cast<uint8_t>(record[0]);
+  if (tag == kRecTagData || tag == kRecTagMovedData) {
+    LABFLOW_ASSIGN_OR_RETURN(std::string_view payload, DecodePayload(record));
+    return std::string(payload);
+  }
+  if (tag == kRecTagRoot || tag == kRecTagMovedRoot) {
+    LABFLOW_ASSIGN_OR_RETURN(std::vector<ObjectId> chunks, DecodeRoot(record));
+    std::string out;
+    for (ObjectId chunk : chunks) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string crec, ReadRaw(txn, chunk, for_update));
+      LABFLOW_ASSIGN_OR_RETURN(std::string_view payload, DecodePayload(crec));
+      out.append(payload.data(), payload.size());
+    }
+    return out;
+  }
+  return Status::InvalidArgument("record has no payload");
+}
+
+Result<std::string> PagedManagerBase::SnapshotRead(uint64_t snapshot_ts,
+                                                   ObjectId id) {
+  std::string chained;
+  switch (versions_.Lookup(snapshot_ts, id.raw, &chained)) {
+    case VersionStore::Resolve::kData:
+      return chained;
+    case VersionStore::Resolve::kNotFound:
+      return Status::NotFound("no such object at snapshot: " + id.ToString());
+    case VersionStore::Resolve::kFallThrough:
+      break;
+  }
+  // Optimistic lock-free physical read (LockPage with txn == nullptr is a
+  // no-op everywhere). Every transactional writer registers its chain
+  // before mutating bytes, so if this read raced one — and possibly
+  // assembled a torn multi-chunk value — the re-check below sees the chain
+  // and overrides the physical answer.
+  Result<std::string> physical = DoRead(nullptr, id);
+  switch (versions_.Lookup(snapshot_ts, id.raw, &chained)) {
+    case VersionStore::Resolve::kData:
+      return chained;
+    case VersionStore::Resolve::kNotFound:
+      return Status::NotFound("no such object at snapshot: " + id.ToString());
+    case VersionStore::Resolve::kFallThrough:
+      break;
+  }
+  return physical;
+}
+
+Status PagedManagerBase::SnapshotScanAll(
+    uint64_t snapshot_ts,
+    const std::function<Status(ObjectId, std::string_view)>& fn) {
+  // Physical pass, lock-free. Every live public slot found under a page
+  // latch is resolved against the chains afterwards; since writers register
+  // chains before mutating, a latch-read that observed uncommitted bytes is
+  // always overridden. Keys handled here — emitted or ruled invisible — go
+  // into `emitted`; the chain sweep at the end covers objects whose slots
+  // were deleted or moved before this pass reached their page.
+  std::unordered_set<uint64_t> emitted;
+  for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
+    struct Item {
+      ObjectId id;
+      bool inline_payload;
+      std::string payload;  // set when inline
+    };
+    std::vector<Item> items;
+    {
+      LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
+                               pool_->Fetch(page_no));
+      ReaderMutexLock l(guard->latch());
+      Page page(guard->data());
+      for (uint16_t s = 0; s < page.slot_count(); ++s) {
+        if (!page.IsLive(s)) continue;
+        auto rec = page.Read(s);
+        if (!rec.ok() || rec.value().empty()) continue;
+        uint8_t tag = static_cast<uint8_t>(rec.value()[0]);
+        ObjectId id = ObjectId::Make(page_no, s);
+        if (tag == kRecTagData) {
+          auto payload = DecodePayload(rec.value());
+          if (payload.ok()) {
+            items.push_back(Item{id, true, std::string(payload.value())});
+          } else {
+            // Garbled under concurrent rewrite; retry via SnapshotRead,
+            // which settles it against the chain.
+            items.push_back(Item{id, false, std::string()});
+          }
+        } else if (tag == kRecTagRoot || tag == kRecTagForward) {
+          items.push_back(Item{id, false, std::string()});
+        }
+      }
+    }
+    for (const Item& item : items) {
+      emitted.insert(item.id.raw);
+      std::string chained;
+      switch (versions_.Lookup(snapshot_ts, item.id.raw, &chained)) {
+        case VersionStore::Resolve::kData:
+          LABFLOW_RETURN_IF_ERROR(fn(item.id, chained));
+          continue;
+        case VersionStore::Resolve::kNotFound:
+          continue;  // not visible at this snapshot
+        case VersionStore::Resolve::kFallThrough:
+          break;
+      }
+      if (item.inline_payload) {
+        LABFLOW_RETURN_IF_ERROR(fn(item.id, item.payload));
+      } else {
+        Result<std::string> data = SnapshotRead(snapshot_ts, item.id);
+        if (data.status().IsNotFound()) continue;  // vanished mid-scan
+        LABFLOW_RETURN_IF_ERROR(data.status());
+        LABFLOW_RETURN_IF_ERROR(fn(item.id, data.value()));
+      }
+    }
+  }
+  return versions_.SweepVisible(
+      snapshot_ts, emitted, [&fn](uint64_t key, std::string_view data) {
+        return fn(ObjectId(key), data);
+      });
 }
 
 // ---- Update / Free --------------------------------------------------------
@@ -687,10 +837,16 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
                                   std::string_view data) {
   if (!open_) return Status::InvalidArgument("manager not open");
   LABFLOW_RETURN_IF_ERROR(CheckWritable());
+  // Every page touched here is about to be rewritten, so lock for-update
+  // (exclusive) from the first read: asking for S and upgrading later is
+  // the classic two-updaters deadlock, and blocked S requests from writers
+  // would masquerade as reader lock-waits in the stats.
   ObjectId first_hop = ObjectId::Invalid();
-  LABFLOW_ASSIGN_OR_RETURN(ObjectId terminal,
-                           ResolveForward(txn, id, &first_hop));
-  LABFLOW_ASSIGN_OR_RETURN(std::string old_rec, ReadRaw(txn, terminal));
+  LABFLOW_ASSIGN_OR_RETURN(
+      ObjectId terminal,
+      ResolveForward(txn, id, &first_hop, /*for_update=*/true));
+  LABFLOW_ASSIGN_OR_RETURN(std::string old_rec,
+                           ReadRaw(txn, terminal, /*for_update=*/true));
   if (old_rec.empty()) return Status::Corruption("empty record");
   uint8_t old_tag = static_cast<uint8_t>(old_rec[0]);
   if (old_tag == kRecTagChunk || old_tag == kRecTagForward) {
@@ -701,6 +857,19 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
     LABFLOW_ASSIGN_OR_RETURN(old_chunks, DecodeRoot(old_rec));
   }
 
+  if (txn != nullptr && SupportsSnapshots()) {
+    // Capture before any byte changes, under the X locks taken above
+    // (chunk pages are X-locked too — they get deleted below).
+    if (versions_.HasPending(txn->id(), id.raw)) {
+      versions_.RecordWrite(txn->id(), id.raw, data, nullptr);
+    } else {
+      LABFLOW_ASSIGN_OR_RETURN(
+          std::string pre,
+          PayloadOfRecord(txn, old_rec, /*for_update=*/true));
+      versions_.RecordWrite(txn->id(), id.raw, data, &pre);
+    }
+  }
+
   // Derive a placement hint that keeps the object in its segment. The
   // cluster hint is deliberately NOT propagated: a record that outgrew its
   // page is usually a growing anchor object (e.g. a material) — clustering
@@ -709,7 +878,7 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
   AllocHint derived;
   {
     LABFLOW_RETURN_IF_ERROR(
-        LockPage(txn, terminal.page(), /*exclusive=*/false));
+        LockPage(txn, terminal.page(), /*exclusive=*/true));
     LABFLOW_ASSIGN_OR_RETURN(BufferPool::PinGuard guard,
                              pool_->Fetch(terminal.page()));
     ReaderMutexLock l(guard->latch());
@@ -769,9 +938,31 @@ Status PagedManagerBase::DoUpdate(Txn* txn, ObjectId id,
 Status PagedManagerBase::DoFree(Txn* txn, ObjectId id) {
   if (!open_) return Status::InvalidArgument("manager not open");
   LABFLOW_RETURN_IF_ERROR(CheckWritable());
+  if (txn != nullptr && SupportsSnapshots()) {
+    if (versions_.HasPending(txn->id(), id.raw)) {
+      versions_.RecordDelete(txn->id(), id.raw, nullptr);
+    } else {
+      // Read for-update: the loop below X-locks this whole chain anyway,
+      // and an S capture first would be a lock upgrade.
+      Result<std::string> pre = [&]() -> Result<std::string> {
+        LABFLOW_ASSIGN_OR_RETURN(
+            ObjectId terminal,
+            ResolveForward(txn, id, nullptr, /*for_update=*/true));
+        LABFLOW_ASSIGN_OR_RETURN(std::string rec,
+                                 ReadRaw(txn, terminal, /*for_update=*/true));
+        return PayloadOfRecord(txn, rec, /*for_update=*/true);
+      }();
+      // On error, skip the capture and let the loop below surface it.
+      if (pre.ok()) {
+        const std::string& image = pre.value();
+        versions_.RecordDelete(txn->id(), id.raw, &image);
+      }
+    }
+  }
   ObjectId cur = id;
   for (int hops = 0; hops < 32; ++hops) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string rec, ReadRaw(txn, cur));
+    LABFLOW_ASSIGN_OR_RETURN(std::string rec,
+                             ReadRaw(txn, cur, /*for_update=*/true));
     if (rec.empty()) return Status::Corruption("empty record");
     uint8_t tag = static_cast<uint8_t>(rec[0]);
     if (tag == kRecTagForward) {
@@ -800,6 +991,9 @@ Status PagedManagerBase::DoFree(Txn* txn, ObjectId id) {
 Status PagedManagerBase::DoScanAll(
     Txn* txn, const std::function<Status(ObjectId, std::string_view)>& fn) {
   if (!open_) return Status::InvalidArgument("manager not open");
+  if (txn != nullptr && txn->is_snapshot()) {
+    return SnapshotScanAll(txn->snapshot_ts(), fn);
+  }
   for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
     struct Item {
       ObjectId id;

@@ -16,6 +16,7 @@
 #include "storage/page.h"
 #include "storage/page_file.h"
 #include "storage/storage_manager.h"
+#include "storage/version_store.h"
 
 namespace labflow::storage {
 
@@ -145,6 +146,19 @@ class PagedManagerBase : public StorageManager {
   virtual void RetainPage(Txn* txn, uint64_t page_no) {
     (void)txn, (void)page_no;
   }
+
+  // ---- MVCC hooks --------------------------------------------------------
+
+  /// Version chains + commit-timestamp allocator backing snapshot reads.
+  /// The base class captures pre-images and serves snapshot read paths when
+  /// the subclass enables SupportsSnapshots(); commit stamping
+  /// (Prepare/Finalize/Abandon) and abort cleanup are driven by the
+  /// subclass's CommitTxn/AbortTxn through this accessor.
+  VersionStore* version_store() { return &versions_; }
+  const VersionStore* version_store() const { return &versions_; }
+
+  uint64_t AcquireSnapshot() override { return versions_.AcquireSnapshot(); }
+  void ReleaseSnapshot(uint64_t ts) override { versions_.ReleaseSnapshot(ts); }
 
   // ---- Logging hooks (called after the in-memory change, with its LSN) ---
 
@@ -284,10 +298,27 @@ class PagedManagerBase : public StorageManager {
   /// Creates, initializes and registers a new page in `segment`.
   Result<uint64_t> NewPageInSegment(Txn* txn, uint16_t segment);
 
-  /// Reads the raw (tagged) record bytes of an object.
-  Result<std::string> ReadRaw(Txn* txn, ObjectId id);
+  /// Snapshot read path: chain lookup, then a lock-free optimistic physical
+  /// read, then a chain re-check that decides whether the physical bytes
+  /// were the committed value at the snapshot.
+  Result<std::string> SnapshotRead(uint64_t snapshot_ts, ObjectId id);
+  Status SnapshotScanAll(
+      uint64_t snapshot_ts,
+      const std::function<Status(ObjectId, std::string_view)>& fn);
+
+  /// Payload of a terminal (non-forward) record, assembling chunks under
+  /// `txn`'s locks; used to capture MVCC pre-images on first touch.
+  Result<std::string> PayloadOfRecord(Txn* txn, std::string_view record,
+                                      bool for_update = false);
+
+  /// Reads the raw (tagged) record bytes of an object. `for_update` locks
+  /// the page exclusively up front: the update/free paths will X-lock it
+  /// anyway, and asking for S first is the textbook upgrade deadlock — and
+  /// it would also count writers' reads as reader lock-waits in the stats.
+  Result<std::string> ReadRaw(Txn* txn, ObjectId id, bool for_update = false);
   /// Follows forwarding records; returns the terminal id (tag 0/2/5 there).
-  Result<ObjectId> ResolveForward(Txn* txn, ObjectId id, ObjectId* first_hop);
+  Result<ObjectId> ResolveForward(Txn* txn, ObjectId id, ObjectId* first_hop,
+                                  bool for_update = false);
   /// Deletes one slot, firing hooks and maintaining the free map.
   Status DeleteSlot(Txn* txn, ObjectId id);
   /// Overwrites one slot in place, firing hooks; ResourceExhausted if the
@@ -315,6 +346,7 @@ class PagedManagerBase : public StorageManager {
   std::vector<SegmentState> segments_;  // index = segment id
   std::unordered_map<uint64_t, uint64_t> cluster_overflow_;
   std::atomic<uint64_t> live_objects_{0};
+  VersionStore versions_;
 };
 
 }  // namespace labflow::storage

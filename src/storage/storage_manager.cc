@@ -9,16 +9,29 @@
 
 namespace labflow::storage {
 
-Result<Txn*> StorageManager::Begin() {
-  MutexLock g(txn_mu_);
-  if (active_txns_.size() >= MaxConcurrentTxns()) {
+Result<Txn*> StorageManager::Begin(bool snapshot) {
+  snapshot = snapshot && SupportsSnapshots();
+  std::unique_ptr<Txn> txn = CreateTxn(next_txn_id_.fetch_add(1));
+  if (snapshot) {
+    txn->snapshot_ = true;
+    txn->snapshot_ts_ = AcquireSnapshot();
+  }
+  Txn* raw = txn.get();
+  {
+    MutexLock g(txn_mu_);
+    if (active_txns_.size() >= MaxConcurrentTxns()) {
+      // Fall through to release the snapshot outside the lock.
+      raw = nullptr;
+    } else {
+      active_txns_.emplace(raw, std::move(txn));
+    }
+  }
+  if (raw == nullptr) {
+    if (snapshot) ReleaseSnapshot(txn->snapshot_ts_);
     return Status::ResourceExhausted(
         std::string(name()) + ": concurrent transaction limit reached (" +
         std::to_string(MaxConcurrentTxns()) + ")");
   }
-  std::unique_ptr<Txn> txn = CreateTxn(next_txn_id_.fetch_add(1));
-  Txn* raw = txn.get();
-  active_txns_.emplace(raw, std::move(txn));
   return raw;
 }
 
@@ -47,6 +60,13 @@ Status StorageManager::Commit(Txn* txn) {
     owned = std::move(it->second);
     active_txns_.erase(it);
   }
+  if (owned->is_snapshot()) {
+    // A snapshot transaction holds no locks, wrote nothing, and must keep
+    // working in a manager degraded to read-only — closing the snapshot is
+    // the whole commit.
+    ReleaseSnapshot(owned->snapshot_ts());
+    return Status::OK();
+  }
   return CommitTxn(owned.get());
 }
 
@@ -61,15 +81,20 @@ Status StorageManager::Abort(Txn* txn) {
     owned = std::move(it->second);
     active_txns_.erase(it);
   }
+  if (owned->is_snapshot()) {
+    ReleaseSnapshot(owned->snapshot_ts());
+    return Status::OK();
+  }
   return AbortTxn(owned.get());
 }
 
 Status StorageManager::RunTransaction(const std::function<Status(Txn*)>& body,
-                                      const TxnRetryOptions& retry) {
+                                      const TxnRetryOptions& retry,
+                                      bool snapshot) {
   int64_t backoff_us = std::max<int64_t>(retry.initial_backoff_us, 1);
   std::unique_ptr<Rng> rng;
   for (int attempt = 0;; ++attempt) {
-    Result<Txn*> begun = Begin();
+    Result<Txn*> begun = Begin(snapshot);
     if (!begun.ok()) return begun.status();
     Txn* txn = begun.value();
     if (rng == nullptr) {
@@ -101,7 +126,12 @@ Status StorageManager::RunTransaction(const std::function<Status(Txn*)>& body,
 void StorageManager::DropActiveTxns() {
   MutexLock g(txn_mu_);
   for (auto& [raw, txn] : active_txns_) {
-    if (txn != nullptr) OnTxnDrop(txn.get());
+    if (txn == nullptr) continue;
+    if (txn->is_snapshot()) {
+      ReleaseSnapshot(txn->snapshot_ts());
+    } else {
+      OnTxnDrop(txn.get());
+    }
   }
   active_txns_.clear();
 }
@@ -111,9 +141,23 @@ size_t StorageManager::ActiveTxnCount() const {
   return active_txns_.size();
 }
 
+namespace {
+
+/// Central read-only guard: snapshot handles reject every mutation.
+Status CheckNotSnapshot(Txn* txn) {
+  if (txn != nullptr && txn->is_snapshot()) {
+    return Status::InvalidArgument(
+        "read-only snapshot transaction cannot write");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<ObjectId> StorageManager::Allocate(Txn* txn, std::string_view data,
                                           const AllocHint& hint) {
   LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  LABFLOW_RETURN_IF_ERROR(CheckNotSnapshot(txn));
   return DoAllocate(txn, data, hint);
 }
 
@@ -124,11 +168,13 @@ Result<std::string> StorageManager::Read(Txn* txn, ObjectId id) {
 
 Status StorageManager::Update(Txn* txn, ObjectId id, std::string_view data) {
   LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  LABFLOW_RETURN_IF_ERROR(CheckNotSnapshot(txn));
   return DoUpdate(txn, id, data);
 }
 
 Status StorageManager::Free(Txn* txn, ObjectId id) {
   LABFLOW_RETURN_IF_ERROR(CheckTxn(txn));
+  LABFLOW_RETURN_IF_ERROR(CheckNotSnapshot(txn));
   return DoFree(txn, id);
 }
 

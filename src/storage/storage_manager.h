@@ -52,6 +52,19 @@ struct StorageStats {
   uint64_t txn_retries = 0;
   uint64_t deadlocks = 0;
   uint64_t checksum_failures = 0;
+  /// MVCC telemetry (zero for managers without snapshot support). The
+  /// reader_* counters split lock_waits/deadlocks by request mode: a shared
+  /// (read) lock request that had to block, and a deadlock victim whose
+  /// pending request was shared. The snapshot regimes gate on both being
+  /// zero — snapshot readers take no page locks at all.
+  uint64_t reader_lock_waits = 0;
+  uint64_t reader_deadlocks = 0;
+  uint64_t snapshots_opened = 0;
+  /// Largest commit timestamp allocated (persisted across restarts by
+  /// WAL-backed managers; recovery rebuilds it).
+  uint64_t commit_ts_hwm = 0;
+  /// Live version chains in the MVCC sidecar (GC keeps this bounded).
+  uint64_t mvcc_chains = 0;
 };
 
 /// Backoff policy for StorageManager::RunTransaction. Retries apply only to
@@ -107,6 +120,15 @@ class Txn {
   uint64_t id() const { return id_; }
   StorageManager* owner() const { return owner_; }
 
+  /// True for read-only snapshot transactions (Begin(/*snapshot=*/true)):
+  /// reads resolve against the MVCC snapshot at snapshot_ts() without taking
+  /// page locks; every write operation is rejected with InvalidArgument.
+  bool is_snapshot() const { return snapshot_; }
+  /// The commit timestamp this snapshot reads at (0 when !is_snapshot(), or
+  /// when the manager has no snapshot support and the handle degraded to a
+  /// plain transaction).
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+
   /// Allocation affinity: the page this transaction last inserted into, per
   /// segment. Steers concurrent inserters onto disjoint pages so insert-only
   /// transactions do not serialize on one global open page (the page is
@@ -128,6 +150,8 @@ class Txn {
 
   StorageManager* owner_;
   uint64_t id_;
+  bool snapshot_ = false;
+  uint64_t snapshot_ts_ = 0;
   std::unordered_map<uint16_t, uint64_t> preferred_;
 };
 
@@ -168,7 +192,15 @@ class StorageManager {
   /// Starts a transaction and returns its handle (owned by the manager).
   /// Managers with a concurrency cap (Texas: one) return ResourceExhausted
   /// when the cap is reached.
-  Result<Txn*> Begin() LABFLOW_EXCLUDES(txn_mu_);
+  ///
+  /// `snapshot = true` requests a read-only MVCC snapshot transaction: it
+  /// reads the newest committed state as of its begin without taking read
+  /// locks (so it can neither wait on nor deadlock with writers), and every
+  /// write through it is rejected. Managers without snapshot support
+  /// (SupportsSnapshots() == false, e.g. Texas, whose single-transaction
+  /// regime is trivially isolated) degrade the handle to a plain
+  /// transaction.
+  Result<Txn*> Begin(bool snapshot = false) LABFLOW_EXCLUDES(txn_mu_);
 
   /// Commits `txn` and invalidates the handle. InvalidArgument for null,
   /// foreign (different manager) or already-finished handles.
@@ -186,8 +218,12 @@ class StorageManager {
   /// scratch: it sees a new Txn* each attempt and must not leak side
   /// effects outside the transaction. Non-Aborted errors, and Aborted ones
   /// past max_retries, are returned as-is.
+  /// `snapshot = true` runs the body in a read-only snapshot transaction
+  /// (see Begin); such bodies never abort on lock conflicts, so the retry
+  /// loop is effectively inert for them.
   Status RunTransaction(const std::function<Status(Txn*)>& body,
-                        const TxnRetryOptions& retry = TxnRetryOptions());
+                        const TxnRetryOptions& retry = TxnRetryOptions(),
+                        bool snapshot = false);
 
   // ---- Data operations (explicit-transaction forms) ------------------------
 
@@ -276,6 +312,20 @@ class StorageManager {
   /// SimulateCrash with live transactions). Must release any resources the
   /// txn holds (locks, page pins) without touching data.
   virtual void OnTxnDrop(Txn* txn) { (void)txn; }
+
+  // ---- Snapshot policy hooks ----------------------------------------------
+
+  /// Whether Begin(snapshot=true) yields a real MVCC snapshot (OStore, Mm).
+  /// When false the request degrades to a plain transaction.
+  virtual bool SupportsSnapshots() const { return false; }
+
+  /// Opens a snapshot in the manager's version store and returns its
+  /// timestamp. Only called when SupportsSnapshots().
+  virtual uint64_t AcquireSnapshot() { return 0; }
+
+  /// Closes a snapshot returned by AcquireSnapshot (commit, abort, or drop
+  /// of the snapshot transaction all funnel here).
+  virtual void ReleaseSnapshot(uint64_t ts) { (void)ts; }
 
   // ---- Data-operation implementations --------------------------------------
   // `txn` has been validated (nullptr, or a live handle of this manager).

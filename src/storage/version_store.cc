@@ -1,0 +1,325 @@
+#include "storage/version_store.h"
+
+#include <iterator>
+#include <utility>
+
+#include "common/status_macros.h"
+
+namespace labflow::storage {
+
+namespace {
+
+/// Newest version with ts <= snapshot_ts, or nullptr.
+template <typename Versions>
+auto VisibleVersion(const Versions& versions, uint64_t snapshot_ts) ->
+    decltype(&versions.back()) {
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (it->ts <= snapshot_ts) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---- Writer side ----------------------------------------------------------
+
+bool VersionStore::HasPending(uint64_t owner, uint64_t key) const {
+  Shard& shard = ShardFor(key);
+  MutexLock g(shard.mu);
+  auto it = shard.chains.find(key);
+  if (it == shard.chains.end()) return false;
+  return it->second.pendings.count(owner) != 0;
+}
+
+void VersionStore::Touch(uint64_t owner, uint64_t key) {
+  MutexLock g(commit_mu_);
+  touched_[owner].push_back(key);
+}
+
+void VersionStore::RecordWrite(uint64_t owner, uint64_t key,
+                               std::string_view new_data,
+                               const std::string* pre_image) {
+  bool first = false;
+  {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    Chain& chain = shard.chains[key];
+    first = chain.pendings.count(owner) == 0;
+    if (first && pre_image != nullptr && chain.versions.empty()) {
+      // The committed value before tracking began: base version, visible to
+      // every snapshot. If the chain already has versions, its tail is that
+      // committed value and the pre-image is redundant.
+      chain.versions.push_back(Version{0, false, *pre_image});
+    }
+    Pending& pending = chain.pendings[owner];
+    pending.data.assign(new_data);
+    pending.deleted = false;
+  }
+  if (first) Touch(owner, key);
+}
+
+void VersionStore::RecordDelete(uint64_t owner, uint64_t key,
+                                const std::string* pre_image) {
+  bool first = false;
+  {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    Chain& chain = shard.chains[key];
+    first = chain.pendings.count(owner) == 0;
+    if (first && pre_image != nullptr && chain.versions.empty()) {
+      chain.versions.push_back(Version{0, false, *pre_image});
+    }
+    Pending& pending = chain.pendings[owner];
+    pending.data.clear();
+    pending.deleted = true;
+  }
+  if (first) Touch(owner, key);
+}
+
+void VersionStore::NotePendingInsert(uint64_t owner, uint64_t key) {
+  bool first = false;
+  {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    Chain& chain = shard.chains[key];
+    first = chain.pendings.count(owner) == 0;
+    // Placeholder pending: the mere existence of the entry hides the slot
+    // from snapshots; RecordWrite fills the payload in outside the latch.
+    chain.pendings[owner];
+  }
+  if (first) Touch(owner, key);
+}
+
+// ---- Commit protocol ------------------------------------------------------
+
+uint64_t VersionStore::PrepareCommit(uint64_t owner) {
+  uint64_t ts = 0;
+  std::vector<uint64_t> keys;
+  {
+    MutexLock g(commit_mu_);
+    ts = ++next_ts_;
+    inflight_.insert(ts);
+    auto it = touched_.find(owner);
+    if (it != touched_.end()) keys = it->second;  // kept until finalize
+  }
+  for (uint64_t key : keys) {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    auto cit = shard.chains.find(key);
+    if (cit == shard.chains.end()) continue;
+    Chain& chain = cit->second;
+    auto pit = chain.pendings.find(owner);
+    if (pit == chain.pendings.end()) continue;
+    // Ascending-ts insert: under 2PL this is always an append, but managers
+    // without write locks (mm) can prepare two owners of one key out of
+    // timestamp order.
+    auto pos = std::upper_bound(
+        chain.versions.begin(), chain.versions.end(), ts,
+        [](uint64_t t, const Version& v) { return t < v.ts; });
+    chain.versions.insert(
+        pos, Version{ts, pit->second.deleted, std::move(pit->second.data)});
+    chain.pendings.erase(pit);
+  }
+  return ts;
+}
+
+void VersionStore::FinalizeCommit(uint64_t owner, uint64_t ts) {
+  bool sweep = false;
+  uint64_t horizon = 0;
+  {
+    MutexLock g(commit_mu_);
+    inflight_.erase(ts);
+    touched_.erase(owner);
+    if (++commits_since_sweep_ >= kSweepEveryCommits) {
+      commits_since_sweep_ = 0;
+      sweep = true;
+      horizon = HorizonLocked();
+    }
+  }
+  if (sweep) SweepAll(horizon);
+}
+
+void VersionStore::AbandonCommit(uint64_t owner, uint64_t ts) {
+  std::vector<uint64_t> keys;
+  {
+    MutexLock g(commit_mu_);
+    auto it = touched_.find(owner);
+    if (it != touched_.end()) keys = it->second;  // kept: AbortOwner follows
+  }
+  // ts never left in-flight, so no snapshot can have read these versions.
+  // Turn them back into pending entries rather than dropping the chains: the
+  // physical rollback has not run yet, so the pages still hold the doomed
+  // bytes and must stay hidden until the caller's AbortOwner (which runs
+  // after the undo) clears the pendings.
+  for (uint64_t key : keys) {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    auto cit = shard.chains.find(key);
+    if (cit == shard.chains.end()) continue;
+    Chain& chain = cit->second;
+    auto& versions = chain.versions;
+    auto doomed = std::find_if(versions.begin(), versions.end(),
+                               [ts](const Version& v) { return v.ts == ts; });
+    if (doomed == versions.end()) continue;
+    Pending& pending = chain.pendings[owner];
+    pending.deleted = doomed->deleted;
+    pending.data = std::move(doomed->data);
+    versions.erase(doomed);
+  }
+  MutexLock g(commit_mu_);
+  inflight_.erase(ts);
+}
+
+void VersionStore::AbortOwner(uint64_t owner) {
+  std::vector<uint64_t> keys;
+  {
+    MutexLock g(commit_mu_);
+    auto it = touched_.find(owner);
+    if (it != touched_.end()) keys = std::move(it->second);
+    touched_.erase(owner);
+  }
+  for (uint64_t key : keys) {
+    Shard& shard = ShardFor(key);
+    MutexLock g(shard.mu);
+    auto cit = shard.chains.find(key);
+    if (cit == shard.chains.end()) continue;
+    Chain& chain = cit->second;
+    chain.pendings.erase(owner);
+    if (chain.versions.empty() && chain.pendings.empty()) {
+      shard.chains.erase(cit);
+    }
+  }
+}
+
+// ---- Snapshot registry ----------------------------------------------------
+
+uint64_t VersionStore::AcquireSnapshot() {
+  MutexLock g(commit_mu_);
+  uint64_t ts = StableLocked();
+  snapshots_.insert(ts);
+  snapshots_opened_.fetch_add(1, std::memory_order_relaxed);
+  return ts;
+}
+
+void VersionStore::ReleaseSnapshot(uint64_t ts) {
+  bool sweep = false;
+  uint64_t horizon = 0;
+  {
+    MutexLock g(commit_mu_);
+    auto it = snapshots_.find(ts);
+    if (it != snapshots_.end()) snapshots_.erase(it);
+    // The horizon can jump when the oldest snapshot closes; sweep then so
+    // long-scan regimes do not accumulate chains for a whole run.
+    if (snapshots_.empty() && commits_since_sweep_ > 0) {
+      commits_since_sweep_ = 0;
+      sweep = true;
+      horizon = HorizonLocked();
+    }
+  }
+  if (sweep) SweepAll(horizon);
+}
+
+// ---- Reader side ----------------------------------------------------------
+
+VersionStore::Resolve VersionStore::Lookup(uint64_t snapshot_ts, uint64_t key,
+                                           std::string* out) const {
+  Shard& shard = ShardFor(key);
+  MutexLock g(shard.mu);
+  auto it = shard.chains.find(key);
+  if (it == shard.chains.end()) return Resolve::kFallThrough;
+  const Version* v = VisibleVersion(it->second.versions, snapshot_ts);
+  if (v == nullptr || v->deleted) return Resolve::kNotFound;
+  if (out != nullptr) out->assign(v->data);
+  return Resolve::kData;
+}
+
+Status VersionStore::SweepVisible(
+    uint64_t snapshot_ts, const std::unordered_set<uint64_t>& emitted,
+    const std::function<Status(uint64_t, std::string_view)>& fn) const {
+  for (const Shard& shard : shards_) {
+    // Collect under the shard mutex, emit outside it: fn is an arbitrary
+    // caller callback and must not run under a store lock.
+    std::vector<std::pair<uint64_t, std::string>> visible;
+    {
+      MutexLock g(shard.mu);
+      for (const auto& [key, chain] : shard.chains) {
+        if (emitted.count(key) != 0) continue;
+        const Version* v = VisibleVersion(chain.versions, snapshot_ts);
+        if (v == nullptr || v->deleted) continue;
+        visible.emplace_back(key, v->data);
+      }
+    }
+    for (const auto& [key, data] : visible) {
+      LABFLOW_RETURN_IF_ERROR(fn(key, data));
+    }
+  }
+  return Status::OK();
+}
+
+// ---- Garbage collection ---------------------------------------------------
+
+bool VersionStore::PruneChain(std::unordered_map<uint64_t, Chain>* chains,
+                              std::unordered_map<uint64_t, Chain>::iterator it,
+                              uint64_t horizon) {
+  Chain& chain = it->second;
+  if (!chain.pendings.empty()) return false;
+  if (chain.versions.empty()) {
+    chains->erase(it);
+    return true;
+  }
+  if (chain.versions.back().ts <= horizon) {
+    // Every snapshot that can still open reads at or above the horizon, and
+    // the newest version at or below it is exactly what the physical store
+    // holds (a committed update left the bytes in place; a tombstone left
+    // the slot dead) — fall-through gives the same answer, so the whole
+    // chain can go.
+    chains->erase(it);
+    return true;
+  }
+  // Keep the newest version at or below the horizon as the base for the
+  // oldest snapshots; everything older is unreachable.
+  auto& versions = chain.versions;
+  while (versions.size() >= 2 && versions[1].ts <= horizon) {
+    versions.erase(versions.begin());
+  }
+  return false;
+}
+
+void VersionStore::SweepAll(uint64_t horizon) {
+  for (Shard& shard : shards_) {
+    MutexLock g(shard.mu);
+    for (auto it = shard.chains.begin(); it != shard.chains.end();) {
+      auto next = std::next(it);
+      PruneChain(&shard.chains, it, horizon);
+      it = next;
+    }
+  }
+}
+
+// ---- Recovery / telemetry -------------------------------------------------
+
+void VersionStore::EnsureTimestamp(uint64_t ts) {
+  MutexLock g(commit_mu_);
+  if (ts > next_ts_) next_ts_ = ts;
+}
+
+uint64_t VersionStore::high_water() const {
+  MutexLock g(commit_mu_);
+  return next_ts_;
+}
+
+uint64_t VersionStore::stable_ts() const {
+  MutexLock g(commit_mu_);
+  return StableLocked();
+}
+
+uint64_t VersionStore::chain_count() const {
+  uint64_t n = 0;
+  for (const Shard& shard : shards_) {
+    MutexLock g(shard.mu);
+    n += shard.chains.size();
+  }
+  return n;
+}
+
+}  // namespace labflow::storage

@@ -1,0 +1,243 @@
+#ifndef LABFLOW_STORAGE_VERSION_STORE_H_
+#define LABFLOW_STORAGE_VERSION_STORE_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace labflow::storage {
+
+/// MVCC sidecar for the storage managers: commit-timestamp allocation plus
+/// per-object version chains, so snapshot transactions can read without
+/// taking page locks while writers keep their existing concurrency control
+/// (2PL in OStore, per-operation atomicity in Mm) unchanged.
+///
+/// The design leans on one invariant: **an object without a chain has not
+/// been written since its last committed state became older than every
+/// active snapshot**, so its page/map bytes are the committed value for all
+/// snapshots and readers can fall through to a lock-free physical read. The
+/// moment a transaction touches an object, a chain appears (pre-image first,
+/// then the pending new value), and snapshot readers resolve that object
+/// entirely from the chain. Garbage collection erases a chain again once its
+/// newest committed version is at or below the snapshot horizon.
+///
+/// Commit protocol (two-phase, so group-committed WAL writes can sit between
+/// the two steps):
+///   1. PrepareCommit(owner) allocates the next commit timestamp, turns all
+///      of the owner's pending entries into committed versions stamped with
+///      it, and marks the timestamp in-flight.
+///   2. FinalizeCommit(owner, ts) retires the in-flight mark; the stable
+///      watermark (the largest ts with no smaller in-flight ts) advances and
+///      new snapshots can observe the commit. AbandonCommit undoes step 1
+///      when the durability write fails and the commit degrades to an abort.
+///
+/// Snapshots read at the stable watermark, so every version with
+/// ts <= snapshot_ts belongs to a finalized commit and chains are complete
+/// up to the snapshot: a reader can never observe a torn transaction.
+///
+/// Visibility rule: the newest version with ts <= snapshot_ts; none -> the
+/// object did not exist at the snapshot (every writer since tracking began
+/// left either a version or a pending entry); deleted -> tombstone, object
+/// gone. No chain -> fall through to the physical store.
+///
+/// Caveat (documented in docs/STORAGE.md): auto-commit writes (txn ==
+/// nullptr) bypass the chains entirely — they are applied in place and
+/// become visible to every snapshot immediately, consistent with their
+/// existing "own atomic unit, no isolation" contract. Snapshot guarantees
+/// cover transactional writers.
+///
+/// Thread-safety: fully thread-safe; chains are sharded under per-shard
+/// mutexes, the timestamp allocator and snapshot registry under one commit
+/// mutex. Writer-side calls for one owner must come from one thread at a
+/// time (the Txn contract upstream); distinct owners are fully concurrent.
+class VersionStore {
+ public:
+  VersionStore() = default;
+
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  // ---- Writer side ---------------------------------------------------------
+
+  /// True if `owner` already has a pending entry for `key` — i.e. this is
+  /// not the owner's first touch and the caller may skip assembling the
+  /// (possibly multi-chunk) pre-image.
+  bool HasPending(uint64_t owner, uint64_t key) const;
+
+  /// Records that `owner` wrote `new_data` to `key`. On the owner's first
+  /// touch of a previously untracked object, `pre_image` must carry the
+  /// committed value (it becomes the chain's base version, visible to every
+  /// snapshot); pass nullptr when the owner created the object. Must be
+  /// called before the physical bytes change, with the object's write
+  /// serialization held (X page lock / mm writer lock), so that a snapshot
+  /// reader that observes the mutation is guaranteed to observe the chain.
+  void RecordWrite(uint64_t owner, uint64_t key, std::string_view new_data,
+                   const std::string* pre_image);
+
+  /// Like RecordWrite, but the pending outcome is a tombstone.
+  void RecordDelete(uint64_t owner, uint64_t key,
+                    const std::string* pre_image);
+
+  /// Registers a freshly inserted, still-uncommitted object slot. Called
+  /// inside the page writer latch, *before* the slot becomes visible to
+  /// physical readers, so a concurrent snapshot scan that sees the slot is
+  /// guaranteed to also see the chain (and skip it). The pending payload is
+  /// filled in by the RecordWrite that follows outside the latch.
+  void NotePendingInsert(uint64_t owner, uint64_t key);
+
+  // ---- Commit protocol -----------------------------------------------------
+
+  /// Allocates the owner's commit timestamp and stamps its pending entries
+  /// into committed versions. The timestamp stays in-flight (blocking the
+  /// stable watermark) until FinalizeCommit or AbandonCommit.
+  uint64_t PrepareCommit(uint64_t owner);
+
+  /// Retires the in-flight mark; the commit becomes visible to snapshots
+  /// taken from now on.
+  void FinalizeCommit(uint64_t owner, uint64_t ts);
+
+  /// Reverts PrepareCommit after a failed durability write: the stamped
+  /// versions are removed (no snapshot can have seen them — ts never became
+  /// stable). The caller is expected to roll the physical state back too.
+  void AbandonCommit(uint64_t owner, uint64_t ts);
+
+  /// Drops every pending entry of `owner` (transaction abort or drop). The
+  /// physical rollback is the caller's job; committed versions are kept.
+  void AbortOwner(uint64_t owner);
+
+  // ---- Snapshot registry ---------------------------------------------------
+
+  /// Opens a snapshot at the current stable watermark and pins the garbage
+  /// collector above it. Returns the snapshot timestamp.
+  uint64_t AcquireSnapshot();
+
+  /// Closes a snapshot previously returned by AcquireSnapshot.
+  void ReleaseSnapshot(uint64_t ts);
+
+  // ---- Reader side ---------------------------------------------------------
+
+  enum class Resolve {
+    kFallThrough,  ///< no chain: the physical bytes are the committed value
+    kData,         ///< *out holds the visible version's payload
+    kNotFound,     ///< tracked, but not visible at this snapshot
+  };
+
+  /// Resolves `key` at `snapshot_ts` against the chains.
+  Resolve Lookup(uint64_t snapshot_ts, uint64_t key, std::string* out) const;
+
+  /// Invokes `fn(key, payload)` for every chain whose visible version at
+  /// `snapshot_ts` is live and whose key is not in `emitted` — the sweep a
+  /// snapshot scan runs after the physical pass, catching objects whose
+  /// slots were deleted or moved mid-scan.
+  Status SweepVisible(
+      uint64_t snapshot_ts, const std::unordered_set<uint64_t>& emitted,
+      const std::function<Status(uint64_t, std::string_view)>& fn) const;
+
+  // ---- Recovery / telemetry ------------------------------------------------
+
+  /// Raises the timestamp allocator to at least `ts` (recovery replays the
+  /// logged commit timestamps and the superblock high-water mark here).
+  void EnsureTimestamp(uint64_t ts);
+
+  /// Largest commit timestamp allocated so far (the high-water mark
+  /// persisted by checkpoints).
+  uint64_t high_water() const;
+
+  /// Current stable watermark (what a new snapshot would read at).
+  uint64_t stable_ts() const;
+
+  uint64_t chain_count() const;
+  uint64_t snapshots_opened() const {
+    return snapshots_opened_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One committed version: the object's payload as of commit `ts`
+  /// (`deleted` marks a tombstone). `ts == 0` is the base pre-image —
+  /// committed before tracking began, visible to every snapshot.
+  struct Version {
+    uint64_t ts = 0;
+    bool deleted = false;
+    std::string data;
+  };
+
+  /// An owner's uncommitted outcome for one object.
+  struct Pending {
+    std::string data;
+    bool deleted = false;
+  };
+
+  struct Chain {
+    std::vector<Version> versions;  // ascending ts
+    /// Concurrent uncommitted writers (under 2PL at most one, but the mm
+    /// manager interleaves transactions freely and an aborted upgrade race
+    /// can briefly leave two).
+    std::map<uint64_t, Pending> pendings;
+  };
+
+  struct Shard {
+    mutable Mutex mu;
+    std::unordered_map<uint64_t, Chain> chains LABFLOW_GUARDED_BY(mu);
+  };
+
+  static constexpr size_t kShards = 16;
+  static constexpr uint64_t kSweepEveryCommits = 256;
+
+  Shard& ShardFor(uint64_t key) const {
+    // Fibonacci spread: keys are page:slot ids with low entropy in the low
+    // bits.
+    return shards_[(key * 0x9E3779B97F4A7C15ull) >> 60];
+  }
+
+  uint64_t StableLocked() const LABFLOW_REQUIRES(commit_mu_) {
+    return inflight_.empty() ? next_ts_ : *inflight_.begin() - 1;
+  }
+  uint64_t HorizonLocked() const LABFLOW_REQUIRES(commit_mu_) {
+    uint64_t stable = StableLocked();
+    if (snapshots_.empty()) return stable;
+    return std::min(stable, *snapshots_.begin());
+  }
+
+  /// Erases versions no snapshot at or above `horizon` can need; erases the
+  /// whole chain when the physical bytes already agree with it. Returns true
+  /// when the chain was erased.
+  static bool PruneChain(std::unordered_map<uint64_t, Chain>* chains,
+                         std::unordered_map<uint64_t, Chain>::iterator it,
+                         uint64_t horizon);
+
+  void SweepAll(uint64_t horizon);
+
+  /// Registers `key` in the owner's touched list (first pending only).
+  void Touch(uint64_t owner, uint64_t key) LABFLOW_EXCLUDES(commit_mu_);
+
+  mutable std::array<Shard, kShards> shards_;
+
+  mutable Mutex commit_mu_;
+  uint64_t next_ts_ LABFLOW_GUARDED_BY(commit_mu_) = 0;
+  std::set<uint64_t> inflight_ LABFLOW_GUARDED_BY(commit_mu_);
+  std::multiset<uint64_t> snapshots_ LABFLOW_GUARDED_BY(commit_mu_);
+  /// owner -> keys it has pendings on (drives stamping and abort without a
+  /// full chain sweep).
+  std::unordered_map<uint64_t, std::vector<uint64_t>> touched_
+      LABFLOW_GUARDED_BY(commit_mu_);
+  uint64_t commits_since_sweep_ LABFLOW_GUARDED_BY(commit_mu_) = 0;
+
+  std::atomic<uint64_t> snapshots_opened_{0};
+};
+
+}  // namespace labflow::storage
+
+#endif  // LABFLOW_STORAGE_VERSION_STORE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "labbase/labbase.h"
 #include "mm/mm_manager.h"
 #include "query/parser.h"
 #include "query/term.h"
@@ -607,6 +608,85 @@ TEST_F(DbSolverTest, TemporalAsOfQueries) {
   ASSERT_TRUE(range.ok());
   EXPECT_EQ((*range)[0].vars.at("H").ToString(),
             "[h(@200, \"v200\"), h(@300, \"v300\")]");
+}
+
+TEST_F(DbSolverTest, AsOfQuerySuffixBoundaries) {
+  // The whole-query `AS OF @T` suffix pins every temporal predicate to the
+  // valid-time horizon T. Boundary cases: exactly at a recorded timestamp,
+  // before the first, and after the last.
+  Oid tc = MaterialByName("tc-1");
+  std::string m = "#" + std::to_string(tc.raw);
+  for (int t : {100, 200, 300}) {
+    ASSERT_TRUE(solver_
+                    ->Prove("record_step(determine_sequence, @" +
+                            std::to_string(t) + ", [effect(" + m +
+                            ", [tag(sequence, \"v" + std::to_string(t) +
+                            "\")], same)])")
+                    .value());
+  }
+  auto value_as_of = [&](const std::string& suffix) {
+    return solver_->QueryAll("most_recent(" + m + ", sequence, V)" + suffix);
+  };
+  // Exactly at a boundary: the entry stamped at T is visible.
+  auto at = value_as_of(" AS OF @200");
+  ASSERT_TRUE(at.ok()) << at.status().ToString();
+  ASSERT_EQ(at->size(), 1u);
+  EXPECT_EQ((*at)[0].vars.at("V").value().string_value(), "v200");
+  // Between entries rounds down; lowercase keyword spelling works too.
+  auto mid = value_as_of(" as of @250");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ((*mid)[0].vars.at("V").value().string_value(), "v200");
+  // Before the first entry: no value existed yet, so no solution.
+  auto before = value_as_of(" AS OF @50");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());
+  // After the last entry: same answer as the un-suffixed query.
+  auto after = value_as_of(" AS OF @1000");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)[0].vars.at("V").value().string_value(), "v300");
+  auto now = value_as_of("");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ((*now)[0].vars.at("V").value().string_value(), "v300");
+
+  // history/3 truncates at the horizon.
+  auto hist = solver_->QueryAll("history(" + m + ", sequence, H) AS OF @200");
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ((*hist)[0].vars.at("H").ToString(),
+            "[h(@100, \"v100\"), h(@200, \"v200\")]");
+
+  // step/3 hides steps recorded after the horizon.
+  auto steps = solver_->QueryAll("step(S, determine_sequence, T) AS OF @150");
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 1u);
+  EXPECT_EQ((*steps)[0].vars.at("T").value().time_value().micros, 100);
+
+  // An explicit value_at later than the horizon is clamped to it: the
+  // query cannot see past its own AS OF.
+  auto clamped =
+      solver_->QueryAll("value_at(" + m + ", sequence, @300, V) AS OF @200");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ((*clamped)[0].vars.at("V").value().string_value(), "v200");
+
+  // The horizon is per-query, not sticky on the solver.
+  auto again = value_as_of("");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)[0].vars.at("V").value().string_value(), "v300");
+}
+
+TEST(ParserTest, AsOfSuffixParsing) {
+  auto q = Parser::ParseQueryAsOf("state(M, S) AS OF @123.");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->as_of, 123);
+  ASSERT_EQ(q->goals.size(), 1u);
+  auto plain = Parser::ParseQueryAsOf("state(M, S).");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->as_of, -1);
+  // Clause bodies and plain-query contexts reject the suffix.
+  EXPECT_FALSE(Parser::ParseQuery("state(M, S) AS OF @123.").ok());
+  // Malformed suffixes.
+  EXPECT_FALSE(Parser::ParseQueryAsOf("state(M, S) AS @5.").ok());
+  EXPECT_FALSE(Parser::ParseQueryAsOf("state(M, S) AS OF 5.").ok());
+  EXPECT_FALSE(Parser::ParseQueryAsOf("state(M, S) AS OF @5 extra.").ok());
 }
 
 TEST_F(DbSolverTest, AggregateOverDerivedValues) {

@@ -12,9 +12,11 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "ostore/ostore_manager.h"
+#include "storage/fault_env.h"
 #include "tests/test_util.h"
 
 namespace labflow::ostore {
@@ -200,6 +202,129 @@ TEST(RecoveryCorruptionTest, FlippedByteOnDiskIsDetected) {
   EXPECT_TRUE(back.status().IsCorruption()) << back.status().ToString();
   EXPECT_GE(rec->stats().checksum_failures, 1u);
   ASSERT_TRUE(rec->Close().ok());
+}
+
+// ---- MVCC state across power cuts ------------------------------------------
+//
+// Snapshot transactions read at commit timestamps, so recovery must rebuild
+// the commit-timestamp high-water mark (a reopened database that restarted
+// its allocator at zero would stamp new commits *below* surviving data,
+// making old snapshots see the future). And a post-recovery snapshot must
+// expose exactly the committed survivors — never versions from the
+// transaction that was still open at the power cut.
+TEST(SnapshotRecoveryTest, CommitTsHwmAndSnapshotsSurvivePowerCut) {
+  for (int seed = 1; seed <= 4; ++seed) {
+    storage::FaultInjectionEnv::Options fopt;
+    fopt.seed = static_cast<uint64_t>(seed);
+    // No fault probabilities: a clean in-memory disk whose only failure is
+    // the power cut itself (DropUnsynced below).
+    storage::FaultInjectionEnv env(fopt);
+
+    TempDir dir;
+    OstoreOptions opts;
+    opts.base.path = dir.file("db");
+    opts.base.env = &env;
+    opts.base.truncate = true;
+    opts.sync_commit = true;  // every ack is durable; the cut loses nothing
+    auto mgr_or = OstoreManager::Open(opts);
+    ASSERT_TRUE(mgr_or.ok());
+    std::unique_ptr<OstoreManager> mgr = std::move(mgr_or).value();
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+
+    Rng rng(static_cast<uint64_t>(seed) * 31 + 7);
+    std::map<uint64_t, std::string> committed;
+    int txns = 10 + static_cast<int>(rng.NextBelow(15));
+    for (int t = 0; t < txns; ++t) {
+      auto txn_or = mgr->Begin();
+      ASSERT_TRUE(txn_or.ok());
+      storage::Txn* txn = txn_or.value();
+      std::map<uint64_t, std::string> pending = committed;
+      int ops = 1 + static_cast<int>(rng.NextBelow(4));
+      for (int i = 0; i < ops; ++i) {
+        if (pending.empty() || rng.NextBool(0.6)) {
+          std::string data = rng.NextName(1 + rng.NextBelow(400));
+          auto id = mgr->Allocate(txn, data, AllocHint{});
+          ASSERT_TRUE(id.ok());
+          pending[id.value().raw] = data;
+        } else {
+          auto it = pending.begin();
+          std::advance(it, rng.NextBelow(pending.size()));
+          std::string data = rng.NextName(1 + rng.NextBelow(400));
+          ASSERT_TRUE(mgr->Update(txn, ObjectId(it->first), data).ok());
+          it->second = data;
+        }
+      }
+      if (rng.NextBool(0.2)) {
+        ASSERT_TRUE(mgr->Abort(txn).ok());
+      } else {
+        ASSERT_TRUE(mgr->Commit(txn).ok());
+        committed = std::move(pending);
+      }
+    }
+    uint64_t hwm_before = mgr->stats().commit_ts_hwm;
+    ASSERT_GT(hwm_before, 0u) << "seed " << seed;
+
+    // One transaction is still open — with fresh writes — when the power
+    // goes out. Its versions must never become visible.
+    auto open_txn = mgr->Begin();
+    ASSERT_TRUE(open_txn.ok());
+    std::vector<ObjectId> uncommitted_ids;
+    for (int i = 0; i < 3; ++i) {
+      auto id = mgr->Allocate(open_txn.value(), "uncommitted", AllocHint{});
+      ASSERT_TRUE(id.ok());
+      uncommitted_ids.push_back(id.value());
+    }
+
+    ASSERT_TRUE(mgr->SimulateCrash().ok());
+    mgr.reset();
+    env.DropUnsynced();
+    env.set_enabled(false);
+
+    opts.base.truncate = false;
+    auto rec_or = OstoreManager::Open(opts);
+    ASSERT_TRUE(rec_or.ok()) << rec_or.status().ToString();
+    std::unique_ptr<OstoreManager> rec = std::move(rec_or).value();
+
+    // Recovery rebuilt the commit-timestamp allocator at (or past) the
+    // pre-crash high-water mark.
+    EXPECT_GE(rec->stats().commit_ts_hwm, hwm_before) << "seed " << seed;
+
+    // A post-recovery snapshot sees exactly the committed survivors.
+    auto snap_or = rec->Begin(/*snapshot=*/true);
+    ASSERT_TRUE(snap_or.ok());
+    ASSERT_TRUE(snap_or.value()->is_snapshot());
+    uint64_t live = 0;
+    ASSERT_TRUE(rec->ScanAll(snap_or.value(),
+                             [&](ObjectId id, std::string_view data) {
+                               auto it = committed.find(id.raw);
+                               EXPECT_NE(it, committed.end())
+                                   << "snapshot exposed uncommitted object "
+                                   << id.raw << " (seed " << seed << ")";
+                               if (it != committed.end()) {
+                                 EXPECT_EQ(std::string(data), it->second);
+                               }
+                               ++live;
+                               return Status::OK();
+                             })
+                    .ok());
+    EXPECT_EQ(live, committed.size()) << "seed " << seed;
+    for (ObjectId id : uncommitted_ids) {
+      auto r = rec->Read(snap_or.value(), id);
+      EXPECT_FALSE(r.ok())
+          << "snapshot read resurrected uncommitted object " << id.raw
+          << " (seed " << seed << ")";
+    }
+    ASSERT_TRUE(rec->Commit(snap_or.value()).ok());
+
+    // New commits stamp strictly above the recovered mark, so pre-crash
+    // and post-crash history stay ordered.
+    auto post = rec->Begin();
+    ASSERT_TRUE(post.ok());
+    ASSERT_TRUE(rec->Allocate(post.value(), "post-cut", AllocHint{}).ok());
+    ASSERT_TRUE(rec->Commit(post.value()).ok());
+    EXPECT_GT(rec->stats().commit_ts_hwm, hwm_before) << "seed " << seed;
+    ASSERT_TRUE(rec->Close().ok());
+  }
 }
 
 TEST(RecoveryDoubleCrashTest, RecoveryIsIdempotent) {
