@@ -10,8 +10,15 @@
 #           the MVCC snapshot-isolation checker with a widened seed sweep
 #           (LABFLOW_SNAPSHOT_SEEDS=8; default 4)
 #   asan  — Address+UndefinedBehaviorSanitizer build, every fast test
-#   lint  — scripts/lint.py project rules, plus clang-tidy over the
+#   lint  — scripts/lint.py project rules (findings written to
+#           lint-findings.txt for CI artifacts), plus clang-tidy over the
 #           compilation database when clang-tidy is installed
+#   lock-order — Debug build (runtime lock-rank validator compiled in):
+#           the deliberate-inversion death tests plus the concurrency and
+#           network suites, which drive the real lock graph through the
+#           validator. When clang++ is installed, also a full
+#           -Werror=thread-safety(-beta) build of the capability
+#           annotations (see common/lock_rank.h)
 #   bench-smoke — one short deterministic bench run, twice with different
 #           buffer pool sizes (and therefore shard counts): validates the
 #           cross-version result checksum, that it is identical across pool
@@ -29,7 +36,7 @@ set -euo pipefail
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
 only=""
-if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint|bench-smoke|server)$ ]]; then
+if [[ $# -ge 1 && "$1" =~ ^(fast|slow|fault|tsan|asan|lint|lock-order|bench-smoke|server)$ ]]; then
   only="$1"
   shift
 fi
@@ -177,8 +184,34 @@ EOF
   return $rc
 }
 
+lock-order() {
+  # Debug defines LABFLOW_LOCK_RANK_CHECKS (see CMakeLists.txt), so the
+  # runtime rank validator is live: lock_rank_test proves an inversion
+  # aborts with both acquisition stacks, and the concurrency/network suites
+  # drive the real lock graph through the validator — any rank inversion in
+  # the tree is a test failure here before it is a deadlock anywhere.
+  cmake -B "$root/build-lockorder" -S "$root" \
+    -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build "$root/build-lockorder" -j "$jobs" --target \
+    lock_rank_test concurrency_test buffer_pool_concurrency_test \
+    snapshot_isolation_test net_test
+  ctest --test-dir "$root/build-lockorder" --output-on-failure -j "$jobs" \
+    -R 'lock_rank_test|concurrency_test|buffer_pool_concurrency_test|snapshot_isolation_test|net_test'
+  # The static half: Clang's -Werror=thread-safety(-beta) pass over the
+  # capability and acquired_before/after annotations. GCC ignores them, so
+  # this only runs where clang++ exists (CI's lock-order job installs it).
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B "$root/build-clang" -S "$root" \
+      -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+    cmake --build "$root/build-clang" -j "$jobs"
+  else
+    echo "clang++ not installed; skipped the thread-safety analysis build"
+  fi
+}
+
 lint() {
-  python3 "$root/scripts/lint.py"
+  python3 "$root/scripts/lint.py" --output="$root/lint-findings.txt"
+  python3 "$root/scripts/lint.py" --self-test
   if command -v clang-tidy >/dev/null 2>&1; then
     # The fast phase (or any configure of build/) exports the database.
     if [[ ! -f "$root/build/compile_commands.json" ]]; then
@@ -191,7 +224,7 @@ lint() {
   fi
 }
 
-phases=(fast slow fault tsan asan lint bench-smoke server)
+phases=(fast slow fault tsan asan lint lock-order bench-smoke server)
 if [[ -n "$only" ]]; then
   phases=("$only")
 fi

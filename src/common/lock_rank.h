@@ -1,0 +1,279 @@
+#ifndef LABFLOW_COMMON_LOCK_RANK_H_
+#define LABFLOW_COMMON_LOCK_RANK_H_
+
+/// The project-wide lock hierarchy.
+///
+/// Every infrastructure mutex in the tree carries a LockRank, and a thread
+/// may only acquire (blocking) a mutex whose rank is strictly greater than
+/// every rank it already holds. Equal ranks may not nest either — two locks
+/// at the same rank are, by definition, never held together by one thread
+/// (per-shard mutexes qualify because each operation touches exactly one
+/// shard). The ordering makes infrastructure deadlock impossible by
+/// construction: a cycle in the waits-for graph would need some thread to
+/// acquire against the rank order. The one *deliberate* deadlock domain —
+/// 2PL object locks, resolved by the waits-for detector — lives entirely
+/// inside LockManager and never nests another infrastructure mutex, so it
+/// is a single rank here.
+///
+/// The table (outermost first — lower rank = acquired earlier). Rationale
+/// for each edge is in docs/STORAGE.md ("Lock hierarchy"); the authoring
+/// rule for new mutexes is in docs/STYLE.md.
+///
+///   rank              mutex                          declared in
+///   ----------------  -----------------------------  ------------------------
+///   kNetConnection    Server::Connection::mu         net/server.cc
+///   kNetClientWrite   net::Connection::write_mu_     net/client.h
+///   kNetClientState   net::Connection::mu_           net/client.h
+///   kNetWorkQueue     Server::queue_mu_              net/server.h
+///   kNetDirtyList     Server::dirty_mu_              net/server.h
+///   kSessionPool      SessionPool::mu_               labbase/labbase.h
+///   kSessionIndex     LabBase::index_mu_             labbase/labbase.h
+///   kTxnTable         StorageManager::txn_mu_        storage/storage_manager.h
+///   kLockTable        ostore::LockManager::mu_       ostore/lock_manager.h
+///   kWalQueue         ostore::Wal::mu_               ostore/wal.h
+///   kWalError         OstoreManager::wal_error_mu_   ostore/ostore_manager.h
+///   kMmStore          mm::MmManager::mu_             mm/mm_manager.h
+///   kPagedAlloc       PagedManagerBase::alloc_mu_    storage/paged_manager.h
+///   kBufferShard      BufferPool::Shard::mu          storage/buffer_pool.h
+///   kFrameLatch       BufferPool::Frame::latch_      storage/buffer_pool.h
+///   kVersionCommit    VersionStore::commit_mu_       storage/version_store.h
+///   kVersionChain     VersionStore::Shard::mu        storage/version_store.h
+///   kPageAppend       PageFile::append_mu_           storage/page_file.h
+///   kFaultEnv         FaultInjectionEnv::mu_         storage/fault_env.h
+///
+/// Enforcement is layered:
+///   - Clang -Wthread-safety(-beta) checks the GUARDED_BY / ACQUIRED_AFTER
+///     annotations it can see (same-class member pairs).
+///   - When LABFLOW_LOCK_RANK_CHECKS is defined (Debug and all sanitizer
+///     builds — see CMakeLists.txt), every labflow::Mutex / SharedMutex
+///     acquisition runs through the thread-local validator below, which
+///     aborts with both acquisition stacks on any rank inversion. The
+///     regular concurrency/buffer-pool/net suites under TSan double as the
+///     lock-order run.
+///   - scripts/lint.py rule `naked-mutex` keeps every lock in the tree on
+///     these rankable types.
+///
+/// `kUnranked` (the default) opts a mutex out of validation entirely; it is
+/// for leaf locks in tests and benches, never for src/ infrastructure.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+
+#if defined(__GLIBC__) || defined(__linux__)
+#include <execinfo.h>
+#define LABFLOW_HAS_BACKTRACE_ 1
+#else
+#define LABFLOW_HAS_BACKTRACE_ 0
+#endif
+
+namespace labflow {
+
+enum class LockRank : uint16_t {
+  kUnranked = 0,
+
+  // -- network server / client (outermost: held while handing work on) -----
+  kNetConnection = 100,
+  kNetClientWrite = 110,
+  kNetClientState = 120,
+  kNetWorkQueue = 130,
+  kNetDirtyList = 140,
+
+  // -- session layer --------------------------------------------------------
+  kSessionPool = 150,
+  kSessionIndex = 160,
+
+  // -- transaction control ---------------------------------------------------
+  kTxnTable = 170,
+  kLockTable = 180,
+
+  // -- durability ------------------------------------------------------------
+  kWalQueue = 190,
+  kWalError = 200,
+
+  // -- storage managers ------------------------------------------------------
+  kMmStore = 210,
+  kPagedAlloc = 220,
+
+  // -- buffer pool -----------------------------------------------------------
+  kBufferShard = 230,
+  kFrameLatch = 240,
+
+  // -- MVCC version store ----------------------------------------------------
+  kVersionCommit = 250,
+  kVersionChain = 260,
+
+  // -- innermost leaves ------------------------------------------------------
+  kPageAppend = 270,
+  kFaultEnv = 280,
+};
+
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kUnranked: return "Unranked";
+    case LockRank::kNetConnection: return "NetConnection";
+    case LockRank::kNetClientWrite: return "NetClientWrite";
+    case LockRank::kNetClientState: return "NetClientState";
+    case LockRank::kNetWorkQueue: return "NetWorkQueue";
+    case LockRank::kNetDirtyList: return "NetDirtyList";
+    case LockRank::kSessionPool: return "SessionPool";
+    case LockRank::kSessionIndex: return "SessionIndex";
+    case LockRank::kTxnTable: return "TxnTable";
+    case LockRank::kLockTable: return "LockTable";
+    case LockRank::kWalQueue: return "WalQueue";
+    case LockRank::kWalError: return "WalError";
+    case LockRank::kMmStore: return "MmStore";
+    case LockRank::kPagedAlloc: return "PagedAlloc";
+    case LockRank::kBufferShard: return "BufferShard";
+    case LockRank::kFrameLatch: return "FrameLatch";
+    case LockRank::kVersionCommit: return "VersionCommit";
+    case LockRank::kVersionChain: return "VersionChain";
+    case LockRank::kPageAppend: return "PageAppend";
+    case LockRank::kFaultEnv: return "FaultEnv";
+  }
+  return "?";
+}
+
+#ifdef LABFLOW_LOCK_RANK_CHECKS
+
+/// Runtime rank validator: a thread-local stack of held ranked locks. The
+/// hooks are called from common/mutex.h on every acquire/release. Cost is
+/// a few stores plus a raw backtrace() per acquisition, paid only in Debug
+/// and sanitizer builds.
+namespace lock_rank_internal {
+
+inline constexpr int kMaxHeld = 16;     // ranked locks held by one thread
+inline constexpr int kMaxFrames = 16;   // backtrace depth per acquisition
+
+struct HeldLock {
+  const void* mu = nullptr;
+  LockRank rank = LockRank::kUnranked;
+  const char* name = nullptr;
+  std::source_location site{};
+  void* frames[kMaxFrames];
+  int frame_count = 0;
+};
+
+struct HeldStack {
+  HeldLock entries[kMaxHeld];
+  int depth = 0;
+};
+
+inline thread_local HeldStack tls_held;
+
+inline void PrintHeld(const HeldLock& h, const char* label) {
+  std::fprintf(stderr, "  %s %s (rank %u, \"%s\", mutex %p)\n", label,
+               LockRankName(h.rank), static_cast<unsigned>(h.rank),
+               h.name != nullptr ? h.name : "?", h.mu);
+  std::fprintf(stderr, "    acquired at %s:%u (%s)\n", h.site.file_name(),
+               h.site.line(), h.site.function_name());
+#if LABFLOW_HAS_BACKTRACE_
+  if (h.frame_count > 0) {
+    std::fprintf(stderr, "    acquisition stack:\n");
+    backtrace_symbols_fd(const_cast<void* const*>(h.frames), h.frame_count,
+                         /*fd=*/2);
+  }
+#endif
+}
+
+[[noreturn]] inline void Die(const HeldLock& held, const HeldLock& incoming,
+                             const char* what) {
+  std::fprintf(stderr, "labflow: lock rank inversion: %s\n", what);
+  PrintHeld(held, "held:    ");
+  PrintHeld(incoming, "acquiring:");
+  std::fflush(stderr);
+  std::abort();
+}
+
+inline HeldLock MakeEntry(const void* mu, LockRank rank, const char* name,
+                          const std::source_location& site) {
+  HeldLock e;
+  e.mu = mu;
+  e.rank = rank;
+  e.name = name;
+  e.site = site;
+#if LABFLOW_HAS_BACKTRACE_
+  e.frame_count = backtrace(e.frames, kMaxFrames);
+#endif
+  return e;
+}
+
+/// Rank check before a *blocking* acquire. TryLock paths skip this — a
+/// non-blocking probe cannot deadlock, and LockShard legitimately probes
+/// against the order for contention stats.
+inline void PreAcquire(const void* mu, LockRank rank, const char* name,
+                       const std::source_location& site) {
+  if (rank == LockRank::kUnranked) return;
+  HeldStack& s = tls_held;
+  for (int i = 0; i < s.depth; ++i) {
+    const HeldLock& h = s.entries[i];
+    if (h.mu == mu) {
+      Die(h, MakeEntry(mu, rank, name, site),
+          "mutex acquired twice by one thread");
+    }
+    if (h.rank >= rank) {
+      Die(h, MakeEntry(mu, rank, name, site),
+          "blocking acquire at a rank not above every held rank");
+    }
+  }
+}
+
+/// Records a successful acquire (blocking or try).
+inline void PostAcquire(const void* mu, LockRank rank, const char* name,
+                        const std::source_location& site) {
+  if (rank == LockRank::kUnranked) return;
+  HeldStack& s = tls_held;
+  if (s.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "labflow: lock rank validator: thread holds more than %d "
+                 "ranked locks (acquiring %s at %s:%u)\n",
+                 kMaxHeld, LockRankName(rank), site.file_name(), site.line());
+    std::abort();
+  }
+  s.entries[s.depth++] = MakeEntry(mu, rank, name, site);
+}
+
+/// Drops `mu` from the held stack. Keyed by pointer, not LIFO: explicit
+/// Lock()/Unlock() pairs (WAL group commit, client ReadUntil) release out
+/// of stack order by design.
+inline void Release(const void* mu) {
+  HeldStack& s = tls_held;
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.entries[i].mu != mu) continue;
+    for (int j = i + 1; j < s.depth; ++j) s.entries[j - 1] = s.entries[j];
+    --s.depth;
+    return;
+  }
+  // Not found: an unranked mutex, or one locked before the checks existed
+  // on this thread. Nothing to do.
+}
+
+}  // namespace lock_rank_internal
+
+inline void LockRankPreAcquire(const void* mu, LockRank rank, const char* name,
+                               const std::source_location& site) {
+  lock_rank_internal::PreAcquire(mu, rank, name, site);
+}
+inline void LockRankPostAcquire(const void* mu, LockRank rank,
+                                const char* name,
+                                const std::source_location& site) {
+  lock_rank_internal::PostAcquire(mu, rank, name, site);
+}
+inline void LockRankRelease(const void* mu) {
+  lock_rank_internal::Release(mu);
+}
+
+#else  // !LABFLOW_LOCK_RANK_CHECKS
+
+inline void LockRankPreAcquire(const void*, LockRank, const char*,
+                               const std::source_location&) {}
+inline void LockRankPostAcquire(const void*, LockRank, const char*,
+                                const std::source_location&) {}
+inline void LockRankRelease(const void*) {}
+
+#endif  // LABFLOW_LOCK_RANK_CHECKS
+
+}  // namespace labflow
+
+#endif  // LABFLOW_COMMON_LOCK_RANK_H_

@@ -5,45 +5,90 @@
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
+#include <source_location>
 #include <utility>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 
 namespace labflow {
 
 /// A std::mutex with Clang capability annotations, so classes that guard
 /// state with `LABFLOW_GUARDED_BY(mu_)` get their locking discipline checked
-/// at compile time (see common/thread_annotations.h). Zero-cost: every
-/// method is an inline forward to the underlying std::mutex.
+/// at compile time (see common/thread_annotations.h). Zero-cost in release:
+/// every method is an inline forward to the underlying std::mutex, and the
+/// rank hooks compile to nothing unless LABFLOW_LOCK_RANK_CHECKS is defined.
+///
+/// Every infrastructure mutex carries a LockRank (common/lock_rank.h) and a
+/// name; in Debug/sanitizer builds each blocking acquisition is validated
+/// against the thread's held ranks and a rank inversion aborts with both
+/// acquisition stacks. Default-constructed mutexes are unranked (validator
+/// ignores them) — reserved for tests and benches, not src/.
 ///
 /// Lowercase lock/unlock/try_lock keep the type BasicLockable, so it also
-/// composes with std facilities where needed; annotated code should prefer
-/// MutexLock (scoped) or explicit Lock()/Unlock() pairs, which the analysis
-/// tracks.
+/// composes with std facilities where needed (CondVar reacquisition runs
+/// through them, so waits are rank-tracked too); annotated code should
+/// prefer MutexLock (scoped) or explicit Lock()/Unlock() pairs, which the
+/// analysis tracks.
 class LABFLOW_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name = nullptr)
+      : rank_(rank), name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() LABFLOW_ACQUIRE() { mu_.lock(); }
-  void Unlock() LABFLOW_RELEASE() { mu_.unlock(); }
-  bool TryLock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock(std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE() {
+    LockRankPreAcquire(this, rank_, name_, loc);
+    mu_.lock();
+    LockRankPostAcquire(this, rank_, name_, loc);
+  }
+  void Unlock() LABFLOW_RELEASE() {
+    LockRankRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock(std::source_location loc = std::source_location::current())
+      LABFLOW_TRY_ACQUIRE(true) {
+    // No PreAcquire: a non-blocking probe cannot deadlock (see
+    // BufferPool::LockShard, which probes against the order for stats).
+    if (!mu_.try_lock()) return false;
+    LockRankPostAcquire(this, rank_, name_, loc);
+    return true;
+  }
 
   // BasicLockable spellings (same semantics, same annotations).
-  void lock() LABFLOW_ACQUIRE() { mu_.lock(); }
-  void unlock() LABFLOW_RELEASE() { mu_.unlock(); }
-  bool try_lock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock(std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE() {
+    Lock(loc);
+  }
+  void unlock() LABFLOW_RELEASE() { Unlock(); }
+  bool try_lock(std::source_location loc = std::source_location::current())
+      LABFLOW_TRY_ACQUIRE(true) {
+    return TryLock(loc);
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   std::mutex mu_;
+  // Constant after construction; 16 bytes per mutex buys the Debug/TSan
+  // rank validator and named inversion reports (unused in release).
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = nullptr;
 };
 
 /// RAII lock over a labflow::Mutex, visible to the thread-safety analysis
 /// (std::lock_guard acquisitions are not). Not movable: one scope, one hold.
 class LABFLOW_SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) LABFLOW_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  explicit MutexLock(Mutex& mu,
+                     std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(loc);
+  }
   ~MutexLock() LABFLOW_RELEASE() { mu_.Unlock(); }
 
   MutexLock(const MutexLock&) = delete;
@@ -57,25 +102,59 @@ class LABFLOW_SCOPED_CAPABILITY MutexLock {
 /// readers (LockShared) or one writer (Lock). Used for read-mostly state —
 /// most prominently the per-frame page latches, where concurrent most-recent
 /// queries all read the same hot catalog/material pages. Prefer the scoped
-/// ReaderMutexLock / WriterMutexLock; the analysis tracks both.
+/// ReaderMutexLock / WriterMutexLock; the analysis tracks both. Shared
+/// acquisitions are rank-checked like exclusive ones: readers block on
+/// writers, so an inverted shared acquire deadlocks all the same.
 class LABFLOW_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank, const char* name = nullptr)
+      : rank_(rank), name_(name) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() LABFLOW_ACQUIRE() { mu_.lock(); }
-  void Unlock() LABFLOW_RELEASE() { mu_.unlock(); }
-  bool TryLock() LABFLOW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
-
-  void LockShared() LABFLOW_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() LABFLOW_RELEASE_SHARED() { mu_.unlock_shared(); }
-  bool TryLockShared() LABFLOW_TRY_ACQUIRE(true) {
-    return mu_.try_lock_shared();
+  void Lock(std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE() {
+    LockRankPreAcquire(this, rank_, name_, loc);
+    mu_.lock();
+    LockRankPostAcquire(this, rank_, name_, loc);
   }
+  void Unlock() LABFLOW_RELEASE() {
+    LockRankRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock(std::source_location loc = std::source_location::current())
+      LABFLOW_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    LockRankPostAcquire(this, rank_, name_, loc);
+    return true;
+  }
+
+  void LockShared(std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE_SHARED() {
+    LockRankPreAcquire(this, rank_, name_, loc);
+    mu_.lock_shared();
+    LockRankPostAcquire(this, rank_, name_, loc);
+  }
+  void UnlockShared() LABFLOW_RELEASE_SHARED() {
+    LockRankRelease(this);
+    mu_.unlock_shared();
+  }
+  bool TryLockShared(
+      std::source_location loc = std::source_location::current())
+      LABFLOW_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock_shared()) return false;
+    LockRankPostAcquire(this, rank_, name_, loc);
+    return true;
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
 
  private:
   std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = nullptr;
 };
 
 /// RAII shared (reader) hold on a SharedMutex. The destructor releases in
@@ -83,9 +162,12 @@ class LABFLOW_CAPABILITY("shared_mutex") SharedMutex {
 /// whose constructor acquired shared.
 class LABFLOW_SCOPED_CAPABILITY ReaderMutexLock {
  public:
-  explicit ReaderMutexLock(SharedMutex& mu) LABFLOW_ACQUIRE_SHARED(mu)
+  explicit ReaderMutexLock(
+      SharedMutex& mu,
+      std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE_SHARED(mu)
       : mu_(mu) {
-    mu_.LockShared();
+    mu_.LockShared(loc);
   }
   ~ReaderMutexLock() LABFLOW_RELEASE_GENERIC() { mu_.UnlockShared(); }
 
@@ -99,8 +181,12 @@ class LABFLOW_SCOPED_CAPABILITY ReaderMutexLock {
 /// RAII exclusive (writer) hold on a SharedMutex.
 class LABFLOW_SCOPED_CAPABILITY WriterMutexLock {
  public:
-  explicit WriterMutexLock(SharedMutex& mu) LABFLOW_ACQUIRE(mu) : mu_(mu) {
-    mu_.Lock();
+  explicit WriterMutexLock(
+      SharedMutex& mu,
+      std::source_location loc = std::source_location::current())
+      LABFLOW_ACQUIRE(mu)
+      : mu_(mu) {
+    mu_.Lock(loc);
   }
   ~WriterMutexLock() LABFLOW_RELEASE() { mu_.Unlock(); }
 
@@ -115,7 +201,9 @@ class LABFLOW_SCOPED_CAPABILITY WriterMutexLock {
 /// LABFLOW_REQUIRES(mu): the caller holds the mutex across the call, and the
 /// wait reacquires it before returning (the transient release inside the
 /// std::condition_variable_any machinery is invisible to — and irrelevant
-/// for — the capability analysis, which checks the caller's hold).
+/// for — the capability analysis, which checks the caller's hold; the rank
+/// validator *does* see it, through Mutex's BasicLockable spellings, so a
+/// wait correctly drops and re-checks the mutex's rank).
 class CondVar {
  public:
   CondVar() = default;

@@ -71,6 +71,17 @@
 #define LABFLOW_EXCLUDES(...) \
   LABFLOW_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
 
+/// Declares acquisition order between two mutex members of one class:
+/// this mutex is acquired before/after the listed ones. Checked by Clang's
+/// beta lock-order analysis (-Wthread-safety-beta); the attribute only
+/// resolves member expressions visible at the declaration, so cross-class
+/// edges are carried by LockRank (common/lock_rank.h) instead — see the
+/// hierarchy table there and in docs/STORAGE.md.
+#define LABFLOW_ACQUIRED_BEFORE(...) \
+  LABFLOW_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LABFLOW_ACQUIRED_AFTER(...) \
+  LABFLOW_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
 /// Function returns a reference to the given capability.
 #define LABFLOW_RETURN_CAPABILITY(x) \
   LABFLOW_THREAD_ANNOTATION_(lock_returned(x))

@@ -118,21 +118,26 @@ class LabBase {
   /// storage. Used after an abort that touched the catalog.
   Status ReloadCatalog();
 
-  storage::StorageManager* mgr_;
-  LabBaseOptions options_;
-  Schema schema_;
-  storage::ObjectId root_id_;
-  uint16_t hot_segment_ = 0;
-  uint16_t cold_segment_ = 0;
+  // Catalog state: written at Open and by DDL, which is single-session by
+  // LabBase contract (docs/DESIGN notes in schema.h) — concurrent sessions
+  // only read it between transactions. Not lock-guarded by design.
+  storage::StorageManager* mgr_;  // NOLINT(guarded-by-coverage): set at Open
+  LabBaseOptions options_;   // NOLINT(guarded-by-coverage): const after Open
+  Schema schema_;            // NOLINT(guarded-by-coverage): DDL-only writes
+  storage::ObjectId root_id_;   // NOLINT(guarded-by-coverage): set at Open
+  uint16_t hot_segment_ = 0;    // NOLINT(guarded-by-coverage): set at Open
+  uint16_t cold_segment_ = 0;   // NOLINT(guarded-by-coverage): set at Open
 
-  RootRecord root_;
-  std::unique_ptr<storage::HashDir> name_dir_;
+  RootRecord root_;          // NOLINT(guarded-by-coverage): DDL-only writes
+  std::unique_ptr<storage::HashDir>
+      name_dir_;             // NOLINT(guarded-by-coverage): set at Open
 
   /// Guards the derived in-memory indexes below against concurrent
   /// sessions. Never held across storage-manager calls (those may block on
   /// page locks); instead, mutators reserve/patch entries around the
-  /// storage operation (see Session::CreateMaterial).
-  Mutex index_mu_;
+  /// storage operation (see Session::CreateMaterial). Rank kSessionIndex:
+  /// below every storage rank so that contract is validator-enforced.
+  Mutex index_mu_{LockRank::kSessionIndex, "labbase.index"};
   std::map<std::string, Oid, std::less<>> materials_by_name_
       LABFLOW_GUARDED_BY(index_mu_);
   // Ordered by material name so work-queue scans are deterministic across
@@ -414,9 +419,13 @@ class LabBase::SessionPool {
 
   void Return(std::unique_ptr<Session> session);
 
-  LabBase* db_;
+  LabBase* db_;  // NOLINT(guarded-by-coverage): set at construction
   const size_t max_idle_;
-  mutable Mutex mu_;
+  /// Rank kSessionPool: sessions are opened (Acquire) and aborted (Return)
+  /// *outside* this mutex, so no storage rank nests inside it; it does
+  /// nest inside the server's per-connection mutex when a lease dies with
+  /// its connection.
+  mutable Mutex mu_{LockRank::kSessionPool, "labbase.session_pool"};
   std::vector<std::unique_ptr<Session>> idle_ LABFLOW_GUARDED_BY(mu_);
   size_t outstanding_ LABFLOW_GUARDED_BY(mu_) = 0;
   Stats stats_ LABFLOW_GUARDED_BY(mu_);

@@ -78,11 +78,14 @@ class MmManager : public storage::StorageManager {
   /// timestamp (commit, and — see above — abort/drop too).
   void StampTxn(storage::Txn* txn);
 
-  std::string name_;
-  storage::VersionStore versions_;
+  std::string name_;  // NOLINT(guarded-by-coverage): set at construction
+  storage::VersionStore
+      versions_;  // NOLINT(guarded-by-coverage): self-synchronizing
   /// Reader–writer: reads (DoRead, DoScanAll, stats, GetRoot) take shared
   /// holds so concurrent query clients never serialize on the mm store.
-  mutable SharedMutex mu_;
+  /// Rank kMmStore: held while registering writes with the version store
+  /// (DoAllocate → RecordWrite), so it sits below both VersionStore ranks.
+  mutable SharedMutex mu_{LockRank::kMmStore, "mm.store"};
   std::unordered_map<uint64_t, std::string> objects_ LABFLOW_GUARDED_BY(mu_);
   uint64_t next_id_ LABFLOW_GUARDED_BY(mu_) = 1;
   storage::ObjectId root_ LABFLOW_GUARDED_BY(mu_);

@@ -68,9 +68,14 @@ class Connection {
   const int fd_;
 
   /// Serializes writes so concurrent Sends interleave at frame boundaries.
-  Mutex write_mu_;
+  /// Acquired before mu_ (Send takes mu_ inside its write_mu_ hold to
+  /// record a send failure) — the one same-class ordered pair Clang's beta
+  /// lock-order analysis can check directly; the ranks mirror it.
+  Mutex write_mu_ LABFLOW_ACQUIRED_BEFORE(mu_){LockRank::kNetClientWrite,
+                                               "net.client.write"};
 
-  Mutex mu_;
+  Mutex mu_ LABFLOW_ACQUIRED_AFTER(write_mu_){LockRank::kNetClientState,
+                                              "net.client.state"};
   CondVar cv_;
   uint64_t next_request_id_ LABFLOW_GUARDED_BY(mu_) = 1;
   bool reader_active_ LABFLOW_GUARDED_BY(mu_) = false;

@@ -28,6 +28,34 @@ Status Errno(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
+/// Compile-time dispatch inventory: one entry per opcode HandleFrame (or
+/// RouteFrame, for connection-scope ops) implements. A new opcode bumps
+/// wire.h's kOpCount, so forgetting the dispatch arm — and this list —
+/// fails the build here; the `opcode-sync` lint cross-checks that the
+/// entries below correspond to real `case Op::k...` arms.
+constexpr Op kDispatchedOps[] = {
+    Op::kPing,          Op::kSessionOpen,
+    Op::kSessionClose,  Op::kBegin,
+    Op::kCommit,        Op::kAbort,
+    Op::kDefineMaterialClass, Op::kDefineStepClass,
+    Op::kDefineState,   Op::kGetSchema,
+    Op::kCreateMaterial, Op::kRecordStep,
+    Op::kMostRecent,    Op::kMostRecentByName,
+    Op::kValueAsOf,     Op::kHistory,
+    Op::kHistoryBetween, Op::kGetMaterial,
+    Op::kGetStep,       Op::kFindMaterialByName,
+    Op::kCurrentState,  Op::kMaterialsInState,
+    Op::kCountInState,  Op::kMaterialsOfClass,
+    Op::kCreateSet,     Op::kAddToSet,
+    Op::kRemoveFromSet, Op::kSetMembers,
+    Op::kFindSetByName, Op::kCheckpoint,
+    Op::kServerStats,   Op::kBeginReadOnly,
+    Op::kListSteps,
+};
+static_assert(std::size(kDispatchedOps) == kOpCount,
+              "opcode added to net/wire.h without a server dispatch arm: "
+              "implement it in HandleFrame and record it in kDispatchedOps");
+
 }  // namespace
 
 /// One live session behind the wire: its pool lease plus the FIFO of
@@ -46,11 +74,15 @@ struct Server::Connection {
 
   const int fd;
   /// Loop-thread only.
-  FrameReader reader;
-  bool reads_paused = false;
-  bool want_write = false;
-
-  Mutex mu;
+  FrameReader reader;            // NOLINT(guarded-by-coverage): loop thread
+  bool reads_paused = false;     // NOLINT(guarded-by-coverage): loop thread
+  bool want_write = false;       // NOLINT(guarded-by-coverage): loop thread
+  /// Rank kNetConnection — the outermost lock in the tree: workers take
+  /// the work queue under it (requeue/finish), and a session-close erases
+  /// the lease under it, returning the (already aborted, so storage-idle)
+  /// session to the pool. Nothing may take a connection mutex while
+  /// holding any other ranked lock.
+  Mutex mu{LockRank::kNetConnection, "net.server.conn"};
   std::string out LABFLOW_GUARDED_BY(mu);
   bool dead LABFLOW_GUARDED_BY(mu) = false;
   uint64_t next_session_id LABFLOW_GUARDED_BY(mu) = 1;
@@ -156,6 +188,14 @@ void Server::Shutdown() {
   wake_fd_ = epoll_fd_ = -1;
 }
 
+// Lock-order audit of the loop/worker seam (see docs/STORAGE.md): the epoll
+// loop thread only ever takes connection mutexes, queue_mu_ and dirty_mu_ —
+// all ranked below every session/storage lock — and never blocks on a lock a
+// worker holds across storage work, because workers drop all storage locks
+// inside HandleFrame before touching any net-layer mutex. The eventfd wakeup
+// below is rankless by construction: a plain fd write with no mutex held
+// (callers enqueue first, release, then wake), so it needs no rank and can
+// be called from any context.
 void Server::WakeLoop() {
   if (wake_fd_ < 0) return;
   uint64_t one = 1;

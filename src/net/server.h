@@ -107,17 +107,25 @@ class Server {
   storage::StorageManager* const mgr_;
   const ServerConfig config_;
 
-  labbase::LabBase::SessionPool pool_;
+  // Internally synchronized (its own kSessionPool mutex).
+  labbase::LabBase::SessionPool pool_;  // NOLINT(guarded-by-coverage)
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
-  uint16_t port_ = 0;
+  // Written once in Start() before any thread launches, closed in Stop()
+  // after every thread joined; const in between.
+  int listen_fd_ = -1;  // NOLINT(guarded-by-coverage): Start/Stop thread
+  int epoll_fd_ = -1;   // NOLINT(guarded-by-coverage): Start/Stop thread
+  int wake_fd_ = -1;    // NOLINT(guarded-by-coverage): Start/Stop thread
+  uint16_t port_ = 0;   // NOLINT(guarded-by-coverage): Start/Stop thread
 
-  std::thread loop_thread_;
-  std::vector<std::thread> workers_;
+  std::thread loop_thread_;          // NOLINT(guarded-by-coverage): Start/Stop
+  std::vector<std::thread> workers_;  // NOLINT(guarded-by-coverage): Start/Stop
 
-  Mutex queue_mu_;
+  /// Rank kNetWorkQueue: taken by workers while still holding a
+  /// connection's mutex (requeue/finish paths), never while holding any
+  /// session or storage lock. Declared acquired-before dirty_mu_: the two
+  /// are not nested today, but if they ever are, this is the order.
+  Mutex queue_mu_ LABFLOW_ACQUIRED_BEFORE(dirty_mu_){LockRank::kNetWorkQueue,
+                                                     "net.server.queue"};
   CondVar queue_cv_;
   CondVar drain_cv_;
   std::deque<Work> queue_ LABFLOW_GUARDED_BY(queue_mu_);
@@ -125,15 +133,18 @@ class Server {
   size_t inflight_ LABFLOW_GUARDED_BY(queue_mu_) = 0;
   bool stop_workers_ LABFLOW_GUARDED_BY(queue_mu_) = false;
   bool stopping_ LABFLOW_GUARDED_BY(queue_mu_) = false;
-  bool started_ = false;
-  bool shut_down_ = false;
+  bool started_ = false;    // NOLINT(guarded-by-coverage): Start/Stop thread
+  bool shut_down_ = false;  // NOLINT(guarded-by-coverage): Start/Stop thread
 
   /// Loop-thread only: fd -> connection.
-  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  std::unordered_map<int, std::shared_ptr<Connection>>
+      conns_;  // NOLINT(guarded-by-coverage): loop-thread only
 
   /// Connections whose write buffer a worker touched; the loop drains this
-  /// on each eventfd wake.
-  Mutex dirty_mu_;
+  /// on each eventfd wake. Rank kNetDirtyList: never nested with anything
+  /// (workers enqueue after releasing the connection mutex; the loop
+  /// swaps the vector out under it and flushes off-lock).
+  Mutex dirty_mu_{LockRank::kNetDirtyList, "net.server.dirty"};
   std::vector<std::shared_ptr<Connection>> dirty_ LABFLOW_GUARDED_BY(dirty_mu_);
 };
 

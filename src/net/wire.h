@@ -62,7 +62,8 @@ enum class Op : uint8_t {
   kDefineMaterialClass = 7,
   kDefineStepClass = 8,
   kDefineState = 9,
-  kGetSchema = 10,
+  kGetSchema = 10,  // NOLINT(opcode-sync): no client stub by design — the
+                    // schema piggybacks on kSessionOpen and DDL responses
   kCreateMaterial = 11,
   kRecordStep = 12,
   kMostRecent = 13,
@@ -89,6 +90,16 @@ enum class Op : uint8_t {
 };
 inline constexpr uint8_t kMinOp = static_cast<uint8_t>(Op::kPing);
 inline constexpr uint8_t kMaxOp = static_cast<uint8_t>(Op::kListSteps);
+
+/// Number of opcodes. Adding an opcode means: bump this, update kMaxOp,
+/// add a dispatch arm in net/server.cc (its kDispatchedOps inventory
+/// asserts against this count), a RemoteSession stub in net/client.cc, and
+/// a name in OpName() — the `opcode-sync` rule in scripts/lint.py checks
+/// the server/client halves cross-file.
+inline constexpr uint8_t kOpCount = 33;
+static_assert(kMaxOp - kMinOp + 1 == kOpCount,
+              "Op enum must stay dense: kOpCount, kMinOp and kMaxOp moved "
+              "out of sync with the enumerators");
 
 /// Stable human-readable opcode name, for logs and errors.
 std::string_view OpName(Op op);

@@ -108,8 +108,12 @@ class LockManager {
                          std::vector<uint64_t>* path, uint64_t* victim) const
       LABFLOW_REQUIRES(mu_);
 
-  int64_t timeout_ms_;
-  mutable Mutex mu_;
+  const int64_t timeout_ms_;
+  /// Rank kLockTable: self-contained — no other infrastructure mutex is
+  /// ever acquired while holding it (waits happen on cv_, which releases
+  /// it). The *object* waits-for deadlocks it arbitrates are a protocol
+  /// property, handled by the detector, not by lock ordering.
+  mutable Mutex mu_{LockRank::kLockTable, "ostore.lock_table"};
   CondVar cv_;
   std::unordered_map<uint64_t, PageLock> table_ LABFLOW_GUARDED_BY(mu_);
   std::unordered_map<uint64_t, std::set<uint64_t>> held_

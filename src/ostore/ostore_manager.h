@@ -163,13 +163,14 @@ class OstoreManager : public storage::PagedManagerBase {
   void RecordWalError(Status st) LABFLOW_EXCLUDES(wal_error_mu_);
   Status PeekWalError() const LABFLOW_EXCLUDES(wal_error_mu_);
 
-  std::unique_ptr<LockManager> locks_;
-  Wal wal_;
-  bool sync_commit_ = false;
+  std::unique_ptr<LockManager> locks_;  // NOLINT(guarded-by-coverage)
+  Wal wal_;                             // NOLINT(guarded-by-coverage)
+  bool sync_commit_ = false;  // NOLINT(guarded-by-coverage): set at open
 
   /// Reader–writer: PeekWalError sits on every write operation's path
   /// (CheckWritable), so the healthy-store common case takes a shared hold.
-  mutable SharedMutex wal_error_mu_;
+  /// Rank kWalError: leaf within the durability layer.
+  mutable SharedMutex wal_error_mu_{LockRank::kWalError, "ostore.wal_error"};
   Status wal_error_ LABFLOW_GUARDED_BY(wal_error_mu_);
 
   std::atomic<uint64_t> commits_{0};

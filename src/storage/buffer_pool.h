@@ -76,8 +76,11 @@ class BufferPool {
     void MarkDirty() { dirty_.store(true, std::memory_order_release); }
 
     /// Byte-level latch: hold it around any access to data() —
-    /// ReaderMutexLock to read, WriterMutexLock to mutate. Leaf lock —
-    /// never acquire another mutex while holding it.
+    /// ReaderMutexLock to read, WriterMutexLock to mutate. Ranked
+    /// kFrameLatch: above the shard mutex (which is never held when a
+    /// latch is taken), below the version store — TryInsertOnPage
+    /// registers pending inserts with VersionStore under the writer
+    /// latch, so the latch is no longer a leaf (since the MVCC PR).
     SharedMutex& latch() const LABFLOW_RETURN_CAPABILITY(latch_) {
       return latch_;
     }
@@ -92,14 +95,18 @@ class BufferPool {
     /// the write may not have persisted yet.
     enum class State { kLoading, kReady, kWriting };
 
-    std::unique_ptr<char[]> data_;
-    uint64_t page_no_ = 0;
+    // The non-atomic members are guarded by the owning shard's mutex, a
+    // different object — inexpressible as GUARDED_BY, hence the waivers.
+    std::unique_ptr<char[]> data_;  // NOLINT(guarded-by-coverage): via latch_
+    uint64_t page_no_ = 0;  // NOLINT(guarded-by-coverage): set before publish
     std::atomic<int> pin_count_{0};  // 0->1 only under the shard mutex
     std::atomic<bool> dirty_{false};
-    State state_ = State::kLoading;          // guarded by the shard mutex
-    std::list<uint64_t>::iterator lru_pos_;  // guarded by the shard mutex
-    bool in_lru_ = false;                    // guarded by the shard mutex
-    mutable SharedMutex latch_;
+    State state_ =
+        State::kLoading;  // NOLINT(guarded-by-coverage): shard mutex
+    std::list<uint64_t>::iterator
+        lru_pos_;            // NOLINT(guarded-by-coverage): shard mutex
+    bool in_lru_ = false;    // NOLINT(guarded-by-coverage): shard mutex
+    mutable SharedMutex latch_{LockRank::kFrameLatch, "buffer_pool.latch"};
   };
 
   /// RAII pin: unpins on destruction.
@@ -181,16 +188,16 @@ class BufferPool {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{LockRank::kBufferShard, "buffer_pool.shard"};
     /// Signaled whenever a frame changes state (published, write-back done,
     /// load failed): waiters in Fetch/FlushPage/EnsureCapacity re-check.
     CondVar cv;
     std::unordered_map<uint64_t, std::unique_ptr<Frame>> frames
         LABFLOW_GUARDED_BY(mu);
     std::list<uint64_t> lru LABFLOW_GUARDED_BY(mu);  // front = MRU
-    size_t capacity = 0;
+    size_t capacity = 0;  // NOLINT(guarded-by-coverage): set at construction
     int writing LABFLOW_GUARDED_BY(mu) = 0;  ///< frames in State::kWriting
-    ShardStats stats;
+    ShardStats stats;  // NOLINT(guarded-by-coverage): atomic counters
   };
 
   Shard& ShardFor(uint64_t page_no) const {

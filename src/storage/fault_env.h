@@ -69,7 +69,10 @@ class FaultInjectionEnv : public Env {
   /// True (and counts the fault) when a fault should fire for `path`.
   bool ShouldFault(const std::string& path, double p) LABFLOW_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  /// Rank kFaultEnv: the innermost lock in the tree — taken inside file
+  /// reads/writes issued under PageFile's append mutex and the recovery
+  /// scan's allocator hold.
+  mutable Mutex mu_{LockRank::kFaultEnv, "fault_env"};
   Rng rng_ LABFLOW_GUARDED_BY(mu_);
   bool enabled_ LABFLOW_GUARDED_BY(mu_) = true;
   uint64_t faults_ LABFLOW_GUARDED_BY(mu_) = 0;

@@ -42,9 +42,11 @@ Status PageFile::Close() {
 Result<uint64_t> PageFile::AppendPage() {
   if (file_ == nullptr) return Status::InvalidArgument("PageFile not open");
   std::vector<char> zeros(kPageSize, 0);
-  std::lock_guard<std::mutex> g(append_mu_);
+  MutexLock g(append_mu_);
   uint64_t page_no = page_count_.load(std::memory_order_relaxed);
-  LABFLOW_RETURN_IF_ERROR(file_->Write(
+  // Write under the lock by design: the page must be on disk before
+  // page_count_ publishes it, and appends are rare (file growth only).
+  LABFLOW_RETURN_IF_ERROR(file_->Write(  // NOLINT(io-under-lock)
       page_no * kPageSize, std::string_view(zeros.data(), kPageSize)));
   page_count_.fetch_add(1, std::memory_order_relaxed);
   return page_no;

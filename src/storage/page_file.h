@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/env.h"
 #include "storage/page.h"
 
@@ -63,10 +64,15 @@ class PageFile {
   uint64_t SizeBytes() const { return page_count() * kPageSize; }
 
  private:
-  std::unique_ptr<File> file_;
+  // Open/Close are single-threaded lifecycle; file_ and path_ are constant
+  // between them, so only the append path needs the mutex.
+  std::unique_ptr<File> file_;  // NOLINT(guarded-by-coverage): lifecycle
   std::atomic<uint64_t> page_count_{0};
-  std::mutex append_mu_;
-  std::string path_;
+  /// Serializes growth: one append at a time, deliberately held across the
+  /// zero-page write so page_count_ only ever publishes written pages.
+  /// Ranked kPageAppend — innermost except the fault-injection env.
+  Mutex append_mu_{LockRank::kPageAppend, "page_file.append"};
+  std::string path_;  // NOLINT(guarded-by-coverage): lifecycle
 };
 
 }  // namespace labflow::storage

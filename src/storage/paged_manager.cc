@@ -138,8 +138,11 @@ Status PagedManagerBase::Open(const PagedManagerOptions& options) {
   if (fresh) {
     LABFLOW_ASSIGN_OR_RETURN(uint64_t sb, file_.AppendPage());
     (void)sb;
-    segments_.clear();
-    segments_.push_back(SegmentState{"default", 0, {}});
+    {
+      MutexLock g(alloc_mu_);
+      segments_.clear();
+      segments_.push_back(SegmentState{"default", 0, {}});
+    }
     LABFLOW_RETURN_IF_ERROR(WriteSuperblock());
   } else {
     LABFLOW_RETURN_IF_ERROR(ReadSuperblock());
@@ -153,13 +156,22 @@ Status PagedManagerBase::Open(const PagedManagerOptions& options) {
 }
 
 Status PagedManagerBase::WriteSuperblock() {
+  // Snapshot the segment names under the allocator mutex: Checkpoint() can
+  // run concurrently with segment growth, and iterating the vector unlocked
+  // raced push_back. The page write below stays off-lock.
+  std::vector<std::string> seg_names;
+  {
+    MutexLock g(alloc_mu_);
+    seg_names.reserve(segments_.size());
+    for (const SegmentState& seg : segments_) seg_names.push_back(seg.name);
+  }
   Encoder enc;
   enc.PutFixed32(kMagic);
   enc.PutFixed32(kFormatVersion);
   enc.PutFixed64(lsn_.load());
   enc.PutFixed64(root_.load());
-  enc.PutU32(static_cast<uint32_t>(segments_.size()));
-  for (const SegmentState& seg : segments_) enc.PutString(seg.name);
+  enc.PutU32(static_cast<uint32_t>(seg_names.size()));
+  for (const std::string& name : seg_names) enc.PutString(name);
   enc.PutString(EncodeMeta());
   if (enc.size() > kPageCapacity) {
     return Status::Internal("superblock overflow");
@@ -189,25 +201,31 @@ Status PagedManagerBase::ReadSuperblock() {
   LABFLOW_ASSIGN_OR_RETURN(uint64_t root, dec.GetFixed64());
   root_.store(root);
   LABFLOW_ASSIGN_OR_RETURN(uint32_t n_segments, dec.GetU32());
-  segments_.clear();
-  for (uint32_t i = 0; i < n_segments; ++i) {
-    LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
-    segments_.push_back(SegmentState{std::move(name), 0, {}});
-  }
-  if (segments_.empty()) {
-    segments_.push_back(SegmentState{"default", 0, {}});
+  {
+    MutexLock g(alloc_mu_);
+    segments_.clear();
+    for (uint32_t i = 0; i < n_segments; ++i) {
+      LABFLOW_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+      segments_.push_back(SegmentState{std::move(name), 0, {}});
+    }
+    if (segments_.empty()) {
+      segments_.push_back(SegmentState{"default", 0, {}});
+    }
   }
   LABFLOW_ASSIGN_OR_RETURN(std::string meta, dec.GetString());
   return DecodeMeta(meta);
 }
 
 Status PagedManagerBase::RebuildFromScan() {
-  std::lock_guard<std::mutex> g(alloc_mu_);
+  // Recovery-time scan: runs single-threaded before the manager is open,
+  // so holding alloc_mu_ across the page reads contends with nothing.
+  MutexLock g(alloc_mu_);
   std::vector<char> buf(kPageSize);
   uint64_t live = 0;
   uint64_t max_lsn = lsn_.load();
   for (uint64_t page_no = 1; page_no < file_.page_count(); ++page_no) {
-    LABFLOW_RETURN_IF_ERROR(file_.ReadPage(page_no, buf.data()));
+    LABFLOW_RETURN_IF_ERROR(
+        file_.ReadPage(page_no, buf.data()));  // NOLINT(io-under-lock)
     if (Status st = VerifyPageChecksum(buf.data(), page_no); !st.ok()) {
       direct_checksum_failures_.fetch_add(1);
       return st;
@@ -301,7 +319,7 @@ std::string PagedManagerBase::PadRecord(std::string record) const {
 
 Result<uint16_t> PagedManagerBase::CreateSegment(std::string_view name) {
   if (!SupportsSegments()) return static_cast<uint16_t>(0);
-  std::lock_guard<std::mutex> g(alloc_mu_);
+  MutexLock g(alloc_mu_);
   if (segments_.size() >= 0xFFFF) {
     return Status::ResourceExhausted("too many segments");
   }
@@ -392,19 +410,19 @@ Result<ObjectId> PagedManagerBase::TryInsertOnPage(Txn* txn, uint64_t page_no,
     }
   }
   if (anchor_near_full) {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
     return Status::ResourceExhausted("cluster anchor page near full");
   }
   if (!slot.ok()) {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
     return slot.status();
   }
   RetainPage(txn, page_no);
   OnInsert(txn, lsn, page_no, slot.value(), record);
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
   }
   return ObjectId::Make(page_no, slot.value());
@@ -424,7 +442,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
       if (r.ok() || !r.status().IsResourceExhausted()) return r;
       uint64_t overflow = 0;
       {
-        std::lock_guard<std::mutex> g(alloc_mu_);
+        MutexLock g(alloc_mu_);
         auto it = cluster_overflow_.find(anchor_page);
         if (it != cluster_overflow_.end()) overflow = it->second;
       }
@@ -447,7 +465,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
       }
       uint64_t adopted = 0;
       {
-        std::lock_guard<std::mutex> g(alloc_mu_);
+        MutexLock g(alloc_mu_);
         if (seg < segments_.size()) {
           for (const auto& [page_no, free] : segments_[seg].free_pages) {
             if (free >= kPageSize / 2 && page_no != anchor_page) {
@@ -460,7 +478,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
       if (adopted != 0) {
         Result<ObjectId> ar = TryInsertOnPage(txn, adopted, record);
         if (ar.ok()) {
-          std::lock_guard<std::mutex> g(alloc_mu_);
+          MutexLock g(alloc_mu_);
           cluster_overflow_[anchor_page] = adopted;
           return ar;
         }
@@ -468,7 +486,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
       }
       LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(txn, seg));
       {
-        std::lock_guard<std::mutex> g(alloc_mu_);
+        MutexLock g(alloc_mu_);
         cluster_overflow_[anchor_page] = fresh;
       }
       return TryInsertOnPage(txn, fresh, record);
@@ -477,7 +495,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
 
   uint16_t seg = SupportsSegments() ? hint.segment : 0;
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     if (seg >= segments_.size()) {
       return Status::InvalidArgument("unknown segment " + std::to_string(seg));
     }
@@ -504,7 +522,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
   // 1. The segment's current open page.
   uint64_t open_page = 0;
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     open_page = segments_[seg].open_page;
   }
   if (open_page != 0) {
@@ -521,7 +539,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
   const size_t max_candidates = probe ? 8 : 4;
   std::vector<uint64_t> candidates;
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     const SegmentState& s = segments_[seg];
     for (auto it = s.free_pages.begin();
          it != s.free_pages.end() && candidates.size() < max_candidates;
@@ -535,7 +553,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
   for (uint64_t page_no : candidates) {
     Result<ObjectId> r = TryInsertOnPage(txn, page_no, record, 0, probe);
     if (r.ok()) {
-      std::lock_guard<std::mutex> g(alloc_mu_);
+      MutexLock g(alloc_mu_);
       segments_[seg].open_page = page_no;
       if (txn != nullptr) txn->set_preferred_page(seg, page_no);
       return r;
@@ -546,7 +564,7 @@ Result<ObjectId> PagedManagerBase::InsertRecord(Txn* txn,
   // 3. A fresh page.
   LABFLOW_ASSIGN_OR_RETURN(uint64_t fresh, NewPageInSegment(txn, seg));
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     segments_[seg].open_page = fresh;
   }
   Result<ObjectId> r = TryInsertOnPage(txn, fresh, record);
@@ -798,7 +816,7 @@ Status PagedManagerBase::UpdateSlot(Txn* txn, ObjectId id,
   RetainPage(txn, page_no);
   OnUpdate(txn, lsn, page_no, id.slot(), old_bytes, record);
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
   }
   return Status::OK();
@@ -827,7 +845,7 @@ Status PagedManagerBase::DeleteSlot(Txn* txn, ObjectId id) {
   RetainPage(txn, page_no);
   OnDelete(txn, lsn, page_no, id.slot(), old_bytes);
   {
-    std::lock_guard<std::mutex> g(alloc_mu_);
+    MutexLock g(alloc_mu_);
     NoteFreeSpaceLocked(page_no, seg, free);
   }
   return Status::OK();

@@ -5,13 +5,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -325,28 +326,36 @@ class PagedManagerBase : public StorageManager {
   /// page cannot host the new size.
   Status UpdateSlot(Txn* txn, ObjectId id, std::string_view record);
 
-  void NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment, size_t free);
+  void NoteFreeSpaceLocked(uint64_t page_no, uint16_t segment, size_t free)
+      LABFLOW_REQUIRES(alloc_mu_);
 
   Status WriteSuperblock();
   Status ReadSuperblock();
   Status RebuildFromScan();
 
-  PagedManagerOptions options_;
-  Env* env_ = nullptr;
-  PageFile file_;
-  std::unique_ptr<BufferPool> pool_;
-  bool open_ = false;
+  // Open/Close lifecycle state: written single-threaded before/after the
+  // manager is published to sessions.
+  PagedManagerOptions options_;        // NOLINT(guarded-by-coverage)
+  Env* env_ = nullptr;                 // NOLINT(guarded-by-coverage)
+  PageFile file_;                      // NOLINT(guarded-by-coverage)
+  std::unique_ptr<BufferPool> pool_;   // NOLINT(guarded-by-coverage)
+  bool open_ = false;                  // NOLINT(guarded-by-coverage)
   /// Checksum rejections on reads that bypass the buffer pool (superblock,
   /// rebuild scan); pool-mediated rejections are counted by the pool.
   std::atomic<uint64_t> direct_checksum_failures_{0};
 
   std::atomic<uint64_t> lsn_{0};
   std::atomic<uint64_t> root_{0};
-  mutable std::mutex alloc_mu_;
-  std::vector<SegmentState> segments_;  // index = segment id
-  std::unordered_map<uint64_t, uint64_t> cluster_overflow_;
+  /// Allocator bookkeeping. Short critical sections only: alloc_mu_ is
+  /// never held across pool fetches, page latches, or record I/O (the one
+  /// exception, the RebuildFromScan recovery scan, runs single-threaded).
+  mutable Mutex alloc_mu_{LockRank::kPagedAlloc, "paged.alloc"};
+  std::vector<SegmentState> segments_
+      LABFLOW_GUARDED_BY(alloc_mu_);  // index = segment id
+  std::unordered_map<uint64_t, uint64_t> cluster_overflow_
+      LABFLOW_GUARDED_BY(alloc_mu_);
   std::atomic<uint64_t> live_objects_{0};
-  VersionStore versions_;
+  VersionStore versions_;  // NOLINT(guarded-by-coverage): self-synchronizing
 };
 
 }  // namespace labflow::storage

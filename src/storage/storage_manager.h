@@ -357,7 +357,10 @@ class StorageManager {
   }
 
  private:
-  mutable Mutex txn_mu_;
+  /// Rank kTxnTable: DropActiveTxns holds it across per-transaction
+  /// teardown (lock release, snapshot release, version-store abort), so it
+  /// sits below every storage-infrastructure rank.
+  mutable Mutex txn_mu_{LockRank::kTxnTable, "storage.txn_table"};
   std::unordered_map<Txn*, std::unique_ptr<Txn>> active_txns_
       LABFLOW_GUARDED_BY(txn_mu_);
   std::atomic<uint64_t> next_txn_id_{1};

@@ -189,7 +189,11 @@ class VersionStore {
   };
 
   struct Shard {
-    mutable Mutex mu;
+    /// Rank kVersionChain: chain shards nest inside frame latches
+    /// (TryInsertOnPage registers pendings under the writer latch) and are
+    /// never held while taking commit_mu_ — Touch runs after the shard
+    /// scope closes.
+    mutable Mutex mu{LockRank::kVersionChain, "version_store.chain"};
     std::unordered_map<uint64_t, Chain> chains LABFLOW_GUARDED_BY(mu);
   };
 
@@ -223,9 +227,10 @@ class VersionStore {
   /// Registers `key` in the owner's touched list (first pending only).
   void Touch(uint64_t owner, uint64_t key) LABFLOW_EXCLUDES(commit_mu_);
 
-  mutable std::array<Shard, kShards> shards_;
+  mutable std::array<Shard, kShards>
+      shards_;  // NOLINT(guarded-by-coverage): each shard self-locks
 
-  mutable Mutex commit_mu_;
+  mutable Mutex commit_mu_{LockRank::kVersionCommit, "version_store.commit"};
   uint64_t next_ts_ LABFLOW_GUARDED_BY(commit_mu_) = 0;
   std::set<uint64_t> inflight_ LABFLOW_GUARDED_BY(commit_mu_);
   std::multiset<uint64_t> snapshots_ LABFLOW_GUARDED_BY(commit_mu_);
