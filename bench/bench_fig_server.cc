@@ -546,6 +546,59 @@ int Main(int argc, char** argv) {
   }
   std::cout << "\n";
 
+  // Server-side storage counters over the wire (kServerStats): I/O and —
+  // when the backing store is the LSM — memtable/level/compaction telemetry
+  // alongside the latency numbers.
+  {
+    auto conn_or = Connection::Dial(host, port);
+    if (!conn_or.ok()) {
+      std::cerr << "ERROR: dial for stats: " << conn_or.status().ToString()
+                << "\n";
+      return 1;
+    }
+    auto stats_or = conn_or.value()->ServerStats();
+    if (!stats_or.ok()) {
+      std::cerr << "ERROR: server stats: " << stats_or.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const net::WireServerStats& s = stats_or.value();
+    std::cout << "server stats: disk_reads=" << s.disk_reads
+              << " disk_writes=" << s.disk_writes
+              << " cache_hits=" << s.cache_hits
+              << " txn_commits=" << s.txn_commits
+              << " db_size=" << s.db_size_bytes
+              << " wal_bytes=" << s.wal_bytes << "\n";
+    std::string level_files;
+    for (uint64_t n : s.lsm_level_files) {
+      if (!level_files.empty()) level_files += ",";
+      level_files += std::to_string(n);
+    }
+    if (!s.lsm_level_files.empty()) {
+      std::cout << "  lsm: memtable=" << s.lsm_memtable_bytes << "B levels=["
+                << level_files << "] compact_read=" << s.lsm_compaction_bytes_read
+                << "B compact_written=" << s.lsm_compaction_bytes_written
+                << "B bloom=" << s.lsm_bloom_hits << "/" << s.lsm_bloom_checks
+                << " throttles=" << s.lsm_write_throttles << "\n";
+    }
+    report.AddRow()
+        .Str("regime", "server_stats")
+        .Int("disk_reads", s.disk_reads)
+        .Int("disk_writes", s.disk_writes)
+        .Int("cache_hits", s.cache_hits)
+        .Int("txn_commits", s.txn_commits)
+        .Int("db_size_bytes", s.db_size_bytes)
+        .Int("wal_bytes", s.wal_bytes)
+        .Int("lsm_memtable_bytes", s.lsm_memtable_bytes)
+        .Str("lsm_level_files", level_files)
+        .Int("lsm_compaction_bytes_read", s.lsm_compaction_bytes_read)
+        .Int("lsm_compaction_bytes_written", s.lsm_compaction_bytes_written)
+        .Int("lsm_bloom_checks", s.lsm_bloom_checks)
+        .Int("lsm_bloom_hits", s.lsm_bloom_hits)
+        .Int("lsm_write_throttles", s.lsm_write_throttles);
+  }
+  std::cout << "\n";
+
   if (server != nullptr) {
     server->Shutdown();
     server.reset();

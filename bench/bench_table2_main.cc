@@ -7,10 +7,20 @@
 // the role of the testbed's physical memory: at 0.5X every database fits,
 // at 2X the persistent versions must page.
 //
+// The 10X and 100X scales (run via --intvls) are this repo's extension to
+// the paper's table: with the pool bounded, the paged heaps fault on nearly
+// every history edge at 100X while the LSM history store stays sequential —
+// the Table 2 sixth-column comparison (see EXPERIMENTS.md).
+//
 // Flags: --clones=N (base clones at 1X, default 500), --pool=PAGES,
-//        --seed=S, and --intvl=X to run a single scale.
+//        --seed=S, --intvl=X to run a single scale, or --intvls=a,b,c to
+//        run a custom list of scales (e.g. --intvls=1,10,100);
+//        --versions=a,b restricts the column set (names as printed, e.g.
+//        --versions=OStore,LsmStore) — note the cross-version checksum
+//        gate then only covers the versions that ran.
 
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -22,9 +32,45 @@ namespace {
 
 int Main(int argc, char** argv) {
   double single_intvl = FlagValue(argc, argv, "intvl", 0);
-  std::vector<double> intvls =
-      single_intvl > 0 ? std::vector<double>{single_intvl}
-                       : std::vector<double>{0.5, 1.0, 2.0};
+  std::string intvls_csv = FlagString(argc, argv, "intvls");
+  std::vector<double> intvls;
+  if (!intvls_csv.empty()) {
+    std::stringstream ss(intvls_csv);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      double v = std::atof(tok.c_str());
+      if (v <= 0) {
+        std::cerr << "ERROR: bad --intvls entry '" << tok << "'\n";
+        return 1;
+      }
+      intvls.push_back(v);
+    }
+  } else if (single_intvl > 0) {
+    intvls = {single_intvl};
+  } else {
+    intvls = {0.5, 1.0, 2.0};
+  }
+  std::string versions_csv = FlagString(argc, argv, "versions");
+  std::vector<ServerVersion> versions;
+  if (!versions_csv.empty()) {
+    std::stringstream ss(versions_csv);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      bool known = false;
+      for (ServerVersion v : kAllServerVersions) {
+        if (tok == ServerVersionName(v)) {
+          versions.push_back(v);
+          known = true;
+        }
+      }
+      if (!known) {
+        std::cerr << "ERROR: unknown --versions entry '" << tok << "'\n";
+        return 1;
+      }
+    }
+  } else {
+    versions.assign(std::begin(kAllServerVersions), std::end(kAllServerVersions));
+  }
   int base_clones = static_cast<int>(FlagValue(argc, argv, "clones", 500));
   size_t pool = static_cast<size_t>(FlagValue(argc, argv, "pool", 2048));
   uint64_t seed = static_cast<uint64_t>(FlagValue(argc, argv, "seed", 1996));
@@ -41,7 +87,7 @@ int Main(int argc, char** argv) {
     params.intvl = intvl;
     params.base_clones = base_clones;
     params.seed = seed;
-    for (ServerVersion version : kAllServerVersions) {
+    for (ServerVersion version : versions) {
       BenchDir dir;
       Driver::Options opts;
       opts.version = version;
@@ -59,6 +105,10 @@ int Main(int argc, char** argv) {
           .Str("version", report->version)
           .Num("intvl", report->intvl)
           .Num("elapsed_sec", report->elapsed_sec)
+          // Phase split: update_ is the paper's "loading" figure, the one
+          // the LSM column is judged on at 10X/100X (docs/EXPERIMENTS.md).
+          .Num("update_elapsed_sec", report->update_elapsed_sec)
+          .Num("query_elapsed_sec", report->query_elapsed_sec)
           .Num("user_cpu_sec", report->user_cpu_sec)
           .Num("sys_cpu_sec", report->sys_cpu_sec)
           .Int("majflt", report->majflt)
@@ -73,16 +123,21 @@ int Main(int argc, char** argv) {
   PrintMainTable(std::cout, reports);
 
   std::cout << "Run details:\n";
-  uint64_t checksum = reports.front().result_checksum;
-  bool consistent = true;
   for (const RunReport& r : reports) {
     PrintRunDetails(std::cout, r);
-    // Checksums must agree within each Intvl group.
   }
-  for (size_t i = 0; i < reports.size(); ++i) {
-    if (reports[i].intvl == reports.front().intvl &&
-        reports[i].result_checksum != checksum) {
-      consistent = false;
+  // Checksums must agree within each Intvl group (all versions answered the
+  // same stream) — checked at every scale, not just the first.
+  bool consistent = true;
+  for (const RunReport& r : reports) {
+    for (const RunReport& other : reports) {
+      if (other.intvl == r.intvl &&
+          other.result_checksum != r.result_checksum) {
+        std::cerr << "checksum mismatch @ " << r.intvl << "X: " << r.version
+                  << "=" << r.result_checksum << " vs " << other.version
+                  << "=" << other.result_checksum << "\n";
+        consistent = false;
+      }
     }
   }
   std::cout << (consistent ? "cross-version checksums: CONSISTENT\n"

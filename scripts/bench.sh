@@ -27,21 +27,25 @@ cmake --build "$root/build" -j "$jobs" --target \
   bench_table2_main bench_fig_concurrency bench_fig_server bench_fig_snapshot
 
 if [[ "$mode" == quick ]]; then
-  table2_flags=(--clones=60 --intvl=1)
+  # Table 2 runs the 10X/100X history scales with a bounded pool: at 100X
+  # the paged heaps fault on nearly every history edge while the LSM store
+  # stays sequential — the sixth-column comparison stays visible even at
+  # quick sizes (EXPERIMENTS.md).
+  table2_flags=(--clones=40 --intvls=1,10,100 --pool=512)
   conc_flags=(--txns=150 --sync_txns=30 --queries=1500 --materials=128)
   server_flags=(--queries=800 --materials=96 --open_reqs=2500)
   snapshot_flags=(--batches=60 --batch=8 --scans=10)
 else
-  table2_flags=()
+  table2_flags=(--intvls=0.5,1,2,10,100)
   conc_flags=()
   server_flags=()
   snapshot_flags=()
 fi
 
-# Runs one bench binary and insists on a fresh, non-empty JSON report: the
-# stale file is removed first, so a bench that crashes (or silently writes
-# nothing) fails the run instead of leaving the previous commit's numbers
-# in place under this commit's name.
+# Runs one bench binary and insists on a fresh report with actual rows: the
+# stale file is removed first, so a bench that crashes, silently writes
+# nothing, or writes an empty `rows` array fails the run instead of leaving
+# the previous commit's numbers in place under this commit's name.
 run_bench() {
   local name="$1"; shift
   local out="$root/BENCH_${name}.json"
@@ -52,6 +56,14 @@ run_bench() {
     echo "ERROR: bench_${name} exited 0 but wrote no JSON to $out" >&2
     exit 1
   fi
+  python3 - "$out" <<'EOF'
+import json, sys
+path = sys.argv[1]
+rows = json.load(open(path)).get("rows", [])
+if not rows:
+    sys.exit(f"ERROR: {path} parsed but has no rows")
+print(f"   {path.rsplit('/', 1)[-1]}: {len(rows)} rows")
+EOF
 }
 
 run_bench table2_main "${table2_flags[@]}"
@@ -62,3 +74,10 @@ run_bench fig_snapshot "${snapshot_flags[@]}"
 echo
 echo "wrote:"
 ls -l "$root"/BENCH_*.json
+# Show what moved against the committed trail — the per-commit performance
+# diff reviewers actually read.
+if git -C "$root" rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo
+  echo "diff vs committed BENCH_*.json:"
+  git -C "$root" --no-pager diff --stat -- 'BENCH_*.json' || true
+fi

@@ -14,9 +14,9 @@
 #           lint-findings.txt for CI artifacts), plus clang-tidy over the
 #           compilation database when clang-tidy is installed
 #   lock-order — Debug build (runtime lock-rank validator compiled in):
-#           the deliberate-inversion death tests plus the concurrency and
-#           network suites, which drive the real lock graph through the
-#           validator. When clang++ is installed, also a full
+#           the deliberate-inversion death tests plus the concurrency,
+#           network and LSM suites, which drive the real lock graph through
+#           the validator. When clang++ is installed, also a full
 #           -Werror=thread-safety(-beta) build of the capability
 #           annotations (see common/lock_rank.h)
 #   bench-smoke — one short deterministic bench run, twice with different
@@ -69,13 +69,15 @@ slow() {
 
 fault() {
   # The fast phase already ran the default 16-seed sweep; here the WAL
-  # fault sweep gets 48 seeds to dig deeper into the fault space.
+  # fault sweep (paged heaps and the LSM history store) gets 48 seeds to
+  # dig deeper into the fault space.
   if [[ ! -d "$root/build" ]]; then
     cmake -B "$root/build" -S "$root" >/dev/null
-    cmake --build "$root/build" -j "$jobs" --target storage_fault_test
+    cmake --build "$root/build" -j "$jobs" --target storage_fault_test \
+      lsm_fault_test
   fi
   LABFLOW_FAULT_SEEDS=48 ctest --test-dir "$root/build" \
-    --output-on-failure -j "$jobs" -R storage_fault_test
+    --output-on-failure -j "$jobs" -R 'storage_fault_test|lsm_fault_test'
 }
 
 tsan() {
@@ -83,12 +85,14 @@ tsan() {
   cmake --build "$root/build-tsan" -j "$jobs" --target \
     concurrency_test buffer_pool_concurrency_test ostore_test \
     storage_manager_test wal_fault_test storage_fault_test net_test \
-    snapshot_isolation_test
+    snapshot_isolation_test lsm_test
   # The snapshot checker's seed sweep widens here (default 4): its read
   # path is lock-free by design, which is exactly what TSan should watch.
+  # lsm_test rides along for its compaction-under-load stress: committers
+  # vs background flush/compaction vs lock-free version-snapshot readers.
   LABFLOW_SNAPSHOT_SEEDS=8 \
     ctest --test-dir "$root/build-tsan" --output-on-failure -j "$jobs" \
-    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test|net_test|snapshot_isolation_test'
+    -R 'concurrency_test|buffer_pool_concurrency_test|ostore_test|storage_manager_test|wal_fault_test|storage_fault_test|net_test|snapshot_isolation_test|lsm_test'
 }
 
 asan() {
@@ -194,9 +198,11 @@ lock-order() {
     -DCMAKE_BUILD_TYPE=Debug >/dev/null
   cmake --build "$root/build-lockorder" -j "$jobs" --target \
     lock_rank_test concurrency_test buffer_pool_concurrency_test \
-    snapshot_isolation_test net_test
+    snapshot_isolation_test net_test lsm_test
+  # lsm_test drives the four LSM ranks (commit -> WAL hand-off, background
+  # flush/compaction, the cache leaves) under the validator.
   ctest --test-dir "$root/build-lockorder" --output-on-failure -j "$jobs" \
-    -R 'lock_rank_test|concurrency_test|buffer_pool_concurrency_test|snapshot_isolation_test|net_test'
+    -R 'lock_rank_test|concurrency_test|buffer_pool_concurrency_test|snapshot_isolation_test|net_test|lsm_test'
   # The static half: Clang's -Werror=thread-safety(-beta) pass over the
   # capability and acquired_before/after annotations. GCC ignores them, so
   # this only runs where clang++ exists (CI's lock-order job installs it).

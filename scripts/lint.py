@@ -510,6 +510,18 @@ FIXTURES = [
      "class C {\n"
      "  int counter_ = 0;\n"
      "};\n", False),  # no lock member, no requirement
+    # The rule covers every src/ subtree — pinned for src/lsm, whose
+    # manager mixes three locks and background threads (lsm/lsm_manager.h).
+    ("guarded-by-coverage", "src/lsm/x.h",
+     "class LsmThing {\n"
+     "  SharedMutex mu_{LockRank::kLsmState, \"lsm.state\"};\n"
+     "  std::deque<int> imms_;\n"
+     "};\n", True),
+    ("guarded-by-coverage", "src/lsm/x.h",
+     "class LsmThing {\n"
+     "  SharedMutex mu_{LockRank::kLsmState, \"lsm.state\"};\n"
+     "  std::deque<int> imms_ LABFLOW_GUARDED_BY(mu_);\n"
+     "};\n", False),
     ("io-under-lock", "src/x.cc",
      "void F() {\n"
      "  MutexLock g(mu_);\n"

@@ -30,14 +30,19 @@
 ///   kSessionIndex     LabBase::index_mu_             labbase/labbase.h
 ///   kTxnTable         StorageManager::txn_mu_        storage/storage_manager.h
 ///   kLockTable        ostore::LockManager::mu_       ostore/lock_manager.h
+///   kLsmCommit        lsm::LsmManager::commit_mu_    lsm/lsm_manager.h
+///   kLsmBg            lsm::LsmManager::bg_mu_        lsm/lsm_manager.h
 ///   kWalQueue         ostore::Wal::mu_               ostore/wal.h
 ///   kWalError         OstoreManager::wal_error_mu_   ostore/ostore_manager.h
 ///   kMmStore          mm::MmManager::mu_             mm/mm_manager.h
+///   kLsmState         lsm::LsmManager::mu_           lsm/lsm_manager.h
 ///   kPagedAlloc       PagedManagerBase::alloc_mu_    storage/paged_manager.h
 ///   kBufferShard      BufferPool::Shard::mu          storage/buffer_pool.h
 ///   kFrameLatch       BufferPool::Frame::latch_      storage/buffer_pool.h
 ///   kVersionCommit    VersionStore::commit_mu_       storage/version_store.h
 ///   kVersionChain     VersionStore::Shard::mu        storage/version_store.h
+///   kLsmTableCache    lsm::TableCache::mu_           lsm/table_cache.h
+///   kLsmBlockCache    lsm::BlockCache::Shard::mu     lsm/table_cache.h
 ///   kPageAppend       PageFile::append_mu_           storage/page_file.h
 ///   kFaultEnv         FaultInjectionEnv::mu_         storage/fault_env.h
 ///
@@ -88,25 +93,35 @@ enum class LockRank : uint16_t {
   kTxnTable = 170,
   kLockTable = 180,
 
+  // -- LSM commit/scheduling (above the WAL: the committer holds these while
+  // appending its group, and a backpressured writer parks on kLsmBg) --------
+  kLsmCommit = 190,
+  kLsmBg = 200,
+
   // -- durability ------------------------------------------------------------
-  kWalQueue = 190,
-  kWalError = 200,
+  kWalQueue = 210,
+  kWalError = 220,
 
   // -- storage managers ------------------------------------------------------
-  kMmStore = 210,
-  kPagedAlloc = 220,
+  kMmStore = 230,
+  kLsmState = 240,
+  kPagedAlloc = 250,
 
   // -- buffer pool -----------------------------------------------------------
-  kBufferShard = 230,
-  kFrameLatch = 240,
+  kBufferShard = 260,
+  kFrameLatch = 270,
 
   // -- MVCC version store ----------------------------------------------------
-  kVersionCommit = 250,
-  kVersionChain = 260,
+  kVersionCommit = 280,
+  kVersionChain = 290,
+
+  // -- LSM read-path caches (leaves: nothing nests inside a cache shard) ----
+  kLsmTableCache = 300,
+  kLsmBlockCache = 310,
 
   // -- innermost leaves ------------------------------------------------------
-  kPageAppend = 270,
-  kFaultEnv = 280,
+  kPageAppend = 320,
+  kFaultEnv = 330,
 };
 
 constexpr const char* LockRankName(LockRank rank) {
@@ -121,14 +136,19 @@ constexpr const char* LockRankName(LockRank rank) {
     case LockRank::kSessionIndex: return "SessionIndex";
     case LockRank::kTxnTable: return "TxnTable";
     case LockRank::kLockTable: return "LockTable";
+    case LockRank::kLsmCommit: return "LsmCommit";
+    case LockRank::kLsmBg: return "LsmBg";
     case LockRank::kWalQueue: return "WalQueue";
     case LockRank::kWalError: return "WalError";
     case LockRank::kMmStore: return "MmStore";
+    case LockRank::kLsmState: return "LsmState";
     case LockRank::kPagedAlloc: return "PagedAlloc";
     case LockRank::kBufferShard: return "BufferShard";
     case LockRank::kFrameLatch: return "FrameLatch";
     case LockRank::kVersionCommit: return "VersionCommit";
     case LockRank::kVersionChain: return "VersionChain";
+    case LockRank::kLsmTableCache: return "LsmTableCache";
+    case LockRank::kLsmBlockCache: return "LsmBlockCache";
     case LockRank::kPageAppend: return "PageAppend";
     case LockRank::kFaultEnv: return "FaultEnv";
   }

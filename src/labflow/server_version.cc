@@ -1,9 +1,11 @@
 #include "labflow/server_version.h"
 
+#include "common/status_macros.h"
+#include "lsm/lsm_manager.h"
 #include "mm/mm_manager.h"
 #include "ostore/ostore_manager.h"
+#include "storage/page.h"
 #include "texas/texas_manager.h"
-#include "common/status_macros.h"
 
 namespace labflow::bench {
 
@@ -19,6 +21,8 @@ std::string_view ServerVersionName(ServerVersion version) {
       return "OStore-mm";
     case ServerVersion::kTexasMm:
       return "Texas-mm";
+    case ServerVersion::kLsm:
+      return "LsmStore";
   }
   return "?";
 }
@@ -46,6 +50,18 @@ Result<std::unique_ptr<storage::StorageManager>> CreateServer(
       opts.client_clustering = (version == ServerVersion::kTexasTC);
       LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<texas::TexasManager> mgr,
                                texas::TexasManager::Open(opts));
+      return std::unique_ptr<storage::StorageManager>(std::move(mgr));
+    }
+    case ServerVersion::kLsm: {
+      lsm::LsmOptions opts;
+      opts.path = options.path;
+      opts.truncate = options.truncate;
+      opts.fault_delay_us = options.fault_delay_us;
+      // Memory fairness with the paged versions: the block cache gets the
+      // same byte budget the paged heap would spend on its buffer pool.
+      opts.block_cache_bytes = options.pool_pages * storage::kPageSize;
+      LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<lsm::LsmManager> mgr,
+                               lsm::LsmManager::Open(opts));
       return std::unique_ptr<storage::StorageManager>(std::move(mgr));
     }
     case ServerVersion::kOstoreMm:

@@ -9,18 +9,21 @@
 
 namespace labflow::bench {
 
-/// The five LabBase data-server versions compared in the paper's Section 10.
+/// The five LabBase data-server versions compared in the paper's Section
+/// 10, plus this repo's LSM-backed history store (kLsm), benchmarked as a
+/// sixth column against the same workload.
 enum class ServerVersion {
   kOstore,    // ObjectStore-like: segments, 2PL, WAL
   kTexas,     // Texas-like: allocation-order placement, no CC
   kTexasTC,   // Texas + client-implemented object clustering
   kOstoreMm,  // main memory only (OStore code path)
   kTexasMm,   // main memory only (Texas code path)
+  kLsm,       // log-structured merge tree: WAL + memtable + leveled SSTables
 };
 
 inline constexpr ServerVersion kAllServerVersions[] = {
     ServerVersion::kOstore, ServerVersion::kTexasTC, ServerVersion::kTexas,
-    ServerVersion::kOstoreMm, ServerVersion::kTexasMm};
+    ServerVersion::kOstoreMm, ServerVersion::kTexasMm, ServerVersion::kLsm};
 
 /// Paper-style display name ("OStore", "Texas+TC", ...).
 std::string_view ServerVersionName(ServerVersion version);

@@ -1,0 +1,1245 @@
+#include "lsm/lsm_manager.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/codec.h"
+#include "common/status_macros.h"
+
+namespace labflow::lsm {
+
+using storage::AllocHint;
+using storage::ObjectId;
+using storage::StorageStats;
+
+namespace {
+
+// WAL record opcodes inside a commit group's payload.
+constexpr uint8_t kWalPut = 1;   // [u64 key][string value]
+constexpr uint8_t kWalDel = 2;   // [u64 key]
+constexpr uint8_t kWalRoot = 3;  // [u64 root.raw]
+
+constexpr uint32_t kManifestMagic = 0x4C534D4D;  // "LSMM"
+
+// At most this many flushed-but-unretired memtables before committers park.
+constexpr size_t kMaxImms = 2;
+
+/// [[nodiscard]] suppressor for best-effort cleanup calls whose failure is
+/// harmless by design (recovery re-deletes orphans; Delete of a missing
+/// file is NotFound).
+void IgnoreStatus(const Status&) {}
+
+void SleepMs(int64_t ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+/// Transaction handle: just the private write batch. Reads consult the
+/// batch first (read-your-writes), commit hands it to CommitBatch, abort
+/// throws it away.
+class LsmManager::LsmTxn : public storage::Txn {
+ public:
+  LsmTxn(LsmManager* owner, uint64_t id) : Txn(owner, id) {}
+
+  WriteBatch batch;
+};
+
+// ---- lifecycle --------------------------------------------------------------
+
+LiveFile::~LiveFile() {
+  if (!obsolete_.load(std::memory_order_acquire)) return;
+  cache_->Evict(number_);
+  IgnoreStatus(env_->Delete(path_));
+}
+
+LsmManager::LsmManager(const LsmOptions& options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : storage::Env::Default()),
+      table_cache_(new TableCache(env_, options.max_open_tables,
+                                  options.block_cache_bytes, &read_stats_,
+                                  options.fault_delay_us)) {}
+
+Result<std::unique_ptr<LsmManager>> LsmManager::Open(
+    const LsmOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("lsm: path must not be empty");
+  }
+  std::unique_ptr<LsmManager> mgr(new LsmManager(options));
+  LABFLOW_RETURN_IF_ERROR(mgr->Recover());
+  mgr->StartWorkers();
+  // Recovery may have left L0 at or past the compaction trigger.
+  mgr->SignalBg();
+  return mgr;
+}
+
+LsmManager::~LsmManager() {
+  StopWorkers();
+  MutexLock g(commit_mu_);
+  if (wal_ != nullptr) IgnoreStatus(wal_->Close());
+}
+
+std::string LsmManager::SstPath(uint64_t number) const {
+  return options_.path + ".lsm-sst." + std::to_string(number);
+}
+
+std::string LsmManager::WalPath(uint64_t number) const {
+  return options_.path + ".lsm-wal." + std::to_string(number);
+}
+
+std::string LsmManager::ManifestPath(int slot) const {
+  return options_.path + ".lsm-manifest." + std::to_string(slot);
+}
+
+// ---- recovery ---------------------------------------------------------------
+
+Status LsmManager::Recover() {
+  bool recovered = false;
+  {
+    MutexLock c(commit_mu_);
+    WriterMutexLock g(mu_);
+    bool found = false;
+    std::vector<uint64_t> wals;
+    LABFLOW_RETURN_IF_ERROR(LoadManifest(&found, &wals));
+    if (options_.truncate && found) {
+      LABFLOW_RETURN_IF_ERROR(DeleteAllFiles());
+      // Keep manifest_epoch_: the next persist supersedes the stale slots.
+      version_ = std::make_shared<LsmVersion>();
+      root_ = ObjectId::Invalid();
+      next_id_.store(1, std::memory_order_relaxed);
+      next_file_number_.store(1, std::memory_order_relaxed);
+      live_objects_.store(0, std::memory_order_relaxed);
+      found = false;
+      wals.clear();
+    }
+    if (version_ == nullptr) version_ = std::make_shared<LsmVersion>();
+    if (found) {
+      CollectOrphans(wals);
+      LABFLOW_RETURN_IF_ERROR(ReplayWals(wals));
+      LABFLOW_RETURN_IF_ERROR(FlushReplayLocked());
+    }
+    LABFLOW_RETURN_IF_ERROR(BootstrapFresh());
+    // Replayed WALs are folded into L0 and superseded by the fresh
+    // manifest; only now is it safe to retire them.
+    for (uint64_t n : wals) IgnoreStatus(env_->Delete(WalPath(n)));
+    RefreshPressureLocked();
+    recovered = found;
+  }
+  if (recovered) {
+    // Exact live-object count: merge the recovered tree once. This is the
+    // same order of work as the LabBase open scan that follows anyway.
+    std::map<uint64_t, std::string> all;
+    LABFLOW_RETURN_IF_ERROR(MergeAll(nullptr, &all));
+    live_objects_.store(all.size(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status LsmManager::LoadManifest(bool* found, std::vector<uint64_t>* wals) {
+  *found = false;
+  uint64_t best_epoch = 0;
+  for (int slot = 0; slot < 2; ++slot) {
+    const std::string path = ManifestPath(slot);
+    if (!env_->FileExists(path)) continue;
+    auto opened = env_->OpenFile(path, /*truncate=*/false);
+    if (!opened.ok()) continue;
+    std::unique_ptr<storage::File> file = std::move(opened.value());
+    auto sized = file->Size();
+    if (!sized.ok()) continue;
+    const uint64_t size = sized.value();
+    if (size < 12) continue;  // magic + trailing checksum at minimum
+    std::string buf(size, '\0');
+    if (!file->Read(0, size, buf.data()).ok()) continue;
+    const uint32_t want = Fnv1a32(std::string_view(buf).substr(0, size - 4));
+    Decoder trailer(std::string_view(buf).substr(size - 4));
+    auto got = trailer.GetFixed32();
+    if (!got.ok() || got.value() != want) continue;  // torn slot: skip it
+
+    Decoder d(std::string_view(buf).substr(0, size - 4));
+    auto magic = d.GetFixed32();
+    if (!magic.ok() || magic.value() != kManifestMagic) continue;
+    auto parse = [&]() -> Status {
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t epoch, d.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t next_file, d.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t next_id, d.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t root, d.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t live, d.GetU64());
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t nwals, d.GetU64());
+      std::vector<uint64_t> slot_wals;
+      for (uint64_t i = 0; i < nwals; ++i) {
+        LABFLOW_ASSIGN_OR_RETURN(uint64_t w, d.GetU64());
+        slot_wals.push_back(w);
+      }
+      LABFLOW_ASSIGN_OR_RETURN(uint64_t nlevels, d.GetU64());
+      auto v = std::make_shared<LsmVersion>();
+      v->levels.resize(nlevels);
+      for (uint64_t l = 0; l < nlevels; ++l) {
+        LABFLOW_ASSIGN_OR_RETURN(uint64_t nfiles, d.GetU64());
+        for (uint64_t f = 0; f < nfiles; ++f) {
+          FileMeta m;
+          LABFLOW_ASSIGN_OR_RETURN(m.number, d.GetU64());
+          LABFLOW_ASSIGN_OR_RETURN(m.smallest, d.GetU64());
+          LABFLOW_ASSIGN_OR_RETURN(m.largest, d.GetU64());
+          LABFLOW_ASSIGN_OR_RETURN(m.file_size, d.GetU64());
+          LABFLOW_ASSIGN_OR_RETURN(m.entries, d.GetU64());
+          m.live = std::make_shared<LiveFile>(env_, table_cache_.get(),
+                                              SstPath(m.number), m.number);
+          v->levels[l].push_back(m);
+        }
+      }
+      if (epoch <= best_epoch) return Status::OK();  // older slot
+      best_epoch = epoch;
+      *found = true;
+      *wals = std::move(slot_wals);
+      version_ = std::move(v);
+      root_ = ObjectId(root);
+      next_file_number_.store(next_file, std::memory_order_relaxed);
+      next_id_.store(next_id, std::memory_order_relaxed);
+      live_objects_.store(live, std::memory_order_relaxed);
+      return Status::OK();
+    };
+    IgnoreStatus(parse());  // a malformed-but-checksummed slot is skipped
+  }
+  manifest_epoch_ = best_epoch;
+  return Status::OK();
+}
+
+Status LsmManager::DeleteAllFiles() {
+  const uint64_t limit = next_file_number_.load(std::memory_order_relaxed);
+  for (uint64_t n = 1; n < limit; ++n) {
+    IgnoreStatus(env_->Delete(SstPath(n)));
+    IgnoreStatus(env_->Delete(WalPath(n)));
+  }
+  return Status::OK();
+}
+
+void LsmManager::CollectOrphans(const std::vector<uint64_t>& wal_numbers) {
+  std::vector<bool> live_sst;
+  std::vector<bool> live_wal;
+  const uint64_t limit = next_file_number_.load(std::memory_order_relaxed);
+  live_sst.resize(limit, false);
+  live_wal.resize(limit, false);
+  for (const auto& level : version_->levels) {
+    for (const FileMeta& m : level) {
+      if (m.number < limit) live_sst[m.number] = true;
+    }
+  }
+  for (uint64_t n : wal_numbers) {
+    if (n < limit) live_wal[n] = true;
+  }
+  for (uint64_t n = 1; n < limit; ++n) {
+    if (!live_sst[n] && env_->FileExists(SstPath(n))) {
+      IgnoreStatus(env_->Delete(SstPath(n)));
+    }
+    if (!live_wal[n] && env_->FileExists(WalPath(n))) {
+      IgnoreStatus(env_->Delete(WalPath(n)));
+    }
+  }
+}
+
+Status LsmManager::ReplayWals(const std::vector<uint64_t>& wal_numbers) {
+  active_ = std::make_shared<SkipList>();
+  uint64_t max_key = 0;
+  for (uint64_t n : wal_numbers) {
+    ostore::Wal wal;
+    LABFLOW_RETURN_IF_ERROR(wal.Open(env_, WalPath(n)));
+    auto groups = wal.ReadAll();
+    IgnoreStatus(wal.Close());
+    LABFLOW_RETURN_IF_ERROR(groups.status());
+    for (const ostore::Wal::Group& group : groups.value()) {
+      Decoder d(group.payload);
+      while (!d.AtEnd()) {
+        LABFLOW_ASSIGN_OR_RETURN(uint8_t op, d.GetU8());
+        switch (op) {
+          case kWalPut: {
+            LABFLOW_ASSIGN_OR_RETURN(uint64_t key, d.GetU64());
+            LABFLOW_ASSIGN_OR_RETURN(std::string value, d.GetString());
+            active_->Insert(key, EntryKind::kPut, value);
+            max_key = std::max(max_key, key);
+            break;
+          }
+          case kWalDel: {
+            LABFLOW_ASSIGN_OR_RETURN(uint64_t key, d.GetU64());
+            active_->Insert(key, EntryKind::kTombstone, {});
+            max_key = std::max(max_key, key);
+            break;
+          }
+          case kWalRoot: {
+            LABFLOW_ASSIGN_OR_RETURN(uint64_t root, d.GetU64());
+            root_ = ObjectId(root);
+            break;
+          }
+          default:
+            return Status::Corruption("lsm: unknown WAL opcode " +
+                                      std::to_string(op));
+        }
+      }
+    }
+  }
+  // Ids handed out after the last manifest persist live only in the WALs.
+  uint64_t floor = max_key + 1;
+  uint64_t cur = next_id_.load(std::memory_order_relaxed);
+  if (cur < floor) next_id_.store(floor, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LsmManager::FlushReplayLocked() {
+  if (active_ == nullptr || active_->empty()) return Status::OK();
+  FileMeta meta;
+  LABFLOW_RETURN_IF_ERROR(WriteMemtableSst(*active_, &meta));
+  if (version_->levels.empty()) {
+    auto nv = std::make_shared<LsmVersion>(*version_);
+    nv->levels.resize(1);
+    version_ = std::move(nv);
+  }
+  auto nv = std::make_shared<LsmVersion>(*version_);
+  nv->levels[0].push_back(meta);
+  version_ = std::move(nv);
+  active_ = std::make_shared<SkipList>();
+  return Status::OK();
+}
+
+Status LsmManager::BootstrapFresh() {
+  const uint64_t n = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  auto wal = std::make_unique<ostore::Wal>();
+  LABFLOW_RETURN_IF_ERROR(wal->Open(env_, WalPath(n)));
+  wal_ = std::move(wal);
+  degraded_ = Status::OK();
+  active_ = std::make_shared<SkipList>();
+  active_wal_number_ = n;
+  imms_.clear();
+  return PersistManifestLocked();
+}
+
+// ---- manifest ---------------------------------------------------------------
+
+Status LsmManager::PersistManifestLocked() {
+  const uint64_t epoch = manifest_epoch_ + 1;
+  Encoder e;
+  e.PutFixed32(kManifestMagic);
+  e.PutU64(epoch);
+  e.PutU64(next_file_number_.load(std::memory_order_relaxed));
+  e.PutU64(next_id_.load(std::memory_order_relaxed));
+  e.PutU64(root_.raw);
+  e.PutU64(live_objects_.load(std::memory_order_relaxed));
+  // WALs to replay, oldest first: the queued immutables, then the active.
+  e.PutU64(imms_.size() + 1);
+  for (const Imm& imm : imms_) e.PutU64(imm.wal_number);
+  e.PutU64(active_wal_number_);
+  e.PutU64(version_->levels.size());
+  for (const auto& level : version_->levels) {
+    e.PutU64(level.size());
+    for (const FileMeta& m : level) {
+      e.PutU64(m.number);
+      e.PutU64(m.smallest);
+      e.PutU64(m.largest);
+      e.PutU64(m.file_size);
+      e.PutU64(m.entries);
+    }
+  }
+  std::string body = e.Release();
+  Encoder trailer;
+  trailer.PutFixed32(Fnv1a32(body));
+  body += trailer.Release();
+
+  // Alternating slots: the previous epoch's slot survives until this write
+  // completes, so a torn write can never lose both copies.
+  const int slot = static_cast<int>(epoch & 1);
+  LABFLOW_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::File> file,
+      env_->OpenFile(ManifestPath(slot), /*truncate=*/true));
+  LABFLOW_RETURN_IF_ERROR(file->Append(body));
+  LABFLOW_RETURN_IF_ERROR(file->Sync());
+  LABFLOW_RETURN_IF_ERROR(file->Close());
+  disk_writes_.fetch_add(1, std::memory_order_relaxed);
+  manifest_epoch_ = epoch;
+  return Status::OK();
+}
+
+// ---- commit pipeline --------------------------------------------------------
+
+std::string LsmManager::EncodeBatch(const WriteBatch& batch) const {
+  Encoder e;
+  for (const auto& [key, value] : batch.ops) {
+    if (value.has_value()) {
+      e.PutU8(kWalPut);
+      e.PutU64(key);
+      e.PutString(*value);
+    } else {
+      e.PutU8(kWalDel);
+      e.PutU64(key);
+    }
+  }
+  if (batch.root.has_value()) {
+    e.PutU8(kWalRoot);
+    e.PutU64(batch.root->raw);
+  }
+  return e.Release();
+}
+
+void LsmManager::Backpressure() {
+  const size_t l0 = l0_files_.load(std::memory_order_relaxed);
+  const size_t imms = imm_count_.load(std::memory_order_relaxed);
+  if (l0 < options_.l0_slowdown_trigger && imms < kMaxImms) return;
+  write_throttles_.fetch_add(1, std::memory_order_relaxed);
+  if (l0 < options_.l0_stop_trigger && imms < kMaxImms) {
+    // Slowdown band: one millisecond per commit gives compaction air
+    // without stalling the pipeline.
+    SleepMs(1);
+    return;
+  }
+  // Hard stop: park until the backlog drains (or the store shuts down).
+  MutexLock g(bg_mu_);
+  while (!stop_ &&
+         (imm_count_.load(std::memory_order_relaxed) >= kMaxImms ||
+          l0_files_.load(std::memory_order_relaxed) >=
+              options_.l0_stop_trigger)) {
+    bg_cv_.WaitFor(bg_mu_, std::chrono::milliseconds(10), [] { return false; });
+  }
+}
+
+Status LsmManager::CommitBatch(uint64_t txn_id, const WriteBatch& batch) {
+  if (batch.empty()) {
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  Backpressure();
+  MutexLock c(commit_mu_);
+  if (!degraded_.ok()) {
+    return Status::Unavailable("lsm: store degraded by earlier WAL failure: " +
+                               degraded_.message());
+  }
+  if (wal_ == nullptr) {
+    return Status::Unavailable("lsm: write-ahead log is not open");
+  }
+  const std::string payload = EncodeBatch(batch);
+  Status st = wal_->AppendGroup(txn_id, payload, options_.sync_commit);
+  if (!st.ok()) {
+    // The batch was NOT applied: no ghost state. The WAL's own sticky error
+    // refuses later appends; mirror it here so commits fail fast until a
+    // Checkpoint truncates and heals the log.
+    degraded_ = st;
+    return st;
+  }
+  bool rotate = false;
+  {
+    WriterMutexLock g(mu_);
+    if (closed_) return Status::InvalidArgument("lsm: manager closed");
+    for (const auto& [key, value] : batch.ops) {
+      if (value.has_value()) {
+        active_->Insert(key, EntryKind::kPut, *value);
+      } else {
+        active_->Insert(key, EntryKind::kTombstone, {});
+      }
+    }
+    if (batch.root.has_value()) root_ = *batch.root;
+    live_objects_.fetch_add(static_cast<uint64_t>(batch.live_delta),
+                            std::memory_order_relaxed);
+    rotate = active_->bytes() >= options_.memtable_bytes;
+  }
+  if (rotate) {
+    // Rotation failure degrades the store (future durability at risk) but
+    // this commit itself is logged and applied — still OK. commit_mu_ is
+    // still held, so the memtable cannot grow between the size check and
+    // the swap.
+    IgnoreStatus(Rotate());
+    SignalBg();
+  }
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LsmManager::Rotate() {
+  // Order matters for recovery: open the new WAL and persist a manifest
+  // that lists it *before* any commit can land in it; the old WAL moves to
+  // the immutable queue and is retired only after its flush's manifest.
+  //
+  // All the WAL traffic (Wal::mu_ ranks below kLsmState) and the new log's
+  // file I/O happen before the state lock; commit_mu_ alone freezes the
+  // active memtable, so the swap under mu_ installs exactly the snapshot
+  // the closed log describes.
+  const uint64_t n = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  auto fresh = std::make_unique<ostore::Wal>();
+  Status st = fresh->Open(env_, WalPath(n));
+  if (!st.ok()) {
+    degraded_ = st;
+    return st;
+  }
+  const uint64_t old_wal_bytes = wal_->SizeBytes();
+  const ostore::Wal::GroupStats gs = wal_->group_stats();
+  retired_wal_stats_.frames += gs.frames;
+  retired_wal_stats_.writes += gs.writes;
+  retired_wal_stats_.syncs += gs.syncs;
+  retired_wal_stats_.max_frames_per_write =
+      std::max(retired_wal_stats_.max_frames_per_write,
+               gs.max_frames_per_write);
+  IgnoreStatus(wal_->Close());
+  wal_ = std::move(fresh);
+  {
+    WriterMutexLock g(mu_);
+    Imm imm;
+    imm.mem = active_;
+    imm.wal_number = active_wal_number_;
+    imm.wal_bytes = old_wal_bytes;
+    imms_.push_back(std::move(imm));
+    active_ = std::make_shared<SkipList>();
+    active_wal_number_ = n;
+    RefreshPressureLocked();
+    st = PersistManifestLocked();
+  }
+  if (!st.ok()) degraded_ = st;
+  return st;
+}
+
+// ---- transaction hooks ------------------------------------------------------
+
+std::unique_ptr<storage::Txn> LsmManager::CreateTxn(uint64_t id) {
+  return std::unique_ptr<storage::Txn>(new LsmTxn(this, id));
+}
+
+Status LsmManager::CommitTxn(storage::Txn* txn) {
+  auto* t = static_cast<LsmTxn*>(txn);
+  Status st = CommitBatch(txn->id(), t->batch);
+  if (!st.ok()) aborts_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status LsmManager::AbortTxn(storage::Txn* txn) {
+  // Real rollback: the batch never reached the WAL or the memtable.
+  (void)txn;
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void LsmManager::OnTxnDrop(storage::Txn* txn) {
+  // The buffered batch dies with the handle; nothing to release.
+  (void)txn;
+}
+
+// ---- data operations --------------------------------------------------------
+
+Result<ObjectId> LsmManager::DoAllocate(storage::Txn* txn,
+                                        std::string_view data,
+                                        const AllocHint& hint) {
+  (void)hint;  // allocation order *is* the placement policy in a log
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  if (txn != nullptr) {
+    auto* t = static_cast<LsmTxn*>(txn);
+    t->batch.ops[id] = std::string(data);
+    ++t->batch.live_delta;
+    return ObjectId(id);
+  }
+  WriteBatch batch;
+  batch.ops[id] = std::string(data);
+  batch.live_delta = 1;
+  LABFLOW_RETURN_IF_ERROR(CommitBatch(0, batch));
+  return ObjectId(id);
+}
+
+Result<std::string> LsmManager::DoRead(storage::Txn* txn, ObjectId id) {
+  if (txn != nullptr) {
+    auto* t = static_cast<LsmTxn*>(txn);
+    auto it = t->batch.ops.find(id.raw);
+    if (it != t->batch.ops.end()) {
+      if (!it->second.has_value()) {
+        return Status::NotFound("lsm: no such object: " +
+                                std::to_string(id.raw));
+      }
+      return *it->second;
+    }
+  }
+  return GetCommitted(id.raw);
+}
+
+Status LsmManager::DoUpdate(storage::Txn* txn, ObjectId id,
+                            std::string_view data) {
+  if (txn != nullptr) {
+    auto* t = static_cast<LsmTxn*>(txn);
+    auto it = t->batch.ops.find(id.raw);
+    if (it != t->batch.ops.end()) {
+      if (!it->second.has_value()) {
+        return Status::NotFound("lsm: no such object: " +
+                                std::to_string(id.raw));
+      }
+      it->second = std::string(data);
+      return Status::OK();
+    }
+    LABFLOW_RETURN_IF_ERROR(GetCommitted(id.raw).status());
+    t->batch.ops[id.raw] = std::string(data);
+    return Status::OK();
+  }
+  LABFLOW_RETURN_IF_ERROR(GetCommitted(id.raw).status());
+  WriteBatch batch;
+  batch.ops[id.raw] = std::string(data);
+  return CommitBatch(0, batch);
+}
+
+Status LsmManager::DoFree(storage::Txn* txn, ObjectId id) {
+  if (txn != nullptr) {
+    auto* t = static_cast<LsmTxn*>(txn);
+    auto it = t->batch.ops.find(id.raw);
+    if (it != t->batch.ops.end()) {
+      if (!it->second.has_value()) {
+        return Status::NotFound("lsm: no such object: " +
+                                std::to_string(id.raw));
+      }
+      it->second.reset();
+      --t->batch.live_delta;
+      return Status::OK();
+    }
+    LABFLOW_RETURN_IF_ERROR(GetCommitted(id.raw).status());
+    t->batch.ops[id.raw] = std::nullopt;
+    --t->batch.live_delta;
+    return Status::OK();
+  }
+  LABFLOW_RETURN_IF_ERROR(GetCommitted(id.raw).status());
+  WriteBatch batch;
+  batch.ops[id.raw] = std::nullopt;
+  batch.live_delta = -1;
+  return CommitBatch(0, batch);
+}
+
+Status LsmManager::DoScanAll(
+    storage::Txn* txn,
+    const std::function<Status(ObjectId, std::string_view)>& fn) {
+  auto* t = static_cast<LsmTxn*>(txn);
+  std::map<uint64_t, std::string> all;
+  LABFLOW_RETURN_IF_ERROR(MergeAll(t != nullptr ? &t->batch : nullptr, &all));
+  for (const auto& [key, value] : all) {
+    LABFLOW_RETURN_IF_ERROR(fn(ObjectId(key), value));
+  }
+  return Status::OK();
+}
+
+// ---- read path --------------------------------------------------------------
+
+Result<std::string> LsmManager::GetCommitted(uint64_t key) const {
+  std::shared_ptr<const LsmVersion> v;
+  {
+    ReaderMutexLock g(mu_);
+    if (closed_) return Status::InvalidArgument("lsm: manager closed");
+    if (const SkipList::Entry* e = active_->Find(key)) {
+      if (e->kind == EntryKind::kTombstone) {
+        return Status::NotFound("lsm: no such object: " + std::to_string(key));
+      }
+      return e->value;
+    }
+    for (auto it = imms_.rbegin(); it != imms_.rend(); ++it) {
+      if (const SkipList::Entry* e = it->mem->Find(key)) {
+        if (e->kind == EntryKind::kTombstone) {
+          return Status::NotFound("lsm: no such object: " +
+                                  std::to_string(key));
+        }
+        return e->value;
+      }
+    }
+    v = version_;
+  }
+  // Disk search outside every lock. L0 newest-first (files overlap); deeper
+  // levels are disjoint, one candidate each.
+  bool found = false;
+  EntryKind kind = EntryKind::kPut;
+  std::string value;
+  if (!v->levels.empty()) {
+    const auto& l0 = v->levels[0];
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+      if (key < it->smallest || key > it->largest) continue;
+      LABFLOW_RETURN_IF_ERROR(table_cache_->Get(
+          it->number, SstPath(it->number), key, &found, &kind, &value));
+      if (found) {
+        if (kind == EntryKind::kTombstone) {
+          return Status::NotFound("lsm: no such object: " +
+                                  std::to_string(key));
+        }
+        return value;
+      }
+    }
+  }
+  for (size_t l = 1; l < v->levels.size(); ++l) {
+    const auto& level = v->levels[l];
+    auto it = std::lower_bound(
+        level.begin(), level.end(), key,
+        [](const FileMeta& m, uint64_t k) { return m.largest < k; });
+    if (it == level.end() || key < it->smallest) continue;
+    LABFLOW_RETURN_IF_ERROR(table_cache_->Get(
+        it->number, SstPath(it->number), key, &found, &kind, &value));
+    if (found) {
+      if (kind == EntryKind::kTombstone) {
+        return Status::NotFound("lsm: no such object: " + std::to_string(key));
+      }
+      return value;
+    }
+  }
+  return Status::NotFound("lsm: no such object: " + std::to_string(key));
+}
+
+Status LsmManager::MergeAll(const WriteBatch* overlay,
+                            std::map<uint64_t, std::string>* out) const {
+  std::shared_ptr<const LsmVersion> v;
+  std::vector<std::shared_ptr<SkipList>> mems;  // oldest first; immutable
+  std::vector<SkipList::Entry> active_entries;
+  {
+    ReaderMutexLock g(mu_);
+    if (closed_) return Status::InvalidArgument("lsm: manager closed");
+    v = version_;
+    for (const Imm& imm : imms_) mems.push_back(imm.mem);
+    // The active memtable keeps mutating after we release the lock, so
+    // copy it out inside the shared hold (writers apply under exclusive).
+    active_entries.reserve(active_->entries());
+    active_->ForEach([&active_entries](const SkipList::Entry& e) {
+      active_entries.push_back(e);
+    });
+  }
+  auto apply = [out](uint64_t key, EntryKind kind, std::string_view value) {
+    if (kind == EntryKind::kTombstone) {
+      out->erase(key);
+    } else {
+      (*out)[key] = std::string(value);
+    }
+  };
+  // Deepest level first; newer layers overwrite older ones.
+  for (size_t l = v->levels.size(); l-- > 1;) {
+    for (const FileMeta& m : v->levels[l]) {
+      LABFLOW_ASSIGN_OR_RETURN(std::shared_ptr<SstReader> table,
+                               table_cache_->GetTable(m.number,
+                                                      SstPath(m.number)));
+      LABFLOW_RETURN_IF_ERROR(table->ScanAll(
+          [&apply](uint64_t key, EntryKind kind, std::string_view value) {
+            apply(key, kind, value);
+            return Status::OK();
+          }));
+      read_stats_.disk_reads.fetch_add(table->blocks(),
+                                       std::memory_order_relaxed);
+    }
+  }
+  if (!v->levels.empty()) {
+    for (const FileMeta& m : v->levels[0]) {  // ascending number = age order
+      LABFLOW_ASSIGN_OR_RETURN(std::shared_ptr<SstReader> table,
+                               table_cache_->GetTable(m.number,
+                                                      SstPath(m.number)));
+      LABFLOW_RETURN_IF_ERROR(table->ScanAll(
+          [&apply](uint64_t key, EntryKind kind, std::string_view value) {
+            apply(key, kind, value);
+            return Status::OK();
+          }));
+      read_stats_.disk_reads.fetch_add(table->blocks(),
+                                       std::memory_order_relaxed);
+    }
+  }
+  // Immutable memtables are never written after rotation, so the
+  // snapshotted shared_ptrs are safe to read without the lock.
+  for (const auto& mem : mems) {
+    mem->ForEach([&apply](const SkipList::Entry& e) {
+      apply(e.key, e.kind, e.value);
+    });
+  }
+  for (const SkipList::Entry& e : active_entries) {
+    apply(e.key, e.kind, e.value);
+  }
+  if (overlay != nullptr) {
+    for (const auto& [key, value] : overlay->ops) {
+      if (value.has_value()) {
+        (*out)[key] = *value;
+      } else {
+        out->erase(key);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---- background work --------------------------------------------------------
+
+void LsmManager::StartWorkers() {
+  const int n = options_.background_threads < 1 ? 1
+                                                : options_.background_threads;
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { BgWorker(); });
+  }
+}
+
+void LsmManager::StopWorkers() {
+  {
+    MutexLock g(bg_mu_);
+    stop_ = true;
+    bg_cv_.NotifyAll();
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void LsmManager::SignalBg() {
+  MutexLock g(bg_mu_);
+  ++work_signals_;
+  bg_cv_.NotifyAll();
+}
+
+void LsmManager::BgWorker() {
+  for (;;) {
+    {
+      MutexLock g(bg_mu_);
+      bg_cv_.Wait(bg_mu_, [this]() LABFLOW_REQUIRES(bg_mu_) {
+        return stop_ || work_signals_ > 0;
+      });
+      if (stop_) return;
+      --work_signals_;
+    }
+    while (TryWork()) {
+      MutexLock g(bg_mu_);
+      if (stop_) return;
+    }
+  }
+}
+
+bool LsmManager::TryWork() {
+  enum class Job { kNone, kFlush, kCompact };
+  Job job = Job::kNone;
+  Compaction c;
+  {
+    WriterMutexLock g(mu_);
+    if (closed_) return false;
+    if (!imms_.empty() && !flush_running_) {
+      flush_running_ = true;
+      job = Job::kFlush;
+    } else if (!compaction_running_ && PickCompactionLocked(&c)) {
+      compaction_running_ = true;
+      job = Job::kCompact;
+    }
+  }
+  if (job == Job::kNone) return false;
+  Status st = job == Job::kFlush ? DoFlush() : DoCompaction(c);
+  {
+    WriterMutexLock g(mu_);
+    if (job == Job::kFlush) {
+      flush_running_ = false;
+    } else {
+      compaction_running_ = false;
+    }
+  }
+  {
+    // Wake parked committers and Checkpoint drainers.
+    MutexLock g(bg_mu_);
+    bg_cv_.NotifyAll();
+  }
+  if (!st.ok()) SleepMs(10);  // pace retries while the env misbehaves
+  return true;
+}
+
+Status LsmManager::WriteMemtableSst(const SkipList& mem, FileMeta* meta) {
+  const uint64_t number =
+      next_file_number_.fetch_add(1, std::memory_order_relaxed);
+  const std::string path = SstPath(number);
+  auto opened = env_->OpenFile(path, /*truncate=*/true);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<storage::File> file = std::move(opened.value());
+  SstBuilder builder(file.get());
+  Status st;
+  mem.ForEach([&builder, &st](const SkipList::Entry& e) {
+    if (!st.ok()) return;
+    st = builder.Add(e.key, e.kind, e.value);
+  });
+  if (st.ok()) st = builder.Finish();
+  if (st.ok()) st = file->Close();
+  if (!st.ok()) {
+    IgnoreStatus(file->Close());
+    IgnoreStatus(env_->Delete(path));  // the number is burned, not the space
+    return st;
+  }
+  disk_writes_.fetch_add(builder.blocks_written() + 3,
+                         std::memory_order_relaxed);
+  meta->number = number;
+  meta->smallest = builder.smallest();
+  meta->largest = builder.largest();
+  meta->file_size = builder.file_size();
+  meta->entries = builder.entries();
+  meta->live =
+      std::make_shared<LiveFile>(env_, table_cache_.get(), path, number);
+  return Status::OK();
+}
+
+Status LsmManager::DoFlush() {
+  Imm imm;
+  {
+    ReaderMutexLock g(mu_);
+    if (imms_.empty()) return Status::OK();
+    imm = imms_.front();
+  }
+  FileMeta meta;
+  bool wrote = false;
+  if (!imm.mem->empty()) {
+    // On failure the WAL stays queued: replay at the next open recovers
+    // every acked commit, and TryWork retries after a pause.
+    LABFLOW_RETURN_IF_ERROR(WriteMemtableSst(*imm.mem, &meta));
+    wrote = true;
+  }
+  Status st;
+  {
+    WriterMutexLock g(mu_);
+    auto nv = std::make_shared<LsmVersion>(*version_);
+    if (nv->levels.empty()) nv->levels.resize(1);
+    if (wrote) nv->levels[0].push_back(meta);
+    version_ = std::move(nv);
+    imms_.pop_front();
+    RefreshPressureLocked();
+    st = PersistManifestLocked();
+  }
+  if (st.ok()) {
+    // The manifest no longer lists this WAL; now it may go.
+    IgnoreStatus(env_->Delete(WalPath(imm.wal_number)));
+  }
+  // On manifest failure the WAL survives; replay is idempotent (last write
+  // wins, and the flushed table holds the same data it would re-apply).
+  return st;
+}
+
+bool LsmManager::PickCompactionLocked(Compaction* c) {
+  const auto& levels = version_->levels;
+  if (levels.empty()) return false;
+  if (levels[0].size() >= options_.l0_compact_trigger) {
+    c->level = 0;
+    c->inputs_lo = levels[0];
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    for (const FileMeta& m : c->inputs_lo) {
+      lo = std::min(lo, m.smallest);
+      hi = std::max(hi, m.largest);
+    }
+    c->inputs_hi.clear();
+    if (levels.size() > 1) {
+      for (const FileMeta& m : levels[1]) {
+        if (m.largest >= lo && m.smallest <= hi) c->inputs_hi.push_back(m);
+      }
+    }
+    return true;
+  }
+  for (size_t l = 1; l + 0 < levels.size(); ++l) {
+    uint64_t bytes = 0;
+    for (const FileMeta& m : levels[l]) bytes += m.file_size;
+    if (bytes <= MaxBytesForLevel(l)) continue;
+    c->level = static_cast<int>(l);
+    // Sweep low-to-high: the first (lowest-keyed) file each round.
+    c->inputs_lo.assign(1, levels[l].front());
+    c->inputs_hi.clear();
+    if (levels.size() > l + 1) {
+      const FileMeta& in = c->inputs_lo[0];
+      for (const FileMeta& m : levels[l + 1]) {
+        if (m.largest >= in.smallest && m.smallest <= in.largest) {
+          c->inputs_hi.push_back(m);
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+uint64_t LsmManager::MaxBytesForLevel(size_t level) const {
+  uint64_t bytes = options_.level_base_bytes;
+  for (size_t l = 1; l < level; ++l) bytes *= options_.level_multiplier;
+  return bytes;
+}
+
+Status LsmManager::DoCompaction(const Compaction& c) {
+  std::shared_ptr<const LsmVersion> v;
+  {
+    ReaderMutexLock g(mu_);
+    v = version_;
+  }
+  const size_t out_level = static_cast<size_t>(c.level) + 1;
+  // True when no level below the output could still hold an older value for
+  // `key` — then its tombstone has nothing left to shadow and may drop.
+  auto bottommost = [&v, out_level](uint64_t key) {
+    for (size_t l = out_level + 1; l < v->levels.size(); ++l) {
+      const auto& level = v->levels[l];
+      auto it = std::lower_bound(
+          level.begin(), level.end(), key,
+          [](const FileMeta& m, uint64_t k) { return m.largest < k; });
+      if (it != level.end() && key >= it->smallest) return false;
+    }
+    return true;
+  };
+
+  // Merge in age order: deeper/older inputs first, newer overwrite.
+  std::map<uint64_t, std::pair<EntryKind, std::string>> merged;
+  auto ingest = [this, &merged](const FileMeta& m) -> Status {
+    LABFLOW_ASSIGN_OR_RETURN(
+        std::shared_ptr<SstReader> table,
+        table_cache_->GetTable(m.number, SstPath(m.number)));
+    LABFLOW_RETURN_IF_ERROR(table->ScanAll(
+        [&merged](uint64_t key, EntryKind kind, std::string_view value) {
+          merged[key] = {kind, std::string(value)};
+          return Status::OK();
+        }));
+    read_stats_.disk_reads.fetch_add(table->blocks(),
+                                     std::memory_order_relaxed);
+    compaction_bytes_read_.fetch_add(m.file_size, std::memory_order_relaxed);
+    return Status::OK();
+  };
+  for (const FileMeta& m : c.inputs_hi) LABFLOW_RETURN_IF_ERROR(ingest(m));
+  for (const FileMeta& m : c.inputs_lo) LABFLOW_RETURN_IF_ERROR(ingest(m));
+
+  // Write the merged run, split at the target file size.
+  std::vector<FileMeta> outputs;
+  std::unique_ptr<storage::File> file;
+  std::unique_ptr<SstBuilder> builder;
+  uint64_t out_number = 0;
+  auto finish_output = [&]() -> Status {
+    if (builder == nullptr) return Status::OK();
+    LABFLOW_RETURN_IF_ERROR(builder->Finish());
+    LABFLOW_RETURN_IF_ERROR(file->Close());
+    FileMeta m;
+    m.number = out_number;
+    m.smallest = builder->smallest();
+    m.largest = builder->largest();
+    m.file_size = builder->file_size();
+    m.entries = builder->entries();
+    m.live = std::make_shared<LiveFile>(env_, table_cache_.get(),
+                                        SstPath(out_number), out_number);
+    outputs.push_back(m);
+    disk_writes_.fetch_add(builder->blocks_written() + 3,
+                           std::memory_order_relaxed);
+    compaction_bytes_written_.fetch_add(m.file_size,
+                                        std::memory_order_relaxed);
+    builder.reset();
+    file.reset();
+    return Status::OK();
+  };
+  auto abandon = [&]() {
+    if (file != nullptr) IgnoreStatus(file->Close());
+    builder.reset();
+    file.reset();
+    if (out_number != 0) IgnoreStatus(env_->Delete(SstPath(out_number)));
+    for (const FileMeta& m : outputs) {
+      IgnoreStatus(env_->Delete(SstPath(m.number)));
+    }
+  };
+  Status st;
+  for (const auto& [key, entry] : merged) {
+    if (entry.first == EntryKind::kTombstone && bottommost(key)) continue;
+    if (builder == nullptr) {
+      out_number = next_file_number_.fetch_add(1, std::memory_order_relaxed);
+      auto opened = env_->OpenFile(SstPath(out_number), /*truncate=*/true);
+      if (!opened.ok()) {
+        st = opened.status();
+        break;
+      }
+      file = std::move(opened.value());
+      builder = std::make_unique<SstBuilder>(file.get());
+    }
+    st = builder->Add(key, entry.first, entry.second);
+    if (!st.ok()) break;
+    if (builder->file_size() + kBlockBytes >= options_.target_file_bytes) {
+      st = finish_output();
+      if (!st.ok()) break;
+      out_number = 0;
+    }
+  }
+  if (st.ok()) st = finish_output();
+  if (!st.ok()) {
+    abandon();
+    return st;
+  }
+
+  // Install: swap inputs for outputs, then persist. Input files are deleted
+  // only after the manifest that stops referencing them is durable; on a
+  // persist failure they stay on disk and the outputs become orphans for
+  // recovery to GC.
+  {
+    WriterMutexLock g(mu_);
+    auto nv = std::make_shared<LsmVersion>(*version_);
+    auto remove_from = [&nv](size_t level, const std::vector<FileMeta>& gone) {
+      if (level >= nv->levels.size()) return;
+      auto& files = nv->levels[level];
+      files.erase(std::remove_if(files.begin(), files.end(),
+                                 [&gone](const FileMeta& m) {
+                                   for (const FileMeta& g : gone) {
+                                     if (g.number == m.number) return true;
+                                   }
+                                   return false;
+                                 }),
+                  files.end());
+    };
+    remove_from(static_cast<size_t>(c.level), c.inputs_lo);
+    remove_from(out_level, c.inputs_hi);
+    if (nv->levels.size() <= out_level) nv->levels.resize(out_level + 1);
+    auto& dst = nv->levels[out_level];
+    dst.insert(dst.end(), outputs.begin(), outputs.end());
+    std::sort(dst.begin(), dst.end(),
+              [](const FileMeta& a, const FileMeta& b) {
+                return a.smallest < b.smallest;
+              });
+    version_ = std::move(nv);
+    RefreshPressureLocked();
+    st = PersistManifestLocked();
+  }
+  if (!st.ok()) return st;
+  // Retire the inputs: readers still searching an older version keep the
+  // files alive; the last reference (often `v` at this function's return)
+  // performs the delete.
+  for (const FileMeta& m : c.inputs_lo) m.live->MarkObsolete();
+  for (const FileMeta& m : c.inputs_hi) m.live->MarkObsolete();
+  return Status::OK();
+}
+
+void LsmManager::RefreshPressureLocked() {
+  imm_count_.store(imms_.size(), std::memory_order_relaxed);
+  l0_files_.store(version_->levels.empty() ? 0 : version_->levels[0].size(),
+                  std::memory_order_relaxed);
+}
+
+// ---- catalog / lifecycle ----------------------------------------------------
+
+Result<uint16_t> LsmManager::CreateSegment(std::string_view name) {
+  (void)name;
+  return static_cast<uint16_t>(0);
+}
+
+Status LsmManager::SetRoot(ObjectId root) {
+  WriteBatch batch;
+  batch.root = root;
+  return CommitBatch(0, batch);
+}
+
+Result<ObjectId> LsmManager::GetRoot() {
+  ReaderMutexLock g(mu_);
+  if (closed_) return Status::InvalidArgument("lsm: manager closed");
+  return root_;
+}
+
+Status LsmManager::Checkpoint() {
+  MutexLock c(commit_mu_);
+  bool need_rotate;
+  {
+    WriterMutexLock g(mu_);
+    if (closed_) return Status::InvalidArgument("lsm: manager closed");
+    need_rotate = !active_->empty();
+  }
+  // commit_mu_ keeps the active memtable frozen across the gap.
+  if (need_rotate) {
+    LABFLOW_RETURN_IF_ERROR(Rotate());
+  }
+  SignalBg();
+  {
+    // Drain the immutable queue. The workers only need mu_, which we do not
+    // hold; commit_mu_ keeps new commits out while we wait.
+    MutexLock g(bg_mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!stop_ && imm_count_.load(std::memory_order_relaxed) > 0) {
+      if (bg_cv_.WaitUntil(bg_mu_, deadline) == std::cv_status::timeout &&
+          imm_count_.load(std::memory_order_relaxed) > 0) {
+        return Status::Unavailable("lsm: checkpoint timed out draining flush");
+      }
+    }
+    if (stop_ && imm_count_.load(std::memory_order_relaxed) > 0) {
+      return Status::Unavailable("lsm: background workers stopped");
+    }
+  }
+  // Everything is in SSTables; the active WAL is empty of unflushed state.
+  // Truncate clears any sticky error: with the tree durable, no ghost group
+  // can survive (same healing contract as OStore's checkpoint).
+  if (wal_ != nullptr) {
+    LABFLOW_RETURN_IF_ERROR(wal_->Truncate());
+  } else {
+    const uint64_t n =
+        next_file_number_.fetch_add(1, std::memory_order_relaxed);
+    auto fresh = std::make_unique<ostore::Wal>();
+    LABFLOW_RETURN_IF_ERROR(fresh->Open(env_, WalPath(n)));
+    wal_ = std::move(fresh);
+    WriterMutexLock g(mu_);
+    active_wal_number_ = n;
+  }
+  degraded_ = Status::OK();
+  WriterMutexLock g(mu_);
+  return PersistManifestLocked();
+}
+
+Status LsmManager::Close() {
+  {
+    ReaderMutexLock g(mu_);
+    if (closed_) return Status::InvalidArgument("lsm: manager closed");
+  }
+  Status st = Checkpoint();
+  StopWorkers();
+  DropActiveTxns();
+  {
+    MutexLock c(commit_mu_);
+    if (wal_ != nullptr) {
+      Status cst = wal_->Close();
+      if (st.ok()) st = cst;
+      wal_.reset();
+    }
+  }
+  WriterMutexLock g(mu_);
+  closed_ = true;
+  return st;
+}
+
+void LsmManager::SimulateCrash() {
+  StopWorkers();
+  DropActiveTxns();
+  {
+    MutexLock c(commit_mu_);
+    wal_.reset();  // closes the fd without syncing
+  }
+  WriterMutexLock g(mu_);
+  closed_ = true;
+}
+
+StorageStats LsmManager::stats() const {
+  StorageStats s;
+  s.disk_reads = read_stats_.disk_reads.load(std::memory_order_relaxed);
+  s.cache_hits = read_stats_.cache_hits.load(std::memory_order_relaxed);
+  s.checksum_failures =
+      read_stats_.checksum_failures.load(std::memory_order_relaxed);
+  s.disk_writes = disk_writes_.load(std::memory_order_relaxed);
+  s.txn_commits = commits_.load(std::memory_order_relaxed);
+  s.txn_aborts = aborts_.load(std::memory_order_relaxed);
+  s.txn_retries = txn_retry_count();
+  s.live_objects = live_objects_.load(std::memory_order_relaxed);
+  s.lsm_bloom_checks =
+      read_stats_.bloom_checks.load(std::memory_order_relaxed);
+  s.lsm_bloom_hits = read_stats_.bloom_hits.load(std::memory_order_relaxed);
+  s.lsm_write_throttles = write_throttles_.load(std::memory_order_relaxed);
+  s.lsm_compaction_bytes_read =
+      compaction_bytes_read_.load(std::memory_order_relaxed);
+  s.lsm_compaction_bytes_written =
+      compaction_bytes_written_.load(std::memory_order_relaxed);
+  {
+    MutexLock c(commit_mu_);
+    ostore::Wal::GroupStats gs = retired_wal_stats_;
+    if (wal_ != nullptr) {
+      const ostore::Wal::GroupStats live = wal_->group_stats();
+      gs.frames += live.frames;
+      gs.writes += live.writes;
+      gs.syncs += live.syncs;
+      s.wal_bytes += wal_->SizeBytes();
+    }
+    s.wal_frames = gs.frames;
+    s.wal_group_writes = gs.writes;
+    s.wal_group_syncs = gs.syncs;
+  }
+  ReaderMutexLock g(mu_);
+  if (active_ != nullptr) s.lsm_memtable_bytes += active_->bytes();
+  for (const Imm& imm : imms_) {
+    s.lsm_memtable_bytes += imm.mem->bytes();
+    s.wal_bytes += imm.wal_bytes;
+  }
+  if (version_ != nullptr) {
+    for (const auto& level : version_->levels) {
+      s.lsm_level_files.push_back(level.size());
+      for (const FileMeta& m : level) s.db_size_bytes += m.file_size;
+    }
+  }
+  return s;
+}
+
+}  // namespace labflow::lsm

@@ -1,0 +1,318 @@
+#ifndef LABFLOW_LSM_LSM_MANAGER_H_
+#define LABFLOW_LSM_LSM_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "lsm/skiplist.h"
+#include "lsm/table_cache.h"
+#include "ostore/wal.h"
+#include "storage/env.h"
+#include "storage/storage_manager.h"
+
+namespace labflow::lsm {
+
+/// Tuning and placement for the LSM history store. Defaults suit the
+/// Table 2 benchmark; tests shrink memtable_bytes and the L0 triggers to
+/// force rotation/flush/compaction on tiny data.
+struct LsmOptions {
+  std::string path;               ///< prefix: files are <path>.lsm-*
+  storage::Env* env = nullptr;    ///< nullptr = the real filesystem
+  bool truncate = true;
+  /// fdatasync every commit group (force-at-commit durability). Off for
+  /// the loading benchmark, like the other disk versions; the crash tests
+  /// turn it on because only acked-and-synced commits are promised.
+  bool sync_commit = false;
+  size_t memtable_bytes = 4u << 20;    ///< rotation threshold
+  size_t block_cache_bytes = 16u << 20;
+  size_t max_open_tables = 256;
+  int64_t fault_delay_us = 0;          ///< per block miss, like the heap's
+  /// Leveling: L0 compacts at l0_compact_trigger files; commits slow down
+  /// (1ms each) at l0_slowdown_trigger and park at l0_stop_trigger —
+  /// backpressure first, hard stop only as the backstop. Level n > 0 holds
+  /// level_base_bytes * level_multiplier^(n-1) before it spills.
+  size_t l0_compact_trigger = 4;
+  size_t l0_slowdown_trigger = 8;
+  size_t l0_stop_trigger = 16;
+  uint64_t level_base_bytes = 8u << 20;
+  uint64_t level_multiplier = 10;
+  uint64_t target_file_bytes = 2u << 20;
+  int background_threads = 2;          ///< flush + compaction pool
+};
+
+/// Owns one SSTable's on-disk lifetime. Every LsmVersion that lists the
+/// table shares the same LiveFile; compaction marks retired inputs
+/// obsolete instead of deleting them eagerly, and the physical delete runs
+/// when the last referencing version dies — so a reader searching an old
+/// version snapshot never has a file unlinked out from under it.
+class LiveFile {
+ public:
+  LiveFile(storage::Env* env, TableCache* cache, std::string path,
+           uint64_t number)
+      : env_(env), cache_(cache), path_(std::move(path)), number_(number) {}
+  LiveFile(const LiveFile&) = delete;
+  LiveFile& operator=(const LiveFile&) = delete;
+  /// Evicts the table handle and unlinks the file iff marked obsolete; a
+  /// still-referenced table (shutdown, crash simulation) is left on disk
+  /// for the manifest to find again.
+  ~LiveFile();
+
+  /// Arms deletion. Call only once the manifest that stops referencing the
+  /// table is durable — a crash before the last reference drops then
+  /// leaves an orphan for recovery GC, never a dangling manifest entry.
+  void MarkObsolete() { obsolete_.store(true, std::memory_order_release); }
+
+ private:
+  storage::Env* const env_;
+  TableCache* const cache_;
+  const std::string path_;
+  const uint64_t number_;
+  std::atomic<bool> obsolete_{false};
+};
+
+/// One live SSTable. L0 files may overlap (each is a flushed memtable,
+/// ordered by file number = age); levels >= 1 are sorted and disjoint.
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t smallest = 0;
+  uint64_t largest = 0;
+  uint64_t file_size = 0;
+  uint64_t entries = 0;
+  /// Shared on-disk ownership (not serialized): all version snapshots
+  /// listing this table hold the same LiveFile.
+  std::shared_ptr<LiveFile> live;
+};
+
+/// Immutable snapshot of the on-disk tree. Readers grab the shared_ptr
+/// under the state lock and then search entirely lock-free; installs build
+/// a new version and swap the pointer (copy-on-write).
+struct LsmVersion {
+  std::vector<std::vector<FileMeta>> levels;
+};
+
+/// Log-structured merge storage manager: the "LsmStore" server version.
+///
+/// Write path: a transaction buffers its writes in a private batch
+/// (read-your-writes overlay); commit serializes the batch, appends it to
+/// the WAL via ostore::Wal group commit, and applies it to the active
+/// skiplist memtable — so the memtable only ever holds committed data and
+/// a flush can never persist an uncommitted write. Abort simply discards
+/// the batch: real rollback, unlike Texas/Mm.
+///
+/// Background: a full memtable rotates onto the immutable queue with its
+/// WAL and a fresh memtable+WAL take over; worker threads flush immutables
+/// to L0 SSTables and run leveled compaction. Every state transition is
+/// recorded in a dual-slot checksummed manifest before the files it
+/// retires are deleted, so recovery always finds a consistent tree and
+/// GC's orphans from a crash mid-transition.
+///
+/// Concurrency/isolation contract: like Mm, concurrent transactions
+/// interleave freely (no locking between handles); commits are atomic and
+/// WAL-ordered. The paper's benchmark stream never relies on inter-
+/// transaction isolation, and the cross-version checksum gate holds.
+///
+/// Lock order (see common/lock_rank.h): commit_mu_ (kLsmCommit) >
+/// bg_mu_ (kLsmBg) > Wal::mu_ (kWalQueue) > mu_ (kLsmState) >
+/// TableCache::mu_ > BlockCache::Shard::mu.
+class LsmManager : public storage::StorageManager {
+ public:
+  static Result<std::unique_ptr<LsmManager>> Open(const LsmOptions& options);
+  ~LsmManager() override;
+
+  std::string_view name() const override { return "LsmStore"; }
+
+  /// No placement control: the log structure itself is the placement
+  /// policy (allocation order == recency == level depth).
+  Result<uint16_t> CreateSegment(std::string_view name) override;
+
+  Status SetRoot(storage::ObjectId root) override;
+  Result<storage::ObjectId> GetRoot() override;
+  Status Checkpoint() override;
+  Status Close() override;
+  storage::StorageStats stats() const override;
+
+  /// Crash-test hook (parallels PagedManagerBase::SimulateCrash): stops the
+  /// background threads and abandons all in-memory state without flushing
+  /// or checkpointing. Pair with FaultInjectionEnv::DropUnsynced and a
+  /// fresh Open to exercise recovery.
+  void SimulateCrash();
+
+ protected:
+  std::unique_ptr<storage::Txn> CreateTxn(uint64_t id) override;
+  Status CommitTxn(storage::Txn* txn) override;
+  Status AbortTxn(storage::Txn* txn) override;
+  void OnTxnDrop(storage::Txn* txn) override;
+
+  Result<storage::ObjectId> DoAllocate(storage::Txn* txn,
+                                       std::string_view data,
+                                       const storage::AllocHint& hint) override;
+  Result<std::string> DoRead(storage::Txn* txn, storage::ObjectId id) override;
+  Status DoUpdate(storage::Txn* txn, storage::ObjectId id,
+                  std::string_view data) override;
+  Status DoFree(storage::Txn* txn, storage::ObjectId id) override;
+  Status DoScanAll(storage::Txn* txn,
+                   const std::function<Status(storage::ObjectId,
+                                              std::string_view)>& fn) override;
+
+ private:
+  /// A transaction's buffered writes: key -> value (put) or nullopt
+  /// (tombstone). `root` carries a SetRoot through the same commit path.
+  struct WriteBatch {
+    std::map<uint64_t, std::optional<std::string>> ops;
+    std::optional<storage::ObjectId> root;
+    int64_t live_delta = 0;  ///< allocations minus frees, for live_objects
+    bool empty() const { return ops.empty() && !root.has_value(); }
+  };
+
+  class LsmTxn;
+
+  struct Imm {
+    std::shared_ptr<SkipList> mem;
+    uint64_t wal_number = 0;
+    uint64_t wal_bytes = 0;  ///< size at rotation, for stats()
+  };
+
+  struct Compaction {
+    int level = 0;  ///< inputs_lo's level; outputs land on level + 1
+    std::vector<FileMeta> inputs_lo;
+    std::vector<FileMeta> inputs_hi;
+  };
+
+  explicit LsmManager(const LsmOptions& options);
+
+  std::string SstPath(uint64_t number) const;
+  std::string WalPath(uint64_t number) const;
+  std::string ManifestPath(int slot) const;
+
+  // -- open-time recovery (single-threaded; workers not yet started) --------
+  Status Recover() LABFLOW_EXCLUDES(commit_mu_, mu_);
+  /// Loads the newer of the two manifest slots; *found = false when neither
+  /// exists (fresh database). *wals gets the WAL numbers to replay.
+  Status LoadManifest(bool* found, std::vector<uint64_t>* wals)
+      LABFLOW_REQUIRES(mu_);
+  /// `truncate` open: deletes every data file the manifest could reference
+  /// (the manifest slots stay; the next persist supersedes them by epoch).
+  Status DeleteAllFiles() LABFLOW_REQUIRES(mu_);
+  /// Deletes files in [1, next_file_number_) referenced by neither the
+  /// recovered version nor the WAL replay list (crash mid-transition).
+  void CollectOrphans(const std::vector<uint64_t>& wal_numbers)
+      LABFLOW_REQUIRES(mu_);
+  /// Rebuilds the crashed memtable into active_ by replaying the listed
+  /// WALs in order.
+  Status ReplayWals(const std::vector<uint64_t>& wal_numbers)
+      LABFLOW_REQUIRES(mu_);
+  /// Flushes the replayed memtable straight to L0 (synchronously, so the
+  /// recovered WALs can be retired before the store goes live).
+  Status FlushReplayLocked() LABFLOW_REQUIRES(mu_);
+  /// Opens a fresh active WAL + memtable and persists a clean manifest.
+  Status BootstrapFresh() LABFLOW_REQUIRES(commit_mu_, mu_);
+
+  // -- commit pipeline -------------------------------------------------------
+  Status CommitBatch(uint64_t txn_id, const WriteBatch& batch);
+  std::string EncodeBatch(const WriteBatch& batch) const;
+  /// Parks/slows the committer while flush or compaction is behind. Called
+  /// with no locks held.
+  void Backpressure();
+  /// Moves the active memtable to the immutable queue and starts a fresh
+  /// memtable + WAL + manifest epoch. Holds commit_mu_ only: the WAL
+  /// hand-off (Wal::mu_ ranks below kLsmState) and the new log's file I/O
+  /// run before the state lock; mu_ is taken just for the swap.
+  Status Rotate() LABFLOW_REQUIRES(commit_mu_) LABFLOW_EXCLUDES(mu_);
+
+  // -- manifest --------------------------------------------------------------
+  Status PersistManifestLocked() LABFLOW_REQUIRES(mu_);
+
+  // -- background work -------------------------------------------------------
+  void StartWorkers();
+  void StopWorkers();
+  void SignalBg();
+  void BgWorker();
+  /// Runs at most one flush or compaction; true when it did something.
+  bool TryWork();
+  Status DoFlush();
+  bool PickCompactionLocked(Compaction* c) LABFLOW_REQUIRES(mu_);
+  Status DoCompaction(const Compaction& c);
+  /// Writes one memtable out as an SSTable (no locks; pure file I/O).
+  Status WriteMemtableSst(const SkipList& mem, FileMeta* meta);
+  uint64_t MaxBytesForLevel(size_t level) const;
+  /// Updates the backpressure mirrors (imm_count_, l0_files_) from state.
+  void RefreshPressureLocked() LABFLOW_REQUIRES(mu_);
+
+  // -- read path -------------------------------------------------------------
+  /// Committed-state point read (no transaction overlay).
+  Result<std::string> GetCommitted(uint64_t key) const;
+  /// Materializes the full committed key space (ScanAll / recovery count).
+  Status MergeAll(const WriteBatch* overlay,
+                  std::map<uint64_t, std::string>* out) const;
+
+  const LsmOptions options_;     // NOLINT(guarded-by-coverage): const config
+  storage::Env* const env_;
+  std::unique_ptr<TableCache> table_cache_;  // NOLINT(guarded-by-coverage): internally locked
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> next_file_number_{1};
+
+  // Monotonic counters (relaxed; see StorageStats contract). `mutable`:
+  // const reads still count their block fetches.
+  mutable LsmReadStats read_stats_;  // NOLINT(guarded-by-coverage): atomics inside
+  std::atomic<uint64_t> disk_writes_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> live_objects_{0};
+  std::atomic<uint64_t> write_throttles_{0};
+  std::atomic<uint64_t> compaction_bytes_read_{0};
+  std::atomic<uint64_t> compaction_bytes_written_{0};
+
+  /// Backpressure mirrors of state under mu_, readable without it (the
+  /// waiter in Backpressure() holds bg_mu_, which ranks above mu_ and so
+  /// must not acquire it).
+  std::atomic<size_t> imm_count_{0};
+  std::atomic<size_t> l0_files_{0};
+
+  /// Serializes committers: WAL append order == memtable apply order, so
+  /// recovery replay reconstructs exactly the memtable it crashed with.
+  /// Rank kLsmCommit — held across the WAL append and the state apply.
+  mutable Mutex commit_mu_{LockRank::kLsmCommit, "lsm.commit"};
+  std::unique_ptr<ostore::Wal> wal_ LABFLOW_GUARDED_BY(commit_mu_);
+  Status degraded_ LABFLOW_GUARDED_BY(commit_mu_);  ///< sticky WAL failure
+  /// Closed-out WAL telemetry accumulated at rotation (the live WAL's own
+  /// counters are added on top in stats()).
+  ostore::Wal::GroupStats retired_wal_stats_ LABFLOW_GUARDED_BY(commit_mu_);
+
+  /// The LSM tree state. Shared holds for point reads (memtable search +
+  /// version snapshot, no I/O inside); exclusive for batch apply, rotation
+  /// and version installs. Rank kLsmState.
+  mutable SharedMutex mu_{LockRank::kLsmState, "lsm.state"};
+  std::shared_ptr<SkipList> active_ LABFLOW_GUARDED_BY(mu_);
+  uint64_t active_wal_number_ LABFLOW_GUARDED_BY(mu_) = 0;
+  std::deque<Imm> imms_ LABFLOW_GUARDED_BY(mu_);  // front = oldest
+  std::shared_ptr<const LsmVersion> version_ LABFLOW_GUARDED_BY(mu_);
+  storage::ObjectId root_ LABFLOW_GUARDED_BY(mu_);
+  uint64_t manifest_epoch_ LABFLOW_GUARDED_BY(mu_) = 0;
+  bool flush_running_ LABFLOW_GUARDED_BY(mu_) = false;
+  bool compaction_running_ LABFLOW_GUARDED_BY(mu_) = false;
+  bool closed_ LABFLOW_GUARDED_BY(mu_) = false;
+
+  /// Background scheduling + backpressure parking. Rank kLsmBg: above
+  /// Wal/state so a committer holding commit_mu_ may signal it, and the
+  /// worker releases it before touching state.
+  mutable Mutex bg_mu_{LockRank::kLsmBg, "lsm.bg"};
+  CondVar bg_cv_;
+  bool stop_ LABFLOW_GUARDED_BY(bg_mu_) = false;
+  int work_signals_ LABFLOW_GUARDED_BY(bg_mu_) = 0;
+
+  std::vector<std::thread> workers_;  // NOLINT(guarded-by-coverage): joined in StopWorkers
+};
+
+}  // namespace labflow::lsm
+
+#endif  // LABFLOW_LSM_LSM_MANAGER_H_

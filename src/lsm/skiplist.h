@@ -1,0 +1,160 @@
+#ifndef LABFLOW_LSM_SKIPLIST_H_
+#define LABFLOW_LSM_SKIPLIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace labflow::lsm {
+
+/// What a memtable / SSTable entry means. A tombstone records a Free: it
+/// masks any older Put for the key in deeper levels until compaction can
+/// prove no such Put remains and drop it.
+enum class EntryKind : uint8_t {
+  kPut = 0,
+  kTombstone = 1,
+};
+
+/// Skiplist memtable core: uint64 keys (ObjectId.raw) in ascending order,
+/// expected O(log n) insert and point lookup, one allocation per node.
+///
+/// Thread safety: none — by design. The LSM manager applies writes under
+/// its state lock held exclusive and searches under it shared, so the list
+/// needs no internal synchronization and is trivially TSan-clean; once a
+/// memtable is rotated to the immutable queue it is never written again and
+/// may be read without any lock.
+class SkipList {
+ public:
+  struct Entry {
+    uint64_t key = 0;
+    EntryKind kind = EntryKind::kPut;
+    std::string value;
+  };
+
+  SkipList() {
+    for (int i = 0; i < kMaxHeight; ++i) head_.next[i] = nullptr;
+  }
+
+  ~SkipList() {
+    Node* n = head_.next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts or overwrites `key`. Last write wins, as in the WAL: replaying
+  /// the log into a fresh list reproduces exactly this state.
+  void Insert(uint64_t key, EntryKind kind, std::string value) {
+    Node* update[kMaxHeight];
+    Node* x = FindGreaterOrEqual(key, update);
+    if (x != nullptr && x->entry.key == key) {
+      bytes_ += value.size();
+      bytes_ -= x->entry.value.size();
+      x->entry.kind = kind;
+      x->entry.value = std::move(value);
+      return;
+    }
+    int h = RandomHeight();
+    if (h > height_) {
+      for (int i = height_; i < h; ++i) update[i] = &head_;
+      height_ = h;
+    }
+    Node* n = new Node(h);
+    n->entry.key = key;
+    n->entry.kind = kind;
+    n->entry.value = std::move(value);
+    for (int i = 0; i < h; ++i) {
+      n->next[i] = update[i]->next[i];
+      update[i]->next[i] = n;
+    }
+    ++count_;
+    bytes_ += kPerEntryOverhead + n->entry.value.size();
+  }
+
+  /// The entry for `key`, or nullptr. The pointer stays valid until the
+  /// next Insert of the same key (immutable memtables: forever).
+  const Entry* Find(uint64_t key) const {
+    const Node* x = &head_;
+    for (int i = height_ - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && x->next[i]->entry.key < key) {
+        x = x->next[i];
+      }
+    }
+    const Node* n = x->next[0];
+    if (n != nullptr && n->entry.key == key) return &n->entry;
+    return nullptr;
+  }
+
+  /// Visits every entry in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Node* n = head_.next[0]; n != nullptr; n = n->next[0]) {
+      fn(n->entry);
+    }
+  }
+
+  size_t entries() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Approximate memory footprint: value bytes plus a fixed per-entry
+  /// charge. Drives memtable rotation, so it only needs to be monotone and
+  /// roughly proportional to real usage.
+  size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+  static constexpr size_t kPerEntryOverhead = 64;  // node + key + pointers
+
+  struct Node {
+    explicit Node(int h) : height(h) {
+      for (int i = 0; i < height; ++i) next[i] = nullptr;
+    }
+    Entry entry;
+    int height;
+    Node* next[kMaxHeight];
+  };
+
+  /// First node with key >= `key`; fills `update` with the rightmost node
+  /// before it on every list level (the classic insert splice).
+  Node* FindGreaterOrEqual(uint64_t key, Node** update) {
+    Node* x = &head_;
+    for (int i = kMaxHeight - 1; i >= 0; --i) {
+      while (x->next[i] != nullptr && x->next[i]->entry.key < key) {
+        x = x->next[i];
+      }
+      update[i] = x;
+    }
+    return x->next[0];
+  }
+
+  /// Geometric height with p = 1/4, from a per-list xorshift stream — no
+  /// global RNG, so two lists filled with the same keys are identical.
+  int RandomHeight() {
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    int h = 1;
+    uint64_t v = rng_state_;
+    while (h < kMaxHeight && (v & 3) == 0) {
+      ++h;
+      v >>= 2;
+    }
+    return h;
+  }
+
+  Node head_{kMaxHeight};
+  int height_ = 1;
+  size_t count_ = 0;
+  size_t bytes_ = 0;
+  uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
+};
+
+}  // namespace labflow::lsm
+
+#endif  // LABFLOW_LSM_SKIPLIST_H_

@@ -1,0 +1,379 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/status_macros.h"
+
+namespace labflow::lsm {
+
+namespace {
+
+constexpr uint32_t kSstMagic = 0x4C534D54;  // "LSMT"
+constexpr size_t kTrailerBytes = 4;         // fixed32 FNV-1a per block
+constexpr size_t kFooterBytes = 56;
+
+/// 8-byte big-endian key image: memcmp order == numeric order, which is
+/// what makes per-entry prefix compression well defined.
+void KeyBytes(uint64_t key, char out[8]) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>(key >> (8 * (7 - i)));
+  }
+}
+
+uint64_t KeyFromBytes(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+void PutVarint(std::string* s, uint64_t v) {
+  while (v >= 0x80) {
+    s->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  s->push_back(static_cast<char>(v));
+}
+
+/// Decodes a varint from [p, end); nullptr on truncation/overflow.
+const char* GetVarint(const char* p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 64) {
+    uint8_t b = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) {
+      *v = result;
+      return p;
+    }
+    shift += 7;
+  }
+  return nullptr;
+}
+
+void PutFixed32(std::string* s, uint32_t v) {
+  for (int i = 0; i < 4; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutFixed64(std::string* s, uint64_t v) {
+  for (int i = 0; i < 8; ++i) s->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// Double-hashed bloom probes from two independently seeded FNV-1a passes
+/// over the key image (Kirsch–Mitzenmacher: h1 + i*h2 behaves like k
+/// independent hashes).
+void BloomHashes(uint64_t key, uint32_t* h1, uint32_t* h2) {
+  char kb[8];
+  KeyBytes(key, kb);
+  std::string_view sv(kb, 8);
+  *h1 = Fnv1a32(sv);
+  *h2 = Fnv1a32(sv, 0x811C9DC5u ^ 0xDEADBEEFu) | 1u;
+}
+
+constexpr uint32_t kBloomHashCount = 6;
+
+}  // namespace
+
+// ---- SstBuilder -------------------------------------------------------------
+
+Status SstBuilder::Add(uint64_t key, EntryKind kind, std::string_view value) {
+  if (finished_) return Status::InvalidArgument("SstBuilder already finished");
+  if (entries_ > 0 && key <= largest_) {
+    return Status::InvalidArgument("SstBuilder keys must be ascending");
+  }
+  if (entries_ == 0) smallest_ = key;
+  largest_ = key;
+  ++entries_;
+  keys_.push_back(key);
+
+  char kb[8];
+  KeyBytes(key, kb);
+  size_t shared = 0;
+  if (block_has_entries_) {
+    char prev[8];
+    KeyBytes(block_last_, prev);
+    while (shared < 8 && prev[shared] == kb[shared]) ++shared;
+  }
+  PutVarint(&block_, shared);
+  PutVarint(&block_, 8 - shared);
+  block_.push_back(static_cast<char>(kind));
+  PutVarint(&block_, value.size());
+  block_.append(kb + shared, 8 - shared);
+  block_.append(value.data(), value.size());
+  block_last_ = key;
+  block_has_entries_ = true;
+
+  if (block_.size() >= kBlockBytes) return FlushBlock();
+  return Status::OK();
+}
+
+Status SstBuilder::FlushBlock() {
+  if (!block_has_entries_) return Status::OK();
+  index_.push_back(
+      {block_last_, offset_, static_cast<uint32_t>(block_.size())});
+  PutFixed32(&block_, Fnv1a32(block_));
+  LABFLOW_RETURN_IF_ERROR(file_->Append(block_));
+  offset_ += block_.size();
+  ++blocks_written_;
+  block_.clear();
+  block_has_entries_ = false;
+  return Status::OK();
+}
+
+Status SstBuilder::Finish() {
+  if (finished_) return Status::InvalidArgument("SstBuilder already finished");
+  LABFLOW_RETURN_IF_ERROR(FlushBlock());
+  finished_ = true;
+
+  // Filter block: bloom bits over every key added.
+  std::string filter;
+  PutFixed32(&filter, keys_.empty() ? 0 : kBloomHashCount);
+  if (!keys_.empty()) {
+    size_t nbits = std::max<size_t>(64, keys_.size() * kBloomBitsPerKey);
+    nbits = (nbits + 7) & ~size_t{7};
+    std::string bits(nbits / 8, '\0');
+    for (uint64_t key : keys_) {
+      uint32_t h1, h2;
+      BloomHashes(key, &h1, &h2);
+      for (uint32_t i = 0; i < kBloomHashCount; ++i) {
+        size_t bit = (h1 + i * h2) % nbits;
+        bits[bit / 8] |= static_cast<char>(1u << (bit % 8));
+      }
+    }
+    filter.append(bits);
+  }
+  const uint64_t filter_off = offset_;
+  const uint32_t filter_size = static_cast<uint32_t>(filter.size());
+  PutFixed32(&filter, Fnv1a32(filter));
+  LABFLOW_RETURN_IF_ERROR(file_->Append(filter));
+  offset_ += filter.size();
+  ++blocks_written_;
+
+  // Index block: one fixed-width row per data block.
+  std::string index;
+  PutFixed32(&index, static_cast<uint32_t>(index_.size()));
+  for (const IndexRow& row : index_) {
+    PutFixed64(&index, row.last_key);
+    PutFixed64(&index, row.offset);
+    PutFixed32(&index, row.size);
+  }
+  const uint64_t index_off = offset_;
+  const uint32_t index_size = static_cast<uint32_t>(index.size());
+  PutFixed32(&index, Fnv1a32(index));
+  LABFLOW_RETURN_IF_ERROR(file_->Append(index));
+  offset_ += index.size();
+  ++blocks_written_;
+
+  std::string footer;
+  PutFixed64(&footer, index_off);
+  PutFixed32(&footer, index_size);
+  PutFixed64(&footer, filter_off);
+  PutFixed32(&footer, filter_size);
+  PutFixed64(&footer, entries_);
+  PutFixed64(&footer, smallest_);
+  PutFixed64(&footer, largest_);
+  PutFixed32(&footer, kSstMagic);
+  PutFixed32(&footer, Fnv1a32(footer));
+  LABFLOW_RETURN_IF_ERROR(file_->Append(footer));
+  offset_ += footer.size();
+  ++blocks_written_;
+
+  // A table is referenced by the manifest only after it is durable.
+  return file_->Sync();
+}
+
+// ---- SstReader --------------------------------------------------------------
+
+Result<std::unique_ptr<SstReader>> SstReader::Open(
+    std::unique_ptr<storage::File> file) {
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size < kFooterBytes) {
+    return Status::Corruption("sstable shorter than its footer");
+  }
+  std::string footer(kFooterBytes, '\0');
+  LABFLOW_RETURN_IF_ERROR(
+      file->Read(size - kFooterBytes, kFooterBytes, footer.data()));
+  const char* f = footer.data();
+  if (GetFixed32(f + 52) !=
+      Fnv1a32(std::string_view(footer.data(), kFooterBytes - 4))) {
+    return Status::Corruption("sstable footer checksum mismatch");
+  }
+  if (GetFixed32(f + 48) != kSstMagic) {
+    return Status::Corruption("sstable bad magic");
+  }
+
+  std::unique_ptr<SstReader> reader(new SstReader());
+  reader->entries_ = GetFixed64(f + 24);
+  reader->smallest_ = GetFixed64(f + 32);
+  reader->largest_ = GetFixed64(f + 40);
+
+  const uint64_t index_off = GetFixed64(f + 0);
+  const uint32_t index_size = GetFixed32(f + 8);
+  const uint64_t filter_off = GetFixed64(f + 12);
+  const uint32_t filter_size = GetFixed32(f + 20);
+  if (index_off + index_size + kTrailerBytes > size ||
+      filter_off + filter_size + kTrailerBytes > size) {
+    return Status::Corruption("sstable index/filter handle out of range");
+  }
+
+  std::string index(index_size + kTrailerBytes, '\0');
+  LABFLOW_RETURN_IF_ERROR(file->Read(index_off, index.size(), index.data()));
+  if (GetFixed32(index.data() + index_size) !=
+      Fnv1a32(std::string_view(index.data(), index_size))) {
+    return Status::Corruption("sstable index checksum mismatch");
+  }
+  if (index_size < 4) return Status::Corruption("sstable index truncated");
+  const uint32_t rows = GetFixed32(index.data());
+  if (4 + rows * 20ull != index_size) {
+    return Status::Corruption("sstable index size mismatch");
+  }
+  reader->index_.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    const char* row = index.data() + 4 + i * 20;
+    IndexEntry e;
+    e.last_key = GetFixed64(row);
+    e.handle.offset = GetFixed64(row + 8);
+    e.handle.size = GetFixed32(row + 16);
+    reader->index_.push_back(e);
+  }
+
+  std::string filter(filter_size + kTrailerBytes, '\0');
+  LABFLOW_RETURN_IF_ERROR(
+      file->Read(filter_off, filter.size(), filter.data()));
+  if (GetFixed32(filter.data() + filter_size) !=
+      Fnv1a32(std::string_view(filter.data(), filter_size))) {
+    return Status::Corruption("sstable filter checksum mismatch");
+  }
+  if (filter_size < 4) return Status::Corruption("sstable filter truncated");
+  reader->bloom_hashes_ = GetFixed32(filter.data());
+  reader->bloom_bits_.assign(filter.data() + 4, filter_size - 4);
+
+  reader->file_ = std::move(file);
+  return reader;
+}
+
+bool SstReader::MayContain(uint64_t key) const {
+  if (bloom_hashes_ == 0 || bloom_bits_.empty()) return entries_ > 0;
+  const size_t nbits = bloom_bits_.size() * 8;
+  uint32_t h1, h2;
+  BloomHashes(key, &h1, &h2);
+  for (uint32_t i = 0; i < bloom_hashes_; ++i) {
+    size_t bit = (h1 + i * h2) % nbits;
+    if (!(bloom_bits_[bit / 8] & (1u << (bit % 8)))) return false;
+  }
+  return true;
+}
+
+bool SstReader::FindBlock(uint64_t key, BlockHandle* handle) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const IndexEntry& e, uint64_t k) { return e.last_key < k; });
+  if (it == index_.end()) return false;
+  *handle = it->handle;
+  return true;
+}
+
+Status SstReader::ReadBlock(const BlockHandle& handle, std::string* out) const {
+  std::string raw(handle.size + kTrailerBytes, '\0');
+  LABFLOW_RETURN_IF_ERROR(file_->Read(handle.offset, raw.size(), raw.data()));
+  if (GetFixed32(raw.data() + handle.size) !=
+      Fnv1a32(std::string_view(raw.data(), handle.size))) {
+    return Status::Corruption("sstable block checksum mismatch");
+  }
+  raw.resize(handle.size);
+  *out = std::move(raw);
+  return Status::OK();
+}
+
+Status SstReader::SearchBlock(std::string_view block, uint64_t key,
+                              bool* found, EntryKind* kind,
+                              std::string* value) {
+  *found = false;
+  const char* p = block.data();
+  const char* end = p + block.size();
+  char cur[8] = {0};
+  while (p < end) {
+    uint64_t shared, unshared, vlen;
+    if ((p = GetVarint(p, end, &shared)) == nullptr || shared > 8 ||
+        (p = GetVarint(p, end, &unshared)) == nullptr ||
+        shared + unshared != 8 || p >= end) {
+      return Status::Corruption("sstable entry header malformed");
+    }
+    const uint8_t k = static_cast<uint8_t>(*p++);
+    if (k > static_cast<uint8_t>(EntryKind::kTombstone)) {
+      return Status::Corruption("sstable entry kind malformed");
+    }
+    if ((p = GetVarint(p, end, &vlen)) == nullptr ||
+        static_cast<uint64_t>(end - p) < unshared + vlen) {
+      return Status::Corruption("sstable entry truncated");
+    }
+    std::memcpy(cur + shared, p, unshared);
+    p += unshared;
+    const uint64_t cur_key = KeyFromBytes(cur);
+    if (cur_key == key) {
+      *found = true;
+      *kind = static_cast<EntryKind>(k);
+      value->assign(p, vlen);
+      return Status::OK();
+    }
+    if (cur_key > key) return Status::OK();  // ascending: key absent
+    p += vlen;
+  }
+  return Status::OK();
+}
+
+Status SstReader::ScanAll(
+    const std::function<Status(uint64_t, EntryKind, std::string_view)>& fn)
+    const {
+  std::string block;
+  for (const IndexEntry& e : index_) {
+    LABFLOW_RETURN_IF_ERROR(ReadBlock(e.handle, &block));
+    const char* p = block.data();
+    const char* end = p + block.size();
+    char cur[8] = {0};
+    while (p < end) {
+      uint64_t shared, unshared, vlen;
+      if ((p = GetVarint(p, end, &shared)) == nullptr || shared > 8 ||
+          (p = GetVarint(p, end, &unshared)) == nullptr ||
+          shared + unshared != 8 || p >= end) {
+        return Status::Corruption("sstable entry header malformed");
+      }
+      const uint8_t k = static_cast<uint8_t>(*p++);
+      if (k > static_cast<uint8_t>(EntryKind::kTombstone)) {
+        return Status::Corruption("sstable entry kind malformed");
+      }
+      if ((p = GetVarint(p, end, &vlen)) == nullptr ||
+          static_cast<uint64_t>(end - p) < unshared + vlen) {
+        return Status::Corruption("sstable entry truncated");
+      }
+      std::memcpy(cur + shared, p, unshared);
+      p += unshared;
+      LABFLOW_RETURN_IF_ERROR(fn(KeyFromBytes(cur),
+                                 static_cast<EntryKind>(k),
+                                 std::string_view(p, vlen)));
+      p += vlen;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace labflow::lsm

@@ -1,0 +1,150 @@
+#ifndef LABFLOW_LSM_SSTABLE_H_
+#define LABFLOW_LSM_SSTABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "lsm/skiplist.h"
+#include "storage/env.h"
+
+namespace labflow::lsm {
+
+/// Sorted string table: the immutable on-disk unit of the LSM store.
+///
+/// Layout (all integers little-endian fixed-width; see sstable.cc):
+///
+///   data block*   prefix-compressed entries + fixed32 FNV-1a trailer
+///   filter block  bloom bits over every key          + fixed32 trailer
+///   index block   (last_key, offset, size) per block + fixed32 trailer
+///   footer        fixed-size pointer block: index/filter handles, entry
+///                 count, smallest/largest key, magic, fixed32 checksum
+///
+/// Keys are ObjectId.raw encoded as 8-byte big-endian so that memcmp order
+/// equals numeric order; within a block each entry stores only the suffix
+/// that differs from its predecessor (prefix compression). Every block and
+/// the footer carry their own FNV-1a checksum, so a torn write or bit flip
+/// anywhere in the file is detected as Corruption, never returned as data.
+///
+/// A block read is the store's `majflt` proxy unit: one block miss = one
+/// demand read, mirroring one page fault in the paged heap.
+
+/// Byte targets. A data block closes at kBlockBytes (oversized values get a
+/// block of their own), sized to the paged heap's page so the majflt proxy
+/// compares like for like.
+inline constexpr size_t kBlockBytes = 4096;
+inline constexpr int kBloomBitsPerKey = 10;
+
+/// Location of one block inside the file. `size` excludes the trailer.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint32_t size = 0;
+};
+
+/// Streaming SSTable writer. Add() keys in strictly ascending order, then
+/// Finish(); the builder syncs the file before returning, so a finished
+/// table is durable before any manifest may reference it.
+class SstBuilder {
+ public:
+  explicit SstBuilder(storage::File* file) : file_(file) {}
+
+  SstBuilder(const SstBuilder&) = delete;
+  SstBuilder& operator=(const SstBuilder&) = delete;
+
+  Status Add(uint64_t key, EntryKind kind, std::string_view value);
+  Status Finish();
+
+  uint64_t entries() const { return entries_; }
+  uint64_t smallest() const { return smallest_; }
+  uint64_t largest() const { return largest_; }
+  /// Total bytes written (valid after Finish).
+  uint64_t file_size() const { return offset_; }
+  /// Blocks written so far (disk_writes accounting).
+  uint64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  Status FlushBlock();
+
+  struct IndexRow {
+    uint64_t last_key;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  storage::File* const file_;
+  std::string block_;           // current data block under construction
+  uint64_t block_last_ = 0;     // last key in block_ (prefix-compress base)
+  bool block_has_entries_ = false;
+  std::vector<IndexRow> index_;
+  std::vector<uint64_t> keys_;  // for the bloom filter, built at Finish
+  uint64_t offset_ = 0;
+  uint64_t entries_ = 0;
+  uint64_t smallest_ = 0;
+  uint64_t largest_ = 0;
+  uint64_t blocks_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Immutable reader over a finished SSTable. Open() loads and verifies the
+/// footer, index and bloom filter (three reads); after that the object is
+/// plain data and safe to share across threads without locks — block
+/// fetches go through ReadBlock(), which the table cache wraps with the
+/// block cache.
+class SstReader {
+ public:
+  /// Takes ownership of `file`.
+  static Result<std::unique_ptr<SstReader>> Open(
+      std::unique_ptr<storage::File> file);
+
+  /// Bloom probe: false means the key is definitely absent.
+  bool MayContain(uint64_t key) const;
+
+  /// Handle of the single block that could hold `key`; false when the key
+  /// is outside every block's range.
+  bool FindBlock(uint64_t key, BlockHandle* handle) const;
+
+  /// Reads a data block and verifies its trailer (Corruption on mismatch).
+  Status ReadBlock(const BlockHandle& handle, std::string* out) const;
+
+  /// Searches a decoded block for `key`. Sets *found; on found, *kind and
+  /// *value. Corruption on a malformed block.
+  static Status SearchBlock(std::string_view block, uint64_t key, bool* found,
+                            EntryKind* kind, std::string* value);
+
+  /// Sequential scan of every entry in key order (compaction input path;
+  /// reads each block once, bypassing caches).
+  Status ScanAll(
+      const std::function<Status(uint64_t, EntryKind, std::string_view)>& fn)
+      const;
+
+  uint64_t entries() const { return entries_; }
+  uint64_t smallest() const { return smallest_; }
+  uint64_t largest() const { return largest_; }
+  /// Data blocks in the table (ScanAll reads exactly this many).
+  size_t blocks() const { return index_.size(); }
+
+ private:
+  SstReader() = default;
+
+  struct IndexEntry {
+    uint64_t last_key;
+    BlockHandle handle;
+  };
+
+  std::unique_ptr<storage::File> file_;
+  std::vector<IndexEntry> index_;
+  std::string bloom_bits_;
+  uint32_t bloom_hashes_ = 0;
+  uint64_t entries_ = 0;
+  uint64_t smallest_ = 0;
+  uint64_t largest_ = 0;
+};
+
+}  // namespace labflow::lsm
+
+#endif  // LABFLOW_LSM_SSTABLE_H_

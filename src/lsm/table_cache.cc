@@ -1,0 +1,156 @@
+#include "lsm/table_cache.h"
+
+#include <time.h>
+
+#include <utility>
+
+#include "common/status_macros.h"
+
+namespace labflow::lsm {
+
+namespace {
+
+/// Models 1996-era fault latency on block misses, like the paged heap's
+/// fault_delay_us. Applied outside every lock: a slow disk, not a slow
+/// kernel.
+void SimulateFaultDelay(int64_t us) {
+  if (us <= 0) return;
+  timespec ts;
+  ts.tv_sec = us / 1000000;
+  ts.tv_nsec = (us % 1000000) * 1000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+// ---- BlockCache -------------------------------------------------------------
+
+BlockCache::BlockCache(size_t byte_budget)
+    : shard_budget_(byte_budget / kShards + 1) {}
+
+std::shared_ptr<const std::string> BlockCache::Lookup(uint64_t file_number,
+                                                      uint64_t offset) {
+  const Key key{file_number, offset};
+  Shard& shard = ShardFor(key);
+  MutexLock g(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                        std::shared_ptr<const std::string> block) {
+  const Key key{file_number, offset};
+  const size_t size = block->size();
+  Shard& shard = ShardFor(key);
+  MutexLock g(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A racing reader inserted the same block first; keep theirs.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(block));
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += size;
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    auto& victim = shard.lru.back();
+    shard.bytes -= victim.second->size();
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+  }
+}
+
+// ---- TableCache -------------------------------------------------------------
+
+TableCache::TableCache(storage::Env* env, size_t max_open,
+                       size_t block_cache_bytes, LsmReadStats* stats,
+                       int64_t fault_delay_us)
+    : env_(env),
+      max_open_(max_open == 0 ? 1 : max_open),
+      stats_(stats),
+      fault_delay_us_(fault_delay_us),
+      block_cache_(block_cache_bytes) {}
+
+Result<std::shared_ptr<SstReader>> TableCache::GetTable(
+    uint64_t number, const std::string& path) {
+  {
+    MutexLock g(mu_);
+    auto it = index_.find(number);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->second;
+    }
+  }
+  // Miss: open outside the lock (footer + index + filter reads).
+  LABFLOW_ASSIGN_OR_RETURN(std::unique_ptr<storage::File> file,
+                           env_->OpenFile(path, /*truncate=*/false));
+  auto opened = SstReader::Open(std::move(file));
+  if (!opened.ok()) {
+    if (opened.status().IsCorruption()) {
+      stats_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    return opened.status();
+  }
+  stats_->disk_reads.fetch_add(3, std::memory_order_relaxed);
+  std::shared_ptr<SstReader> reader(opened.value().release());
+  MutexLock g(mu_);
+  auto it = index_.find(number);
+  if (it != index_.end()) {
+    // Lost the open race; the first opener's handle wins.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  lru_.emplace_front(number, reader);
+  index_[number] = lru_.begin();
+  while (lru_.size() > max_open_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return reader;
+}
+
+Status TableCache::Get(uint64_t number, const std::string& path, uint64_t key,
+                       bool* found, EntryKind* kind, std::string* value) {
+  *found = false;
+  LABFLOW_ASSIGN_OR_RETURN(std::shared_ptr<SstReader> table,
+                           GetTable(number, path));
+  stats_->bloom_checks.fetch_add(1, std::memory_order_relaxed);
+  if (!table->MayContain(key)) {
+    stats_->bloom_hits.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  BlockHandle handle;
+  if (!table->FindBlock(key, &handle)) return Status::OK();
+
+  std::shared_ptr<const std::string> block =
+      block_cache_.Lookup(number, handle.offset);
+  if (block != nullptr) {
+    stats_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto fresh = std::make_shared<std::string>();
+    Status st = table->ReadBlock(handle, fresh.get());
+    if (!st.ok()) {
+      if (st.IsCorruption()) {
+        stats_->checksum_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      return st;
+    }
+    stats_->disk_reads.fetch_add(1, std::memory_order_relaxed);
+    SimulateFaultDelay(fault_delay_us_);
+    block_cache_.Insert(number, handle.offset, fresh);
+    block = std::move(fresh);
+  }
+  return SstReader::SearchBlock(*block, key, found, kind, value);
+}
+
+void TableCache::Evict(uint64_t number) {
+  MutexLock g(mu_);
+  auto it = index_.find(number);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace labflow::lsm

@@ -1,0 +1,108 @@
+#ifndef LABFLOW_LSM_TABLE_CACHE_H_
+#define LABFLOW_LSM_TABLE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "lsm/sstable.h"
+#include "storage/env.h"
+
+namespace labflow::lsm {
+
+/// Read-path counters shared by the caches and the manager. All relaxed
+/// atomics: stats() snapshots are tear-free per field, not a consistent
+/// cut (the StorageStats contract).
+struct LsmReadStats {
+  std::atomic<uint64_t> disk_reads{0};   ///< blocks read from disk (majflt proxy)
+  std::atomic<uint64_t> cache_hits{0};   ///< block cache hits
+  std::atomic<uint64_t> bloom_checks{0};
+  std::atomic<uint64_t> bloom_hits{0};   ///< filter proved the key absent
+  std::atomic<uint64_t> checksum_failures{0};
+};
+
+/// Sharded LRU over decoded SSTable data blocks, bounded by a byte budget
+/// (the LSM stand-in for the paged heap's buffer pool, sized from the same
+/// --pool flag so the Table 2 comparison is memory-fair). Keyed by
+/// (file_number, block_offset); file numbers are never reused, so entries
+/// for deleted tables simply age out under the budget.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t byte_budget);
+
+  /// The cached block, or nullptr on a miss.
+  std::shared_ptr<const std::string> Lookup(uint64_t file_number,
+                                            uint64_t offset);
+
+  /// Inserts (replacing any racing duplicate) and evicts LRU entries until
+  /// the shard is back under its budget share.
+  void Insert(uint64_t file_number, uint64_t offset,
+              std::shared_ptr<const std::string> block);
+
+ private:
+  static constexpr int kShards = 8;
+  using Key = std::pair<uint64_t, uint64_t>;
+
+  struct Shard {
+    /// Rank kLsmBlockCache: a leaf — block reads happen outside the shard
+    /// hold and nothing nests inside it.
+    Mutex mu{LockRank::kLsmBlockCache, "lsm.block_cache"};
+    std::list<std::pair<Key, std::shared_ptr<const std::string>>> lru
+        LABFLOW_GUARDED_BY(mu);  // front = most recent
+    std::map<Key, decltype(lru)::iterator> index LABFLOW_GUARDED_BY(mu);
+    size_t bytes LABFLOW_GUARDED_BY(mu) = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[(key.first * 0x9E3779B97F4A7C15ull ^ key.second) % kShards];
+  }
+
+  const size_t shard_budget_;
+  Shard shards_[kShards];
+};
+
+/// LRU of open SSTable readers (file handle + parsed index + bloom bits),
+/// plus the point-read path that stitches bloom filter, index, block cache
+/// and disk together.
+class TableCache {
+ public:
+  TableCache(storage::Env* env, size_t max_open, size_t block_cache_bytes,
+             LsmReadStats* stats, int64_t fault_delay_us);
+
+  /// The open reader for `number`, opening `path` on a miss. Opening costs
+  /// three disk reads (footer, index, filter); they are counted.
+  Result<std::shared_ptr<SstReader>> GetTable(uint64_t number,
+                                              const std::string& path);
+
+  /// Point read through bloom + index + block cache. Sets *found; on found,
+  /// *kind and *value.
+  Status Get(uint64_t number, const std::string& path, uint64_t key,
+             bool* found, EntryKind* kind, std::string* value);
+
+  /// Drops the open handle for a deleted table (its cached blocks age out).
+  void Evict(uint64_t number);
+
+ private:
+  storage::Env* const env_;
+  const size_t max_open_;
+  LsmReadStats* const stats_;
+  const int64_t fault_delay_us_;
+  BlockCache block_cache_;  // NOLINT(guarded-by-coverage): internally sharded locks
+
+  /// Rank kLsmTableCache: held only around the handle map; table opens do
+  /// their I/O outside the hold (double-checked insert).
+  Mutex mu_{LockRank::kLsmTableCache, "lsm.table_cache"};
+  std::list<std::pair<uint64_t, std::shared_ptr<SstReader>>> lru_
+      LABFLOW_GUARDED_BY(mu_);  // front = most recent
+  std::map<uint64_t, decltype(lru_)::iterator> index_ LABFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace labflow::lsm
+
+#endif  // LABFLOW_LSM_TABLE_CACHE_H_

@@ -46,7 +46,7 @@ labflow::Result<labflow::bench::ServerVersion> VersionByName(
   }
   return labflow::Status::InvalidArgument("unknown version '" + name +
                                           "' (try OStore, Texas, Texas+TC, "
-                                          "OStore-mm, Texas-mm)");
+                                          "OStore-mm, Texas-mm, LsmStore)");
 }
 
 int Run(int argc, char** argv) {

@@ -646,6 +646,13 @@ std::string Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         s.txn_commits = st.txn_commits;
         s.db_size_bytes = st.db_size_bytes;
         s.wal_bytes = st.wal_bytes;
+        s.lsm_memtable_bytes = st.lsm_memtable_bytes;
+        s.lsm_level_files = st.lsm_level_files;
+        s.lsm_compaction_bytes_read = st.lsm_compaction_bytes_read;
+        s.lsm_compaction_bytes_written = st.lsm_compaction_bytes_written;
+        s.lsm_bloom_checks = st.lsm_bloom_checks;
+        s.lsm_bloom_hits = st.lsm_bloom_hits;
+        s.lsm_write_throttles = st.lsm_write_throttles;
       }
       return Respond(id, Status::OK(),
                      [&s](Encoder* e) { EncodeServerStats(e, s); });

@@ -315,6 +315,14 @@ void EncodeServerStats(Encoder* e, const WireServerStats& s) {
   e->PutU64(s.txn_commits);
   e->PutU64(s.db_size_bytes);
   e->PutU64(s.wal_bytes);
+  e->PutU64(s.lsm_memtable_bytes);
+  e->PutU64(s.lsm_level_files.size());
+  for (uint64_t n : s.lsm_level_files) e->PutU64(n);
+  e->PutU64(s.lsm_compaction_bytes_read);
+  e->PutU64(s.lsm_compaction_bytes_written);
+  e->PutU64(s.lsm_bloom_checks);
+  e->PutU64(s.lsm_bloom_hits);
+  e->PutU64(s.lsm_write_throttles);
 }
 
 Result<WireServerStats> DecodeServerStats(Decoder* d) {
@@ -325,6 +333,22 @@ Result<WireServerStats> DecodeServerStats(Decoder* d) {
   LABFLOW_ASSIGN_OR_RETURN(s.txn_commits, d->GetU64());
   LABFLOW_ASSIGN_OR_RETURN(s.db_size_bytes, d->GetU64());
   LABFLOW_ASSIGN_OR_RETURN(s.wal_bytes, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_memtable_bytes, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(uint64_t nlevels, d->GetU64());
+  // Defensive bound: a level count is tiny in practice; a huge value here
+  // is a corrupt or hostile frame, not a deep tree.
+  if (nlevels > 64) {
+    return Status::Corruption("server stats: implausible LSM level count");
+  }
+  for (uint64_t i = 0; i < nlevels; ++i) {
+    LABFLOW_ASSIGN_OR_RETURN(uint64_t n, d->GetU64());
+    s.lsm_level_files.push_back(n);
+  }
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_compaction_bytes_read, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_compaction_bytes_written, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_bloom_checks, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_bloom_hits, d->GetU64());
+  LABFLOW_ASSIGN_OR_RETURN(s.lsm_write_throttles, d->GetU64());
   return s;
 }
 

@@ -43,8 +43,8 @@ namespace labflow::net {
 /// full frame catalogue.
 
 /// Protocol version, exchanged in kSessionOpen. Bump on any incompatible
-/// frame-layout change.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// frame-layout change. v2: WireServerStats gained the LSM counter block.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard ceiling on one frame's payload (16 MiB). A length prefix above
 /// this is Corruption: it is either a desynchronized stream or an
@@ -184,7 +184,8 @@ void EncodeStepEffects(Encoder* e,
 Result<std::vector<labbase::StepEffect>> DecodeStepEffects(Decoder* d);
 
 /// Server-side storage counters exposed to remote clients (kServerStats),
-/// so a remote bench can report I/O alongside latency.
+/// so a remote bench can report I/O alongside latency. The lsm_* block is
+/// all-zero for non-LSM server versions (protocol v2 additions).
 struct WireServerStats {
   uint64_t disk_reads = 0;
   uint64_t disk_writes = 0;
@@ -192,6 +193,13 @@ struct WireServerStats {
   uint64_t txn_commits = 0;
   uint64_t db_size_bytes = 0;
   uint64_t wal_bytes = 0;
+  uint64_t lsm_memtable_bytes = 0;
+  std::vector<uint64_t> lsm_level_files;
+  uint64_t lsm_compaction_bytes_read = 0;
+  uint64_t lsm_compaction_bytes_written = 0;
+  uint64_t lsm_bloom_checks = 0;
+  uint64_t lsm_bloom_hits = 0;
+  uint64_t lsm_write_throttles = 0;
 };
 
 void EncodeServerStats(Encoder* e, const WireServerStats& s);

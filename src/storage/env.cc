@@ -109,6 +109,18 @@ class PosixEnv : public Env {
     return std::unique_ptr<File>(
         new PosixFile(fd, path, static_cast<uint64_t>(st.st_size)));
   }
+
+  Status Delete(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
 };
 
 }  // namespace

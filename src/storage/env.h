@@ -52,6 +52,14 @@ class Env {
   virtual Result<std::unique_ptr<File>> OpenFile(const std::string& path,
                                                  bool truncate) = 0;
 
+  /// Removes the file at `path`. NotFound when it does not exist. Used by
+  /// the LSM store to retire flushed WALs, compacted SSTables and orphan
+  /// files left by a crash between SSTable write and manifest install.
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// Whether a file exists at `path` (recovery's orphan probe).
+  virtual bool FileExists(const std::string& path) = 0;
+
   /// The real filesystem. Never deleted; safe to share across threads.
   static Env* Default();
 };

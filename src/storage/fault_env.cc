@@ -117,6 +117,21 @@ Result<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
   return std::unique_ptr<File>(new FaultFile(this, path, state));
 }
 
+Status FaultInjectionEnv::Delete(const std::string& path) {
+  MutexLock g(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  // Handles still open on the file keep their shared FileState alive (like
+  // an unlinked inode); the path itself is gone for OpenFile/FileExists.
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  MutexLock g(mu_);
+  return files_.count(path) != 0;
+}
+
 void FaultInjectionEnv::set_enabled(bool enabled) {
   MutexLock g(mu_);
   enabled_ = enabled;

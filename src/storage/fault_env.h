@@ -44,6 +44,13 @@ class FaultInjectionEnv : public Env {
   Result<std::unique_ptr<File>> OpenFile(const std::string& path,
                                           bool truncate) override;
 
+  /// Deletes are modelled as immediately durable (there is no directory to
+  /// fsync in this env): the file vanishes from both the live and the
+  /// synced image, so a later DropUnsynced cannot resurrect it.
+  Status Delete(const std::string& path) override;
+
+  bool FileExists(const std::string& path) override;
+
   /// Master switch; faults fire only while enabled (default on).
   void set_enabled(bool enabled);
 

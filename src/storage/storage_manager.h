@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/result.h"
@@ -65,6 +66,18 @@ struct StorageStats {
   uint64_t commit_ts_hwm = 0;
   /// Live version chains in the MVCC sidecar (GC keeps this bounded).
   uint64_t mvcc_chains = 0;
+  /// LSM telemetry (zero/empty for non-LSM managers). `lsm_level_files[n]`
+  /// is the live SSTable count on level n; bloom hit rate is
+  /// lsm_bloom_hits / lsm_bloom_checks (a "hit" = the filter proved the key
+  /// absent and saved the block reads). lsm_write_throttles counts commits
+  /// that were slowed or stopped by compaction backpressure.
+  uint64_t lsm_memtable_bytes = 0;
+  std::vector<uint64_t> lsm_level_files;
+  uint64_t lsm_compaction_bytes_read = 0;
+  uint64_t lsm_compaction_bytes_written = 0;
+  uint64_t lsm_bloom_checks = 0;
+  uint64_t lsm_bloom_hits = 0;
+  uint64_t lsm_write_throttles = 0;
 };
 
 /// Backoff policy for StorageManager::RunTransaction. Retries apply only to

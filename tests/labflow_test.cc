@@ -272,7 +272,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllVersions, DriverTest,
     ::testing::Values(ServerVersion::kOstore, ServerVersion::kTexas,
                       ServerVersion::kTexasTC, ServerVersion::kOstoreMm,
-                      ServerVersion::kTexasMm),
+                      ServerVersion::kTexasMm, ServerVersion::kLsm),
     [](const auto& info) {
       std::string name(ServerVersionName(info.param));
       for (char& c : name) {

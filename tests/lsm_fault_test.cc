@@ -1,0 +1,329 @@
+// LSM crash-recovery torture, driven through FaultInjectionEnv.
+//
+// The durability contract under test, from the outside:
+//
+//   * with sync_commit, a commit acknowledged OK survives any later power
+//     cut — whether the data was still in the WAL, mid-flush, or already
+//     compacted (the WAL for a memtable is retired only after its SSTable
+//     and the manifest referencing it are synced);
+//   * a commit reported failed leaves no trace after a crash;
+//   * a crash between an SSTable write and its manifest install leaves an
+//     orphan file; recovery garbage-collects it and answers stay exact;
+//   * at-rest bit rot in an SSTable is *detected* (Corruption), never
+//     returned as data.
+//
+// Seed sweep width follows storage_fault_test: LABFLOW_FAULT_SEEDS
+// (default 16); scripts/check.sh's `fault` phase widens it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lsm/lsm_manager.h"
+#include "storage/fault_env.h"
+#include "tests/test_util.h"
+
+namespace labflow::lsm {
+namespace {
+
+using storage::AllocHint;
+using storage::FaultInjectionEnv;
+using storage::ObjectId;
+using test::TempDir;
+
+std::vector<int> FaultSeeds() {
+  int n = 16;
+  if (const char* e = std::getenv("LABFLOW_FAULT_SEEDS")) {
+    n = std::atoi(e);
+    if (n < 1) n = 1;
+  }
+  std::vector<int> seeds;
+  for (int i = 1; i <= n; ++i) seeds.push_back(i);
+  return seeds;
+}
+
+/// Tiny thresholds so ~100 commits cross every boundary: several memtable
+/// rotations, background flushes, and at least one compaction.
+LsmOptions TinyOptions(const std::string& path, storage::Env* env) {
+  LsmOptions opts;
+  opts.path = path;
+  opts.env = env;
+  opts.sync_commit = true;  // every ack is a durability promise
+  opts.memtable_bytes = 4 << 10;
+  opts.l0_compact_trigger = 2;
+  opts.l0_slowdown_trigger = 4;
+  opts.l0_stop_trigger = 8;
+  opts.level_base_bytes = 16 << 10;
+  opts.target_file_bytes = 8 << 10;
+  return opts;
+}
+
+// ---- Scenario A: random I/O faults across the whole tree, then crash -------
+
+class LsmFaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsmFaultSweep, AckedCommitsSurviveCrashFailedOnesVanish) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  TempDir dir;
+
+  FaultInjectionEnv::Options fopt;
+  fopt.seed = seed;
+  fopt.write_fault_p = 0.05;
+  fopt.sync_fault_p = 0.05;
+  fopt.torn_writes = true;
+  FaultInjectionEnv env(fopt);
+
+  LsmOptions opts = TinyOptions(dir.file("db"), &env);
+  // Open under a clean disk (bootstrap writes the first manifest).
+  env.set_enabled(false);
+  auto mgr_or = LsmManager::Open(opts);
+  ASSERT_TRUE(mgr_or.ok()) << mgr_or.status().ToString();
+  std::unique_ptr<LsmManager> mgr = std::move(mgr_or).value();
+  env.set_enabled(true);
+
+  Rng rng(seed * 7 + 1);
+  std::map<uint64_t, std::string> confirmed;  // ack'd commits: must survive
+  int failed_commits = 0;
+
+  for (int t = 0; t < 120; ++t) {
+    auto txn_or = mgr->Begin();
+    ASSERT_TRUE(txn_or.ok());
+    storage::Txn* txn = txn_or.value();
+    std::map<uint64_t, std::string> pending;
+    Status st = Status::OK();
+    int ops = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < ops && st.ok(); ++i) {
+      std::string data = rng.NextName(1 + rng.NextBelow(500));
+      auto id = mgr->Allocate(txn, data, AllocHint{});
+      st = id.status();
+      if (st.ok()) pending[id.value().raw] = data;
+    }
+    if (st.ok()) {
+      st = mgr->Commit(txn);
+      if (st.ok()) {
+        confirmed.insert(pending.begin(), pending.end());
+        continue;
+      }
+    } else {
+      ASSERT_TRUE(mgr->Abort(txn).ok());
+    }
+    // A WAL fault degraded the store (failed commits roll back; later
+    // writes refuse). The operator action that restores service is a
+    // checkpoint over a now-healthy disk.
+    ++failed_commits;
+    env.set_enabled(false);
+    ASSERT_TRUE(mgr->Checkpoint().ok())
+        << "checkpoint after WAL failure (seed " << seed << ")";
+    env.set_enabled(true);
+  }
+
+  // Power cut: everything the env never synced vanishes.
+  mgr->SimulateCrash();
+  mgr.reset();
+  env.DropUnsynced();
+  env.set_enabled(false);
+
+  opts.truncate = false;
+  auto rec_or = LsmManager::Open(opts);
+  ASSERT_TRUE(rec_or.ok()) << "recovery failed (seed " << seed
+                           << "): " << rec_or.status().ToString();
+  std::unique_ptr<LsmManager> rec = std::move(rec_or).value();
+
+  // Every acknowledged commit, byte for byte.
+  for (const auto& [raw, data] : confirmed) {
+    auto back = rec->Read(ObjectId(raw));
+    ASSERT_TRUE(back.ok()) << "lost committed object " << raw << " (seed "
+                           << seed << ", " << failed_commits
+                           << " failed commits): " << back.status().ToString();
+    ASSERT_EQ(back.value(), data) << "corrupt object " << raw;
+  }
+  // And nothing else: no ghost resurrected from a torn or unsynced group.
+  uint64_t live = 0;
+  ASSERT_TRUE(rec->ScanAll([&](ObjectId id, std::string_view data) {
+                   auto it = confirmed.find(id.raw);
+                   EXPECT_NE(it, confirmed.end())
+                       << "ghost object " << id.raw << " (seed " << seed
+                       << ")";
+                   if (it != confirmed.end()) {
+                     EXPECT_EQ(std::string(data), it->second);
+                   }
+                   ++live;
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(live, confirmed.size());
+
+  // The survivor is a fully usable database.
+  auto post = rec->Begin();
+  ASSERT_TRUE(post.ok());
+  auto id = rec->Allocate(post.value(), "post-fault", AllocHint{});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(rec->Commit(post.value()).ok());
+  EXPECT_EQ(rec->Read(id.value()).value(), "post-fault");
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmFaultSweep,
+                         ::testing::ValuesIn(FaultSeeds()),
+                         [](const auto& info) {
+                           return "Seed" + std::to_string(info.param);
+                         });
+
+// ---- Scenario B: clean power cut mid-pipeline -------------------------------
+
+TEST(LsmFaultTest, PowerCutAcrossFlushBoundariesReplaysExactly) {
+  TempDir dir;
+  FaultInjectionEnv env(FaultInjectionEnv::Options{});  // no faults; crash only
+  LsmOptions opts = TinyOptions(dir.file("db"), &env);
+
+  std::map<uint64_t, std::string> confirmed;
+  {
+    auto mgr = LsmManager::Open(opts).value();
+    Rng rng(21);
+    // Enough volume that at crash time some commits live in flushed
+    // SSTables, some in immutable memtables, some only in the active WAL.
+    for (int i = 0; i < 250; ++i) {
+      std::string data = rng.NextName(100 + rng.NextBelow(200));
+      auto id = mgr->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      confirmed[id.value().raw] = data;
+      if (i % 5 == 0 && !confirmed.empty()) {
+        auto victim = confirmed.begin()->first;
+        ASSERT_TRUE(mgr->Free(ObjectId(victim)).ok());
+        confirmed.erase(victim);
+      }
+    }
+    mgr->SimulateCrash();  // no checkpoint, no clean close
+  }
+  env.DropUnsynced();
+
+  opts.truncate = false;
+  auto rec = LsmManager::Open(opts).value();
+  std::map<uint64_t, std::string> scanned;
+  ASSERT_TRUE(rec->ScanAll([&](ObjectId id, std::string_view data) {
+                   scanned[id.raw] = std::string(data);
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(scanned, confirmed);
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+// ---- Scenario C: orphan SSTable from a crash mid-transition -----------------
+
+TEST(LsmFaultTest, OrphanSstableIsCollectedOnRecovery) {
+  TempDir dir;
+  FaultInjectionEnv env(FaultInjectionEnv::Options{});
+  LsmOptions opts = TinyOptions(dir.file("db"), &env);
+
+  std::map<uint64_t, std::string> confirmed;
+  uint64_t max_number = 0;
+  {
+    auto mgr = LsmManager::Open(opts).value();
+    Rng rng(31);
+    for (int i = 0; i < 250; ++i) {
+      std::string data = rng.NextName(150);
+      auto id = mgr->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      confirmed[id.value().raw] = data;
+    }
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  // Compaction retired input tables, so some file numbers below the
+  // high-water mark have no file. Plant a stray "SSTable" at one of them —
+  // exactly what a crash after WriteMemtableSst but before the manifest
+  // install leaves behind.
+  auto sst_path = [&](uint64_t n) {
+    return dir.file("db") + ".lsm-sst." + std::to_string(n);
+  };
+  for (uint64_t n = 1; n < 512; ++n) {
+    if (env.FileExists(sst_path(n))) max_number = n;
+  }
+  ASSERT_GT(max_number, 0u) << "expected flushed SSTables on disk";
+  uint64_t hole = 0;
+  for (uint64_t n = 1; n < max_number; ++n) {
+    if (!env.FileExists(sst_path(n))) {
+      hole = n;
+      break;
+    }
+  }
+  ASSERT_GT(hole, 0u) << "expected a retired file number below " << max_number;
+  {
+    auto f = env.OpenFile(sst_path(hole), /*truncate=*/true).value();
+    ASSERT_TRUE(f->Append("orphan bytes never referenced").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+  ASSERT_TRUE(env.FileExists(sst_path(hole)));
+
+  opts.truncate = false;
+  auto rec = LsmManager::Open(opts).value();
+  // Recovery deleted the orphan and kept every answer.
+  EXPECT_FALSE(env.FileExists(sst_path(hole)));
+  std::map<uint64_t, std::string> scanned;
+  ASSERT_TRUE(rec->ScanAll([&](ObjectId id, std::string_view data) {
+                   scanned[id.raw] = std::string(data);
+                   return Status::OK();
+                 }).ok());
+  EXPECT_EQ(scanned, confirmed);
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+// ---- Scenario D: at-rest bit rot is detected, never silent ------------------
+
+TEST(LsmFaultTest, BitRotInSstableIsDetectedNotReturned) {
+  TempDir dir;
+  FaultInjectionEnv env(FaultInjectionEnv::Options{});
+  LsmOptions opts = TinyOptions(dir.file("db"), &env);
+
+  std::map<uint64_t, std::string> confirmed;
+  {
+    auto mgr = LsmManager::Open(opts).value();
+    Rng rng(41);
+    for (int i = 0; i < 200; ++i) {
+      std::string data = rng.NextName(150);
+      auto id = mgr->Allocate(data, AllocHint{});
+      ASSERT_TRUE(id.ok());
+      confirmed[id.value().raw] = data;
+    }
+    ASSERT_TRUE(mgr->Checkpoint().ok());
+    ASSERT_TRUE(mgr->Close().ok());
+  }
+  // Flip one bit in the middle of every SSTable on disk.
+  int corrupted = 0;
+  for (uint64_t n = 1; n < 512; ++n) {
+    std::string path = dir.file("db") + ".lsm-sst." + std::to_string(n);
+    if (!env.FileExists(path)) continue;
+    auto f = env.OpenFile(path, /*truncate=*/false).value();
+    uint64_t size = f->Size().value();
+    ASSERT_TRUE(f->Close().ok());
+    ASSERT_TRUE(env.CorruptByte(path, size / 2).ok());
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0);
+
+  opts.truncate = false;
+  auto rec_or = LsmManager::Open(opts);
+  if (!rec_or.ok()) {
+    // Detected during recovery's tree walk.
+    EXPECT_TRUE(rec_or.status().IsCorruption()) << rec_or.status().ToString();
+    return;
+  }
+  auto rec = std::move(rec_or).value();
+  for (const auto& [raw, data] : confirmed) {
+    auto back = rec->Read(ObjectId(raw));
+    if (back.ok()) {
+      EXPECT_EQ(back.value(), data) << "silent corruption on " << raw;
+    } else {
+      EXPECT_TRUE(back.status().IsCorruption()) << back.status().ToString();
+    }
+  }
+  ASSERT_TRUE(rec->Close().ok());
+}
+
+}  // namespace
+}  // namespace labflow::lsm

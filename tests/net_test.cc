@@ -54,7 +54,20 @@ TEST(WireTest, PayloadHelpersRoundtrip) {
   effects.push_back(eff);
   EncodeStepEffects(&e, effects);
 
-  WireServerStats stats{1, 2, 3, 4, 5, 6};
+  WireServerStats stats;
+  stats.disk_reads = 1;
+  stats.disk_writes = 2;
+  stats.cache_hits = 3;
+  stats.txn_commits = 4;
+  stats.db_size_bytes = 5;
+  stats.wal_bytes = 6;
+  stats.lsm_memtable_bytes = 7;
+  stats.lsm_level_files = {3, 1, 0, 2};
+  stats.lsm_compaction_bytes_read = 8;
+  stats.lsm_compaction_bytes_written = 9;
+  stats.lsm_bloom_checks = 10;
+  stats.lsm_bloom_hits = 11;
+  stats.lsm_write_throttles = 12;
   EncodeServerStats(&e, stats);
 
   Decoder d(e.buffer());
@@ -85,6 +98,11 @@ TEST(WireTest, PayloadHelpersRoundtrip) {
   auto stats2 = DecodeServerStats(&d);
   ASSERT_TRUE(stats2.ok());
   EXPECT_EQ(stats2->wal_bytes, 6u);
+  EXPECT_EQ(stats2->lsm_memtable_bytes, 7u);
+  EXPECT_EQ(stats2->lsm_level_files, (std::vector<uint64_t>{3, 1, 0, 2}));
+  EXPECT_EQ(stats2->lsm_compaction_bytes_written, 9u);
+  EXPECT_EQ(stats2->lsm_bloom_hits, 11u);
+  EXPECT_EQ(stats2->lsm_write_throttles, 12u);
   EXPECT_TRUE(d.AtEnd());
 }
 
